@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Array Float Kfuse_apps Kfuse_fusion Kfuse_gpu Kfuse_graph Kfuse_image Kfuse_ir Kfuse_util List Option Printf Runner String

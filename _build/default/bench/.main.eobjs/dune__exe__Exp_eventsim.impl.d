@@ -1,0 +1,1 @@
+bench/exp_eventsim.ml: Kfuse_apps Kfuse_fusion Kfuse_gpu Kfuse_ir List Printf Runner

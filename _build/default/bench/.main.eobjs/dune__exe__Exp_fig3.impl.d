@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Float Format Kfuse_apps Kfuse_fusion Kfuse_graph Kfuse_ir Kfuse_util List Option Paper_data Printf Runner String

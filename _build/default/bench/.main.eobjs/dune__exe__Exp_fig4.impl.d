@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Float Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List Paper_data Printf

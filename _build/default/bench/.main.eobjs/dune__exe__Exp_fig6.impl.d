@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Kfuse_apps Kfuse_gpu Kfuse_util List Printf Runner

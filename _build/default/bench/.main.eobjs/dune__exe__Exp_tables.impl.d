@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Kfuse_gpu Kfuse_util List Paper_data Printf Runner

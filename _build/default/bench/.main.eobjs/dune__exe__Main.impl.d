@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_eventsim Exp_fig3 Exp_fig4 Exp_fig6 Exp_tables List Micro Printf String Sys

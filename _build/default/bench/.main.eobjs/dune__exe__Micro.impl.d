@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Kfuse_apps Kfuse_codegen Kfuse_dsl Kfuse_fusion Kfuse_graph Kfuse_util List Measure Printf Runner Staged Test Time Toolkit

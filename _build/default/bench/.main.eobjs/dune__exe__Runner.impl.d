@@ -1,0 +1,1 @@
+bench/runner.ml: Hashtbl Kfuse_apps Kfuse_fusion Kfuse_gpu Kfuse_ir Kfuse_util List String

@@ -1,0 +1,286 @@
+(* Ablations of the design choices called out in DESIGN.md:
+   - ablate-cm:       sweep the c_Mshared threshold of Eq. 2
+   - ablate-tg:       sweep the global-latency estimate tg
+   - ablate-strategy: min-cut vs greedy vs basic on every application
+   - ablate-gamma:    effect of the launch-overhead term of Eq. 12 *)
+
+module F = Kfuse_fusion
+module G = Kfuse_gpu
+module Ir = Kfuse_ir
+module Iset = Kfuse_util.Iset
+module Stats = Kfuse_util.Stats
+
+let config = Runner.config
+
+let partition_summary (p : Ir.Pipeline.t) partition =
+  let name i = (Ir.Pipeline.kernel p i).Ir.Kernel.name in
+  String.concat " "
+    (List.map
+       (fun b -> "{" ^ String.concat "," (List.map name (Iset.elements b)) ^ "}")
+       partition)
+
+let ablate_cm () =
+  print_endline "=== ablate-cm: Eq. 2 threshold sweep on Harris ===";
+  print_endline "(paper uses c_Mshared = 2; larger thresholds admit bigger blocks,";
+  print_endline " until the profitability clamp and dependence rules stop growth)";
+  let p = Kfuse_apps.Harris.pipeline () in
+  List.iter
+    (fun cm ->
+      let cfg = { config with F.Config.c_mshared = cm } in
+      let r = F.Mincut_fusion.run cfg p in
+      Printf.printf "  c_Mshared = %4.1f -> %d blocks, beta = %8.3f: %s\n" cm
+        (List.length r.F.Mincut_fusion.partition)
+        r.F.Mincut_fusion.objective
+        (partition_summary p r.F.Mincut_fusion.partition))
+    [ 1.0; 1.5; 2.0; 3.0; 5.0; 10.0; 100.0 ];
+  print_newline ()
+
+let ablate_tg () =
+  print_endline "=== ablate-tg: global-latency sweep (point-to-local break-even) ===";
+  print_endline "(Eq. 8: w = IS*tg - cost_op*IS_ks*sz; small tg makes recompute lose)";
+  let p = Kfuse_apps.Harris.pipeline () in
+  List.iter
+    (fun tg ->
+      let cfg = { config with F.Config.tg } in
+      let r = F.Mincut_fusion.run cfg p in
+      let u = Option.get (Ir.Pipeline.index_of p "sx") in
+      let v = Option.get (Ir.Pipeline.index_of p "gx") in
+      let w = F.Benefit.edge_weight cfg p u v in
+      Printf.printf "  tg = %5.1f -> w(sx,gx) = %8.3f, partition: %s\n" tg w
+        (partition_summary p r.F.Mincut_fusion.partition))
+    [ 20.0; 50.0; 72.0; 100.0; 200.0; 400.0; 800.0 ];
+  print_newline ()
+
+let ablate_strategy () =
+  print_endline "=== ablate-strategy: min-cut vs greedy vs basic (kernels after fusion) ===";
+  Printf.printf "%-10s %8s %8s %8s %8s   %s\n" "app" "baseline" "basic" "greedy" "mincut"
+    "estimated speedup on GTX680 (greedy / mincut)";
+  List.iter
+    (fun (app : Kfuse_apps.Registry.entry) ->
+      let p = app.Kfuse_apps.Registry.pipeline () in
+      let count s = F.Driver.fused_kernel_count (F.Driver.run config s p) in
+      let t strategy quality =
+        let r = F.Driver.run config strategy p in
+        (G.Sim.measure G.Device.gtx680 ~quality ~fused_kernels:(Runner.fused_names p r)
+           r.F.Driver.fused)
+          .G.Sim.summary.Stats.median
+      in
+      let base = t F.Driver.Baseline G.Perf_model.Optimized in
+      let greedy = t F.Driver.Greedy G.Perf_model.Optimized in
+      let mincut = t F.Driver.Mincut G.Perf_model.Optimized in
+      Printf.printf "%-10s %8d %8d %8d %8d   %.3f / %.3f\n" app.Kfuse_apps.Registry.name
+        (count F.Driver.Baseline) (count F.Driver.Basic) (count F.Driver.Greedy)
+        (count F.Driver.Mincut) (base /. greedy) (base /. mincut))
+    Runner.all_apps;
+  print_endline "(note Sobel: pairwise greedy finds nothing; only the min-cut view fuses it)";
+  print_newline ()
+
+let ablate_gamma () =
+  print_endline "=== ablate-gamma: extra-gain term of Eq. 12 ===";
+  print_endline "(gamma > 0 rescues marginally-unprofitable fusions; Night's a-trous pair";
+  print_endline " has delta - phi = 300 - 58800 per RGB image unit, so only an";
+  print_endline " implausibly large gamma flips it once Eq. 2 is relaxed)";
+  let p = Kfuse_apps.Night.pipeline () in
+  let loose = { config with F.Config.c_mshared = 3.0 } in
+  List.iter
+    (fun gamma ->
+      let cfg = { loose with F.Config.gamma } in
+      let r = F.Mincut_fusion.run cfg p in
+      Printf.printf "  gamma = %8.1f -> partition: %s\n" gamma
+        (partition_summary p r.F.Mincut_fusion.partition))
+    [ 0.0; 1000.0; 10000.0; 58000.0; 59000.0; 100000.0 ];
+  print_newline ()
+
+let ablate_optimal () =
+  print_endline "=== ablate-optimal: Algorithm 1 vs exhaustive optimum (Eq. 1) ===";
+  print_endline "(the problem is NP-complete for undetermined k, Section III-C;";
+  print_endline " on these DAG sizes the exact optimum is enumerable)";
+  Printf.printf "%-10s %14s %14s %s\n" "app" "mincut beta" "optimal beta" "optimal?";
+  List.iter
+    (fun (app : Kfuse_apps.Registry.entry) ->
+      let p = app.Kfuse_apps.Registry.pipeline () in
+      let heuristic = (F.Mincut_fusion.run config p).F.Mincut_fusion.objective in
+      let optimal = F.Exhaustive_fusion.optimal_objective config p in
+      Printf.printf "%-10s %14.3f %14.3f %s\n" app.Kfuse_apps.Registry.name heuristic
+        optimal
+        (if Float.abs (heuristic -. optimal) < 1e-6 then "yes" else "NO"))
+    Runner.all_apps;
+  print_newline ()
+
+let ablate_opt_passes () =
+  print_endline "=== ablate-passes: simplify + CSE on fused kernels ===";
+  Printf.printf "%-10s %18s %18s %16s %16s\n" "app" "AST nodes (fused)" "after passes"
+    "loads (fused)" "after passes";
+  List.iter
+    (fun (app : Kfuse_apps.Registry.entry) ->
+      let p = app.Kfuse_apps.Registry.pipeline () in
+      let plain = F.Driver.run config F.Driver.Mincut p in
+      let opt = F.Driver.run ~optimize:true config F.Driver.Mincut p in
+      let stats (r : F.Driver.report) =
+        Array.fold_left
+          (fun (nodes, loads) (k : Ir.Kernel.t) ->
+            match k.Ir.Kernel.op with
+            | Ir.Kernel.Map e ->
+              (nodes + Ir.Expr.size e, loads + List.length (Ir.Expr.accesses e))
+            | Ir.Kernel.Reduce { arg; _ } ->
+              (nodes + Ir.Expr.size arg, loads + List.length (Ir.Expr.accesses arg)))
+          (0, 0) r.F.Driver.fused.Ir.Pipeline.kernels
+      in
+      let n0, l0 = stats plain and n1, l1 = stats opt in
+      Printf.printf "%-10s %18d %18d %16d %16d\n" app.Kfuse_apps.Registry.name n0 n1 l0 l1)
+    Runner.all_apps;
+  print_newline ()
+
+let ablate_model_objective () =
+  print_endline "=== ablate-model: benefit-model optimum vs time-model optimum ===";
+  print_endline "(does maximizing beta (Eq. 1) pick the same partition as minimizing";
+  print_endline " end-to-end modeled time on the GTX 680?)";
+  Printf.printf "%-10s %12s %16s %16s %s\n" "app" "partitions" "beta-opt (ms)"
+    "time-opt (ms)" "same partition?";
+  let device = G.Device.gtx680 in
+  List.iter
+    (fun (app : Kfuse_apps.Registry.entry) ->
+      let p = app.Kfuse_apps.Registry.pipeline () in
+      let time_of partition =
+        let fused = F.Transform.apply p partition in
+        let fused_kernels =
+          List.filter_map
+            (fun b ->
+              if Iset.cardinal b >= 2 then
+                Some
+                  (Ir.Pipeline.kernel p (Iset.min_elt (F.Legality.block_sinks p b)))
+                    .Ir.Kernel.name
+              else None)
+            partition
+        in
+        snd
+          (G.Perf_model.pipeline_time device ~quality:G.Perf_model.Optimized
+             ~fused_kernels fused)
+      in
+      let nparts = F.Exhaustive_fusion.count_legal_partitions config p in
+      let _, beta_part = F.Exhaustive_fusion.run config p in
+      let neg_time, time_part =
+        F.Exhaustive_fusion.run_with config p ~objective:(fun part -> -.time_of part)
+      in
+      Printf.printf "%-10s %12d %16.3f %16.3f %s\n" app.Kfuse_apps.Registry.name nparts
+        (time_of beta_part) (-.neg_time)
+        (if Kfuse_graph.Partition.equal beta_part time_part then "yes" else "NO")
+    )
+    Runner.all_apps;
+  print_newline ()
+
+let ablate_autotune () =
+  print_endline "=== ablate-autotune: thread-block shape tuning (GTX 680, optimized impl) ===";
+  print_endline "(Hipacc fixes 32x4; squarer blocks amortize stencil halos better)";
+  Printf.printf "%-10s %14s %14s %9s   %s\n" "app" "32x4 (ms)" "tuned (ms)" "gain"
+    "per-kernel winners";
+  let device = G.Device.gtx680 in
+  List.iter
+    (fun (app : Kfuse_apps.Registry.entry) ->
+      let p = app.Kfuse_apps.Registry.pipeline () in
+      let r = F.Driver.run config F.Driver.Mincut p in
+      let fused = Runner.fused_names p r in
+      let choices, tuned, default =
+        G.Autotune.tune_pipeline device ~quality:G.Perf_model.Optimized
+          ~fused_kernels:fused r.F.Driver.fused
+      in
+      let winners =
+        choices
+        |> List.filter_map (fun (c : G.Autotune.choice) ->
+               if c.G.Autotune.best = { Kfuse_ir.Cost.bx = 32; by = 4 } then None
+               else
+                 Some
+                   (Printf.sprintf "%s:%dx%d" c.G.Autotune.kernel_name
+                      c.G.Autotune.best.Kfuse_ir.Cost.bx c.G.Autotune.best.Kfuse_ir.Cost.by))
+        |> String.concat " "
+      in
+      Printf.printf "%-10s %14.3f %14.3f %8.1f%%   %s\n" app.Kfuse_apps.Registry.name
+        default tuned
+        ((default -. tuned) /. default *. 100.0)
+        (if winners = "" then "(32x4 everywhere)" else winners))
+    Runner.all_apps;
+  print_newline ()
+
+let ablate_inline () =
+  print_endline "=== ablate-inline: producer inlining + min-cut fusion (extension) ===";
+  print_endline "(inlining replicates cheap shared producers into their consumers,";
+  print_endline " eliminating intermediates the partition model must keep - Fig 2c)";
+  Printf.printf "%-10s %8s %14s %14s %10s\n" "app" "kernels" "mincut only" "inline+mincut"
+    "GTX680 gain";
+  let device = G.Device.gtx680 in
+  let median r (p : Ir.Pipeline.t) =
+    ignore p;
+    (G.Sim.measure device ~quality:G.Perf_model.Optimized
+       ~fused_kernels:
+         (List.filter_map
+            (fun b ->
+              if Iset.cardinal b >= 2 then
+                Some
+                  (Ir.Pipeline.kernel r.F.Driver.input
+                     (Iset.min_elt (F.Legality.block_sinks r.F.Driver.input b)))
+                    .Ir.Kernel.name
+              else None)
+            r.F.Driver.partition)
+       r.F.Driver.fused)
+      .G.Sim.summary.Stats.median
+  in
+  List.iter
+    (fun (name, p) ->
+      let plain = F.Driver.run config F.Driver.Mincut p in
+      let inlined = F.Driver.run ~inline:true config F.Driver.Mincut p in
+      let t_plain = median plain p and t_inline = median inlined p in
+      Printf.printf "%-10s %3d > %-3d %14.3f %14.3f %9.3fx\n" name
+        (F.Driver.fused_kernel_count plain)
+        (F.Driver.fused_kernel_count inlined)
+        t_plain t_inline (t_plain /. t_inline))
+    (List.map
+       (fun (app : Kfuse_apps.Registry.entry) ->
+         (app.Kfuse_apps.Registry.name, app.Kfuse_apps.Registry.pipeline ()))
+       Runner.all_apps
+    @ [ ("night_rgb", Kfuse_apps.Extra.night_rgb_pipeline ()) ]);
+  print_newline ()
+
+let ablate_distribute () =
+  print_endline "=== ablate-distribute: separable-convolution splitting (future work) ===";
+  print_endline "(k x k taps -> 2k taps at the price of one intermediate image;";
+  print_endline " the opposite tradeoff to fusion, so Algorithm 1 re-fuses afterwards)";
+  Printf.printf "%-8s %14s %14s %14s\n" "mask" "2-D conv (ms)" "split (ms)"
+    "split+fused (ms)";
+  let device = G.Device.gtx680 in
+  List.iter
+    (fun (name, mask) ->
+      let p =
+        Ir.Pipeline.create ~name:"sep" ~width:2048 ~height:2048 ~inputs:[ "in" ]
+          [
+            Ir.Kernel.map ~name:"blur" ~inputs:[ "in" ] (Ir.Expr.conv mask "in");
+            Ir.Kernel.map ~name:"post" ~inputs:[ "blur" ]
+              Ir.Expr.(input "blur" * Const 2.0);
+          ]
+      in
+      let t pl fused_kernels =
+        snd
+          (G.Perf_model.pipeline_time device ~quality:G.Perf_model.Optimized
+             ~fused_kernels pl)
+      in
+      let split, _ = F.Distribute.split_all p in
+      let refused = F.Driver.run config F.Driver.Mincut split in
+      Printf.printf "%-8s %14.3f %14.3f %14.3f\n" name (t p []) (t split [])
+        (t refused.F.Driver.fused (Runner.fused_names split refused)))
+    [
+      ("gauss3", Kfuse_image.Mask.gaussian_3x3);
+      ("gauss5", Kfuse_image.Mask.gaussian_5x5);
+      ("mean9", Kfuse_image.Mask.mean 9);
+    ];
+  print_newline ()
+
+let run () =
+  ablate_cm ();
+  ablate_tg ();
+  ablate_strategy ();
+  ablate_gamma ();
+  ablate_optimal ();
+  ablate_model_objective ();
+  ablate_autotune ();
+  ablate_inline ();
+  ablate_distribute ();
+  ablate_opt_passes ()

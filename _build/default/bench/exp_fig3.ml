@@ -1,0 +1,60 @@
+(* Experiment fig3: the Harris worked example (Section III-B, Figure 3).
+   Regenerates the edge weights of the benefit model and the sequence of
+   min-cut iterations, checking both against the paper. *)
+
+module F = Kfuse_fusion
+module Ir = Kfuse_ir
+module Iset = Kfuse_util.Iset
+
+let run () =
+  print_endline "=== fig3: Harris corner detector, weights and min-cut trace ===";
+  let p = Kfuse_apps.Harris.pipeline () in
+  let config = Runner.config in
+  let name i = (Ir.Pipeline.kernel p i).Ir.Kernel.name in
+  print_endline "edge weights (paper: 328 / 328 / 256 on the legal edges, eps elsewhere):";
+  let ok = ref true in
+  List.iter
+    (fun (r : F.Benefit.edge_report) ->
+      let expected =
+        List.assoc_opt (name r.F.Benefit.src, name r.F.Benefit.dst) Paper_data.fig3_weights
+      in
+      let mark =
+        match expected with
+        | Some w when Float.abs (w -. r.F.Benefit.weight) < 1e-6 -> "matches paper"
+        | Some w -> ok := false; Printf.sprintf "MISMATCH (paper %.0f)" w
+        | None ->
+          if Float.abs (r.F.Benefit.weight -. config.F.Config.epsilon) < 1e-9 then
+            "eps (illegal), as in paper"
+          else begin
+            ok := false;
+            "MISMATCH (paper expects eps)"
+          end
+      in
+      Printf.printf "  %-4s -> %-4s  %-15s w=%8.3f  [%s]\n" (name r.F.Benefit.src)
+        (name r.F.Benefit.dst)
+        (F.Benefit.scenario_to_string r.F.Benefit.scenario)
+        r.F.Benefit.weight mark)
+    (F.Benefit.all_edges config p);
+  let result = F.Mincut_fusion.run config p in
+  print_endline "recursive min-cut trace (Figures 3a-3f):";
+  List.iter
+    (fun s -> Format.printf "  %a@." (F.Mincut_fusion.pp_step p) s)
+    result.F.Mincut_fusion.steps;
+  let expected =
+    List.map
+      (fun group ->
+        Iset.of_list (List.map (fun n -> Option.get (Ir.Pipeline.index_of p n)) group))
+      Paper_data.fig3_partition
+  in
+  let match_partition =
+    Kfuse_graph.Partition.equal expected result.F.Mincut_fusion.partition
+  in
+  if not match_partition then ok := false;
+  Printf.printf "final partition: ";
+  List.iter
+    (fun b ->
+      Printf.printf "{%s} " (String.concat "," (List.map name (Iset.elements b))))
+    result.F.Mincut_fusion.partition;
+  Printf.printf "\nobjective beta = %.3f (paper: 912 = 328 + 328 + 256)\n"
+    result.F.Mincut_fusion.objective;
+  Printf.printf "fig3 reproduction: %s\n\n" (if !ok && match_partition then "PASS" else "FAIL")

@@ -1,0 +1,45 @@
+(* Experiment fig6: execution times of the three implementations of the
+   six applications on the three GPU models (Figure 6).  500 simulated
+   runs per cell; we print the box-plot statistics the figure's whiskers
+   encode (min / p25 / median / p75 / max). *)
+
+module G = Kfuse_gpu
+module Stats = Kfuse_util.Stats
+
+(* CSV variant for plotting: one row per (device, app, impl) cell. *)
+let run_csv () =
+  print_endline "device,app,impl,min_ms,p25_ms,median_ms,p75_ms,max_ms,mean_ms";
+  List.iter
+    (fun (device : G.Device.t) ->
+      List.iter
+        (fun (app : Kfuse_apps.Registry.entry) ->
+          List.iter
+            (fun (impl, impl_name) ->
+              let s = (Runner.measure app impl device).G.Sim.summary in
+              Printf.printf "%s,%s,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n"
+                device.G.Device.name app.Kfuse_apps.Registry.name impl_name s.Stats.min
+                s.Stats.p25 s.Stats.median s.Stats.p75 s.Stats.max s.Stats.mean)
+            Runner.impl_names)
+        Runner.all_apps)
+    Runner.all_devices
+
+let run () =
+  print_endline "=== fig6: execution times in ms (500 simulated runs per cell) ===";
+  List.iter
+    (fun (device : G.Device.t) ->
+      Printf.printf "--- %s ---\n" device.G.Device.name;
+      Printf.printf "%-10s %-9s %9s %9s %9s %9s %9s\n" "app" "impl" "min" "p25" "median"
+        "p75" "max";
+      List.iter
+        (fun (app : Kfuse_apps.Registry.entry) ->
+          List.iter
+            (fun (impl, impl_name) ->
+              let m = Runner.measure app impl device in
+              let s = m.G.Sim.summary in
+              Printf.printf "%-10s %-9s %9.3f %9.3f %9.3f %9.3f %9.3f\n"
+                app.Kfuse_apps.Registry.name impl_name s.Stats.min s.Stats.p25
+                s.Stats.median s.Stats.p75 s.Stats.max)
+            Runner.impl_names)
+        Runner.all_apps;
+      print_newline ())
+    Runner.all_devices

@@ -1,0 +1,66 @@
+(* Experiments tab1 and tab2: the speedup comparisons of Table I and the
+   geometric means of Table II, printed next to the paper's values. *)
+
+module Stats = Kfuse_util.Stats
+
+let comparisons =
+  [
+    ("Optimized Fusion over Baseline", Runner.Baseline, Runner.Optimized,
+     Paper_data.table1_opt_over_base);
+    ("Basic Fusion over Baseline", Runner.Baseline, Runner.Basic,
+     Paper_data.table1_basic_over_base);
+    ("Optimized Fusion over Basic Fusion", Runner.Basic, Runner.Optimized,
+     Paper_data.table1_opt_over_basic);
+  ]
+
+let speedup_cell app_name den num device =
+  let app = Runner.app app_name in
+  Runner.median app den device /. Runner.median app num device
+
+let tab1 () =
+  print_endline "=== tab1: speedup comparison (ours vs paper Table I) ===";
+  List.iter
+    (fun (title, den, num, paper) ->
+      Printf.printf "--- %s ---\n" title;
+      Printf.printf "%-8s" "";
+      List.iter (fun a -> Printf.printf "  %-16s" a) Paper_data.app_names;
+      print_newline ();
+      List.iteri
+        (fun di (device : Kfuse_gpu.Device.t) ->
+          Printf.printf "%-8s" device.Kfuse_gpu.Device.name;
+          List.iter
+            (fun app_name ->
+              let ours = speedup_cell app_name den num device in
+              let ref_v = List.nth (List.assoc app_name paper) di in
+              Printf.printf "  %5.3f (p %5.3f)" ours ref_v)
+            Paper_data.app_names;
+          print_newline ())
+        Runner.all_devices;
+      print_newline ())
+    comparisons
+
+let tab2 () =
+  print_endline "=== tab2: geometric mean of speedups across all GPUs (vs Table II) ===";
+  Printf.printf "%-16s" "";
+  List.iter (fun a -> Printf.printf "  %-16s" a) Paper_data.app_names;
+  print_newline ();
+  List.iter
+    (fun (row_name, den, num, select) ->
+      Printf.printf "%-16s" row_name;
+      List.iter
+        (fun app_name ->
+          let ours =
+            Stats.geomean
+              (List.map (fun d -> speedup_cell app_name den num d) Runner.all_devices)
+          in
+          let o, b, ob = List.assoc app_name Paper_data.table2 in
+          let ref_v = select (o, b, ob) in
+          Printf.printf "  %5.3f (p %5.3f)" ours ref_v)
+        Paper_data.app_names;
+      print_newline ())
+    [
+      ("Optm over Base", Runner.Baseline, Runner.Optimized, fun (o, _, _) -> o);
+      ("Basic over Base", Runner.Baseline, Runner.Basic, fun (_, b, _) -> b);
+      ("Optm over Basic", Runner.Basic, Runner.Optimized, fun (_, _, ob) -> ob);
+    ];
+  print_newline ()

@@ -1,0 +1,36 @@
+(* Benchmark harness entry point.
+
+   Usage: main.exe [experiment ...]
+   Experiments: fig3 fig4 fig6 tab1 tab2 ablate micro
+   With no argument, everything runs in paper order. *)
+
+let experiments =
+  [
+    ("fig3", Exp_fig3.run);
+    ("fig4", Exp_fig4.run);
+    ("fig6", Exp_fig6.run);
+    ("fig6-csv", Exp_fig6.run_csv);
+    ("tab1", Exp_tables.tab1);
+    ("tab2", Exp_tables.tab2);
+    ("ablate", Exp_ablate.run);
+    ("eventsim", Exp_eventsim.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ ->
+      (* Everything except the CSV variant, which exists for piping. *)
+      List.filter (fun n -> n <> "fig6-csv") (List.map fst experiments)
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested

@@ -1,0 +1,90 @@
+(* Bechamel micro-benchmarks of the compiler itself (not a paper table):
+   Stoer-Wagner min cut, Algorithm 1 end-to-end, the fusion transform,
+   and DSL parsing.  One Test.make per subject, all in one executable. *)
+
+open Bechamel
+open Toolkit
+
+module F = Kfuse_fusion
+module Wgraph = Kfuse_graph.Wgraph
+module Sw = Kfuse_graph.Stoer_wagner
+module Iset = Kfuse_util.Iset
+
+(* A reproducible random connected weighted graph with [n] vertices. *)
+let random_wgraph n seed =
+  let rng = Kfuse_util.Rng.create seed in
+  let g = ref Wgraph.empty in
+  for i = 1 to n - 1 do
+    g := Wgraph.add_edge !g (Kfuse_util.Rng.int rng i) i (1.0 +. Kfuse_util.Rng.float rng 9.0)
+  done;
+  for _ = 1 to 2 * n do
+    let u = Kfuse_util.Rng.int rng n and v = Kfuse_util.Rng.int rng n in
+    if u <> v then g := Wgraph.add_edge !g u v (1.0 +. Kfuse_util.Rng.float rng 9.0)
+  done;
+  !g
+
+let mincut_test n =
+  let g = random_wgraph n 42 in
+  Test.make ~name:(Printf.sprintf "stoer_wagner/n=%d" n)
+    (Staged.stage (fun () -> ignore (Sw.min_cut g)))
+
+let harris = Kfuse_apps.Harris.pipeline ()
+
+let algorithm1_test =
+  Test.make ~name:"algorithm1/harris"
+    (Staged.stage (fun () -> ignore (F.Mincut_fusion.run Runner.config harris)))
+
+let transform_test =
+  let partition = F.Mincut_fusion.partition Runner.config harris in
+  Test.make ~name:"transform/harris"
+    (Staged.stage (fun () -> ignore (F.Transform.apply harris partition)))
+
+let benefit_test =
+  Test.make ~name:"benefit/harris-edges"
+    (Staged.stage (fun () -> ignore (F.Benefit.all_edges Runner.config harris)))
+
+let dsl_src =
+  {|pipeline edges(img) {
+      size 2048 2048
+      gx = conv(img, sobelx, clamp)
+      gy = conv(img, sobely, clamp)
+      mag = sqrt(gx*gx + gy*gy)
+    }|}
+
+let dsl_test =
+  Test.make ~name:"dsl/parse+elaborate"
+    (Staged.stage (fun () ->
+         match Kfuse_dsl.Elaborate.parse_pipeline dsl_src with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let codegen_test =
+  Test.make ~name:"codegen/harris"
+    (Staged.stage (fun () -> ignore (Kfuse_codegen.Lower.emit_pipeline harris)))
+
+let tests =
+  Test.make_grouped ~name:"kfuse"
+    [
+      mincut_test 8; mincut_test 32; mincut_test 128; algorithm1_test; transform_test;
+      benefit_test; dsl_test; codegen_test;
+    ]
+
+let run () =
+  print_endline "=== micro: Bechamel benchmarks of the compiler itself ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Printf.printf "  %-28s %12.1f ns/run\n" name t
+      | Some [] | None -> Printf.printf "  %-28s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()

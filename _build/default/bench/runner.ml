@@ -1,0 +1,66 @@
+(* Shared plumbing for the experiment harness: build each application's
+   three implementations (baseline / basic / optimized, as in Section V-C)
+   and measure them on each GPU model. *)
+
+module F = Kfuse_fusion
+module G = Kfuse_gpu
+module Ir = Kfuse_ir
+module Iset = Kfuse_util.Iset
+module Stats = Kfuse_util.Stats
+
+let config = F.Config.default
+
+type impl = Baseline | Basic | Optimized
+
+let impl_names = [ (Baseline, "baseline"); (Basic, "basic"); (Optimized, "optimized") ]
+
+let strategy_of_impl = function
+  | Baseline -> F.Driver.Baseline
+  | Basic -> F.Driver.Basic
+  | Optimized -> F.Driver.Mincut
+
+let quality_of_impl = function
+  | Baseline | Optimized -> G.Perf_model.Optimized
+  | Basic -> G.Perf_model.Basic_codegen
+
+let fused_names (p : Ir.Pipeline.t) (r : F.Driver.report) =
+  List.filter_map
+    (fun b ->
+      if Iset.cardinal b >= 2 then
+        Some
+          (Ir.Pipeline.kernel p (Iset.min_elt (F.Legality.block_sinks p b))).Ir.Kernel.name
+      else None)
+    r.F.Driver.partition
+
+(* Measurements are cached per (app, impl, device): fig6, tab1 and tab2
+   all read the same cells. *)
+let cache : (string * string * string, G.Sim.measurement) Hashtbl.t = Hashtbl.create 64
+
+let measure ?(runs = 500) (app : Kfuse_apps.Registry.entry) impl (device : G.Device.t) =
+  let impl_name = List.assoc impl impl_names in
+  let key = (app.Kfuse_apps.Registry.name, impl_name, device.G.Device.name) in
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+    let p = app.Kfuse_apps.Registry.pipeline () in
+    let r = F.Driver.run config (strategy_of_impl impl) p in
+    let m =
+      G.Sim.measure ~runs device ~quality:(quality_of_impl impl)
+        ~fused_kernels:(fused_names p r) r.F.Driver.fused
+    in
+    Hashtbl.replace cache key m;
+    m
+
+let median app impl device = (measure app impl device).G.Sim.summary.Stats.median
+
+let speedup app num den device = median app den device /. median app num device
+
+let app entry_name =
+  match Kfuse_apps.Registry.find entry_name with
+  | Some e -> e
+  | None -> failwith ("unknown app " ^ entry_name)
+
+let all_apps = Kfuse_apps.Registry.all
+let all_devices = G.Device.all
+
+let hrule width = String.make width '-'

@@ -1,0 +1,438 @@
+(* kfusec: command-line driver for the kernel-fusion compiler.
+
+   Subcommands:
+     list      - list built-in benchmark applications
+     fuse      - run a fusion strategy and print the report
+     emit      - emit CUDA or C+OpenMP for a pipeline (fused or not)
+     estimate  - estimate execution times / speedups on a GPU model
+     run       - execute a pipeline on a PGM image via the interpreter
+     dsl-check - parse and validate a DSL file *)
+
+module F = Kfuse_fusion
+module G = Kfuse_gpu
+module Ir = Kfuse_ir
+module Iset = Kfuse_util.Iset
+module Stats = Kfuse_util.Stats
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_pipeline ~app ~file =
+  match (app, file) with
+  | Some name, None -> (
+    match Kfuse_apps.Registry.find name with
+    | Some e -> Ok (e.Kfuse_apps.Registry.pipeline ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown application %S (try: %s)" name
+           (String.concat ", " Kfuse_apps.Registry.names)))
+  | None, Some path -> (
+    match Kfuse_dsl.Elaborate.parse_pipeline (read_file path) with
+    | Ok p -> Ok p
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | Some _, Some _ -> Error "pass either --app or a FILE, not both"
+  | None, None -> Error "pass --app NAME or a DSL FILE"
+
+let strategy_conv =
+  let parse s =
+    match F.Driver.strategy_of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (F.Driver.strategy_to_string s) in
+  Arg.conv (parse, print)
+
+let device_conv =
+  let parse s =
+    match G.Device.find s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown device %S (gtx745, gtx680, k20c)" s))
+  in
+  let print ppf (d : G.Device.t) = Format.pp_print_string ppf d.G.Device.name in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(value & opt (some string) None & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Built-in application name.")
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pipeline DSL file.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv F.Driver.Mincut
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Fusion strategy: baseline, basic, greedy, or mincut.")
+
+let cmshared_arg =
+  Arg.(
+    value
+    & opt float F.Config.default.F.Config.c_mshared
+    & info [ "c-mshared" ] ~docv:"RATIO" ~doc:"Shared-memory growth threshold of Eq. 2.")
+
+let gamma_arg =
+  Arg.(
+    value
+    & opt float F.Config.default.F.Config.gamma
+    & info [ "gamma" ] ~docv:"CYCLES" ~doc:"Extra per-fusion gain term of Eq. 12.")
+
+let tg_arg =
+  Arg.(
+    value
+    & opt float F.Config.default.F.Config.tg
+    & info [ "tg" ] ~docv:"CYCLES" ~doc:"Global-memory latency used by the benefit model.")
+
+let config_of ~c_mshared ~gamma ~tg =
+  { F.Config.default with F.Config.c_mshared; gamma; tg }
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the simplify and CSE cleanup passes over fused kernels.")
+
+let inline_arg =
+  Arg.(
+    value & flag
+    & info [ "inline" ]
+        ~doc:"Run the producer-inlining pre-pass (eliminates cheap shared \
+              intermediates the partition model must keep).")
+
+let distribute_arg =
+  Arg.(
+    value & flag
+    & info [ "distribute" ]
+        ~doc:"Split separable convolutions into 1-D passes before fusing \
+              (kernel distribution, the paper's future work).")
+
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (function
+        | "cuda" -> Ok `Cuda
+        | "cpu" | "c" | "openmp" -> Ok `Cpu
+        | s -> Error (`Msg (Printf.sprintf "unknown backend %S (cuda, cpu)" s))),
+        fun ppf b ->
+          Format.pp_print_string ppf (match b with `Cuda -> "cuda" | `Cpu -> "cpu") )
+  in
+  Arg.(
+    value
+    & opt backend_conv `Cuda
+    & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc:"Code generator: cuda or cpu (C + OpenMP).")
+
+let fused_kernel_names (p : Ir.Pipeline.t) (r : F.Driver.report) =
+  List.filter_map
+    (fun b ->
+      if Iset.cardinal b >= 2 then
+        Some (Ir.Pipeline.kernel p (Iset.min_elt (F.Legality.block_sinks p b))).Ir.Kernel.name
+      else None)
+    r.F.Driver.partition
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let doc = "List the built-in benchmark applications." in
+  let run () =
+    List.iter
+      (fun (e : Kfuse_apps.Registry.entry) ->
+        let p = e.Kfuse_apps.Registry.pipeline () in
+        Format.printf "%-10s %d kernels, %dx%dx%d  %s@." e.name
+          (Ir.Pipeline.num_kernels p) p.Ir.Pipeline.width p.Ir.Pipeline.height
+          p.Ir.Pipeline.channels e.description)
+      Kfuse_apps.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- fuse ---- *)
+
+let fuse_cmd =
+  let doc = "Run a fusion strategy and print the partition report." in
+  let run app file strategy c_mshared gamma tg inline distribute =
+    match load_pipeline ~app ~file with
+    | Error e ->
+      Format.eprintf "kfusec: %s@." e;
+      1
+    | Ok p ->
+      let config = config_of ~c_mshared ~gamma ~tg in
+      let p, split =
+        if distribute then F.Distribute.split_all p else (p, [])
+      in
+      if split <> [] then
+        Format.printf "distributed: %s@." (String.concat ", " split);
+      let r = F.Driver.run ~inline config strategy p in
+      Format.printf "%a@." F.Driver.pp_report r;
+      0
+  in
+  Cmd.v
+    (Cmd.info "fuse" ~doc)
+    Term.(
+      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
+      $ inline_arg $ distribute_arg)
+
+(* ---- emit ---- *)
+
+let emit_cmd =
+  let doc = "Emit CUDA or C+OpenMP source for a pipeline after fusion." in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run app file strategy c_mshared gamma tg optimize backend output =
+    match load_pipeline ~app ~file with
+    | Error e ->
+      Format.eprintf "kfusec: %s@." e;
+      1
+    | Ok p ->
+      let config = config_of ~c_mshared ~gamma ~tg in
+      let r = F.Driver.run ~optimize config strategy p in
+      let source =
+        match backend with
+        | `Cuda -> Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused
+        | `Cpu -> Kfuse_codegen.Lower_cpu.emit_pipeline r.F.Driver.fused
+      in
+      (match output with
+      | None -> print_string source
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc source);
+        Format.printf "wrote %s (%d kernels)@." path (Ir.Pipeline.num_kernels r.F.Driver.fused));
+      0
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc)
+    Term.(
+      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
+      $ optimize_arg $ backend_arg $ output_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let doc = "Execute a pipeline on a PGM image with the reference interpreter." in
+  let input_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE.pgm" ~doc:"Input image (P2/P5 graymap).")
+  in
+  let output_arg =
+    Arg.(
+      value & opt string "out.pgm"
+      & info [ "o"; "output" ] ~docv:"FILE.pgm"
+          ~doc:"Output image path (multi-output pipelines add the kernel name).")
+  in
+  let run app file strategy c_mshared gamma tg input output =
+    match load_pipeline ~app ~file with
+    | Error e ->
+      Format.eprintf "kfusec: %s@." e;
+      1
+    | Ok p -> (
+      match p.Ir.Pipeline.inputs with
+      | [ input_name ] -> (
+        let img = Kfuse_image.Pgm.read input in
+        let p =
+          (* Re-elaborate at the image's size so any pipeline fits any
+             input: rebuild with the same kernels. *)
+          Ir.Pipeline.create ~name:p.Ir.Pipeline.name
+            ~width:(Kfuse_image.Image.width img)
+            ~height:(Kfuse_image.Image.height img)
+            ~channels:p.Ir.Pipeline.channels ~params:p.Ir.Pipeline.params
+            ~inputs:p.Ir.Pipeline.inputs
+            (Array.to_list p.Ir.Pipeline.kernels)
+        in
+        let config = config_of ~c_mshared ~gamma ~tg in
+        let r = F.Driver.run config strategy p in
+        let env = Ir.Eval.env_of_list [ (input_name, img) ] in
+        let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
+        match outs with
+        | [ (_, result) ] ->
+          Kfuse_image.Pgm.write output result;
+          Format.printf "wrote %s (%dx%d, %d fused kernels)@." output
+            (Kfuse_image.Image.width result)
+            (Kfuse_image.Image.height result)
+            (Ir.Pipeline.num_kernels r.F.Driver.fused);
+          0
+        | many ->
+          List.iter
+            (fun (name, result) ->
+              let path =
+                Printf.sprintf "%s.%s.pgm" (Filename.remove_extension output) name
+              in
+              Kfuse_image.Pgm.write path result;
+              Format.printf "wrote %s@." path)
+            many;
+          0)
+      | inputs ->
+        Format.eprintf "kfusec: run supports single-input pipelines (found %d inputs)@."
+          (List.length inputs);
+        1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
+      $ input_arg $ output_arg)
+
+(* ---- estimate ---- *)
+
+let estimate_cmd =
+  let doc = "Estimate execution time on a GPU model, per strategy." in
+  let device_arg =
+    Arg.(
+      value
+      & opt device_conv G.Device.gtx680
+      & info [ "d"; "device" ] ~docv:"DEVICE" ~doc:"GPU model: gtx745, gtx680, or k20c.")
+  in
+  let run app file device c_mshared gamma tg =
+    match load_pipeline ~app ~file with
+    | Error e ->
+      Format.eprintf "kfusec: %s@." e;
+      1
+    | Ok p ->
+      let config = config_of ~c_mshared ~gamma ~tg in
+      Format.printf "pipeline %s on %a@." p.Ir.Pipeline.name G.Device.pp device;
+      let results =
+        List.map
+          (fun s ->
+            let r = F.Driver.run config s p in
+            let quality =
+              match s with
+              | F.Driver.Basic -> G.Perf_model.Basic_codegen
+              | F.Driver.Baseline | F.Driver.Greedy | F.Driver.Mincut ->
+                G.Perf_model.Optimized
+            in
+            let m =
+              G.Sim.measure device ~quality ~fused_kernels:(fused_kernel_names p r)
+                r.F.Driver.fused
+            in
+            (s, r, m))
+          F.Driver.all_strategies
+      in
+      let baseline =
+        List.find_map
+          (fun (s, _, m) -> if s = F.Driver.Baseline then Some m else None)
+          results
+      in
+      List.iter
+        (fun (s, r, m) ->
+          Format.printf "  %-9s %2d kernels  median %8.3f ms  speedup %.3f@."
+            (F.Driver.strategy_to_string s)
+            (Ir.Pipeline.num_kernels r.F.Driver.fused)
+            m.G.Sim.summary.Stats.median
+            (match baseline with Some b -> G.Sim.speedup b m | None -> 1.0))
+        results;
+      0
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc)
+    Term.(const run $ app_arg $ file_arg $ device_arg $ cmshared_arg $ gamma_arg $ tg_arg)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let doc = "Narrate every fusion decision for a pipeline." in
+  let run app file c_mshared gamma tg =
+    match load_pipeline ~app ~file with
+    | Error e ->
+      Format.eprintf "kfusec: %s@." e;
+      1
+    | Ok p ->
+      print_string (F.Explain.report (config_of ~c_mshared ~gamma ~tg) p);
+      0
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(const run $ app_arg $ file_arg $ cmshared_arg $ gamma_arg $ tg_arg)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let doc = "Render a pipeline DAG as Graphviz DOT, with the fusion partition." in
+  let weights_arg =
+    Arg.(
+      value & flag
+      & info [ "w"; "weights" ] ~doc:"Label edges with the benefit-model weights.")
+  in
+  let run app file strategy c_mshared gamma tg weights =
+    match load_pipeline ~app ~file with
+    | Error e ->
+      Format.eprintf "kfusec: %s@." e;
+      1
+    | Ok p ->
+      let config = config_of ~c_mshared ~gamma ~tg in
+      let r = F.Driver.run config strategy p in
+      let edge_labels =
+        if weights then
+          Some (fun u v -> Some (Printf.sprintf "%.3g" (F.Benefit.edge_weight config p u v)))
+        else None
+      in
+      print_string
+        (Kfuse_codegen.Dot.emit ~partition:r.F.Driver.partition ?edge_labels p);
+      0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc)
+    Term.(
+      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
+      $ weights_arg)
+
+(* ---- unparse ---- *)
+
+let unparse_cmd =
+  let doc = "Print a built-in application as DSL source text." in
+  let app_required =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Built-in application name.")
+  in
+  let run app =
+    match Kfuse_apps.Registry.find app with
+    | None ->
+      Format.eprintf "kfusec: unknown application %S@." app;
+      1
+    | Some e -> (
+      match Kfuse_dsl.Unparse.pipeline (e.Kfuse_apps.Registry.pipeline ()) with
+      | Ok text ->
+        print_string text;
+        0
+      | Error reason ->
+        Format.eprintf "kfusec: cannot unparse: %s@." reason;
+        1)
+  in
+  Cmd.v (Cmd.info "unparse" ~doc) Term.(const run $ app_required)
+
+(* ---- dsl-check ---- *)
+
+let dsl_check_cmd =
+  let doc = "Parse and validate a pipeline DSL file." in
+  let file_required =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pipeline DSL file.")
+  in
+  let run path =
+    match Kfuse_dsl.Elaborate.parse_pipeline (read_file path) with
+    | Ok p ->
+      Format.printf "%s: OK (%d kernels, %dx%dx%d)@." path (Ir.Pipeline.num_kernels p)
+        p.Ir.Pipeline.width p.Ir.Pipeline.height p.Ir.Pipeline.channels;
+      0
+    | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      1
+  in
+  Cmd.v (Cmd.info "dsl-check" ~doc) Term.(const run $ file_required)
+
+let main =
+  let doc = "min-cut kernel fusion for image-processing pipelines (CGO 2019 reproduction)" in
+  Cmd.group
+    (Cmd.info "kfusec" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
+      unparse_cmd; dsl_check_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

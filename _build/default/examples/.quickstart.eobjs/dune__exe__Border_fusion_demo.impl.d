@@ -1,0 +1,1 @@
+examples/border_fusion_demo.ml: Format Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List

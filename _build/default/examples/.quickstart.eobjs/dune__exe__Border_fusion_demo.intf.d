@@ -1,0 +1,1 @@
+examples/border_fusion_demo.mli:

@@ -1,0 +1,1 @@
+examples/dsl_tour.ml: Format Kfuse_codegen Kfuse_dsl Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List

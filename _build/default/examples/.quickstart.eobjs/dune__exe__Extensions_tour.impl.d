@@ -1,0 +1,1 @@
+examples/extensions_tour.ml: Format Kfuse_codegen Kfuse_fusion Kfuse_gpu Kfuse_image Kfuse_ir Kfuse_util List String

@@ -1,0 +1,1 @@
+examples/extensions_tour.mli:

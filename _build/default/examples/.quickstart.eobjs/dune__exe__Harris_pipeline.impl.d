@@ -1,0 +1,1 @@
+examples/harris_pipeline.ml: Array Format Kfuse_apps Kfuse_fusion Kfuse_ir Kfuse_util List String

@@ -1,0 +1,1 @@
+examples/harris_pipeline.mli:

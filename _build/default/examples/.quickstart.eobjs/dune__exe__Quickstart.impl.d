@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Kfuse_fusion Kfuse_gpu Kfuse_image Kfuse_ir Kfuse_util List

@@ -1,0 +1,46 @@
+(* The paper's worked example (Section III-B, Figure 3): the Harris
+   corner detector.  Shows the benefit model assigning the weights
+   328 / 328 / 256 to the three legal point-to-local edges, then the
+   recursive min-cut iterations arriving at the partition
+   {dx} {dy} {sx,gx} {sy,gy} {sxy,gxy} {hc}.
+
+   Run with: dune exec examples/harris_pipeline.exe *)
+
+module F = Kfuse_fusion
+module Ir = Kfuse_ir
+module Iset = Kfuse_util.Iset
+
+let () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  let config = F.Config.default in
+  let name i = (Ir.Pipeline.kernel p i).Ir.Kernel.name in
+
+  Format.printf "== Edge weights (benefit model, Section II-C) ==@.";
+  List.iter
+    (fun (r : F.Benefit.edge_report) ->
+      Format.printf "  %-4s -> %-4s  %-15s delta=%7.1f  phi=%6.1f  w=%8.3f@."
+        (name r.src) (name r.dst)
+        (F.Benefit.scenario_to_string r.scenario)
+        r.delta r.phi r.weight)
+    (F.Benefit.all_edges config p);
+
+  Format.printf "@.== Algorithm 1: recursive min-cut partitioning ==@.";
+  let result = F.Mincut_fusion.run config p in
+  List.iter
+    (fun step -> Format.printf "  %a@." (F.Mincut_fusion.pp_step p) step)
+    result.F.Mincut_fusion.steps;
+
+  Format.printf "@.final partition:";
+  List.iter
+    (fun b ->
+      Format.printf " {%s}" (String.concat "," (List.map name (Iset.elements b))))
+    result.F.Mincut_fusion.partition;
+  Format.printf "@.objective beta = %.3f@.@." result.F.Mincut_fusion.objective;
+
+  (* Apply the transform and show the shrunken pipeline. *)
+  let fused = F.Transform.apply p result.F.Mincut_fusion.partition in
+  Format.printf "kernels before: %d, after fusion: %d (%s)@."
+    (Ir.Pipeline.num_kernels p) (Ir.Pipeline.num_kernels fused)
+    (String.concat ", "
+       (Array.to_list fused.Ir.Pipeline.kernels
+       |> List.map (fun (k : Ir.Kernel.t) -> k.Ir.Kernel.name)))

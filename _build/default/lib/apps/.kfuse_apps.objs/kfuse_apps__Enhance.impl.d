@@ -1,0 +1,1 @@
+lib/apps/enhance.ml: Kfuse_image Kfuse_ir List

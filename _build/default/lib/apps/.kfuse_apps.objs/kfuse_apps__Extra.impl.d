@@ -1,0 +1,1 @@
+lib/apps/extra.ml: Array Kfuse_image Kfuse_ir List Night Printf

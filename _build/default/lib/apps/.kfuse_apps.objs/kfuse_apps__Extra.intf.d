@@ -1,0 +1,1 @@
+lib/apps/extra.mli: Kfuse_ir

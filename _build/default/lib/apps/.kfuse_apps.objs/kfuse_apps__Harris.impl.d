@@ -1,0 +1,1 @@
+lib/apps/harris.ml: Kfuse_image Kfuse_ir

@@ -1,0 +1,1 @@
+lib/apps/night.ml: Kfuse_image Kfuse_ir List Stdlib

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Enhance Harris Kfuse_ir List Night Shitomasi Sobel String Unsharp

@@ -1,0 +1,1 @@
+lib/apps/registry.mli: Kfuse_ir

@@ -1,0 +1,1 @@
+lib/apps/shitomasi.ml: Kfuse_image Kfuse_ir

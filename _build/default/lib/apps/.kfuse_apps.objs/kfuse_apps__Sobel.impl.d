@@ -1,0 +1,1 @@
+lib/apps/sobel.ml: Kfuse_image Kfuse_ir

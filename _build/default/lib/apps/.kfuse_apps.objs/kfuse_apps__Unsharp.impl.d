@@ -1,0 +1,1 @@
+lib/apps/unsharp.ml: Kfuse_image Kfuse_ir

@@ -1,0 +1,125 @@
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+(* The classic 19-exchange median-of-9 network (each pair (i, j) replaces
+   element i with the min and element j with the max); the median ends up
+   at index 4. *)
+let median9_network =
+  [ (1, 2); (4, 5); (7, 8); (0, 1); (3, 4); (6, 7); (1, 2); (4, 5); (7, 8);
+    (0, 3); (5, 8); (4, 7); (3, 6); (1, 4); (2, 5); (4, 7); (4, 2); (6, 4);
+    (4, 2) ]
+
+let median9 taps =
+  if List.length taps <> 9 then invalid_arg "Extra.median9: need exactly 9 taps";
+  (* Elements are always variables, so min/max pairs duplicate only Vars;
+     every exchange output gets its own register. *)
+  let counter = ref 0 in
+  let bindings = ref [] in
+  let bind e =
+    incr counter;
+    let v = Printf.sprintf "rank_%d" !counter in
+    bindings := (v, e) :: !bindings;
+    Expr.var v
+  in
+  let values = Array.of_list (List.map bind taps) in
+  List.iter
+    (fun (i, j) ->
+      let lo = bind (Expr.min values.(i) values.(j)) in
+      let hi = bind (Expr.max values.(i) values.(j)) in
+      values.(i) <- lo;
+      values.(j) <- hi)
+    median9_network;
+  List.fold_left
+    (fun acc (v, e) -> Expr.Let { var = v; value = e; body = acc })
+    values.(4) !bindings
+
+let default_width = 2048
+let default_height = 2048
+
+let median_pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let taps =
+    List.concat_map
+      (fun dy -> List.map (fun dx -> Expr.input ~border ~dx ~dy "in") [ -1; 0; 1 ])
+      [ -1; 0; 1 ]
+  in
+  let median = Kernel.map ~name:"median" ~inputs:[ "in" ] (median9 taps) in
+  let contrast =
+    let open Expr in
+    Kernel.map ~name:"contrast" ~inputs:[ "median" ]
+      (clamp01 ((input "median" - const 0.5) * param "gain" + const 0.5))
+  in
+  Pipeline.create ~name:"median" ~width ~height ~params:[ ("gain", 1.4) ]
+    ~inputs:[ "in" ] [ median; contrast ]
+
+let canny_lite_pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let dx = Kernel.map ~name:"dx" ~inputs:[ "in" ] (conv ~border Mask.sobel_x "in") in
+  let dy = Kernel.map ~name:"dy" ~inputs:[ "in" ] (conv ~border Mask.sobel_y "in") in
+  let mag =
+    Kernel.map ~name:"mag" ~inputs:[ "dx"; "dy" ]
+      (sqrt ((input "dx" * input "dx") + (input "dy" * input "dy")))
+  in
+  let ridge =
+    (* Keep a pixel only when it is at least as strong as its 4-neighbors
+       (a direction-free stand-in for non-maximum suppression). *)
+    let neighbors =
+      max
+        (max (input ~border ~dx:(-1) "mag") (input ~border ~dx:1 "mag"))
+        (max (input ~border ~dy:(-1) "mag") (input ~border ~dy:1 "mag"))
+    in
+    Kernel.map ~name:"ridge" ~inputs:[ "mag" ]
+      (let_ "m" (input "mag")
+         (select Expr.Lt (var "m") neighbors (const 0.0) (var "m")))
+  in
+  let edges =
+    (* Double threshold: strong edges 1.0, weak 0.5, rest 0. *)
+    Kernel.map ~name:"edges" ~inputs:[ "ridge" ]
+      (select Expr.Lt (input "ridge") (param "lo") (const 0.0)
+         (select Expr.Lt (input "ridge") (param "hi") (const 0.5) (const 1.0)))
+  in
+  Pipeline.create ~name:"canny_lite" ~width ~height
+    ~params:[ ("lo", 0.2); ("hi", 0.6) ]
+    ~inputs:[ "in" ] [ dx; dy; mag; ridge; edges ]
+
+let night_rgb_pipeline ?(width = 1920) ?(height = 1200) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let atrous plane step src =
+    Kernel.map
+      ~name:(Printf.sprintf "atrous%d_%s" step plane)
+      ~inputs:[ src ]
+      (Night.atrous_body ~border ~step src)
+  in
+  let per_plane plane =
+    let a0 = atrous plane 1 plane in
+    let a1 = atrous plane 2 (Printf.sprintf "atrous1_%s" plane) in
+    (a0, a1)
+  in
+  let r0, r1 = per_plane "r" and g0, g1 = per_plane "g" and b0, b1 = per_plane "b" in
+  (* Scotopic luminance from the denoised planes (Rec. 709 weights). *)
+  let lum =
+    Kernel.map ~name:"lum" ~inputs:[ "atrous2_r"; "atrous2_g"; "atrous2_b" ]
+      ((const 0.2126 * input "atrous2_r")
+      + (const 0.7152 * input "atrous2_g")
+      + (const 0.0722 * input "atrous2_b"))
+  in
+  (* Per-plane mesopic blend towards the blue-shifted night tint, driven
+     by the shared luminance. *)
+  let scoto plane tint =
+    Kernel.map
+      ~name:("scoto_" ^ plane)
+      ~inputs:[ Printf.sprintf "atrous2_%s" plane; "lum" ]
+      (let_ "m"
+         (clamp01 (const 1.0 - exp (neg (input "lum" / const 0.12))))
+         ((var "m" * input (Printf.sprintf "atrous2_%s" plane))
+         + ((const 1.0 - var "m") * const tint * input "lum")))
+  in
+  Pipeline.create ~name:"night_rgb" ~width ~height ~inputs:[ "r"; "g"; "b" ]
+    [
+      r0; r1; g0; g1; b0; b1; lum; scoto "r" 0.6; scoto "g" 0.8; scoto "b" 1.1;
+    ]

@@ -1,0 +1,33 @@
+(** Additional pipelines beyond the paper's six benchmarks.
+
+    These exercise IR corners the paper's applications do not: the median
+    filter is a pure min/max sorting network (heavy ALU, [Let]-bound
+    intermediate ranks), and the Canny-lite edge chain stacks a
+    point-to-local fusion boundary on top of the Sobel subgraph plus
+    [select]-based thresholding. *)
+
+(** [median9 ?border taps] is the median of nine expressions, computed by
+    the classic 19-exchange sorting network, each exchange bound to
+    registers.  Exposed for testing and for building median kernels over
+    arbitrary windows.  [taps] must have exactly 9 elements.
+    @raise Invalid_argument otherwise. *)
+val median9 : Kfuse_ir.Expr.t list -> Kfuse_ir.Expr.t
+
+(** [median_pipeline ?width ?height ()] is a two-kernel pipeline: a 3x3
+    median filter (the paper's Section II-C.1 names median filtering as a
+    local-operator example) followed by a contrast point kernel. *)
+val median_pipeline : ?width:int -> ?height:int -> unit -> Kfuse_ir.Pipeline.t
+
+(** [canny_lite_pipeline ?width ?height ()] is a five-kernel edge
+    detector: Sobel derivatives, gradient magnitude, ridge suppression (a
+    local maximum test against the 4-neighborhood), and a hysteresis-like
+    double threshold. *)
+val canny_lite_pipeline : ?width:int -> ?height:int -> unit -> Kfuse_ir.Pipeline.t
+
+(** [night_rgb_pipeline ?width ?height ()] is an explicit three-plane
+    variant of the Night filter (ten kernels over inputs [r], [g], [b]):
+    per-plane a-trous passes, a cross-channel scotopic luminance, and a
+    per-plane tone blend.  The paper's Night benchmark models RGB as
+    three independent planes; this variant exercises fusion across a DAG
+    with genuine cross-channel edges instead. *)
+val night_rgb_pipeline : ?width:int -> ?height:int -> unit -> Kfuse_ir.Pipeline.t

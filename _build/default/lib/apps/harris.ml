@@ -1,0 +1,41 @@
+(** Harris corner detector (Section III-B and Figure 3 of the paper).
+
+    Nine kernels, ten edges: [dx, dy] are 3x3 local derivative operators;
+    [sx, sy, sxy] square/multiply the derivatives pointwise; [gx, gy,
+    gxy] approximate a Gaussian smoothing of the squared derivatives; the
+    point kernel [hc] computes the corner response
+    [det(M) - k * trace(M)^2]. *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let default_width = 2048
+let default_height = 2048
+
+(** [pipeline ?width ?height ()] is the Harris pipeline; defaults to the
+    paper's 2048x2048 iteration space. *)
+let pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let dx = Kernel.map ~name:"dx" ~inputs:[ "in" ] (conv ~border Mask.sobel_x "in") in
+  let dy = Kernel.map ~name:"dy" ~inputs:[ "in" ] (conv ~border Mask.sobel_y "in") in
+  let sx = Kernel.map ~name:"sx" ~inputs:[ "dx" ] (input "dx" * input "dx") in
+  let sy = Kernel.map ~name:"sy" ~inputs:[ "dy" ] (input "dy" * input "dy") in
+  let sxy = Kernel.map ~name:"sxy" ~inputs:[ "dx"; "dy" ] (input "dx" * input "dy") in
+  let gx = Kernel.map ~name:"gx" ~inputs:[ "sx" ] (conv ~border Mask.gaussian_3x3 "sx") in
+  let gy = Kernel.map ~name:"gy" ~inputs:[ "sy" ] (conv ~border Mask.gaussian_3x3 "sy") in
+  let gxy =
+    Kernel.map ~name:"gxy" ~inputs:[ "sxy" ] (conv ~border Mask.gaussian_3x3 "sxy")
+  in
+  let hc =
+    let det = (input "gx" * input "gy") - (input "gxy" * input "gxy") in
+    let trace = input "gx" + input "gy" in
+    Kernel.map ~name:"hc" ~inputs:[ "gx"; "gy"; "gxy" ]
+      (det - (param "k" * trace * trace))
+  in
+  Pipeline.create ~name:"harris" ~width ~height ~params:[ ("k", 0.04) ]
+    ~inputs:[ "in" ]
+    [ dx; dy; sx; sy; sxy; gx; gy; gxy; hc ]

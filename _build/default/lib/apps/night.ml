@@ -1,0 +1,97 @@
+(** Night post-processing filter (Section V-B, after Jensen et al.'s
+    night rendering).
+
+    Three linearly dependent kernels on a 1920x1200 RGB image (planar,
+    [channels = 3]): [atrous0] and [atrous1] run the a-trous ("with
+    holes") algorithm twice (3x3, then a dilated 5x5) to approximate
+    bilateral filtering, and the point kernel [scoto] applies a scotopic
+    tone-mapping curve.
+
+    The two a-trous kernels are compute-heavy (the paper counts 68 ALU
+    operations in the Hipacc implementation; [scoto] uses 89), so the
+    benefit model finds the redundant-computation cost of the
+    local-to-local fusion [(atrous0, atrous1)] to outweigh the locality
+    gain and leaves them unfused; only the local-to-point pair
+    [(atrous1, scoto)] fuses.  This makes Night the paper's example of a
+    compute-bound pipeline that barely benefits (max speedup 1.02). *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Border = Kfuse_image.Border
+
+let default_width = 1920
+let default_height = 1200
+let default_channels = 3
+
+(* One a-trous level: an edge-stopping weighted average over a 3x3 tap
+   pattern dilated by [step].  Each tap contributes a rational range
+   weight 1 / (1 + (p - center)^2) scaled by its binomial spatial weight;
+   normalization uses a fixed constant so the expression stays a pure
+   weighted sum (the shape Hipacc generates after strength reduction). *)
+let atrous_body ~border ~step image =
+  let open Expr in
+  let center = input ~border image in
+  let spatial dx dy =
+    let w1 = if dx = 0 then 2.0 else 1.0 in
+    let w2 = if dy = 0 then 2.0 else 1.0 in
+    w1 *. w2 /. 16.0
+  in
+  let tap dx dy =
+    let p = input ~border ~dx:(Stdlib.( * ) dx step) ~dy:(Stdlib.( * ) dy step) image in
+    let d = p - center in
+    let range = const 1.0 / (const 1.0 + (d * d)) in
+    const (spatial dx dy) * range * p
+  in
+  let taps =
+    List.concat_map (fun dy -> List.map (fun dx -> tap dx dy) [ -1; 0; 1 ]) [ -1; 0; 1 ]
+  in
+  let sum = match taps with t :: rest -> List.fold_left ( + ) t rest | [] -> assert false in
+  (* Fixed normalization: the range weights are <= 1, the spatial weights
+     sum to 1; rescale towards unity gain. *)
+  const 1.6 * sum
+
+(* Scotopic tone mapping: a blend of rod and cone response curves, each a
+   polynomial in the input luminance (Horner form), mixed by a mesopic
+   blend factor.  Deliberately compute-heavy, matching the 89 ALU
+   operations the paper counts for the Hipacc Scoto kernel. *)
+let scoto_body image =
+  let open Expr in
+  let y = input image in
+  let horner coeffs =
+    match coeffs with
+    | [] -> const 0.0
+    | c0 :: rest -> List.fold_left (fun acc c -> (acc * y) + const c) (const c0) rest
+  in
+  let rod =
+    horner
+      [ 0.02; -0.11; 0.24; -0.31; 0.42; -0.27; 0.33; -0.18; 0.25; -0.12; 0.21;
+        -0.08; 0.17; -0.05; 0.13; -0.02; 0.09; 0.01; 0.05; 0.35 ]
+  in
+  let cone =
+    horner
+      [ 0.01; -0.07; 0.19; -0.26; 0.38; -0.22; 0.29; -0.15; 0.22; -0.09; 0.18;
+        -0.06; 0.14; -0.03; 0.11; -0.01; 0.07; 0.02; 0.04; 0.55 ]
+  in
+  (* Mesopic blend with an exponential rod falloff, plus a final gamma —
+     the transcendental tail every published tone-mapping curve has. *)
+  let blend = clamp01 (const 1.0 - exp (neg (y / const 0.12))) in
+  let night_tint = const 0.85 in
+  let mixed = night_tint * ((blend * cone) + ((const 1.0 - blend) * rod)) in
+  pow (max (const 0.0) mixed) (const 0.4545)
+
+(** [pipeline ?width ?height ?channels ()] is the Night pipeline;
+    defaults to the paper's 1920x1200 RGB (3 planes). *)
+let pipeline ?(width = default_width) ?(height = default_height)
+    ?(channels = default_channels) () =
+  let border = Border.Clamp in
+  let atrous0 =
+    Kernel.map ~name:"atrous0" ~inputs:[ "in" ] (atrous_body ~border ~step:1 "in")
+  in
+  let atrous1 =
+    Kernel.map ~name:"atrous1" ~inputs:[ "atrous0" ]
+      (atrous_body ~border ~step:2 "atrous0")
+  in
+  let scoto = Kernel.map ~name:"scoto" ~inputs:[ "atrous1" ] (scoto_body "atrous1") in
+  Pipeline.create ~name:"night" ~width ~height ~channels ~inputs:[ "in" ]
+    [ atrous0; atrous1; scoto ]

@@ -1,0 +1,39 @@
+(** Shi-Tomasi good-features-to-track extractor (Section V-B).
+
+    Same structural-matrix pipeline as Harris — both "involve the
+    computation on a Hermitian matrix but interpret the Eigenvalues in
+    different ways" — with the corner response replaced by the smaller
+    eigenvalue [((gx + gy) - sqrt((gx - gy)^2 + 4 gxy^2)) / 2]. *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let default_width = 2048
+let default_height = 2048
+
+(** [pipeline ?width ?height ()] is the Shi-Tomasi pipeline. *)
+let pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let dx = Kernel.map ~name:"dx" ~inputs:[ "in" ] (conv ~border Mask.sobel_x "in") in
+  let dy = Kernel.map ~name:"dy" ~inputs:[ "in" ] (conv ~border Mask.sobel_y "in") in
+  let sx = Kernel.map ~name:"sx" ~inputs:[ "dx" ] (input "dx" * input "dx") in
+  let sy = Kernel.map ~name:"sy" ~inputs:[ "dy" ] (input "dy" * input "dy") in
+  let sxy = Kernel.map ~name:"sxy" ~inputs:[ "dx"; "dy" ] (input "dx" * input "dy") in
+  let gx = Kernel.map ~name:"gx" ~inputs:[ "sx" ] (conv ~border Mask.gaussian_3x3 "sx") in
+  let gy = Kernel.map ~name:"gy" ~inputs:[ "sy" ] (conv ~border Mask.gaussian_3x3 "sy") in
+  let gxy =
+    Kernel.map ~name:"gxy" ~inputs:[ "sxy" ] (conv ~border Mask.gaussian_3x3 "sxy")
+  in
+  let st =
+    let sum = input "gx" + input "gy" in
+    let diff = input "gx" - input "gy" in
+    let discr = sqrt ((diff * diff) + (const 4.0 * input "gxy" * input "gxy")) in
+    Kernel.map ~name:"st" ~inputs:[ "gx"; "gy"; "gxy" ]
+      ((sum - discr) / const 2.0)
+  in
+  Pipeline.create ~name:"shitomasi" ~width ~height ~inputs:[ "in" ]
+    [ dx; dy; sx; sy; sxy; gx; gy; gxy; st ]

@@ -1,0 +1,29 @@
+(** Sobel edge filter (Section V-B).
+
+    "Uses two local operators to derive edge information along x- and
+    y-direction, which are then combined to produce the gradient
+    magnitude."  The combination kernel is a point operator, so the whole
+    three-kernel DAG is fusible under the optimized technique (a
+    local-to-point scenario with two parallel local sources) while the
+    basic technique rejects it. *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let default_width = 2048
+let default_height = 2048
+
+(** [pipeline ?width ?height ()] is the Sobel pipeline. *)
+let pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let dx = Kernel.map ~name:"dx" ~inputs:[ "in" ] (conv ~border Mask.sobel_x "in") in
+  let dy = Kernel.map ~name:"dy" ~inputs:[ "in" ] (conv ~border Mask.sobel_y "in") in
+  let mag =
+    Kernel.map ~name:"mag" ~inputs:[ "dx"; "dy" ]
+      (sqrt ((input "dx" * input "dx") + (input "dy" * input "dy")))
+  in
+  Pipeline.create ~name:"sobel" ~width ~height ~inputs:[ "in" ] [ dx; dy; mag ]

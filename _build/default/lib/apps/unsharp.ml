@@ -1,0 +1,44 @@
+(** Unsharp masking filter (Section V-B, after Ramponi's cubic unsharp
+    masking).
+
+    "The implementation consists of a local kernel that blurs the image
+    followed by three point kernels to amplify the high-frequency
+    components"; the DAG has the shape of Figure 2b — all four kernels
+    read the source image.  The basic technique regards the shared input
+    as an external dependence and rejects every pair; the optimized
+    technique fuses the whole pipeline into a single kernel, which is
+    where the paper's largest speedup (up to 3.4x) comes from. *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let default_width = 2048
+let default_height = 2048
+
+(** [pipeline ?width ?height ()] is the unsharp pipeline.  The sharpening
+    strength is the parameter ["lambda"] (default 0.6). *)
+let pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let blur =
+    Kernel.map ~name:"blur" ~inputs:[ "in" ] (conv ~border Mask.gaussian_3x3 "in")
+  in
+  let highfreq =
+    Kernel.map ~name:"highfreq" ~inputs:[ "in"; "blur" ] (input "in" - input "blur")
+  in
+  let cubic =
+    (* Cubic correction term: the high-frequency signal scaled by the
+       squared local intensity emphasizes detail in bright regions. *)
+    Kernel.map ~name:"cubic" ~inputs:[ "in"; "highfreq" ]
+      (input "in" * input "in" * input "highfreq")
+  in
+  let sharpened =
+    Kernel.map ~name:"sharpened" ~inputs:[ "in"; "cubic" ]
+      (input "in" + (param "lambda" * input "cubic"))
+  in
+  Pipeline.create ~name:"unsharp" ~width ~height ~params:[ ("lambda", 0.6) ]
+    ~inputs:[ "in" ]
+    [ blur; highfreq; cubic; sharpened ]

@@ -1,0 +1,1 @@
+lib/codegen/cuda_ast.ml:

@@ -1,0 +1,1 @@
+lib/codegen/dot.ml: Array Buffer Kfuse_graph Kfuse_ir Kfuse_util List Lower_common Printf String

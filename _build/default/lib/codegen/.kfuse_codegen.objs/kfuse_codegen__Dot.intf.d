@@ -1,0 +1,1 @@
+lib/codegen/dot.mli: Kfuse_graph Kfuse_ir

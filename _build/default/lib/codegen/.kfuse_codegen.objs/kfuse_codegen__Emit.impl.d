@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Cuda_ast Float Format List Printf String

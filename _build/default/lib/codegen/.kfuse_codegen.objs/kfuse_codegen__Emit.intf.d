@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Cuda_ast Format

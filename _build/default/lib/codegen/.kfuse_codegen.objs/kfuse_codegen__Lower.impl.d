@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Array Buffer Cuda_ast Emit Kfuse_ir List Lower_common Printf String

@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Cuda_ast Kfuse_ir

@@ -1,0 +1,1 @@
+lib/codegen/lower_common.ml: Array Cuda_ast Kfuse_image Kfuse_ir List Option Printf String

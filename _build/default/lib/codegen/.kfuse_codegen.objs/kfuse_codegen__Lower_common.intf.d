@@ -1,0 +1,1 @@
+lib/codegen/lower_common.mli: Cuda_ast Kfuse_image Kfuse_ir

@@ -1,0 +1,1 @@
+lib/codegen/lower_cpu.mli: Cuda_ast Kfuse_ir

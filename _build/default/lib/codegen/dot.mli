@@ -1,0 +1,16 @@
+(** Graphviz DOT rendering of pipeline DAGs.
+
+    Renders a pipeline in the style of the paper's Figure 3: kernels as
+    nodes (shaped by compute pattern), data dependences as edges, with
+    optional edge weights from the benefit model and optional partition
+    blocks drawn as colored clusters.  Feed the output to `dot -Tsvg`. *)
+
+(** [emit ?partition ?edge_labels pipeline] renders the DAG.
+    [partition] groups kernels into clusters (one color per block, blocks
+    of size 1 uncolored); [edge_labels] supplies a label per DAG edge
+    (e.g. benefit weights).  Unlabeled edges stay bare. *)
+val emit :
+  ?partition:Kfuse_graph.Partition.t ->
+  ?edge_labels:(int -> int -> string option) ->
+  Kfuse_ir.Pipeline.t ->
+  string

@@ -1,0 +1,60 @@
+open Cuda_ast
+
+let float_to_c f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1ff" f
+  else Printf.sprintf "%.9gf" f
+
+let rec expr ppf = function
+  | Int_lit i -> Format.pp_print_int ppf i
+  | Float_lit f -> Format.pp_print_string ppf (float_to_c f)
+  | Ident s -> Format.pp_print_string ppf s
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") expr)
+      args
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" expr a op expr b
+  | Unop (op, a) -> Format.fprintf ppf "(%s%a)" op expr a
+  | Ternary (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" expr c expr a expr b
+  | Index (a, i) -> Format.fprintf ppf "%a[%a]" expr a expr i
+
+let rec stmt_indent ppf (ind, s) =
+  let pad = String.make ind ' ' in
+  match s with
+  | Decl { ctype; name; init = None } -> Format.fprintf ppf "%s%s %s;@," pad ctype name
+  | Decl { ctype; name; init = Some e } ->
+    Format.fprintf ppf "%s%s %s = %a;@," pad ctype name expr e
+  | Assign (lhs, rhs) -> Format.fprintf ppf "%s%a = %a;@," pad expr lhs expr rhs
+  | Expr_stmt e -> Format.fprintf ppf "%s%a;@," pad expr e
+  | Return -> Format.fprintf ppf "%sreturn;@," pad
+  | Comment c -> Format.fprintf ppf "%s// %s@," pad c
+  | Pragma text -> Format.fprintf ppf "%s#pragma %s@," pad text
+  | For { var; from_; below; step; body } ->
+    if step = 1 then
+      Format.fprintf ppf "%sfor (int %s = %a; %s < %a; ++%s) {@," pad var expr from_ var
+        expr below var
+    else
+      Format.fprintf ppf "%sfor (int %s = %a; %s < %a; %s += %d) {@," pad var expr from_
+        var expr below var step;
+    List.iter (fun s -> stmt_indent ppf (ind + 2, s)) body;
+    Format.fprintf ppf "%s}@," pad
+  | If { cond; then_; else_ } ->
+    Format.fprintf ppf "%sif (%a) {@," pad expr cond;
+    List.iter (fun s -> stmt_indent ppf (ind + 2, s)) then_;
+    if else_ = [] then Format.fprintf ppf "%s}@," pad
+    else begin
+      Format.fprintf ppf "%s} else {@," pad;
+      List.iter (fun s -> stmt_indent ppf (ind + 2, s)) else_;
+      Format.fprintf ppf "%s}@," pad
+    end
+
+let stmt ppf s = Format.fprintf ppf "@[<v>%a@]" stmt_indent (0, s)
+
+let func ppf f =
+  Format.fprintf ppf "@[<v>%s%s %s(%s) {@,"
+    (match f.qualifiers with [] -> "" | qs -> String.concat " " qs ^ " ")
+    f.ret f.name
+    (String.concat ", " (List.map (fun p -> p.ctype ^ " " ^ p.name) f.params));
+  List.iter (fun s -> stmt_indent ppf (2, s)) f.body;
+  Format.fprintf ppf "}@]"
+
+let func_to_string f = Format.asprintf "%a" func f

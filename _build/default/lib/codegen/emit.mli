@@ -1,0 +1,14 @@
+(** Pretty-printing of the CUDA AST to C source text. *)
+
+(** [expr ppf e] prints an expression with full parenthesization of
+    nested operators (precedence-free and always correct). *)
+val expr : Format.formatter -> Cuda_ast.expr -> unit
+
+(** [stmt ppf s] prints a statement (with trailing newline). *)
+val stmt : Format.formatter -> Cuda_ast.stmt -> unit
+
+(** [func ppf f] prints a function definition. *)
+val func : Format.formatter -> Cuda_ast.func -> unit
+
+(** [func_to_string f] is [func] rendered to a string. *)
+val func_to_string : Cuda_ast.func -> string

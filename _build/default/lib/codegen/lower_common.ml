@@ -1,0 +1,309 @@
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Border = Kfuse_image.Border
+open Cuda_ast
+
+let sanitize name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c
+      else '_')
+    name
+
+type ctx = { mutable stmts : stmt list; mutable counter : int }
+
+let create_ctx () = { stmts = []; counter = 0 }
+let emit ctx s = ctx.stmts <- s :: ctx.stmts
+
+let fresh ctx prefix =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s%d" prefix ctx.counter
+
+let take_stmts ctx =
+  let s = List.rev ctx.stmts in
+  ctx.stmts <- [];
+  s
+
+let read_fn = function
+  | Border.Clamp -> "read_clamp"
+  | Border.Mirror -> "read_mirror"
+  | Border.Repeat -> "read_repeat"
+  | Border.Constant _ -> "read_constant"
+  | Border.Undefined -> "read_raw"
+
+let idx_fn = function
+  | Border.Clamp -> Some "idx_clamp"
+  | Border.Mirror -> Some "idx_mirror"
+  | Border.Repeat -> Some "idx_repeat"
+  | Border.Constant _ | Border.Undefined -> None
+
+let unop_c = function
+  | Expr.Neg -> `Prefix "-"
+  | Expr.Abs -> `Fn "fabsf"
+  | Expr.Sqrt -> `Fn "sqrtf"
+  | Expr.Exp -> `Fn "expf"
+  | Expr.Log -> `Fn "logf"
+  | Expr.Sin -> `Fn "sinf"
+  | Expr.Cos -> `Fn "cosf"
+  | Expr.Floor -> `Fn "floorf"
+
+let binop_c = function
+  | Expr.Add -> `Infix "+"
+  | Expr.Sub -> `Infix "-"
+  | Expr.Mul -> `Infix "*"
+  | Expr.Div -> `Infix "/"
+  | Expr.Min -> `Fn "fminf"
+  | Expr.Max -> `Fn "fmaxf"
+  | Expr.Pow -> `Fn "powf"
+
+let cmp_c = function Expr.Lt -> "<" | Expr.Le -> "<=" | Expr.Eq -> "=="
+
+let width_e = ident "width"
+let height_e = ident "height"
+
+let rec lower ctx ~vars ~cx ~cy e =
+  match e with
+  | Expr.Const c -> float_lit c
+  | Expr.Param p -> ident ("p_" ^ sanitize p)
+  | Expr.Var v -> (
+    match List.assoc_opt v vars with
+    | Some c -> ident c
+    | None -> invalid_arg (Printf.sprintf "Lower: unbound variable %%%s" v))
+  | Expr.Let { var; value; body } ->
+    let ce = lower ctx ~vars ~cx ~cy value in
+    let name = fresh ctx ("r_" ^ sanitize var ^ "_") in
+    emit ctx (Decl { ctype = "const float"; name; init = Some ce });
+    lower ctx ~vars:((var, name) :: vars) ~cx ~cy body
+  | Expr.Input { image; dx; dy; border } ->
+    let x = if dx = 0 then cx else cx +: int_lit dx in
+    let y = if dy = 0 then cy else cy +: int_lit dy in
+    let base = [ ident ("img_" ^ sanitize image); x; y; width_e; height_e ] in
+    let args =
+      match border with
+      | Border.Constant c -> base @ [ float_lit c ]
+      | Border.Clamp | Border.Mirror | Border.Repeat | Border.Undefined -> base
+    in
+    call (read_fn border) args
+  | Expr.Unop (op, a) -> (
+    let ca = lower ctx ~vars ~cx ~cy a in
+    match unop_c op with `Prefix s -> Unop (s, ca) | `Fn f -> call f [ ca ])
+  | Expr.Binop (op, a, b) -> (
+    let ca = lower ctx ~vars ~cx ~cy a in
+    let cb = lower ctx ~vars ~cx ~cy b in
+    match binop_c op with `Infix s -> Binop (s, ca, cb) | `Fn f -> call f [ ca; cb ])
+  | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+    let cl = lower ctx ~vars ~cx ~cy lhs in
+    let cr = lower ctx ~vars ~cx ~cy rhs in
+    let ct = lower ctx ~vars ~cx ~cy if_true in
+    let cf = lower ctx ~vars ~cx ~cy if_false in
+    Ternary (Binop (cmp_c cmp, cl, cr), ct, cf)
+  | Expr.Shift { dx; dy; exchange; body } -> (
+    let sx = cx +: int_lit dx and sy = cy +: int_lit dy in
+    match exchange with
+    | None | Some Border.Undefined ->
+      let nx = fresh ctx "sx" and ny = fresh ctx "sy" in
+      emit ctx (Decl { ctype = "const int"; name = nx; init = Some sx });
+      emit ctx (Decl { ctype = "const int"; name = ny; init = Some sy });
+      lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body
+    | Some ((Border.Clamp | Border.Mirror | Border.Repeat) as mode) ->
+      (* Index exchange: remap the shifted coordinate into the iteration
+         space before evaluating the inlined producer. *)
+      let f = Option.get (idx_fn mode) in
+      let nx = fresh ctx "ex" and ny = fresh ctx "ey" in
+      emit ctx
+        (Decl { ctype = "const int"; name = nx; init = Some (call f [ sx; width_e ]) });
+      emit ctx
+        (Decl { ctype = "const int"; name = ny; init = Some (call f [ sy; height_e ]) });
+      lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body
+    | Some (Border.Constant c) ->
+      (* The exchanged intermediate pixel is the padding constant outside
+         the iteration space; guard the inlined producer. *)
+      let nx = fresh ctx "gx" and ny = fresh ctx "gy" in
+      let result = fresh ctx "ge" in
+      emit ctx (Decl { ctype = "const int"; name = nx; init = Some sx });
+      emit ctx (Decl { ctype = "const int"; name = ny; init = Some sy });
+      emit ctx (Decl { ctype = "float"; name = result; init = None });
+      let saved = ctx.stmts in
+      ctx.stmts <- [];
+      let inner = lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body in
+      let inner_stmts = List.rev (Assign (ident result, inner) :: ctx.stmts) in
+      ctx.stmts <- saved;
+      let inside =
+        Binop (">=", ident nx, int_lit 0)
+        &&: (ident nx <: width_e)
+        &&: Binop (">=", ident ny, int_lit 0)
+        &&: (ident ny <: height_e)
+      in
+      emit ctx
+        (If
+           {
+             cond = inside;
+             then_ = inner_stmts;
+             else_ = [ Assign (ident result, float_lit c) ];
+           });
+      ident result)
+
+type features = {
+  read_modes : Border.mode list;
+  exchange_modes : Border.mode list;
+  atomics : [ `Min | `Max ] list;
+}
+
+let mode_key = function
+  | Border.Clamp -> 0
+  | Border.Mirror -> 1
+  | Border.Repeat -> 2
+  | Border.Constant _ -> 3
+  | Border.Undefined -> 4
+
+let canonical_mode = function
+  | Border.Constant _ -> Border.Constant 0.0
+  | (Border.Clamp | Border.Mirror | Border.Repeat | Border.Undefined) as m -> m
+
+let used_features (p : Pipeline.t) =
+  let modes = ref [] in
+  let exchanges = ref [] in
+  let atomics = ref [] in
+  let add_mode lst m =
+    let m = canonical_mode m in
+    if not (List.exists (fun x -> mode_key x = mode_key m) !lst) then lst := m :: !lst
+  in
+  let add_atomic a = if not (List.mem a !atomics) then atomics := a :: !atomics in
+  Array.iter
+    (fun (k : Kernel.t) ->
+      let body =
+        match k.Kernel.op with
+        | Kernel.Map e -> e
+        | Kernel.Reduce { combine; arg; _ } ->
+          (match combine with
+          | Expr.Min -> add_atomic `Min
+          | Expr.Max -> add_atomic `Max
+          | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Pow -> ());
+          arg
+      in
+      let rec walk e =
+        match e with
+        | Expr.Input { border; _ } -> add_mode modes border
+        | Expr.Shift { exchange; body; _ } ->
+          (match exchange with
+          | Some ((Border.Clamp | Border.Mirror | Border.Repeat) as m) ->
+            add_mode exchanges m
+          | Some (Border.Constant _) | Some Border.Undefined | None -> ());
+          walk body
+        | Expr.Let { value; body; _ } ->
+          walk value;
+          walk body
+        | Expr.Unop (_, a) -> walk a
+        | Expr.Binop (_, a, b) ->
+          walk a;
+          walk b
+        | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
+          List.iter walk [ lhs; rhs; if_true; if_false ]
+        | Expr.Const _ | Expr.Param _ | Expr.Var _ -> ()
+      in
+      walk body)
+    p.Pipeline.kernels;
+  {
+    read_modes = List.sort (fun a b -> compare (mode_key a) (mode_key b)) !modes;
+    exchange_modes = List.sort (fun a b -> compare (mode_key a) (mode_key b)) !exchanges;
+    atomics = List.sort compare !atomics;
+  }
+
+let idx_helper_src ~q = function
+  | "idx_clamp" ->
+    Printf.sprintf
+      "%s int idx_clamp(int i, int n) {\n  return i < 0 ? 0 : (i >= n ? n - 1 : i);\n}" q
+  | "idx_mirror" ->
+    Printf.sprintf
+      "%s int idx_mirror(int i, int n) {\n\
+      \  if (n == 1) return 0;\n\
+      \  int period = 2 * n - 2;\n\
+      \  int m = ((i %% period) + period) %% period;\n\
+      \  return m < n ? m : period - m;\n\
+       }"
+      q
+  | "idx_repeat" ->
+    Printf.sprintf "%s int idx_repeat(int i, int n) {\n  return ((i %% n) + n) %% n;\n}" q
+  | f -> invalid_arg ("unknown helper " ^ f)
+
+let read_helper_src ~q mode =
+  match mode with
+  | Border.Clamp | Border.Mirror | Border.Repeat ->
+    let f = Option.get (idx_fn mode) in
+    Printf.sprintf
+      "%s float %s(const float* img, int x, int y, int w, int h) {\n\
+      \  return img[%s(y, h) * w + %s(x, w)];\n\
+       }"
+      q (read_fn mode) f f
+  | Border.Constant _ ->
+    Printf.sprintf
+      "%s float read_constant(const float* img, int x, int y, int w, int h, float c) {\n\
+      \  return (x < 0 || x >= w || y < 0 || y >= h) ? c : img[y * w + x];\n\
+       }"
+      q
+  | Border.Undefined ->
+    Printf.sprintf
+      "%s float read_raw(const float* img, int x, int y, int w, int h) {\n\
+      \  (void)h;\n\
+      \  return img[y * w + x];\n\
+       }"
+      q
+
+let helper_sources ~device_qualifier features =
+  let q = device_qualifier in
+  let idx_needed =
+    List.sort_uniq compare
+      (List.filter_map idx_fn features.read_modes
+      @ List.filter_map idx_fn features.exchange_modes)
+  in
+  List.map (idx_helper_src ~q) idx_needed
+  @ List.map (read_helper_src ~q) features.read_modes
+
+let atomic_helper_src name op =
+  Printf.sprintf
+    "__device__ float %s(float* addr, float value) {\n\
+    \  int* iaddr = (int*)addr;\n\
+    \  int old = *iaddr, assumed;\n\
+    \  do {\n\
+    \    assumed = old;\n\
+    \    old = atomicCAS(iaddr, assumed, __float_as_int(%s(value, \
+     __int_as_float(assumed))));\n\
+    \  } while (assumed != old);\n\
+    \  return __int_as_float(old);\n\
+     }"
+    name op
+
+let atomic_helper_sources features =
+  List.map
+    (function
+      | `Min -> atomic_helper_src "atomicMinFloat" "fminf"
+      | `Max -> atomic_helper_src "atomicMaxFloat" "fmaxf")
+    features.atomics
+
+let body_expr (k : Kernel.t) =
+  match k.Kernel.op with Kernel.Map e -> e | Kernel.Reduce { arg; _ } -> arg
+
+let kernel_params (p : Pipeline.t) (k : Kernel.t) =
+  let used_params = Expr.params (body_expr k) in
+  [ { ctype = "float*"; name = "out" } ]
+  @ List.map
+      (fun i -> { ctype = "const float*"; name = "img_" ^ sanitize i })
+      k.Kernel.inputs
+  @ [ { ctype = "const int"; name = "width" }; { ctype = "const int"; name = "height" } ]
+  @ List.filter_map
+      (fun (name, _) ->
+        if List.mem name used_params then
+          Some { ctype = "const float"; name = "p_" ^ sanitize name }
+        else None)
+      p.Pipeline.params
+
+let func_name (p : Pipeline.t) (k : Kernel.t) =
+  Printf.sprintf "%s_%s" (sanitize p.Pipeline.name) (sanitize k.Kernel.name)
+
+let scalar_args (p : Pipeline.t) (k : Kernel.t) =
+  let used_params = Expr.params (body_expr k) in
+  List.filter_map
+    (fun (name, _) ->
+      if List.mem name used_params then Some ("p_" ^ sanitize name) else None)
+    p.Pipeline.params

@@ -1,0 +1,64 @@
+(** Backend-shared lowering machinery.
+
+    The per-pixel expression lowering is identical for the CUDA and CPU
+    backends — only the kernel harness (thread indexing vs. loops) and
+    the helper qualifiers differ.  This module holds the shared parts:
+    the emission context, the expression lowering itself, border-handling
+    helper sources, and feature discovery. *)
+
+(** Emission context: statements accumulate as expressions are lowered. *)
+type ctx
+
+val create_ctx : unit -> ctx
+
+(** [take_stmts ctx] drains accumulated statements in program order. *)
+val take_stmts : ctx -> Cuda_ast.stmt list
+
+(** [emit ctx stmt] appends a statement. *)
+val emit : ctx -> Cuda_ast.stmt -> unit
+
+(** [sanitize name] maps an IR name to a C identifier. *)
+val sanitize : string -> string
+
+(** [lower ctx ~vars ~cx ~cy e] lowers [e] at C coordinate expressions
+    [(cx, cy)] with [vars] binding IR variables to C identifiers;
+    auxiliary declarations go through [ctx]. *)
+val lower :
+  ctx ->
+  vars:(string * string) list ->
+  cx:Cuda_ast.expr ->
+  cy:Cuda_ast.expr ->
+  Kfuse_ir.Expr.t ->
+  Cuda_ast.expr
+
+(** Features of a pipeline that require emitted helpers. *)
+type features = {
+  read_modes : Kfuse_image.Border.mode list;  (** border readers used *)
+  exchange_modes : Kfuse_image.Border.mode list;  (** index-exchange remappers *)
+  atomics : [ `Min | `Max ] list;  (** float atomic reductions (CUDA only) *)
+}
+
+(** [used_features p] scans every kernel body. *)
+val used_features : Kfuse_ir.Pipeline.t -> features
+
+(** [helper_sources ~device_qualifier features] renders the helper
+    function definitions needed by [features]; [device_qualifier] is
+    prepended to each (e.g. ["__device__ __forceinline__"] for CUDA or
+    ["static inline"] for C). *)
+val helper_sources : device_qualifier:string -> features -> string list
+
+(** [atomic_helper_sources features] renders the CUDA float-atomic
+    helpers (empty unless reductions are present). *)
+val atomic_helper_sources : features -> string list
+
+(** [kernel_params pipeline kernel] is the shared C parameter list:
+    output, inputs, extents, scalar parameters. *)
+val kernel_params : Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> Cuda_ast.param list
+
+(** [func_name pipeline kernel] is ["<pipeline>_<kernel>"]. *)
+val func_name : Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> string
+
+(** [scalar_args pipeline kernel] is the scalar-parameter argument names
+    (["p_<name>"]) the kernel's body actually uses, in declaration
+    order. *)
+val scalar_args : Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> string list

@@ -1,0 +1,184 @@
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module C = Lower_common
+open Cuda_ast
+
+let kernel_func ?tile (p : Pipeline.t) (k : Kernel.t) =
+  (match tile with
+  | Some (tx, ty) when tx <= 0 || ty <= 0 ->
+    invalid_arg "Lower_cpu.kernel_func: nonpositive tile extents"
+  | Some _ | None -> ());
+  let ctx = C.create_ctx () in
+  let body_stmts =
+    match k.Kernel.op with
+    | Kernel.Map body ->
+      let result = C.lower ctx ~vars:[] ~cx:(ident "x") ~cy:(ident "y") body in
+      let inner =
+        C.take_stmts ctx
+        @ [ Assign (index (ident "out") ((ident "y" *: ident "width") +: ident "x"), result) ]
+      in
+      (match tile with
+      | None ->
+        [
+          Pragma "omp parallel for collapse(2) schedule(static)";
+          For
+            {
+              var = "y";
+              from_ = int_lit 0;
+              below = ident "height";
+              step = 1;
+              body =
+                [ For { var = "x"; from_ = int_lit 0; below = ident "width"; step = 1; body = inner } ];
+            };
+        ]
+      | Some (tx, ty) ->
+        (* Blocked iteration: tiles are distributed across threads, pixel
+           loops stay within one tile. *)
+        let clamp_end name base extent limit =
+          Decl
+            {
+              ctype = "const int";
+              name;
+              init =
+                Some
+                  (Ternary
+                     ( ident base +: int_lit extent <: ident limit,
+                       ident base +: int_lit extent,
+                       ident limit ));
+            }
+        in
+        [
+          Pragma "omp parallel for collapse(2) schedule(static)";
+          For
+            {
+              var = "yy";
+              from_ = int_lit 0;
+              below = ident "height";
+              step = ty;
+              body =
+                [
+                  For
+                    {
+                      var = "xx";
+                      from_ = int_lit 0;
+                      below = ident "width";
+                      step = tx;
+                      body =
+                        [
+                          clamp_end "y_end" "yy" ty "height";
+                          clamp_end "x_end" "xx" tx "width";
+                          For
+                            {
+                              var = "y";
+                              from_ = ident "yy";
+                              below = ident "y_end";
+                              step = 1;
+                              body =
+                                [
+                                  For
+                                    {
+                                      var = "x";
+                                      from_ = ident "xx";
+                                      below = ident "x_end";
+                                      step = 1;
+                                      body = inner;
+                                    };
+                                ];
+                            };
+                        ];
+                    };
+                ];
+            };
+        ])
+    | Kernel.Reduce { init; combine; arg } ->
+      let v = C.lower ctx ~vars:[] ~cx:(ident "x") ~cy:(ident "y") arg in
+      let clause, fold =
+        match combine with
+        | Expr.Add -> ("+", Assign (ident "acc", ident "acc" +: v))
+        | Expr.Min -> ("min", Assign (ident "acc", call "fminf" [ ident "acc"; v ]))
+        | Expr.Max -> ("max", Assign (ident "acc", call "fmaxf" [ ident "acc"; v ]))
+        | Expr.Sub | Expr.Mul | Expr.Div | Expr.Pow ->
+          invalid_arg
+            (Printf.sprintf
+               "Lower_cpu: reduction operator of kernel %s has no OpenMP clause"
+               k.Kernel.name)
+      in
+      let inner = C.take_stmts ctx @ [ fold ] in
+      [
+        Decl { ctype = "float"; name = "acc"; init = Some (float_lit init) };
+        Pragma (Printf.sprintf "omp parallel for collapse(2) reduction(%s:acc)" clause);
+        For
+          {
+            var = "y";
+            from_ = int_lit 0;
+            below = ident "height";
+            step = 1;
+            body =
+              [ For { var = "x"; from_ = int_lit 0; below = ident "width"; step = 1; body = inner } ];
+          };
+        Assign (index (ident "out") (int_lit 0), ident "acc");
+      ]
+  in
+  {
+    qualifiers = [];
+    ret = "void";
+    name = C.func_name p k;
+    params = C.kernel_params p k;
+    body = body_stmts;
+  }
+
+let emit_runner buf (p : Pipeline.t) =
+  let b fmt = Printf.bprintf buf fmt in
+  let n = C.sanitize p.Pipeline.name in
+  b "// Driver: allocates intermediates and runs the kernels in topological order.\n";
+  b "void run_%s(" n;
+  let params =
+    List.map (fun i -> Printf.sprintf "const float* %s" (C.sanitize i)) p.Pipeline.inputs
+    @ List.map (fun o -> Printf.sprintf "float* %s" (C.sanitize o)) (Pipeline.outputs p)
+    @ List.map
+        (fun (name, _) -> Printf.sprintf "float p_%s" (C.sanitize name))
+        p.Pipeline.params
+  in
+  b "%s" (String.concat ", " params);
+  b ") {\n";
+  b "  const int width = %d, height = %d;\n" p.Pipeline.width p.Pipeline.height;
+  let outputs = Pipeline.outputs p in
+  let intermediates =
+    Array.to_list p.Pipeline.kernels
+    |> List.filter_map (fun (k : Kernel.t) ->
+           if List.mem k.Kernel.name outputs then None else Some k.Kernel.name)
+  in
+  List.iter
+    (fun name ->
+      b "  float* %s = (float*)malloc((size_t)width * height * sizeof(float));\n"
+        (C.sanitize name))
+    intermediates;
+  Array.iter
+    (fun (k : Kernel.t) ->
+      let args =
+        [ C.sanitize k.Kernel.name ]
+        @ List.map C.sanitize k.Kernel.inputs
+        @ [ "width"; "height" ] @ C.scalar_args p k
+      in
+      b "  %s(%s);\n" (C.func_name p k) (String.concat ", " args))
+    p.Pipeline.kernels;
+  List.iter (fun name -> b "  free(%s);\n" (C.sanitize name)) intermediates;
+  b "}\n"
+
+let emit_pipeline ?tile (p : Pipeline.t) =
+  let buf = Buffer.create 4096 in
+  let b fmt = Printf.bprintf buf fmt in
+  b "// Generated by kfuse: pipeline %s (%dx%dx%d), C + OpenMP backend\n"
+    p.Pipeline.name p.Pipeline.width p.Pipeline.height p.Pipeline.channels;
+  b "// Compile with: cc -O2 -fopenmp -lm\n\n";
+  b "#include <stdlib.h>\n#include <math.h>\n\n";
+  let features = C.used_features p in
+  List.iter
+    (fun src -> b "%s\n\n" src)
+    (C.helper_sources ~device_qualifier:"static inline" features);
+  Array.iter
+    (fun k -> b "%s\n\n" (Emit.func_to_string (kernel_func ?tile p k)))
+    p.Pipeline.kernels;
+  emit_runner buf p;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** CPU (C + OpenMP) backend.
+
+    The paper's conclusion lists CPU targets as future work; this backend
+    provides it.  Each kernel lowers to a plain C function that iterates
+    the image under an OpenMP [parallel for] (collapsed over both loop
+    dimensions); global reductions use OpenMP reduction clauses instead
+    of the CUDA backend's float atomics.  Expression lowering — including
+    fusion's registers and index exchange — is shared with the CUDA
+    backend via {!Lower_common}. *)
+
+(** [kernel_func ?tile pipeline kernel] lowers one kernel to a C function
+    named [<pipeline>_<kernel>].  With [tile = (tx, ty)] the iteration
+    space is blocked into [tx x ty] tiles (classic loop tiling — the
+    locality transform Figure 1 of the paper places alongside fusion):
+    the OpenMP [parallel for] distributes tiles, and the pixel loops run
+    within one tile so a stencil's working set stays cache-resident.
+    Reductions are never tiled.
+    @raise Invalid_argument on nonpositive tile extents. *)
+val kernel_func : ?tile:int * int -> Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> Cuda_ast.func
+
+(** [emit_pipeline ?tile pipeline] renders a complete [.c] translation
+    unit: helpers, one function per kernel, and a [run_<name>] driver
+    allocating intermediates with [malloc]. *)
+val emit_pipeline : ?tile:int * int -> Kfuse_ir.Pipeline.t -> string

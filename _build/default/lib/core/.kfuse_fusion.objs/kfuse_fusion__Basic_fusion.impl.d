@@ -1,0 +1,1 @@
+lib/core/basic_fusion.ml: Kfuse_graph Kfuse_ir Kfuse_util Legality List

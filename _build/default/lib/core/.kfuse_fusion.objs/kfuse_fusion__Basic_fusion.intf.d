@@ -1,0 +1,1 @@
+lib/core/basic_fusion.mli: Config Kfuse_graph Kfuse_ir Kfuse_util

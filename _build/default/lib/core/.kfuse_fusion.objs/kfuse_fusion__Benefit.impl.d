@@ -1,0 +1,1 @@
+lib/core/benefit.ml: Config Float Format Kfuse_graph Kfuse_ir Kfuse_util Legality List Printf

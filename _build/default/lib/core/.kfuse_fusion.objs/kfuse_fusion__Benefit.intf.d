@@ -1,0 +1,1 @@
+lib/core/benefit.mli: Config Format Kfuse_ir Legality

@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Array Float Kfuse_image Kfuse_ir List Option Printf String

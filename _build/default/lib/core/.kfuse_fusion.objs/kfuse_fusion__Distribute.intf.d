@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Kfuse_ir

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Basic_fusion Benefit Config Format Greedy_fusion Inline_fusion Kfuse_graph Kfuse_ir Kfuse_util List Mincut_fusion String Transform

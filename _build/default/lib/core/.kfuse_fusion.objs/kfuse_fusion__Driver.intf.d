@@ -1,0 +1,1 @@
+lib/core/driver.mli: Benefit Config Format Kfuse_graph Kfuse_ir Mincut_fusion

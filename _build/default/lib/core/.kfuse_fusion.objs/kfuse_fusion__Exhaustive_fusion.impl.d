@@ -1,0 +1,1 @@
+lib/core/exhaustive_fusion.ml: Benefit Config Kfuse_graph Kfuse_ir Kfuse_util List Mincut_fusion Printf

@@ -1,0 +1,1 @@
+lib/core/exhaustive_fusion.mli: Config Kfuse_graph Kfuse_ir

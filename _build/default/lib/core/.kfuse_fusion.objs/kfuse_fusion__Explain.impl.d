@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Benefit Buffer Distribute Format Inline_fusion Kfuse_ir Kfuse_util Legality List Mincut_fusion Printf String

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Config Kfuse_ir

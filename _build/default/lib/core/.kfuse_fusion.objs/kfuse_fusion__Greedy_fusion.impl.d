@@ -1,0 +1,1 @@
+lib/core/greedy_fusion.ml: Benefit Float Kfuse_graph Kfuse_ir Kfuse_util List Mincut_fusion

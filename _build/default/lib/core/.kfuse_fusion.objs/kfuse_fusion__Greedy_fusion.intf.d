@@ -1,0 +1,1 @@
+lib/core/greedy_fusion.mli: Config Kfuse_graph Kfuse_ir

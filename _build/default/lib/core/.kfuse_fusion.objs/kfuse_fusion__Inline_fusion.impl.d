@@ -1,0 +1,1 @@
+lib/core/inline_fusion.ml: Array Config Float Kfuse_ir Kfuse_util List Printf String Substitute

@@ -1,0 +1,1 @@
+lib/core/inline_fusion.mli: Config Kfuse_ir

@@ -1,0 +1,1 @@
+lib/core/legality.ml: Config Format Kfuse_graph Kfuse_ir Kfuse_util List Printf String

@@ -1,0 +1,1 @@
+lib/core/legality.mli: Config Format Kfuse_ir Kfuse_util

@@ -1,0 +1,1 @@
+lib/core/mincut_fusion.ml: Benefit Config Format Kfuse_graph Kfuse_ir Kfuse_util Legality List Printf String

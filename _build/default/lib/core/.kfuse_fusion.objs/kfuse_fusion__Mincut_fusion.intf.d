@@ -1,0 +1,1 @@
+lib/core/mincut_fusion.mli: Benefit Config Format Kfuse_graph Kfuse_ir Kfuse_util Legality

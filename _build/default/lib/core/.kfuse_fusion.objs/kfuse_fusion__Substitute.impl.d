@@ -1,0 +1,1 @@
+lib/core/substitute.ml: Hashtbl Kfuse_ir List Option

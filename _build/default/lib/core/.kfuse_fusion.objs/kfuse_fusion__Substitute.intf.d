@@ -1,0 +1,1 @@
+lib/core/substitute.mli: Kfuse_ir

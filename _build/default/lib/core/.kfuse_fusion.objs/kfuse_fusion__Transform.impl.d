@@ -1,0 +1,1 @@
+lib/core/transform.ml: Format Hashtbl Kfuse_graph Kfuse_ir Kfuse_util Legality List Printf Substitute

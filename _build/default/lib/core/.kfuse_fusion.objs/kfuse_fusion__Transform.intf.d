@@ -1,0 +1,1 @@
+lib/core/transform.mli: Kfuse_graph Kfuse_ir Kfuse_util

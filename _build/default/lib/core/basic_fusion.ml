@@ -1,0 +1,63 @@
+module Iset = Kfuse_util.Iset
+module Digraph = Kfuse_graph.Digraph
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+module Kernel = Kfuse_ir.Kernel
+
+let pair_fusible config (p : Pipeline.t) a b =
+  let merged = Iset.union a b in
+  match Legality.check config p merged with
+  | Error _ -> false
+  | Ok () ->
+    let sources = Legality.block_sources p merged in
+    Iset.cardinal sources = 1
+    && begin
+         (* Only the unique source may read from outside the block:
+            shared inputs (Figure 2b) are precluded by the basic rules. *)
+         let source = Iset.min_elt sources in
+         Iset.for_all
+           (fun v ->
+             v = source
+             || List.for_all
+                  (fun image ->
+                    match Pipeline.producer p image with
+                    | Some i -> Iset.mem i merged
+                    | None -> false)
+                  (Pipeline.kernel p v).Kernel.inputs)
+           merged
+       end
+    && begin
+         (* No local-to-local pair anywhere inside the merged block. *)
+         let g = Pipeline.dag p in
+         not
+           (Iset.exists
+              (fun u ->
+                Kernel.is_local (Pipeline.kernel p u)
+                && Iset.exists
+                     (fun v -> Iset.mem v merged && Kernel.is_local (Pipeline.kernel p v))
+                     (Digraph.succs g u))
+              merged)
+       end
+
+let partition config (p : Pipeline.t) =
+  let g = Pipeline.dag p in
+  let edges = Digraph.edges g in
+  let rec fixpoint blocks =
+    let merge =
+      List.find_map
+        (fun (u, v) ->
+          let bu = Partition.block_of blocks u and bv = Partition.block_of blocks v in
+          if Iset.equal bu bv then None
+          else if pair_fusible config p bu bv then Some (bu, bv)
+          else None)
+        edges
+    in
+    match merge with
+    | None -> blocks
+    | Some (bu, bv) ->
+      let rest =
+        List.filter (fun b -> not (Iset.equal b bu || Iset.equal b bv)) blocks
+      in
+      fixpoint (Partition.normalize (Iset.union bu bv :: rest))
+  in
+  fixpoint (Partition.singletons g)

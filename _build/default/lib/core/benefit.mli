@@ -1,0 +1,69 @@
+(** Benefit estimation: edge weights for the fusion graph (Section II-C).
+
+    Each DAG edge [(ks, kd)] receives a positive weight [w_e] estimating
+    the execution cycles saved by fusing its endpoints, according to the
+    scenario taxonomy of Section II-C.3:
+
+    - {e Illegal}: the pair cannot be fused; weight [epsilon].
+    - {e Point-based} (Eq. 5): [kd] is a point kernel; the intermediate
+      image moves to registers, [w = delta_reg(ie)].
+    - {e Point-to-local} (Eq. 8): [ks] point, [kd] local; register
+      locality is bought with redundant recomputation,
+      [w = delta_reg(ie) - phi] with [phi = cost_op * IS_ks * sz(kd)]
+      (Eq. 7).
+    - {e Local-to-local} (Eq. 11): both local; the intermediate moves to
+      shared memory and the producer is recomputed over the grown mask
+      [g(sz(ks), sz(kd))] (Eq. 9), [w = delta_shared(ie) - phi] (Eq. 10).
+
+    Finally [w_e = max(w + gamma, epsilon)] (Eq. 12). *)
+
+type scenario =
+  | Illegal of Legality.reason
+  | Point_based
+  | Point_to_local
+  | Local_to_local
+
+(** Full account of one edge's weight computation. *)
+type edge_report = {
+  src : int;
+  dst : int;
+  image : string;  (** the intermediate image [ie] *)
+  scenario : scenario;
+  delta : float;  (** locality improvement (Eq. 3 or 4); 0 when illegal *)
+  phi : float;  (** redundant-computation cost (Eq. 7 or 10); 0 unless needed *)
+  weight : float;  (** final clamped weight [w_e] (Eq. 12) *)
+}
+
+(** [delta_reg config is] is Eq. 4: [IS * tg]. *)
+val delta_reg : Config.t -> float -> float
+
+(** [delta_shared config is] is Eq. 3: [IS * tg / ts]. *)
+val delta_shared : Config.t -> float -> float
+
+(** [grown_mask_area ~sz_src ~sz_dst] is Eq. 9: the convolution-mask area
+    of fusing a local producer of mask area [sz_src] into a local
+    consumer of mask area [sz_dst] (both square odd areas, e.g. 9, 25).
+    [g(9, 25) = 49]. *)
+val grown_mask_area : sz_src:int -> sz_dst:int -> int
+
+(** [scenario config pipeline u v] classifies the edge [(u, v)].
+    @raise Invalid_argument if [(u, v)] is not a pipeline edge. *)
+val scenario : Config.t -> Kfuse_ir.Pipeline.t -> int -> int -> scenario
+
+(** [edge_report config pipeline u v] computes the weight of edge
+    [(u, v)] with its full breakdown. *)
+val edge_report : Config.t -> Kfuse_ir.Pipeline.t -> int -> int -> edge_report
+
+(** [edge_weight config pipeline u v] is the final weight [w_e]. *)
+val edge_weight : Config.t -> Kfuse_ir.Pipeline.t -> int -> int -> float
+
+(** [all_edges config pipeline] reports every edge of the pipeline DAG,
+    ordered by [(src, dst)]. *)
+val all_edges : Config.t -> Kfuse_ir.Pipeline.t -> edge_report list
+
+(** [is_ks config pipeline u] is [IS_ks]: the summed iteration-space size
+    of all input images of kernel [u] (Section II-C.3). *)
+val is_ks : Config.t -> Kfuse_ir.Pipeline.t -> int -> float
+
+val scenario_to_string : scenario -> string
+val pp_report : Format.formatter -> edge_report -> unit

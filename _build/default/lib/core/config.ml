@@ -1,0 +1,38 @@
+type is_unit = Images | Pixels
+
+type t = {
+  tg : float;
+  ts : float;
+  c_alu : float;
+  c_sfu : float;
+  gamma : float;
+  epsilon : float;
+  c_mshared : float;
+  block : Kfuse_ir.Cost.block;
+  is_unit : is_unit;
+}
+
+let default =
+  {
+    tg = 400.0;
+    ts = 4.0;
+    c_alu = 4.0;
+    c_sfu = 16.0;
+    gamma = 0.0;
+    epsilon = 0.001;
+    c_mshared = 2.0;
+    block = Kfuse_ir.Cost.default_block;
+    is_unit = Images;
+  }
+
+let validate t =
+  if t.epsilon <= 0.0 then invalid_arg "Config: epsilon must be positive";
+  if t.ts <= 0.0 || t.tg < t.ts then invalid_arg "Config: need tg >= ts > 0";
+  if t.c_alu <= 0.0 || t.c_sfu <= 0.0 then invalid_arg "Config: op costs must be positive";
+  if t.c_mshared < 1.0 then invalid_arg "Config: c_mshared must be >= 1";
+  if t.gamma < 0.0 then invalid_arg "Config: gamma must be nonnegative"
+
+let is_of t (p : Kfuse_ir.Pipeline.t) =
+  match t.is_unit with
+  | Images -> float_of_int p.channels
+  | Pixels -> float_of_int (Kfuse_ir.Pipeline.is_pixels p)

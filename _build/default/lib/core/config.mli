@@ -1,0 +1,42 @@
+(** Fusion-model configuration.
+
+    Bundles the architecture parameters of the benefit-estimation model
+    (Section II-C) and the knobs of the legality checks.  "Those
+    variables are flexible and can be adapted for new architectures"
+    (Section II-C.2); {!default} uses the values of the paper's worked
+    example. *)
+
+(** Unit in which iteration-space sizes [IS(i)] enter the benefit model.
+    The paper's Harris walkthrough notes that for constant-size images
+    "IS can be simply replaced by the number of images", which yields the
+    edge weights 328/328/256 of Figure 3; pixel units scale every weight
+    by the image size and leave all comparisons unchanged. *)
+type is_unit =
+  | Images  (** IS(i) = channels of one image = 1 per plane *)
+  | Pixels  (** IS(i) = width * height * channels *)
+
+type t = {
+  tg : float;  (** global-memory access latency in cycles (400-800) *)
+  ts : float;  (** shared-memory access latency in cycles *)
+  c_alu : float;  (** average ALU operation cost in cycles (Eq. 6) *)
+  c_sfu : float;  (** average SFU operation cost in cycles (Eq. 6) *)
+  gamma : float;  (** extra per-fusion gains (launch overhead etc., Eq. 12) *)
+  epsilon : float;  (** weight of illegal edges; must be positive (Eq. 12) *)
+  c_mshared : float;  (** shared-memory growth threshold of Eq. 2 *)
+  block : Kfuse_ir.Cost.block;  (** thread-block shape for tile sizing *)
+  is_unit : is_unit;
+}
+
+(** Paper defaults: [tg = 400], [ts = 4], [c_alu = 4], [c_sfu = 16],
+    [gamma = 0], [epsilon = 0.001], [c_mshared = 2], 32x4 blocks, image
+    units. *)
+val default : t
+
+(** [validate t] checks positivity constraints ([epsilon > 0], [tg >= ts > 0],
+    [c_mshared >= 1], positive op costs).
+    @raise Invalid_argument on violation. *)
+val validate : t -> unit
+
+(** [is_of t pipeline] is the iteration-space size of one intermediate
+    image of [pipeline] in the configured unit. *)
+val is_of : t -> Kfuse_ir.Pipeline.t -> float

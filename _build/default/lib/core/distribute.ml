@@ -1,0 +1,106 @@
+module Pipeline = Kfuse_ir.Pipeline
+module Kernel = Kfuse_ir.Kernel
+module Expr = Kfuse_ir.Expr
+module Conv_match = Kfuse_ir.Conv_match
+module Border = Kfuse_image.Border
+
+type verdict =
+  | Split of Conv_match.factorization
+  | Not_convolution
+  | Not_separable
+  | Not_two_dimensional
+  | Unsupported_border
+
+let kernel_exn (p : Pipeline.t) name =
+  match Pipeline.index_of p name with
+  | Some i -> Pipeline.kernel p i
+  | None -> invalid_arg (Printf.sprintf "Distribute: no kernel %S" name)
+
+let judge (p : Pipeline.t) name =
+  let k = kernel_exn p name in
+  match k.Kernel.op with
+  | Kernel.Reduce _ -> Not_convolution
+  | Kernel.Map body -> (
+    match Conv_match.extract body with
+    | None -> Not_convolution
+    | Some stencil -> (
+      match stencil.Conv_match.border with
+      | Border.Constant _ | Border.Undefined -> Unsupported_border
+      | Border.Clamp | Border.Mirror | Border.Repeat -> (
+        match Conv_match.separate stencil with
+        | None -> Not_separable
+        | Some f ->
+          if List.length f.Conv_match.horizontal <= 1
+             || List.length f.Conv_match.vertical <= 1
+          then Not_two_dimensional
+          else Split f)))
+
+let weighted_sum image border taps =
+  let term (offset, c) =
+    let dx, dy = offset in
+    let access = Expr.input ~border ~dx ~dy image in
+    if Float.equal c 1.0 then access else Expr.Binop (Expr.Mul, Expr.Const c, access)
+  in
+  match taps with
+  | [] -> Expr.Const 0.0
+  | first :: rest ->
+    List.fold_left (fun acc t -> Expr.Binop (Expr.Add, acc, term t)) (term first) rest
+
+let split (p : Pipeline.t) name =
+  let k = kernel_exn p name in
+  match judge p name with
+  | Split f ->
+    let stencil =
+      match k.Kernel.op with
+      | Kernel.Map body -> Option.get (Conv_match.extract body)
+      | Kernel.Reduce _ -> assert false
+    in
+    let border = stencil.Conv_match.border in
+    let image = stencil.Conv_match.image in
+    let tmp = name ^ "_sepH" in
+    let horizontal =
+      Kernel.map ~name:tmp ~inputs:[ image ]
+        (weighted_sum image border
+           (List.map (fun (dx, c) -> ((dx, 0), c)) f.Conv_match.horizontal))
+    in
+    let vertical =
+      Kernel.map ~name ~inputs:[ tmp ]
+        (weighted_sum tmp border
+           (List.map (fun (dy, c) -> ((0, dy), c)) f.Conv_match.vertical))
+    in
+    let kernels =
+      Array.to_list p.Pipeline.kernels
+      |> List.concat_map (fun (k' : Kernel.t) ->
+             if String.equal k'.Kernel.name name then [ horizontal; vertical ] else [ k' ])
+    in
+    Pipeline.with_kernels p kernels
+  | v ->
+    invalid_arg
+      (Printf.sprintf "Distribute.split(%s): %s" name
+         (match v with
+         | Split _ -> assert false
+         | Not_convolution -> "not a convolution"
+         | Not_separable -> "not separable"
+         | Not_two_dimensional -> "already one-dimensional"
+         | Unsupported_border -> "border mode does not distribute"))
+
+let split_all (p : Pipeline.t) =
+  Array.to_list p.Pipeline.kernels
+  |> List.fold_left
+       (fun (p, applied) (k : Kernel.t) ->
+         match judge p k.Kernel.name with
+         | Split _ -> (split p k.Kernel.name, k.Kernel.name :: applied)
+         | Not_convolution | Not_separable | Not_two_dimensional | Unsupported_border ->
+           (p, applied))
+       (p, [])
+  |> fun (p, applied) -> (p, List.rev applied)
+
+let verdict_to_string = function
+  | Split f ->
+    Printf.sprintf "separable: %d horizontal x %d vertical taps"
+      (List.length f.Conv_match.horizontal)
+      (List.length f.Conv_match.vertical)
+  | Not_convolution -> "not a convolution"
+  | Not_separable -> "not separable (rank > 1)"
+  | Not_two_dimensional -> "already one-dimensional"
+  | Unsupported_border -> "border mode does not distribute"

@@ -1,0 +1,38 @@
+(** Kernel distribution: splitting separable convolutions.
+
+    The paper's conclusion names {e kernel distribution} — the inverse of
+    fusion — as future work.  This module implements its most profitable
+    special case: a 2-D convolution whose coefficient matrix has rank 1
+    splits into a horizontal 1-D pass followed by a vertical 1-D pass,
+    reducing per-pixel taps from [k^2] to [2k] at the price of one
+    materialized intermediate (the exact opposite of the fusion tradeoff,
+    which is why the two compose interestingly: distribute first, then
+    let Algorithm 1 decide what to re-fuse).
+
+    Correctness requires the border mode to resolve each axis
+    independently, which holds for clamp, mirror and repeat but not for
+    constant padding (a corner would receive [c * sum(horizontal)]
+    instead of [c]); such kernels are reported as unsplittable. *)
+
+type verdict =
+  | Split of Kfuse_ir.Conv_match.factorization
+  | Not_convolution  (** body is not a weighted sum of taps of one image *)
+  | Not_separable  (** coefficient matrix has rank > 1 *)
+  | Not_two_dimensional  (** already a 1-D (or point) stencil *)
+  | Unsupported_border  (** constant or undefined border padding *)
+
+(** [judge pipeline kernel_name] decides whether the kernel can split.
+    @raise Invalid_argument on an unknown kernel. *)
+val judge : Kfuse_ir.Pipeline.t -> string -> verdict
+
+(** [split pipeline kernel_name] replaces the kernel with a horizontal
+    pass [<name>_sepH] followed by a vertical pass keeping the original
+    name (so consumers and outputs are untouched).
+    @raise Invalid_argument when {!judge} is not [Split]. *)
+val split : Kfuse_ir.Pipeline.t -> string -> Kfuse_ir.Pipeline.t
+
+(** [split_all pipeline] splits every splittable kernel; returns the
+    rewritten pipeline and the names split. *)
+val split_all : Kfuse_ir.Pipeline.t -> Kfuse_ir.Pipeline.t * string list
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,90 @@
+module Iset = Kfuse_util.Iset
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+module Kernel = Kfuse_ir.Kernel
+
+type strategy = Baseline | Basic | Greedy | Mincut
+
+type report = {
+  strategy : strategy;
+  inlined : string list;
+  input : Pipeline.t;
+  partition : Partition.t;
+  edges : Benefit.edge_report list;
+  steps : Mincut_fusion.step list;
+  objective : float;
+  fused : Pipeline.t;
+}
+
+let strategy_to_string = function
+  | Baseline -> "baseline"
+  | Basic -> "basic"
+  | Greedy -> "greedy"
+  | Mincut -> "mincut"
+
+let strategy_of_string = function
+  | "baseline" -> Some Baseline
+  | "basic" -> Some Basic
+  | "greedy" -> Some Greedy
+  | "mincut" -> Some Mincut
+  | _ -> None
+
+let all_strategies = [ Baseline; Basic; Greedy; Mincut ]
+
+let run ?(exchange = true) ?(optimize = false) ?(inline = false) config strategy
+    (p : Pipeline.t) =
+  Config.validate config;
+  let p, inlined =
+    if inline then Inline_fusion.greedy ~exchange config p else (p, [])
+  in
+  let g = Pipeline.dag p in
+  let edges = Benefit.all_edges config p in
+  let weight_of u v =
+    match
+      List.find_opt (fun (r : Benefit.edge_report) -> r.src = u && r.dst = v) edges
+    with
+    | Some r -> r.weight
+    | None -> 0.0
+  in
+  let partition, steps =
+    match strategy with
+    | Baseline -> (Partition.singletons g, [])
+    | Basic -> (Basic_fusion.partition config p, [])
+    | Greedy -> (Greedy_fusion.partition config p, [])
+    | Mincut ->
+      let r = Mincut_fusion.run config p in
+      (r.Mincut_fusion.partition, r.Mincut_fusion.steps)
+  in
+  let fused = Transform.apply ~exchange p partition in
+  let fused =
+    if optimize then Kfuse_ir.Cse.pipeline (Kfuse_ir.Simplify.pipeline fused) else fused
+  in
+  let objective = Partition.objective weight_of g partition in
+  { strategy; inlined; input = p; partition; edges; steps; objective; fused }
+
+let fused_kernel_count r = Pipeline.num_kernels r.fused
+
+let pp_report ppf r =
+  let p = r.input in
+  let name i = (Pipeline.kernel p i).Kernel.name in
+  Format.fprintf ppf "@[<v>strategy: %s@," (strategy_to_string r.strategy);
+  if r.inlined <> [] then
+    Format.fprintf ppf "inlined: %s@," (String.concat ", " r.inlined);
+  Format.fprintf ppf "edges:@,";
+  List.iter
+    (fun (e : Benefit.edge_report) ->
+      Format.fprintf ppf "  %s -> %s : %s, w=%.3f@," (name e.src) (name e.dst)
+        (Benefit.scenario_to_string e.scenario) e.weight)
+    r.edges;
+  if r.steps <> [] then begin
+    Format.fprintf ppf "trace:@,";
+    List.iter (fun s -> Format.fprintf ppf "  %a@," (Mincut_fusion.pp_step p) s) r.steps
+  end;
+  Format.fprintf ppf "partition:";
+  List.iter
+    (fun b ->
+      Format.fprintf ppf " {%s}" (String.concat ", " (List.map name (Iset.elements b))))
+    r.partition;
+  Format.fprintf ppf "@,objective beta = %.3f@," r.objective;
+  Format.fprintf ppf "kernels: %d -> %d@]" (Pipeline.num_kernels p)
+    (Pipeline.num_kernels r.fused)

@@ -1,0 +1,63 @@
+(** End-to-end fusion driver: pick a strategy, get a fused pipeline.
+
+    Wraps partitioning (one of the strategies below) and the fusion
+    transform, and reports the decisions taken — the partition, the
+    weighted fusion graph, and the recursion trace for the min-cut
+    strategy. *)
+
+type strategy =
+  | Baseline  (** no fusion: every kernel in its own block *)
+  | Basic  (** prior work [12]: pairwise, point-scenarios only *)
+  | Greedy  (** heaviest-edge grouping under full legality *)
+  | Mincut  (** this paper: Algorithm 1 *)
+
+type report = {
+  strategy : strategy;
+  inlined : string list;
+      (** images eliminated by the optional inlining pre-pass *)
+  input : Kfuse_ir.Pipeline.t;
+      (** the pipeline the partition/edges refer to: the original, or the
+          post-inline rewrite when [inline] was set *)
+  partition : Kfuse_graph.Partition.t;
+  edges : Benefit.edge_report list;
+  steps : Mincut_fusion.step list;  (** empty unless [Mincut] *)
+  objective : float;  (** beta (Eq. 1) of the chosen partition *)
+  fused : Kfuse_ir.Pipeline.t;
+}
+
+(** [run ?exchange ?optimize ?inline config strategy pipeline]
+    partitions and fuses.  [exchange] (default [true]) selects
+    border-correct index-exchange fusion; disable it only to reproduce
+    the incorrect naive fusion of Figure 4b.  [optimize] (default
+    [false]) runs the {!Kfuse_ir.Simplify} and {!Kfuse_ir.Cse} cleanup
+    passes over the fused kernels ("enlarging the scope for further
+    optimizations such as common sub-expression elimination", Section
+    II-C.4).  [inline] (default [false]) runs the {!Inline_fusion}
+    pre-pass, which can eliminate shared intermediates the partition
+    model must keep (Figure 2c); the reported edges/partition then refer
+    to the inlined pipeline. *)
+val run :
+  ?exchange:bool ->
+  ?optimize:bool ->
+  ?inline:bool ->
+  Config.t ->
+  strategy ->
+  Kfuse_ir.Pipeline.t ->
+  report
+
+(** [fused_kernel_count r] is the number of kernels after fusion. *)
+val fused_kernel_count : report -> int
+
+val strategy_to_string : strategy -> string
+
+(** [strategy_of_string s] parses ["baseline" | "basic" | "greedy" |
+    "mincut"]. *)
+val strategy_of_string : string -> strategy option
+
+(** [all_strategies] lists every strategy in comparison order. *)
+val all_strategies : strategy list
+
+(** [pp_report ppf r] renders a human-readable account: inlined images,
+    edge weights, scenario per edge, trace, final partition, and kernel
+    count. *)
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,76 @@
+module Iset = Kfuse_util.Iset
+module Digraph = Kfuse_graph.Digraph
+module Topo = Kfuse_graph.Topo
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+
+(* Enumerate all partitions of the pipeline DAG into connected, legal
+   blocks and fold [f] over them. *)
+let fold_legal_partitions ?(max_kernels = 12) config (p : Pipeline.t) ~f ~init =
+  Config.validate config;
+  let n = Pipeline.num_kernels p in
+  if n > max_kernels then
+    invalid_arg
+      (Printf.sprintf "Exhaustive_fusion: %d kernels exceeds the limit of %d" n max_kernels);
+  let g = Pipeline.dag p in
+  let edges = Benefit.all_edges config p in
+  let legal = Mincut_fusion.block_legal config p edges in
+  (* Subsets of [pool] containing [v] that form connected legal blocks. *)
+  let candidate_blocks v pool =
+    let pool_list = Iset.elements pool in
+    let m = List.length pool_list in
+    let acc = ref [] in
+    for mask = 0 to (1 lsl m) - 1 do
+      let block =
+        List.fold_left
+          (fun s (i, u) -> if mask land (1 lsl i) <> 0 then Iset.add u s else s)
+          (Iset.singleton v)
+          (List.mapi (fun i u -> (i, u)) pool_list)
+      in
+      if Topo.is_weakly_connected g block && (Iset.cardinal block = 1 || legal block)
+      then acc := block :: !acc
+    done;
+    !acc
+  in
+  let result = ref init in
+  let rec search unassigned chosen =
+    match Iset.min_elt_opt unassigned with
+    | None -> result := f !result (Partition.normalize chosen)
+    | Some v ->
+      let pool = Iset.remove v unassigned in
+      List.iter
+        (fun block -> search (Iset.diff unassigned block) (block :: chosen))
+        (candidate_blocks v pool)
+  in
+  if n > 0 then search (Iset.of_range 0 (n - 1)) [];
+  !result
+
+let run_with ?max_kernels config (p : Pipeline.t) ~objective =
+  let best =
+    fold_legal_partitions ?max_kernels config p ~init:None ~f:(fun best partition ->
+        let score = objective partition in
+        match best with
+        | Some (s, _) when s >= score -> best
+        | Some _ | None -> Some (score, partition))
+  in
+  match best with
+  | Some (score, partition) -> (score, partition)
+  | None -> (0.0, [])
+
+let run ?max_kernels config (p : Pipeline.t) =
+  let edges = Benefit.all_edges config p in
+  let block_weight block =
+    List.fold_left
+      (fun acc (r : Benefit.edge_report) ->
+        if Iset.mem r.Benefit.src block && Iset.mem r.Benefit.dst block then
+          acc +. r.Benefit.weight
+        else acc)
+      0.0 edges
+  in
+  let beta partition = List.fold_left (fun acc b -> acc +. block_weight b) 0.0 partition in
+  run_with ?max_kernels config p ~objective:beta
+
+let optimal_objective ?max_kernels config p = fst (run ?max_kernels config p)
+
+let count_legal_partitions ?max_kernels config p =
+  fold_legal_partitions ?max_kernels config p ~init:0 ~f:(fun n _ -> n + 1)

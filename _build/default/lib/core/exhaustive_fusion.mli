@@ -1,0 +1,40 @@
+(** Exhaustive optimal fusion — an oracle for small pipelines.
+
+    The fusion problem is a minimum-weight k-cut with k undetermined,
+    which is NP-complete (Section III-C), so the paper's Algorithm 1 is a
+    heuristic.  For small DAGs we can afford the exact answer: enumerate
+    every partition of the kernels into connected, legal blocks (under
+    the same extended legality as {!Mincut_fusion.block_legal}) and pick
+    the one maximizing the objective beta of Eq. 1.
+
+    This module exists for evaluation: the `ablate-optimal` benchmark
+    compares Algorithm 1's beta against the optimum, and the test suite
+    asserts the heuristic is optimal on all six paper applications. *)
+
+(** [run ?max_kernels config pipeline] is [(beta, partition)] for an
+    optimal partition.  Exponential; refuses pipelines with more than
+    [max_kernels] (default 12) kernels.
+    @raise Invalid_argument when the pipeline is too large. *)
+val run :
+  ?max_kernels:int -> Config.t -> Kfuse_ir.Pipeline.t -> float * Kfuse_graph.Partition.t
+
+(** [optimal_objective ?max_kernels config pipeline] is the best beta. *)
+val optimal_objective : ?max_kernels:int -> Config.t -> Kfuse_ir.Pipeline.t -> float
+
+(** [run_with ?max_kernels config pipeline ~objective] maximizes an
+    arbitrary [objective] over all partitions into legal blocks — e.g. a
+    negated execution-time estimate from {!Kfuse_gpu}'s performance
+    model, letting the `model` ablation ask whether the paper's
+    cycle-saving objective β and an end-to-end time model pick the same
+    partition.  The objective is evaluated once per complete candidate
+    partition (given in normalized form). *)
+val run_with :
+  ?max_kernels:int ->
+  Config.t ->
+  Kfuse_ir.Pipeline.t ->
+  objective:(Kfuse_graph.Partition.t -> float) ->
+  float * Kfuse_graph.Partition.t
+
+(** [count_legal_partitions ?max_kernels config pipeline] is the size of
+    the search space: the number of partitions into legal blocks. *)
+val count_legal_partitions : ?max_kernels:int -> Config.t -> Kfuse_ir.Pipeline.t -> int

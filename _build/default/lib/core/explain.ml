@@ -1,0 +1,62 @@
+module Iset = Kfuse_util.Iset
+module Pipeline = Kfuse_ir.Pipeline
+module Kernel = Kfuse_ir.Kernel
+
+let report config (p : Pipeline.t) =
+  let buf = Buffer.create 2048 in
+  let b fmt = Printf.bprintf buf fmt in
+  let name i = (Pipeline.kernel p i).Kernel.name in
+  b "# Fusion report: pipeline %s (%dx%dx%d, %d kernels)\n\n" p.Pipeline.name
+    p.Pipeline.width p.Pipeline.height p.Pipeline.channels (Pipeline.num_kernels p);
+
+  b "## Kernels\n";
+  Array.iteri
+    (fun i (k : Kernel.t) ->
+      let c = Kfuse_ir.Cost.kernel_op_counts k in
+      b "- %s: %s; reads [%s]; %d ALU + %d SFU ops; ~%d registers\n" k.Kernel.name
+        (Kernel.pattern_to_string (Kernel.pattern k))
+        (String.concat ", " k.Kernel.inputs)
+        c.Kfuse_ir.Cost.alu c.Kfuse_ir.Cost.sfu
+        (Kfuse_ir.Cost.kernel_registers k);
+      ignore i)
+    p.Pipeline.kernels;
+
+  b "\n## Edge benefits (Eqs. 3-12)\n";
+  List.iter
+    (fun (r : Benefit.edge_report) ->
+      b "- %s -> %s over %s: %s" (name r.Benefit.src) (name r.Benefit.dst)
+        r.Benefit.image
+        (Benefit.scenario_to_string r.Benefit.scenario);
+      (match r.Benefit.scenario with
+      | Benefit.Illegal reason -> b " (%s)" (Legality.reason_to_string p reason)
+      | Benefit.Point_based | Benefit.Point_to_local | Benefit.Local_to_local ->
+        b "; delta = %.1f, phi = %.1f" r.Benefit.delta r.Benefit.phi);
+      b "; weight = %.3f\n" r.Benefit.weight)
+    (Benefit.all_edges config p);
+
+  b "\n## Algorithm 1 trace\n";
+  let result = Mincut_fusion.run config p in
+  List.iter
+    (fun step -> b "- %s\n" (Format.asprintf "%a" (Mincut_fusion.pp_step p) step))
+    result.Mincut_fusion.steps;
+  b "final partition:";
+  List.iter
+    (fun blk ->
+      b " {%s}" (String.concat ", " (List.map name (Iset.elements blk))))
+    result.Mincut_fusion.partition;
+  b "\nobjective beta = %.3f\n" result.Mincut_fusion.objective;
+
+  b "\n## Inlining verdicts (extension)\n";
+  Array.iter
+    (fun (k : Kernel.t) ->
+      b "- %s: %s\n" k.Kernel.name
+        (Inline_fusion.verdict_to_string (Inline_fusion.judge config p k.Kernel.name)))
+    p.Pipeline.kernels;
+
+  b "\n## Distribution verdicts (extension)\n";
+  Array.iter
+    (fun (k : Kernel.t) ->
+      b "- %s: %s\n" k.Kernel.name
+        (Distribute.verdict_to_string (Distribute.judge p k.Kernel.name)))
+    p.Pipeline.kernels;
+  Buffer.contents buf

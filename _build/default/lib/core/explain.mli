@@ -1,0 +1,11 @@
+(** Human-readable narration of fusion decisions.
+
+    Consolidates the engine's analyses into one report: the scenario and
+    weight breakdown of every edge (Section II-C), the legality verdict of
+    every pairwise block, the min-cut recursion trace, the final
+    partition, and — for the extensions — the inlining verdict for every
+    intermediate and the distribution verdict for every kernel.  Exposed
+    on the CLI as [kfusec explain]. *)
+
+(** [report config pipeline] renders the full narration as plain text. *)
+val report : Config.t -> Kfuse_ir.Pipeline.t -> string

@@ -1,0 +1,36 @@
+module Iset = Kfuse_util.Iset
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+
+let partition config (p : Pipeline.t) =
+  let g = Pipeline.dag p in
+  let edges = Benefit.all_edges config p in
+  let by_weight =
+    List.stable_sort
+      (fun (a : Benefit.edge_report) (b : Benefit.edge_report) ->
+        Float.compare b.weight a.weight)
+      edges
+  in
+  let legal = Mincut_fusion.block_legal config p edges in
+  let rec fixpoint blocks =
+    let merge =
+      List.find_map
+        (fun (r : Benefit.edge_report) ->
+          let bu = Partition.block_of blocks r.src
+          and bv = Partition.block_of blocks r.dst in
+          if Iset.equal bu bv then None
+          else begin
+            let merged = Iset.union bu bv in
+            if legal merged then Some (bu, bv) else None
+          end)
+        by_weight
+    in
+    match merge with
+    | None -> blocks
+    | Some (bu, bv) ->
+      let rest =
+        List.filter (fun b -> not (Iset.equal b bu || Iset.equal b bv)) blocks
+      in
+      fixpoint (Partition.normalize (Iset.union bu bv :: rest))
+  in
+  fixpoint (Partition.singletons g)

@@ -1,0 +1,12 @@
+(** Greedy heaviest-edge fusion — the classic grouping baseline.
+
+    "One method to search fusible candidates is by greedy fusion, namely
+    fusing along the heaviest edge" (Section I, describing the grouping
+    steps of PolyMage and Halide's auto-scheduler).  This strategy uses
+    the {e same} benefit model and the {e same} extended block legality
+    as the min-cut algorithm, but grows blocks by repeatedly merging the
+    endpoints of the heaviest remaining edge whose merged block is legal.
+    It serves as the ablation point for the min-cut contribution. *)
+
+(** [partition config pipeline] computes the greedy partition. *)
+val partition : Config.t -> Kfuse_ir.Pipeline.t -> Kfuse_graph.Partition.t

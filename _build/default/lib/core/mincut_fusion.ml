@@ -1,0 +1,107 @@
+module Iset = Kfuse_util.Iset
+module Digraph = Kfuse_graph.Digraph
+module Topo = Kfuse_graph.Topo
+module Wgraph = Kfuse_graph.Wgraph
+module Stoer_wagner = Kfuse_graph.Stoer_wagner
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+
+type step =
+  | Accept of Iset.t
+  | Cut of {
+      block : Iset.t;
+      reason : Legality.reason option;
+      cut_weight : float;
+      side_a : Iset.t;
+      side_b : Iset.t;
+    }
+
+type result = {
+  partition : Partition.t;
+  edges : Benefit.edge_report list;
+  steps : step list;
+  objective : float;
+}
+
+let unprofitable (config : Config.t) (r : Benefit.edge_report) =
+  match r.scenario with
+  | Benefit.Illegal _ -> false
+  | Benefit.Point_based | Benefit.Point_to_local | Benefit.Local_to_local ->
+    r.delta -. r.phi +. config.gamma <= 0.0
+
+let block_legal config p edges block =
+  (match Legality.check config p block with Ok () -> true | Error _ -> false)
+  && not
+       (List.exists
+          (fun (r : Benefit.edge_report) ->
+            Iset.mem r.src block && Iset.mem r.dst block && unprofitable config r)
+          edges)
+
+let run config (p : Pipeline.t) =
+  Config.validate config;
+  let g = Pipeline.dag p in
+  let edges = Benefit.all_edges config p in
+  let weight_of u v =
+    match
+      List.find_opt (fun (r : Benefit.edge_report) -> r.src = u && r.dst = v) edges
+    with
+    | Some r -> r.weight
+    | None -> invalid_arg "Mincut_fusion: missing edge weight"
+  in
+  let legal = block_legal config p edges in
+  let explain block =
+    match Legality.check config p block with Ok () -> None | Error r -> Some r
+  in
+  (* Working set as a FIFO queue; ready blocks accumulate. *)
+  let rec loop work ready steps =
+    match work with
+    | [] -> (List.rev ready, List.rev steps)
+    | block :: rest ->
+      if Iset.cardinal block = 1 || legal block then
+        loop rest (block :: ready) (Accept block :: steps)
+      else begin
+        let sub = Digraph.induced g block in
+        match Topo.undirected_components sub with
+        | [] -> assert false
+        | [ _ ] ->
+          let wsub = Wgraph.of_digraph weight_of sub in
+          let cut_weight, side = Stoer_wagner.min_cut wsub in
+          let side_a = side and side_b = Iset.diff block side in
+          let step =
+            Cut { block; reason = explain block; cut_weight; side_a; side_b }
+          in
+          loop (side_a :: side_b :: rest) ready (step :: steps)
+        | first :: others ->
+          (* A disconnected block (possible when a cut separates a hub):
+             split into weak components at zero cut cost. *)
+          let side_a = first in
+          let side_b = List.fold_left Iset.union Iset.empty others in
+          let step =
+            Cut { block; reason = explain block; cut_weight = 0.0; side_a; side_b }
+          in
+          loop (side_a :: side_b :: rest) ready (step :: steps)
+      end
+  in
+  let all = Digraph.vertices g in
+  let partition, steps =
+    if Iset.is_empty all then ([], []) else loop [ all ] [] []
+  in
+  let partition = Partition.normalize partition in
+  let objective = Partition.objective weight_of g partition in
+  { partition; edges; steps; objective }
+
+let partition config p = (run config p).partition
+
+let pp_step (p : Pipeline.t) ppf step =
+  let name i = (Pipeline.kernel p i).Kfuse_ir.Kernel.name in
+  let pp_block ppf b =
+    Format.fprintf ppf "{%s}" (String.concat ", " (List.map name (Iset.elements b)))
+  in
+  match step with
+  | Accept b -> Format.fprintf ppf "accept %a" pp_block b
+  | Cut { block; reason; cut_weight; side_a; side_b } ->
+    Format.fprintf ppf "cut %a (w=%.3f%s) -> %a | %a" pp_block block cut_weight
+      (match reason with
+      | None -> ""
+      | Some r -> Printf.sprintf "; %s" (Legality.reason_to_string p r))
+      pp_block side_a pp_block side_b

@@ -1,0 +1,48 @@
+(** Algorithm 1: recursive min-cut kernel fusion (Section III).
+
+    Weights are assigned to every edge by the benefit model; the whole
+    DAG starts as a single partition block in the working set.  Each
+    iteration moves legal (or singleton) blocks to the ready set and
+    splits illegal blocks along a weighted minimum cut (Stoer-Wagner) of
+    their induced undirected graph.  The recursion terminates with a
+    partition whose blocks are all legal; maximizing the retained
+    in-block weight is equivalent to minimizing the cut weight (Eq. 13).
+
+    Block legality here is {!Legality.check} extended with the paper's
+    profitability clamp (Section II-C.4): an edge whose legal scenario
+    estimates a non-positive benefit "should not be fused" and is treated
+    as fusion-preventing, so a block containing such an edge is split. *)
+
+(** One step of the recursion, for tracing/visualizing Figure 3. *)
+type step =
+  | Accept of Kfuse_util.Iset.t  (** block was legal (or singleton) *)
+  | Cut of {
+      block : Kfuse_util.Iset.t;
+      reason : Legality.reason option;
+          (** why the block was illegal; [None] when split only by the
+              profitability clamp or disconnection *)
+      cut_weight : float;
+      side_a : Kfuse_util.Iset.t;
+      side_b : Kfuse_util.Iset.t;
+    }
+
+type result = {
+  partition : Kfuse_graph.Partition.t;
+  edges : Benefit.edge_report list;  (** the weighted fusion graph *)
+  steps : step list;  (** recursion trace, in execution order *)
+  objective : float;  (** beta of Eq. 1 under the computed weights *)
+}
+
+(** [block_legal config pipeline edges block] is the extended legality
+    predicate described above ([edges] supplies precomputed weights). *)
+val block_legal :
+  Config.t -> Kfuse_ir.Pipeline.t -> Benefit.edge_report list -> Kfuse_util.Iset.t -> bool
+
+(** [run config pipeline] executes Algorithm 1 and returns the final
+    partition with its trace. *)
+val run : Config.t -> Kfuse_ir.Pipeline.t -> result
+
+(** [partition config pipeline] is [(run config pipeline).partition]. *)
+val partition : Config.t -> Kfuse_ir.Pipeline.t -> Kfuse_graph.Partition.t
+
+val pp_step : Kfuse_ir.Pipeline.t -> Format.formatter -> step -> unit

@@ -1,0 +1,77 @@
+module Expr = Kfuse_ir.Expr
+
+let inline_producers ~exchange ~fresh ~produced body =
+  (* Count point reads of each produced image occurring outside Shift
+     frames: only those may share a register. *)
+  let counts = Hashtbl.create 4 in
+  let rec scan in_shift e =
+    match e with
+    | Expr.Input { image; dx = 0; dy = 0; _ } when (not in_shift) && produced image <> None
+      ->
+      Hashtbl.replace counts image
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts image))
+    | Expr.Input _ | Expr.Const _ | Expr.Param _ | Expr.Var _ -> ()
+    | Expr.Let { value; body; _ } ->
+      scan in_shift value;
+      scan in_shift body
+    | Expr.Unop (_, a) -> scan in_shift a
+    | Expr.Binop (_, a, b) ->
+      scan in_shift a;
+      scan in_shift b
+    | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
+      List.iter (scan in_shift) [ lhs; rhs; if_true; if_false ]
+    | Expr.Shift { body; _ } -> scan true body
+  in
+  scan false body;
+  let bindings = ref [] in
+  let binding_var = Hashtbl.create 4 in
+  let rec go in_shift e =
+    match e with
+    | Expr.Const _ | Expr.Param _ | Expr.Var _ -> e
+    | Expr.Input { image; dx; dy; border } -> (
+      match produced image with
+      | None -> e
+      | Some producer_body ->
+        if dx = 0 && dy = 0 then
+          if (not in_shift) && Option.value ~default:0 (Hashtbl.find_opt counts image) >= 2
+          then begin
+            match Hashtbl.find_opt binding_var image with
+            | Some v -> Expr.Var v
+            | None ->
+              let v = fresh image in
+              Hashtbl.replace binding_var image v;
+              bindings := (v, producer_body) :: !bindings;
+              Expr.Var v
+          end
+          else producer_body
+        else
+          (* Windowed access: recompute the producer at the shifted
+             position (the redundant computation priced by phi), with
+             index exchange replaying the consumer's border mode. *)
+          Expr.Shift
+            {
+              dx;
+              dy;
+              exchange = (if exchange then Some border else None);
+              body = producer_body;
+            })
+    | Expr.Let { var; value; body } ->
+      Expr.Let { var; value = go in_shift value; body = go in_shift body }
+    | Expr.Unop (op, a) -> Expr.Unop (op, go in_shift a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go in_shift a, go in_shift b)
+    | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+      Expr.Select
+        {
+          cmp;
+          lhs = go in_shift lhs;
+          rhs = go in_shift rhs;
+          if_true = go in_shift if_true;
+          if_false = go in_shift if_false;
+        }
+    | Expr.Shift { dx; dy; exchange = ex; body } ->
+      Expr.Shift { dx; dy; exchange = ex; body = go true body }
+  in
+  let substituted = go false body in
+  List.fold_left
+    (fun acc (v, value) -> Expr.Let { var = v; value; body = acc })
+    substituted !bindings

@@ -1,0 +1,22 @@
+(** Producer-body substitution shared by {!Transform} and
+    {!Inline_fusion}.
+
+    Replaces reads of produced images inside a consumer body:
+    - point reads (offset 0) {e outside} any [Shift] frame that occur more
+      than once share one [Let]-bound register;
+    - point reads {e inside} a [Shift] frame inline the producer body
+      directly — the value at the shifted position differs from the
+      outer register, so sharing it would be unsound;
+    - windowed reads wrap the producer body in a [Shift] carrying the
+      consumer's border mode as index exchange (when [exchange] is set). *)
+
+(** [inline_producers ~exchange ~fresh ~produced body] rewrites [body].
+    [produced image] returns the (fully inlined, closed) producer body
+    when [image] is being substituted; [fresh image] allocates a register
+    name unused in any involved expression. *)
+val inline_producers :
+  exchange:bool ->
+  fresh:(string -> string) ->
+  produced:(string -> Kfuse_ir.Expr.t option) ->
+  Kfuse_ir.Expr.t ->
+  Kfuse_ir.Expr.t

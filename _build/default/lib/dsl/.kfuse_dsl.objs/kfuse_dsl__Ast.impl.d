@@ -1,0 +1,1 @@
+lib/dsl/ast.ml: Kfuse_image

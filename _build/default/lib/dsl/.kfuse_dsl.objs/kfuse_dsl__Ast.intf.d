@@ -1,0 +1,1 @@
+lib/dsl/ast.mli: Kfuse_image

@@ -1,0 +1,1 @@
+lib/dsl/elaborate.ml: Ast Float Kfuse_image Kfuse_ir List Option Parser Printf

@@ -1,0 +1,1 @@
+lib/dsl/elaborate.mli: Ast Kfuse_image Kfuse_ir

@@ -1,0 +1,1 @@
+lib/dsl/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/dsl/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Ast Float Kfuse_image Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/dsl/unparse.ml: Array Buffer Float Kfuse_image Kfuse_ir List Printf String

@@ -1,0 +1,1 @@
+lib/dsl/unparse.mli: Kfuse_ir

@@ -1,0 +1,32 @@
+(* Types only; see ast.mli. *)
+include struct
+  type position = { line : int; col : int }
+
+  type mask_ref = Named_mask of string | Literal_mask of float list list
+
+  type expr =
+    | Num of float
+    | Ref of string
+    | Access of { name : string; dx : int; dy : int; border : Kfuse_image.Border.mode option }
+    | Conv of { image : string; mask : mask_ref; border : Kfuse_image.Border.mode option }
+    | Let_in of { name : string; value : expr; body : expr }
+  | Unary of string * expr
+    | Binary of string * expr * expr
+    | Call of string * expr list
+
+  type def_body =
+    | Map_def of expr
+    | Reduce_def of [ `Sum | `Min | `Max ] * expr
+
+  type stmt =
+    | Size of { width : int; height : int; channels : int option }
+    | Param_decl of string * float
+    | Def of { name : string; body : def_body; pos : position }
+
+  type pipeline = {
+    name : string;
+    inputs : string list;
+    stmts : stmt list;
+    pos : position;
+  }
+end

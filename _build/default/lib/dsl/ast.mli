@@ -1,0 +1,49 @@
+(** Abstract syntax of the pipeline DSL.
+
+    A small textual front end for describing kernel pipelines, in the
+    spirit of Hipacc's C++-embedded operators.  Example:
+
+    {v
+    # Sobel edge filter
+    pipeline sobel(in) {
+      size 2048 2048
+      dx  = conv(in, sobelx, clamp)
+      dy  = conv(in, sobely, clamp)
+      mag = sqrt(dx*dx + dy*dy)
+    }
+    v} *)
+
+type position = { line : int; col : int }
+
+(** Convolution masks: a named builtin ([gauss3], [gauss5], [sobelx],
+    [sobely], [mean3], [mean5]) or a literal row-major matrix. *)
+type mask_ref = Named_mask of string | Literal_mask of float list list
+
+type expr =
+  | Num of float
+  | Ref of string  (** image (point access) or parameter; resolved later *)
+  | Access of { name : string; dx : int; dy : int; border : Kfuse_image.Border.mode option }
+      (** windowed access [name\@(dx,dy)] with optional border suffix *)
+  | Conv of { image : string; mask : mask_ref; border : Kfuse_image.Border.mode option }
+  | Let_in of { name : string; value : expr; body : expr }
+      (** [let name = value in body]; the binding shadows parameters and
+          images within [body] *)
+  | Unary of string * expr  (** "-", "sqrt", "exp", ... *)
+  | Binary of string * expr * expr  (** "+", "-", "*", "/" *)
+  | Call of string * expr list  (** "min", "max", "pow", "clamp01" *)
+
+type def_body =
+  | Map_def of expr
+  | Reduce_def of [ `Sum | `Min | `Max ] * expr  (** [reduce sum(expr)] *)
+
+type stmt =
+  | Size of { width : int; height : int; channels : int option }
+  | Param_decl of string * float
+  | Def of { name : string; body : def_body; pos : position }
+
+type pipeline = {
+  name : string;
+  inputs : string list;
+  stmts : stmt list;
+  pos : position;
+}

@@ -1,0 +1,136 @@
+module Border = Kfuse_image.Border
+module Mask = Kfuse_image.Mask
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+
+exception Elab_error of { pos : Ast.position; msg : string }
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Elab_error { pos; msg })) fmt
+
+let named_mask = function
+  | "gauss3" -> Some Mask.gaussian_3x3
+  | "gauss5" -> Some Mask.gaussian_5x5
+  | "sobelx" -> Some Mask.sobel_x
+  | "sobely" -> Some Mask.sobel_y
+  | "mean3" -> Some (Mask.mean 3)
+  | "mean5" -> Some (Mask.mean 5)
+  | _ -> None
+
+let resolve_mask pos = function
+  | Ast.Named_mask name -> (
+    match named_mask name with
+    | Some m -> m
+    | None -> fail pos "unknown mask %S" name)
+  | Ast.Literal_mask rows -> (
+    match Mask.of_rows rows with
+    | m -> m
+    | exception Invalid_argument msg -> fail pos "invalid mask: %s" msg)
+
+let unop_of_name pos = function
+  | "sqrt" -> Expr.Sqrt
+  | "exp" -> Expr.Exp
+  | "log" -> Expr.Log
+  | "sin" -> Expr.Sin
+  | "cos" -> Expr.Cos
+  | "abs" -> Expr.Abs
+  | "floor" -> Expr.Floor
+  | s -> fail pos "unknown unary function %S" s
+
+(* [env]: let-bound variables (innermost first), params, and image names
+   (inputs + earlier definitions) in scope. *)
+let rec elab_expr ~pos ~vars ~params ~images e =
+  let recur = elab_expr ~pos ~vars ~params ~images in
+  match e with
+  | Ast.Num f -> Expr.Const f
+  | Ast.Ref name ->
+    if List.mem name vars then Expr.var name
+    else if List.mem name params then Expr.Param name
+    else if List.mem name images then Expr.input name
+    else fail pos "unknown name %S (not a binding, parameter, input, or earlier kernel)" name
+  | Ast.Let_in { name; value; body } ->
+    let value = recur value in
+    let body = elab_expr ~pos ~vars:(name :: vars) ~params ~images body in
+    Expr.let_ name value body
+  | Ast.Access { name; dx; dy; border } ->
+    if not (List.mem name images) then
+      fail pos "windowed access to unknown image %S" name;
+    Expr.input ~border:(Option.value ~default:Border.Clamp border) ~dx ~dy name
+  | Ast.Conv { image; mask; border } ->
+    if not (List.mem image images) then fail pos "conv over unknown image %S" image;
+    Expr.conv
+      ~border:(Option.value ~default:Border.Clamp border)
+      (resolve_mask pos mask) image
+  | Ast.Unary ("-", a) -> Expr.neg (recur a)
+  | Ast.Unary ("clamp01", a) -> Expr.clamp01 (recur a)
+  | Ast.Unary (name, a) -> Expr.Unop (unop_of_name pos name, recur a)
+  | Ast.Binary ("+", a, b) -> Expr.Binop (Expr.Add, recur a, recur b)
+  | Ast.Binary ("-", a, b) -> Expr.Binop (Expr.Sub, recur a, recur b)
+  | Ast.Binary ("*", a, b) -> Expr.Binop (Expr.Mul, recur a, recur b)
+  | Ast.Binary ("/", a, b) -> Expr.Binop (Expr.Div, recur a, recur b)
+  | Ast.Binary (op, _, _) -> fail pos "unknown operator %S" op
+  | Ast.Call ("select", [ a; b; t; f ]) ->
+    Expr.select Expr.Lt (recur a) (recur b) (recur t) (recur f)
+  | Ast.Call ("min", [ a; b ]) -> Expr.min (recur a) (recur b)
+  | Ast.Call ("max", [ a; b ]) -> Expr.max (recur a) (recur b)
+  | Ast.Call ("pow", [ a; b ]) -> Expr.pow (recur a) (recur b)
+  | Ast.Call (name, _) -> fail pos "unknown function %S" name
+
+let pipeline ?width ?height (ast : Ast.pipeline) =
+  let size =
+    List.find_map
+      (function Ast.Size { width; height; channels } -> Some (width, height, channels) | _ -> None)
+      ast.Ast.stmts
+  in
+  let dsl_w, dsl_h, channels =
+    match size with
+    | Some (w, h, c) -> (w, h, Option.value ~default:1 c)
+    | None -> (2048, 2048, 1)
+  in
+  let width = Option.value ~default:dsl_w width in
+  let height = Option.value ~default:dsl_h height in
+  let params =
+    List.filter_map
+      (function Ast.Param_decl (n, v) -> Some (n, v) | _ -> None)
+      ast.Ast.stmts
+  in
+  let param_names = List.map fst params in
+  let defs =
+    List.filter_map
+      (function Ast.Def { name; body; pos } -> Some (name, body, pos) | _ -> None)
+      ast.Ast.stmts
+  in
+  let _, kernels =
+    List.fold_left
+      (fun (images, acc) (name, body, pos) ->
+        let elab = elab_expr ~pos ~vars:[] ~params:param_names ~images in
+        let kernel =
+          match body with
+          | Ast.Map_def e ->
+            let ir = elab e in
+            Kernel.map ~name ~inputs:(Expr.images ir) ir
+          | Ast.Reduce_def (op, e) ->
+            let ir = elab e in
+            let combine =
+              match op with `Sum -> Expr.Add | `Min -> Expr.Min | `Max -> Expr.Max
+            in
+            let init =
+              match op with `Sum -> 0.0 | `Min -> Float.infinity | `Max -> Float.neg_infinity
+            in
+            Kernel.reduce ~name ~inputs:(Expr.images ir) ~init ~combine ir
+        in
+        (name :: images, kernel :: acc))
+      (ast.Ast.inputs, []) defs
+  in
+  Pipeline.create ~name:ast.Ast.name ~width ~height ~channels ~params
+    ~inputs:ast.Ast.inputs (List.rev kernels)
+
+let parse_pipeline ?width ?height src =
+  match Parser.parse_result src with
+  | Error _ as e -> e
+  | Ok ast -> (
+    match pipeline ?width ?height ast with
+    | p -> Ok p
+    | exception Elab_error { pos; msg } ->
+      Error (Printf.sprintf "line %d, column %d: %s" pos.Ast.line pos.Ast.col msg)
+    | exception Invalid_argument msg -> Error msg)

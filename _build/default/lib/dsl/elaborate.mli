@@ -1,0 +1,25 @@
+(** Elaboration: DSL syntax to the kernel IR.
+
+    Each definition becomes one kernel named after its left-hand side.
+    Name resolution: a bare identifier in an expression refers to a
+    declared [param] if one exists, otherwise to a pipeline input or an
+    earlier definition (a point access at offset 0).  Windowed accesses
+    and [conv] take an optional border mode defaulting to [clamp]. *)
+
+exception Elab_error of { pos : Ast.position; msg : string }
+
+(** [pipeline ?width ?height ast] builds the validated IR pipeline.  The
+    optional extents override the DSL [size] declaration (which itself
+    defaults to 2048x2048x1 when absent).
+    @raise Elab_error on name-resolution or mask errors (and lets
+    {!Kfuse_ir.Pipeline.create}'s [Invalid_argument] pass through for
+    structural ones). *)
+val pipeline : ?width:int -> ?height:int -> Ast.pipeline -> Kfuse_ir.Pipeline.t
+
+(** [named_mask name] resolves a builtin mask name ([gauss3], [gauss5],
+    [sobelx], [sobely], [mean3], [mean5]). *)
+val named_mask : string -> Kfuse_image.Mask.t option
+
+(** [parse_pipeline ?width ?height src] is parsing plus elaboration with
+    all errors rendered as strings. *)
+val parse_pipeline : ?width:int -> ?height:int -> string -> (Kfuse_ir.Pipeline.t, string) result

@@ -1,0 +1,311 @@
+module Border = Kfuse_image.Border
+
+exception Parse_error of { pos : Ast.position; msg : string }
+
+type state = { tokens : Lexer.spanned array; mutable idx : int }
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Parse_error { pos; msg })) fmt
+
+let current st = st.tokens.(st.idx)
+let advance st = if st.idx < Array.length st.tokens - 1 then st.idx <- st.idx + 1
+
+let expect st tok =
+  let { Lexer.token; pos } = current st in
+  if token = tok then advance st
+  else fail pos "expected %s, found %s" (Lexer.token_to_string tok) (Lexer.token_to_string token)
+
+let expect_ident st =
+  match current st with
+  | { Lexer.token = Lexer.Ident s; _ } ->
+    advance st;
+    s
+  | { Lexer.token; pos } ->
+    fail pos "expected an identifier, found %s" (Lexer.token_to_string token)
+
+let expect_keyword st kw =
+  let { Lexer.token; pos } = current st in
+  match token with
+  | Lexer.Ident s when String.equal s kw -> advance st
+  | _ -> fail pos "expected %S, found %s" kw (Lexer.token_to_string token)
+
+(* A possibly-negated number. *)
+let signed_number st =
+  match current st with
+  | { Lexer.token = Lexer.Minus; _ } -> (
+    advance st;
+    match current st with
+    | { Lexer.token = Lexer.Number f; _ } ->
+      advance st;
+      -.f
+    | { Lexer.token; pos } ->
+      fail pos "expected a number after '-', found %s" (Lexer.token_to_string token))
+  | { Lexer.token = Lexer.Number f; _ } ->
+    advance st;
+    f
+  | { Lexer.token; pos } -> fail pos "expected a number, found %s" (Lexer.token_to_string token)
+
+let signed_int st =
+  let pos = (current st).Lexer.pos in
+  let f = signed_number st in
+  if Float.is_integer f then int_of_float f else fail pos "expected an integer, got %g" f
+
+let positive_int st =
+  let pos = (current st).Lexer.pos in
+  let v = signed_int st in
+  if v > 0 then v else fail pos "expected a positive integer, got %d" v
+
+let border_mode st =
+  let pos = (current st).Lexer.pos in
+  match expect_ident st with
+  | "clamp" -> Border.Clamp
+  | "mirror" -> Border.Mirror
+  | "repeat" -> Border.Repeat
+  | "undefined" -> Border.Undefined
+  | "constant" ->
+    expect st Lexer.Lparen;
+    let c = signed_number st in
+    expect st Lexer.Rparen;
+    Border.Constant c
+  | s -> fail pos "unknown border mode %S (expected clamp, mirror, repeat, constant(c), undefined)" s
+
+let mask_row st =
+  expect st Lexer.Lbracket;
+  let rec loop acc =
+    let v = signed_number st in
+    match (current st).Lexer.token with
+    | Lexer.Comma ->
+      advance st;
+      loop (v :: acc)
+    | _ ->
+      expect st Lexer.Rbracket;
+      List.rev (v :: acc)
+  in
+  loop []
+
+let mask_ref st =
+  match current st with
+  | { Lexer.token = Lexer.Lbracket; _ } ->
+    advance st;
+    let rec loop acc =
+      let row = mask_row st in
+      match (current st).Lexer.token with
+      | Lexer.Comma ->
+        advance st;
+        loop (row :: acc)
+      | _ ->
+        expect st Lexer.Rbracket;
+        List.rev (row :: acc)
+    in
+    Ast.Literal_mask (loop [])
+  | _ -> Ast.Named_mask (expect_ident st)
+
+let builtin_unary = [ "sqrt"; "exp"; "log"; "sin"; "cos"; "abs"; "floor"; "clamp01" ]
+let builtin_binary = [ "min"; "max"; "pow" ]
+
+let rec expr st = additive st
+
+and additive st =
+  let rec loop lhs =
+    match (current st).Lexer.token with
+    | Lexer.Plus ->
+      advance st;
+      loop (Ast.Binary ("+", lhs, multiplicative st))
+    | Lexer.Minus ->
+      advance st;
+      loop (Ast.Binary ("-", lhs, multiplicative st))
+    | _ -> lhs
+  in
+  loop (multiplicative st)
+
+and multiplicative st =
+  let rec loop lhs =
+    match (current st).Lexer.token with
+    | Lexer.Star ->
+      advance st;
+      loop (Ast.Binary ("*", lhs, unary st))
+    | Lexer.Slash ->
+      advance st;
+      loop (Ast.Binary ("/", lhs, unary st))
+    | _ -> lhs
+  in
+  loop (unary st)
+
+and unary st =
+  match (current st).Lexer.token with
+  | Lexer.Minus ->
+    advance st;
+    Ast.Unary ("-", unary st)
+  | _ -> primary st
+
+and primary st =
+  match current st with
+  | { Lexer.token = Lexer.Number f; _ } ->
+    advance st;
+    Ast.Num f
+  | { Lexer.token = Lexer.Lparen; _ } ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.Rparen;
+    e
+  | { Lexer.token = Lexer.Ident "let"; _ } ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.Equals;
+    let value = expr st in
+    expect_keyword st "in";
+    let body = expr st in
+    Ast.Let_in { name; value; body }
+  | { Lexer.token = Lexer.Ident name; pos } -> (
+    advance st;
+    match (current st).Lexer.token with
+    | Lexer.At ->
+      advance st;
+      expect st Lexer.Lparen;
+      let dx = signed_int st in
+      expect st Lexer.Comma;
+      let dy = signed_int st in
+      expect st Lexer.Rparen;
+      let border =
+        match (current st).Lexer.token with
+        | Lexer.Colon ->
+          advance st;
+          Some (border_mode st)
+        | _ -> None
+      in
+      Ast.Access { name; dx; dy; border }
+    | Lexer.Lparen -> call st name pos
+    | _ -> Ast.Ref name)
+  | { Lexer.token; pos } ->
+    fail pos "expected an expression, found %s" (Lexer.token_to_string token)
+
+and call st name pos =
+  expect st Lexer.Lparen;
+  if String.equal name "select" then begin
+    (* select(a, b, t, f) = if a < b then t else f *)
+    let rec args acc =
+      let e = expr st in
+      match (current st).Lexer.token with
+      | Lexer.Comma ->
+        advance st;
+        args (e :: acc)
+      | _ ->
+        expect st Lexer.Rparen;
+        List.rev (e :: acc)
+    in
+    match args [] with
+    | [ _; _; _; _ ] as four -> Ast.Call ("select", four)
+    | _ -> fail pos "select expects exactly 4 arguments (a, b, then, else)"
+  end
+  else if String.equal name "conv" then begin
+    let image = expect_ident st in
+    expect st Lexer.Comma;
+    let mask = mask_ref st in
+    let border =
+      match (current st).Lexer.token with
+      | Lexer.Comma ->
+        advance st;
+        Some (border_mode st)
+      | _ -> None
+    in
+    expect st Lexer.Rparen;
+    Ast.Conv { image; mask; border }
+  end
+  else begin
+    let rec args acc =
+      let e = expr st in
+      match (current st).Lexer.token with
+      | Lexer.Comma ->
+        advance st;
+        args (e :: acc)
+      | _ ->
+        expect st Lexer.Rparen;
+        List.rev (e :: acc)
+    in
+    let arguments = args [] in
+    match (List.mem name builtin_unary, List.mem name builtin_binary, arguments) with
+    | true, _, [ a ] -> Ast.Unary (name, a)
+    | _, true, [ a; b ] -> Ast.Call (name, [ a; b ])
+    | true, _, _ -> fail pos "%s expects exactly 1 argument" name
+    | _, true, _ -> fail pos "%s expects exactly 2 arguments" name
+    | false, false, _ -> fail pos "unknown function %S" name
+  end
+
+let def_body st =
+  match current st with
+  | { Lexer.token = Lexer.Ident "reduce"; pos } -> (
+    advance st;
+    let op =
+      match expect_ident st with
+      | "sum" -> `Sum
+      | "min" -> `Min
+      | "max" -> `Max
+      | s -> fail pos "unknown reduction %S (expected sum, min, max)" s
+    in
+    expect st Lexer.Lparen;
+    let e = expr st in
+    expect st Lexer.Rparen;
+    Ast.Reduce_def (op, e))
+  | _ -> Ast.Map_def (expr st)
+
+let stmt st =
+  let pos = (current st).Lexer.pos in
+  match current st with
+  | { Lexer.token = Lexer.Ident "size"; _ } ->
+    advance st;
+    let width = positive_int st in
+    let height = positive_int st in
+    let channels =
+      match (current st).Lexer.token with
+      | Lexer.Number _ -> Some (positive_int st)
+      | _ -> None
+    in
+    Ast.Size { width; height; channels }
+  | { Lexer.token = Lexer.Ident "param"; _ } ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.Equals;
+    let v = signed_number st in
+    Ast.Param_decl (name, v)
+  | { Lexer.token = Lexer.Ident name; _ } ->
+    advance st;
+    expect st Lexer.Equals;
+    Ast.Def { name; body = def_body st; pos }
+  | { Lexer.token; pos } ->
+    fail pos "expected a statement, found %s" (Lexer.token_to_string token)
+
+let parse src =
+  let st = { tokens = Array.of_list (Lexer.tokenize src); idx = 0 } in
+  let pos = (current st).Lexer.pos in
+  expect_keyword st "pipeline";
+  let name = expect_ident st in
+  expect st Lexer.Lparen;
+  let rec inputs acc =
+    let i = expect_ident st in
+    match (current st).Lexer.token with
+    | Lexer.Comma ->
+      advance st;
+      inputs (i :: acc)
+    | _ ->
+      expect st Lexer.Rparen;
+      List.rev (i :: acc)
+  in
+  let inputs = inputs [] in
+  expect st Lexer.Lbrace;
+  let rec stmts acc =
+    match (current st).Lexer.token with
+    | Lexer.Rbrace ->
+      advance st;
+      List.rev acc
+    | _ -> stmts (stmt st :: acc)
+  in
+  let stmts = stmts [] in
+  expect st Lexer.Eof;
+  { Ast.name; inputs; stmts; pos }
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Parse_error { pos; msg } ->
+    Error (Printf.sprintf "line %d, column %d: %s" pos.Ast.line pos.Ast.col msg)
+  | exception Lexer.Lex_error { pos; msg } ->
+    Error (Printf.sprintf "line %d, column %d: %s" pos.Ast.line pos.Ast.col msg)

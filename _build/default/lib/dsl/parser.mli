@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the pipeline DSL.
+
+    Operator precedence: unary minus binds tightest, then [*] and [/],
+    then [+] and [-]; all binary operators are left-associative. *)
+
+exception Parse_error of { pos : Ast.position; msg : string }
+
+(** [parse src] parses one pipeline definition.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+val parse : string -> Ast.pipeline
+
+(** [parse_result src] is [parse] with errors rendered as
+    ["line L, column C: message"]. *)
+val parse_result : string -> (Ast.pipeline, string) result

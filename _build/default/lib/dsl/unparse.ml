@@ -1,0 +1,126 @@
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Border = Kfuse_image.Border
+
+exception Unsupported of string
+
+(* Names that cannot be reproduced faithfully: "let" starts a binding
+   wherever an expression may start; "reduce" starts a reduction at a
+   definition's right-hand side; "size"/"param" start statements.
+   Identifiers like "in", "conv" or "select" are only special in
+   positions the unparser never puts a bare reference, so they stay
+   legal. *)
+let reserved = [ "let"; "reduce"; "size"; "param"; "pipeline" ]
+
+let check_name n =
+  if List.mem n reserved then
+    raise (Unsupported (Printf.sprintf "name %S is a DSL keyword" n))
+
+let border_suffix = function
+  | Border.Clamp -> ""  (* the DSL default *)
+  | Border.Mirror -> ":mirror"
+  | Border.Repeat -> ":repeat"
+  | Border.Constant c -> Printf.sprintf ":constant(%g)" c
+  | Border.Undefined -> ":undefined"
+
+(* Shortest decimal that round-trips to the same float. *)
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else begin
+    let rec shortest prec =
+      if prec > 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" prec f in
+        if Float.equal (float_of_string s) f then s else shortest (prec + 1)
+    in
+    shortest 1
+  end
+
+let rec go e =
+  match e with
+  | Expr.Const c -> if c < 0.0 then Printf.sprintf "(-%s)" (float_lit (-.c)) else float_lit c
+  | Expr.Param p ->
+    check_name p;
+    p
+  | Expr.Var v ->
+    check_name v;
+    v
+  | Expr.Input { image; dx = 0; dy = 0; border = _ } ->
+    (* A point access never leaves the image, so its border mode is
+       unobservable; render it bare. *)
+    check_name image;
+    image
+  | Expr.Input { image; dx; dy; border } ->
+    check_name image;
+    Printf.sprintf "%s@(%d,%d)%s" image dx dy (border_suffix border)
+  | Expr.Let { var; value; body } ->
+    check_name var;
+    Printf.sprintf "(let %s = %s in %s)" var (go value) (go body)
+  | Expr.Unop (Expr.Neg, a) -> Printf.sprintf "(-%s)" (go a)
+  | Expr.Unop (op, a) ->
+    let name =
+      match op with
+      | Expr.Abs -> "abs"
+      | Expr.Sqrt -> "sqrt"
+      | Expr.Exp -> "exp"
+      | Expr.Log -> "log"
+      | Expr.Sin -> "sin"
+      | Expr.Cos -> "cos"
+      | Expr.Floor -> "floor"
+      | Expr.Neg -> assert false
+    in
+    Printf.sprintf "%s(%s)" name (go a)
+  | Expr.Binop (op, a, b) -> (
+    match op with
+    | Expr.Add -> Printf.sprintf "(%s + %s)" (go a) (go b)
+    | Expr.Sub -> Printf.sprintf "(%s - %s)" (go a) (go b)
+    | Expr.Mul -> Printf.sprintf "(%s * %s)" (go a) (go b)
+    | Expr.Div -> Printf.sprintf "(%s / %s)" (go a) (go b)
+    | Expr.Min -> Printf.sprintf "min(%s, %s)" (go a) (go b)
+    | Expr.Max -> Printf.sprintf "max(%s, %s)" (go a) (go b)
+    | Expr.Pow -> Printf.sprintf "pow(%s, %s)" (go a) (go b))
+  | Expr.Select { cmp = Expr.Lt; lhs; rhs; if_true; if_false } ->
+    Printf.sprintf "select(%s, %s, %s, %s)" (go lhs) (go rhs) (go if_true) (go if_false)
+  | Expr.Select _ -> raise (Unsupported "only < comparisons have DSL syntax")
+  | Expr.Shift _ -> raise (Unsupported "fused kernels (Shift nodes) have no DSL syntax")
+
+let expr e = match go e with s -> Ok s | exception Unsupported r -> Error r
+
+let pipeline (p : Pipeline.t) =
+  match
+    let buf = Buffer.create 512 in
+    let b fmt = Printf.bprintf buf fmt in
+    check_name p.Pipeline.name;
+    List.iter check_name p.Pipeline.inputs;
+    b "pipeline %s(%s) {\n" p.Pipeline.name (String.concat ", " p.Pipeline.inputs);
+    if p.Pipeline.channels = 1 then b "  size %d %d\n" p.Pipeline.width p.Pipeline.height
+    else b "  size %d %d %d\n" p.Pipeline.width p.Pipeline.height p.Pipeline.channels;
+    List.iter
+      (fun (name, v) ->
+        check_name name;
+        b "  param %s = %s\n" name (float_lit v))
+      p.Pipeline.params;
+    Array.iter
+      (fun (k : Kernel.t) ->
+        check_name k.Kernel.name;
+        match k.Kernel.op with
+        | Kernel.Map body -> b "  %s = %s\n" k.Kernel.name (go body)
+        | Kernel.Reduce { init; combine; arg } ->
+          let op, default_init =
+            match combine with
+            | Expr.Add -> ("sum", 0.0)
+            | Expr.Min -> ("min", Float.infinity)
+            | Expr.Max -> ("max", Float.neg_infinity)
+            | Expr.Sub | Expr.Mul | Expr.Div | Expr.Pow ->
+              raise (Unsupported "reduction operator has no DSL syntax")
+          in
+          if not (Float.equal init default_init) then
+            raise (Unsupported "custom reduction seed has no DSL syntax");
+          b "  %s = reduce %s(%s)\n" k.Kernel.name op (go arg))
+      p.Pipeline.kernels;
+    b "}\n";
+    Buffer.contents buf
+  with
+  | s -> Ok s
+  | exception Unsupported r -> Error r

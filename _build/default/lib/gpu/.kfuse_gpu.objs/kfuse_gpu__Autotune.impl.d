@@ -1,0 +1,1 @@
+lib/gpu/autotune.ml: Array Kfuse_ir List Perf_model

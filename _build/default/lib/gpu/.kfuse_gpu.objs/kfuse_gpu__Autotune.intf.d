@@ -1,0 +1,1 @@
+lib/gpu/autotune.mli: Device Kfuse_ir Perf_model

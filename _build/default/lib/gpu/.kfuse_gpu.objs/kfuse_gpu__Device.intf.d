@@ -1,0 +1,1 @@
+lib/gpu/device.mli: Format

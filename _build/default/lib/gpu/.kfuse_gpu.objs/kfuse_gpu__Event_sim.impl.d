@@ -1,0 +1,1 @@
+lib/gpu/event_sim.ml: Array Device Float Kfuse_ir List Occupancy Perf_model

@@ -1,0 +1,1 @@
+lib/gpu/event_sim.mli: Device Kfuse_ir Perf_model

@@ -1,0 +1,1 @@
+lib/gpu/occupancy.ml: Device Float List

@@ -1,0 +1,1 @@
+lib/gpu/perf_model.ml: Array Device Float Format Kfuse_ir List Occupancy

@@ -1,0 +1,1 @@
+lib/gpu/perf_model.mli: Device Format Kfuse_ir

@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Array Device Float Hashtbl Kfuse_ir Kfuse_util Perf_model

@@ -1,0 +1,1 @@
+lib/gpu/sim.mli: Device Kfuse_ir Kfuse_util Perf_model

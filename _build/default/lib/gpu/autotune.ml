@@ -1,0 +1,57 @@
+module Cost = Kfuse_ir.Cost
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+
+type choice = {
+  kernel_name : string;
+  best : Cost.block;
+  best_ms : float;
+  default_ms : float;
+}
+
+let default_candidates =
+  [
+    { Cost.bx = 32; by = 4 };
+    { Cost.bx = 32; by = 8 };
+    { Cost.bx = 16; by = 8 };
+    { Cost.bx = 16; by = 16 };
+    { Cost.bx = 64; by = 2 };
+    { Cost.bx = 64; by = 4 };
+    { Cost.bx = 128; by = 1 };
+    { Cost.bx = 32; by = 16 };
+  ]
+
+let time ?params ~block d ~quality ~fused p k =
+  (Perf_model.kernel_time ?params ~block d ~quality ~fused p k).Perf_model.t_ms
+
+let tune_kernel ?params ?(candidates = default_candidates) d ~quality ~fused p
+    (k : Kernel.t) =
+  if candidates = [] then invalid_arg "Autotune.tune_kernel: empty candidate set";
+  let default_ms =
+    time ?params ~block:{ Cost.bx = 32; by = 4 } d ~quality ~fused p k
+  in
+  let best, best_ms =
+    List.fold_left
+      (fun ((_, best_ms) as best) block ->
+        (* A candidate can exceed the SM's shared memory for deep fused
+           kernels; skip it rather than fail. *)
+        match time ?params ~block d ~quality ~fused p k with
+        | t when t < best_ms -> (block, t)
+        | _ -> best
+        | exception Invalid_argument _ -> best)
+      ({ Cost.bx = 32; by = 4 }, default_ms)
+      candidates
+  in
+  { kernel_name = k.Kernel.name; best; best_ms; default_ms }
+
+let tune_pipeline ?params ?candidates d ~quality ~fused_kernels (p : Pipeline.t) =
+  let choices =
+    Array.to_list p.Pipeline.kernels
+    |> List.map (fun (k : Kernel.t) ->
+           tune_kernel ?params ?candidates d ~quality
+             ~fused:(List.mem k.Kernel.name fused_kernels)
+             p k)
+  in
+  let tuned = List.fold_left (fun acc c -> acc +. c.best_ms) 0.0 choices in
+  let default = List.fold_left (fun acc c -> acc +. c.default_ms) 0.0 choices in
+  (choices, tuned, default)

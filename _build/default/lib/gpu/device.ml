@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  cuda_cores : int;
+  sm_count : int;
+  clock_mhz : float;
+  mem_clock_mhz : float;
+  mem_bus_bits : int;
+  shared_mem_per_sm : int;
+  registers_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+}
+
+let gtx745 =
+  {
+    name = "GTX745";
+    cuda_cores = 384;
+    sm_count = 3;
+    clock_mhz = 1033.0;
+    mem_clock_mhz = 900.0;
+    mem_bus_bits = 128;
+    shared_mem_per_sm = 48 * 1024;
+    registers_per_block = 65536;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+  }
+
+let gtx680 =
+  {
+    name = "GTX680";
+    cuda_cores = 1536;
+    sm_count = 8;
+    clock_mhz = 1058.0;
+    mem_clock_mhz = 3004.0;
+    mem_bus_bits = 256;
+    shared_mem_per_sm = 48 * 1024;
+    registers_per_block = 65536;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 16;
+  }
+
+let k20c =
+  {
+    name = "K20c";
+    cuda_cores = 2496;
+    sm_count = 13;
+    clock_mhz = 706.0;
+    mem_clock_mhz = 2600.0;
+    mem_bus_bits = 320;
+    shared_mem_per_sm = 48 * 1024;
+    registers_per_block = 65536;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 16;
+  }
+
+let all = [ gtx745; gtx680; k20c ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun d -> String.equal (String.lowercase_ascii d.name) target) all
+
+let peak_bandwidth_bytes_per_s d =
+  d.mem_clock_mhz *. 1e6 *. 2.0 *. float_of_int (d.mem_bus_bits / 8)
+
+let compute_throughput_ops_per_s d = float_of_int d.cuda_cores *. d.clock_mhz *. 1e6
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %d cores @@ %.0f MHz, %.1f GB/s" d.name d.cuda_cores
+    d.clock_mhz
+    (peak_bandwidth_bytes_per_s d /. 1e9)

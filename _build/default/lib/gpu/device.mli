@@ -1,0 +1,48 @@
+(** GPU device descriptions.
+
+    The three Nvidia cards of the paper's evaluation (Section V-A), plus
+    a constructor for custom devices.  Core counts and clocks are the
+    paper's numbers; memory-bus widths are the public specifications of
+    the cards, giving the peak bandwidths (28.8, 192.3, and 208 GB/s)
+    that drive the memory side of the performance model. *)
+
+type t = {
+  name : string;
+  cuda_cores : int;
+  sm_count : int;
+  clock_mhz : float;  (** base core clock *)
+  mem_clock_mhz : float;
+  mem_bus_bits : int;  (** memory interface width *)
+  shared_mem_per_sm : int;  (** bytes; 48 KB on all three cards *)
+  registers_per_block : int;  (** 65,536 on all three cards *)
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+}
+
+(** Geforce GTX 745: 384 cores @ 1,033 MHz, 900 MHz DDR3 on a 128-bit
+    bus. *)
+val gtx745 : t
+
+(** Geforce GTX 680: 1,536 cores @ 1,058 MHz, 3,004 MHz GDDR5 on a
+    256-bit bus. *)
+val gtx680 : t
+
+(** Tesla K20c: 2,496 cores @ 706 MHz, 2,600 MHz GDDR5 on a 320-bit
+    bus. *)
+val k20c : t
+
+(** The paper's three evaluation devices, in presentation order. *)
+val all : t list
+
+(** [find name] looks a device up by (case-insensitive) name. *)
+val find : string -> t option
+
+(** [peak_bandwidth_bytes_per_s d] is
+    [mem_clock * 2 (DDR) * bus_bytes]. *)
+val peak_bandwidth_bytes_per_s : t -> float
+
+(** [compute_throughput_ops_per_s d] is [cuda_cores * clock]: one ALU
+    operation per core per cycle. *)
+val compute_throughput_ops_per_s : t -> float
+
+val pp : Format.formatter -> t -> unit

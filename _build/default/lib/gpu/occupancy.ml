@@ -1,0 +1,40 @@
+type t = {
+  active_blocks : int;
+  active_threads : int;
+  occupancy : float;
+  limiter : [ `Shared_memory | `Thread_count | `Block_count ];
+}
+
+let compute (d : Device.t) ~shared_bytes_per_block ~regs_per_thread ~threads_per_block =
+  if threads_per_block <= 0 then invalid_arg "Occupancy.compute: no threads";
+  if shared_bytes_per_block > d.shared_mem_per_sm then
+    invalid_arg "Occupancy.compute: block exceeds SM shared memory";
+  let shared_limit =
+    if shared_bytes_per_block = 0 then max_int else d.shared_mem_per_sm / shared_bytes_per_block
+  in
+  let thread_limit = d.max_threads_per_sm / threads_per_block in
+  let reg_limit =
+    if regs_per_thread = 0 then max_int
+    else d.registers_per_block / (regs_per_thread * threads_per_block)
+  in
+  let block_limit = d.max_blocks_per_sm in
+  let active_blocks =
+    List.fold_left min max_int [ shared_limit; thread_limit; reg_limit; block_limit ]
+  in
+  let active_blocks = max 0 active_blocks in
+  let limiter =
+    if active_blocks = shared_limit then `Shared_memory
+    else if active_blocks = thread_limit || active_blocks = reg_limit then `Thread_count
+    else `Block_count
+  in
+  let active_threads = active_blocks * threads_per_block in
+  {
+    active_blocks;
+    active_threads;
+    occupancy = float_of_int active_threads /. float_of_int d.max_threads_per_sm;
+    limiter;
+  }
+
+let latency_hiding_factor occ =
+  let knee = 0.5 in
+  if occ >= knee then 1.0 else Float.max 0.05 (occ /. knee)

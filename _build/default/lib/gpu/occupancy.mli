@@ -1,0 +1,31 @@
+(** Occupancy: how many thread blocks can be resident per SM.
+
+    "The number of thread blocks that can run concurrently is limited by
+    resource usage of the kernel, namely register and shared memory"
+    (Section II-B.1).  Occupancy below ~50% leaves too few warps to hide
+    memory latency; the resource-legality check (Eq. 2) exists precisely
+    to keep fused kernels above that knee. *)
+
+type t = {
+  active_blocks : int;  (** resident blocks per SM *)
+  active_threads : int;
+  occupancy : float;  (** active threads / max threads per SM *)
+  limiter : [ `Shared_memory | `Thread_count | `Block_count ];
+}
+
+(** [compute device ~shared_bytes_per_block ~regs_per_thread
+    ~threads_per_block] evaluates residency limits.  [shared_bytes_per_block = 0]
+    means the kernel uses no shared memory.
+    @raise Invalid_argument if a single block already exceeds the SM's
+    shared memory or [threads_per_block <= 0]. *)
+val compute :
+  Device.t ->
+  shared_bytes_per_block:int ->
+  regs_per_thread:int ->
+  threads_per_block:int ->
+  t
+
+(** [latency_hiding_factor occ] is the throughput derating applied to a
+    kernel at occupancy [occ]: [1.0] at or above the 50% knee, dropping
+    linearly below it. *)
+val latency_hiding_factor : float -> float

@@ -1,0 +1,35 @@
+module Stats = Kfuse_util.Stats
+module Rng = Kfuse_util.Rng
+
+type measurement = {
+  device : Device.t;
+  quality : Perf_model.quality;
+  breakdown : Perf_model.kernel_time list;
+  model_ms : float;
+  samples : float array;
+  summary : Stats.summary;
+}
+
+let default_seed (d : Device.t) (p : Kfuse_ir.Pipeline.t) quality =
+  Hashtbl.hash (d.Device.name, p.Kfuse_ir.Pipeline.name, Perf_model.quality_to_string quality)
+
+let measure ?(params = Perf_model.default_params) ?(runs = 500) ?seed d ~quality
+    ~fused_kernels pipeline =
+  if runs <= 0 then invalid_arg "Sim.measure: runs must be positive";
+  let seed = match seed with Some s -> s | None -> default_seed d pipeline quality in
+  let breakdown, model_ms =
+    Perf_model.pipeline_time ~params d ~quality ~fused_kernels pipeline
+  in
+  let rng = Rng.create seed in
+  let samples =
+    Array.init runs (fun _ ->
+        (* Symmetric 0.6% jitter plus a one-sided exponential-ish tail of
+           about 1.5% of the runtime: medians stay at the model value
+           while maxima poke upward, giving Figure 6's whisker shape. *)
+        let jitter = 1.0 +. (0.006 *. Rng.gaussian rng) in
+        let tail = 0.015 *. model_ms *. Float.abs (Rng.gaussian rng) in
+        Float.max 0.0 ((model_ms *. jitter) +. tail))
+  in
+  { device = d; quality; breakdown; model_ms; samples; summary = Stats.summarize samples }
+
+let speedup a b = a.summary.Stats.median /. b.summary.Stats.median

@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Format Kfuse_util List

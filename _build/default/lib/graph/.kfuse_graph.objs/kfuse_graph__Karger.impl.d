@@ -1,0 +1,1 @@
+lib/graph/karger.ml: Array Float Fun Hashtbl Kfuse_util List Wgraph

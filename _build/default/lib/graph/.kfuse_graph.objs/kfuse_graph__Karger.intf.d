@@ -1,0 +1,1 @@
+lib/graph/karger.mli: Kfuse_util Wgraph

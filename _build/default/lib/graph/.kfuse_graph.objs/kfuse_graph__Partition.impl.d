@@ -1,0 +1,1 @@
+lib/graph/partition.ml: Digraph Format Kfuse_util List

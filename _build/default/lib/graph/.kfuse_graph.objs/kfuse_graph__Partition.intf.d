@@ -1,0 +1,1 @@
+lib/graph/partition.mli: Digraph Format Kfuse_util

@@ -1,0 +1,1 @@
+lib/graph/stoer_wagner.ml: Array Kfuse_util List Wgraph

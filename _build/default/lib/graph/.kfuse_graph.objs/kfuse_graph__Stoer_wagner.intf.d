@@ -1,0 +1,1 @@
+lib/graph/stoer_wagner.mli: Kfuse_util Wgraph

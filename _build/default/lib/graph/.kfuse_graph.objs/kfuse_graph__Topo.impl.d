@@ -1,0 +1,1 @@
+lib/graph/topo.ml: Digraph Kfuse_util List

@@ -1,0 +1,1 @@
+lib/graph/wgraph.ml: Digraph Format Kfuse_util List

@@ -1,0 +1,1 @@
+lib/graph/wgraph.mli: Digraph Format Kfuse_util

@@ -1,0 +1,77 @@
+(** Immutable directed graphs over integer vertices.
+
+    Kernel pipelines are represented as directed acyclic graphs
+    [G = (V, E)] where vertices are kernels and an edge [(u, v)] means
+    kernel [v] consumes the output of kernel [u] (Section II of the
+    paper).  This module provides the graph structure itself; DAG-specific
+    queries live in {!Topo}. *)
+
+type t
+
+(** The graph with no vertices. *)
+val empty : t
+
+(** [add_vertex g v] adds the isolated vertex [v]; no-op if present. *)
+val add_vertex : t -> int -> t
+
+(** [add_edge g u v] adds the directed edge [u -> v], adding missing
+    endpoints.  Self loops are rejected with [Invalid_argument]; adding an
+    existing edge is a no-op. *)
+val add_edge : t -> int -> int -> t
+
+(** [remove_edge g u v] removes the edge [u -> v] if present. *)
+val remove_edge : t -> int -> int -> t
+
+(** [remove_vertex g v] removes [v] and all incident edges. *)
+val remove_vertex : t -> int -> t
+
+(** [of_edges es] builds a graph from a list of directed edges. *)
+val of_edges : (int * int) list -> t
+
+(** [mem_vertex g v] tests vertex membership. *)
+val mem_vertex : t -> int -> bool
+
+(** [mem_edge g u v] tests presence of edge [u -> v]. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [vertices g] is the set of vertices. *)
+val vertices : t -> Kfuse_util.Iset.t
+
+(** [edges g] lists all edges [(u, v)], ordered by [u] then [v]. *)
+val edges : t -> (int * int) list
+
+(** [succs g v] is the set of successors of [v] (empty if [v] absent). *)
+val succs : t -> int -> Kfuse_util.Iset.t
+
+(** [preds g v] is the set of predecessors of [v] (empty if [v] absent). *)
+val preds : t -> int -> Kfuse_util.Iset.t
+
+(** [out_degree g v] is [Iset.cardinal (succs g v)]. *)
+val out_degree : t -> int -> int
+
+(** [in_degree g v] is [Iset.cardinal (preds g v)]. *)
+val in_degree : t -> int -> int
+
+(** [num_vertices g] is the vertex count. *)
+val num_vertices : t -> int
+
+(** [num_edges g] is the edge count. *)
+val num_edges : t -> int
+
+(** [induced g vs] is the subgraph induced by the vertex set [vs]: the
+    vertices of [vs] present in [g] and every edge of [g] with both
+    endpoints in [vs]. *)
+val induced : t -> Kfuse_util.Iset.t -> t
+
+(** [fold_edges f g acc] folds [f] over all edges. *)
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [fold_vertices f g acc] folds [f] over all vertices in increasing
+    order. *)
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Structural equality of graphs. *)
+val equal : t -> t -> bool
+
+(** [pp ppf g] prints the graph as a vertex list and edge list. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+module Iset = Kfuse_util.Iset
+module Rng = Kfuse_util.Rng
+
+(* Union-find over vertex indices with group tracking by representative. *)
+type uf = { parent : int array; rank : int array }
+
+let uf_create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+let rec uf_find uf i =
+  if uf.parent.(i) = i then i
+  else begin
+    let root = uf_find uf uf.parent.(i) in
+    uf.parent.(i) <- root;
+    root
+  end
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra = rb then false
+  else begin
+    if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+    else if uf.rank.(ra) > uf.rank.(rb) then uf.parent.(rb) <- ra
+    else begin
+      uf.parent.(rb) <- ra;
+      uf.rank.(ra) <- uf.rank.(ra) + 1
+    end;
+    true
+  end
+
+let contract_once rng g =
+  let verts = Array.of_list (Iset.elements (Wgraph.vertices g)) in
+  let n = Array.length verts in
+  if n < 2 then invalid_arg "Karger.contract_once: need at least 2 vertices";
+  let index = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) verts;
+  let edges =
+    Array.of_list
+      (List.map
+         (fun (u, v, w) -> (Hashtbl.find index u, Hashtbl.find index v, w))
+         (Wgraph.edges g))
+  in
+  let uf = uf_create n in
+  let components = ref n in
+  let total_weight e = Array.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 e in
+  (* Contract until two supervertices remain (or no contractible edge is
+     left — the disconnected case). *)
+  let live = ref edges in
+  let exhausted = ref false in
+  while !components > 2 && not !exhausted do
+    let live_edges =
+      Array.of_list
+        (List.filter (fun (u, v, _) -> uf_find uf u <> uf_find uf v)
+           (Array.to_list !live))
+    in
+    live := live_edges;
+    if Array.length live_edges = 0 then exhausted := true
+    else begin
+      (* Weighted pick: position uniform in the cumulative weight. *)
+      let target = Rng.float rng (total_weight live_edges) in
+      let picked = ref (Array.length live_edges - 1) in
+      let acc = ref 0.0 in
+      (try
+         Array.iteri
+           (fun i (_, _, w) ->
+             acc := !acc +. w;
+             if !acc >= target then begin
+               picked := i;
+               raise Exit
+             end)
+           live_edges
+       with Exit -> ());
+      let u, v, _ = live_edges.(!picked) in
+      if uf_union uf u v then decr components
+    end
+  done;
+  (* One side: all original vertices whose representative matches the
+     first vertex's representative. *)
+  let rep0 = uf_find uf 0 in
+  let side =
+    Array.to_list verts
+    |> List.mapi (fun i v -> (i, v))
+    |> List.filter_map (fun (i, v) -> if uf_find uf i = rep0 then Some v else None)
+    |> Iset.of_list
+  in
+  (Wgraph.cut_weight g side, side)
+
+let min_cut ?attempts rng g =
+  let n = Iset.cardinal (Wgraph.vertices g) in
+  if n < 2 then invalid_arg "Karger.min_cut: need at least 2 vertices";
+  let attempts =
+    match attempts with
+    | Some a when a >= 1 -> a
+    | Some _ -> invalid_arg "Karger.min_cut: attempts must be positive"
+    | None ->
+      let fn = float_of_int n in
+      max 1 (int_of_float (Float.ceil (fn *. fn *. Float.log (Float.max 2.0 fn))))
+  in
+  let best = ref (contract_once rng g) in
+  for _ = 2 to attempts do
+    let candidate = contract_once rng g in
+    if fst candidate < fst !best then best := candidate
+  done;
+  !best

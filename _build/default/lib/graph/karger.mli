@@ -1,0 +1,28 @@
+(** Karger's randomized minimum cut.
+
+    The paper notes that "there exist extensive research efforts in graph
+    theory on the minimum cut problem, including deterministic and
+    randomized algorithms" (Section III-A) and chooses Stoer-Wagner for
+    its determinism.  This module provides the classic randomized
+    alternative — repeated weighted edge contraction — primarily to
+    cross-validate {!Stoer_wagner} (each algorithm property-checks the
+    other) and to let users trade determinism for speed on large graphs.
+
+    One contraction run finds a fixed minimum cut with probability at
+    least [2 / (n (n - 1))]; with the default attempt count of
+    [ceil(n^2 ln n)] the failure probability is at most [1/n].  Edges are
+    picked with probability proportional to weight, the weighted
+    generalization. *)
+
+(** [min_cut ?attempts rng g] is [(weight, side)] for the best cut found
+    over [attempts] contraction runs (default [ceil(n^2 ln n)], at least
+    1).  Deterministic given the generator state.  Disconnected graphs
+    yield weight [0.].
+    @raise Invalid_argument if [g] has fewer than 2 vertices. *)
+val min_cut :
+  ?attempts:int -> Kfuse_util.Rng.t -> Wgraph.t -> float * Kfuse_util.Iset.t
+
+(** [contract_once rng g] runs a single contraction to two supervertices
+    and returns the resulting cut — exposed for testing the contraction
+    kernel itself. *)
+val contract_once : Kfuse_util.Rng.t -> Wgraph.t -> float * Kfuse_util.Iset.t

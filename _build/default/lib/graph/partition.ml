@@ -1,0 +1,49 @@
+module Iset = Kfuse_util.Iset
+
+type t = Iset.t list
+
+let normalize p =
+  p
+  |> List.filter (fun b -> not (Iset.is_empty b))
+  |> List.sort (fun a b -> compare (Iset.min_elt a) (Iset.min_elt b))
+
+let singletons g =
+  Digraph.fold_vertices (fun v acc -> Iset.singleton v :: acc) g [] |> normalize
+
+let is_valid g p =
+  let no_empty = List.for_all (fun b -> not (Iset.is_empty b)) p in
+  let union = List.fold_left Iset.union Iset.empty p in
+  let total = List.fold_left (fun acc b -> acc + Iset.cardinal b) 0 p in
+  no_empty && Iset.equal union (Digraph.vertices g) && total = Iset.cardinal union
+
+let block_of p v =
+  match List.find_opt (fun b -> Iset.mem v b) p with
+  | Some b -> b
+  | None -> raise Not_found
+
+let block_weight weight g block =
+  Digraph.fold_edges
+    (fun u v acc ->
+      if Iset.mem u block && Iset.mem v block then acc +. weight u v else acc)
+    g 0.0
+
+let objective weight g p =
+  List.fold_left (fun acc b -> acc +. block_weight weight g b) 0.0 p
+
+let crossing_weight weight g p =
+  Digraph.fold_edges
+    (fun u v acc ->
+      let same =
+        List.exists (fun b -> Iset.mem u b && Iset.mem v b) p
+      in
+      if same then acc else acc +. weight u v)
+    g 0.0
+
+let equal p q =
+  let p = normalize p and q = normalize q in
+  List.length p = List.length q && List.for_all2 Iset.equal p q
+
+let pp ppf p =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Iset.pp)
+    (normalize p)

@@ -1,0 +1,92 @@
+module Iset = Kfuse_util.Iset
+
+let min_cut g =
+  let verts = Array.of_list (Iset.elements (Wgraph.vertices g)) in
+  let n = Array.length verts in
+  if n < 2 then invalid_arg "Stoer_wagner.min_cut: need at least 2 vertices";
+  (* Dense symmetric weight matrix over node indices; groups.(i) is the set
+     of original vertices currently merged into node i. *)
+  let w = Array.make_matrix n n 0.0 in
+  List.iter
+    (fun (u, v, wt) ->
+      let iu = ref 0 and iv = ref 0 in
+      Array.iteri (fun i x -> if x = u then iu := i else if x = v then iv := i) verts;
+      w.(!iu).(!iv) <- wt;
+      w.(!iv).(!iu) <- wt)
+    (Wgraph.edges g);
+  let groups = Array.map Iset.singleton verts in
+  let active = Array.make n true in
+  let best_weight = ref infinity in
+  let best_side = ref Iset.empty in
+  let active_indices () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if active.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let remaining = ref n in
+  while !remaining > 1 do
+    (* One minimum-cut phase: maximum-adjacency search from the first
+       active node; the last two added are merged. *)
+    let nodes = active_indices () in
+    let in_a = Array.make n false in
+    let wsum = Array.make n 0.0 in
+    let start = List.hd nodes in
+    in_a.(start) <- true;
+    List.iter (fun i -> if i <> start then wsum.(i) <- w.(start).(i)) nodes;
+    let prev = ref start in
+    let last = ref start in
+    for _step = 2 to !remaining do
+      (* Most tightly connected node not yet in A; ties toward smaller id. *)
+      let z = ref (-1) in
+      List.iter
+        (fun i -> if (not in_a.(i)) && (!z = -1 || wsum.(i) > wsum.(!z)) then z := i)
+        nodes;
+      let z = !z in
+      prev := !last;
+      last := z;
+      in_a.(z) <- true;
+      List.iter (fun i -> if not in_a.(i) then wsum.(i) <- wsum.(i) +. w.(z).(i)) nodes
+    done;
+    let s = !prev and t = !last in
+    let cut_of_phase = wsum.(t) in
+    if cut_of_phase < !best_weight then begin
+      best_weight := cut_of_phase;
+      best_side := groups.(t)
+    end;
+    (* Merge t into s. *)
+    List.iter
+      (fun i ->
+        if i <> s && i <> t then begin
+          w.(s).(i) <- w.(s).(i) +. w.(t).(i);
+          w.(i).(s) <- w.(s).(i)
+        end)
+      nodes;
+    groups.(s) <- Iset.union groups.(s) groups.(t);
+    active.(t) <- false;
+    decr remaining
+  done;
+  (!best_weight, !best_side)
+
+let min_cut_brute g =
+  let verts = Array.of_list (Iset.elements (Wgraph.vertices g)) in
+  let n = Array.length verts in
+  if n < 2 then invalid_arg "Stoer_wagner.min_cut_brute: need at least 2 vertices";
+  if n > 20 then invalid_arg "Stoer_wagner.min_cut_brute: too many vertices";
+  (* Fix vertex 0 on the left side so each bipartition is enumerated once. *)
+  let best_weight = ref infinity in
+  let best_side = ref Iset.empty in
+  let limit = 1 lsl (n - 1) in
+  for mask = 1 to limit - 1 do
+    let side = ref Iset.empty in
+    for i = 0 to n - 2 do
+      if mask land (1 lsl i) <> 0 then side := Iset.add verts.(i + 1) !side
+    done;
+    let wcut = Wgraph.cut_weight g !side in
+    if wcut < !best_weight then begin
+      best_weight := wcut;
+      best_side := !side
+    end
+  done;
+  (!best_weight, !best_side)

@@ -1,0 +1,28 @@
+(** Stoer-Wagner global minimum cut.
+
+    Deterministic implementation of the algorithm of Stoer and Wagner
+    (J. ACM 44(4), 1997), used by the fusion algorithm to split illegal
+    partition blocks along their minimum-weight edge set (Section III-A).
+    Complexity is [O(|V|^3)] in this dense-matrix formulation, which is
+    more than adequate for kernel DAGs (tens of vertices) and matches the
+    bound [O(|E||V| + |V|^2 log |V|)] cited by the paper up to the usual
+    dense/sparse tradeoff.
+
+    Determinism: each maximum-adjacency phase starts from the
+    smallest-id active vertex and breaks weight ties towards smaller ids,
+    so "if there exist multiple sets of edges that have the same weight,
+    the algorithm selects the first one encountered" (Section III-A). *)
+
+(** [min_cut g] is [(w, side)] where [w] is the weight of a global minimum
+    cut of [g] and [side] is the set of original vertices on one side
+    (neither side is empty).  If [g] is disconnected the result has weight
+    [0.] with a connected component as [side].
+    @raise Invalid_argument if [g] has fewer than 2 vertices. *)
+val min_cut : Wgraph.t -> float * Kfuse_util.Iset.t
+
+(** [min_cut_brute g] computes the same quantity by enumerating all
+    [2^(n-1) - 1] bipartitions.  Exponential; intended only as a test
+    oracle for small graphs.
+    @raise Invalid_argument if [g] has fewer than 2 or more than 20
+    vertices. *)
+val min_cut_brute : Wgraph.t -> float * Kfuse_util.Iset.t

@@ -1,0 +1,44 @@
+(** DAG queries: topological order, reachability, components.
+
+    Pipelines must be acyclic (Section II); these helpers validate that and
+    provide the orderings the fusion transform needs (fused kernel bodies
+    are concatenated in a topological order of the partition block). *)
+
+(** Raised by {!sort} when the graph has a directed cycle; carries one
+    cycle as a vertex list. *)
+exception Cycle of int list
+
+(** [sort g] is a topological order of the vertices of [g]; deterministic
+    (smallest-id vertex first among ready vertices).
+    @raise Cycle if [g] is not a DAG. *)
+val sort : Digraph.t -> int list
+
+(** [is_dag g] tests acyclicity. *)
+val is_dag : Digraph.t -> bool
+
+(** [reachable g v] is the set of vertices reachable from [v] by directed
+    paths, including [v] itself. *)
+val reachable : Digraph.t -> int -> Kfuse_util.Iset.t
+
+(** [co_reachable g v] is the set of vertices that reach [v], including
+    [v]. *)
+val co_reachable : Digraph.t -> int -> Kfuse_util.Iset.t
+
+(** [has_path g u v] tests whether a directed path [u ->* v] exists
+    ([has_path g v v] is [true]). *)
+val has_path : Digraph.t -> int -> int -> bool
+
+(** [sources g] is the set of vertices with no predecessor. *)
+val sources : Digraph.t -> Kfuse_util.Iset.t
+
+(** [sinks g] is the set of vertices with no successor. *)
+val sinks : Digraph.t -> Kfuse_util.Iset.t
+
+(** [undirected_components g] is the list of weakly connected components
+    (vertex sets), in increasing order of their smallest vertex. *)
+val undirected_components : Digraph.t -> Kfuse_util.Iset.t list
+
+(** [is_weakly_connected g vs] tests whether the subgraph of [g] induced
+    by [vs] is connected when edge directions are ignored.  The empty set
+    and singletons are connected. *)
+val is_weakly_connected : Digraph.t -> Kfuse_util.Iset.t -> bool

@@ -1,0 +1,73 @@
+module Iset = Kfuse_util.Iset
+module Imap = Kfuse_util.Imap
+
+(* Symmetric adjacency: [v in adj u] iff [u in adj v], with equal weight. *)
+type t = { adj : float Imap.t Imap.t }
+
+let empty = { adj = Imap.empty }
+
+let add_vertex g v =
+  if Imap.mem v g.adj then g else { adj = Imap.add v Imap.empty g.adj }
+
+let add_half adj u v w =
+  let row = Imap.find_or ~default:Imap.empty u adj in
+  let prev = Imap.find_or ~default:0.0 v row in
+  Imap.add u (Imap.add v (prev +. w) row) adj
+
+let add_edge g u v w =
+  if u = v then invalid_arg "Wgraph.add_edge: self loop";
+  if w <= 0.0 then invalid_arg "Wgraph.add_edge: weight must be positive";
+  let g = add_vertex (add_vertex g u) v in
+  { adj = add_half (add_half g.adj u v w) v u w }
+
+let of_digraph weight g =
+  let base = Iset.fold (fun v acc -> add_vertex acc v) (Digraph.vertices g) empty in
+  Digraph.fold_edges (fun u v acc -> add_edge acc u v (weight u v)) g base
+
+let vertices g = Imap.fold (fun v _ acc -> Iset.add v acc) g.adj Iset.empty
+let num_vertices g = Imap.cardinal g.adj
+
+let weight g u v =
+  match Imap.find_opt u g.adj with
+  | None -> 0.0
+  | Some row -> Imap.find_or ~default:0.0 v row
+
+let neighbors g v =
+  match Imap.find_opt v g.adj with
+  | None -> Iset.empty
+  | Some row -> Imap.fold (fun u _ acc -> Iset.add u acc) row Iset.empty
+
+let edges g =
+  Imap.fold
+    (fun u row acc ->
+      Imap.fold (fun v w acc -> if u < v then (u, v, w) :: acc else acc) row acc)
+    g.adj []
+  |> List.sort compare
+
+let total_weight g = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 (edges g)
+
+let cut_weight g side =
+  List.fold_left
+    (fun acc (u, v, w) ->
+      if Iset.mem u side <> Iset.mem v side then acc +. w else acc)
+    0.0 (edges g)
+
+let is_connected g =
+  match Iset.min_elt_opt (vertices g) with
+  | None -> true
+  | Some start ->
+    let rec loop frontier seen =
+      match frontier with
+      | [] -> seen
+      | u :: rest ->
+        let fresh = Iset.diff (neighbors g u) seen in
+        loop (Iset.elements fresh @ rest) (Iset.union fresh seen)
+    in
+    let seen = loop [ start ] (Iset.singleton start) in
+    Iset.equal seen (vertices g)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>vertices: %a@,edges:@,%a@]" Iset.pp (vertices g)
+    (Format.pp_print_list (fun ppf (u, v, w) ->
+         Format.fprintf ppf "  %d -- %d  (%.3f)" u v w))
+    (edges g)

@@ -1,0 +1,1 @@
+lib/image/border.ml: Float Format Printf

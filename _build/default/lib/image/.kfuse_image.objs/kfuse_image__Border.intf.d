@@ -1,0 +1,1 @@
+lib/image/border.mli: Format

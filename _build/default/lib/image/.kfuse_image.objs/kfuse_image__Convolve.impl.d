@@ -1,0 +1,1 @@
+lib/image/convolve.ml: Border Image Mask Region

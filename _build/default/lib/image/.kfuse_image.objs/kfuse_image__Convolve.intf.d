@@ -1,0 +1,1 @@
+lib/image/convolve.mli: Border Image Mask

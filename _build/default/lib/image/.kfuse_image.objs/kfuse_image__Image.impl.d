@@ -1,0 +1,1 @@
+lib/image/image.ml: Array Border Float Format Int64 Kfuse_util List

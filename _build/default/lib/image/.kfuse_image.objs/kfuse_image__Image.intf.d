@@ -1,0 +1,1 @@
+lib/image/image.mli: Border Format Kfuse_util

@@ -1,0 +1,1 @@
+lib/image/mask.ml: Array Float Format List

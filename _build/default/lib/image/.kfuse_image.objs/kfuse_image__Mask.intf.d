@@ -1,0 +1,1 @@
+lib/image/mask.mli: Format

@@ -1,0 +1,1 @@
+lib/image/pgm.ml: Buffer Char Float Fun Image Printf String

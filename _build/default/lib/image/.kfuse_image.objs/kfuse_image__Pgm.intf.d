@@ -1,0 +1,1 @@
+lib/image/pgm.mli: Image

@@ -1,0 +1,1 @@
+lib/image/region.mli: Format

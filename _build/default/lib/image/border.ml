@@ -1,0 +1,52 @@
+type mode = Clamp | Mirror | Repeat | Constant of float | Undefined
+
+type resolved = Inside of int * int | Const_value of float | Undef
+
+let clamp_axis n i = if i < 0 then 0 else if i >= n then n - 1 else i
+
+(* Reflection without edge repetition: ... 2 1 | 0 1 2 ... n-1 | n-2 n-3 ...
+   The pattern has period 2n - 2 (for n >= 2). *)
+let mirror_axis n i =
+  if n = 1 then 0
+  else begin
+    let period = (2 * n) - 2 in
+    let m = ((i mod period) + period) mod period in
+    if m < n then m else period - m
+  end
+
+let repeat_axis n i = ((i mod n) + n) mod n
+
+let resolve_axis mode n i =
+  if i >= 0 && i < n then Some i
+  else
+    match mode with
+    | Clamp -> Some (clamp_axis n i)
+    | Mirror -> Some (mirror_axis n i)
+    | Repeat -> Some (repeat_axis n i)
+    | Constant _ | Undefined -> None
+
+let resolve mode ~width ~height x y =
+  if width <= 0 || height <= 0 then invalid_arg "Border.resolve: empty extent";
+  if x >= 0 && x < width && y >= 0 && y < height then Inside (x, y)
+  else
+    match (resolve_axis mode width x, resolve_axis mode height y) with
+    | Some x', Some y' -> Inside (x', y')
+    | _ -> ( match mode with
+      | Constant c -> Const_value c
+      | Undefined -> Undef
+      | Clamp | Mirror | Repeat -> assert false)
+
+let equal a b =
+  match (a, b) with
+  | Clamp, Clamp | Mirror, Mirror | Repeat, Repeat | Undefined, Undefined -> true
+  | Constant x, Constant y -> Float.equal x y
+  | (Clamp | Mirror | Repeat | Constant _ | Undefined), _ -> false
+
+let to_string = function
+  | Clamp -> "clamp"
+  | Mirror -> "mirror"
+  | Repeat -> "repeat"
+  | Constant c -> Printf.sprintf "constant(%g)" c
+  | Undefined -> "undefined"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,41 @@
+(** Border-handling modes for out-of-image accesses.
+
+    Local operators read windows that extend past the image bounds near
+    the border (the halo region, Section IV-B).  Each kernel declares how
+    such accesses resolve; Hipacc supports the same set of modes.  Correct
+    composition of border modes under fusion is the subject of the
+    paper's index-exchange method (Figures 4 and 5). *)
+
+type mode =
+  | Clamp  (** coordinates are clamped to the nearest valid pixel *)
+  | Mirror  (** coordinates reflect at the border (no repeated edge pixel) *)
+  | Repeat  (** coordinates wrap around (periodic image) *)
+  | Constant of float  (** out-of-border reads yield a fixed value *)
+  | Undefined
+      (** out-of-border reads are unspecified; kernels with this mode may
+          only be evaluated on the interior region *)
+
+(** Result of resolving a coordinate against an image extent. *)
+type resolved =
+  | Inside of int * int  (** valid coordinates after exchange *)
+  | Const_value of float  (** [Constant] mode outside the image *)
+  | Undef  (** [Undefined] mode outside the image *)
+
+(** [resolve mode ~width ~height x y] resolves the possibly-out-of-bounds
+    coordinate [(x, y)].  In-bounds coordinates always resolve to
+    [Inside (x, y)] regardless of mode.
+    @raise Invalid_argument if [width <= 0] or [height <= 0]. *)
+val resolve : mode -> width:int -> height:int -> int -> int -> resolved
+
+(** [resolve_axis mode n i] resolves a single coordinate against extent
+    [n]; [None] means the mode does not map it to a valid index
+    ([Constant] / [Undefined] outside). *)
+val resolve_axis : mode -> int -> int -> int option
+
+(** [equal a b] structural equality of modes. *)
+val equal : mode -> mode -> bool
+
+(** [to_string mode] is a short lowercase name ("clamp", "mirror", ...). *)
+val to_string : mode -> string
+
+val pp : Format.formatter -> mode -> unit

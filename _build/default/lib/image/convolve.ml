@@ -1,0 +1,17 @@
+let at ~border mask img x y =
+  Mask.fold
+    (fun acc dx dy coeff ->
+      acc +. (coeff *. Image.get_bordered img border (x + dx) (y + dy)))
+    0.0 mask
+
+let apply ~border mask img =
+  Image.init ~width:(Image.width img) ~height:(Image.height img) (fun x y ->
+      at ~border mask img x y)
+
+let apply_interior mask img =
+  let width = Image.width img and height = Image.height img in
+  let radius = Mask.radius mask in
+  Image.init ~width ~height (fun x y ->
+      match Region.classify ~width ~height ~radius x y with
+      | Region.Interior -> at ~border:Border.Undefined mask img x y
+      | Region.Halo | Region.Exterior -> 0.0)

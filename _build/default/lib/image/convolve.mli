@@ -1,0 +1,22 @@
+(** Reference convolution.
+
+    The ground-truth implementation used by tests and by the Figure 4
+    reproduction: each output pixel is the weighted sum of its window,
+    with out-of-border reads resolved by the given border mode — exactly
+    the semantics of an {e unfused} local kernel that loads, pads, and
+    convolves its materialized input. *)
+
+(** [apply ~border mask img] convolves [img] with [mask] over the full
+    image extent. *)
+val apply : border:Border.mode -> Mask.t -> Image.t -> Image.t
+
+(** [apply_interior mask img] convolves only the interior region (where
+    no border handling is needed) and leaves other pixels at 0.  Used to
+    check that fusion strategies agree on the interior even when border
+    handling differs. *)
+val apply_interior : Mask.t -> Image.t -> Image.t
+
+(** [at ~border mask img x y] is the convolution result at a single
+    coordinate (which may be anywhere, including outside the image — the
+    window is resolved through [border]). *)
+val at : border:Border.mode -> Mask.t -> Image.t -> int -> int -> float

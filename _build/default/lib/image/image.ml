@@ -1,0 +1,98 @@
+type t = { width : int; height : int; data : float array }
+
+let create ~width ~height () =
+  if width <= 0 || height <= 0 then invalid_arg "Image.create: nonpositive extent";
+  { width; height; data = Array.make (width * height) 0.0 }
+
+let width img = img.width
+let height img = img.height
+
+let in_bounds img x y = x >= 0 && x < img.width && y >= 0 && y < img.height
+
+let get img x y =
+  if not (in_bounds img x y) then invalid_arg "Image.get: out of bounds";
+  img.data.((y * img.width) + x)
+
+let set img x y v =
+  if not (in_bounds img x y) then invalid_arg "Image.set: out of bounds";
+  img.data.((y * img.width) + x) <- v
+
+let get_bordered img mode x y =
+  match Border.resolve mode ~width:img.width ~height:img.height x y with
+  | Border.Inside (x', y') -> img.data.((y' * img.width) + x')
+  | Border.Const_value c -> c
+  | Border.Undef -> invalid_arg "Image.get_bordered: undefined border access"
+
+let init ~width ~height f =
+  let img = create ~width ~height () in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      img.data.((y * width) + x) <- f x y
+    done
+  done;
+  img
+
+let const ~width ~height v =
+  let img = create ~width ~height () in
+  Array.fill img.data 0 (width * height) v;
+  img
+
+let of_rows rows =
+  match rows with
+  | [] -> invalid_arg "Image.of_rows: empty"
+  | first :: _ ->
+    let width = List.length first in
+    let height = List.length rows in
+    if width = 0 then invalid_arg "Image.of_rows: empty row";
+    if List.exists (fun r -> List.length r <> width) rows then
+      invalid_arg "Image.of_rows: ragged rows";
+    let img = create ~width ~height () in
+    List.iteri (fun y row -> List.iteri (fun x v -> set img x y v) row) rows;
+    img
+
+let copy img = { img with data = Array.copy img.data }
+
+let map f img = { img with data = Array.map f img.data }
+
+let mapi f img =
+  init ~width:img.width ~height:img.height (fun x y -> f x y (get img x y))
+
+let map2 f a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Image.map2: extent mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let fold f acc img = Array.fold_left f acc img.data
+
+let equal a b =
+  a.width = b.width && a.height = b.height
+  && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a.data b.data
+
+let max_abs_diff a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Image.max_abs_diff: extent mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = Float.abs (x -. b.data.(i)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst
+
+let equal_eps ~eps a b =
+  a.width = b.width && a.height = b.height && max_abs_diff a b <= eps
+
+let random rng ~width ~height ~lo ~hi =
+  init ~width ~height (fun _ _ -> lo +. Kfuse_util.Rng.float rng (hi -. lo))
+
+let pp ppf img =
+  Format.fprintf ppf "@[<v>";
+  for y = 0 to img.height - 1 do
+    for x = 0 to img.width - 1 do
+      if x > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%8.3f" (get img x y)
+    done;
+    if y < img.height - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

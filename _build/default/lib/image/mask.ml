@@ -1,0 +1,64 @@
+type t = { size : int; weights : float array }
+
+let of_rows rows =
+  let size = List.length rows in
+  if size = 0 || size mod 2 = 0 then invalid_arg "Mask.of_rows: size must be odd";
+  if List.exists (fun r -> List.length r <> size) rows then
+    invalid_arg "Mask.of_rows: mask must be square";
+  { size; weights = Array.of_list (List.concat rows) }
+
+let size m = m.size
+let radius m = (m.size - 1) / 2
+let area m = m.size * m.size
+
+let get m dx dy =
+  let r = radius m in
+  if abs dx > r || abs dy > r then invalid_arg "Mask.get: offset outside mask";
+  m.weights.(((dy + r) * m.size) + (dx + r))
+
+let fold f acc m =
+  let r = radius m in
+  let acc = ref acc in
+  for dy = -r to r do
+    for dx = -r to r do
+      acc := f !acc dx dy (get m dx dy)
+    done
+  done;
+  !acc
+
+let sum m = Array.fold_left ( +. ) 0.0 m.weights
+
+let gaussian_3x3_unnormalized =
+  of_rows [ [ 1.; 2.; 1. ]; [ 2.; 4.; 2. ]; [ 1.; 2.; 1. ] ]
+
+let gaussian_3x3 =
+  of_rows
+    (List.map (List.map (fun v -> v /. 16.0))
+       [ [ 1.; 2.; 1. ]; [ 2.; 4.; 2. ]; [ 1.; 2.; 1. ] ])
+
+let gaussian_5x5 =
+  (* Outer product of the binomial row [1 4 6 4 1] with itself, sum 256. *)
+  let row = [ 1.; 4.; 6.; 4.; 1. ] in
+  of_rows (List.map (fun a -> List.map (fun b -> a *. b /. 256.0) row) row)
+
+let sobel_x = of_rows [ [ -1.; 0.; 1. ]; [ -2.; 0.; 2. ]; [ -1.; 0.; 1. ] ]
+let sobel_y = of_rows [ [ -1.; -2.; -1. ]; [ 0.; 0.; 0. ]; [ 1.; 2.; 1. ] ]
+
+let mean n =
+  if n <= 0 || n mod 2 = 0 then invalid_arg "Mask.mean: size must be odd";
+  let c = 1.0 /. float_of_int (n * n) in
+  { size = n; weights = Array.make (n * n) c }
+
+let equal a b = a.size = b.size && Array.for_all2 Float.equal a.weights b.weights
+
+let pp ppf m =
+  let r = radius m in
+  Format.fprintf ppf "@[<v>";
+  for dy = -r to r do
+    for dx = -r to r do
+      if dx > -r then Format.fprintf ppf " ";
+      Format.fprintf ppf "%g" (get m dx dy)
+    done;
+    if dy < r then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Square convolution masks.
+
+    The paper assumes square, odd-sized masks such as 3x3 or 5x5
+    (Section II-C.3); the fused-mask-growth formula Eq. 9 is stated for
+    this shape.  Masks are stored row-major with the anchor at the
+    center. *)
+
+type t
+
+(** [of_rows rows] builds a mask from a square, odd-sized list of rows.
+    @raise Invalid_argument on non-square or even-sized input. *)
+val of_rows : float list list -> t
+
+(** [size m] is the side length (odd). *)
+val size : t -> int
+
+(** [radius m] is [(size - 1) / 2]. *)
+val radius : t -> int
+
+(** [area m] is [size * size] — the [sz()] quantity of Eqs. 7 and 9. *)
+val area : t -> int
+
+(** [get m dx dy] is the coefficient at offset [(dx, dy)] from the
+    anchor, with [|dx|, |dy| <= radius].
+    @raise Invalid_argument when outside the mask. *)
+val get : t -> int -> int -> float
+
+(** [fold f acc m] folds [f acc dx dy coeff] over all offsets in
+    row-major order (top-left to bottom-right). *)
+val fold : ('a -> int -> int -> float -> 'a) -> 'a -> t -> 'a
+
+(** [sum m] is the sum of all coefficients. *)
+val sum : t -> float
+
+(** [gaussian_3x3] is the paper's running example: the binomial
+    [1 2 1; 2 4 2; 1 2 1] kernel normalized by 1/16. *)
+val gaussian_3x3 : t
+
+(** [gaussian_3x3_unnormalized] is the integer binomial kernel
+    [1 2 1; 2 4 2; 1 2 1] used verbatim in Figure 4 of the paper. *)
+val gaussian_3x3_unnormalized : t
+
+(** [gaussian_5x5] is the 5x5 binomial approximation normalized to sum
+    1. *)
+val gaussian_5x5 : t
+
+(** [sobel_x] and [sobel_y] are the 3x3 Sobel derivative masks. *)
+val sobel_x : t
+
+val sobel_y : t
+
+(** [mean n] is the [n x n] box filter with coefficients [1/n^2].
+    @raise Invalid_argument if [n] is even or nonpositive. *)
+val mean : int -> t
+
+(** [equal a b] tests structural equality. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let to_string ?(maxval = 255) img =
+  if maxval < 1 || maxval > 65535 then invalid_arg "Pgm.to_string: maxval out of range";
+  let width = Image.width img and height = Image.height img in
+  let buf = Buffer.create ((width * height * if maxval > 255 then 2 else 1) + 32) in
+  Printf.bprintf buf "P5\n%d %d\n%d\n" width height maxval;
+  let scale = float_of_int maxval in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let v = int_of_float (Float.round (clamp01 (Image.get img x y) *. scale)) in
+      if maxval > 255 then begin
+        Buffer.add_char buf (Char.chr (v lsr 8));
+        Buffer.add_char buf (Char.chr (v land 0xff))
+      end
+      else Buffer.add_char buf (Char.chr v)
+    done
+  done;
+  Buffer.contents buf
+
+(* A tiny tokenizer over the PGM header: whitespace-separated tokens with
+   '#' comments running to end of line. *)
+type cursor = { data : string; mutable pos : int }
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws cur =
+  let n = String.length cur.data in
+  let rec loop () =
+    if cur.pos < n then
+      if is_space cur.data.[cur.pos] then begin
+        cur.pos <- cur.pos + 1;
+        loop ()
+      end
+      else if cur.data.[cur.pos] = '#' then begin
+        while cur.pos < n && cur.data.[cur.pos] <> '\n' do
+          cur.pos <- cur.pos + 1
+        done;
+        loop ()
+      end
+  in
+  loop ()
+
+let token cur =
+  skip_ws cur;
+  let n = String.length cur.data in
+  let start = cur.pos in
+  while cur.pos < n && not (is_space cur.data.[cur.pos]) do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail "Pgm.of_string: unexpected end of header";
+  String.sub cur.data start (cur.pos - start)
+
+let int_token cur =
+  let t = token cur in
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> fail "Pgm.of_string: expected an integer, found %S" t
+
+let of_string data =
+  let cur = { data; pos = 0 } in
+  let magic = token cur in
+  let width = int_token cur in
+  let height = int_token cur in
+  let maxval = int_token cur in
+  if width <= 0 || height <= 0 then fail "Pgm.of_string: nonpositive dimensions";
+  if maxval < 1 || maxval > 65535 then fail "Pgm.of_string: maxval out of range";
+  let scale = float_of_int maxval in
+  match magic with
+  | "P2" ->
+    let img = Image.create ~width ~height () in
+    for y = 0 to height - 1 do
+      for x = 0 to width - 1 do
+        let v = int_token cur in
+        Image.set img x y (float_of_int v /. scale)
+      done
+    done;
+    img
+  | "P5" ->
+    (* Exactly one whitespace byte separates the header from the
+       raster. *)
+    if cur.pos >= String.length data || not (is_space data.[cur.pos]) then
+      fail "Pgm.of_string: missing raster separator";
+    cur.pos <- cur.pos + 1;
+    let bytes_per = if maxval > 255 then 2 else 1 in
+    let needed = width * height * bytes_per in
+    if String.length data - cur.pos < needed then
+      fail "Pgm.of_string: truncated raster (%d bytes missing)"
+        (needed - (String.length data - cur.pos));
+    let img = Image.create ~width ~height () in
+    for i = 0 to (width * height) - 1 do
+      let v =
+        if bytes_per = 2 then
+          (Char.code data.[cur.pos + (2 * i)] lsl 8)
+          lor Char.code data.[cur.pos + (2 * i) + 1]
+        else Char.code data.[cur.pos + i]
+      in
+      Image.set img (i mod width) (i / width) (float_of_int v /. scale)
+    done;
+    img
+  | m -> fail "Pgm.of_string: unsupported magic %S (only P2/P5 graymaps)" m
+
+let write ?maxval path img =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?maxval img))
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,1 @@
+lib/ir/compile.ml: Array Expr Float Kfuse_image List Printf

@@ -1,0 +1,1 @@
+lib/ir/compile.mli: Expr Kfuse_image

@@ -1,0 +1,1 @@
+lib/ir/conv_match.ml: Expr Float Kfuse_image List String

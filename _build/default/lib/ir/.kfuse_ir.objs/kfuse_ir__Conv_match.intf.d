@@ -1,0 +1,1 @@
+lib/ir/conv_match.mli: Expr Kfuse_image

@@ -1,0 +1,1 @@
+lib/ir/cost.ml: Expr Footprint Kernel List

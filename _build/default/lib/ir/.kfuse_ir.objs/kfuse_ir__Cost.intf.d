@@ -1,0 +1,1 @@
+lib/ir/cost.mli: Expr Footprint Kernel

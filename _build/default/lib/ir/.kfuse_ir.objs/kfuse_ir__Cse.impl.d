@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Array Expr Kernel List Map Option Pipeline Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ir/cse.mli: Expr Kernel Pipeline

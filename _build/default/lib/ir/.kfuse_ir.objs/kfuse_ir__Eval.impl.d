@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Compile Expr Float Kernel Kfuse_image List Map Option Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/ir/eval.mli: Expr Kernel Kfuse_image Map Pipeline

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Float Format Hashtbl Kfuse_image List Option Printf Stdlib String

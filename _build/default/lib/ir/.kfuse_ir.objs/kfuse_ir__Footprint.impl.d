@@ -1,0 +1,1 @@
+lib/ir/footprint.ml: Expr Format Kernel List String

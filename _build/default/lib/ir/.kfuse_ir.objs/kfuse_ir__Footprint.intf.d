@@ -1,0 +1,1 @@
+lib/ir/footprint.mli: Expr Format Kernel

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Expr Format List Printf String

@@ -1,0 +1,1 @@
+lib/ir/pipeline.ml: Array Expr Format Hashtbl Kernel Kfuse_graph Kfuse_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/pipeline.mli: Format Kernel Kfuse_graph Kfuse_util

@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Array Expr Float Kernel Kfuse_image List Pipeline String

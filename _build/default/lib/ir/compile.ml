@@ -1,0 +1,86 @@
+module Image = Kfuse_image.Image
+module Border = Kfuse_image.Border
+
+type compiled = { eval : float array -> int -> int -> float; slots_needed : int }
+
+let compile_unop op =
+  match op with
+  | Expr.Neg -> fun v -> -.v
+  | Expr.Abs -> Float.abs
+  | Expr.Sqrt -> sqrt
+  | Expr.Exp -> exp
+  | Expr.Log -> log
+  | Expr.Sin -> sin
+  | Expr.Cos -> cos
+  | Expr.Floor -> Float.floor
+
+let compile_binop op =
+  match op with
+  | Expr.Add -> ( +. )
+  | Expr.Sub -> ( -. )
+  | Expr.Mul -> ( *. )
+  | Expr.Div -> ( /. )
+  | Expr.Min -> Float.min
+  | Expr.Max -> Float.max
+  | Expr.Pow -> Float.pow
+
+let expr ~width ~height ~params ~lookup e =
+  let max_slots = ref 0 in
+  (* [depth]: next free slot; [env]: variable name -> slot. *)
+  let rec go depth env e =
+    if depth > !max_slots then max_slots := depth;
+    match e with
+    | Expr.Const c -> fun _ _ _ -> c
+    | Expr.Param p -> (
+      match List.assoc_opt p params with
+      | Some v -> fun _ _ _ -> v
+      | None -> invalid_arg (Printf.sprintf "Compile: unbound parameter %S" p))
+    | Expr.Var v -> (
+      match List.assoc_opt v env with
+      | Some slot -> fun slots _ _ -> Array.unsafe_get slots slot
+      | None -> invalid_arg (Printf.sprintf "Compile: unbound variable %%%s" v))
+    | Expr.Input { image; dx; dy; border } ->
+      let img = lookup image in
+      fun _ x y -> Image.get_bordered img border (x + dx) (y + dy)
+    | Expr.Let { var; value; body } ->
+      let cv = go depth env value in
+      let slot = depth in
+      let cb = go (depth + 1) ((var, slot) :: env) body in
+      fun slots x y ->
+        Array.unsafe_set slots slot (cv slots x y);
+        cb slots x y
+    | Expr.Unop (op, a) ->
+      let f = compile_unop op and ca = go depth env a in
+      fun slots x y -> f (ca slots x y)
+    | Expr.Binop (op, a, b) ->
+      let f = compile_binop op in
+      let ca = go depth env a and cb = go depth env b in
+      fun slots x y -> f (ca slots x y) (cb slots x y)
+    | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+      let cl = go depth env lhs and cr = go depth env rhs in
+      let ct = go depth env if_true and cf = go depth env if_false in
+      let test =
+        match cmp with
+        | Expr.Lt -> fun a b -> a < b
+        | Expr.Le -> fun a b -> a <= b
+        | Expr.Eq -> fun a b -> Float.equal a b
+      in
+      fun slots x y ->
+        if test (cl slots x y) (cr slots x y) then ct slots x y else cf slots x y
+    | Expr.Shift { dx; dy; exchange; body } -> (
+      let cb = go depth env body in
+      match exchange with
+      | None -> fun slots x y -> cb slots (x + dx) (y + dy)
+      | Some mode ->
+        fun slots x y ->
+          (* Index exchange (Section IV-B): re-resolve the shifted
+             position against the iteration space. *)
+          (match Border.resolve mode ~width ~height (x + dx) (y + dy) with
+          | Border.Inside (nx, ny) -> cb slots nx ny
+          | Border.Const_value c -> c
+          | Border.Undef -> invalid_arg "Compile: undefined border in index exchange"))
+  in
+  let eval = go 0 [] e in
+  { eval; slots_needed = !max_slots }
+
+let scratch c = Array.make (max 1 c.slots_needed) 0.0

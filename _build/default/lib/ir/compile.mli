@@ -1,0 +1,37 @@
+(** Compilation of kernel bodies to OCaml closures.
+
+    The tree-walking interpreter in {!Eval} re-dispatches on every AST
+    node for every pixel.  This module performs that dispatch once:
+    an expression compiles to a closure [slots -> x -> y -> float] where
+    image lookups, parameter values and [Let] slot indices are resolved
+    at compile time.  {!Eval.run_kernel} uses it internally, typically an
+    order of magnitude faster on convolution-sized bodies — which is what
+    makes whole-application pixel-exactness tests cheap enough to run on
+    every kernel of every strategy.
+
+    [Let] bindings use compile-time-assigned scratch slots (lexical
+    depth), so the closure is reentrant as long as each evaluation uses
+    its own scratch array; {!scratch} sizes one. *)
+
+type compiled = {
+  eval : float array -> int -> int -> float;
+      (** [eval slots x y]; [slots] must have at least [slots_needed]
+          elements *)
+  slots_needed : int;
+}
+
+(** [expr ~width ~height ~params ~lookup e] compiles [e].  [lookup]
+    resolves image names (called once per distinct access at compile
+    time).
+    @raise Invalid_argument on unbound parameters or variables (image
+    lookup errors are whatever [lookup] raises). *)
+val expr :
+  width:int ->
+  height:int ->
+  params:(string * float) list ->
+  lookup:(string -> Kfuse_image.Image.t) ->
+  Expr.t ->
+  compiled
+
+(** [scratch c] allocates a scratch slot array for [c]. *)
+val scratch : compiled -> float array

@@ -1,0 +1,134 @@
+module Emap = Map.Make (struct
+  type t = Expr.t
+
+  (* Expr.t is a pure first-order datatype, so the polymorphic comparison
+     is a sound structural order. *)
+  let compare = Stdlib.compare
+end)
+
+(* All names bound by Let anywhere in [e] (for fresh-name generation). *)
+let bound_names e =
+  Expr.(
+    let rec go acc e =
+      match e with
+      | Const _ | Param _ | Input _ | Var _ -> acc
+      | Let { var; value; body } -> go (go (var :: acc) value) body
+      | Unop (_, a) -> go acc a
+      | Binop (_, a, b) -> go (go acc a) b
+      | Select { lhs; rhs; if_true; if_false; _ } ->
+        List.fold_left go acc [ lhs; rhs; if_true; if_false ]
+      | Shift { body; _ } -> go acc body
+    in
+    go [] e)
+
+(* Count subtree occurrences within the current frame: Shift bodies are a
+   different evaluation position, so they are opaque (the Shift node as a
+   whole still counts as a frame value). *)
+let rec count_frame tbl e =
+  tbl := Emap.update e (fun n -> Some (1 + Option.value ~default:0 n)) !tbl;
+  match e with
+  | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ | Expr.Shift _ -> ()
+  | Expr.Let { value; body; _ } ->
+    count_frame tbl value;
+    count_frame tbl body
+  | Expr.Unop (_, a) -> count_frame tbl a
+  | Expr.Binop (_, a, b) ->
+    count_frame tbl a;
+    count_frame tbl b
+  | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
+    List.iter (count_frame tbl) [ lhs; rhs; if_true; if_false ]
+
+(* Replace frame occurrences of [t] by [Var v]; Shift bodies are opaque. *)
+let rec replace t v e =
+  if Expr.equal e t then Expr.Var v
+  else
+    match e with
+    | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ | Expr.Shift _ -> e
+    | Expr.Let { var; value; body } ->
+      Expr.Let { var; value = replace t v value; body = replace t v body }
+    | Expr.Unop (op, a) -> Expr.Unop (op, replace t v a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, replace t v a, replace t v b)
+    | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+      Expr.Select
+        {
+          cmp;
+          lhs = replace t v lhs;
+          rhs = replace t v rhs;
+          if_true = replace t v if_true;
+          if_false = replace t v if_false;
+        }
+
+let eligible min_size e =
+  match e with
+  | Expr.Const _ | Expr.Param _ | Expr.Var _ | Expr.Let _ -> false
+  | Expr.Input _ | Expr.Unop _ | Expr.Binop _ | Expr.Select _ | Expr.Shift _ ->
+    Expr.size e >= min_size && Expr.free_vars e = []
+
+(* Process the top-level frame of [e] to a fixpoint: repeatedly bind the
+   largest repeated eligible subtree. *)
+let rec bind_repeats ~min_size ~fresh e =
+  let tbl = ref Emap.empty in
+  count_frame tbl e;
+  let candidate =
+    Emap.fold
+      (fun sub n best ->
+        if n >= 2 && eligible min_size sub then
+          match best with
+          | Some b when Expr.size b >= Expr.size sub -> best
+          | _ -> Some sub
+        else best)
+      !tbl None
+  in
+  match candidate with
+  | None -> e
+  | Some t ->
+    let v = fresh () in
+    bind_repeats ~min_size ~fresh (Expr.Let { var = v; value = t; body = replace t v e })
+
+(* Recurse into sub-frames (Shift bodies) first, then bind in this frame. *)
+let rec process ~min_size ~fresh e =
+  let rec sub_frames e =
+    match e with
+    | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ -> e
+    | Expr.Shift { dx; dy; exchange; body } ->
+      Expr.Shift { dx; dy; exchange; body = process ~min_size ~fresh body }
+    | Expr.Let { var; value; body } ->
+      Expr.Let { var; value = sub_frames value; body = sub_frames body }
+    | Expr.Unop (op, a) -> Expr.Unop (op, sub_frames a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, sub_frames a, sub_frames b)
+    | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+      Expr.Select
+        {
+          cmp;
+          lhs = sub_frames lhs;
+          rhs = sub_frames rhs;
+          if_true = sub_frames if_true;
+          if_false = sub_frames if_false;
+        }
+  in
+  bind_repeats ~min_size ~fresh (sub_frames e)
+
+let expr ?(min_size = 1) e =
+  let taken = ref (bound_names e) in
+  let counter = ref 0 in
+  let rec fresh () =
+    incr counter;
+    let name = Printf.sprintf "cse_%d" !counter in
+    if List.mem name !taken then fresh ()
+    else begin
+      taken := name :: !taken;
+      name
+    end
+  in
+  process ~min_size ~fresh e
+
+let kernel ?min_size (k : Kernel.t) =
+  match k.Kernel.op with
+  | Kernel.Map body ->
+    Kernel.map ~name:k.Kernel.name ~inputs:k.Kernel.inputs (expr ?min_size body)
+  | Kernel.Reduce { init; combine; arg } ->
+    Kernel.reduce ~name:k.Kernel.name ~inputs:k.Kernel.inputs ~init ~combine
+      (expr ?min_size arg)
+
+let pipeline ?min_size (p : Pipeline.t) =
+  Pipeline.with_kernels p (List.map (kernel ?min_size) (Array.to_list p.Pipeline.kernels))

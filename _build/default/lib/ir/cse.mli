@@ -1,0 +1,24 @@
+(** Common-subexpression elimination.
+
+    Introduces [Let] bindings for repeated subexpressions so each is
+    computed (and, after lowering, each repeated image load issued) once.
+    Value-numbering is {e frame-aware}: a [Shift] changes the evaluation
+    position, so structurally equal subtrees in different shift frames
+    denote different values and are never merged; each [Shift] body is
+    processed as its own frame.  Subtrees with free variables are also
+    left alone (hoisting would cross their binders).
+
+    This matters most for fused kernels: a consumer that reads the same
+    image at the same offset in several arithmetic contexts, or a corner
+    response reusing [trace = gx + gy] twice, gets a single register. *)
+
+(** [expr ?min_size e] binds every eligible subtree that occurs at least
+    twice within a frame and has at least [min_size] AST nodes (default
+    [1], which includes repeated [Input] loads). *)
+val expr : ?min_size:int -> Expr.t -> Expr.t
+
+(** [kernel ?min_size k] applies {!expr} to the kernel body. *)
+val kernel : ?min_size:int -> Kernel.t -> Kernel.t
+
+(** [pipeline ?min_size p] applies {!kernel} to every kernel. *)
+val pipeline : ?min_size:int -> Pipeline.t -> Pipeline.t

@@ -1,0 +1,62 @@
+type window = { dx_min : int; dx_max : int; dy_min : int; dy_max : int }
+
+let point = { dx_min = 0; dx_max = 0; dy_min = 0; dy_max = 0 }
+
+let make ~dx_min ~dx_max ~dy_min ~dy_max =
+  if dx_min > dx_max || dy_min > dy_max then invalid_arg "Footprint.make: empty window";
+  { dx_min; dx_max; dy_min; dy_max }
+
+let of_radius r =
+  if r < 0 then invalid_arg "Footprint.of_radius: negative radius";
+  { dx_min = -r; dx_max = r; dy_min = -r; dy_max = r }
+
+let union a b =
+  {
+    dx_min = min a.dx_min b.dx_min;
+    dx_max = max a.dx_max b.dx_max;
+    dy_min = min a.dy_min b.dy_min;
+    dy_max = max a.dy_max b.dy_max;
+  }
+
+let sum a b =
+  {
+    dx_min = a.dx_min + b.dx_min;
+    dx_max = a.dx_max + b.dx_max;
+    dy_min = a.dy_min + b.dy_min;
+    dy_max = a.dy_max + b.dy_max;
+  }
+
+let width w = w.dx_max - w.dx_min + 1
+let height w = w.dy_max - w.dy_min + 1
+let area w = width w * height w
+
+let radius w =
+  List.fold_left max 0 [ abs w.dx_min; abs w.dx_max; abs w.dy_min; abs w.dy_max ]
+
+let is_point w = w.dx_min = 0 && w.dx_max = 0 && w.dy_min = 0 && w.dy_max = 0
+
+let of_expr e =
+  List.fold_left
+    (fun acc (image, dx, dy) ->
+      let w = { dx_min = dx; dx_max = dx; dy_min = dy; dy_max = dy } in
+      match List.assoc_opt image acc with
+      | Some _ ->
+        List.map
+          (fun (i, w0) -> if String.equal i image then (i, union w0 w) else (i, w0))
+          acc
+      | None -> acc @ [ (image, w) ])
+    [] (Expr.accesses e)
+
+let of_kernel (k : Kernel.t) =
+  let e = match k.Kernel.op with Kernel.Map e -> e | Kernel.Reduce { arg; _ } -> arg in
+  let found = of_expr e in
+  List.map
+    (fun img ->
+      match List.assoc_opt img found with Some w -> (img, w) | None -> (img, point))
+    k.Kernel.inputs
+
+let equal a b =
+  a.dx_min = b.dx_min && a.dx_max = b.dx_max && a.dy_min = b.dy_min && a.dy_max = b.dy_max
+
+let pp ppf w =
+  Format.fprintf ppf "[%d..%d]x[%d..%d]" w.dx_min w.dx_max w.dy_min w.dy_max

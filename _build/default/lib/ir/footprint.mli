@@ -1,0 +1,59 @@
+(** Rectangular access footprints.
+
+    Interval analysis of image accesses: for each input image, the
+    smallest rectangle of offsets [(dx, dy)] a kernel reads around the
+    current position.  This refines the scalar radius used in the
+    paper's square-mask presentation: a 1-D horizontal blur
+    [(dx in \[-2, 2\], dy = 0)] needs a tile with no vertical halo, which
+    the Chebyshev radius over-approximates as a 5x5 window.
+
+    Footprints compose under fusion exactly like radii: inlining a
+    producer at consumer offsets translates to the Minkowski sum of the
+    windows, which {!val:sum} implements and which equals Eq. 9's mask
+    growth for square windows. *)
+
+(** An inclusive offset rectangle; invariants [dx_min <= dx_max],
+    [dy_min <= dy_max]. *)
+type window = { dx_min : int; dx_max : int; dy_min : int; dy_max : int }
+
+(** The single-point window [{0, 0}] of a point access. *)
+val point : window
+
+(** [of_radius r] is the square window [\[-r, r\]^2]. *)
+val of_radius : int -> window
+
+(** [make ~dx_min ~dx_max ~dy_min ~dy_max] checks the invariants. *)
+val make : dx_min:int -> dx_max:int -> dy_min:int -> dy_max:int -> window
+
+(** [union a b] is the bounding rectangle of both. *)
+val union : window -> window -> window
+
+(** [sum a b] is the Minkowski sum: the footprint of reading through a
+    [b]-windowed consumer into an [a]-windowed producer.  For square
+    windows of radii r1 and r2 this is the square of radius r1 + r2 —
+    Eq. 9 in window form. *)
+val sum : window -> window -> window
+
+(** [width w] and [height w] are the extents in pixels. *)
+val width : window -> int
+
+val height : window -> int
+
+(** [area w] is [width * height] — [sz()] for square windows. *)
+val area : window -> int
+
+(** [radius w] is the Chebyshev radius (largest absolute offset). *)
+val radius : window -> int
+
+(** [is_point w] tests [w = point]. *)
+val is_point : window -> bool
+
+(** [of_expr e] maps each image read by [e] to its footprint (total
+    offsets, composing [Shift]s), in first-access order. *)
+val of_expr : Expr.t -> (string * window) list
+
+(** [of_kernel k] is the footprint of each declared input. *)
+val of_kernel : Kernel.t -> (string * window) list
+
+val equal : window -> window -> bool
+val pp : Format.formatter -> window -> unit

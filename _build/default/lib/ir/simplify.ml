@@ -1,0 +1,162 @@
+let apply_unop op v =
+  match op with
+  | Expr.Neg -> Some (-.v)
+  | Expr.Abs -> Some (Float.abs v)
+  | Expr.Sqrt -> Some (sqrt v)
+  | Expr.Exp -> Some (exp v)
+  | Expr.Log -> Some (log v)
+  | Expr.Sin -> Some (sin v)
+  | Expr.Cos -> Some (cos v)
+  | Expr.Floor -> Some (Float.floor v)
+
+let apply_binop op a b =
+  match op with
+  | Expr.Add -> a +. b
+  | Expr.Sub -> a -. b
+  | Expr.Mul -> a *. b
+  | Expr.Div -> a /. b
+  | Expr.Min -> Float.min a b
+  | Expr.Max -> Float.max a b
+  | Expr.Pow -> Float.pow a b
+
+let is_const c = function Expr.Const x -> Float.equal x c | _ -> false
+
+(* Occurrence count of [v] as a free variable in [e]. *)
+let rec var_uses v e =
+  match e with
+  | Expr.Var w -> if String.equal v w then 1 else 0
+  | Expr.Const _ | Expr.Param _ | Expr.Input _ -> 0
+  | Expr.Let { var; value; body } ->
+    var_uses v value + if String.equal var v then 0 else var_uses v body
+  | Expr.Unop (_, a) -> var_uses v a
+  | Expr.Binop (_, a, b) -> var_uses v a + var_uses v b
+  | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
+    var_uses v lhs + var_uses v rhs + var_uses v if_true + var_uses v if_false
+  | Expr.Shift { body; _ } -> var_uses v body
+
+(* Occurrences of [v] that sit under a [Shift] inside [e].  Inlining a
+   position-dependent value there would re-evaluate it at the shifted
+   position and change meaning. *)
+let rec var_uses_under_shift v e =
+  match e with
+  | Expr.Var _ | Expr.Const _ | Expr.Param _ | Expr.Input _ -> 0
+  | Expr.Let { var; value; body } ->
+    var_uses_under_shift v value
+    + if String.equal var v then 0 else var_uses_under_shift v body
+  | Expr.Unop (_, a) -> var_uses_under_shift v a
+  | Expr.Binop (_, a, b) -> var_uses_under_shift v a + var_uses_under_shift v b
+  | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
+    var_uses_under_shift v lhs + var_uses_under_shift v rhs
+    + var_uses_under_shift v if_true + var_uses_under_shift v if_false
+  | Expr.Shift { body; _ } -> var_uses v body
+
+(* Substitute [value] for free occurrences of [v].  Only used when the
+   value is trivial (a constant or another variable), so no capture or
+   duplication concerns beyond shadowing. *)
+let rec subst_var v value e =
+  match e with
+  | Expr.Var w -> if String.equal v w then value else e
+  | Expr.Const _ | Expr.Param _ | Expr.Input _ -> e
+  | Expr.Let { var; value = bound; body } ->
+    let bound = subst_var v value bound in
+    let body = if String.equal var v then body else subst_var v value body in
+    Expr.Let { var; value = bound; body }
+  | Expr.Unop (op, a) -> Expr.Unop (op, subst_var v value a)
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, subst_var v value a, subst_var v value b)
+  | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+    Expr.Select
+      {
+        cmp;
+        lhs = subst_var v value lhs;
+        rhs = subst_var v value rhs;
+        if_true = subst_var v value if_true;
+        if_false = subst_var v value if_false;
+      }
+  | Expr.Shift { dx; dy; exchange; body } ->
+    Expr.Shift { dx; dy; exchange; body = subst_var v value body }
+
+let rec rewrite e =
+  match e with
+  | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ -> e
+  | Expr.Unop (op, a) -> (
+    let a = rewrite a in
+    match (op, a) with
+    | _, Expr.Const c -> (
+      match apply_unop op c with Some v -> Expr.Const v | None -> Expr.Unop (op, a))
+    | Expr.Neg, Expr.Unop (Expr.Neg, inner) -> inner
+    | Expr.Abs, Expr.Unop (Expr.Abs, _) -> a
+    | _ -> Expr.Unop (op, a))
+  | Expr.Binop (op, a, b) -> (
+    let a = rewrite a and b = rewrite b in
+    match (op, a, b) with
+    | _, Expr.Const x, Expr.Const y -> Expr.Const (apply_binop op x y)
+    | Expr.Add, x, c when is_const 0.0 c -> x
+    | Expr.Add, c, x when is_const 0.0 c -> x
+    | Expr.Sub, x, c when is_const 0.0 c -> x
+    | Expr.Mul, x, c when is_const 1.0 c -> x
+    | Expr.Mul, c, x when is_const 1.0 c -> x
+    | Expr.Mul, _, c when is_const 0.0 c -> Expr.Const 0.0
+    | Expr.Mul, c, _ when is_const 0.0 c -> Expr.Const 0.0
+    | Expr.Div, x, c when is_const 1.0 c -> x
+    | Expr.Pow, x, c when is_const 1.0 c -> x
+    | Expr.Pow, _, c when is_const 0.0 c -> Expr.Const 1.0
+    | _ -> Expr.Binop (op, a, b))
+  | Expr.Select { cmp; lhs; rhs; if_true; if_false } -> (
+    let lhs = rewrite lhs and rhs = rewrite rhs in
+    let if_true = rewrite if_true and if_false = rewrite if_false in
+    match (lhs, rhs) with
+    | Expr.Const x, Expr.Const y ->
+      let taken =
+        match cmp with
+        | Expr.Lt -> x < y
+        | Expr.Le -> x <= y
+        | Expr.Eq -> Float.equal x y
+      in
+      if taken then if_true else if_false
+    | _ ->
+      if Expr.equal if_true if_false then if_true
+      else Expr.Select { cmp; lhs; rhs; if_true; if_false })
+  | Expr.Let { var; value; body } -> (
+    let value = rewrite value and body = rewrite body in
+    match var_uses var body with
+    | 0 -> body
+    | uses -> (
+      match value with
+      (* Constants, parameters and variables denote the same value at any
+         position: inline them freely.  Other values may be inlined only
+         when used once and not under a Shift (which would re-evaluate
+         them at a shifted position). *)
+      | Expr.Const _ | Expr.Var _ | Expr.Param _ -> rewrite (subst_var var value body)
+      | _ when uses = 1 && var_uses_under_shift var body = 0 ->
+        rewrite (subst_var var value body)
+      | _ -> Expr.Let { var; value; body }))
+  | Expr.Shift { dx = 0; dy = 0; exchange = _; body } ->
+    (* A zero shift is the identity: the unshifted position is always
+       inside the iteration space, so any exchange resolves to it. *)
+    rewrite body
+  | Expr.Shift { dx; dy; exchange; body } -> (
+    let body = rewrite body in
+    match (body, exchange) with
+    (* A position-independent body passes through remapping exchanges;
+       not through Constant (out-of-bounds yields the padding constant,
+       not the body) nor Undefined (which must keep failing). *)
+    | ( (Expr.Const _ | Expr.Param _),
+        (None | Some (Kfuse_image.Border.Clamp | Kfuse_image.Border.Mirror | Kfuse_image.Border.Repeat)) )
+      -> body
+    | _ -> Expr.Shift { dx; dy; exchange; body })
+
+let rec expr e =
+  let e' = rewrite e in
+  if Expr.equal e e' then e' else expr e'
+
+let kernel (k : Kernel.t) =
+  match k.Kernel.op with
+  | Kernel.Map body ->
+    let body = expr body in
+    Kernel.map ~name:k.Kernel.name ~inputs:(Expr.images body) body
+  | Kernel.Reduce { init; combine; arg } ->
+    let arg = expr arg in
+    Kernel.reduce ~name:k.Kernel.name ~inputs:(Expr.images arg) ~init ~combine arg
+
+let pipeline (p : Pipeline.t) =
+  Pipeline.with_kernels p (List.map kernel (Array.to_list p.Pipeline.kernels))

@@ -1,0 +1,28 @@
+(** Algebraic simplification of kernel bodies.
+
+    A classic bottom-up rewriter: constant folding, arithmetic identities
+    ([x + 0], [x * 1], [x / 1], [pow x 1], double negation), select
+    folding on constant comparisons, dead- and trivial-[Let] elimination,
+    and removal of zero [Shift]s.  Runs to a fixpoint.
+
+    Fused kernel bodies produced by {!Transform} inherit every constant
+    of their producers, so folding visibly shrinks them before code
+    generation.
+
+    Caveat: the rewrite [x * 0 -> 0] (and [0 / x -> 0]) assumes finite
+    pixel values — on a NaN or infinity input the unsimplified expression
+    would produce NaN instead of 0.  Image pipelines operate on finite
+    data; callers that cannot guarantee this should skip simplification. *)
+
+(** [expr e] simplifies one expression. *)
+val expr : Expr.t -> Expr.t
+
+(** [kernel k] simplifies a kernel's body (map and reduce alike).  The
+    kernel's inputs are recomputed, since simplification can remove the
+    last read of an image. *)
+val kernel : Kernel.t -> Kernel.t
+
+(** [pipeline p] simplifies every kernel.  Kernels whose last read of
+    some image disappears keep their reduced input lists; the pipeline is
+    revalidated. *)
+val pipeline : Pipeline.t -> Pipeline.t

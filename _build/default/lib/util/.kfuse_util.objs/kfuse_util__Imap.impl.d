@@ -1,0 +1,1 @@
+lib/util/imap.ml: Int List Map

@@ -1,0 +1,1 @@
+lib/util/iset.ml: Format Int Set

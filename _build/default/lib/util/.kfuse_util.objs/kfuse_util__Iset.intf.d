@@ -1,0 +1,1 @@
+lib/util/iset.mli: Format Set

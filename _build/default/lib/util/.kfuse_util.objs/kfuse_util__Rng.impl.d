@@ -1,0 +1,1 @@
+lib/util/rng.ml: Float Int64

@@ -1,0 +1,4 @@
+include Map.Make (Int)
+
+let find_or ~default k m = match find_opt k m with Some v -> v | None -> default
+let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev

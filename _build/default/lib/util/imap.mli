@@ -1,0 +1,10 @@
+(** Maps keyed by integer identifiers. *)
+
+include Map.S with type key = int
+
+(** [find_or ~default k m] is the binding of [k] in [m], or [default] when
+    [k] is unbound. *)
+val find_or : default:'a -> int -> 'a t -> 'a
+
+(** [keys m] is the list of keys of [m] in increasing order. *)
+val keys : 'a t -> int list

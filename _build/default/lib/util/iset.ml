@@ -1,0 +1,14 @@
+include Set.Make (Int)
+
+let of_range lo hi =
+  let rec loop acc i = if i < lo then acc else loop (add i acc) (i - 1) in
+  loop empty hi
+
+let to_sorted_list s = elements s
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,15 @@
+(** Sets of integer identifiers.
+
+    A thin specialization of {!Stdlib.Set} over [int], used throughout the
+    code base for vertex sets, partition blocks, and kernel-id sets. *)
+
+include Set.S with type elt = int
+
+(** [of_range lo hi] is the set [{lo, lo+1, ..., hi}]; empty if [hi < lo]. *)
+val of_range : int -> int -> t
+
+(** [pp ppf s] prints [s] as [{e1, e2, ...}] in increasing order. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_sorted_list s] is the elements of [s] in increasing order. *)
+val to_sorted_list : t -> int list

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, self-contained xoshiro256** generator.  Every stochastic
+    component of the reproduction (measurement-noise sampling, random test
+    images, random pipelines in property tests) draws from an explicit
+    generator state so that all experiments are bit-reproducible. *)
+
+type t
+(** Mutable generator state. *)
+
+(** [create seed] seeds a fresh generator deterministically from [seed]
+    (SplitMix64 expansion of the seed). *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t]. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+val int : t -> int -> int
+
+(** [float t x] is uniform in [\[0, x)]. *)
+val float : t -> float -> float
+
+(** [gaussian t] is a standard normal sample (Box-Muller). *)
+val gaussian : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool

@@ -1,0 +1,58 @@
+type summary = {
+  n : int;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+  mean : float;
+}
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  {
+    n;
+    min = sorted.(0);
+    p25 = percentile 25.0 sorted;
+    median = percentile 50.0 sorted;
+    p75 = percentile 75.0 sorted;
+    max = sorted.(n - 1);
+    mean = mean samples;
+  }
+
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty list"
+  | _ ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive element";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d min=%.4f p25=%.4f med=%.4f p75=%.4f max=%.4f" s.n
+    s.min s.p25 s.median s.p75 s.max

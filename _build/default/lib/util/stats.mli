@@ -1,0 +1,34 @@
+(** Summary statistics for repeated measurements.
+
+    Mirrors the box-plot quantities reported in Figure 6 of the paper
+    (minimum, 25th percentile, median, 75th percentile, maximum over 500
+    runs), plus the geometric mean used by Table II. *)
+
+type summary = {
+  n : int;  (** number of samples *)
+  min : float;
+  p25 : float;  (** 25th percentile *)
+  median : float;
+  p75 : float;  (** 75th percentile *)
+  max : float;
+  mean : float;
+}
+
+(** [summarize samples] computes the box-plot summary of [samples].
+    Percentiles use linear interpolation between order statistics.
+    @raise Invalid_argument on an empty input. *)
+val summarize : float array -> summary
+
+(** [percentile p sorted] is the [p]-th percentile ([0. <= p <= 100.]) of an
+    array already sorted in increasing order. *)
+val percentile : float -> float array -> float
+
+(** [geomean xs] is the geometric mean of [xs]; all elements must be
+    positive. *)
+val geomean : float list -> float
+
+(** [mean xs] is the arithmetic mean. *)
+val mean : float array -> float
+
+(** [pp_summary ppf s] prints a one-line rendering of [s]. *)
+val pp_summary : Format.formatter -> summary -> unit

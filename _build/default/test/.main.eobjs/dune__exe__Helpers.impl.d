@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Fmt Kfuse_graph Kfuse_image Kfuse_ir Kfuse_util List

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float Helpers Kfuse_apps Kfuse_fusion Kfuse_graph Kfuse_image Kfuse_ir Kfuse_util List Option Printf

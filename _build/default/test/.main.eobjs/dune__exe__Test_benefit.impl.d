@@ -1,0 +1,1 @@
+test/test_benefit.ml: Alcotest Helpers Kfuse_apps Kfuse_fusion Kfuse_image Kfuse_ir List Option

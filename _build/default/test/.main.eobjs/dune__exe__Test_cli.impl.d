@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Fun In_channel Kfuse_image List Printf String Sys

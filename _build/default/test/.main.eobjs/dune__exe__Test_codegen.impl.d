@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Float Format Helpers Kfuse_codegen Kfuse_fusion Kfuse_image Kfuse_ir List Printf String

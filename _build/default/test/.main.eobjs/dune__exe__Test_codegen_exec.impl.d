@@ -1,0 +1,1 @@
+test/test_codegen_exec.ml: Alcotest Buffer Filename Float In_channel Kfuse_apps Kfuse_codegen Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util Lazy List Option Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_distribute.ml: Alcotest Helpers Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List Option Printf

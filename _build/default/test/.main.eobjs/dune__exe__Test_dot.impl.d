@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Kfuse_apps Kfuse_codegen Kfuse_fusion Kfuse_ir List Printf String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Float Format Helpers Kfuse_dsl Kfuse_image Kfuse_ir Kfuse_util List Option Printf String

@@ -1,0 +1,1 @@
+test/test_event_sim.ml: Alcotest Float Kfuse_apps Kfuse_fusion Kfuse_gpu Kfuse_image Kfuse_ir List Printf

@@ -1,0 +1,1 @@
+test/test_footprint.ml: Alcotest Helpers Kfuse_fusion Kfuse_image Kfuse_ir List

@@ -1,0 +1,1 @@
+test/test_fusion_algos.ml: Alcotest Helpers Kfuse_apps Kfuse_fusion Kfuse_graph Kfuse_ir Kfuse_util List Option Printf

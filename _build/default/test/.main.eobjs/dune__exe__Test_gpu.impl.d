@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Float Helpers Kfuse_gpu Kfuse_image Kfuse_ir Kfuse_util List

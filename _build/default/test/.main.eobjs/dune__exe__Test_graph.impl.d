@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Helpers Kfuse_graph Kfuse_util List

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Helpers Kfuse_image List Printf

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Helpers Kfuse_apps Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List Option Printf String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Kfuse_apps Kfuse_codegen Kfuse_dsl Kfuse_fusion Kfuse_gpu Kfuse_image Kfuse_ir Kfuse_util List Option Printf String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Helpers Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List Stdlib String

@@ -1,0 +1,1 @@
+test/test_pgm.ml: Alcotest Filename Fun Helpers Kfuse_image Kfuse_util List String Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Float Format Kfuse_dsl Kfuse_fusion Kfuse_graph Kfuse_image Kfuse_ir Kfuse_util List Printf QCheck QCheck_alcotest Random String

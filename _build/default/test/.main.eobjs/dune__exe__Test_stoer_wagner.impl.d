@@ -1,0 +1,1 @@
+test/test_stoer_wagner.ml: Alcotest Helpers Kfuse_graph Kfuse_util List

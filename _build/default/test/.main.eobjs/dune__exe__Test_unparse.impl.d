@@ -1,0 +1,1 @@
+test/test_unparse.ml: Alcotest Kfuse_apps Kfuse_dsl Kfuse_fusion Kfuse_image Kfuse_ir Kfuse_util List String

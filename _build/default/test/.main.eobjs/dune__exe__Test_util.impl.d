@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format Helpers Int64 Kfuse_util

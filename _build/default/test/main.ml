@@ -1,0 +1,34 @@
+(* Aggregate test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "kfuse"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("stoer-wagner", Test_stoer_wagner.suite);
+      ("karger", Test_karger.suite);
+      ("image", Test_image.suite);
+      ("pgm", Test_pgm.suite);
+      ("ir", Test_ir.suite);
+      ("footprint", Test_footprint.suite);
+      ("opt", Test_opt.suite);
+      ("legality", Test_legality.suite);
+      ("benefit", Test_benefit.suite);
+      ("transform", Test_transform.suite);
+      ("fusion-algorithms", Test_fusion_algos.suite);
+      ("exhaustive", Test_exhaustive.suite);
+      ("inline", Test_inline.suite);
+      ("distribute", Test_distribute.suite);
+      ("gpu", Test_gpu.suite);
+      ("event-sim", Test_event_sim.suite);
+      ("codegen", Test_codegen.suite);
+      ("codegen-exec", Test_codegen_exec.suite);
+      ("dot", Test_dot.suite);
+      ("dsl", Test_dsl.suite);
+      ("unparse", Test_unparse.suite);
+      ("apps", Test_apps.suite);
+      ("extra-apps", Test_extra_apps.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+      ("cli", Test_cli.suite);
+    ]

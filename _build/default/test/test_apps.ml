@@ -1,0 +1,169 @@
+(* Tests for the six benchmark applications (Section V-B): structure,
+   compute patterns, op counts, and functional sanity. *)
+
+module F = Kfuse_fusion
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Cost = Kfuse_ir.Cost
+module Image = Kfuse_image.Image
+module Registry = Kfuse_apps.Registry
+
+let pattern p name =
+  Kernel.pattern (Pipeline.kernel p (Option.get (Pipeline.index_of p name)))
+
+let check_pattern p name expected =
+  Alcotest.(check string)
+    (Printf.sprintf "%s is %s" name expected)
+    expected
+    (Kernel.pattern_to_string (pattern p name))
+
+let test_registry () =
+  Alcotest.(check (list string))
+    "table order"
+    [ "harris"; "sobel"; "unsharp"; "shitomasi"; "enhance"; "night" ]
+    Registry.names;
+  Alcotest.(check bool) "find" true (Option.is_some (Registry.find "harris"));
+  Alcotest.(check bool) "missing" true (Registry.find "canny" = None)
+
+let test_harris_structure () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  (* "Those nine kernels are connected by ten edges." *)
+  Alcotest.(check int) "nine kernels" 9 (Pipeline.num_kernels p);
+  Alcotest.(check int) "ten edges" 10
+    (Kfuse_graph.Digraph.num_edges (Pipeline.dag p));
+  Alcotest.(check int) "2048 wide" 2048 p.Pipeline.width;
+  List.iter (fun n -> check_pattern p n "local(r=1)") [ "dx"; "dy"; "gx"; "gy"; "gxy" ];
+  List.iter (fun n -> check_pattern p n "point") [ "sx"; "sy"; "sxy"; "hc" ];
+  Alcotest.(check (list string)) "single output" [ "hc" ] (Pipeline.outputs p)
+
+let test_shitomasi_structure () =
+  let p = Kfuse_apps.Shitomasi.pipeline () in
+  Alcotest.(check int) "nine kernels" 9 (Pipeline.num_kernels p);
+  Alcotest.(check int) "ten edges" 10 (Kfuse_graph.Digraph.num_edges (Pipeline.dag p));
+  check_pattern p "st" "point"
+
+let test_sobel_structure () =
+  let p = Kfuse_apps.Sobel.pipeline () in
+  Alcotest.(check int) "three kernels" 3 (Pipeline.num_kernels p);
+  check_pattern p "dx" "local(r=1)";
+  check_pattern p "dy" "local(r=1)";
+  check_pattern p "mag" "point"
+
+let test_unsharp_structure () =
+  (* "consists of a local kernel that blurs the image followed by three
+     point kernels"; all four read the source image (Fig 2b shape). *)
+  let p = Kfuse_apps.Unsharp.pipeline () in
+  Alcotest.(check int) "four kernels" 4 (Pipeline.num_kernels p);
+  check_pattern p "blur" "local(r=1)";
+  List.iter (fun n -> check_pattern p n "point") [ "highfreq"; "cubic"; "sharpened" ];
+  Array.iter
+    (fun (k : Kernel.t) ->
+      Alcotest.(check bool) (k.Kernel.name ^ " reads source") true
+        (List.mem "in" k.Kernel.inputs))
+    p.Pipeline.kernels
+
+let test_enhance_structure () =
+  let p = Kfuse_apps.Enhance.pipeline () in
+  Alcotest.(check int) "three kernels" 3 (Pipeline.num_kernels p);
+  check_pattern p "geomean" "local(r=1)";
+  check_pattern p "gamma" "point";
+  check_pattern p "stretch" "point"
+
+let test_night_structure () =
+  let p = Kfuse_apps.Night.pipeline () in
+  Alcotest.(check int) "three kernels" 3 (Pipeline.num_kernels p);
+  Alcotest.(check int) "1920 wide" 1920 p.Pipeline.width;
+  Alcotest.(check int) "RGB planes" 3 p.Pipeline.channels;
+  check_pattern p "atrous0" "local(r=1)";
+  check_pattern p "atrous1" "local(r=2)";
+  check_pattern p "scoto" "point"
+
+let test_night_atrous_dilation () =
+  (* Level 1 of the a-trous algorithm dilates taps by 2: offsets are in
+     {-2, 0, 2} only. *)
+  let p = Kfuse_apps.Night.pipeline () in
+  let a1 = Pipeline.kernel p (Option.get (Pipeline.index_of p "atrous1")) in
+  List.iter
+    (fun (_, dx, dy) ->
+      Alcotest.(check bool) "dilated offsets" true
+        (List.mem dx [ -2; 0; 2 ] && List.mem dy [ -2; 0; 2 ]))
+    (Kfuse_ir.Expr.accesses (Kernel.body a1))
+
+let test_night_op_counts () =
+  (* The paper counts 68 ALU operations for the a-trous kernels and 89
+     for Scoto; our bodies land in the same regime (the fusion decision
+     only needs phi >> delta). *)
+  let p = Kfuse_apps.Night.pipeline () in
+  let count name =
+    Cost.kernel_op_counts (Pipeline.kernel p (Option.get (Pipeline.index_of p name)))
+  in
+  let a = count "atrous0" in
+  Alcotest.(check bool) "atrous alu heavy" true (a.Cost.alu >= 50 && a.Cost.alu <= 90);
+  Alcotest.(check bool) "atrous has sfu" true (a.Cost.sfu >= 9);
+  let s = count "scoto" in
+  Alcotest.(check bool) "scoto ~89 alu" true (s.Cost.alu >= 75 && s.Cost.alu <= 100)
+
+let test_all_apps_interpret () =
+  (* Every app runs on a small plane and produces finite values. *)
+  let rng = Kfuse_util.Rng.create 31 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = e.Registry.small ~width:16 ~height:12 in
+      let inputs =
+        List.map
+          (fun n -> (n, Image.random rng ~width:16 ~height:12 ~lo:0.05 ~hi:1.0))
+          p.Pipeline.inputs
+      in
+      let outs = Kfuse_ir.Eval.run_outputs p (Kfuse_ir.Eval.env_of_list inputs) in
+      List.iter
+        (fun (name, img) ->
+          let finite = Image.fold (fun acc v -> acc && Float.is_finite v) true img in
+          Alcotest.(check bool) (e.Registry.name ^ "/" ^ name ^ " finite") true finite)
+        outs)
+    Registry.all
+
+let test_harris_response_semantics () =
+  (* On a synthetic corner, the Harris response at the corner exceeds the
+     response on a flat region. *)
+  let p = Kfuse_apps.Harris.pipeline ~width:17 ~height:17 () in
+  let corner =
+    Image.init ~width:17 ~height:17 (fun x y -> if x >= 8 && y >= 8 then 1.0 else 0.0)
+  in
+  let out = Helpers.run_single p [ ("in", corner) ] in
+  let at_corner = Image.get out 8 8 in
+  let flat = Image.get out 2 2 in
+  Alcotest.(check bool) "corner response dominates" true (at_corner > flat +. 1e-3)
+
+let test_sobel_edge_semantics () =
+  (* A vertical step edge: |gradient| peaks on the edge column. *)
+  let p = Kfuse_apps.Sobel.pipeline ~width:16 ~height:9 () in
+  let step = Image.init ~width:16 ~height:9 (fun x _ -> if x >= 8 then 1.0 else 0.0) in
+  let out = Helpers.run_single p [ ("in", step) ] in
+  Alcotest.(check bool) "edge detected" true (Image.get out 8 4 > 1.0);
+  Alcotest.check (Helpers.float_close ()) "flat region zero" 0.0 (Image.get out 2 4)
+
+let test_enhance_semantics () =
+  (* Output is clamped to [0,1]. *)
+  let p = Kfuse_apps.Enhance.pipeline ~width:8 ~height:8 () in
+  let rng = Kfuse_util.Rng.create 77 in
+  let img = Image.random rng ~width:8 ~height:8 ~lo:0.0 ~hi:3.0 in
+  let out = Helpers.run_single p [ ("in", img) ] in
+  let in_range = Image.fold (fun acc v -> acc && v >= 0.0 && v <= 1.0) true out in
+  Alcotest.(check bool) "clamped" true in_range
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "harris structure" `Quick test_harris_structure;
+    Alcotest.test_case "shitomasi structure" `Quick test_shitomasi_structure;
+    Alcotest.test_case "sobel structure" `Quick test_sobel_structure;
+    Alcotest.test_case "unsharp structure" `Quick test_unsharp_structure;
+    Alcotest.test_case "enhance structure" `Quick test_enhance_structure;
+    Alcotest.test_case "night structure" `Quick test_night_structure;
+    Alcotest.test_case "night a-trous dilation" `Quick test_night_atrous_dilation;
+    Alcotest.test_case "night op counts" `Quick test_night_op_counts;
+    Alcotest.test_case "all apps interpret" `Quick test_all_apps_interpret;
+    Alcotest.test_case "harris corner semantics" `Quick test_harris_response_semantics;
+    Alcotest.test_case "sobel edge semantics" `Quick test_sobel_edge_semantics;
+    Alcotest.test_case "enhance clamps" `Quick test_enhance_semantics;
+  ]

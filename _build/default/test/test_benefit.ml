@@ -1,0 +1,149 @@
+(* Tests for Kfuse_fusion.Benefit: the scenario taxonomy and the formulas
+   of Eqs. 3-12, anchored on the paper's Figure 3 numbers. *)
+
+module F = Kfuse_fusion
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+
+let config = F.Config.default
+
+let test_deltas () =
+  (* Eq. 4 and Eq. 3 with tg = 400, ts = 4. *)
+  Alcotest.check (Helpers.float_close ()) "delta_reg" 400.0 (F.Benefit.delta_reg config 1.0);
+  Alcotest.check (Helpers.float_close ()) "delta_shared" 100.0
+    (F.Benefit.delta_shared config 1.0);
+  Alcotest.check (Helpers.float_close ()) "scales with IS" 2000.0
+    (F.Benefit.delta_reg config 5.0)
+
+let test_grown_mask_eq9 () =
+  (* Eq. 9 examples from the paper. *)
+  Alcotest.(check int) "3x3 into 3x3 -> 5x5" 25 (F.Benefit.grown_mask_area ~sz_src:9 ~sz_dst:9);
+  Alcotest.(check int) "3x3 into 5x5 -> 7x7" 49
+    (F.Benefit.grown_mask_area ~sz_src:9 ~sz_dst:25);
+  Alcotest.(check int) "5x5 into 3x3 -> 7x7" 49
+    (F.Benefit.grown_mask_area ~sz_src:25 ~sz_dst:9);
+  Alcotest.(check int) "5x5 into 5x5 -> 9x9" 81
+    (F.Benefit.grown_mask_area ~sz_src:25 ~sz_dst:25);
+  Alcotest.(check int) "1x1 into 3x3 unchanged" 9
+    (F.Benefit.grown_mask_area ~sz_src:1 ~sz_dst:9)
+
+let harris = Kfuse_apps.Harris.pipeline ()
+
+let edge name_src name_dst =
+  let u = Option.get (Pipeline.index_of harris name_src) in
+  let v = Option.get (Pipeline.index_of harris name_dst) in
+  F.Benefit.edge_report config harris u v
+
+let test_figure3_weights () =
+  (* The worked example: w(sx,gx) = w(sy,gy) = 328, w(sxy,gxy) = 256. *)
+  Alcotest.check (Helpers.float_close ()) "sx->gx" 328.0 (edge "sx" "gx").F.Benefit.weight;
+  Alcotest.check (Helpers.float_close ()) "sy->gy" 328.0 (edge "sy" "gy").F.Benefit.weight;
+  Alcotest.check (Helpers.float_close ()) "sxy->gxy" 256.0 (edge "sxy" "gxy").F.Benefit.weight
+
+let test_figure3_breakdown () =
+  (* 328 = delta_reg(400) - phi(72); phi = cost_op(8) * IS_ks(1) * sz(9).
+     256 = 400 - 8 * 2 * 9 (sxy reads two images). *)
+  let r = edge "sx" "gx" in
+  Alcotest.check (Helpers.float_close ()) "delta" 400.0 r.F.Benefit.delta;
+  Alcotest.check (Helpers.float_close ()) "phi" 72.0 r.F.Benefit.phi;
+  let r2 = edge "sxy" "gxy" in
+  Alcotest.check (Helpers.float_close ()) "phi doubles with IS_ks" 144.0 r2.F.Benefit.phi;
+  Alcotest.check (Helpers.float_close ()) "is_ks sxy" 2.0
+    (F.Benefit.is_ks config harris (Option.get (Pipeline.index_of harris "sxy")))
+
+let test_figure3_illegal_edges () =
+  List.iter
+    (fun (s, d) ->
+      let r = edge s d in
+      (match r.F.Benefit.scenario with
+      | F.Benefit.Illegal _ -> ()
+      | sc ->
+        Alcotest.failf "(%s,%s) should be illegal, got %s" s d
+          (F.Benefit.scenario_to_string sc));
+      Alcotest.check (Helpers.float_close ()) "epsilon weight" config.F.Config.epsilon
+        r.F.Benefit.weight)
+    [ ("dx", "sx"); ("dx", "sxy"); ("dy", "sy"); ("dy", "sxy"); ("gx", "hc");
+      ("gy", "hc"); ("gxy", "hc") ]
+
+let test_scenarios () =
+  let check_sc r expected =
+    Alcotest.(check string)
+      "scenario" expected
+      (F.Benefit.scenario_to_string r.F.Benefit.scenario)
+  in
+  check_sc (edge "sx" "gx") "point-to-local";
+  (* enhance: local producer, point consumer -> point-based. *)
+  let e = Kfuse_apps.Enhance.pipeline () in
+  let u = Option.get (Pipeline.index_of e "geomean") in
+  let v = Option.get (Pipeline.index_of e "gamma") in
+  Alcotest.(check string)
+    "local-to-point is point-based" "point-based"
+    (F.Benefit.scenario_to_string (F.Benefit.edge_report config e u v).F.Benefit.scenario);
+  (* night: local-to-local, but pairwise rejected by Eq. 2. *)
+  let n = Kfuse_apps.Night.pipeline () in
+  let a0 = Option.get (Pipeline.index_of n "atrous0") in
+  let a1 = Option.get (Pipeline.index_of n "atrous1") in
+  match (F.Benefit.edge_report config n a0 a1).F.Benefit.scenario with
+  | F.Benefit.Illegal _ -> ()
+  | sc -> Alcotest.failf "expected illegal, got %s" (F.Benefit.scenario_to_string sc)
+
+let test_local_to_local_unprofitable () =
+  (* With a permissive resource threshold the Night a-trous pair becomes a
+     genuine local-to-local scenario whose phi dwarfs delta (Section V-C),
+     so Eq. 12 clamps the weight to epsilon. *)
+  let loose = { config with F.Config.c_mshared = 10.0 } in
+  let n = Kfuse_apps.Night.pipeline () in
+  let a0 = Option.get (Pipeline.index_of n "atrous0") in
+  let a1 = Option.get (Pipeline.index_of n "atrous1") in
+  let r = F.Benefit.edge_report loose n a0 a1 in
+  (match r.F.Benefit.scenario with
+  | F.Benefit.Local_to_local -> ()
+  | sc -> Alcotest.failf "expected local-to-local, got %s" (F.Benefit.scenario_to_string sc));
+  Alcotest.(check bool) "phi > delta" true (r.F.Benefit.phi > r.F.Benefit.delta);
+  Alcotest.check (Helpers.float_close ()) "clamped to epsilon" loose.F.Config.epsilon
+    r.F.Benefit.weight
+
+let test_gamma_term () =
+  (* Eq. 12: gamma adds uniformly to legal weights. *)
+  let with_gamma = { config with F.Config.gamma = 10.0 } in
+  let u = Option.get (Pipeline.index_of harris "sx") in
+  let v = Option.get (Pipeline.index_of harris "gx") in
+  Alcotest.check (Helpers.float_close ()) "gamma added" 338.0
+    (F.Benefit.edge_weight with_gamma harris u v)
+
+let test_pixel_units () =
+  (* Pixel units scale all legal weights by width*height*channels. *)
+  let pix = { config with F.Config.is_unit = F.Config.Pixels } in
+  let small = Kfuse_apps.Harris.pipeline ~width:10 ~height:10 () in
+  let u = Option.get (Pipeline.index_of small "sx") in
+  let v = Option.get (Pipeline.index_of small "gx") in
+  Alcotest.check (Helpers.float_close ()) "scaled by 100" 32800.0
+    (F.Benefit.edge_weight pix small u v)
+
+let test_all_edges_cover_dag () =
+  let reports = F.Benefit.all_edges config harris in
+  Alcotest.(check int) "ten edges" 10 (List.length reports);
+  List.iter
+    (fun (r : F.Benefit.edge_report) ->
+      Alcotest.(check bool) "positive weight" true (r.F.Benefit.weight > 0.0))
+    reports
+
+let test_non_edge_rejected () =
+  Helpers.expect_invalid "not an edge" (fun () -> F.Benefit.edge_report config harris 0 8)
+
+let suite =
+  [
+    Alcotest.test_case "Eqs. 3-4: deltas" `Quick test_deltas;
+    Alcotest.test_case "Eq. 9: grown mask" `Quick test_grown_mask_eq9;
+    Alcotest.test_case "Figure 3 weights" `Quick test_figure3_weights;
+    Alcotest.test_case "Figure 3 delta/phi breakdown" `Quick test_figure3_breakdown;
+    Alcotest.test_case "Figure 3 illegal edges" `Quick test_figure3_illegal_edges;
+    Alcotest.test_case "scenario taxonomy" `Quick test_scenarios;
+    Alcotest.test_case "unprofitable local-to-local clamps" `Quick test_local_to_local_unprofitable;
+    Alcotest.test_case "Eq. 12 gamma term" `Quick test_gamma_term;
+    Alcotest.test_case "pixel units" `Quick test_pixel_units;
+    Alcotest.test_case "all edges covered, positive" `Quick test_all_edges_cover_dag;
+    Alcotest.test_case "non-edge rejected" `Quick test_non_edge_rejected;
+  ]

@@ -1,0 +1,109 @@
+(* End-to-end tests of the kfusec command-line driver: run the real
+   binary on real DSL files and check outputs.  The binary and the
+   example pipelines are declared as dune test dependencies. *)
+
+let kfusec = "../bin/kfusec.exe"
+let pipelines_dir = "../examples/pipelines"
+
+let run_capture args =
+  let out = Filename.temp_file "kfusec_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" kfusec (String.concat " " args) out in
+  let code = Sys.command cmd in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  (try Sys.remove out with Sys_error _ -> ());
+  (code, text)
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let check_contains what (code, text) needles =
+  Alcotest.(check int) (what ^ " exit code") 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s output mentions %S" what needle)
+        true (contains needle text))
+    needles
+
+let test_list () =
+  check_contains "list" (run_capture [ "list" ])
+    [ "harris"; "sobel"; "unsharp"; "shitomasi"; "enhance"; "night"; "9 kernels" ]
+
+let test_fuse_app () =
+  check_contains "fuse harris"
+    (run_capture [ "fuse"; "--app"; "harris" ])
+    [ "point-to-local"; "w=328.000"; "w=256.000"; "kernels: 9 -> 6" ]
+
+let test_fuse_dsl_file () =
+  check_contains "fuse sobel.pipe"
+    (run_capture [ "fuse"; Filename.concat pipelines_dir "sobel.pipe" ])
+    [ "kernels: 3 -> 1" ]
+
+let test_emit_cuda_and_cpu () =
+  check_contains "emit cuda"
+    (run_capture [ "emit"; "--app"; "sobel" ])
+    [ "__global__ void sobel_mag"; "cuda_runtime.h" ];
+  check_contains "emit cpu"
+    (run_capture [ "emit"; "--app"; "sobel"; "--backend"; "cpu"; "-O" ])
+    [ "omp parallel for"; "void sobel_mag" ]
+
+let test_estimate () =
+  check_contains "estimate"
+    (run_capture [ "estimate"; "--app"; "unsharp"; "-d"; "gtx680" ])
+    [ "baseline"; "mincut"; "speedup" ]
+
+let test_dsl_check_ok_and_error () =
+  check_contains "dsl-check"
+    (run_capture [ "dsl-check"; Filename.concat pipelines_dir "unsharp.pipe" ])
+    [ "OK (4 kernels" ];
+  let code, text = run_capture [ "fuse"; "--app"; "not_an_app" ] in
+  Alcotest.(check bool) "bad app fails" true (code <> 0);
+  Alcotest.(check bool) "helpful error" true (contains "unknown application" text)
+
+let test_explain_dot_unparse () =
+  check_contains "explain"
+    (run_capture [ "explain"; "--app"; "night" ])
+    [ "Edge benefits"; "point-based"; "Algorithm 1 trace"; "Inlining verdicts" ];
+  check_contains "dot"
+    (run_capture [ "dot"; "--app"; "harris"; "-w" ])
+    [ "digraph harris"; "subgraph cluster_"; "label=\"328\"" ];
+  check_contains "unparse"
+    (run_capture [ "unparse"; "-a"; "sobel" ])
+    [ "pipeline sobel(in)"; "sqrt" ]
+
+let test_run_on_pgm () =
+  (* Full image-in image-out flow through the binary. *)
+  let input = Filename.temp_file "kfusec_in" ".pgm" in
+  let output = Filename.temp_file "kfusec_out" ".pgm" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ input; output ])
+    (fun () ->
+      let img =
+        Kfuse_image.Image.init ~width:40 ~height:30 (fun x y ->
+            if (x / 8) + (y / 8) mod 2 = 0 then 0.9 else 0.1)
+      in
+      Kfuse_image.Pgm.write input img;
+      let code, text =
+        run_capture
+          [ "run"; Filename.concat pipelines_dir "emboss.pipe"; "-i"; input; "-o"; output ]
+      in
+      Alcotest.(check int) "exit" 0 code;
+      Alcotest.(check bool) "reports output" true (contains "wrote" text);
+      let out = Kfuse_image.Pgm.read output in
+      Alcotest.(check int) "output width" 40 (Kfuse_image.Image.width out);
+      Alcotest.(check int) "output height" 30 (Kfuse_image.Image.height out))
+
+let suite =
+  [
+    Alcotest.test_case "list" `Quick test_list;
+    Alcotest.test_case "fuse built-in app" `Quick test_fuse_app;
+    Alcotest.test_case "fuse DSL file" `Quick test_fuse_dsl_file;
+    Alcotest.test_case "emit cuda + cpu" `Quick test_emit_cuda_and_cpu;
+    Alcotest.test_case "estimate" `Quick test_estimate;
+    Alcotest.test_case "dsl-check + errors" `Quick test_dsl_check_ok_and_error;
+    Alcotest.test_case "explain/dot/unparse" `Quick test_explain_dot_unparse;
+    Alcotest.test_case "run on PGM image" `Quick test_run_on_pgm;
+  ]

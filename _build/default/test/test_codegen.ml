@@ -1,0 +1,155 @@
+(* Tests for Kfuse_codegen: expression printing and CUDA lowering. *)
+
+module C = Kfuse_codegen.Cuda_ast
+module Emit = Kfuse_codegen.Emit
+module Lower = Kfuse_codegen.Lower
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let render_expr e = Format.asprintf "%a" Emit.expr e
+
+let test_emit_expr () =
+  let open C in
+  Alcotest.(check string) "binop" "(a + 1)" (render_expr (ident "a" +: int_lit 1));
+  Alcotest.(check string) "float literal" "2.5f" (render_expr (float_lit 2.5));
+  Alcotest.(check string) "integral float" "3.0f" (render_expr (float_lit 3.0));
+  Alcotest.(check string) "call" "fminf(x, y)"
+    (render_expr (call "fminf" [ ident "x"; ident "y" ]));
+  Alcotest.(check string) "index" "a[(y * w)]"
+    (render_expr (index (ident "a") (ident "y" *: ident "w")));
+  Alcotest.(check string) "ternary" "((a < b) ? a : b)"
+    (render_expr (Ternary (ident "a" <: ident "b", ident "a", ident "b")))
+
+let test_emit_stmt () =
+  let open C in
+  let s = Decl { ctype = "const float"; name = "v"; init = Some (float_lit 1.0) } in
+  Alcotest.(check string) "decl" "const float v = 1.0f;\n"
+    (Format.asprintf "%a" Emit.stmt s)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let simple_pipeline =
+  Pipeline.create ~name:"demo" ~width:32 ~height:32 ~params:[ ("k", 2.0) ]
+    ~inputs:[ "src" ]
+    [
+      Kernel.map ~name:"g" ~inputs:[ "src" ]
+        (Expr.conv ~border:Border.Mirror Mask.gaussian_3x3 "src");
+      Kernel.map ~name:"scale" ~inputs:[ "g" ] Expr.(param "k" * input "g");
+    ]
+
+let test_kernel_func_shape () =
+  let f = Lower.kernel_func simple_pipeline (Pipeline.kernel simple_pipeline 0) in
+  Alcotest.(check string) "name" "demo_g" f.C.name;
+  Alcotest.(check (list string)) "qualifiers" [ "__global__" ] f.C.qualifiers;
+  let param_names = List.map (fun (p : C.param) -> p.C.name) f.C.params in
+  Alcotest.(check (list string)) "params"
+    [ "out"; "img_src"; "width"; "height" ]
+    param_names
+
+let test_kernel_func_params_passed () =
+  let f = Lower.kernel_func simple_pipeline (Pipeline.kernel simple_pipeline 1) in
+  let param_names = List.map (fun (p : C.param) -> p.C.name) f.C.params in
+  Alcotest.(check bool) "scalar param present" true (List.mem "p_k" param_names)
+
+let test_emit_pipeline_contents () =
+  let cu = Lower.emit_pipeline simple_pipeline in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (contains ~needle cu))
+    [
+      "__global__ void demo_g";
+      "__global__ void demo_scale";
+      "idx_mirror";
+      "read_mirror";
+      "read_clamp";
+      "void run_demo(";
+      "cudaMalloc";
+      "cudaFree";
+      "demo_g<<<grid, block>>>";
+      "float p_k";
+    ]
+
+let test_emit_only_needed_helpers () =
+  let cu = Lower.emit_pipeline simple_pipeline in
+  Alcotest.(check bool) "no repeat helper" false (contains ~needle:"idx_repeat" cu);
+  Alcotest.(check bool) "no atomics" false (contains ~needle:"atomicCAS" cu)
+
+let test_fused_kernel_lowering () =
+  (* A fused local-to-local kernel lowers Shift+exchange into index
+     remapping, and Let into a register declaration. *)
+  let module F = Kfuse_fusion in
+  let p =
+    Pipeline.create ~name:"cc" ~width:16 ~height:16 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"c1" ~inputs:[ "in" ]
+          (Expr.conv ~border:Border.Clamp Mask.gaussian_3x3 "in");
+        Kernel.map ~name:"c2" ~inputs:[ "c1" ]
+          (Expr.conv ~border:Border.Clamp Mask.gaussian_3x3 "c1");
+      ]
+  in
+  let fused = F.Transform.apply p [ Helpers.set_of [ 0; 1 ] ] in
+  let cu = Lower.emit_pipeline fused in
+  Alcotest.(check bool) "index exchange lowered" true (contains ~needle:"idx_clamp((x + " cu);
+  (* Only one kernel and no intermediate allocation remains. *)
+  Alcotest.(check bool) "no cudaMalloc" false (contains ~needle:"cudaMalloc" cu)
+
+let test_let_lowering () =
+  let p =
+    Pipeline.create ~name:"lt" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"k" ~inputs:[ "in" ]
+          Expr.(let_ "v" (input "in" * Const 2.0) (var "v" * var "v"));
+      ]
+  in
+  let cu = Lower.emit_pipeline p in
+  Alcotest.(check bool) "register decl" true (contains ~needle:"const float r_v_" cu)
+
+let test_reduce_lowering () =
+  let p =
+    Pipeline.create ~name:"rd" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.reduce ~name:"peak" ~inputs:[ "in" ] ~init:Float.neg_infinity
+          ~combine:Expr.Max (Expr.input "in");
+      ]
+  in
+  let cu = Lower.emit_pipeline p in
+  Alcotest.(check bool) "atomic max helper" true (contains ~needle:"atomicMaxFloat" cu);
+  Alcotest.(check bool) "atomic call" true (contains ~needle:"atomicMaxFloat(out" cu)
+
+let test_constant_border_lowering () =
+  let p =
+    Pipeline.create ~name:"cb" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"k" ~inputs:[ "in" ]
+          (Expr.conv ~border:(Border.Constant 0.5) Mask.gaussian_3x3 "in");
+      ]
+  in
+  let cu = Lower.emit_pipeline p in
+  Alcotest.(check bool) "constant reader" true (contains ~needle:"read_constant" cu);
+  Alcotest.(check bool) "constant passed" true (contains ~needle:"0.5f)" cu)
+
+let test_emission_deterministic () =
+  Alcotest.(check string) "same text twice" (Lower.emit_pipeline simple_pipeline)
+    (Lower.emit_pipeline simple_pipeline)
+
+let suite =
+  [
+    Alcotest.test_case "emit expressions" `Quick test_emit_expr;
+    Alcotest.test_case "emit statements" `Quick test_emit_stmt;
+    Alcotest.test_case "kernel function shape" `Quick test_kernel_func_shape;
+    Alcotest.test_case "scalar params passed" `Quick test_kernel_func_params_passed;
+    Alcotest.test_case "pipeline emission contents" `Quick test_emit_pipeline_contents;
+    Alcotest.test_case "only needed helpers" `Quick test_emit_only_needed_helpers;
+    Alcotest.test_case "fused kernel lowering" `Quick test_fused_kernel_lowering;
+    Alcotest.test_case "let lowering" `Quick test_let_lowering;
+    Alcotest.test_case "reduce lowering" `Quick test_reduce_lowering;
+    Alcotest.test_case "constant border lowering" `Quick test_constant_border_lowering;
+    Alcotest.test_case "emission deterministic" `Quick test_emission_deterministic;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for convolution recognition and separable kernel distribution. *)
+
+module F = Kfuse_fusion
+module Conv_match = Kfuse_ir.Conv_match
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Eval = Kfuse_ir.Eval
+module Image = Kfuse_image.Image
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+(* ---- Conv_match ---- *)
+
+let test_extract_conv_builder () =
+  let e = Expr.conv ~border:Border.Mirror Mask.gaussian_3x3 "img" in
+  match Conv_match.extract e with
+  | Some s ->
+    Alcotest.(check string) "image" "img" s.Conv_match.image;
+    Alcotest.(check bool) "border" true (Border.equal Border.Mirror s.Conv_match.border);
+    Alcotest.(check int) "nine taps" 9 (Conv_match.tap_count s);
+    Alcotest.check (Helpers.float_close ()) "center coeff" 0.25
+      (List.assoc (0, 0) s.Conv_match.taps)
+  | None -> Alcotest.fail "gaussian conv not recognized"
+
+let test_extract_rejects_nonlinear () =
+  let open Expr in
+  List.iter
+    (fun (name, e) ->
+      Alcotest.(check bool) name true (Conv_match.extract e = None))
+    [
+      ("square", input "a" * input "a");
+      ("sqrt", sqrt (input "a"));
+      ("two images", input "a" + input "b");
+      ("param coeff", param "k" * input "a");
+      ("mixed borders", input ~border:Border.Clamp "a" + input ~border:Border.Mirror ~dx:1 "a");
+    ]
+
+let test_extract_accumulates_duplicates () =
+  let open Expr in
+  let e = input "a" + ((Const 2.0 * input "a") + input ~dx:1 "a") in
+  match Conv_match.extract e with
+  | Some s ->
+    Alcotest.check (Helpers.float_close ()) "merged center" 3.0
+      (List.assoc (0, 0) s.Conv_match.taps)
+  | None -> Alcotest.fail "not recognized"
+
+let separate_mask mask =
+  match Conv_match.extract (Expr.conv mask "a") with
+  | Some s -> Conv_match.separate s
+  | None -> Alcotest.fail "mask conv not recognized"
+
+let test_separable_masks () =
+  (* Binomial Gaussians and Sobel masks are rank 1. *)
+  List.iter
+    (fun (name, mask) ->
+      match separate_mask mask with
+      | Some f ->
+        Alcotest.(check bool)
+          (name ^ " factor sizes") true
+          (List.length f.Conv_match.horizontal >= 2
+          && List.length f.Conv_match.vertical >= 2)
+      | None -> Alcotest.failf "%s should be separable" name)
+    [
+      ("gauss3", Mask.gaussian_3x3);
+      ("gauss5", Mask.gaussian_5x5);
+      ("sobel_x", Mask.sobel_x);
+      ("sobel_y", Mask.sobel_y);
+      ("mean3", Mask.mean 3);
+    ]
+
+let test_non_separable_mask () =
+  let laplacian =
+    Mask.of_rows [ [ 0.; 1.; 0. ]; [ 1.; -4.; 1. ]; [ 0.; 1.; 0. ] ]
+  in
+  Alcotest.(check bool) "laplacian rank 2" true (separate_mask laplacian = None)
+
+let test_factorization_reconstructs () =
+  match
+    (Conv_match.extract (Expr.conv Mask.gaussian_5x5 "a"), separate_mask Mask.gaussian_5x5)
+  with
+  | Some s, Some f ->
+    List.iter
+      (fun ((dx, dy), c) ->
+        let h = try List.assoc dx f.Conv_match.horizontal with Not_found -> 0.0 in
+        let v = try List.assoc dy f.Conv_match.vertical with Not_found -> 0.0 in
+        Alcotest.check (Helpers.float_close ~eps:1e-12 ())
+          (Printf.sprintf "tap (%d,%d)" dx dy)
+          c (h *. v))
+      s.Conv_match.taps
+  | _ -> Alcotest.fail "setup failed"
+
+(* ---- Distribute ---- *)
+
+let conv_pipeline ?(border = Border.Clamp) mask =
+  Pipeline.create ~name:"cp" ~width:13 ~height:11 ~inputs:[ "in" ]
+    [
+      Kernel.map ~name:"blur" ~inputs:[ "in" ] (Expr.conv ~border mask "in");
+      Kernel.map ~name:"post" ~inputs:[ "blur" ] Expr.(input "blur" * Const 2.0);
+    ]
+
+let test_judge () =
+  let p = conv_pipeline Mask.gaussian_5x5 in
+  (match F.Distribute.judge p "blur" with
+  | F.Distribute.Split _ -> ()
+  | v -> Alcotest.failf "expected Split, got %s" (F.Distribute.verdict_to_string v));
+  (* A scaling point kernel IS a (single-tap) weighted sum — so it's
+     reported as one-dimensional, not as a non-convolution. *)
+  (match F.Distribute.judge p "post" with
+  | F.Distribute.Not_two_dimensional -> ()
+  | v ->
+    Alcotest.failf "expected Not_two_dimensional, got %s" (F.Distribute.verdict_to_string v));
+  let pn =
+    Pipeline.create ~name:"nl" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [ Kernel.map ~name:"sq" ~inputs:[ "in" ] Expr.(sqrt (input "in")) ]
+  in
+  (match F.Distribute.judge pn "sq" with
+  | F.Distribute.Not_convolution -> ()
+  | v -> Alcotest.failf "expected Not_convolution, got %s" (F.Distribute.verdict_to_string v));
+  let pc = conv_pipeline ~border:(Border.Constant 0.5) Mask.gaussian_5x5 in
+  match F.Distribute.judge pc "blur" with
+  | F.Distribute.Unsupported_border -> ()
+  | v -> Alcotest.failf "expected Unsupported_border, got %s" (F.Distribute.verdict_to_string v)
+
+let rng = Kfuse_util.Rng.create 2077
+
+let check_split_exact ?border mask =
+  let p = conv_pipeline ?border mask in
+  let p' = F.Distribute.split p "blur" in
+  Alcotest.(check int) "one extra kernel" 3 (Pipeline.num_kernels p');
+  Alcotest.(check bool) "intermediate exists" true
+    (Option.is_some (Pipeline.index_of p' "blur_sepH"));
+  let img = Image.random rng ~width:13 ~height:11 ~lo:0.0 ~hi:1.0 in
+  let env = Eval.env_of_list [ ("in", img) ] in
+  let a = List.assoc "post" (Eval.run_outputs p env) in
+  let b = List.assoc "post" (Eval.run_outputs p' env) in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact incl. borders (maxdiff %g)" (Image.max_abs_diff a b))
+    true
+    (Image.max_abs_diff a b < 1e-12)
+
+let test_split_exact_all_modes () =
+  List.iter
+    (fun border ->
+      check_split_exact ~border Mask.gaussian_3x3;
+      check_split_exact ~border Mask.gaussian_5x5;
+      check_split_exact ~border Mask.sobel_x)
+    [ Border.Clamp; Border.Mirror; Border.Repeat ]
+
+let test_split_then_fuse () =
+  (* Distribution and fusion compose: split gauss5, then Algorithm 1
+     decides the final grouping; semantics stay exact. *)
+  let p = conv_pipeline Mask.gaussian_5x5 in
+  let p', applied = F.Distribute.split_all p in
+  Alcotest.(check (list string)) "blur split" [ "blur" ] applied;
+  let r = F.Driver.run F.Config.default F.Driver.Mincut p' in
+  let img = Image.random rng ~width:13 ~height:11 ~lo:0.0 ~hi:1.0 in
+  let env = Eval.env_of_list [ ("in", img) ] in
+  let a = List.assoc "post" (Eval.run_outputs p env) in
+  let b = List.assoc "post" (Eval.run_outputs r.F.Driver.fused env) in
+  Alcotest.(check bool) "exact" true (Image.max_abs_diff a b < 1e-12)
+
+let test_split_reduces_taps () =
+  let p = conv_pipeline Mask.gaussian_5x5 in
+  let p' = F.Distribute.split p "blur" in
+  let taps name pl =
+    let k = Pipeline.kernel pl (Option.get (Pipeline.index_of pl name)) in
+    List.length (Expr.accesses (Kernel.body k))
+  in
+  Alcotest.(check int) "2-D taps" 25 (taps "blur" p);
+  Alcotest.(check int) "1-D horizontal" 5 (taps "blur_sepH" p');
+  Alcotest.(check int) "1-D vertical" 5 (taps "blur" p')
+
+let test_split_invalid () =
+  let p = conv_pipeline Mask.gaussian_5x5 in
+  Helpers.expect_invalid "unknown kernel" (fun () -> F.Distribute.split p "ghost");
+  Helpers.expect_invalid "not a conv" (fun () -> F.Distribute.split p "post")
+
+let suite =
+  [
+    Alcotest.test_case "extract conv builder" `Quick test_extract_conv_builder;
+    Alcotest.test_case "extract rejects nonlinear" `Quick test_extract_rejects_nonlinear;
+    Alcotest.test_case "extract accumulates duplicates" `Quick test_extract_accumulates_duplicates;
+    Alcotest.test_case "separable masks" `Quick test_separable_masks;
+    Alcotest.test_case "non-separable mask" `Quick test_non_separable_mask;
+    Alcotest.test_case "factorization reconstructs" `Quick test_factorization_reconstructs;
+    Alcotest.test_case "judge verdicts" `Quick test_judge;
+    Alcotest.test_case "split exact in all modes" `Quick test_split_exact_all_modes;
+    Alcotest.test_case "split then fuse" `Quick test_split_then_fuse;
+    Alcotest.test_case "split reduces taps" `Quick test_split_reduces_taps;
+    Alcotest.test_case "split invalid requests" `Quick test_split_invalid;
+  ]

@@ -1,0 +1,295 @@
+(* Tests for Kfuse_dsl: lexer, parser, elaboration. *)
+
+module L = Kfuse_dsl.Lexer
+module P = Kfuse_dsl.Parser
+module E = Kfuse_dsl.Elaborate
+module Ast = Kfuse_dsl.Ast
+module Pipeline = Kfuse_ir.Pipeline
+module Kernel = Kfuse_ir.Kernel
+module Image = Kfuse_image.Image
+
+let tokens src = List.map (fun s -> s.L.token) (L.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "count incl. eof" 6 (List.length (tokens "a = b + 1.5"));
+  match tokens "x2 = conv(in, gauss3)" with
+  | [ L.Ident "x2"; L.Equals; L.Ident "conv"; L.Lparen; L.Ident "in"; L.Comma;
+      L.Ident "gauss3"; L.Rparen; L.Eof ] ->
+    ()
+  | ts -> Alcotest.failf "unexpected tokens: %s" (String.concat " " (List.map L.token_to_string ts))
+
+let test_lexer_numbers () =
+  (match tokens "1 2.5 3e2 4.5e-1" with
+  | [ L.Number a; L.Number b; L.Number c; L.Number d; L.Eof ] ->
+    Alcotest.check (Helpers.float_close ()) "int" 1.0 a;
+    Alcotest.check (Helpers.float_close ()) "frac" 2.5 b;
+    Alcotest.check (Helpers.float_close ()) "exp" 300.0 c;
+    Alcotest.check (Helpers.float_close ()) "neg exp" 0.45 d
+  | _ -> Alcotest.fail "bad number lexing")
+
+let test_lexer_comments_positions () =
+  let spanned = L.tokenize "# comment\n  foo" in
+  match spanned with
+  | [ { L.token = L.Ident "foo"; pos } ; _eof ] ->
+    Alcotest.(check int) "line" 2 pos.Ast.line;
+    Alcotest.(check int) "col" 3 pos.Ast.col
+  | _ -> Alcotest.fail "comment not skipped"
+
+let test_lexer_error () =
+  match L.tokenize "a $ b" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception L.Lex_error { pos; _ } -> Alcotest.(check int) "column" 3 pos.Ast.col
+
+let parse_ok src =
+  match P.parse_result src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parser_minimal () =
+  let p = parse_ok "pipeline t(a) { out = a }" in
+  Alcotest.(check string) "name" "t" p.Ast.name;
+  Alcotest.(check (list string)) "inputs" [ "a" ] p.Ast.inputs;
+  Alcotest.(check int) "one stmt" 1 (List.length p.Ast.stmts)
+
+let test_parser_precedence () =
+  let p = parse_ok "pipeline t(a) { out = a + a * a }" in
+  match p.Ast.stmts with
+  | [ Ast.Def { body = Ast.Map_def (Ast.Binary ("+", Ast.Ref "a", Ast.Binary ("*", _, _))); _ } ]
+    -> ()
+  | _ -> Alcotest.fail "precedence wrong: * should bind tighter than +"
+
+let test_parser_unary_minus () =
+  let p = parse_ok "pipeline t(a) { out = -a * a }" in
+  match p.Ast.stmts with
+  | [ Ast.Def { body = Ast.Map_def (Ast.Binary ("*", Ast.Unary ("-", Ast.Ref "a"), Ast.Ref "a")); _ } ]
+    -> ()
+  | _ -> Alcotest.fail "unary minus should bind tighter than *"
+
+let test_parser_access_and_border () =
+  let p = parse_ok "pipeline t(a) { out = a@(-1,2):mirror + a@(0,0) }" in
+  match p.Ast.stmts with
+  | [ Ast.Def { body = Ast.Map_def (Ast.Binary ("+", Ast.Access a1, Ast.Access a2)); _ } ] ->
+    Alcotest.(check int) "dx" (-1) a1.dx;
+    Alcotest.(check int) "dy" 2 a1.dy;
+    Alcotest.(check bool) "mirror" true (a1.border = Some Kfuse_image.Border.Mirror);
+    Alcotest.(check bool) "default" true (a2.border = None)
+  | _ -> Alcotest.fail "access parse failed"
+
+let test_parser_conv_literal_mask () =
+  let p = parse_ok "pipeline t(a) { out = conv(a, [[0,1,0],[1,-4,1],[0,1,0]], constant(0.5)) }" in
+  match p.Ast.stmts with
+  | [ Ast.Def { body = Ast.Map_def (Ast.Conv { mask = Ast.Literal_mask rows; border; _ }); _ } ]
+    ->
+    Alcotest.(check int) "3 rows" 3 (List.length rows);
+    Alcotest.(check bool) "constant border" true
+      (border = Some (Kfuse_image.Border.Constant 0.5))
+  | _ -> Alcotest.fail "conv parse failed"
+
+let test_parser_size_param_reduce () =
+  let p =
+    parse_ok
+      "pipeline t(a) { size 128 64 3\n param k = -0.5\n s = reduce sum(a * k) }"
+  in
+  (match List.nth p.Ast.stmts 0 with
+  | Ast.Size { width = 128; height = 64; channels = Some 3 } -> ()
+  | _ -> Alcotest.fail "size parse failed");
+  (match List.nth p.Ast.stmts 1 with
+  | Ast.Param_decl ("k", v) -> Alcotest.check (Helpers.float_close ()) "value" (-0.5) v
+  | _ -> Alcotest.fail "param parse failed");
+  match List.nth p.Ast.stmts 2 with
+  | Ast.Def { body = Ast.Reduce_def (`Sum, _); _ } -> ()
+  | _ -> Alcotest.fail "reduce parse failed"
+
+let expect_parse_error src fragment =
+  match P.parse_result src with
+  | Ok _ -> Alcotest.failf "expected parse error for %S" src
+  | Error e ->
+    if not (String.length e > 0) then Alcotest.fail "empty error";
+    let contains needle haystack =
+      let nl = String.length needle and hl = String.length haystack in
+      let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+      loop 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "error %S mentions %S" e fragment) true
+      (contains fragment e)
+
+let test_parser_errors () =
+  expect_parse_error "pipeline" "identifier";
+  expect_parse_error "pipeline t(a) { out = }" "expression";
+  expect_parse_error "pipeline t(a) { out = q( a ) }" "unknown function";
+  expect_parse_error "pipeline t(a) { out = a@(1.5, 0) }" "integer";
+  expect_parse_error "pipeline t(a) { out = a } junk" "end of input";
+  expect_parse_error "pipeline t(a) { out = min(a) }" "2 arguments";
+  expect_parse_error "pipeline t(a) { out = a@(0,0):wavy }" "border"
+
+let test_elaborate_roundtrip () =
+  let src =
+    {|pipeline t(src) {
+        size 16 12
+        param g = 0.7
+        blur = conv(src, gauss3, clamp)
+        out  = pow(max(blur, 0), g)
+      }|}
+  in
+  match E.parse_pipeline src with
+  | Error e -> Alcotest.failf "elaboration failed: %s" e
+  | Ok p ->
+    Alcotest.(check int) "kernels" 2 (Pipeline.num_kernels p);
+    Alcotest.(check int) "width" 16 p.Pipeline.width;
+    Alcotest.(check bool) "param default" true (List.mem_assoc "g" p.Pipeline.params);
+    Alcotest.(check bool) "blur local" true (Kernel.is_local (Pipeline.kernel p 0))
+
+let test_elaborate_name_resolution () =
+  (match E.parse_pipeline "pipeline t(a) { out = ghost + a }" with
+  | Error e ->
+    Alcotest.(check bool) "mentions unknown" true
+      (String.length e > 0 &&
+       (let contains needle haystack =
+          let nl = String.length needle and hl = String.length haystack in
+          let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+          loop 0
+        in
+        contains "ghost" e))
+  | Ok _ -> Alcotest.fail "unknown name accepted");
+  (* Params shadow nothing and resolve. *)
+  match E.parse_pipeline "pipeline t(a) { param s = 2\n out = a * s }" with
+  | Ok p -> (
+    match (Pipeline.kernel p 0).Kernel.op with
+    | Kernel.Map e ->
+      Alcotest.(check (list string)) "param used" [ "s" ] (Kfuse_ir.Expr.params e)
+    | Kernel.Reduce _ -> Alcotest.fail "unexpected reduce")
+  | Error e -> Alcotest.failf "param resolution failed: %s" e
+
+let test_elaborate_masks () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Option.is_some (E.named_mask name)))
+    [ "gauss3"; "gauss5"; "sobelx"; "sobely"; "mean3"; "mean5" ];
+  Alcotest.(check bool) "unknown" true (E.named_mask "gauss7" = None)
+
+let test_elaborate_size_override () =
+  let src = "pipeline t(a) { size 100 100\n out = a }" in
+  match E.parse_pipeline ~width:10 ~height:20 src with
+  | Ok p ->
+    Alcotest.(check int) "width override" 10 p.Pipeline.width;
+    Alcotest.(check int) "height override" 20 p.Pipeline.height
+  | Error e -> Alcotest.failf "failed: %s" e
+
+let test_let_in_expression () =
+  let src =
+    {|pipeline t(a) {
+        size 6 4
+        out = let d = a - conv(a, mean3, clamp) in d * d + a
+      }|}
+  in
+  match E.parse_pipeline src with
+  | Error e -> Alcotest.failf "let-in failed: %s" e
+  | Ok p ->
+    (* The binding becomes a real IR Let node. *)
+    (match (Pipeline.kernel p 0).Kernel.op with
+    | Kernel.Map (Kfuse_ir.Expr.Let { var = "d"; _ }) -> ()
+    | Kernel.Map other ->
+      Alcotest.failf "expected Let, got %s" (Format.asprintf "%a" Kfuse_ir.Expr.pp other)
+    | Kernel.Reduce _ -> Alcotest.fail "unexpected reduce");
+    (* Semantics: d computed once, squared, plus a. *)
+    let img = Helpers.ramp ~width:6 ~height:4 in
+    let out = Helpers.run_single p [ ("a", img) ] in
+    let blur =
+      Kfuse_image.Convolve.apply ~border:Kfuse_image.Border.Clamp
+        (Kfuse_image.Mask.mean 3) img
+    in
+    let expected =
+      Image.mapi
+        (fun x y v ->
+          let d = v -. Image.get blur x y in
+          (d *. d) +. v)
+        img
+    in
+    Alcotest.check (Helpers.image_close ~eps:1e-9 ()) "let semantics" expected out
+
+let test_let_shadowing () =
+  (* A let binding shadows a parameter of the same name. *)
+  let src =
+    {|pipeline t(a) {
+        size 4 3
+        param k = 10
+        out = (let k = 2 in a * k) + k
+      }|}
+  in
+  match E.parse_pipeline src with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok p ->
+    let img = Image.const ~width:4 ~height:3 1.0 in
+    let out = Helpers.run_single p [ ("a", img) ] in
+    (* inner k = 2, outer k = 10: 1*2 + 10 = 12 *)
+    Alcotest.check (Helpers.float_close ()) "shadowing" 12.0 (Image.get out 0 0)
+
+let test_select_builtin () =
+  let src =
+    {|pipeline t(a) {
+        size 4 1
+        out = select(a, 0.5, 0, 1)
+      }|}
+  in
+  match E.parse_pipeline src with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok p ->
+    let img = Image.of_rows [ [ 0.2; 0.5; 0.7; 0.4 ] ] in
+    let out = Helpers.run_single p [ ("a", img) ] in
+    (* a < 0.5 ? 0 : 1 *)
+    Alcotest.check (Helpers.float_close ()) "below" 0.0 (Image.get out 0 0);
+    Alcotest.check (Helpers.float_close ()) "equal" 1.0 (Image.get out 1 0);
+    Alcotest.check (Helpers.float_close ()) "above" 1.0 (Image.get out 2 0)
+
+let test_select_arity_error () =
+  expect_parse_error "pipeline t(a) { out = select(a, 1, 2) }" "4 arguments"
+
+let test_elaborate_matches_eval () =
+  (* DSL semantics cross-checked against a hand-built equivalent. *)
+  let src =
+    {|pipeline t(a) {
+        size 9 7
+        d = a - conv(a, mean3, mirror)
+        out = clamp01(a + d * 0.5)
+      }|}
+  in
+  match E.parse_pipeline src with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok p ->
+    let rng = Kfuse_util.Rng.create 12 in
+    let img = Image.random rng ~width:9 ~height:7 ~lo:0.0 ~hi:2.0 in
+    let out = Helpers.run_single p [ ("a", img) ] in
+    let blurred =
+      Kfuse_image.Convolve.apply ~border:Kfuse_image.Border.Mirror (Kfuse_image.Mask.mean 3) img
+    in
+    let expected =
+      Image.mapi
+        (fun x y v ->
+          Float.max 0.0 (Float.min 1.0 (v +. ((v -. Image.get blurred x y) *. 0.5))))
+        img
+    in
+    Alcotest.check (Helpers.image_close ~eps:1e-12 ()) "semantics" expected out
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer numbers" `Quick test_lexer_numbers;
+    Alcotest.test_case "lexer comments/positions" `Quick test_lexer_comments_positions;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parser minimal" `Quick test_parser_minimal;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser unary minus" `Quick test_parser_unary_minus;
+    Alcotest.test_case "parser access + border" `Quick test_parser_access_and_border;
+    Alcotest.test_case "parser conv literal mask" `Quick test_parser_conv_literal_mask;
+    Alcotest.test_case "parser size/param/reduce" `Quick test_parser_size_param_reduce;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "elaborate roundtrip" `Quick test_elaborate_roundtrip;
+    Alcotest.test_case "elaborate name resolution" `Quick test_elaborate_name_resolution;
+    Alcotest.test_case "elaborate masks" `Quick test_elaborate_masks;
+    Alcotest.test_case "elaborate size override" `Quick test_elaborate_size_override;
+    Alcotest.test_case "let-in expression" `Quick test_let_in_expression;
+    Alcotest.test_case "let shadowing" `Quick test_let_shadowing;
+    Alcotest.test_case "select builtin" `Quick test_select_builtin;
+    Alcotest.test_case "select arity error" `Quick test_select_arity_error;
+    Alcotest.test_case "elaborate matches eval" `Quick test_elaborate_matches_eval;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the discrete-event GPU simulator. *)
+
+module G = Kfuse_gpu
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+
+let point_pipeline width height =
+  Pipeline.create ~name:"pp" ~width ~height ~inputs:[ "in" ]
+    [ Kernel.map ~name:"a" ~inputs:[ "in" ] Expr.(input "in" * Const 2.0) ]
+
+let local_pipeline width height =
+  Pipeline.create ~name:"lp" ~width ~height ~inputs:[ "in" ]
+    [ Kernel.map ~name:"g" ~inputs:[ "in" ] (Expr.conv Mask.gaussian_3x3 "in") ]
+
+let run ?(quality = G.Perf_model.Optimized) d p =
+  G.Event_sim.run d ~quality ~fused_kernels:[] p
+
+let analytic ?(quality = G.Perf_model.Optimized) d p =
+  snd (G.Perf_model.pipeline_time d ~quality ~fused_kernels:[] p)
+
+let test_memory_bound_matches_roofline () =
+  (* Uniform memory-bound blocks saturate bandwidth: the fluid model must
+     reproduce bytes / bandwidth exactly (within float slack). *)
+  let p = point_pipeline 1024 1024 in
+  List.iter
+    (fun d ->
+      let ev = (run d p).G.Event_sim.total_ms in
+      let an = analytic d p in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.4f vs %.4f" d.G.Device.name ev an)
+        true
+        (Float.abs (ev -. an) /. an < 0.02))
+    G.Device.all
+
+let test_border_penalty_on_small_images () =
+  (* On a small image most blocks touch the halo; the event simulator
+     charges them extra compute that the roofline ignores.  Use a
+     compute-bound kernel so the penalty is visible. *)
+  let heavy_local =
+    let open Expr in
+    let tap dx dy = sqrt (exp (input ~dx ~dy "in")) in
+    Pipeline.create ~name:"hv" ~width:64 ~height:16 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"k" ~inputs:[ "in" ]
+          (tap (-1) (-1) + tap 0 (-1) + tap 1 (-1) + tap (-1) 0 + tap 0 0 + tap 1 0
+          + tap (-1) 1 + tap 0 1 + tap 1 1);
+      ]
+  in
+  let d = G.Device.gtx680 in
+  let ev = (run d heavy_local).G.Event_sim.total_ms in
+  let an = analytic d heavy_local in
+  Alcotest.(check bool)
+    (Printf.sprintf "event %.6f > analytic %.6f" ev an)
+    true (ev > an)
+
+let test_point_kernel_no_border_penalty () =
+  (* Point kernels have no halo; interior/border classes coincide. *)
+  let p = point_pipeline 64 16 in
+  let d = G.Device.gtx680 in
+  let ev = (run d p).G.Event_sim.total_ms in
+  let an = analytic d p in
+  Alcotest.(check bool) "no penalty" true (Float.abs (ev -. an) /. an < 0.02)
+
+let test_deterministic () =
+  let p = local_pipeline 256 128 in
+  let a = run G.Device.k20c p in
+  let b = run G.Device.k20c p in
+  Alcotest.(check bool) "same result" true
+    (Float.equal a.G.Event_sim.total_ms b.G.Event_sim.total_ms)
+
+let test_kernel_accounting () =
+  let p = local_pipeline 256 128 in
+  let r = run G.Device.gtx745 p in
+  (match r.G.Event_sim.kernels with
+  | [ kr ] ->
+    (* 256x128 at 32x4 blocks -> 8 * 32 = 256 blocks. *)
+    Alcotest.(check int) "grid" 256 kr.G.Event_sim.blocks;
+    Alcotest.(check bool) "events positive" true (kr.G.Event_sim.drain_events > 0);
+    Alcotest.(check string) "name" "g" kr.G.Event_sim.kernel_name
+  | _ -> Alcotest.fail "expected one kernel");
+  Alcotest.(check bool) "total covers kernels" true
+    (r.G.Event_sim.total_ms
+    >= List.fold_left (fun a k -> a +. k.G.Event_sim.t_ms) 0.0 r.G.Event_sim.kernels -. 1e-9)
+
+let test_basic_quality_slower () =
+  let p = local_pipeline 512 256 in
+  let module F = Kfuse_fusion in
+  let fused_p =
+    (F.Driver.run F.Config.default F.Driver.Mincut
+       (Kfuse_apps.Unsharp.pipeline ~width:512 ~height:256 ()))
+      .F.Driver.fused
+  in
+  ignore p;
+  let d = G.Device.gtx745 in
+  let opt =
+    G.Event_sim.run d ~quality:G.Perf_model.Optimized ~fused_kernels:[ "sharpened" ]
+      fused_p
+  in
+  let basic =
+    G.Event_sim.run d ~quality:G.Perf_model.Basic_codegen ~fused_kernels:[ "sharpened" ]
+      fused_p
+  in
+  Alcotest.(check bool) "basic slower" true
+    (basic.G.Event_sim.total_ms > opt.G.Event_sim.total_ms)
+
+let suite =
+  [
+    Alcotest.test_case "memory-bound matches roofline" `Quick
+      test_memory_bound_matches_roofline;
+    Alcotest.test_case "border penalty on small images" `Quick
+      test_border_penalty_on_small_images;
+    Alcotest.test_case "point kernels unpenalized" `Quick test_point_kernel_no_border_penalty;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "kernel accounting" `Quick test_kernel_accounting;
+    Alcotest.test_case "basic codegen slower" `Quick test_basic_quality_slower;
+  ]

@@ -1,0 +1,100 @@
+(* Tests for the exhaustive fusion oracle, and how close Algorithm 1
+   gets to it. *)
+
+module F = Kfuse_fusion
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+
+let config = F.Config.default
+
+let test_oracle_valid_partition () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  let _, partition = F.Exhaustive_fusion.run config p in
+  Alcotest.(check bool) "valid" true (Partition.is_valid (Pipeline.dag p) partition);
+  let edges = F.Benefit.all_edges config p in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "legal" true
+        (Kfuse_util.Iset.cardinal b = 1 || F.Mincut_fusion.block_legal config p edges b))
+    partition
+
+let test_mincut_optimal_on_paper_apps () =
+  (* Algorithm 1 achieves the optimal beta on all six applications. *)
+  List.iter
+    (fun (e : Kfuse_apps.Registry.entry) ->
+      let p = e.Kfuse_apps.Registry.pipeline () in
+      let heuristic = (F.Mincut_fusion.run config p).F.Mincut_fusion.objective in
+      let optimal = F.Exhaustive_fusion.optimal_objective config p in
+      Alcotest.check (Helpers.float_close ~eps:1e-6 ())
+        (e.Kfuse_apps.Registry.name ^ " optimal")
+        optimal heuristic)
+    Kfuse_apps.Registry.all
+
+let test_oracle_bound_holds () =
+  (* On any pipeline the heuristic can at best match the oracle. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"mix" ~width:32 ~height:32 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" + Const 1.0);
+        Kernel.map ~name:"c" ~inputs:[ "a" ] (input "a" - Const 1.0);
+        Kernel.map ~name:"d" ~inputs:[ "b"; "c" ] (input "b" * input "c");
+      ]
+  in
+  let heuristic = (F.Mincut_fusion.run config p).F.Mincut_fusion.objective in
+  let optimal = F.Exhaustive_fusion.optimal_objective config p in
+  Alcotest.(check bool) "bound" true (heuristic <= optimal +. 1e-9)
+
+let test_diamond_fuses_whole () =
+  (* The diamond above is all-point with a single sink: the whole graph
+     is one legal block and the oracle finds it. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"mix" ~width:32 ~height:32 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" + Const 1.0);
+        Kernel.map ~name:"c" ~inputs:[ "a" ] (input "a" - Const 1.0);
+        Kernel.map ~name:"d" ~inputs:[ "b"; "c" ] (input "b" * input "c");
+      ]
+  in
+  let _, partition = F.Exhaustive_fusion.run config p in
+  Alcotest.(check int) "single block" 1 (List.length partition)
+
+let test_run_with_custom_objective () =
+  (* Minimizing kernel count via run_with picks the coarsest partition. *)
+  let p = Kfuse_apps.Unsharp.pipeline () in
+  let score, partition =
+    F.Exhaustive_fusion.run_with config p ~objective:(fun part ->
+        -.float_of_int (List.length part))
+  in
+  Alcotest.check (Helpers.float_close ()) "one block" (-1.0) score;
+  Alcotest.(check int) "single block" 1 (List.length partition)
+
+let test_count_legal_partitions () =
+  (* Night: {a0}{a1}{s}, {a0}{a1,s} — the a0-a1 pair is resource-illegal. *)
+  let night = Kfuse_apps.Night.pipeline () in
+  Alcotest.(check int) "night" 2 (F.Exhaustive_fusion.count_legal_partitions config night);
+  (* Harris: each of the three point-to-local pairs independently fused
+     or not: 2^3. *)
+  let harris = Kfuse_apps.Harris.pipeline () in
+  Alcotest.(check int) "harris" 8 (F.Exhaustive_fusion.count_legal_partitions config harris)
+
+let test_size_limit () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  Helpers.expect_invalid "limit" (fun () -> F.Exhaustive_fusion.run ~max_kernels:5 config p)
+
+let suite =
+  [
+    Alcotest.test_case "oracle yields valid legal partition" `Quick test_oracle_valid_partition;
+    Alcotest.test_case "Algorithm 1 optimal on paper apps" `Slow
+      test_mincut_optimal_on_paper_apps;
+    Alcotest.test_case "heuristic bounded by oracle" `Quick test_oracle_bound_holds;
+    Alcotest.test_case "diamond fuses whole" `Quick test_diamond_fuses_whole;
+    Alcotest.test_case "custom objective" `Quick test_run_with_custom_objective;
+    Alcotest.test_case "count legal partitions" `Quick test_count_legal_partitions;
+    Alcotest.test_case "size limit enforced" `Quick test_size_limit;
+  ]

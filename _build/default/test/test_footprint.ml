@@ -1,0 +1,137 @@
+(* Tests for the rectangular footprint analysis. *)
+
+module Fp = Kfuse_ir.Footprint
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Cost = Kfuse_ir.Cost
+module Mask = Kfuse_image.Mask
+
+let window = Alcotest.testable Fp.pp Fp.equal
+
+let test_constructors () =
+  Alcotest.check window "radius 0 = point" Fp.point (Fp.of_radius 0);
+  Alcotest.check window "radius 2"
+    (Fp.make ~dx_min:(-2) ~dx_max:2 ~dy_min:(-2) ~dy_max:2)
+    (Fp.of_radius 2);
+  Helpers.expect_invalid "empty window" (fun () ->
+      Fp.make ~dx_min:1 ~dx_max:0 ~dy_min:0 ~dy_max:0);
+  Helpers.expect_invalid "negative radius" (fun () -> Fp.of_radius (-1))
+
+let test_geometry () =
+  let w = Fp.make ~dx_min:(-2) ~dx_max:1 ~dy_min:0 ~dy_max:0 in
+  Alcotest.(check int) "width" 4 (Fp.width w);
+  Alcotest.(check int) "height" 1 (Fp.height w);
+  Alcotest.(check int) "area" 4 (Fp.area w);
+  Alcotest.(check int) "radius" 2 (Fp.radius w);
+  Alcotest.(check bool) "not point" false (Fp.is_point w);
+  Alcotest.(check bool) "point is point" true (Fp.is_point Fp.point)
+
+let test_union_sum () =
+  let a = Fp.make ~dx_min:(-1) ~dx_max:0 ~dy_min:0 ~dy_max:2 in
+  let b = Fp.make ~dx_min:0 ~dx_max:3 ~dy_min:(-1) ~dy_max:0 in
+  Alcotest.check window "union"
+    (Fp.make ~dx_min:(-1) ~dx_max:3 ~dy_min:(-1) ~dy_max:2)
+    (Fp.union a b);
+  Alcotest.check window "minkowski sum"
+    (Fp.make ~dx_min:(-1) ~dx_max:3 ~dy_min:(-1) ~dy_max:2)
+    (Fp.sum a b);
+  (* Eq. 9 in window form: radius r1 + r2 squares. *)
+  Alcotest.check window "eq9" (Fp.of_radius 3) (Fp.sum (Fp.of_radius 1) (Fp.of_radius 2))
+
+let test_of_expr () =
+  let open Expr in
+  let e = input ~dx:(-1) "a" + (input ~dx:2 ~dy:1 "a" * input "b") in
+  match Fp.of_expr e with
+  | [ ("a", wa); ("b", wb) ] ->
+    Alcotest.check window "a" (Fp.make ~dx_min:(-1) ~dx_max:2 ~dy_min:0 ~dy_max:1) wa;
+    Alcotest.check window "b" Fp.point wb
+  | other -> Alcotest.failf "unexpected: %d entries" (List.length other)
+
+let test_of_expr_shift () =
+  let open Expr in
+  let e = Shift { dx = 3; dy = -2; exchange = None; body = input ~dx:(-1) "a" } in
+  match Fp.of_expr e with
+  | [ ("a", w) ] ->
+    Alcotest.check window "composed" (Fp.make ~dx_min:2 ~dx_max:2 ~dy_min:(-2) ~dy_max:(-2)) w
+  | _ -> Alcotest.fail "expected one image"
+
+let test_horizontal_blur_tile () =
+  (* A 1-D horizontal blur needs no vertical halo: its tile is smaller
+     than the square-radius estimate. *)
+  let expected_horizontal = (32 + 4) * 4 * 4 in
+  let expected_square = (32 + 4) * (4 + 4) * 4 in
+  let horiz =
+    let open Expr in
+    Kernel.map ~name:"h" ~inputs:[ "a" ]
+      ((input ~dx:(-2) "a" + input "a") + input ~dx:2 "a")
+  in
+  let square = Kernel.map ~name:"s" ~inputs:[ "a" ] (Expr.conv Mask.gaussian_5x5 "a") in
+  let block = Cost.default_block in
+  let h_bytes = Cost.kernel_shared_bytes block horiz in
+  let s_bytes = Cost.kernel_shared_bytes block square in
+  Alcotest.(check int) "horizontal tile" expected_horizontal h_bytes;
+  Alcotest.(check int) "square tile" expected_square s_bytes;
+  Alcotest.(check bool) "tighter" true (h_bytes < s_bytes)
+
+let test_separable_blur_legality () =
+  (* Separable Gaussian (horizontal then vertical 1-D): the window model
+     accumulates a cross-shaped footprint tighter than two squares, so
+     the fused tile estimate stays moderate. *)
+  let module F = Kfuse_fusion in
+  let horiz =
+    let open Expr in
+    Kernel.map ~name:"h" ~inputs:[ "in" ]
+      ((Const 0.25 * input ~dx:(-1) "in") + (Const 0.5 * input "in")
+      + (Const 0.25 * input ~dx:1 "in"))
+  in
+  let vert =
+    let open Expr in
+    Kernel.map ~name:"v" ~inputs:[ "h" ]
+      ((Const 0.25 * input ~dy:(-1) "h") + (Const 0.5 * input "h")
+      + (Const 0.25 * input ~dy:1 "h"))
+  in
+  let p =
+    Kfuse_ir.Pipeline.create ~name:"sep" ~width:64 ~height:64 ~inputs:[ "in" ]
+      [ horiz; vert ]
+  in
+  let config = F.Config.default in
+  let fused = F.Legality.fused_shared_bytes config p (Helpers.set_of [ 0; 1 ]) in
+  (* in-tile: horizontal window [-1,1]x{0} extended by v's {0}x[-1,1]
+     downstream = [-1,1]x[-1,1]; h-tile: {0}x[-1,1]. *)
+  let block = config.F.Config.block in
+  let expected =
+    Cost.tile_bytes_window block (Fp.of_radius 1)
+    + Cost.tile_bytes_window block (Fp.make ~dx_min:0 ~dx_max:0 ~dy_min:(-1) ~dy_max:1)
+  in
+  Alcotest.(check int) "separable accumulation" expected fused
+
+let test_footprint_radius_consistent () =
+  (* Footprint radius equals the scalar Expr.radius on arbitrary bodies. *)
+  let bodies =
+    let open Expr in
+    [
+      input "a";
+      conv Mask.gaussian_5x5 "a";
+      input ~dx:(-3) "a" + input ~dy:2 "a";
+      Shift { dx = 1; dy = 1; exchange = None; body = conv Mask.gaussian_3x3 "a" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let max_w =
+        List.fold_left (fun acc (_, w) -> max acc (Fp.radius w)) 0 (Fp.of_expr e)
+      in
+      Alcotest.(check int) "radius agreement" (Expr.radius e) max_w)
+    bodies
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "union and Minkowski sum" `Quick test_union_sum;
+    Alcotest.test_case "of_expr" `Quick test_of_expr;
+    Alcotest.test_case "of_expr composes shifts" `Quick test_of_expr_shift;
+    Alcotest.test_case "1-D blur gets a tighter tile" `Quick test_horizontal_blur_tile;
+    Alcotest.test_case "separable blur legality" `Quick test_separable_blur_legality;
+    Alcotest.test_case "radius consistency" `Quick test_footprint_radius_consistent;
+  ]

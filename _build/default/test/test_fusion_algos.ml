@@ -1,0 +1,217 @@
+(* Tests for the three fusion strategies (Algorithm 1 min-cut, basic [12],
+   greedy) and the Driver, anchored on the paper's per-application
+   outcomes (Sections III-B and V-C). *)
+
+module F = Kfuse_fusion
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Partition = Kfuse_graph.Partition
+module Iset = Kfuse_util.Iset
+
+let config = F.Config.default
+
+let blocks_by_names (p : Pipeline.t) names =
+  List.map
+    (fun group ->
+      Helpers.set_of (List.map (fun n -> Option.get (Pipeline.index_of p n)) group))
+    names
+
+let check_partition msg p expected actual =
+  Alcotest.check Helpers.partition msg (blocks_by_names p expected) actual
+
+(* ---- Figure 3: Harris under the min-cut algorithm ---- *)
+
+let harris = Kfuse_apps.Harris.pipeline ()
+
+let harris_expected =
+  [ [ "dx" ]; [ "dy" ]; [ "sx"; "gx" ]; [ "sy"; "gy" ]; [ "sxy"; "gxy" ]; [ "hc" ] ]
+
+let test_mincut_harris () =
+  let r = F.Mincut_fusion.run config harris in
+  check_partition "Figure 3 final partition" harris harris_expected r.F.Mincut_fusion.partition;
+  (* beta = 328 + 328 + 256 = 912. *)
+  Alcotest.check (Helpers.float_close ()) "objective" 912.0 r.F.Mincut_fusion.objective;
+  (* The partition is a valid disjoint cover. *)
+  Alcotest.(check bool) "valid" true
+    (Partition.is_valid (Pipeline.dag harris) r.F.Mincut_fusion.partition)
+
+let test_mincut_harris_first_cut () =
+  (* The first iteration rejects the whole DAG on Eq. 2 and cuts along a
+     2-epsilon min cut (Figure 3a). *)
+  let r = F.Mincut_fusion.run config harris in
+  match r.F.Mincut_fusion.steps with
+  | F.Mincut_fusion.Cut { block; reason = Some (F.Legality.Resource _); cut_weight; _ } :: _
+    ->
+    Alcotest.(check int) "whole graph" 9 (Iset.cardinal block);
+    Alcotest.check (Helpers.float_close ~eps:1e-12 ()) "2 epsilon"
+      (2.0 *. config.F.Config.epsilon) cut_weight
+  | _ -> Alcotest.fail "expected a resource-driven cut of the whole DAG first"
+
+let test_mincut_trace_consistency () =
+  (* Every cut splits a block into its two reported sides. *)
+  let r = F.Mincut_fusion.run config harris in
+  List.iter
+    (function
+      | F.Mincut_fusion.Accept _ -> ()
+      | F.Mincut_fusion.Cut { block; side_a; side_b; _ } ->
+        Alcotest.(check bool) "disjoint" true (Iset.is_empty (Iset.inter side_a side_b));
+        Alcotest.check Helpers.iset "cover" block (Iset.union side_a side_b);
+        Alcotest.(check bool) "both nonempty" true
+          (not (Iset.is_empty side_a || Iset.is_empty side_b)))
+    r.F.Mincut_fusion.steps
+
+(* ---- Per-application outcomes (Section V-C) ---- *)
+
+let sobel = Kfuse_apps.Sobel.pipeline ()
+let unsharp = Kfuse_apps.Unsharp.pipeline ()
+let enhance = Kfuse_apps.Enhance.pipeline ()
+let night = Kfuse_apps.Night.pipeline ()
+
+let test_mincut_sobel_fuses_all () =
+  check_partition "sobel one block" sobel
+    [ [ "dx"; "dy"; "mag" ] ]
+    (F.Mincut_fusion.partition config sobel)
+
+let test_mincut_unsharp_fuses_all () =
+  check_partition "unsharp one block" unsharp
+    [ [ "blur"; "highfreq"; "cubic"; "sharpened" ] ]
+    (F.Mincut_fusion.partition config unsharp)
+
+let test_mincut_enhance_fuses_all () =
+  check_partition "enhance one block" enhance
+    [ [ "geomean"; "gamma"; "stretch" ] ]
+    (F.Mincut_fusion.partition config enhance)
+
+let test_mincut_night_partial () =
+  (* "The first two local kernels are not fused"; atrous1+scoto fuse. *)
+  check_partition "night partition" night
+    [ [ "atrous0" ]; [ "atrous1"; "scoto" ] ]
+    (F.Mincut_fusion.partition config night)
+
+let test_basic_rejects_sobel_and_unsharp () =
+  check_partition "basic sobel all singletons" sobel
+    [ [ "dx" ]; [ "dy" ]; [ "mag" ] ]
+    (F.Basic_fusion.partition config sobel);
+  check_partition "basic unsharp all singletons" unsharp
+    [ [ "blur" ]; [ "highfreq" ]; [ "cubic" ]; [ "sharpened" ] ]
+    (F.Basic_fusion.partition config unsharp)
+
+let test_basic_harris_pairs () =
+  (* Basic fusion detects the three point-to-local pairs (Section V-C). *)
+  check_partition "basic harris" harris harris_expected
+    (F.Basic_fusion.partition config harris)
+
+let test_basic_enhance_and_night () =
+  check_partition "basic enhance fuses chain" enhance
+    [ [ "geomean"; "gamma"; "stretch" ] ]
+    (F.Basic_fusion.partition config enhance);
+  check_partition "basic night" night
+    [ [ "atrous0" ]; [ "atrous1"; "scoto" ] ]
+    (F.Basic_fusion.partition config night)
+
+let test_greedy_misses_sobel () =
+  (* Greedy pairwise merging cannot discover the Sobel fusion: both
+     pairwise merges are illegal, only the whole-graph view is legal.
+     This is the min-cut algorithm's advantage ("larger scope"). *)
+  check_partition "greedy sobel stuck" sobel
+    [ [ "dx" ]; [ "dy" ]; [ "mag" ] ]
+    (F.Greedy_fusion.partition config sobel)
+
+let test_greedy_matches_mincut_elsewhere () =
+  List.iter
+    (fun p ->
+      Alcotest.check Helpers.partition
+        ("greedy = mincut on " ^ p.Pipeline.name)
+        (F.Mincut_fusion.partition config p)
+        (F.Greedy_fusion.partition config p))
+    [ harris; unsharp; enhance; night ]
+
+(* ---- Driver ---- *)
+
+let test_driver_baseline_identity () =
+  let r = F.Driver.run config F.Driver.Baseline harris in
+  Alcotest.(check int) "kernel count unchanged" 9 (F.Driver.fused_kernel_count r);
+  Alcotest.check (Helpers.float_close ()) "objective zero" 0.0 r.F.Driver.objective
+
+let test_driver_strategies () =
+  List.iter
+    (fun (s, expected_kernels) ->
+      let r = F.Driver.run config s harris in
+      Alcotest.(check int)
+        (F.Driver.strategy_to_string s ^ " kernels")
+        expected_kernels (F.Driver.fused_kernel_count r))
+    [ (F.Driver.Baseline, 9); (F.Driver.Basic, 6); (F.Driver.Greedy, 6); (F.Driver.Mincut, 6) ]
+
+let test_driver_objective_matches_partition () =
+  let r = F.Driver.run config F.Driver.Mincut harris in
+  Alcotest.check (Helpers.float_close ()) "beta" 912.0 r.F.Driver.objective
+
+let test_strategy_strings () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (F.Driver.strategy_to_string s))
+        (Option.map F.Driver.strategy_to_string
+           (F.Driver.strategy_of_string (F.Driver.strategy_to_string s))))
+    F.Driver.all_strategies;
+  Alcotest.(check bool) "unknown" true (F.Driver.strategy_of_string "nope" = None)
+
+(* ---- Threshold sensitivity (the c_Mshared ablation of DESIGN.md) ---- *)
+
+let test_cmshared_sensitivity () =
+  (* With a very tight threshold even point-to-local pairs are rejected
+     (their gx tile still counts), leaving everything unfused... the
+     pairs {sx,gx} keep ratio 1, so they survive even at 1.0. *)
+  let tight = { config with F.Config.c_mshared = 1.0 } in
+  check_partition "tight threshold keeps pairs" harris harris_expected
+    (F.Mincut_fusion.partition tight harris);
+  (* A loose threshold lets larger blocks through; every block must still
+     be legal under it. *)
+  let loose = { config with F.Config.c_mshared = 20.0 } in
+  let r = F.Mincut_fusion.run loose harris in
+  let edges = F.Benefit.all_edges loose harris in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "block legal" true
+        (Iset.cardinal b = 1 || F.Mincut_fusion.block_legal loose harris edges b))
+    r.F.Mincut_fusion.partition
+
+let test_all_blocks_legal_invariant () =
+  (* Algorithm 1 postcondition: every block in the result is legal or a
+     singleton. *)
+  List.iter
+    (fun p ->
+      let r = F.Mincut_fusion.run config p in
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s block legal" p.Pipeline.name)
+            true
+            (Iset.cardinal b = 1
+            || F.Mincut_fusion.block_legal config p r.F.Mincut_fusion.edges b))
+        r.F.Mincut_fusion.partition)
+    [ harris; sobel; unsharp; enhance; night ]
+
+let suite =
+  [
+    Alcotest.test_case "min-cut Harris partition (Fig 3)" `Quick test_mincut_harris;
+    Alcotest.test_case "min-cut Harris first cut" `Quick test_mincut_harris_first_cut;
+    Alcotest.test_case "min-cut trace consistency" `Quick test_mincut_trace_consistency;
+    Alcotest.test_case "min-cut fuses Sobel fully" `Quick test_mincut_sobel_fuses_all;
+    Alcotest.test_case "min-cut fuses Unsharp fully" `Quick test_mincut_unsharp_fuses_all;
+    Alcotest.test_case "min-cut fuses Enhance fully" `Quick test_mincut_enhance_fuses_all;
+    Alcotest.test_case "min-cut Night partial" `Quick test_mincut_night_partial;
+    Alcotest.test_case "basic rejects Sobel/Unsharp" `Quick test_basic_rejects_sobel_and_unsharp;
+    Alcotest.test_case "basic Harris pairs" `Quick test_basic_harris_pairs;
+    Alcotest.test_case "basic Enhance/Night" `Quick test_basic_enhance_and_night;
+    Alcotest.test_case "greedy misses Sobel" `Quick test_greedy_misses_sobel;
+    Alcotest.test_case "greedy matches min-cut elsewhere" `Quick test_greedy_matches_mincut_elsewhere;
+    Alcotest.test_case "driver baseline identity" `Quick test_driver_baseline_identity;
+    Alcotest.test_case "driver strategy kernel counts" `Quick test_driver_strategies;
+    Alcotest.test_case "driver objective" `Quick test_driver_objective_matches_partition;
+    Alcotest.test_case "strategy string roundtrip" `Quick test_strategy_strings;
+    Alcotest.test_case "c_Mshared sensitivity" `Quick test_cmshared_sensitivity;
+    Alcotest.test_case "all result blocks legal" `Quick test_all_blocks_legal_invariant;
+  ]

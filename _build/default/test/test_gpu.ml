@@ -1,0 +1,247 @@
+(* Tests for Kfuse_gpu: Device, Occupancy, Perf_model, Sim. *)
+
+module G = Kfuse_gpu
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Stats = Kfuse_util.Stats
+
+let test_device_catalogue () =
+  Alcotest.(check int) "three devices" 3 (List.length G.Device.all);
+  Alcotest.(check bool) "find case-insensitive" true
+    (match G.Device.find "gtx680" with Some _ -> true | None -> false);
+  Alcotest.(check bool) "find by display name" true
+    (match G.Device.find "K20C" with Some _ -> true | None -> false);
+  Alcotest.(check bool) "unknown" true (G.Device.find "rtx4090" = None)
+
+let test_device_bandwidths () =
+  (* Public bus widths give the known peak bandwidths. *)
+  let gb d = G.Device.peak_bandwidth_bytes_per_s d /. 1e9 in
+  Alcotest.check (Helpers.float_close ~eps:0.1 ()) "GTX745 28.8 GB/s" 28.8
+    (gb G.Device.gtx745);
+  Alcotest.check (Helpers.float_close ~eps:0.5 ()) "GTX680 192 GB/s" 192.3
+    (gb G.Device.gtx680);
+  Alcotest.check (Helpers.float_close ~eps:0.5 ()) "K20c 208 GB/s" 208.0 (gb G.Device.k20c)
+
+let test_device_paper_configs () =
+  (* Section V-A numbers. *)
+  Alcotest.(check int) "GTX745 cores" 384 G.Device.gtx745.G.Device.cuda_cores;
+  Alcotest.(check int) "GTX680 cores" 1536 G.Device.gtx680.G.Device.cuda_cores;
+  Alcotest.(check int) "K20c cores" 2496 G.Device.k20c.G.Device.cuda_cores;
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "48KB shared" (48 * 1024) d.G.Device.shared_mem_per_sm;
+      Alcotest.(check int) "65536 regs" 65536 d.G.Device.registers_per_block)
+    G.Device.all
+
+let test_occupancy_unlimited () =
+  let o =
+    G.Occupancy.compute G.Device.gtx680 ~shared_bytes_per_block:0 ~regs_per_thread:32
+      ~threads_per_block:128
+  in
+  Alcotest.(check int) "block-limited" 16 o.G.Occupancy.active_blocks;
+  Alcotest.check (Helpers.float_close ()) "occupancy 1.0" 1.0 o.G.Occupancy.occupancy
+
+let test_occupancy_shared_limited () =
+  (* 20 KB per block on a 48 KB SM -> 2 resident blocks. *)
+  let o =
+    G.Occupancy.compute G.Device.gtx680 ~shared_bytes_per_block:(20 * 1024)
+      ~regs_per_thread:32 ~threads_per_block:128
+  in
+  Alcotest.(check int) "2 blocks" 2 o.G.Occupancy.active_blocks;
+  Alcotest.(check bool) "limiter" true (o.G.Occupancy.limiter = `Shared_memory);
+  Alcotest.check (Helpers.float_close ()) "occupancy" (256.0 /. 2048.0) o.G.Occupancy.occupancy
+
+let test_occupancy_invalid () =
+  Helpers.expect_invalid "block too big" (fun () ->
+      G.Occupancy.compute G.Device.gtx680 ~shared_bytes_per_block:(64 * 1024)
+        ~regs_per_thread:32 ~threads_per_block:128);
+  Helpers.expect_invalid "no threads" (fun () ->
+      G.Occupancy.compute G.Device.gtx680 ~shared_bytes_per_block:0 ~regs_per_thread:32
+        ~threads_per_block:0)
+
+let test_latency_hiding () =
+  Alcotest.check (Helpers.float_close ()) "above knee" 1.0
+    (G.Occupancy.latency_hiding_factor 0.75);
+  Alcotest.check (Helpers.float_close ()) "at knee" 1.0 (G.Occupancy.latency_hiding_factor 0.5);
+  Alcotest.check (Helpers.float_close ()) "half knee" 0.5
+    (G.Occupancy.latency_hiding_factor 0.25);
+  Alcotest.check (Helpers.float_close ()) "floored" 0.05
+    (G.Occupancy.latency_hiding_factor 0.0)
+
+let point_pipeline =
+  Pipeline.create ~name:"pp" ~width:1024 ~height:1024 ~inputs:[ "in" ]
+    [ Kernel.map ~name:"a" ~inputs:[ "in" ] Expr.(input "in" * Const 2.0) ]
+
+let local_pipeline =
+  Pipeline.create ~name:"lp" ~width:1024 ~height:1024 ~inputs:[ "in" ]
+    [ Kernel.map ~name:"g" ~inputs:[ "in" ] (Expr.conv Mask.gaussian_3x3 "in") ]
+
+let test_perf_point_traffic () =
+  let kt =
+    G.Perf_model.kernel_time G.Device.gtx680 ~quality:G.Perf_model.Optimized ~fused:false
+      point_pipeline
+      (Pipeline.kernel point_pipeline 0)
+  in
+  (* 1 load + 1 store. *)
+  Alcotest.check (Helpers.float_close ()) "2 accesses" 2.0 kt.G.Perf_model.global_accesses_per_px;
+  Alcotest.(check int) "no shared" 0 kt.G.Perf_model.shared_bytes;
+  Alcotest.(check bool) "memory bound" true
+    (kt.G.Perf_model.t_mem_ms > kt.G.Perf_model.t_comp_ms)
+
+let test_perf_local_tile_factor () =
+  let kt =
+    G.Perf_model.kernel_time G.Device.gtx680 ~quality:G.Perf_model.Optimized ~fused:false
+      local_pipeline
+      (Pipeline.kernel local_pipeline 0)
+  in
+  (* Tile factor (34*6)/(32*4) = 1.59375 plus the store. *)
+  Alcotest.check (Helpers.float_close ~eps:1e-6 ()) "tile accesses" 2.59375
+    kt.G.Perf_model.global_accesses_per_px;
+  Alcotest.(check bool) "uses shared" true (kt.G.Perf_model.shared_bytes > 0)
+
+let test_perf_basic_penalty_only_fused () =
+  let t quality fused =
+    (G.Perf_model.kernel_time G.Device.gtx680 ~quality ~fused point_pipeline
+       (Pipeline.kernel point_pipeline 0))
+      .G.Perf_model.t_ms
+  in
+  Alcotest.(check bool) "unfused kernels identical" true
+    (Float.equal (t G.Perf_model.Optimized false) (t G.Perf_model.Basic_codegen false));
+  Alcotest.(check bool) "fused basic slower" true
+    (t G.Perf_model.Basic_codegen true > t G.Perf_model.Optimized true)
+
+let test_perf_pipeline_total () =
+  let breakdown, total =
+    G.Perf_model.pipeline_time G.Device.gtx680 ~quality:G.Perf_model.Optimized
+      ~fused_kernels:[] point_pipeline
+  in
+  Alcotest.(check int) "one kernel" 1 (List.length breakdown);
+  Alcotest.check (Helpers.float_close ~eps:1e-12 ()) "total = sum"
+    (List.fold_left (fun acc kt -> acc +. kt.G.Perf_model.t_ms) 0.0 breakdown)
+    total
+
+let test_perf_device_ordering () =
+  (* Memory-bound point kernel: times order by bandwidth. *)
+  let t d =
+    snd
+      (G.Perf_model.pipeline_time d ~quality:G.Perf_model.Optimized ~fused_kernels:[]
+         point_pipeline)
+  in
+  Alcotest.(check bool) "GTX745 slowest" true (t G.Device.gtx745 > t G.Device.gtx680);
+  Alcotest.(check bool) "K20c fastest" true (t G.Device.k20c < t G.Device.gtx680)
+
+let test_sim_reproducible () =
+  let m1 =
+    G.Sim.measure ~runs:50 G.Device.gtx680 ~quality:G.Perf_model.Optimized
+      ~fused_kernels:[] point_pipeline
+  in
+  let m2 =
+    G.Sim.measure ~runs:50 G.Device.gtx680 ~quality:G.Perf_model.Optimized
+      ~fused_kernels:[] point_pipeline
+  in
+  Alcotest.(check bool) "same samples" true (m1.G.Sim.samples = m2.G.Sim.samples)
+
+let test_sim_noise_shape () =
+  let m =
+    G.Sim.measure ~runs:500 G.Device.gtx680 ~quality:G.Perf_model.Optimized
+      ~fused_kernels:[] point_pipeline
+  in
+  let s = m.G.Sim.summary in
+  (* Median close to the model; max whisker above it (one-sided tail). *)
+  Alcotest.(check bool) "median near model" true
+    (Float.abs (s.Stats.median -. m.G.Sim.model_ms) /. m.G.Sim.model_ms < 0.05);
+  Alcotest.(check bool) "tail above" true (s.Stats.max > s.Stats.median);
+  Alcotest.(check bool) "ordered" true
+    (s.Stats.min <= s.Stats.p25 && s.Stats.p25 <= s.Stats.median
+   && s.Stats.median <= s.Stats.p75 && s.Stats.p75 <= s.Stats.max);
+  Alcotest.(check int) "500 runs" 500 s.Stats.n
+
+let test_sim_speedup () =
+  let fast =
+    G.Sim.measure ~runs:20 ~seed:1 G.Device.gtx680 ~quality:G.Perf_model.Optimized
+      ~fused_kernels:[] point_pipeline
+  in
+  let slow =
+    G.Sim.measure ~runs:20 ~seed:1 G.Device.gtx745 ~quality:G.Perf_model.Optimized
+      ~fused_kernels:[] point_pipeline
+  in
+  Alcotest.(check bool) "speedup > 1" true (G.Sim.speedup slow fast > 1.0)
+
+let test_sim_invalid_runs () =
+  Helpers.expect_invalid "zero runs" (fun () ->
+      G.Sim.measure ~runs:0 G.Device.gtx680 ~quality:G.Perf_model.Optimized
+        ~fused_kernels:[] point_pipeline)
+
+let test_block_override () =
+  (* A squarer block pays less halo for a stencil kernel. *)
+  let flat = { Kfuse_ir.Cost.bx = 32; by = 4 } in
+  let square = { Kfuse_ir.Cost.bx = 16; by = 16 } in
+  let kt b =
+    G.Perf_model.kernel_time ~block:b G.Device.gtx680 ~quality:G.Perf_model.Optimized
+      ~fused:false local_pipeline
+      (Pipeline.kernel local_pipeline 0)
+  in
+  Alcotest.(check bool) "less traffic" true
+    ((kt square).G.Perf_model.global_accesses_per_px
+    < (kt flat).G.Perf_model.global_accesses_per_px)
+
+let test_autotune_never_worse () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun d ->
+          let choices, tuned, default =
+            G.Autotune.tune_pipeline d ~quality:G.Perf_model.Optimized ~fused_kernels:[]
+              p
+          in
+          Alcotest.(check bool) "tuned <= default" true (tuned <= default +. 1e-9);
+          List.iter
+            (fun (c : G.Autotune.choice) ->
+              Alcotest.(check bool) "per kernel" true
+                (c.G.Autotune.best_ms <= c.G.Autotune.default_ms +. 1e-9))
+            choices)
+        G.Device.all)
+    [ point_pipeline; local_pipeline ]
+
+let test_autotune_prefers_square_for_stencil () =
+  let c =
+    G.Autotune.tune_kernel G.Device.gtx680 ~quality:G.Perf_model.Optimized ~fused:false
+      local_pipeline
+      (Pipeline.kernel local_pipeline 0)
+  in
+  (* The winner must not be flatter than the default for a radius-1
+     stencil (more rows amortize the vertical halo). *)
+  Alcotest.(check bool) "taller than 32x4" true (c.G.Autotune.best.Kfuse_ir.Cost.by >= 4)
+
+let test_autotune_empty_candidates () =
+  Helpers.expect_invalid "empty candidates" (fun () ->
+      G.Autotune.tune_kernel ~candidates:[] G.Device.gtx680
+        ~quality:G.Perf_model.Optimized ~fused:false point_pipeline
+        (Pipeline.kernel point_pipeline 0))
+
+let suite =
+  [
+    Alcotest.test_case "device catalogue" `Quick test_device_catalogue;
+    Alcotest.test_case "block shape override" `Quick test_block_override;
+    Alcotest.test_case "autotune never worse" `Quick test_autotune_never_worse;
+    Alcotest.test_case "autotune prefers square stencil blocks" `Quick
+      test_autotune_prefers_square_for_stencil;
+    Alcotest.test_case "autotune empty candidates" `Quick test_autotune_empty_candidates;
+    Alcotest.test_case "device bandwidths" `Quick test_device_bandwidths;
+    Alcotest.test_case "device paper configs" `Quick test_device_paper_configs;
+    Alcotest.test_case "occupancy unlimited" `Quick test_occupancy_unlimited;
+    Alcotest.test_case "occupancy shared-limited" `Quick test_occupancy_shared_limited;
+    Alcotest.test_case "occupancy invalid" `Quick test_occupancy_invalid;
+    Alcotest.test_case "latency hiding factor" `Quick test_latency_hiding;
+    Alcotest.test_case "perf point traffic" `Quick test_perf_point_traffic;
+    Alcotest.test_case "perf local tile factor" `Quick test_perf_local_tile_factor;
+    Alcotest.test_case "perf basic penalty only fused" `Quick test_perf_basic_penalty_only_fused;
+    Alcotest.test_case "perf pipeline total" `Quick test_perf_pipeline_total;
+    Alcotest.test_case "perf device ordering" `Quick test_perf_device_ordering;
+    Alcotest.test_case "sim reproducible" `Quick test_sim_reproducible;
+    Alcotest.test_case "sim noise shape" `Quick test_sim_noise_shape;
+    Alcotest.test_case "sim speedup" `Quick test_sim_speedup;
+    Alcotest.test_case "sim invalid runs" `Quick test_sim_invalid_runs;
+  ]

@@ -1,0 +1,214 @@
+(* Tests for Kfuse_graph: Digraph, Topo, Wgraph, Partition. *)
+
+module Iset = Kfuse_util.Iset
+module Digraph = Kfuse_graph.Digraph
+module Topo = Kfuse_graph.Topo
+module Wgraph = Kfuse_graph.Wgraph
+module Partition = Kfuse_graph.Partition
+
+let diamond = Digraph.of_edges [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_add_vertex () =
+  let g = Digraph.add_vertex Digraph.empty 5 in
+  Alcotest.(check bool) "mem" true (Digraph.mem_vertex g 5);
+  Alcotest.(check int) "count" 1 (Digraph.num_vertices g);
+  let g2 = Digraph.add_vertex g 5 in
+  Alcotest.(check int) "idempotent" 1 (Digraph.num_vertices g2)
+
+let test_add_edge () =
+  let g = Digraph.add_edge Digraph.empty 1 2 in
+  Alcotest.(check bool) "edge" true (Digraph.mem_edge g 1 2);
+  Alcotest.(check bool) "not reversed" false (Digraph.mem_edge g 2 1);
+  Alcotest.check Helpers.iset "succs" (Helpers.set_of [ 2 ]) (Digraph.succs g 1);
+  Alcotest.check Helpers.iset "preds" (Helpers.set_of [ 1 ]) (Digraph.preds g 2)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.add_edge: self loop")
+    (fun () -> ignore (Digraph.add_edge Digraph.empty 1 1))
+
+let test_remove_edge () =
+  let g = Digraph.remove_edge diamond 0 1 in
+  Alcotest.(check bool) "gone" false (Digraph.mem_edge g 0 1);
+  Alcotest.(check int) "others kept" 3 (Digraph.num_edges g)
+
+let test_remove_vertex () =
+  let g = Digraph.remove_vertex diamond 3 in
+  Alcotest.(check int) "vertices" 3 (Digraph.num_vertices g);
+  Alcotest.(check int) "edges" 2 (Digraph.num_edges g);
+  Alcotest.check Helpers.iset "succs of 1 emptied" Iset.empty (Digraph.succs g 1)
+
+let test_induced () =
+  let sub = Digraph.induced diamond (Helpers.set_of [ 0; 1; 3 ]) in
+  Alcotest.(check int) "vertices" 3 (Digraph.num_vertices sub);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (1, 3) ] (Digraph.edges sub)
+
+let test_degrees () =
+  Alcotest.(check int) "in 3" 2 (Digraph.in_degree diamond 3);
+  Alcotest.(check int) "out 0" 2 (Digraph.out_degree diamond 0);
+  Alcotest.(check int) "absent" 0 (Digraph.in_degree diamond 99)
+
+let test_equal () =
+  let a = Digraph.of_edges [ (1, 2); (2, 3) ] in
+  let b = Digraph.of_edges [ (2, 3); (1, 2) ] in
+  Alcotest.(check bool) "order independent" true (Digraph.equal a b);
+  Alcotest.(check bool) "different" false (Digraph.equal a diamond)
+
+let test_topo_sort () =
+  let order = Topo.sort diamond in
+  Alcotest.(check int) "all vertices" 4 (List.length order);
+  let rank v =
+    let rec idx i = function
+      | [] -> Alcotest.failf "missing %d" v
+      | x :: rest -> if x = v then i else idx (i + 1) rest
+    in
+    idx 0 order
+  in
+  List.iter
+    (fun (u, v) ->
+      if rank u >= rank v then Alcotest.failf "edge (%d,%d) violated" u v)
+    (Digraph.edges diamond)
+
+let test_topo_deterministic () =
+  Alcotest.(check (list int)) "smallest-first" [ 0; 1; 2; 3 ] (Topo.sort diamond)
+
+let test_cycle_detection () =
+  let g = Digraph.of_edges [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "not dag" false (Topo.is_dag g);
+  (match Topo.sort g with
+  | _ -> Alcotest.fail "expected Cycle"
+  | exception Topo.Cycle cyc ->
+    Alcotest.(check bool) "cycle nonempty" true (List.length cyc >= 2));
+  Alcotest.(check bool) "dag ok" true (Topo.is_dag diamond)
+
+let test_reachable () =
+  Alcotest.check Helpers.iset "from 0" (Helpers.set_of [ 0; 1; 2; 3 ]) (Topo.reachable diamond 0);
+  Alcotest.check Helpers.iset "from 1" (Helpers.set_of [ 1; 3 ]) (Topo.reachable diamond 1);
+  Alcotest.check Helpers.iset "co from 3" (Helpers.set_of [ 0; 1; 2; 3 ])
+    (Topo.co_reachable diamond 3);
+  Alcotest.(check bool) "path 0->3" true (Topo.has_path diamond 0 3);
+  Alcotest.(check bool) "no path 1->2" false (Topo.has_path diamond 1 2);
+  Alcotest.(check bool) "trivial path" true (Topo.has_path diamond 2 2)
+
+let test_sources_sinks () =
+  Alcotest.check Helpers.iset "sources" (Helpers.set_of [ 0 ]) (Topo.sources diamond);
+  Alcotest.check Helpers.iset "sinks" (Helpers.set_of [ 3 ]) (Topo.sinks diamond)
+
+let test_components () =
+  let g = Digraph.of_edges [ (0, 1); (2, 3) ] in
+  let g = Digraph.add_vertex g 9 in
+  let comps = Topo.undirected_components g in
+  Alcotest.(check int) "three components" 3 (List.length comps);
+  Alcotest.check Helpers.iset "first" (Helpers.set_of [ 0; 1 ]) (List.nth comps 0);
+  Alcotest.check Helpers.iset "singleton last" (Helpers.set_of [ 9 ]) (List.nth comps 2)
+
+let test_weak_connectivity () =
+  Alcotest.(check bool) "diamond subset" true
+    (Topo.is_weakly_connected diamond (Helpers.set_of [ 0; 1; 3 ]));
+  Alcotest.(check bool) "disconnected pair" false
+    (Topo.is_weakly_connected diamond (Helpers.set_of [ 1; 2 ]));
+  Alcotest.(check bool) "singleton" true
+    (Topo.is_weakly_connected diamond (Helpers.set_of [ 2 ]));
+  Alcotest.(check bool) "empty" true (Topo.is_weakly_connected diamond Iset.empty)
+
+let test_wgraph_basics () =
+  let g = Wgraph.add_edge Wgraph.empty 1 2 3.0 in
+  Alcotest.check (Helpers.float_close ()) "weight" 3.0 (Wgraph.weight g 1 2);
+  Alcotest.check (Helpers.float_close ()) "symmetric" 3.0 (Wgraph.weight g 2 1);
+  let g = Wgraph.add_edge g 1 2 0.5 in
+  Alcotest.check (Helpers.float_close ()) "accumulates" 3.5 (Wgraph.weight g 1 2);
+  Alcotest.check (Helpers.float_close ()) "absent" 0.0 (Wgraph.weight g 1 9)
+
+let test_wgraph_invalid () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Wgraph.add_edge: self loop")
+    (fun () -> ignore (Wgraph.add_edge Wgraph.empty 1 1 1.0));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Wgraph.add_edge: weight must be positive") (fun () ->
+      ignore (Wgraph.add_edge Wgraph.empty 1 2 0.0))
+
+let test_wgraph_of_digraph () =
+  (* Antiparallel edges accumulate into one undirected edge. *)
+  let d = Digraph.of_edges [ (1, 2); (2, 1) ] in
+  let w = Wgraph.of_digraph (fun _ _ -> 2.0) d in
+  Alcotest.check (Helpers.float_close ()) "merged" 4.0 (Wgraph.weight w 1 2);
+  Alcotest.(check int) "one undirected edge" 1 (List.length (Wgraph.edges w))
+
+let test_wgraph_cut_weight () =
+  let w = Wgraph.of_digraph (fun u v -> float_of_int ((10 * u) + v)) diamond in
+  (* Edges: 0-1 w=1, 0-2 w=2, 1-3 w=13, 2-3 w=23; cut {0,1} crosses 0-2 and 1-3. *)
+  Alcotest.check (Helpers.float_close ()) "cut" 15.0
+    (Wgraph.cut_weight w (Helpers.set_of [ 0; 1 ]));
+  Alcotest.check (Helpers.float_close ()) "total" 39.0 (Wgraph.total_weight w)
+
+let test_wgraph_connected () =
+  let w = Wgraph.add_edge Wgraph.empty 1 2 1.0 in
+  Alcotest.(check bool) "connected" true (Wgraph.is_connected w);
+  let w = Wgraph.add_vertex w 9 in
+  Alcotest.(check bool) "disconnected" false (Wgraph.is_connected w);
+  Alcotest.(check bool) "empty" true (Wgraph.is_connected Wgraph.empty)
+
+let test_partition_valid () =
+  let p = [ Helpers.set_of [ 0; 1 ]; Helpers.set_of [ 2; 3 ] ] in
+  Alcotest.(check bool) "valid" true (Partition.is_valid diamond p);
+  Alcotest.(check bool) "missing vertex" false
+    (Partition.is_valid diamond [ Helpers.set_of [ 0; 1 ] ]);
+  Alcotest.(check bool) "overlap" false
+    (Partition.is_valid diamond [ Helpers.set_of [ 0; 1; 2 ]; Helpers.set_of [ 2; 3 ] ])
+
+let test_partition_singletons () =
+  let p = Partition.singletons diamond in
+  Alcotest.(check int) "four blocks" 4 (List.length p);
+  Alcotest.(check bool) "valid" true (Partition.is_valid diamond p)
+
+let test_partition_block_of () =
+  let p = [ Helpers.set_of [ 0; 1 ]; Helpers.set_of [ 2; 3 ] ] in
+  Alcotest.check Helpers.iset "block of 2" (Helpers.set_of [ 2; 3 ]) (Partition.block_of p 2);
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Partition.block_of p 9))
+
+let weight_all_one _ _ = 1.0
+
+let test_partition_objective () =
+  let p = [ Helpers.set_of [ 0; 1 ]; Helpers.set_of [ 2; 3 ] ] in
+  (* In-block edges: (0,1) and (2,3); crossing: (0,2) and (1,3). *)
+  Alcotest.check (Helpers.float_close ()) "objective" 2.0
+    (Partition.objective weight_all_one diamond p);
+  Alcotest.check (Helpers.float_close ()) "crossing" 2.0
+    (Partition.crossing_weight weight_all_one diamond p);
+  (* Eq. 13: objective + crossing = total. *)
+  Alcotest.check (Helpers.float_close ()) "conservation" 4.0
+    (Partition.objective weight_all_one diamond p
+    +. Partition.crossing_weight weight_all_one diamond p)
+
+let test_partition_equal () =
+  let p = [ Helpers.set_of [ 2; 3 ]; Helpers.set_of [ 0; 1 ] ] in
+  let q = [ Helpers.set_of [ 0; 1 ]; Helpers.set_of [ 2; 3 ] ] in
+  Alcotest.(check bool) "order independent" true (Partition.equal p q);
+  Alcotest.(check bool) "different" false (Partition.equal p (Partition.singletons diamond))
+
+let suite =
+  [
+    Alcotest.test_case "Digraph.add_vertex" `Quick test_add_vertex;
+    Alcotest.test_case "Digraph.add_edge" `Quick test_add_edge;
+    Alcotest.test_case "Digraph self loop" `Quick test_self_loop_rejected;
+    Alcotest.test_case "Digraph.remove_edge" `Quick test_remove_edge;
+    Alcotest.test_case "Digraph.remove_vertex" `Quick test_remove_vertex;
+    Alcotest.test_case "Digraph.induced" `Quick test_induced;
+    Alcotest.test_case "Digraph degrees" `Quick test_degrees;
+    Alcotest.test_case "Digraph.equal" `Quick test_equal;
+    Alcotest.test_case "Topo.sort respects edges" `Quick test_topo_sort;
+    Alcotest.test_case "Topo.sort deterministic" `Quick test_topo_deterministic;
+    Alcotest.test_case "Topo cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "Topo reachability" `Quick test_reachable;
+    Alcotest.test_case "Topo sources/sinks" `Quick test_sources_sinks;
+    Alcotest.test_case "Topo components" `Quick test_components;
+    Alcotest.test_case "Topo weak connectivity" `Quick test_weak_connectivity;
+    Alcotest.test_case "Wgraph basics" `Quick test_wgraph_basics;
+    Alcotest.test_case "Wgraph invalid edges" `Quick test_wgraph_invalid;
+    Alcotest.test_case "Wgraph.of_digraph merges antiparallel" `Quick test_wgraph_of_digraph;
+    Alcotest.test_case "Wgraph cut weight" `Quick test_wgraph_cut_weight;
+    Alcotest.test_case "Wgraph connectivity" `Quick test_wgraph_connected;
+    Alcotest.test_case "Partition validity" `Quick test_partition_valid;
+    Alcotest.test_case "Partition.singletons" `Quick test_partition_singletons;
+    Alcotest.test_case "Partition.block_of" `Quick test_partition_block_of;
+    Alcotest.test_case "Partition objective & Eq. 13" `Quick test_partition_objective;
+    Alcotest.test_case "Partition.equal" `Quick test_partition_equal;
+  ]

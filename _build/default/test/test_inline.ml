@@ -1,0 +1,191 @@
+(* Tests for the producer-inlining extension. *)
+
+module F = Kfuse_fusion
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Eval = Kfuse_ir.Eval
+module Image = Kfuse_image.Image
+module Mask = Kfuse_image.Mask
+
+let config = F.Config.default
+
+(* A cheap point producer shared by two consumers — the Figure 2c shape
+   the partition model cannot eliminate. *)
+let shared_cheap =
+  let open Expr in
+  Pipeline.create ~name:"shared" ~width:16 ~height:12 ~inputs:[ "in" ]
+    [
+      Kernel.map ~name:"twice" ~inputs:[ "in" ] (input "in" * Const 2.0);
+      Kernel.map ~name:"a" ~inputs:[ "twice" ] (input "twice" + Const 1.0);
+      Kernel.map ~name:"b" ~inputs:[ "twice" ] (input "twice" - Const 1.0);
+    ]
+
+let rng = Kfuse_util.Rng.create 414
+
+let check_semantics name before after =
+  let inputs =
+    List.map
+      (fun n ->
+        (n, Image.random rng ~width:before.Pipeline.width ~height:before.Pipeline.height
+              ~lo:0.0 ~hi:1.0))
+      before.Pipeline.inputs
+  in
+  let env = Eval.env_of_list inputs in
+  let ra = Eval.run_outputs before env and rb = Eval.run_outputs after env in
+  List.iter2
+    (fun (n1, x) (n2, y) ->
+      Alcotest.(check string) (name ^ " names") n1 n2;
+      Alcotest.(check bool) (name ^ " exact") true (Image.max_abs_diff x y < 1e-9))
+    ra rb
+
+let test_inline_image_basic () =
+  let p' = F.Inline_fusion.inline_image shared_cheap "twice" in
+  Alcotest.(check int) "producer removed" 2 (Pipeline.num_kernels p');
+  Alcotest.(check bool) "gone" true (Pipeline.index_of p' "twice" = None);
+  check_semantics "basic" shared_cheap p'
+
+let test_judge_profitable () =
+  match F.Inline_fusion.judge config shared_cheap "twice" with
+  | F.Inline_fusion.Inline { saved; cost } ->
+    (* saved = IS*tg*(1 + 2 consumers) = 1200; cost = 2 * cost_op(2 alu) *
+       IS_ks(1) * 1 tap = 16. *)
+    Alcotest.check (Helpers.float_close ()) "saved" 1200.0 saved;
+    Alcotest.check (Helpers.float_close ()) "cost" 16.0 cost
+  | v -> Alcotest.failf "expected Inline, got %s" (F.Inline_fusion.verdict_to_string v)
+
+let test_judge_output_kept () =
+  (* 'a' and 'b' are pipeline outputs. *)
+  match F.Inline_fusion.judge config shared_cheap "a" with
+  | F.Inline_fusion.Keep_output -> ()
+  | v -> Alcotest.failf "expected Keep_output, got %s" (F.Inline_fusion.verdict_to_string v)
+
+let test_judge_expensive_producer () =
+  (* A compute-heavy producer consumed through windows: recompute cost
+     dwarfs the saved traffic. *)
+  let p =
+    let open Expr in
+    Pipeline.create ~name:"heavy" ~width:16 ~height:12 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"costly" ~inputs:[ "in" ]
+          (Kfuse_apps.Night.atrous_body ~border:Kfuse_image.Border.Clamp ~step:1 "in");
+        Kernel.map ~name:"blurred" ~inputs:[ "costly" ]
+          (conv Mask.gaussian_3x3 "costly");
+      ]
+  in
+  match F.Inline_fusion.judge config p "costly" with
+  | F.Inline_fusion.Keep_unprofitable { saved; cost } ->
+    Alcotest.(check bool) "cost dominates" true (cost > saved)
+  | v -> Alcotest.failf "expected unprofitable, got %s" (F.Inline_fusion.verdict_to_string v)
+
+let test_inline_windowed_consumer_borders () =
+  (* Inlining a local producer through a windowed consumer must replay
+     border handling (index exchange), just like block fusion. *)
+  let p =
+    let open Expr in
+    Pipeline.create ~name:"lw" ~width:11 ~height:9 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"g1" ~inputs:[ "in" ]
+          (conv ~border:Kfuse_image.Border.Clamp Mask.gaussian_3x3 "in");
+        Kernel.map ~name:"g2" ~inputs:[ "g1" ]
+          (conv ~border:Kfuse_image.Border.Clamp Mask.gaussian_3x3 "g1");
+        Kernel.map ~name:"diff" ~inputs:[ "g1"; "in" ] (input "in" - input "g1");
+      ]
+  in
+  (* g1 has two consumers (one windowed, one point): partition fusion is
+     stuck (Fig 2c), inlining is not. *)
+  let p' = F.Inline_fusion.inline_image p "g1" in
+  Alcotest.(check int) "two kernels left" 2 (Pipeline.num_kernels p');
+  check_semantics "windowed" p p';
+  (* Without exchange the halo would differ. *)
+  let naive = F.Inline_fusion.inline_image ~exchange:false p "g1" in
+  let img = Image.random rng ~width:11 ~height:9 ~lo:0.0 ~hi:1.0 in
+  let env = Eval.env_of_list [ ("in", img) ] in
+  let reference = List.assoc "g2" (Eval.run_outputs p env) in
+  let got = List.assoc "g2" (Eval.run_outputs naive env) in
+  Alcotest.(check bool) "naive differs in halo" true (Image.max_abs_diff reference got > 1e-9)
+
+let test_greedy_on_night_rgb () =
+  (* The fusion-hostile night_rgb DAG: greedy inlining eliminates the
+     shared luminance (cheap, point-consumed) but keeps the expensive
+     a-trous stages. *)
+  let p = Kfuse_apps.Extra.night_rgb_pipeline ~width:20 ~height:14 () in
+  let p', applied = F.Inline_fusion.greedy config p in
+  Alcotest.(check bool) "lum inlined" true (List.mem "lum" applied);
+  Alcotest.(check bool) "atrous kept" true
+    (Option.is_some (Pipeline.index_of p' "atrous1_r"));
+  check_semantics "night_rgb" p p'
+
+let test_greedy_idempotent_when_nothing_to_do () =
+  let p = Kfuse_apps.Sobel.pipeline ~width:16 ~height:12 () in
+  (* dx and dy each feed only mag but removing them... they are inlineable
+     candidates; after greedy, re-running finds nothing. *)
+  let p', _ = F.Inline_fusion.greedy config p in
+  let p'', applied = F.Inline_fusion.greedy config p' in
+  Alcotest.(check (list string)) "fixpoint" [] applied;
+  Alcotest.(check int) "same kernels" (Pipeline.num_kernels p') (Pipeline.num_kernels p'')
+
+let test_chained_inline_shift_frames () =
+  (* Regression: after inlining a producer into a windowed consumer, the
+     consumer body contains point reads inside Shift frames.  A later
+     inline of those reads must NOT share an outer register across the
+     frames — the value differs per shifted position. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"chain" ~width:12 ~height:9 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"z" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"a" ~inputs:[ "z" ] (input "z" + Const 1.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ]
+          (conv Kfuse_image.Mask.gaussian_3x3 "a");
+      ]
+  in
+  let img = Image.random rng ~width:12 ~height:9 ~lo:0.0 ~hi:1.0 in
+  let env = Eval.env_of_list [ ("in", img) ] in
+  let reference = Eval.run_outputs p env in
+  (* First inline creates the Shift frames, second hits reads inside
+     them. *)
+  let p1 = F.Inline_fusion.inline_image p "a" in
+  let p2 = F.Inline_fusion.inline_image p1 "z" in
+  let outs = Eval.run_outputs p2 env in
+  List.iter2
+    (fun (_, a) (_, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chained inline exact (maxdiff %g)" (Image.max_abs_diff a b))
+        true
+        (Image.max_abs_diff a b < 1e-9))
+    reference outs
+
+let test_driver_inline_flag () =
+  (* Through the driver: inlining + min-cut on Sobel collapses everything
+     before the partitioner even runs, and stays exact. *)
+  let p = Kfuse_apps.Sobel.pipeline ~width:18 ~height:14 () in
+  let r = F.Driver.run ~inline:true config F.Driver.Mincut p in
+  Alcotest.(check (list string)) "derivatives inlined" [ "dx"; "dy" ]
+    (List.sort String.compare r.F.Driver.inlined);
+  Alcotest.(check int) "single kernel" 1 (F.Driver.fused_kernel_count r);
+  check_semantics "driver inline" p r.F.Driver.fused;
+  (* The report's partition refers to the post-inline pipeline. *)
+  Alcotest.(check int) "input pipeline rewritten" 1
+    (Pipeline.num_kernels r.F.Driver.input)
+
+let test_invalid_requests () =
+  Helpers.expect_invalid "unknown image" (fun () ->
+      F.Inline_fusion.inline_image shared_cheap "ghost");
+  Helpers.expect_invalid "pipeline output" (fun () ->
+      F.Inline_fusion.inline_image shared_cheap "a")
+
+let suite =
+  [
+    Alcotest.test_case "inline_image basic" `Quick test_inline_image_basic;
+    Alcotest.test_case "judge profitable" `Quick test_judge_profitable;
+    Alcotest.test_case "judge keeps outputs" `Quick test_judge_output_kept;
+    Alcotest.test_case "judge expensive producer" `Quick test_judge_expensive_producer;
+    Alcotest.test_case "windowed consumer borders" `Quick test_inline_windowed_consumer_borders;
+    Alcotest.test_case "greedy on night_rgb" `Quick test_greedy_on_night_rgb;
+    Alcotest.test_case "greedy fixpoint" `Quick test_greedy_idempotent_when_nothing_to_do;
+    Alcotest.test_case "chained inline across shift frames" `Quick
+      test_chained_inline_shift_frames;
+    Alcotest.test_case "driver inline flag" `Quick test_driver_inline_flag;
+    Alcotest.test_case "invalid requests" `Quick test_invalid_requests;
+  ]

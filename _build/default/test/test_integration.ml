@@ -1,0 +1,209 @@
+(* End-to-end integration: every application, fused under every strategy,
+   is pixel-identical to the unfused baseline, and the simulated
+   performance reproduces the paper's qualitative results (Tables I-II). *)
+
+module F = Kfuse_fusion
+module G = Kfuse_gpu
+module Pipeline = Kfuse_ir.Pipeline
+module Kernel = Kfuse_ir.Kernel
+module Eval = Kfuse_ir.Eval
+module Image = Kfuse_image.Image
+module Iset = Kfuse_util.Iset
+module Stats = Kfuse_util.Stats
+module Registry = Kfuse_apps.Registry
+
+let config = F.Config.default
+
+let fused_names (p : Pipeline.t) (r : F.Driver.report) =
+  List.filter_map
+    (fun b ->
+      if Iset.cardinal b >= 2 then
+        Some (Pipeline.kernel p (Iset.min_elt (F.Legality.block_sinks p b))).Kernel.name
+      else None)
+    r.F.Driver.partition
+
+let test_all_apps_all_strategies_exact () =
+  let rng = Kfuse_util.Rng.create 404 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = e.Registry.small ~width:21 ~height:17 in
+      let inputs =
+        List.map
+          (fun n -> (n, Image.random rng ~width:21 ~height:17 ~lo:0.05 ~hi:1.0))
+          p.Pipeline.inputs
+      in
+      let env = Eval.env_of_list inputs in
+      let reference = Eval.run_outputs p env in
+      List.iter
+        (fun s ->
+          let r = F.Driver.run config s p in
+          let outs = Eval.run_outputs r.F.Driver.fused env in
+          List.iter2
+            (fun (n1, a) (n2, b) ->
+              Alcotest.(check string) "names" n1 n2;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s/%s exact" e.Registry.name
+                   (F.Driver.strategy_to_string s) n1)
+                true
+                (Image.max_abs_diff a b < 1e-9))
+            reference outs)
+        F.Driver.all_strategies)
+    Registry.all
+
+let test_inline_path_exact_everywhere () =
+  (* The inlining pre-pass + min-cut fusion stays pixel-exact on every
+     application (including the aggressive whole-Harris collapse). *)
+  let rng = Kfuse_util.Rng.create 505 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = e.Registry.small ~width:19 ~height:15 in
+      let inputs =
+        List.map
+          (fun n -> (n, Image.random rng ~width:19 ~height:15 ~lo:0.05 ~hi:1.0))
+          p.Pipeline.inputs
+      in
+      let env = Eval.env_of_list inputs in
+      let reference = Eval.run_outputs p env in
+      let r = F.Driver.run ~inline:true ~optimize:true config F.Driver.Mincut p in
+      let outs = Eval.run_outputs r.F.Driver.fused env in
+      List.iter2
+        (fun (n1, a) (n2, b) ->
+          Alcotest.(check string) "names" n1 n2;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s inline+optimize exact (maxdiff %g)" e.Registry.name
+               (Image.max_abs_diff a b))
+            true
+            (Image.max_abs_diff a b < 1e-6))
+        reference outs)
+    Registry.all
+
+let test_fused_kernel_counts () =
+  (* Kernel counts after optimized fusion, per Section V-C. *)
+  List.iter
+    (fun (name, expected) ->
+      let e = Option.get (Registry.find name) in
+      let p = e.Registry.pipeline () in
+      let r = F.Driver.run config F.Driver.Mincut p in
+      Alcotest.(check int) (name ^ " kernels") expected (F.Driver.fused_kernel_count r))
+    [ ("harris", 6); ("sobel", 1); ("unsharp", 1); ("shitomasi", 6); ("enhance", 1);
+      ("night", 2) ]
+
+let median_time device quality strategy (p : Pipeline.t) =
+  let r = F.Driver.run config strategy p in
+  (G.Sim.measure device ~quality ~fused_kernels:(fused_names p r) r.F.Driver.fused)
+    .G.Sim.summary.Stats.median
+
+let speedups device (p : Pipeline.t) =
+  let base = median_time device G.Perf_model.Optimized F.Driver.Baseline p in
+  let basic = median_time device G.Perf_model.Basic_codegen F.Driver.Basic p in
+  let opt = median_time device G.Perf_model.Optimized F.Driver.Mincut p in
+  (base /. opt, base /. basic, basic /. opt)
+
+let test_speedups_qualitative () =
+  (* Shape checks against Table I: on every device, optimized fusion never
+     loses to baseline by more than noise, Unsharp shows the largest gain,
+     Night the smallest; basic fusion gains nothing on Sobel/Unsharp. *)
+  List.iter
+    (fun device ->
+      let s name =
+        let e = Option.get (Registry.find name) in
+        speedups device (e.Registry.pipeline ())
+      in
+      let h_ob, h_bb, _ = s "harris" in
+      let so_ob, so_bb, _ = s "sobel" in
+      let u_ob, u_bb, _ = s "unsharp" in
+      let e_ob, e_bb, _ = s "enhance" in
+      let n_ob, _, n_basic_opt = s "night" in
+      let dev = device.G.Device.name in
+      Alcotest.(check bool) (dev ^ ": harris gains") true (h_ob > 1.05);
+      Alcotest.(check bool) (dev ^ ": harris basic gains less") true
+        (h_bb > 1.0 && h_bb < h_ob);
+      Alcotest.(check bool) (dev ^ ": sobel optimized gains") true (so_ob > 1.2);
+      Alcotest.(check bool) (dev ^ ": sobel basic flat") true (Float.abs (so_bb -. 1.0) < 0.05);
+      Alcotest.(check bool) (dev ^ ": unsharp largest") true
+        (u_ob > h_ob && u_ob > e_ob && u_ob > n_ob && u_ob > 2.0);
+      Alcotest.(check bool) (dev ^ ": unsharp basic flat") true
+        (Float.abs (u_bb -. 1.0) < 0.05);
+      Alcotest.(check bool) (dev ^ ": enhance gains") true (e_ob > 1.4);
+      Alcotest.(check bool) (dev ^ ": enhance basic most of it") true (e_bb > 1.3);
+      Alcotest.(check bool) (dev ^ ": night flat-ish") true (n_ob >= 0.98 && n_ob < 1.15);
+      Alcotest.(check bool) (dev ^ ": night basic = optimized") true
+        (Float.abs (n_basic_opt -. 1.0) < 0.05))
+    G.Device.all
+
+let test_geomean_table2_shape () =
+  (* Table II: geometric means across the three GPUs keep the paper's
+     ordering unsharp > enhance > {harris, shitomasi} > night, with the
+     headline "up to 2.52x" at unsharp >= 2. *)
+  let geo name =
+    let e = Option.get (Registry.find name) in
+    let p = e.Registry.pipeline () in
+    Stats.geomean
+      (List.map (fun d -> let ob, _, _ = speedups d p in ob) G.Device.all)
+  in
+  let u = geo "unsharp" and h = geo "harris" and st = geo "shitomasi" in
+  let en = geo "enhance" and n = geo "night" in
+  Alcotest.(check bool) "unsharp headline" true (u >= 2.0);
+  Alcotest.(check bool) "unsharp > enhance" true (u > en);
+  Alcotest.(check bool) "enhance > harris" true (en > h);
+  Alcotest.(check bool) "harris ~ shitomasi" true (Float.abs (h -. st) < 0.1);
+  Alcotest.(check bool) "harris > night" true (h > n);
+  Alcotest.(check bool) "night ~ 1" true (n < 1.1)
+
+let test_dsl_to_cuda_end_to_end () =
+  (* DSL text -> IR -> fusion -> CUDA, with interpreter equivalence. *)
+  let src =
+    {|pipeline edges(img) {
+        size 24 18
+        gx = conv(img, sobelx, mirror)
+        gy = conv(img, sobely, mirror)
+        mag = sqrt(gx*gx + gy*gy)
+      }|}
+  in
+  match Kfuse_dsl.Elaborate.parse_pipeline src with
+  | Error e -> Alcotest.failf "dsl failed: %s" e
+  | Ok p ->
+    let r = F.Driver.run config F.Driver.Mincut p in
+    Alcotest.(check int) "fully fused" 1 (F.Driver.fused_kernel_count r);
+    let rng = Kfuse_util.Rng.create 5 in
+    let img = Image.random rng ~width:24 ~height:18 ~lo:0.0 ~hi:1.0 in
+    let env = Eval.env_of_list [ ("img", img) ] in
+    let a = snd (List.hd (Eval.run_outputs p env)) in
+    let b = snd (List.hd (Eval.run_outputs r.F.Driver.fused env)) in
+    Alcotest.(check bool) "exact" true (Image.max_abs_diff a b < 1e-9);
+    let cu = Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused in
+    Alcotest.(check bool) "cuda nonempty" true (String.length cu > 500)
+
+let test_night_rgb_planes () =
+  (* The Night pipeline runs per plane; three planes through the same
+     kernels behave like three independent gray images. *)
+  let p = Kfuse_apps.Night.pipeline ~width:12 ~height:10 ~channels:3 () in
+  Alcotest.(check int) "IS counts planes" (12 * 10 * 3) (Pipeline.is_pixels p);
+  let rng = Kfuse_util.Rng.create 8 in
+  let planes =
+    List.init 3 (fun _ -> Image.random rng ~width:12 ~height:10 ~lo:0.05 ~hi:1.0)
+  in
+  let r = F.Driver.run config F.Driver.Mincut p in
+  List.iter
+    (fun plane ->
+      let env = Eval.env_of_list [ ("in", plane) ] in
+      let a = Eval.run_outputs p env in
+      let b = Eval.run_outputs r.F.Driver.fused env in
+      List.iter2
+        (fun (_, x) (_, y) ->
+          Alcotest.(check bool) "plane exact" true (Image.max_abs_diff x y < 1e-9))
+        a b)
+    planes
+
+let suite =
+  [
+    Alcotest.test_case "all apps x strategies pixel-exact" `Slow
+      test_all_apps_all_strategies_exact;
+    Alcotest.test_case "inline path exact everywhere" `Slow
+      test_inline_path_exact_everywhere;
+    Alcotest.test_case "fused kernel counts" `Quick test_fused_kernel_counts;
+    Alcotest.test_case "Table I qualitative shape" `Quick test_speedups_qualitative;
+    Alcotest.test_case "Table II geomean shape" `Quick test_geomean_table2_shape;
+    Alcotest.test_case "DSL to CUDA end-to-end" `Quick test_dsl_to_cuda_end_to_end;
+    Alcotest.test_case "night RGB planes" `Slow test_night_rgb_planes;
+  ]

@@ -1,0 +1,93 @@
+(* Tests for Karger's randomized min cut, cross-validated against
+   Stoer-Wagner. *)
+
+module Iset = Kfuse_util.Iset
+module Rng = Kfuse_util.Rng
+module Wgraph = Kfuse_graph.Wgraph
+module Karger = Kfuse_graph.Karger
+module Sw = Kfuse_graph.Stoer_wagner
+
+let graph edges =
+  List.fold_left (fun g (u, v, w) -> Wgraph.add_edge g u v w) Wgraph.empty edges
+
+let test_pair () =
+  let rng = Rng.create 1 in
+  let w, side = Karger.min_cut rng (graph [ (0, 1, 5.0) ]) in
+  Alcotest.check (Helpers.float_close ()) "weight" 5.0 w;
+  Alcotest.(check int) "side size" 1 (Iset.cardinal side)
+
+let test_path () =
+  let rng = Rng.create 2 in
+  let w, _ = Karger.min_cut rng (graph [ (0, 1, 4.0); (1, 2, 1.0); (2, 3, 3.0) ]) in
+  Alcotest.check (Helpers.float_close ()) "weak middle edge" 1.0 w
+
+let test_stoer_wagner_example () =
+  let g =
+    graph
+      [
+        (1, 2, 2.); (1, 5, 3.); (2, 3, 3.); (2, 5, 2.); (2, 6, 2.); (3, 4, 4.);
+        (3, 7, 2.); (4, 7, 2.); (4, 8, 2.); (5, 6, 3.); (6, 7, 1.); (7, 8, 3.);
+      ]
+  in
+  let rng = Rng.create 3 in
+  let w, side = Karger.min_cut rng g in
+  Alcotest.check (Helpers.float_close ()) "min cut 4" 4.0 w;
+  Alcotest.check (Helpers.float_close ()) "side consistent" w (Wgraph.cut_weight g side)
+
+let test_weighted_bias () =
+  (* A heavy edge should essentially never be the reported cut when a
+     light alternative exists. *)
+  let g = graph [ (0, 1, 1000.0); (1, 2, 0.001) ] in
+  let rng = Rng.create 4 in
+  let w, _ = Karger.min_cut rng g in
+  Alcotest.check (Helpers.float_close ~eps:1e-9 ()) "light cut" 0.001 w
+
+let test_matches_stoer_wagner_randomized () =
+  (* Random graphs: with the default attempt count, Karger finds the
+     Stoer-Wagner optimum. *)
+  let rng_graphs = Rng.create 77 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng_graphs 6 in
+    let g = ref Wgraph.empty in
+    for i = 1 to n - 1 do
+      g := Wgraph.add_edge !g (Rng.int rng_graphs i) i (0.1 +. Rng.float rng_graphs 5.0)
+    done;
+    for _ = 1 to n do
+      let u = Rng.int rng_graphs n and v = Rng.int rng_graphs n in
+      if u <> v then g := Wgraph.add_edge !g u v (0.1 +. Rng.float rng_graphs 5.0)
+    done;
+    let exact, _ = Sw.min_cut !g in
+    let approx, _ = Karger.min_cut (Rng.create 5) !g in
+    Alcotest.check (Helpers.float_close ~eps:1e-9 ()) "agrees with Stoer-Wagner" exact
+      approx
+  done
+
+let test_deterministic_given_seed () =
+  let g = graph [ (0, 1, 2.0); (1, 2, 3.0); (2, 0, 1.5); (2, 3, 0.7) ] in
+  let a = Karger.min_cut (Rng.create 9) g in
+  let b = Karger.min_cut (Rng.create 9) g in
+  Alcotest.(check bool) "reproducible" true (a = b)
+
+let test_disconnected () =
+  let g = Wgraph.add_vertex (graph [ (0, 1, 3.0) ]) 9 in
+  let w, _ = Karger.min_cut (Rng.create 10) g in
+  Alcotest.check (Helpers.float_close ()) "zero" 0.0 w
+
+let test_invalid () =
+  Helpers.expect_invalid "too small" (fun () ->
+      Karger.min_cut (Rng.create 1) (Wgraph.add_vertex Wgraph.empty 1));
+  Helpers.expect_invalid "bad attempts" (fun () ->
+      Karger.min_cut ~attempts:0 (Rng.create 1) (graph [ (0, 1, 1.0) ]))
+
+let suite =
+  [
+    Alcotest.test_case "pair" `Quick test_pair;
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "Stoer-Wagner paper example" `Quick test_stoer_wagner_example;
+    Alcotest.test_case "weighted bias" `Quick test_weighted_bias;
+    Alcotest.test_case "matches Stoer-Wagner on random graphs" `Slow
+      test_matches_stoer_wagner_randomized;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for Kfuse_fusion.Legality: the dependence scenarios of Figure 2,
+   the resource constraint of Eq. 2, and header/global checks. *)
+
+module F = Kfuse_fusion
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Iset = Kfuse_util.Iset
+
+let config = F.Config.default
+
+let point name inputs body = Kernel.map ~name ~inputs body
+
+let pipe kernels =
+  Pipeline.create ~name:"t" ~width:64 ~height:64 ~inputs:[ "in" ] kernels
+
+let check_block p ids expected_ok =
+  let result = F.Legality.check config p (Helpers.set_of ids) in
+  Alcotest.(check bool)
+    (Printf.sprintf "block %s" (String.concat "," (List.map string_of_int ids)))
+    expected_ok
+    (match result with Ok () -> true | Error _ -> false)
+
+let reason p ids =
+  match F.Legality.check config p (Helpers.set_of ids) with
+  | Ok () -> Alcotest.fail "expected illegal block"
+  | Error r -> r
+
+(* Figure 2a: a straight chain in -> a -> b -> c. *)
+let chain =
+  let open Expr in
+  pipe
+    [
+      point "a" [ "in" ] (input "in" * Const 2.0);
+      point "b" [ "a" ] (input "a" + Const 1.0);
+      point "c" [ "b" ] (input "b" * input "b");
+    ]
+
+let test_true_dependence () =
+  check_block chain [ 0; 1 ] true;
+  check_block chain [ 1; 2 ] true;
+  check_block chain [ 0; 1; 2 ] true
+
+let test_singleton_always_legal () =
+  check_block chain [ 0 ] true;
+  check_block chain [ 2 ] true
+
+let test_not_connected () =
+  (match reason chain [ 0; 2 ] with
+  | F.Legality.Not_connected -> ()
+  | r -> Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string chain r))
+
+(* Figure 2b: shared input — all kernels read the pipeline input. *)
+let shared_input =
+  let open Expr in
+  pipe
+    [
+      point "a" [ "in" ] (input "in" * Const 2.0);
+      point "b" [ "in"; "a" ] (input "in" - input "a");
+      point "c" [ "in"; "b" ] (input "in" + input "b");
+    ]
+
+let test_fig2b_shared_input_legal () =
+  check_block shared_input [ 0; 1 ] true;
+  check_block shared_input [ 0; 1; 2 ] true
+
+(* Figure 2c: external output — a's output is consumed outside the block. *)
+let external_output =
+  let open Expr in
+  pipe
+    [
+      point "a" [ "in" ] (input "in" * Const 2.0);
+      point "b" [ "a" ] (input "a" + Const 1.0);
+      point "other" [ "a" ] (input "a" - Const 1.0);
+    ]
+
+let test_fig2c_external_output () =
+  (match reason external_output [ 0; 1 ] with
+  | F.Legality.External_output { kernel = 0; _ } -> ()
+  | r ->
+    Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string external_output r));
+  (* Enclosing the second consumer legalizes... but then two sinks. *)
+  match reason external_output [ 0; 1; 2 ] with
+  | F.Legality.Multiple_sinks _ -> ()
+  | r -> Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string external_output r)
+
+(* Figure 2d: external input — b reads an image produced outside the block
+   that is not an input of the block source. *)
+let external_input =
+  let open Expr in
+  pipe
+    [
+      point "x" [ "in" ] (input "in" * Const 3.0);
+      point "a" [ "in" ] (input "in" * Const 2.0);
+      point "b" [ "a"; "x" ] (input "a" + input "x");
+    ]
+
+let test_fig2d_external_input () =
+  let p = external_input in
+  let a = Option.get (Pipeline.index_of p "a") in
+  let b = Option.get (Pipeline.index_of p "b") in
+  match reason p [ a; b ] with
+  | F.Legality.External_input { image = "x"; _ } -> ()
+  | r -> Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string p r)
+
+let test_global_kernel_blocks () =
+  let open Expr in
+  let p =
+    pipe
+      [
+        point "a" [ "in" ] (input "in" * Const 2.0);
+        Kernel.reduce ~name:"r" ~inputs:[ "a" ] ~init:0.0 ~combine:Expr.Add (input "a");
+      ]
+  in
+  match reason p [ 0; 1 ] with
+  | F.Legality.Global_kernel _ -> ()
+  | r -> Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string p r)
+
+(* Resource: a chain of local kernels accumulates tile radii (Eq. 2). *)
+let local_chain =
+  let open Expr in
+  pipe
+    [
+      Kernel.map ~name:"l1" ~inputs:[ "in" ] (conv Mask.gaussian_3x3 "in");
+      Kernel.map ~name:"l2" ~inputs:[ "l1" ] (conv Mask.gaussian_5x5 "l1");
+      point "p" [ "l2" ] (input "l2" * Const 2.0);
+    ]
+
+let test_resource_violation () =
+  (* Fusing l1 (r=1) into l2 (r=2): tiles r=3 (in) + r=2 (l1) versus the
+     largest standalone tile r=2 -> ratio above 2. *)
+  (match reason local_chain [ 0; 1 ] with
+  | F.Legality.Resource { ratio; _ } ->
+    Alcotest.(check bool) "ratio above threshold" true (ratio > config.F.Config.c_mshared)
+  | r -> Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string local_chain r));
+  (* With a generous threshold the same block becomes legal. *)
+  let loose = { config with F.Config.c_mshared = 10.0 } in
+  Alcotest.(check bool) "legal under loose threshold" true
+    (F.Legality.is_legal loose local_chain (Helpers.set_of [ 0; 1 ]))
+
+let test_local_to_point_resource_ok () =
+  (* l2 + point consumer: the tile radius does not grow. *)
+  check_block local_chain [ 1; 2 ] true
+
+let test_fused_shared_bytes () =
+  let block32x4 = config.F.Config.block in
+  let t r = Kfuse_ir.Cost.tile_bytes block32x4 ~radius:r in
+  (* Singleton blocks equal the standalone usage. *)
+  Alcotest.(check int) "singleton local" (t 1)
+    (F.Legality.fused_shared_bytes config local_chain (Helpers.set_of [ 0 ]));
+  (* l1+l2: the input tile grows to radius 3, plus l1's output at r=2. *)
+  Alcotest.(check int) "accumulated" (t 3 + t 2)
+    (F.Legality.fused_shared_bytes config local_chain (Helpers.set_of [ 0; 1 ]));
+  (* Point-only blocks stage nothing. *)
+  Alcotest.(check int) "points stage nothing" 0
+    (F.Legality.fused_shared_bytes config chain (Helpers.set_of [ 0; 1; 2 ]))
+
+let test_block_sources_sinks () =
+  let p = shared_input in
+  Alcotest.check Helpers.iset "sources" (Helpers.set_of [ 0 ])
+    (F.Legality.block_sources p (Helpers.set_of [ 0; 1; 2 ]));
+  Alcotest.check Helpers.iset "sinks" (Helpers.set_of [ 2 ])
+    (F.Legality.block_sinks p (Helpers.set_of [ 0; 1; 2 ]));
+  Alcotest.check Helpers.iset "partial block sink" (Helpers.set_of [ 1 ])
+    (F.Legality.block_sinks p (Helpers.set_of [ 0; 1 ]))
+
+let test_empty_block_rejected () =
+  Helpers.expect_invalid "empty" (fun () -> F.Legality.check config chain Iset.empty);
+  Helpers.expect_invalid "out of range" (fun () ->
+      F.Legality.check config chain (Helpers.set_of [ 99 ]))
+
+let test_harris_whole_graph_resource () =
+  (* Section III-B: fusing the whole Harris graph violates Eq. 2. *)
+  let p = Kfuse_apps.Harris.pipeline ~width:64 ~height:64 () in
+  let all = Kfuse_util.Iset.of_range 0 (Pipeline.num_kernels p - 1) in
+  match reason p (Iset.elements all) with
+  | F.Legality.Resource { ratio; _ } ->
+    (* The paper argues the usage grows about fivefold; our tile model
+       gives ~4.4. *)
+    Alcotest.(check bool) "ratio in the right ballpark" true (ratio > 3.0 && ratio < 6.0)
+  | r -> Alcotest.failf "wrong reason: %s" (F.Legality.reason_to_string p r)
+
+let suite =
+  [
+    Alcotest.test_case "Fig 2a: true dependence" `Quick test_true_dependence;
+    Alcotest.test_case "singletons legal" `Quick test_singleton_always_legal;
+    Alcotest.test_case "disconnected block" `Quick test_not_connected;
+    Alcotest.test_case "Fig 2b: shared input legal" `Quick test_fig2b_shared_input_legal;
+    Alcotest.test_case "Fig 2c: external output" `Quick test_fig2c_external_output;
+    Alcotest.test_case "Fig 2d: external input" `Quick test_fig2d_external_input;
+    Alcotest.test_case "global kernels unfusible" `Quick test_global_kernel_blocks;
+    Alcotest.test_case "Eq. 2 resource violation" `Quick test_resource_violation;
+    Alcotest.test_case "local-to-point resource ok" `Quick test_local_to_point_resource_ok;
+    Alcotest.test_case "fused shared bytes model" `Quick test_fused_shared_bytes;
+    Alcotest.test_case "block sources/sinks" `Quick test_block_sources_sinks;
+    Alcotest.test_case "invalid blocks rejected" `Quick test_empty_block_rejected;
+    Alcotest.test_case "Harris whole graph violates Eq. 2" `Quick test_harris_whole_graph_resource;
+  ]

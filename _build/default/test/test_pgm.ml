@@ -1,0 +1,77 @@
+(* Tests for PGM image I/O. *)
+
+module Image = Kfuse_image.Image
+module Pgm = Kfuse_image.Pgm
+
+let rng = Kfuse_util.Rng.create 555
+
+let test_roundtrip_8bit () =
+  let img = Image.random rng ~width:13 ~height:7 ~lo:0.0 ~hi:1.0 in
+  let back = Pgm.of_string (Pgm.to_string img) in
+  (* 8-bit quantization: within half a step. *)
+  Alcotest.(check bool) "8-bit quantized" true
+    (Image.equal_eps ~eps:(0.5 /. 255.0 +. 1e-9) img back)
+
+let test_roundtrip_16bit () =
+  let img = Image.random rng ~width:9 ~height:11 ~lo:0.0 ~hi:1.0 in
+  let back = Pgm.of_string (Pgm.to_string ~maxval:65535 img) in
+  Alcotest.(check bool) "16-bit quantized" true
+    (Image.equal_eps ~eps:(0.5 /. 65535.0 +. 1e-9) img back)
+
+let test_clamping () =
+  let img = Image.of_rows [ [ -0.5; 2.0 ] ] in
+  let back = Pgm.of_string (Pgm.to_string img) in
+  Alcotest.check (Helpers.float_close ()) "clamped low" 0.0 (Image.get back 0 0);
+  Alcotest.check (Helpers.float_close ()) "clamped high" 1.0 (Image.get back 1 0)
+
+let test_ascii_p2 () =
+  let data = "P2\n# a comment\n3 2\n255\n0 128 255\n64 32 16\n" in
+  let img = Pgm.of_string data in
+  Alcotest.(check int) "width" 3 (Image.width img);
+  Alcotest.(check int) "height" 2 (Image.height img);
+  Alcotest.check (Helpers.float_close ~eps:1e-9 ()) "pixel" (128.0 /. 255.0)
+    (Image.get img 1 0);
+  Alcotest.check (Helpers.float_close ~eps:1e-9 ()) "last" (16.0 /. 255.0)
+    (Image.get img 2 1)
+
+let test_header_comments_in_p5 () =
+  let img = Image.const ~width:2 ~height:2 0.5 in
+  let encoded = Pgm.to_string img in
+  (* Inject a comment line after the magic. *)
+  let patched = "P5\n# injected\n" ^ String.sub encoded 3 (String.length encoded - 3) in
+  let back = Pgm.of_string patched in
+  Alcotest.(check int) "width" 2 (Image.width back)
+
+let test_malformed () =
+  List.iter
+    (fun (name, data) -> Helpers.expect_invalid name (fun () -> Pgm.of_string data))
+    [
+      ("bad magic", "P7\n2 2\n255\n....");
+      ("no dims", "P5\n");
+      ("bad dims", "P5\nx 2\n255\n");
+      ("zero dims", "P5\n0 2\n255\n");
+      ("bad maxval", "P5\n2 2\n0\n....");
+      ("truncated raster", "P5\n4 4\n255\nab");
+    ]
+
+let test_file_roundtrip () =
+  let img = Image.random rng ~width:6 ~height:5 ~lo:0.0 ~hi:1.0 in
+  let path = Filename.temp_file "kfuse" ".pgm" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Pgm.write ~maxval:65535 path img;
+      let back = Pgm.read path in
+      Alcotest.(check bool) "file roundtrip" true
+        (Image.equal_eps ~eps:(0.5 /. 65535.0 +. 1e-9) img back))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip 8-bit" `Quick test_roundtrip_8bit;
+    Alcotest.test_case "roundtrip 16-bit" `Quick test_roundtrip_16bit;
+    Alcotest.test_case "clamping" `Quick test_clamping;
+    Alcotest.test_case "ASCII P2" `Quick test_ascii_p2;
+    Alcotest.test_case "comments in header" `Quick test_header_comments_in_p5;
+    Alcotest.test_case "malformed inputs" `Quick test_malformed;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+  ]

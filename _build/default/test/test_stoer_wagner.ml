@@ -1,0 +1,99 @@
+(* Tests for the Stoer-Wagner minimum cut, including a brute-force
+   cross-check (also exercised as a qcheck property in
+   test_properties.ml). *)
+
+module Iset = Kfuse_util.Iset
+module Wgraph = Kfuse_graph.Wgraph
+module Sw = Kfuse_graph.Stoer_wagner
+
+let graph edges =
+  List.fold_left (fun g (u, v, w) -> Wgraph.add_edge g u v w) Wgraph.empty edges
+
+let check_cut name g expected_weight =
+  let w, side = Sw.min_cut g in
+  Alcotest.check (Helpers.float_close ~eps:1e-9 ()) (name ^ " weight") expected_weight w;
+  (* The side must be a proper nonempty subset and its actual cut weight
+     must equal the reported weight. *)
+  Alcotest.(check bool) (name ^ " side nonempty") true (not (Iset.is_empty side));
+  Alcotest.(check bool)
+    (name ^ " side proper") true
+    (Iset.cardinal side < Iset.cardinal (Wgraph.vertices g));
+  Alcotest.check (Helpers.float_close ~eps:1e-9 ()) (name ^ " side consistent")
+    expected_weight (Wgraph.cut_weight g side)
+
+let test_two_vertices () = check_cut "pair" (graph [ (0, 1, 5.0) ]) 5.0
+
+let test_path () =
+  (* Path weights 4 - 1 - 3: the min cut severs the middle edge. *)
+  check_cut "path" (graph [ (0, 1, 4.0); (1, 2, 1.0); (2, 3, 3.0) ]) 1.0
+
+let test_triangle () = check_cut "triangle" (graph [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.0) ]) 2.0
+
+let test_classic_paper_graph () =
+  (* The 8-vertex example from the Stoer-Wagner paper; min cut = 4. *)
+  let g =
+    graph
+      [
+        (1, 2, 2.); (1, 5, 3.); (2, 3, 3.); (2, 5, 2.); (2, 6, 2.); (3, 4, 4.);
+        (3, 7, 2.); (4, 7, 2.); (4, 8, 2.); (5, 6, 3.); (6, 7, 1.); (7, 8, 3.);
+      ]
+  in
+  check_cut "stoer-wagner fig" g 4.0
+
+let test_star () =
+  (* A star: cheapest leaf detaches. *)
+  check_cut "star" (graph [ (0, 1, 5.0); (0, 2, 2.0); (0, 3, 7.0) ]) 2.0
+
+let test_disconnected () =
+  let g = Wgraph.add_vertex (graph [ (0, 1, 3.0) ]) 9 in
+  let w, side = Sw.min_cut g in
+  Alcotest.check (Helpers.float_close ()) "zero cut" 0.0 w;
+  Alcotest.check (Helpers.float_close ()) "side consistent" 0.0 (Wgraph.cut_weight g side)
+
+let test_single_vertex_rejected () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Stoer_wagner.min_cut: need at least 2 vertices") (fun () ->
+      ignore (Sw.min_cut (Wgraph.add_vertex Wgraph.empty 1)))
+
+let test_brute_matches_exact_small () =
+  let g =
+    graph [ (0, 1, 1.5); (1, 2, 2.5); (2, 0, 0.5); (2, 3, 1.0); (3, 0, 2.0) ]
+  in
+  let w1, _ = Sw.min_cut g in
+  let w2, _ = Sw.min_cut_brute g in
+  Alcotest.check (Helpers.float_close ~eps:1e-9 ()) "agree" w2 w1
+
+let test_harris_epsilon_structure () =
+  (* The undirected weighted view of the Harris DAG (Figure 3a): the
+     global min cut has weight 2 * epsilon (separating {sy, gy} through
+     its two epsilon edges). *)
+  let eps = 0.001 in
+  (* vertices: dx=0 dy=1 sx=2 sy=3 sxy=4 gx=5 gy=6 gxy=7 hc=8 *)
+  let g =
+    graph
+      [
+        (0, 2, eps); (0, 4, eps); (1, 3, eps); (1, 4, eps); (2, 5, 328.);
+        (3, 6, 328.); (4, 7, 256.); (5, 8, eps); (6, 8, eps); (7, 8, eps);
+      ]
+  in
+  let w, _side = Sw.min_cut g in
+  Alcotest.check (Helpers.float_close ~eps:1e-12 ()) "2 eps" (2.0 *. eps) w
+
+let test_min_cut_brute_limits () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Stoer_wagner.min_cut_brute: need at least 2 vertices") (fun () ->
+      ignore (Sw.min_cut_brute (Wgraph.add_vertex Wgraph.empty 1)))
+
+let suite =
+  [
+    Alcotest.test_case "two vertices" `Quick test_two_vertices;
+    Alcotest.test_case "path graph" `Quick test_path;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "Stoer-Wagner paper example" `Quick test_classic_paper_graph;
+    Alcotest.test_case "star graph" `Quick test_star;
+    Alcotest.test_case "disconnected graph" `Quick test_disconnected;
+    Alcotest.test_case "single vertex rejected" `Quick test_single_vertex_rejected;
+    Alcotest.test_case "matches brute force" `Quick test_brute_matches_exact_small;
+    Alcotest.test_case "Harris epsilon structure" `Quick test_harris_epsilon_structure;
+    Alcotest.test_case "brute-force limits" `Quick test_min_cut_brute_limits;
+  ]

@@ -1,0 +1,252 @@
+(* Tests for Kfuse_fusion.Transform: register forwarding, recomputation,
+   border-correct fusion via index exchange (Figure 4). *)
+
+module F = Kfuse_fusion
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Eval = Kfuse_ir.Eval
+module Image = Kfuse_image.Image
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+module Iset = Kfuse_util.Iset
+
+let rng = Kfuse_util.Rng.create 2024
+
+let fresh_image ~width ~height = Image.random rng ~width ~height ~lo:0.0 ~hi:10.0
+
+let compare_fused ?(eps = 1e-9) p partition =
+  let inputs =
+    List.map (fun n -> (n, fresh_image ~width:p.Pipeline.width ~height:p.Pipeline.height))
+      p.Pipeline.inputs
+  in
+  let env = Eval.env_of_list inputs in
+  let reference = Eval.run_outputs p env in
+  let fused = F.Transform.apply p partition in
+  let outputs = Eval.run_outputs fused env in
+  List.iter2
+    (fun (n1, a) (n2, b) ->
+      Alcotest.(check string) "same output name" n1 n2;
+      Alcotest.(check bool)
+        (Printf.sprintf "output %s equal (maxdiff %g)" n1 (Image.max_abs_diff a b))
+        true
+        (Image.max_abs_diff a b <= eps))
+    reference outputs;
+  fused
+
+let test_point_chain_fuses_to_one () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"chain" ~width:16 ~height:12 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" + Const 1.0);
+        Kernel.map ~name:"c" ~inputs:[ "b" ] (sqrt (input "b"));
+      ]
+  in
+  let fused = compare_fused p [ Helpers.set_of [ 0; 1; 2 ] ] in
+  Alcotest.(check int) "one kernel" 1 (Pipeline.num_kernels fused);
+  Alcotest.(check string) "named after sink" "c" (Pipeline.kernel fused 0).Kernel.name;
+  Alcotest.(check (list string)) "reads the pipeline input" [ "in" ]
+    (Pipeline.kernel fused 0).Kernel.inputs
+
+let test_multi_use_gets_register () =
+  (* A consumer reading the producer twice at offset 0 must produce a Let
+     (single register write), not a duplicated body. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"sq" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" + Const 1.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" * input "a");
+      ]
+  in
+  let fused = F.Transform.fuse_block p (Helpers.set_of [ 0; 1 ]) in
+  let rec has_let = function
+    | Expr.Let _ -> true
+    | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ -> false
+    | Expr.Unop (_, a) -> has_let a
+    | Expr.Binop (_, a, b) -> has_let a || has_let b
+    | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
+      List.exists has_let [ lhs; rhs; if_true; if_false ]
+    | Expr.Shift { body; _ } -> has_let body
+  in
+  Alcotest.(check bool) "has register binding" true (has_let (Kernel.body fused))
+
+let test_single_use_inlines_directly () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"s" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" + Const 1.0);
+      ]
+  in
+  let fused = F.Transform.fuse_block p (Helpers.set_of [ 0; 1 ]) in
+  Alcotest.check Helpers.expr "inlined"
+    ((input "in" * Const 2.0) + Const 1.0)
+    (Kernel.body fused)
+
+let conv_chain b1 b2 m1 m2 =
+  Pipeline.create ~name:"cc" ~width:11 ~height:9 ~inputs:[ "in" ]
+    [
+      Kernel.map ~name:"c1" ~inputs:[ "in" ] (Expr.conv ~border:b1 m1 "in");
+      Kernel.map ~name:"c2" ~inputs:[ "c1" ] (Expr.conv ~border:b2 m2 "c1");
+    ]
+
+let test_local_to_local_exchange_exact () =
+  (* Index-exchange fusion is pixel-exact for every border combination,
+     including mixed producer/consumer modes (Figure 4c generalized). *)
+  List.iter
+    (fun (b1, b2) ->
+      ignore
+        (compare_fused ~eps:1e-9
+           (conv_chain b1 b2 Mask.gaussian_3x3 Mask.gaussian_5x5)
+           [ Helpers.set_of [ 0; 1 ] ]))
+    [
+      (Border.Clamp, Border.Clamp);
+      (Border.Mirror, Border.Mirror);
+      (Border.Repeat, Border.Repeat);
+      (Border.Clamp, Border.Mirror);
+      (Border.Mirror, Border.Repeat);
+      (Border.Constant 0.5, Border.Clamp);
+      (Border.Clamp, Border.Constant 0.25);
+      (Border.Constant 1.0, Border.Constant 0.0);
+    ]
+
+let test_naive_fusion_wrong_in_halo () =
+  (* Figure 4b: without index exchange, clamp borders give wrong halo
+     values but the interior is still correct. *)
+  let p = conv_chain Border.Clamp Border.Clamp Mask.gaussian_3x3 Mask.gaussian_3x3 in
+  let img = fresh_image ~width:11 ~height:9 in
+  let env = Eval.env_of_list [ ("in", img) ] in
+  let reference = snd (List.hd (Eval.run_outputs p env)) in
+  let naive = F.Transform.apply ~exchange:false p [ Helpers.set_of [ 0; 1 ] ] in
+  let out = snd (List.hd (Eval.run_outputs naive env)) in
+  Alcotest.(check bool) "halo differs" true (Image.max_abs_diff reference out > 1e-6);
+  (* Interior (radius 2 for two 3x3 kernels) must agree. *)
+  let ok = ref true in
+  for y = 2 to 6 do
+    for x = 2 to 8 do
+      if Float.abs (Image.get reference x y -. Image.get out x y) > 1e-9 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "interior agrees" true !ok
+
+let test_figure4_values () =
+  let img =
+    Image.of_rows
+      [
+        [ 1.; 3.; 7.; 7.; 6. ]; [ 3.; 7.; 9.; 6.; 8. ]; [ 5.; 4.; 3.; 2.; 1. ];
+        [ 4.; 1.; 2.; 1.; 2. ]; [ 5.; 2.; 2.; 4.; 2. ];
+      ]
+  in
+  let g = Mask.gaussian_3x3_unnormalized in
+  let p =
+    Pipeline.create ~name:"fig4" ~width:5 ~height:5 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"c1" ~inputs:[ "in" ] (Expr.conv ~border:Border.Clamp g "in");
+        Kernel.map ~name:"c2" ~inputs:[ "c1" ] (Expr.conv ~border:Border.Clamp g "c1");
+      ]
+  in
+  let env = Eval.env_of_list [ ("in", img) ] in
+  let reference = snd (List.hd (Eval.run_outputs p env)) in
+  Alcotest.check (Helpers.float_close ()) "unfused top-left = 763 (Fig 4c)" 763.0
+    (Image.get reference 0 0);
+  let fused = F.Transform.apply ~exchange:true p [ Helpers.set_of [ 0; 1 ] ] in
+  let naive = F.Transform.apply ~exchange:false p [ Helpers.set_of [ 0; 1 ] ] in
+  Alcotest.check (Helpers.float_close ()) "exchange fused = 763" 763.0
+    (Image.get (snd (List.hd (Eval.run_outputs fused env))) 0 0);
+  (* The paper prints 648 for the naive value, but its own intermediate
+     matrix [16 24 56; 24 34 68; 48 57 82] convolves to 684. *)
+  Alcotest.check (Helpers.float_close ()) "naive fused = 684 (Fig 4b modulo typo)" 684.0
+    (Image.get (snd (List.hd (Eval.run_outputs naive env))) 0 0)
+
+let test_three_level_local_chain () =
+  (* Nested exchange: three chained convolutions fused into one kernel. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"c3" ~width:9 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"c1" ~inputs:[ "in" ]
+          (conv ~border:Border.Mirror Mask.gaussian_3x3 "in");
+        Kernel.map ~name:"c2" ~inputs:[ "c1" ]
+          (conv ~border:Border.Clamp Mask.gaussian_3x3 "c1");
+        Kernel.map ~name:"c3" ~inputs:[ "c2" ]
+          (conv ~border:Border.Clamp Mask.gaussian_3x3 "c2");
+      ]
+  in
+  let fused = compare_fused p [ Helpers.set_of [ 0; 1; 2 ] ] in
+  Alcotest.(check int) "single kernel" 1 (Pipeline.num_kernels fused);
+  (* Total radius 3. *)
+  Alcotest.(check int) "accumulated radius" 3 (Kernel.radius (Pipeline.kernel fused 0))
+
+let test_partial_partition () =
+  (* Fusing only part of a pipeline leaves the rest intact. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"mix" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" + Const 1.0);
+        Kernel.map ~name:"c" ~inputs:[ "b" ] (input "b" * Const 3.0);
+      ]
+  in
+  let fused = compare_fused p [ Helpers.set_of [ 0; 1 ]; Helpers.set_of [ 2 ] ] in
+  Alcotest.(check int) "two kernels" 2 (Pipeline.num_kernels fused);
+  Alcotest.(check bool) "b survives as fused name" true
+    (Option.is_some (Pipeline.index_of fused "b"))
+
+let test_invalid_partition_rejected () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"v" ~width:4 ~height:4 ~inputs:[ "in" ]
+      [ Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in") ]
+  in
+  Helpers.expect_invalid "not covering" (fun () -> F.Transform.apply p []);
+  Helpers.expect_invalid "empty block" (fun () ->
+      F.Transform.fuse_block p Iset.empty)
+
+let test_multi_sink_block_rejected () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"ms" ~width:4 ~height:4 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (input "in" * Const 2.0);
+        Kernel.map ~name:"b" ~inputs:[ "in" ] (input "in" + Const 1.0);
+      ]
+  in
+  Helpers.expect_invalid "two sinks" (fun () ->
+      F.Transform.fuse_block p (Helpers.set_of [ 0; 1 ]))
+
+let test_shared_input_fusion () =
+  (* Figure 2b shape (unsharp-like): all kernels read the input. *)
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"f2b" ~width:10 ~height:10 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"blur" ~inputs:[ "in" ] (conv Mask.gaussian_3x3 "in");
+        Kernel.map ~name:"hf" ~inputs:[ "in"; "blur" ] (input "in" - input "blur");
+        Kernel.map ~name:"out" ~inputs:[ "in"; "hf" ]
+          (input "in" + (Const 0.5 * input "hf"));
+      ]
+  in
+  let fused = compare_fused p [ Helpers.set_of [ 0; 1; 2 ] ] in
+  Alcotest.(check int) "single kernel" 1 (Pipeline.num_kernels fused);
+  Alcotest.(check (list string)) "only external input" [ "in" ]
+    (Pipeline.kernel fused 0).Kernel.inputs
+
+let suite =
+  [
+    Alcotest.test_case "point chain fuses to one" `Quick test_point_chain_fuses_to_one;
+    Alcotest.test_case "multi-use gets register (Let)" `Quick test_multi_use_gets_register;
+    Alcotest.test_case "single use inlines directly" `Quick test_single_use_inlines_directly;
+    Alcotest.test_case "local-to-local exchange exact" `Quick test_local_to_local_exchange_exact;
+    Alcotest.test_case "naive fusion wrong in halo" `Quick test_naive_fusion_wrong_in_halo;
+    Alcotest.test_case "Figure 4 numeric values" `Quick test_figure4_values;
+    Alcotest.test_case "three-level local chain" `Quick test_three_level_local_chain;
+    Alcotest.test_case "partial partition" `Quick test_partial_partition;
+    Alcotest.test_case "invalid partitions rejected" `Quick test_invalid_partition_rejected;
+    Alcotest.test_case "multi-sink block rejected" `Quick test_multi_sink_block_rejected;
+    Alcotest.test_case "shared-input fusion (Fig 2b)" `Quick test_shared_input_fusion;
+  ]

@@ -1,0 +1,122 @@
+(* Tests for the DSL unparser: round-trips and unsupported cases. *)
+
+module E = Kfuse_dsl.Elaborate
+module U = Kfuse_dsl.Unparse
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Image = Kfuse_image.Image
+module Iset = Kfuse_util.Iset
+
+let unparse_ok p =
+  match U.pipeline p with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "unparse failed: %s" e
+
+let reparse_ok s =
+  match E.parse_pipeline s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "reparse failed: %s on\n%s" e s
+
+let rng = Kfuse_util.Rng.create 808
+
+let semantically_equal (a : Pipeline.t) (b : Pipeline.t) =
+  let inputs =
+    List.map
+      (fun n ->
+        (n, Image.random rng ~width:a.Pipeline.width ~height:a.Pipeline.height ~lo:0.0 ~hi:1.0))
+      a.Pipeline.inputs
+  in
+  let env = Kfuse_ir.Eval.env_of_list inputs in
+  let oa = Kfuse_ir.Eval.run_outputs a env and ob = Kfuse_ir.Eval.run_outputs b env in
+  List.for_all2
+    (fun (n1, x) (n2, y) -> String.equal n1 n2 && Image.max_abs_diff x y < 1e-12)
+    oa ob
+
+let test_roundtrip_paper_apps () =
+  List.iter
+    (fun (e : Kfuse_apps.Registry.entry) ->
+      let p = e.Kfuse_apps.Registry.small ~width:11 ~height:9 in
+      let text = unparse_ok p in
+      let p2 = reparse_ok text in
+      Alcotest.(check bool) (e.Kfuse_apps.Registry.name ^ " roundtrip") true
+        (semantically_equal p p2);
+      (* Unparsing is a fixpoint after the first round. *)
+      Alcotest.(check string) (e.Kfuse_apps.Registry.name ^ " fixpoint") text
+        (unparse_ok p2))
+    Kfuse_apps.Registry.all
+
+let test_roundtrip_extra_apps () =
+  List.iter
+    (fun p ->
+      let p2 = reparse_ok (unparse_ok p) in
+      Alcotest.(check bool) (p.Pipeline.name ^ " roundtrip") true (semantically_equal p p2))
+    [
+      Kfuse_apps.Extra.median_pipeline ~width:9 ~height:7 ();
+      Kfuse_apps.Extra.canny_lite_pipeline ~width:9 ~height:7 ();
+    ]
+
+let test_roundtrip_preserves_structure () =
+  let p = Kfuse_apps.Harris.pipeline ~width:11 ~height:9 () in
+  let p2 = reparse_ok (unparse_ok p) in
+  Alcotest.(check int) "kernel count" (Pipeline.num_kernels p) (Pipeline.num_kernels p2);
+  Alcotest.(check (list string)) "outputs" (Pipeline.outputs p) (Pipeline.outputs p2);
+  Alcotest.(check bool) "params kept" true
+    (List.mem_assoc "k" p2.Pipeline.params)
+
+let test_expr_rendering () =
+  let open Expr in
+  let check e expected =
+    match U.expr e with
+    | Ok s -> Alcotest.(check string) "render" expected s
+    | Error r -> Alcotest.failf "unexpected failure: %s" r
+  in
+  check (input "a" + Const 1.0) "(a + 1)";
+  check (input ~dx:(-1) ~dy:2 ~border:Kfuse_image.Border.Mirror "a") "a@(-1,2):mirror";
+  check (let_ "v" (input "a") (var "v" * var "v")) "(let v = a in (v * v))";
+  check (select Expr.Lt (input "a") (Const 0.5) (Const 0.0) (Const 1.0))
+    "select(a, 0.5, 0, 1)";
+  check (neg (input "a")) "(-a)"
+
+let test_unsupported () =
+  let open Expr in
+  (match U.expr (Shift { dx = 1; dy = 0; exchange = None; body = input "a" }) with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "shift should not unparse, got %s" s);
+  (match U.expr (select Expr.Eq (input "a") (Const 0.0) (Const 1.0) (Const 2.0)) with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "eq-select should not unparse, got %s" s);
+  (* A fused pipeline contains Shift nodes. *)
+  let module F = Kfuse_fusion in
+  let harris = Kfuse_apps.Harris.pipeline ~width:11 ~height:9 () in
+  let fused = (F.Driver.run F.Config.default F.Driver.Mincut harris).F.Driver.fused in
+  match U.pipeline fused with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fused pipeline should not unparse"
+
+let test_reserved_names () =
+  let p =
+    Pipeline.create ~name:"t" ~width:4 ~height:4 ~inputs:[ "in" ]
+      [ Kernel.map ~name:"reduce" ~inputs:[ "in" ] (Expr.input "in") ]
+  in
+  (match U.pipeline p with
+  | Error e -> Alcotest.(check bool) "mentions keyword" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "keyword-named kernel should not unparse");
+  (* "in"/"conv"/"select" are fine as plain identifiers. *)
+  let ok =
+    Pipeline.create ~name:"t" ~width:4 ~height:4 ~inputs:[ "in" ]
+      [ Kernel.map ~name:"conv" ~inputs:[ "in" ] (Expr.input "in") ]
+  in
+  match U.pipeline ok with
+  | Ok text -> ignore (reparse_ok text)
+  | Error e -> Alcotest.failf "benign name rejected: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip paper apps" `Slow test_roundtrip_paper_apps;
+    Alcotest.test_case "roundtrip extra apps" `Quick test_roundtrip_extra_apps;
+    Alcotest.test_case "roundtrip preserves structure" `Quick test_roundtrip_preserves_structure;
+    Alcotest.test_case "expression rendering" `Quick test_expr_rendering;
+    Alcotest.test_case "unsupported constructs" `Quick test_unsupported;
+    Alcotest.test_case "reserved names rejected" `Quick test_reserved_names;
+  ]
