@@ -60,9 +60,9 @@ let ablate_strategy () =
       let p = app.Kfuse_apps.Registry.pipeline () in
       let count s = F.Driver.fused_kernel_count (F.Driver.run config s p) in
       let t strategy quality =
-        let r = F.Driver.run config strategy p in
-        (G.Sim.measure G.Device.gtx680 ~quality ~fused_kernels:(Runner.fused_names p r)
-           r.F.Driver.fused)
+        let r = F.Driver.run ~pool:(Runner.pool ()) config strategy p in
+        (G.Sim.measure ~pool:(Runner.pool ()) G.Device.gtx680 ~quality
+           ~fused_kernels:(Runner.fused_names p r) r.F.Driver.fused)
           .G.Sim.summary.Stats.median
       in
       let base = t F.Driver.Baseline G.Perf_model.Optimized in
@@ -210,7 +210,7 @@ let ablate_inline () =
   let device = G.Device.gtx680 in
   let median r (p : Ir.Pipeline.t) =
     ignore p;
-    (G.Sim.measure device ~quality:G.Perf_model.Optimized
+    (G.Sim.measure ~pool:(Runner.pool ()) device ~quality:G.Perf_model.Optimized
        ~fused_kernels:
          (List.filter_map
             (fun b ->

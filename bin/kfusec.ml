@@ -89,6 +89,24 @@ let tg_arg =
 let config_of ~c_mshared ~gamma ~tg =
   { F.Config.default with F.Config.c_mshared; gamma; tg }
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Kfuse_util.Pool.default_size ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains used to parallelize the fusion search and the measurement \
+           simulation (default: the recommended domain count; 1 is fully serial). \
+           Output is bit-identical for every N.")
+
+(* Run a subcommand body with a -j sized domain pool. *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    Format.eprintf "kfusec: --jobs must be >= 1@.";
+    1
+  end
+  else Kfuse_util.Pool.with_pool jobs f
+
 let optimize_arg =
   Arg.(
     value & flag
@@ -152,19 +170,20 @@ let list_cmd =
 
 let fuse_cmd =
   let doc = "Run a fusion strategy and print the partition report." in
-  let run app file strategy c_mshared gamma tg inline distribute =
+  let run app file strategy c_mshared gamma tg inline distribute jobs =
     match load_pipeline ~app ~file with
     | Error e ->
       Format.eprintf "kfusec: %s@." e;
       1
     | Ok p ->
+      with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
       let p, split =
         if distribute then F.Distribute.split_all p else (p, [])
       in
       if split <> [] then
         Format.printf "distributed: %s@." (String.concat ", " split);
-      let r = F.Driver.run ~inline config strategy p in
+      let r = F.Driver.run ~inline ~pool config strategy p in
       Format.printf "%a@." F.Driver.pp_report r;
       0
   in
@@ -172,7 +191,7 @@ let fuse_cmd =
     (Cmd.info "fuse" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ inline_arg $ distribute_arg)
+      $ inline_arg $ distribute_arg $ jobs_arg)
 
 (* ---- emit ---- *)
 
@@ -181,14 +200,15 @@ let emit_cmd =
   let output_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run app file strategy c_mshared gamma tg optimize backend output =
+  let run app file strategy c_mshared gamma tg optimize backend output jobs =
     match load_pipeline ~app ~file with
     | Error e ->
       Format.eprintf "kfusec: %s@." e;
       1
     | Ok p ->
+      with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
-      let r = F.Driver.run ~optimize config strategy p in
+      let r = F.Driver.run ~optimize ~pool config strategy p in
       let source =
         match backend with
         | `Cuda -> Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused
@@ -208,7 +228,7 @@ let emit_cmd =
     (Cmd.info "emit" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ optimize_arg $ backend_arg $ output_arg)
+      $ optimize_arg $ backend_arg $ output_arg $ jobs_arg)
 
 (* ---- run ---- *)
 
@@ -226,7 +246,7 @@ let run_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.pgm"
           ~doc:"Output image path (multi-output pipelines add the kernel name).")
   in
-  let run app file strategy c_mshared gamma tg input output =
+  let run app file strategy c_mshared gamma tg input output jobs =
     match load_pipeline ~app ~file with
     | Error e ->
       Format.eprintf "kfusec: %s@." e;
@@ -234,6 +254,7 @@ let run_cmd =
     | Ok p -> (
       match p.Ir.Pipeline.inputs with
       | [ input_name ] -> (
+        with_jobs jobs @@ fun pool ->
         let img = Kfuse_image.Pgm.read input in
         let p =
           (* Re-elaborate at the image's size so any pipeline fits any
@@ -246,7 +267,7 @@ let run_cmd =
             (Array.to_list p.Ir.Pipeline.kernels)
         in
         let config = config_of ~c_mshared ~gamma ~tg in
-        let r = F.Driver.run config strategy p in
+        let r = F.Driver.run ~pool config strategy p in
         let env = Ir.Eval.env_of_list [ (input_name, img) ] in
         let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
         match outs with
@@ -276,7 +297,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ input_arg $ output_arg)
+      $ input_arg $ output_arg $ jobs_arg)
 
 (* ---- estimate ---- *)
 
@@ -288,18 +309,19 @@ let estimate_cmd =
       & opt device_conv G.Device.gtx680
       & info [ "d"; "device" ] ~docv:"DEVICE" ~doc:"GPU model: gtx745, gtx680, or k20c.")
   in
-  let run app file device c_mshared gamma tg =
+  let run app file device c_mshared gamma tg jobs =
     match load_pipeline ~app ~file with
     | Error e ->
       Format.eprintf "kfusec: %s@." e;
       1
     | Ok p ->
+      with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
       Format.printf "pipeline %s on %a@." p.Ir.Pipeline.name G.Device.pp device;
       let results =
         List.map
           (fun s ->
-            let r = F.Driver.run config s p in
+            let r = F.Driver.run ~pool config s p in
             let quality =
               match s with
               | F.Driver.Basic -> G.Perf_model.Basic_codegen
@@ -307,8 +329,8 @@ let estimate_cmd =
                 G.Perf_model.Optimized
             in
             let m =
-              G.Sim.measure device ~quality ~fused_kernels:(fused_kernel_names p r)
-                r.F.Driver.fused
+              G.Sim.measure ~pool device ~quality
+                ~fused_kernels:(fused_kernel_names p r) r.F.Driver.fused
             in
             (s, r, m))
           F.Driver.all_strategies
@@ -330,7 +352,9 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc)
-    Term.(const run $ app_arg $ file_arg $ device_arg $ cmshared_arg $ gamma_arg $ tg_arg)
+    Term.(
+      const run $ app_arg $ file_arg $ device_arg $ cmshared_arg $ gamma_arg $ tg_arg
+      $ jobs_arg)
 
 (* ---- explain ---- *)
 
@@ -358,14 +382,15 @@ let dot_cmd =
       value & flag
       & info [ "w"; "weights" ] ~doc:"Label edges with the benefit-model weights.")
   in
-  let run app file strategy c_mshared gamma tg weights =
+  let run app file strategy c_mshared gamma tg weights jobs =
     match load_pipeline ~app ~file with
     | Error e ->
       Format.eprintf "kfusec: %s@." e;
       1
     | Ok p ->
+      with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
-      let r = F.Driver.run config strategy p in
+      let r = F.Driver.run ~pool config strategy p in
       let edge_labels =
         if weights then
           Some (fun u v -> Some (Printf.sprintf "%.3g" (F.Benefit.edge_weight config p u v)))
@@ -379,7 +404,7 @@ let dot_cmd =
     (Cmd.info "dot" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ weights_arg)
+      $ weights_arg $ jobs_arg)
 
 (* ---- unparse ---- *)
 

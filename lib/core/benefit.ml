@@ -84,8 +84,12 @@ let edge_report config (p : Pipeline.t) u v =
 
 let edge_weight config p u v = (edge_report config p u v).weight
 
-let all_edges config p =
-  Digraph.edges (Pipeline.dag p) |> List.map (fun (u, v) -> edge_report config p u v)
+let all_edges ?(pool = Kfuse_util.Pool.serial) config p =
+  (* Each edge's report is a pure function of the (immutable) pipeline,
+     so the reports can be scored on any domain; map_list preserves the
+     (src, dst) order of [Digraph.edges]. *)
+  Digraph.edges (Pipeline.dag p)
+  |> Kfuse_util.Pool.map_list pool (fun (u, v) -> edge_report config p u v)
 
 let scenario_to_string = function
   | Illegal _ -> "illegal"

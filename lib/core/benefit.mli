@@ -57,9 +57,12 @@ val edge_report : Config.t -> Kfuse_ir.Pipeline.t -> int -> int -> edge_report
 (** [edge_weight config pipeline u v] is the final weight [w_e]. *)
 val edge_weight : Config.t -> Kfuse_ir.Pipeline.t -> int -> int -> float
 
-(** [all_edges config pipeline] reports every edge of the pipeline DAG,
-    ordered by [(src, dst)]. *)
-val all_edges : Config.t -> Kfuse_ir.Pipeline.t -> edge_report list
+(** [all_edges ?pool config pipeline] reports every edge of the pipeline
+    DAG, ordered by [(src, dst)].  Edge weights are independent, so with
+    [pool] they are scored in parallel; the result is identical to the
+    serial run. *)
+val all_edges :
+  ?pool:Kfuse_util.Pool.t -> Config.t -> Kfuse_ir.Pipeline.t -> edge_report list
 
 (** [is_ks config pipeline u] is [IS_ks]: the summed iteration-space size
     of all input images of kernel [u] (Section II-C.3). *)

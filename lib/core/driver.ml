@@ -31,29 +31,26 @@ let strategy_of_string = function
 
 let all_strategies = [ Baseline; Basic; Greedy; Mincut ]
 
-let run ?(exchange = true) ?(optimize = false) ?(inline = false) config strategy
-    (p : Pipeline.t) =
+let run ?(exchange = true) ?(optimize = false) ?(inline = false)
+    ?(pool = Kfuse_util.Pool.serial) config strategy (p : Pipeline.t) =
   Config.validate config;
   let p, inlined =
     if inline then Inline_fusion.greedy ~exchange config p else (p, [])
   in
   let g = Pipeline.dag p in
-  let edges = Benefit.all_edges config p in
-  let weight_of u v =
-    match
-      List.find_opt (fun (r : Benefit.edge_report) -> r.src = u && r.dst = v) edges
-    with
-    | Some r -> r.weight
-    | None -> 0.0
-  in
-  let partition, steps =
+  let partition, steps, edges =
     match strategy with
-    | Baseline -> (Partition.singletons g, [])
-    | Basic -> (Basic_fusion.partition config p, [])
-    | Greedy -> (Greedy_fusion.partition config p, [])
+    | Baseline -> (Partition.singletons g, [], Benefit.all_edges ~pool config p)
+    | Basic -> (Basic_fusion.partition config p, [], Benefit.all_edges ~pool config p)
+    | Greedy -> (Greedy_fusion.partition config p, [], Benefit.all_edges ~pool config p)
     | Mincut ->
-      let r = Mincut_fusion.run config p in
-      (r.Mincut_fusion.partition, r.Mincut_fusion.steps)
+      (* Reuse the weighted fusion graph the algorithm already scored. *)
+      let r = Mincut_fusion.run ~pool config p in
+      (r.Mincut_fusion.partition, r.Mincut_fusion.steps, r.Mincut_fusion.edges)
+  in
+  let weights = Mincut_fusion.weight_table edges in
+  let weight_of u v =
+    match Hashtbl.find_opt weights (u, v) with Some w -> w | None -> 0.0
   in
   let fused = Transform.apply ~exchange p partition in
   let fused =

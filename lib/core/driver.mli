@@ -35,11 +35,14 @@ type report = {
     II-C.4).  [inline] (default [false]) runs the {!Inline_fusion}
     pre-pass, which can eliminate shared intermediates the partition
     model must keep (Figure 2c); the reported edges/partition then refer
-    to the inlined pipeline. *)
+    to the inlined pipeline.  [pool] (default {!Kfuse_util.Pool.serial})
+    parallelizes the benefit model and the min-cut recursion across its
+    domains; the report is bit-identical to a serial run. *)
 val run :
   ?exchange:bool ->
   ?optimize:bool ->
   ?inline:bool ->
+  ?pool:Kfuse_util.Pool.t ->
   Config.t ->
   strategy ->
   Kfuse_ir.Pipeline.t ->

@@ -37,54 +37,98 @@ let block_legal config p edges block =
             Iset.mem r.src block && Iset.mem r.dst block && unprofitable config r)
           edges)
 
-let run config (p : Pipeline.t) =
+let weight_table edges =
+  let table = Hashtbl.create (List.length edges * 2) in
+  List.iter
+    (fun (r : Benefit.edge_report) -> Hashtbl.replace table (r.src, r.dst) r.weight)
+    edges;
+  table
+
+(* What Algorithm 1 does to one block of the working set: accept it, or
+   split it along a min cut (or into weak components when it is already
+   disconnected).  A pure function of the block, which is what lets
+   independent blocks be decided on separate domains without changing
+   any output. *)
+type decision =
+  | Accepted
+  | Split of {
+      reason : Legality.reason option;
+      cut_weight : float;
+      side_a : Iset.t;
+      side_b : Iset.t;
+    }
+
+let decide config p g ~weight_of ~legal block =
+  if Iset.cardinal block = 1 || legal block then Accepted
+  else begin
+    let reason =
+      match Legality.check config p block with Ok () -> None | Error r -> Some r
+    in
+    let sub = Digraph.induced g block in
+    match Topo.undirected_components sub with
+    | [] -> assert false
+    | [ _ ] ->
+      let wsub = Wgraph.of_digraph weight_of sub in
+      let cut_weight, side = Stoer_wagner.min_cut wsub in
+      Split { reason; cut_weight; side_a = side; side_b = Iset.diff block side }
+    | first :: others ->
+      (* A disconnected block (possible when a cut separates a hub):
+         split into weak components at zero cut cost. *)
+      let side_b = List.fold_left Iset.union Iset.empty others in
+      Split { reason; cut_weight = 0.0; side_a = first; side_b }
+  end
+
+let run ?(pool = Kfuse_util.Pool.serial) config (p : Pipeline.t) =
   Config.validate config;
   let g = Pipeline.dag p in
-  let edges = Benefit.all_edges config p in
+  let edges = Benefit.all_edges ~pool config p in
+  let weights = weight_table edges in
   let weight_of u v =
-    match
-      List.find_opt (fun (r : Benefit.edge_report) -> r.src = u && r.dst = v) edges
-    with
-    | Some r -> r.weight
+    match Hashtbl.find_opt weights (u, v) with
+    | Some w -> w
     | None -> invalid_arg "Mincut_fusion: missing edge weight"
   in
   let legal = block_legal config p edges in
-  let explain block =
-    match Legality.check config p block with Ok () -> None | Error r -> Some r
+  let decide = decide config p g ~weight_of ~legal in
+  (* Evaluate the recursion tree in breadth-first waves: all undecided
+     blocks of a wave are independent, so they are decided in parallel.
+     Decisions are memoized by block and the serial traversal below
+     replays them, so the trace and partition are bit-identical to the
+     sequential depth-first algorithm. *)
+  let decisions : (int list, decision) Hashtbl.t = Hashtbl.create 16 in
+  let rec waves frontier =
+    match frontier with
+    | [] -> ()
+    | _ ->
+      let decided = Kfuse_util.Pool.map_list pool decide frontier in
+      let next =
+        List.concat_map
+          (function Accepted -> [] | Split { side_a; side_b; _ } -> [ side_a; side_b ])
+          decided
+      in
+      List.iter2
+        (fun block d -> Hashtbl.replace decisions (Iset.elements block) d)
+        frontier decided;
+      waves next
   in
   (* Working set as a FIFO queue; ready blocks accumulate. *)
   let rec loop work ready steps =
     match work with
     | [] -> (List.rev ready, List.rev steps)
-    | block :: rest ->
-      if Iset.cardinal block = 1 || legal block then
-        loop rest (block :: ready) (Accept block :: steps)
-      else begin
-        let sub = Digraph.induced g block in
-        match Topo.undirected_components sub with
-        | [] -> assert false
-        | [ _ ] ->
-          let wsub = Wgraph.of_digraph weight_of sub in
-          let cut_weight, side = Stoer_wagner.min_cut wsub in
-          let side_a = side and side_b = Iset.diff block side in
-          let step =
-            Cut { block; reason = explain block; cut_weight; side_a; side_b }
-          in
-          loop (side_a :: side_b :: rest) ready (step :: steps)
-        | first :: others ->
-          (* A disconnected block (possible when a cut separates a hub):
-             split into weak components at zero cut cost. *)
-          let side_a = first in
-          let side_b = List.fold_left Iset.union Iset.empty others in
-          let step =
-            Cut { block; reason = explain block; cut_weight = 0.0; side_a; side_b }
-          in
-          loop (side_a :: side_b :: rest) ready (step :: steps)
-      end
+    | block :: rest -> (
+      match Hashtbl.find decisions (Iset.elements block) with
+      | Accepted -> loop rest (block :: ready) (Accept block :: steps)
+      | Split { reason; cut_weight; side_a; side_b } ->
+        let step = Cut { block; reason; cut_weight; side_a; side_b } in
+        loop (side_a :: side_b :: rest) ready (step :: steps))
   in
   let all = Digraph.vertices g in
   let partition, steps =
-    if Iset.is_empty all then ([], []) else loop [ all ] [] []
+    if Iset.is_empty all then ([], [])
+    else begin
+      waves [ all ];
+      loop [ all ] [] []
+    end
   in
   let partition = Partition.normalize partition in
   let objective = Partition.objective weight_of g partition in

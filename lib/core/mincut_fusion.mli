@@ -33,14 +33,23 @@ type result = {
   objective : float;  (** beta of Eq. 1 under the computed weights *)
 }
 
+(** [weight_table edges] indexes the reported weights by [(src, dst)]
+    for O(1) lookup (the partition objective queries one weight per edge
+    per block, which walked the whole report list before). *)
+val weight_table : Benefit.edge_report list -> (int * int, float) Hashtbl.t
+
 (** [block_legal config pipeline edges block] is the extended legality
     predicate described above ([edges] supplies precomputed weights). *)
 val block_legal :
   Config.t -> Kfuse_ir.Pipeline.t -> Benefit.edge_report list -> Kfuse_util.Iset.t -> bool
 
-(** [run config pipeline] executes Algorithm 1 and returns the final
-    partition with its trace. *)
-val run : Config.t -> Kfuse_ir.Pipeline.t -> result
+(** [run ?pool config pipeline] executes Algorithm 1 and returns the
+    final partition with its trace.  With [pool], edge weights and the
+    per-block legality/min-cut decisions of each recursion wave are
+    evaluated in parallel; every decision is a pure function of its
+    block, so the trace and partition are bit-identical to the serial
+    run. *)
+val run : ?pool:Kfuse_util.Pool.t -> Config.t -> Kfuse_ir.Pipeline.t -> result
 
 (** [partition config pipeline] is [(run config pipeline).partition]. *)
 val partition : Config.t -> Kfuse_ir.Pipeline.t -> Kfuse_graph.Partition.t

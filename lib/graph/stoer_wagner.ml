@@ -6,13 +6,14 @@ let min_cut g =
   if n < 2 then invalid_arg "Stoer_wagner.min_cut: need at least 2 vertices";
   (* Dense symmetric weight matrix over node indices; groups.(i) is the set
      of original vertices currently merged into node i. *)
+  let index = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) verts;
   let w = Array.make_matrix n n 0.0 in
   List.iter
     (fun (u, v, wt) ->
-      let iu = ref 0 and iv = ref 0 in
-      Array.iteri (fun i x -> if x = u then iu := i else if x = v then iv := i) verts;
-      w.(!iu).(!iv) <- wt;
-      w.(!iv).(!iu) <- wt)
+      let iu = Hashtbl.find index u and iv = Hashtbl.find index v in
+      w.(iu).(iv) <- wt;
+      w.(iv).(iu) <- wt)
     (Wgraph.edges g);
   let groups = Array.map Iset.singleton verts in
   let active = Array.make n true in

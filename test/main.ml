@@ -4,6 +4,7 @@ let () =
   Alcotest.run "kfuse"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("graph", Test_graph.suite);
       ("stoer-wagner", Test_stoer_wagner.suite);
       ("karger", Test_karger.suite);
