@@ -6,20 +6,41 @@
      emit      - emit CUDA or C+OpenMP for a pipeline (fused or not)
      estimate  - estimate execution times / speedups on a GPU model
      run       - execute a pipeline on a PGM image via the interpreter
-     dsl-check - parse and validate a DSL file *)
+     check     - validate a pipeline and print structured diagnostics
+     dsl-check - parse and validate a DSL file
+
+   Exit codes: 0 success, 1 a diagnostic error (printed to stderr as
+   "kfusec: error[KFxxxx]: ..."), 2 a malformed KFUSE_FAULTS spec, plus
+   cmdliner's 124/125 for command-line and internal errors. *)
 
 module F = Kfuse_fusion
 module G = Kfuse_gpu
 module Ir = Kfuse_ir
 module Iset = Kfuse_util.Iset
 module Stats = Kfuse_util.Stats
+module Diag = Kfuse_util.Diag
 open Cmdliner
 
+let pp_diag d = Format.eprintf "kfusec: %a@." Diag.pp d
+
+let fail_diag d =
+  pp_diag d;
+  1
+
+(* Degradation warnings go to stderr so stdout stays parseable; in the
+   default mode a degraded run still exits 0 — the report is valid, just
+   conservative. *)
+let report_warnings (r : F.Driver.report) = List.iter pp_diag r.F.Driver.warnings
+
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Ok data
+  | exception Sys_error msg -> Error (Diag.v ~file:path Diag.Io_error msg)
 
 let load_pipeline ~app ~file =
   match (app, file) with
@@ -28,14 +49,26 @@ let load_pipeline ~app ~file =
     | Some e -> Ok (e.Kfuse_apps.Registry.pipeline ())
     | None ->
       Error
-        (Printf.sprintf "unknown application %S (try: %s)" name
+        (Diag.errorf Diag.Io_error "unknown application %S (try: %s)" name
            (String.concat ", " Kfuse_apps.Registry.names)))
   | None, Some path -> (
-    match Kfuse_dsl.Elaborate.parse_pipeline (read_file path) with
-    | Ok p -> Ok p
-    | Error e -> Error (Printf.sprintf "%s: %s" path e))
-  | Some _, Some _ -> Error "pass either --app or a FILE, not both"
-  | None, None -> Error "pass --app NAME or a DSL FILE"
+    match read_file path with
+    | Error _ as e -> e
+    | Ok src -> Kfuse_dsl.Elaborate.parse_pipeline_diag ~file:path src)
+  | Some _, Some _ -> Error (Diag.v Diag.Io_error "pass either --app or a FILE, not both")
+  | None, None -> Error (Diag.v Diag.Io_error "pass --app NAME or a DSL FILE")
+
+(* Validate before fusing: errors abort, warnings (e.g. an empty
+   pipeline) are surfaced but not fatal. *)
+let load_validated ~app ~file =
+  match load_pipeline ~app ~file with
+  | Error _ as e -> e
+  | Ok p -> (
+    let diags = Ir.Validate.pipeline p in
+    List.iter pp_diag (List.filter (fun d -> not (Diag.is_error d)) diags);
+    match List.filter Diag.is_error diags with
+    | [] -> Ok p
+    | d :: _ -> Error d)
 
 let strategy_conv =
   let parse s =
@@ -98,6 +131,24 @@ let jobs_arg =
           "Domains used to parallelize the fusion search and the measurement \
            simulation (default: the recommended domain count; 1 is fully serial). \
            Output is bit-identical for every N.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail fast: a fusion strategy that raises, exceeds the budget, or emits \
+           an invalid partition is a fatal error instead of degrading to the \
+           baseline partition with a warning.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget for the fusion search.  A strategy running past it \
+           falls back to the baseline partition (or fails under $(b,--strict)).")
 
 (* Run a subcommand body with a -j sized domain pool. *)
 let with_jobs jobs f =
@@ -170,11 +221,9 @@ let list_cmd =
 
 let fuse_cmd =
   let doc = "Run a fusion strategy and print the partition report." in
-  let run app file strategy c_mshared gamma tg inline distribute jobs =
-    match load_pipeline ~app ~file with
-    | Error e ->
-      Format.eprintf "kfusec: %s@." e;
-      1
+  let run app file strategy c_mshared gamma tg inline distribute jobs strict budget_ms =
+    match load_validated ~app ~file with
+    | Error d -> fail_diag d
     | Ok p ->
       with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
@@ -183,15 +232,18 @@ let fuse_cmd =
       in
       if split <> [] then
         Format.printf "distributed: %s@." (String.concat ", " split);
-      let r = F.Driver.run ~inline ~pool config strategy p in
-      Format.printf "%a@." F.Driver.pp_report r;
-      0
+      (match F.Driver.run_result ~inline ~pool ~strict ?budget_ms config strategy p with
+      | Error d -> fail_diag d
+      | Ok r ->
+        report_warnings r;
+        Format.printf "%a@." F.Driver.pp_report r;
+        0)
   in
   Cmd.v
     (Cmd.info "fuse" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ inline_arg $ distribute_arg $ jobs_arg)
+      $ inline_arg $ distribute_arg $ jobs_arg $ strict_arg $ budget_arg)
 
 (* ---- emit ---- *)
 
@@ -200,35 +252,43 @@ let emit_cmd =
   let output_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run app file strategy c_mshared gamma tg optimize backend output jobs =
-    match load_pipeline ~app ~file with
-    | Error e ->
-      Format.eprintf "kfusec: %s@." e;
-      1
-    | Ok p ->
+  let run app file strategy c_mshared gamma tg optimize backend output jobs strict budget_ms =
+    match load_validated ~app ~file with
+    | Error d -> fail_diag d
+    | Ok p -> (
       with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
-      let r = F.Driver.run ~optimize ~pool config strategy p in
-      let source =
-        match backend with
-        | `Cuda -> Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused
-        | `Cpu -> Kfuse_codegen.Lower_cpu.emit_pipeline r.F.Driver.fused
-      in
-      (match output with
-      | None -> print_string source
-      | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc source);
-        Format.printf "wrote %s (%d kernels)@." path (Ir.Pipeline.num_kernels r.F.Driver.fused));
-      0
+      match F.Driver.run_result ~optimize ~pool ~strict ?budget_ms config strategy p with
+      | Error d -> fail_diag d
+      | Ok r ->
+        report_warnings r;
+        let source =
+          match backend with
+          | `Cuda -> Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused
+          | `Cpu -> Kfuse_codegen.Lower_cpu.emit_pipeline r.F.Driver.fused
+        in
+        (match output with
+        | None ->
+          print_string source;
+          0
+        | Some path -> (
+          match
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc source)
+          with
+          | () ->
+            Format.printf "wrote %s (%d kernels)@." path
+              (Ir.Pipeline.num_kernels r.F.Driver.fused);
+            0
+          | exception Sys_error msg -> fail_diag (Diag.v ~file:path Diag.Io_error msg))))
   in
   Cmd.v
     (Cmd.info "emit" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ optimize_arg $ backend_arg $ output_arg $ jobs_arg)
+      $ optimize_arg $ backend_arg $ output_arg $ jobs_arg $ strict_arg $ budget_arg)
 
 (* ---- run ---- *)
 
@@ -246,48 +306,55 @@ let run_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.pgm"
           ~doc:"Output image path (multi-output pipelines add the kernel name).")
   in
-  let run app file strategy c_mshared gamma tg input output jobs =
-    match load_pipeline ~app ~file with
-    | Error e ->
-      Format.eprintf "kfusec: %s@." e;
-      1
+  let run app file strategy c_mshared gamma tg input output jobs strict budget_ms =
+    match load_validated ~app ~file with
+    | Error d -> fail_diag d
     | Ok p -> (
       match p.Ir.Pipeline.inputs with
       | [ input_name ] -> (
         with_jobs jobs @@ fun pool ->
-        let img = Kfuse_image.Pgm.read input in
-        let p =
-          (* Re-elaborate at the image's size so any pipeline fits any
-             input: rebuild with the same kernels. *)
-          Ir.Pipeline.create ~name:p.Ir.Pipeline.name
-            ~width:(Kfuse_image.Image.width img)
-            ~height:(Kfuse_image.Image.height img)
-            ~channels:p.Ir.Pipeline.channels ~params:p.Ir.Pipeline.params
-            ~inputs:p.Ir.Pipeline.inputs
-            (Array.to_list p.Ir.Pipeline.kernels)
-        in
-        let config = config_of ~c_mshared ~gamma ~tg in
-        let r = F.Driver.run ~pool config strategy p in
-        let env = Ir.Eval.env_of_list [ (input_name, img) ] in
-        let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
-        match outs with
-        | [ (_, result) ] ->
-          Kfuse_image.Pgm.write output result;
-          Format.printf "wrote %s (%dx%d, %d fused kernels)@." output
-            (Kfuse_image.Image.width result)
-            (Kfuse_image.Image.height result)
-            (Ir.Pipeline.num_kernels r.F.Driver.fused);
-          0
-        | many ->
-          List.iter
-            (fun (name, result) ->
-              let path =
-                Printf.sprintf "%s.%s.pgm" (Filename.remove_extension output) name
-              in
-              Kfuse_image.Pgm.write path result;
-              Format.printf "wrote %s@." path)
-            many;
-          0)
+        match Kfuse_image.Pgm.read_result input with
+        | Error d -> fail_diag d
+        | Ok img -> (
+          let p =
+            (* Re-elaborate at the image's size so any pipeline fits any
+               input: rebuild with the same kernels. *)
+            Ir.Pipeline.create ~name:p.Ir.Pipeline.name
+              ~width:(Kfuse_image.Image.width img)
+              ~height:(Kfuse_image.Image.height img)
+              ~channels:p.Ir.Pipeline.channels ~params:p.Ir.Pipeline.params
+              ~inputs:p.Ir.Pipeline.inputs
+              (Array.to_list p.Ir.Pipeline.kernels)
+          in
+          let config = config_of ~c_mshared ~gamma ~tg in
+          match F.Driver.run_result ~pool ~strict ?budget_ms config strategy p with
+          | Error d -> fail_diag d
+          | Ok r -> (
+            report_warnings r;
+            let env = Ir.Eval.env_of_list [ (input_name, img) ] in
+            let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
+            match outs with
+            | [ (_, result) ] -> (
+              match Kfuse_image.Pgm.write_result output result with
+              | Error d -> fail_diag d
+              | Ok () ->
+                Format.printf "wrote %s (%dx%d, %d fused kernels)@." output
+                  (Kfuse_image.Image.width result)
+                  (Kfuse_image.Image.height result)
+                  (Ir.Pipeline.num_kernels r.F.Driver.fused);
+                0)
+            | many ->
+              let code = ref 0 in
+              List.iter
+                (fun (name, result) ->
+                  let path =
+                    Printf.sprintf "%s.%s.pgm" (Filename.remove_extension output) name
+                  in
+                  match Kfuse_image.Pgm.write_result path result with
+                  | Error d -> code := fail_diag d
+                  | Ok () -> Format.printf "wrote %s@." path)
+                many;
+              !code)))
       | inputs ->
         Format.eprintf "kfusec: run supports single-input pipelines (found %d inputs)@."
           (List.length inputs);
@@ -297,7 +364,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ input_arg $ output_arg $ jobs_arg)
+      $ input_arg $ output_arg $ jobs_arg $ strict_arg $ budget_arg)
 
 (* ---- estimate ---- *)
 
@@ -309,62 +376,68 @@ let estimate_cmd =
       & opt device_conv G.Device.gtx680
       & info [ "d"; "device" ] ~docv:"DEVICE" ~doc:"GPU model: gtx745, gtx680, or k20c.")
   in
-  let run app file device c_mshared gamma tg jobs =
-    match load_pipeline ~app ~file with
-    | Error e ->
-      Format.eprintf "kfusec: %s@." e;
-      1
-    | Ok p ->
+  let run app file device c_mshared gamma tg jobs strict budget_ms =
+    match load_validated ~app ~file with
+    | Error d -> fail_diag d
+    | Ok p -> (
       with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
       Format.printf "pipeline %s on %a@." p.Ir.Pipeline.name G.Device.pp device;
       let results =
-        List.map
-          (fun s ->
-            let r = F.Driver.run ~pool config s p in
-            let quality =
-              match s with
-              | F.Driver.Basic -> G.Perf_model.Basic_codegen
-              | F.Driver.Baseline | F.Driver.Greedy | F.Driver.Mincut ->
-                G.Perf_model.Optimized
-            in
-            let m =
-              G.Sim.measure ~pool device ~quality
-                ~fused_kernels:(fused_kernel_names p r) r.F.Driver.fused
-            in
-            (s, r, m))
-          F.Driver.all_strategies
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Error _ as e -> e
+            | Ok acc -> (
+              match F.Driver.run_result ~pool ~strict ?budget_ms config s p with
+              | Error d -> Error d
+              | Ok r ->
+                report_warnings r;
+                let quality =
+                  match s with
+                  | F.Driver.Basic -> G.Perf_model.Basic_codegen
+                  | F.Driver.Baseline | F.Driver.Greedy | F.Driver.Mincut ->
+                    G.Perf_model.Optimized
+                in
+                let m =
+                  G.Sim.measure ~pool device ~quality
+                    ~fused_kernels:(fused_kernel_names p r) r.F.Driver.fused
+                in
+                Ok ((s, r, m) :: acc)))
+          (Ok []) F.Driver.all_strategies
       in
-      let baseline =
-        List.find_map
-          (fun (s, _, m) -> if s = F.Driver.Baseline then Some m else None)
-          results
-      in
-      List.iter
-        (fun (s, r, m) ->
-          Format.printf "  %-9s %2d kernels  median %8.3f ms  speedup %.3f@."
-            (F.Driver.strategy_to_string s)
-            (Ir.Pipeline.num_kernels r.F.Driver.fused)
-            m.G.Sim.summary.Stats.median
-            (match baseline with Some b -> G.Sim.speedup b m | None -> 1.0))
-        results;
-      0
+      match results with
+      | Error d -> fail_diag d
+      | Ok results ->
+        let results = List.rev results in
+        let baseline =
+          List.find_map
+            (fun (s, _, m) -> if s = F.Driver.Baseline then Some m else None)
+            results
+        in
+        List.iter
+          (fun (s, r, m) ->
+            Format.printf "  %-9s %2d kernels  median %8.3f ms  speedup %.3f@."
+              (F.Driver.strategy_to_string s)
+              (Ir.Pipeline.num_kernels r.F.Driver.fused)
+              m.G.Sim.summary.Stats.median
+              (match baseline with Some b -> G.Sim.speedup b m | None -> 1.0))
+          results;
+        0)
   in
   Cmd.v
     (Cmd.info "estimate" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ device_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ jobs_arg)
+      $ jobs_arg $ strict_arg $ budget_arg)
 
 (* ---- explain ---- *)
 
 let explain_cmd =
   let doc = "Narrate every fusion decision for a pipeline." in
   let run app file c_mshared gamma tg =
-    match load_pipeline ~app ~file with
-    | Error e ->
-      Format.eprintf "kfusec: %s@." e;
-      1
+    match load_validated ~app ~file with
+    | Error d -> fail_diag d
     | Ok p ->
       print_string (F.Explain.report (config_of ~c_mshared ~gamma ~tg) p);
       0
@@ -382,29 +455,30 @@ let dot_cmd =
       value & flag
       & info [ "w"; "weights" ] ~doc:"Label edges with the benefit-model weights.")
   in
-  let run app file strategy c_mshared gamma tg weights jobs =
-    match load_pipeline ~app ~file with
-    | Error e ->
-      Format.eprintf "kfusec: %s@." e;
-      1
-    | Ok p ->
+  let run app file strategy c_mshared gamma tg weights jobs strict budget_ms =
+    match load_validated ~app ~file with
+    | Error d -> fail_diag d
+    | Ok p -> (
       with_jobs jobs @@ fun pool ->
       let config = config_of ~c_mshared ~gamma ~tg in
-      let r = F.Driver.run ~pool config strategy p in
-      let edge_labels =
-        if weights then
-          Some (fun u v -> Some (Printf.sprintf "%.3g" (F.Benefit.edge_weight config p u v)))
-        else None
-      in
-      print_string
-        (Kfuse_codegen.Dot.emit ~partition:r.F.Driver.partition ?edge_labels p);
-      0
+      match F.Driver.run_result ~pool ~strict ?budget_ms config strategy p with
+      | Error d -> fail_diag d
+      | Ok r ->
+        report_warnings r;
+        let edge_labels =
+          if weights then
+            Some (fun u v -> Some (Printf.sprintf "%.3g" (F.Benefit.edge_weight config p u v)))
+          else None
+        in
+        print_string
+          (Kfuse_codegen.Dot.emit ~partition:r.F.Driver.partition ?edge_labels p);
+        0)
   in
   Cmd.v
     (Cmd.info "dot" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ weights_arg $ jobs_arg)
+      $ weights_arg $ jobs_arg $ strict_arg $ budget_arg)
 
 (* ---- unparse ---- *)
 
@@ -432,6 +506,33 @@ let unparse_cmd =
   in
   Cmd.v (Cmd.info "unparse" ~doc) Term.(const run $ app_required)
 
+(* ---- check ---- *)
+
+let check_cmd =
+  let doc =
+    "Validate a pipeline (DSL file or built-in app) and print every structured \
+     diagnostic: cycles, dangling or duplicate kernel ids, empty iteration spaces, \
+     oversized stencil masks, header incompatibilities."
+  in
+  let run app file =
+    match load_pipeline ~app ~file with
+    | Error d -> fail_diag d
+    | Ok p ->
+      let diags = Ir.Validate.pipeline p in
+      List.iter pp_diag diags;
+      if List.exists Diag.is_error diags then 1
+      else begin
+        let what =
+          match file with Some f -> f | None -> Option.value ~default:"pipeline" app
+        in
+        Format.printf "%s: OK (%d kernels, %dx%dx%d%s)@." what (Ir.Pipeline.num_kernels p)
+          p.Ir.Pipeline.width p.Ir.Pipeline.height p.Ir.Pipeline.channels
+          (match diags with [] -> "" | _ -> ", with warnings");
+        0
+      end
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ app_arg $ file_arg)
+
 (* ---- dsl-check ---- *)
 
 let dsl_check_cmd =
@@ -440,14 +541,12 @@ let dsl_check_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pipeline DSL file.")
   in
   let run path =
-    match Kfuse_dsl.Elaborate.parse_pipeline (read_file path) with
+    match load_validated ~app:None ~file:(Some path) with
     | Ok p ->
       Format.printf "%s: OK (%d kernels, %dx%dx%d)@." path (Ir.Pipeline.num_kernels p)
         p.Ir.Pipeline.width p.Ir.Pipeline.height p.Ir.Pipeline.channels;
       0
-    | Error e ->
-      Format.eprintf "%s: %s@." path e;
-      1
+    | Error d -> fail_diag d
   in
   Cmd.v (Cmd.info "dsl-check" ~doc) Term.(const run $ file_required)
 
@@ -457,7 +556,16 @@ let main =
     (Cmd.info "kfusec" ~version:"1.0.0" ~doc)
     [
       list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
-      unparse_cmd; dsl_check_cmd;
+      unparse_cmd; check_cmd; dsl_check_cmd;
     ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  (* End-to-end fault injection: KFUSE_FAULTS="cut.stoer_wagner@1" makes
+     the named points throw deterministically, so CI can prove the
+     binary degrades instead of dying. *)
+  (match Kfuse_util.Faults.arm_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Format.eprintf "kfusec: malformed %s spec: %s@." Kfuse_util.Faults.env_var msg;
+    exit 2);
+  exit (Cmd.eval' main)

@@ -25,12 +25,20 @@ let default =
     is_unit = Images;
   }
 
+let validate_result t =
+  let module Diag = Kfuse_util.Diag in
+  let err msg = Error (Diag.v Diag.Config_invalid msg) in
+  if t.epsilon <= 0.0 then err "Config: epsilon must be positive"
+  else if t.ts <= 0.0 || t.tg < t.ts then err "Config: need tg >= ts > 0"
+  else if t.c_alu <= 0.0 || t.c_sfu <= 0.0 then err "Config: op costs must be positive"
+  else if t.c_mshared < 1.0 then err "Config: c_mshared must be >= 1"
+  else if t.gamma < 0.0 then err "Config: gamma must be nonnegative"
+  else Ok ()
+
 let validate t =
-  if t.epsilon <= 0.0 then invalid_arg "Config: epsilon must be positive";
-  if t.ts <= 0.0 || t.tg < t.ts then invalid_arg "Config: need tg >= ts > 0";
-  if t.c_alu <= 0.0 || t.c_sfu <= 0.0 then invalid_arg "Config: op costs must be positive";
-  if t.c_mshared < 1.0 then invalid_arg "Config: c_mshared must be >= 1";
-  if t.gamma < 0.0 then invalid_arg "Config: gamma must be nonnegative"
+  match validate_result t with
+  | Ok () -> ()
+  | Error d -> invalid_arg d.Kfuse_util.Diag.message
 
 let is_of t (p : Kfuse_ir.Pipeline.t) =
   match t.is_unit with

@@ -32,9 +32,13 @@ type t = {
     units. *)
 val default : t
 
-(** [validate t] checks positivity constraints ([epsilon > 0], [tg >= ts > 0],
-    [c_mshared >= 1], positive op costs).
-    @raise Invalid_argument on violation. *)
+(** [validate_result t] checks positivity constraints ([epsilon > 0],
+    [tg >= ts > 0], [c_mshared >= 1], positive op costs), reporting the
+    first violation as a {!Kfuse_util.Diag.Config_invalid} diagnostic. *)
+val validate_result : t -> (unit, Kfuse_util.Diag.t) result
+
+(** [validate t] is {!validate_result} raising [Invalid_argument] on
+    violation. *)
 val validate : t -> unit
 
 (** [is_of t pipeline] is the iteration-space size of one intermediate

@@ -23,6 +23,13 @@ type report = {
   steps : Mincut_fusion.step list;  (** empty unless [Mincut] *)
   objective : float;  (** beta (Eq. 1) of the chosen partition *)
   fused : Kfuse_ir.Pipeline.t;
+  degraded : bool;
+      (** true when any stage fell back (see [warnings]); the partition
+          is then the always-legal baseline (or the unoptimized /
+          un-inlined result, for the optional stages) *)
+  warnings : Kfuse_util.Diag.t list;
+      (** the diagnostics of every degraded stage, in occurrence order;
+          empty on a clean run *)
 }
 
 (** [run ?exchange ?optimize ?inline config strategy pipeline]
@@ -37,16 +44,52 @@ type report = {
     model must keep (Figure 2c); the reported edges/partition then refer
     to the inlined pipeline.  [pool] (default {!Kfuse_util.Pool.serial})
     parallelizes the benefit model and the min-cut recursion across its
-    domains; the report is bit-identical to a serial run. *)
+    domains; the report is bit-identical to a serial run.
+
+    {2 Robustness}
+
+    The driver treats internal faults as first-class.  By default
+    ([strict = false]) any stage that fails — a strategy that raises, a
+    search that runs past [budget_ms] (polled between min-cut recursion
+    waves and after every strategy), or a strategy result that fails the
+    {!Legality.check_partition} invariant (blocks disjoint + covering,
+    each legal under the Eq. 2 resource bound) — degrades gracefully:
+    the driver falls back to the always-legal baseline singleton
+    partition (every singleton block is legal, Section II-B) and records
+    a [Warning] diagnostic in [report.warnings].  The optional
+    inline/optimize stages degrade by being skipped.  With
+    [strict = true] the first such failure raises
+    {!Kfuse_util.Diag.Fatal} instead.
+
+    Two failures are fatal in every mode, because no baseline exists for
+    them: an invalid [config] ({!Config.validate_result}) and a
+    structurally broken pipeline ({!Kfuse_ir.Validate.result}). *)
 val run :
   ?exchange:bool ->
   ?optimize:bool ->
   ?inline:bool ->
   ?pool:Kfuse_util.Pool.t ->
+  ?strict:bool ->
+  ?budget_ms:float ->
   Config.t ->
   strategy ->
   Kfuse_ir.Pipeline.t ->
   report
+
+(** [run_result] is {!run} with every fatal outcome — including strict-
+    mode degradation failures — returned as [Error diag] instead of a
+    raised {!Kfuse_util.Diag.Fatal}. *)
+val run_result :
+  ?exchange:bool ->
+  ?optimize:bool ->
+  ?inline:bool ->
+  ?pool:Kfuse_util.Pool.t ->
+  ?strict:bool ->
+  ?budget_ms:float ->
+  Config.t ->
+  strategy ->
+  Kfuse_ir.Pipeline.t ->
+  (report, Kfuse_util.Diag.t) result
 
 (** [fused_kernel_count r] is the number of kernels after fusion. *)
 val fused_kernel_count : report -> int

@@ -210,3 +210,37 @@ let reason_to_string p = function
       base_bytes fused_bytes ratio
 
 let pp_reason p ppf r = Format.pp_print_string ppf (reason_to_string p r)
+
+(* Whole-partition invariant: structurally a partition of the DAG
+   (disjoint, covering, no empties) and every block legal to fuse —
+   the contract any strategy's output must meet before the transform is
+   allowed to rewrite the pipeline.  [Partition.validate] rules out the
+   inputs on which [check] would raise (empty blocks, foreign indices),
+   so this never raises. *)
+let check_partition config (p : Pipeline.t) partition =
+  let module Diag = Kfuse_util.Diag in
+  let module Partition = Kfuse_graph.Partition in
+  let g = Pipeline.dag p in
+  match Partition.validate g partition with
+  | Error defect ->
+    Error
+      (Diag.errorf Diag.Invalid_partition "partition of pipeline %S is malformed: %s"
+         p.Pipeline.name
+         (Partition.invalid_to_string defect))
+  | Ok () -> (
+    let first_illegal =
+      List.find_map
+        (fun block ->
+          match check config p block with
+          | Ok () -> None
+          | Error reason -> Some (block, reason))
+        partition
+    in
+    match first_illegal with
+    | None -> Ok ()
+    | Some (block, reason) ->
+      Error
+        (Diag.errorf Diag.Invalid_partition
+           "partition of pipeline %S has an illegal block {%s}: %s" p.Pipeline.name
+           (String.concat ", " (List.map (name_of p) (Iset.elements block)))
+           (reason_to_string p reason)))

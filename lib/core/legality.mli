@@ -35,6 +35,19 @@ val check :
 (** [is_legal config pipeline block] is [check ... = Ok ()]. *)
 val is_legal : Config.t -> Kfuse_ir.Pipeline.t -> Kfuse_util.Iset.t -> bool
 
+(** [check_partition config pipeline partition] checks the whole-result
+    invariant any fusion strategy must meet: the blocks are pairwise
+    disjoint, cover every kernel, contain no empties
+    ({!Kfuse_graph.Partition.validate}), and each is legal per {!check}
+    — including the Eq. 2 resource bound.  The first violation comes
+    back as an {!Kfuse_util.Diag.Invalid_partition} diagnostic.  Never
+    raises. *)
+val check_partition :
+  Config.t ->
+  Kfuse_ir.Pipeline.t ->
+  Kfuse_graph.Partition.t ->
+  (unit, Kfuse_util.Diag.t) result
+
 (** [block_sources pipeline block] is the set of kernels in [block] with
     no producer inside [block]. *)
 val block_sources : Kfuse_ir.Pipeline.t -> Kfuse_util.Iset.t -> Kfuse_util.Iset.t

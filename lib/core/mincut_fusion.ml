@@ -78,7 +78,8 @@ let decide config p g ~weight_of ~legal block =
       Split { reason; cut_weight = 0.0; side_a = first; side_b }
   end
 
-let run ?(pool = Kfuse_util.Pool.serial) config (p : Pipeline.t) =
+let run ?(pool = Kfuse_util.Pool.serial) ?(deadline = Kfuse_util.Deadline.none) config
+    (p : Pipeline.t) =
   Config.validate config;
   let g = Pipeline.dag p in
   let edges = Benefit.all_edges ~pool config p in
@@ -100,6 +101,10 @@ let run ?(pool = Kfuse_util.Pool.serial) config (p : Pipeline.t) =
     match frontier with
     | [] -> ()
     | _ ->
+      (* The recursion's natural yield point: between waves nothing is
+         half-done, so an expired budget aborts here and the driver can
+         degrade to the baseline partition. *)
+      Kfuse_util.Deadline.check deadline;
       let decided = Kfuse_util.Pool.map_list pool decide frontier in
       let next =
         List.concat_map

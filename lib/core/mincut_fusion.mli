@@ -43,13 +43,21 @@ val weight_table : Benefit.edge_report list -> (int * int, float) Hashtbl.t
 val block_legal :
   Config.t -> Kfuse_ir.Pipeline.t -> Benefit.edge_report list -> Kfuse_util.Iset.t -> bool
 
-(** [run ?pool config pipeline] executes Algorithm 1 and returns the
-    final partition with its trace.  With [pool], edge weights and the
-    per-block legality/min-cut decisions of each recursion wave are
-    evaluated in parallel; every decision is a pure function of its
-    block, so the trace and partition are bit-identical to the serial
-    run. *)
-val run : ?pool:Kfuse_util.Pool.t -> Config.t -> Kfuse_ir.Pipeline.t -> result
+(** [run ?pool ?deadline config pipeline] executes Algorithm 1 and
+    returns the final partition with its trace.  With [pool], edge
+    weights and the per-block legality/min-cut decisions of each
+    recursion wave are evaluated in parallel; every decision is a pure
+    function of its block, so the trace and partition are bit-identical
+    to the serial run.  [deadline] (default {!Kfuse_util.Deadline.none})
+    is polled between recursion waves; an expired deadline raises
+    {!Kfuse_util.Deadline.Expired}, which {!Driver.run} converts into
+    graceful degradation. *)
+val run :
+  ?pool:Kfuse_util.Pool.t ->
+  ?deadline:Kfuse_util.Deadline.t ->
+  Config.t ->
+  Kfuse_ir.Pipeline.t ->
+  result
 
 (** [partition config pipeline] is [(run config pipeline).partition]. *)
 val partition : Config.t -> Kfuse_ir.Pipeline.t -> Kfuse_graph.Partition.t

@@ -134,3 +134,17 @@ let parse_pipeline ?width ?height src =
     | exception Elab_error { pos; msg } ->
       Error (Printf.sprintf "line %d, column %d: %s" pos.Ast.line pos.Ast.col msg)
     | exception Invalid_argument msg -> Error msg)
+
+let parse_pipeline_diag ?width ?height ?file src =
+  let module Diag = Kfuse_util.Diag in
+  match Parser.parse_result src with
+  | Error msg -> Error (Diag.v ?file Diag.Parse_error msg)
+  | Ok ast -> (
+    match pipeline ?width ?height ast with
+    | p -> Ok p
+    | exception Elab_error { pos; msg } ->
+      Error (Diag.v ?file ~line:pos.Ast.line ~col:pos.Ast.col Diag.Elab_error msg)
+    | exception Invalid_argument msg ->
+      (* Structural violations [Pipeline.create] caught: re-derive the
+         typed diagnostic from the validator when possible. *)
+      Error (Diag.v ?file Diag.Elab_error msg))

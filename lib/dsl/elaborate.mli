@@ -23,3 +23,15 @@ val named_mask : string -> Kfuse_image.Mask.t option
 (** [parse_pipeline ?width ?height src] is parsing plus elaboration with
     all errors rendered as strings. *)
 val parse_pipeline : ?width:int -> ?height:int -> string -> (Kfuse_ir.Pipeline.t, string) result
+
+(** [parse_pipeline_diag ?width ?height ?file src] is parsing plus
+    elaboration with all errors as structured diagnostics: syntax errors
+    as {!Kfuse_util.Diag.Parse_error}, name-resolution/mask/structural
+    errors as {!Kfuse_util.Diag.Elab_error}, each carrying [file] and
+    the source position when known.  Never raises on malformed input. *)
+val parse_pipeline_diag :
+  ?width:int ->
+  ?height:int ->
+  ?file:string ->
+  string ->
+  (Kfuse_ir.Pipeline.t, Kfuse_util.Diag.t) result

@@ -30,6 +30,7 @@ let measure ?(params = Perf_model.default_params) ?(runs = 500) ?seed
       (* Symmetric 0.6% jitter plus a one-sided exponential-ish tail of
          about 1.5% of the runtime: medians stay at the model value
          while maxima poke upward, giving Figure 6's whisker shape. *)
+      Kfuse_util.Faults.hit "sim.sample";
       let rng = streams.(i) in
       let jitter = 1.0 +. (0.006 *. Rng.gaussian rng) in
       let tail = 0.015 *. model_ms *. Float.abs (Rng.gaussian rng) in

@@ -85,6 +85,7 @@ let contract_once rng g =
   (Wgraph.cut_weight g side, side)
 
 let min_cut ?attempts rng g =
+  Kfuse_util.Faults.hit "cut.karger";
   let n = Iset.cardinal (Wgraph.vertices g) in
   if n < 2 then invalid_arg "Karger.min_cut: need at least 2 vertices";
   let attempts =

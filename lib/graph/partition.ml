@@ -10,11 +10,38 @@ let normalize p =
 let singletons g =
   Digraph.fold_vertices (fun v acc -> Iset.singleton v :: acc) g [] |> normalize
 
-let is_valid g p =
-  let no_empty = List.for_all (fun b -> not (Iset.is_empty b)) p in
-  let union = List.fold_left Iset.union Iset.empty p in
-  let total = List.fold_left (fun acc b -> acc + Iset.cardinal b) 0 p in
-  no_empty && Iset.equal union (Digraph.vertices g) && total = Iset.cardinal union
+type invalid =
+  | Empty_block
+  | Overlap of int
+  | Uncovered of int
+  | Unknown_vertex of int
+
+let invalid_to_string = function
+  | Empty_block -> "a block is empty"
+  | Overlap v -> Printf.sprintf "vertex %d appears in more than one block" v
+  | Uncovered v -> Printf.sprintf "vertex %d is in no block" v
+  | Unknown_vertex v -> Printf.sprintf "block mentions vertex %d, which is not in the graph" v
+
+let validate g p =
+  let vertices = Digraph.vertices g in
+  let rec scan seen = function
+    | [] -> (
+      match Iset.min_elt_opt (Iset.diff vertices seen) with
+      | Some v -> Error (Uncovered v)
+      | None -> Ok ())
+    | b :: rest ->
+      if Iset.is_empty b then Error Empty_block
+      else (
+        match Iset.min_elt_opt (Iset.diff b vertices) with
+        | Some v -> Error (Unknown_vertex v)
+        | None -> (
+          match Iset.min_elt_opt (Iset.inter b seen) with
+          | Some v -> Error (Overlap v)
+          | None -> scan (Iset.union seen b) rest))
+  in
+  scan Iset.empty p
+
+let is_valid g p = match validate g p with Ok () -> true | Error _ -> false
 
 let block_of p v =
   match List.find_opt (fun b -> Iset.mem v b) p with

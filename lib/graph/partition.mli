@@ -16,8 +16,21 @@ val normalize : t -> t
 (** [singletons g] is the finest partition of [g]: one block per vertex. *)
 val singletons : Digraph.t -> t
 
-(** [is_valid g p] checks that [p] is pairwise disjoint and covers exactly
-    the vertices of [g]. *)
+(** Structural defects {!validate} can report. *)
+type invalid =
+  | Empty_block
+  | Overlap of int  (** vertex in more than one block *)
+  | Uncovered of int  (** graph vertex in no block *)
+  | Unknown_vertex of int  (** block vertex not in the graph *)
+
+val invalid_to_string : invalid -> string
+
+(** [validate g p] checks that [p] is pairwise disjoint, free of empty
+    blocks, and covers exactly the vertices of [g], reporting the first
+    defect found (scanning blocks in order). *)
+val validate : Digraph.t -> t -> (unit, invalid) result
+
+(** [is_valid g p] is [validate g p = Ok ()]. *)
 val is_valid : Digraph.t -> t -> bool
 
 (** [block_of p v] is the block containing [v].

@@ -1,6 +1,7 @@
 module Iset = Kfuse_util.Iset
 
 let min_cut g =
+  Kfuse_util.Faults.hit "cut.stoer_wagner";
   let verts = Array.of_list (Iset.elements (Wgraph.vertices g)) in
   let n = Array.length verts in
   if n < 2 then invalid_arg "Stoer_wagner.min_cut: need at least 2 vertices";

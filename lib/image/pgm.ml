@@ -74,6 +74,8 @@ let of_string data =
     for y = 0 to height - 1 do
       for x = 0 to width - 1 do
         let v = int_token cur in
+        if v < 0 || v > maxval then
+          fail "Pgm.of_string: sample %d at (%d, %d) outside [0, %d]" v x y maxval;
         Image.set img x y (float_of_int v /. scale)
       done
     done;
@@ -97,10 +99,22 @@ let of_string data =
           lor Char.code data.[cur.pos + (2 * i) + 1]
         else Char.code data.[cur.pos + i]
       in
+      if v > maxval then
+        fail "Pgm.of_string: sample %d at (%d, %d) outside [0, %d]" v (i mod width)
+          (i / width) maxval;
       Image.set img (i mod width) (i / width) (float_of_int v /. scale)
     done;
     img
   | m -> fail "Pgm.of_string: unsupported magic %S (only P2/P5 graymaps)" m
+
+module Diag = Kfuse_util.Diag
+
+let of_string_result ?file data =
+  match of_string data with
+  | img -> Ok img
+  | exception Invalid_argument msg -> Error (Diag.v ?file Diag.Pgm_format msg)
+  | exception End_of_file ->
+    Error (Diag.v ?file Diag.Pgm_format "Pgm.of_string: unexpected end of data")
 
 let write ?maxval path img =
   let oc = open_out_bin path in
@@ -108,8 +122,24 @@ let write ?maxval path img =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string ?maxval img))
 
+let write_result ?maxval path img =
+  match write ?maxval path img with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Diag.v ~file:path Diag.Io_error msg)
+  | exception Invalid_argument msg -> Error (Diag.v ~file:path Diag.Pgm_format msg)
+
 let read path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let read_result path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error (Diag.v ~file:path Diag.Io_error msg)
+  | data -> of_string_result ~file:path data

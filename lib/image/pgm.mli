@@ -12,12 +12,30 @@
 val to_string : ?maxval:int -> Image.t -> string
 
 (** [of_string data] decodes a P2 or P5 graymap into floats in [0, 1].
+    Rejects malformed input: bad magic, truncated headers, nonpositive
+    dimensions, out-of-range maxval, samples outside [0, maxval], and
+    short raster data.
     @raise Invalid_argument on malformed input. *)
 val of_string : string -> Image.t
+
+(** [of_string_result ?file data] is {!of_string} with malformed input
+    reported as a {!Kfuse_util.Diag.Pgm_format} diagnostic ([file] only
+    annotates the diagnostic context).  Never raises on bad data. *)
+val of_string_result : ?file:string -> string -> (Image.t, Kfuse_util.Diag.t) result
 
 (** [write ?maxval path img] writes [to_string img] to [path]. *)
 val write : ?maxval:int -> string -> Image.t -> unit
 
+(** [write_result ?maxval path img] is {!write} with I/O failures as
+    {!Kfuse_util.Diag.Io_error} diagnostics. *)
+val write_result :
+  ?maxval:int -> string -> Image.t -> (unit, Kfuse_util.Diag.t) result
+
 (** [read path] loads a PGM file.
     @raise Sys_error on I/O failure, [Invalid_argument] on bad data. *)
 val read : string -> Image.t
+
+(** [read_result path] is {!read} with a missing/unreadable file as an
+    {!Kfuse_util.Diag.Io_error} and malformed data as a
+    {!Kfuse_util.Diag.Pgm_format} diagnostic.  Never raises. *)
+val read_result : string -> (Image.t, Kfuse_util.Diag.t) result

@@ -1,0 +1,17 @@
+type t = No_deadline | At of { at : float; budget_ms : float }
+
+exception Expired of { budget_ms : float }
+
+let none = No_deadline
+
+let after_ms budget_ms = At { at = Unix.gettimeofday () +. (budget_ms /. 1000.0); budget_ms }
+
+let budget_ms = function No_deadline -> None | At { budget_ms; _ } -> Some budget_ms
+
+let expired = function
+  | No_deadline -> false
+  | At { at; _ } -> Unix.gettimeofday () > at
+
+let check = function
+  | No_deadline -> ()
+  | At { at; budget_ms } -> if Unix.gettimeofday () > at then raise (Expired { budget_ms })

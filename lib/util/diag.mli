@@ -1,0 +1,93 @@
+(** Structured diagnostics.
+
+    Every user-facing failure of the compiler — bad DSL input, a
+    malformed pipeline graph, an I/O error, an internal fault the driver
+    degraded around — is described by a {!t}: a stable error code, a
+    severity, optional source context, and a human-readable message.
+    Public entry points return [('a, Diag.t) result] instead of raising
+    [Failure]/[Invalid_argument], so callers (the [kfusec] CLI, library
+    users, tests) can render, count, and dispatch on failures without
+    string matching.
+
+    The raising world is bridged both ways: {!Fatal} wraps a diagnostic
+    as an exception for code that cannot return [result], and {!of_exn}
+    folds common stdlib exceptions into diagnostics. *)
+
+type severity = Error | Warning | Note
+
+(** Stable diagnostic codes.  The numeric identifier ({!code_id}) is
+    part of the CLI contract documented in the README; add codes at the
+    end of a block, never renumber. *)
+type code =
+  | Io_error  (** KF0101: file missing/unreadable/unwritable *)
+  | Parse_error  (** KF0201: DSL lexical or syntax error *)
+  | Elab_error  (** KF0202: DSL name resolution / elaboration error *)
+  | Pgm_format  (** KF0301: malformed or truncated PGM image *)
+  | Config_invalid  (** KF0401: fusion-model configuration out of range *)
+  | Cycle  (** KF0501: dependence cycle in the kernel graph *)
+  | Dangling_ref  (** KF0502: kernel reads an image nothing produces *)
+  | Duplicate_name  (** KF0503: duplicate kernel/input/parameter id *)
+  | Empty_iteration_space  (** KF0504: nonpositive width/height/channels *)
+  | Mask_too_large  (** KF0505: stencil window exceeds the iteration space *)
+  | Global_consumed  (** KF0506: 1x1 reduction output consumed downstream *)
+  | Unbound_param  (** KF0507: kernel parameter without a default *)
+  | Empty_pipeline  (** KF0508: pipeline with no kernels *)
+  | Invalid_partition  (** KF0601: blocks not disjoint/covering or illegal *)
+  | Strategy_failed  (** KF0602: a fusion strategy raised *)
+  | Budget_exceeded  (** KF0603: fusion search ran past [--budget-ms] *)
+  | Fault_injected  (** KF0901: deterministic fault-injection trigger *)
+  | Internal_error  (** KF0999: invariant violation inside the compiler *)
+
+type context = {
+  file : string option;
+  line : int option;
+  col : int option;
+}
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  context : context;
+}
+
+exception Fatal of t
+(** A diagnostic as an exception, for raising contexts ([--strict]). *)
+
+val code_id : code -> string
+(** [code_id c] is the stable identifier, e.g. ["KF0601"]. *)
+
+val no_context : context
+
+val v : ?severity:severity -> ?file:string -> ?line:int -> ?col:int -> code -> string -> t
+
+val errorf :
+  ?file:string -> ?line:int -> ?col:int -> code -> ('a, unit, string, t) format4 -> 'a
+(** [errorf code fmt ...] is an [Error]-severity diagnostic. *)
+
+val warningf :
+  ?file:string -> ?line:int -> ?col:int -> code -> ('a, unit, string, t) format4 -> 'a
+
+val is_error : t -> bool
+
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** ["error[KF0502]: file.pipe:3:7: kernel \"gx\" reads unknown image"].
+    Context components are omitted when absent. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_exn : exn -> t
+(** Fold an exception into a diagnostic: {!Fatal} unwraps, [Sys_error]
+    becomes {!Io_error}, [Invalid_argument]/[Failure]/[Not_found] become
+    {!Internal_error}, anything else is {!Internal_error} carrying
+    [Printexc.to_string]. *)
+
+val fail : t -> 'a
+(** [fail d] raises [Fatal d]. *)
+
+val catch : (unit -> 'a) -> ('a, t) result
+(** [catch f] runs [f], mapping a raised exception through {!of_exn}.
+    Asynchronous runtime exceptions ([Out_of_memory], [Stack_overflow])
+    are not caught. *)

@@ -32,6 +32,12 @@ let serial = Serial
 let default_size () = Domain.recommended_domain_count ()
 let size = function Serial -> 1 | Pool { n; _ } -> n
 
+(* Worker domains spawned but not yet joined, across all pools.  Tests
+   use this to prove no domain outlives its [with_pool] bracket, even
+   when creation fails halfway or a task raises. *)
+let live = Atomic.make 0
+let live_domains () = Atomic.get live
+
 let record_failure b i exn bt =
   match b.failed with
   | Some (j, _, _) when j <= i -> ()
@@ -49,6 +55,7 @@ let drain st b =
     let failure =
       try
         for i = lo to hi - 1 do
+          Faults.hit "pool.task";
           b.body i
         done;
         None
@@ -77,6 +84,17 @@ let worker st =
   in
   loop ()
 
+let join_all st workers =
+  Mutex.lock st.m;
+  st.stop <- true;
+  Condition.broadcast st.work;
+  Mutex.unlock st.m;
+  List.iter
+    (fun d ->
+      Domain.join d;
+      Atomic.decr live)
+    workers
+
 let create n =
   if n < 1 then invalid_arg "Pool.create: size must be >= 1";
   if n = 1 then Serial
@@ -91,7 +109,22 @@ let create n =
         workers = [||];
       }
     in
-    st.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker st));
+    (* Spawn one at a time so a failure partway (the runtime's domain
+       limit, or an injected fault) can stop and join the domains already
+       running instead of orphaning them. *)
+    let spawned = ref [] in
+    (try
+       for _ = 1 to n - 1 do
+         Faults.hit "pool.spawn";
+         let d = Domain.spawn (fun () -> worker st) in
+         Atomic.incr live;
+         spawned := d :: !spawned
+       done
+     with exn ->
+       let bt = Printexc.get_raw_backtrace () in
+       join_all st !spawned;
+       Printexc.raise_with_backtrace exn bt);
+    st.workers <- Array.of_list (List.rev !spawned);
     Pool { n; st }
   end
 
@@ -99,12 +132,10 @@ let shutdown = function
   | Serial -> ()
   | Pool { st; _ } ->
     Mutex.lock st.m;
-    let workers = st.workers in
+    let workers = Array.to_list st.workers in
     st.workers <- [||];
-    st.stop <- true;
-    Condition.broadcast st.work;
     Mutex.unlock st.m;
-    Array.iter Domain.join workers
+    join_all st workers
 
 let with_pool n f =
   let t = create n in
@@ -112,6 +143,7 @@ let with_pool n f =
 
 let run_serial ~n body =
   for i = 0 to n - 1 do
+    Faults.hit "pool.task";
     body i
   done
 

@@ -35,7 +35,15 @@ val create : int -> t
 (** [create n] is a pool of total parallelism [n]: [n - 1] worker
     domains plus the submitting domain, which participates in every
     batch.  [create 1] (and below) spawns nothing and behaves like
-    {!serial}.  @raise Invalid_argument if [n < 1]. *)
+    {!serial}.  If spawning fails partway (the runtime's domain limit,
+    or an injected ["pool.spawn"] fault), the domains already spawned
+    are stopped and joined before the exception propagates — creation
+    never leaks domains.  @raise Invalid_argument if [n < 1]. *)
+
+val live_domains : unit -> int
+(** Worker domains currently spawned but not yet joined, across all
+    pools of the process.  [0] once every pool has been shut down —
+    the no-leaked-domains invariant the fault-injection tests assert. *)
 
 val size : t -> int
 (** Total parallelism (worker domains + 1). *)

@@ -31,5 +31,7 @@ let () =
       ("extra-apps", Test_extra_apps.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
+      ("validate", Test_validate.suite);
+      ("faults", Test_faults.suite);
       ("cli", Test_cli.suite);
     ]

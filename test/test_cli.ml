@@ -5,9 +5,15 @@
 let kfusec = "../bin/kfusec.exe"
 let pipelines_dir = "../examples/pipelines"
 
-let run_capture args =
+(* [env] is a shell prefix like "KFUSE_FAULTS=cut.stoer_wagner@1" for
+   the fault-injection end-to-end tests.  The default empty assignment
+   insulates the regular tests from a KFUSE_FAULTS inherited from the
+   environment (CI sets one for the fault matrix job). *)
+let run_capture ?(env = "KFUSE_FAULTS=") args =
   let out = Filename.temp_file "kfusec_out" ".txt" in
-  let cmd = Printf.sprintf "%s %s > %s 2>&1" kfusec (String.concat " " args) out in
+  let cmd =
+    Printf.sprintf "%s %s %s > %s 2>&1" env kfusec (String.concat " " args) out
+  in
   let code = Sys.command cmd in
   let text = In_channel.with_open_text out In_channel.input_all in
   (try Sys.remove out with Sys_error _ -> ());
@@ -96,6 +102,60 @@ let test_run_on_pgm () =
       Alcotest.(check int) "output width" 40 (Kfuse_image.Image.width out);
       Alcotest.(check int) "output height" 30 (Kfuse_image.Image.height out))
 
+let test_check () =
+  check_contains "check built-in"
+    (run_capture [ "check"; "--app"; "harris" ])
+    [ "harris: OK (9 kernels" ];
+  check_contains "check DSL file"
+    (run_capture [ "check"; Filename.concat pipelines_dir "sobel.pipe" ])
+    [ "OK (3 kernels" ];
+  let bad = Filename.temp_file "kfusec_bad" ".pipe" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text bad (fun oc ->
+          output_string oc "pipeline p(in)\nout = conv(ghost, gauss3)\n");
+      let code, text = run_capture [ "check"; bad ] in
+      Alcotest.(check bool) "malformed file fails" true (code <> 0);
+      Alcotest.(check bool) "typed diagnostic" true (contains "error[KF" text))
+
+let test_read_file_diagnostic () =
+  (* A FILE argument that exists but cannot be read as a file (a
+     directory) must come back as a clean KF0101 diagnostic, not an
+     uncaught Sys_error. *)
+  let code, text = run_capture [ "check"; "." ] in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool) "typed io diagnostic" true (contains "error[KF0101]" text);
+  Alcotest.(check bool) "no raw exception" false (contains "Sys_error" text)
+
+let test_fault_injection_e2e () =
+  (* Acceptance: an injected search fault degrades to the baseline with
+     a warning and exit 0 by default, and fails with nonzero status
+     under --strict. *)
+  let env = "KFUSE_FAULTS=cut.stoer_wagner@1" in
+  let code, text = run_capture ~env [ "fuse"; "--app"; "harris"; "-j"; "2" ] in
+  Alcotest.(check int) "degraded fuse exits 0" 0 code;
+  Alcotest.(check bool) "fault warning" true (contains "warning[KF0901]" text);
+  Alcotest.(check bool) "fell back" true (contains "degraded: fell back" text);
+  Alcotest.(check bool) "baseline kernel count" true (contains "kernels: 9 -> 9" text);
+  let code, text = run_capture ~env [ "fuse"; "--app"; "harris"; "--strict" ] in
+  Alcotest.(check bool) "strict exits nonzero" true (code <> 0);
+  Alcotest.(check bool) "strict error" true (contains "error[KF0901]" text);
+  let code, text = run_capture ~env:"KFUSE_FAULTS=nonsense@@" [ "list" ] in
+  Alcotest.(check int) "malformed spec exits 2" 2 code;
+  Alcotest.(check bool) "spec error message" true (contains "malformed KFUSE_FAULTS" text)
+
+let test_budget_e2e () =
+  let code, text =
+    run_capture [ "fuse"; "--app"; "harris"; "--budget-ms"; "0" ]
+  in
+  Alcotest.(check int) "budget fallback exits 0" 0 code;
+  Alcotest.(check bool) "budget warning" true (contains "warning[KF0603]" text);
+  let code, _ =
+    run_capture [ "fuse"; "--app"; "harris"; "--budget-ms"; "0"; "--strict" ]
+  in
+  Alcotest.(check bool) "strict budget exits nonzero" true (code <> 0)
+
 let suite =
   [
     Alcotest.test_case "list" `Quick test_list;
@@ -106,4 +166,8 @@ let suite =
     Alcotest.test_case "dsl-check + errors" `Quick test_dsl_check_ok_and_error;
     Alcotest.test_case "explain/dot/unparse" `Quick test_explain_dot_unparse;
     Alcotest.test_case "run on PGM image" `Quick test_run_on_pgm;
+    Alcotest.test_case "check subcommand" `Quick test_check;
+    Alcotest.test_case "read_file diagnostic" `Quick test_read_file_diagnostic;
+    Alcotest.test_case "fault injection end-to-end" `Quick test_fault_injection_e2e;
+    Alcotest.test_case "budget end-to-end" `Quick test_budget_e2e;
   ]
