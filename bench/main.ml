@@ -19,6 +19,7 @@ let experiments =
     ("tab2", Exp_tables.tab2);
     ("ablate", Exp_ablate.run);
     ("eventsim", Exp_eventsim.run);
+    ("cache", Exp_cache.run);
     ("micro", Micro.run);
   ]
 

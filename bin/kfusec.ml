@@ -8,6 +8,8 @@
      run       - execute a pipeline on a PGM image via the interpreter
      check     - validate a pipeline and print structured diagnostics
      dsl-check - parse and validate a DSL file
+     serve     - run the kfused fusion service on a Unix-domain socket
+     query     - send one request to a running kfused
 
    Exit codes: 0 success, 1 a diagnostic error (printed to stderr as
    "kfusec: error[KFxxxx]: ..."), 2 a malformed KFUSE_FAULTS spec, plus
@@ -19,6 +21,8 @@ module Ir = Kfuse_ir
 module Iset = Kfuse_util.Iset
 module Stats = Kfuse_util.Stats
 module Diag = Kfuse_util.Diag
+module Cache = Kfuse_cache
+module Svc = Kfuse_service
 open Cmdliner
 
 let pp_diag d = Format.eprintf "kfusec: %a@." Diag.pp d
@@ -88,6 +92,14 @@ let device_conv =
   let print ppf (d : G.Device.t) = Format.pp_print_string ppf d.G.Device.name in
   Arg.conv (parse, print)
 
+(* ---- the shared driver flag set ----
+
+   Every driver-backed subcommand (fuse, emit, run, estimate, dot,
+   explain, serve, query) builds on this one term, so the flags behave
+   identically everywhere: pipeline selection (--app/FILE), the fusion
+   model (--c-mshared/--gamma/--tg), execution (-j/--strict/--budget-ms),
+   and the plan cache (--cache/--cache-dir). *)
+
 let app_arg =
   Arg.(value & opt (some string) None & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Built-in application name.")
 
@@ -150,6 +162,58 @@ let budget_arg =
           "Wall-clock budget for the fusion search.  A strategy running past it \
            falls back to the baseline partition (or fails under $(b,--strict)).")
 
+let cache_flag =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Serve fusion plans from the content-addressed plan cache (and store \
+           fresh ones), keyed by the pipeline's canonical structure and the \
+           fusion-model parameters.  Uses the default cache directory unless \
+           $(b,--cache-dir) is given.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "On-disk plan cache directory (implies $(b,--cache); default \
+           \\$XDG_CACHE_HOME/kfuse or ~/.cache/kfuse).")
+
+let plan_cache_of ~cache ~cache_dir =
+  match (cache, cache_dir) with
+  | false, None -> None
+  | _, dir ->
+    let dir = Option.value ~default:(Cache.Plan_cache.default_dir ()) dir in
+    Some (Cache.Plan_cache.create ~dir ())
+
+type common = {
+  app : string option;
+  file : string option;
+  config : F.Config.t;
+  jobs : int;
+  strict : bool;
+  budget_ms : float option;
+  cache : Cache.Plan_cache.t option;
+}
+
+let common_term =
+  let mk app file c_mshared gamma tg jobs strict budget_ms cache cache_dir =
+    {
+      app;
+      file;
+      config = config_of ~c_mshared ~gamma ~tg;
+      jobs;
+      strict;
+      budget_ms;
+      cache = plan_cache_of ~cache ~cache_dir;
+    }
+  in
+  Term.(
+    const mk $ app_arg $ file_arg $ cmshared_arg $ gamma_arg $ tg_arg $ jobs_arg
+    $ strict_arg $ budget_arg $ cache_flag $ cache_dir_arg)
+
 (* Run a subcommand body with a -j sized domain pool. *)
 let with_jobs jobs f =
   if jobs < 1 then begin
@@ -157,6 +221,32 @@ let with_jobs jobs f =
     1
   end
   else Kfuse_util.Pool.with_pool jobs f
+
+(* The shared subcommand spine: load, validate, size the pool, and hand
+   (pool, pipeline) to the body.  Every driver-backed subcommand used to
+   open with this same three-step boilerplate. *)
+let with_loaded (c : common) k =
+  match load_validated ~app:c.app ~file:c.file with
+  | Error d -> fail_diag d
+  | Ok p -> with_jobs c.jobs (fun pool -> k pool p)
+
+(* Driver entry shared by every subcommand: consult the plan cache when
+   enabled (the outcome goes to stderr so stdout stays the report), run
+   the search otherwise. *)
+let run_driver ?(optimize = false) ?(inline = false) ~pool ~strategy (c : common) p =
+  let compute () =
+    F.Driver.run_result ~optimize ~inline ~pool ~strict:c.strict ?budget_ms:c.budget_ms
+      c.config strategy p
+  in
+  match c.cache with
+  | None -> compute ()
+  | Some pc -> (
+    let key = Cache.Fingerprint.plan_key ~config:c.config ~strategy ~optimize ~inline p in
+    match Cache.Plan_cache.find_or_compute pc key compute with
+    | Error _ as e -> e
+    | Ok (r, outcome) ->
+      Format.eprintf "kfusec: plan cache: %s@." (Cache.Plan_cache.outcome_to_string outcome);
+      Ok r)
 
 let optimize_arg =
   Arg.(
@@ -221,29 +311,20 @@ let list_cmd =
 
 let fuse_cmd =
   let doc = "Run a fusion strategy and print the partition report." in
-  let run app file strategy c_mshared gamma tg inline distribute jobs strict budget_ms =
-    match load_validated ~app ~file with
+  let run common strategy inline distribute =
+    with_loaded common @@ fun pool p ->
+    let p, split = if distribute then F.Distribute.split_all p else (p, []) in
+    if split <> [] then Format.printf "distributed: %s@." (String.concat ", " split);
+    match run_driver ~inline ~pool ~strategy common p with
     | Error d -> fail_diag d
-    | Ok p ->
-      with_jobs jobs @@ fun pool ->
-      let config = config_of ~c_mshared ~gamma ~tg in
-      let p, split =
-        if distribute then F.Distribute.split_all p else (p, [])
-      in
-      if split <> [] then
-        Format.printf "distributed: %s@." (String.concat ", " split);
-      (match F.Driver.run_result ~inline ~pool ~strict ?budget_ms config strategy p with
-      | Error d -> fail_diag d
-      | Ok r ->
-        report_warnings r;
-        Format.printf "%a@." F.Driver.pp_report r;
-        0)
+    | Ok r ->
+      report_warnings r;
+      Format.printf "%a@." F.Driver.pp_report r;
+      0
   in
   Cmd.v
     (Cmd.info "fuse" ~doc)
-    Term.(
-      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ inline_arg $ distribute_arg $ jobs_arg $ strict_arg $ budget_arg)
+    Term.(const run $ common_term $ strategy_arg $ inline_arg $ distribute_arg)
 
 (* ---- emit ---- *)
 
@@ -252,43 +333,37 @@ let emit_cmd =
   let output_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run app file strategy c_mshared gamma tg optimize backend output jobs strict budget_ms =
-    match load_validated ~app ~file with
+  let run common strategy optimize backend output =
+    with_loaded common @@ fun pool p ->
+    match run_driver ~optimize ~pool ~strategy common p with
     | Error d -> fail_diag d
-    | Ok p -> (
-      with_jobs jobs @@ fun pool ->
-      let config = config_of ~c_mshared ~gamma ~tg in
-      match F.Driver.run_result ~optimize ~pool ~strict ?budget_ms config strategy p with
-      | Error d -> fail_diag d
-      | Ok r ->
-        report_warnings r;
-        let source =
-          match backend with
-          | `Cuda -> Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused
-          | `Cpu -> Kfuse_codegen.Lower_cpu.emit_pipeline r.F.Driver.fused
-        in
-        (match output with
-        | None ->
-          print_string source;
+    | Ok r -> (
+      report_warnings r;
+      let source =
+        match backend with
+        | `Cuda -> Kfuse_codegen.Lower.emit_pipeline r.F.Driver.fused
+        | `Cpu -> Kfuse_codegen.Lower_cpu.emit_pipeline r.F.Driver.fused
+      in
+      match output with
+      | None ->
+        print_string source;
+        0
+      | Some path -> (
+        match
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc source)
+        with
+        | () ->
+          Format.printf "wrote %s (%d kernels)@." path
+            (Ir.Pipeline.num_kernels r.F.Driver.fused);
           0
-        | Some path -> (
-          match
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out_noerr oc)
-              (fun () -> output_string oc source)
-          with
-          | () ->
-            Format.printf "wrote %s (%d kernels)@." path
-              (Ir.Pipeline.num_kernels r.F.Driver.fused);
-            0
-          | exception Sys_error msg -> fail_diag (Diag.v ~file:path Diag.Io_error msg))))
+        | exception Sys_error msg -> fail_diag (Diag.v ~file:path Diag.Io_error msg)))
   in
   Cmd.v
     (Cmd.info "emit" ~doc)
-    Term.(
-      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ optimize_arg $ backend_arg $ output_arg $ jobs_arg $ strict_arg $ budget_arg)
+    Term.(const run $ common_term $ strategy_arg $ optimize_arg $ backend_arg $ output_arg)
 
 (* ---- run ---- *)
 
@@ -306,65 +381,59 @@ let run_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.pgm"
           ~doc:"Output image path (multi-output pipelines add the kernel name).")
   in
-  let run app file strategy c_mshared gamma tg input output jobs strict budget_ms =
-    match load_validated ~app ~file with
-    | Error d -> fail_diag d
-    | Ok p -> (
-      match p.Ir.Pipeline.inputs with
-      | [ input_name ] -> (
-        with_jobs jobs @@ fun pool ->
-        match Kfuse_image.Pgm.read_result input with
+  let run common strategy input output =
+    with_loaded common @@ fun pool p ->
+    match p.Ir.Pipeline.inputs with
+    | [ input_name ] -> (
+      match Kfuse_image.Pgm.read_result input with
+      | Error d -> fail_diag d
+      | Ok img -> (
+        let p =
+          (* Re-elaborate at the image's size so any pipeline fits any
+             input: rebuild with the same kernels. *)
+          Ir.Pipeline.create ~name:p.Ir.Pipeline.name
+            ~width:(Kfuse_image.Image.width img)
+            ~height:(Kfuse_image.Image.height img)
+            ~channels:p.Ir.Pipeline.channels ~params:p.Ir.Pipeline.params
+            ~inputs:p.Ir.Pipeline.inputs
+            (Array.to_list p.Ir.Pipeline.kernels)
+        in
+        match run_driver ~pool ~strategy common p with
         | Error d -> fail_diag d
-        | Ok img -> (
-          let p =
-            (* Re-elaborate at the image's size so any pipeline fits any
-               input: rebuild with the same kernels. *)
-            Ir.Pipeline.create ~name:p.Ir.Pipeline.name
-              ~width:(Kfuse_image.Image.width img)
-              ~height:(Kfuse_image.Image.height img)
-              ~channels:p.Ir.Pipeline.channels ~params:p.Ir.Pipeline.params
-              ~inputs:p.Ir.Pipeline.inputs
-              (Array.to_list p.Ir.Pipeline.kernels)
-          in
-          let config = config_of ~c_mshared ~gamma ~tg in
-          match F.Driver.run_result ~pool ~strict ?budget_ms config strategy p with
-          | Error d -> fail_diag d
-          | Ok r -> (
-            report_warnings r;
-            let env = Ir.Eval.env_of_list [ (input_name, img) ] in
-            let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
-            match outs with
-            | [ (_, result) ] -> (
-              match Kfuse_image.Pgm.write_result output result with
-              | Error d -> fail_diag d
-              | Ok () ->
-                Format.printf "wrote %s (%dx%d, %d fused kernels)@." output
-                  (Kfuse_image.Image.width result)
-                  (Kfuse_image.Image.height result)
-                  (Ir.Pipeline.num_kernels r.F.Driver.fused);
-                0)
-            | many ->
-              let code = ref 0 in
-              List.iter
-                (fun (name, result) ->
-                  let path =
-                    Printf.sprintf "%s.%s.pgm" (Filename.remove_extension output) name
-                  in
-                  match Kfuse_image.Pgm.write_result path result with
-                  | Error d -> code := fail_diag d
-                  | Ok () -> Format.printf "wrote %s@." path)
-                many;
-              !code)))
-      | inputs ->
-        Format.eprintf "kfusec: run supports single-input pipelines (found %d inputs)@."
-          (List.length inputs);
-        1)
+        | Ok r -> (
+          report_warnings r;
+          let env = Ir.Eval.env_of_list [ (input_name, img) ] in
+          let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
+          match outs with
+          | [ (_, result) ] -> (
+            match Kfuse_image.Pgm.write_result output result with
+            | Error d -> fail_diag d
+            | Ok () ->
+              Format.printf "wrote %s (%dx%d, %d fused kernels)@." output
+                (Kfuse_image.Image.width result)
+                (Kfuse_image.Image.height result)
+                (Ir.Pipeline.num_kernels r.F.Driver.fused);
+              0)
+          | many ->
+            let code = ref 0 in
+            List.iter
+              (fun (name, result) ->
+                let path =
+                  Printf.sprintf "%s.%s.pgm" (Filename.remove_extension output) name
+                in
+                match Kfuse_image.Pgm.write_result path result with
+                | Error d -> code := fail_diag d
+                | Ok () -> Format.printf "wrote %s@." path)
+              many;
+            !code)))
+    | inputs ->
+      Format.eprintf "kfusec: run supports single-input pipelines (found %d inputs)@."
+        (List.length inputs);
+      1
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(
-      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ input_arg $ output_arg $ jobs_arg $ strict_arg $ budget_arg)
+    Term.(const run $ common_term $ strategy_arg $ input_arg $ output_arg)
 
 (* ---- estimate ---- *)
 
@@ -376,75 +445,63 @@ let estimate_cmd =
       & opt device_conv G.Device.gtx680
       & info [ "d"; "device" ] ~docv:"DEVICE" ~doc:"GPU model: gtx745, gtx680, or k20c.")
   in
-  let run app file device c_mshared gamma tg jobs strict budget_ms =
-    match load_validated ~app ~file with
+  let run common device =
+    with_loaded common @@ fun pool p ->
+    Format.printf "pipeline %s on %a@." p.Ir.Pipeline.name G.Device.pp device;
+    let results =
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Error _ as e -> e
+          | Ok acc -> (
+            match run_driver ~pool ~strategy:s common p with
+            | Error d -> Error d
+            | Ok r ->
+              report_warnings r;
+              let quality =
+                match s with
+                | F.Driver.Basic -> G.Perf_model.Basic_codegen
+                | F.Driver.Baseline | F.Driver.Greedy | F.Driver.Mincut ->
+                  G.Perf_model.Optimized
+              in
+              let m =
+                G.Sim.measure ~pool device ~quality
+                  ~fused_kernels:(fused_kernel_names p r) r.F.Driver.fused
+              in
+              Ok ((s, r, m) :: acc)))
+        (Ok []) F.Driver.all_strategies
+    in
+    match results with
     | Error d -> fail_diag d
-    | Ok p -> (
-      with_jobs jobs @@ fun pool ->
-      let config = config_of ~c_mshared ~gamma ~tg in
-      Format.printf "pipeline %s on %a@." p.Ir.Pipeline.name G.Device.pp device;
-      let results =
-        List.fold_left
-          (fun acc s ->
-            match acc with
-            | Error _ as e -> e
-            | Ok acc -> (
-              match F.Driver.run_result ~pool ~strict ?budget_ms config s p with
-              | Error d -> Error d
-              | Ok r ->
-                report_warnings r;
-                let quality =
-                  match s with
-                  | F.Driver.Basic -> G.Perf_model.Basic_codegen
-                  | F.Driver.Baseline | F.Driver.Greedy | F.Driver.Mincut ->
-                    G.Perf_model.Optimized
-                in
-                let m =
-                  G.Sim.measure ~pool device ~quality
-                    ~fused_kernels:(fused_kernel_names p r) r.F.Driver.fused
-                in
-                Ok ((s, r, m) :: acc)))
-          (Ok []) F.Driver.all_strategies
+    | Ok results ->
+      let results = List.rev results in
+      let baseline =
+        List.find_map
+          (fun (s, _, m) -> if s = F.Driver.Baseline then Some m else None)
+          results
       in
-      match results with
-      | Error d -> fail_diag d
-      | Ok results ->
-        let results = List.rev results in
-        let baseline =
-          List.find_map
-            (fun (s, _, m) -> if s = F.Driver.Baseline then Some m else None)
-            results
-        in
-        List.iter
-          (fun (s, r, m) ->
-            Format.printf "  %-9s %2d kernels  median %8.3f ms  speedup %.3f@."
-              (F.Driver.strategy_to_string s)
-              (Ir.Pipeline.num_kernels r.F.Driver.fused)
-              m.G.Sim.summary.Stats.median
-              (match baseline with Some b -> G.Sim.speedup b m | None -> 1.0))
-          results;
-        0)
+      List.iter
+        (fun (s, r, m) ->
+          Format.printf "  %-9s %2d kernels  median %8.3f ms  speedup %.3f@."
+            (F.Driver.strategy_to_string s)
+            (Ir.Pipeline.num_kernels r.F.Driver.fused)
+            m.G.Sim.summary.Stats.median
+            (match baseline with Some b -> G.Sim.speedup b m | None -> 1.0))
+        results;
+      0
   in
-  Cmd.v
-    (Cmd.info "estimate" ~doc)
-    Term.(
-      const run $ app_arg $ file_arg $ device_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ jobs_arg $ strict_arg $ budget_arg)
+  Cmd.v (Cmd.info "estimate" ~doc) Term.(const run $ common_term $ device_arg)
 
 (* ---- explain ---- *)
 
 let explain_cmd =
   let doc = "Narrate every fusion decision for a pipeline." in
-  let run app file c_mshared gamma tg =
-    match load_validated ~app ~file with
-    | Error d -> fail_diag d
-    | Ok p ->
-      print_string (F.Explain.report (config_of ~c_mshared ~gamma ~tg) p);
-      0
+  let run common =
+    with_loaded common @@ fun _pool p ->
+    print_string (F.Explain.report common.config p);
+    0
   in
-  Cmd.v
-    (Cmd.info "explain" ~doc)
-    Term.(const run $ app_arg $ file_arg $ cmshared_arg $ gamma_arg $ tg_arg)
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ common_term)
 
 (* ---- dot ---- *)
 
@@ -455,30 +512,24 @@ let dot_cmd =
       value & flag
       & info [ "w"; "weights" ] ~doc:"Label edges with the benefit-model weights.")
   in
-  let run app file strategy c_mshared gamma tg weights jobs strict budget_ms =
-    match load_validated ~app ~file with
+  let run common strategy weights =
+    with_loaded common @@ fun pool p ->
+    match run_driver ~pool ~strategy common p with
     | Error d -> fail_diag d
-    | Ok p -> (
-      with_jobs jobs @@ fun pool ->
-      let config = config_of ~c_mshared ~gamma ~tg in
-      match F.Driver.run_result ~pool ~strict ?budget_ms config strategy p with
-      | Error d -> fail_diag d
-      | Ok r ->
-        report_warnings r;
-        let edge_labels =
-          if weights then
-            Some (fun u v -> Some (Printf.sprintf "%.3g" (F.Benefit.edge_weight config p u v)))
-          else None
-        in
-        print_string
-          (Kfuse_codegen.Dot.emit ~partition:r.F.Driver.partition ?edge_labels p);
-        0)
+    | Ok r ->
+      report_warnings r;
+      let edge_labels =
+        if weights then
+          Some
+            (fun u v -> Some (Printf.sprintf "%.3g" (F.Benefit.edge_weight common.config p u v)))
+        else None
+      in
+      print_string (Kfuse_codegen.Dot.emit ~partition:r.F.Driver.partition ?edge_labels p);
+      0
   in
   Cmd.v
     (Cmd.info "dot" ~doc)
-    Term.(
-      const run $ app_arg $ file_arg $ strategy_arg $ cmshared_arg $ gamma_arg $ tg_arg
-      $ weights_arg $ jobs_arg $ strict_arg $ budget_arg)
+    Term.(const run $ common_term $ strategy_arg $ weights_arg)
 
 (* ---- unparse ---- *)
 
@@ -550,13 +601,173 @@ let dsl_check_cmd =
   in
   Cmd.v (Cmd.info "dsl-check" ~doc) Term.(const run $ file_required)
 
+(* ---- serve / query: the kfused service ---- *)
+
+let default_socket () =
+  let dir =
+    match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.get_temp_dir_name ()
+  in
+  Filename.concat dir "kfused.sock"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (default_socket ())
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the service listens on (default \
+              \\$XDG_RUNTIME_DIR/kfused.sock).")
+
+let serve_cmd =
+  let doc = "Run kfused: serve fusion plans over a Unix-domain socket." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Starts the fusion service: a length-prefixed JSON protocol over a \
+         Unix-domain socket.  Each request names a built-in application or \
+         carries pipeline DSL source; the reply is the fusion report.  Plans \
+         are memoized in the content-addressed plan cache, shared by every \
+         client; $(b,--cache)/$(b,--cache-dir) add the on-disk tier so plans \
+         survive restarts.  Concurrent clients are served on their own \
+         threads over one shared domain pool.";
+      `P
+        "Stop the server with a $(b,query --shutdown) request (or a signal; \
+         a stale socket file left behind is replaced on the next start).";
+    ]
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"In-memory plan cache capacity.")
+  in
+  let run common socket capacity =
+    if common.app <> None || common.file <> None then begin
+      Format.eprintf "kfusec: serve takes no pipeline; clients send them per request@.";
+      1
+    end
+    else if capacity < 1 then begin
+      Format.eprintf "kfusec: --cache-capacity must be >= 1@.";
+      1
+    end
+    else
+      with_jobs common.jobs @@ fun pool ->
+      let dir = Option.bind common.cache Cache.Plan_cache.dir in
+      let cache = Cache.Plan_cache.create ~capacity ?dir () in
+      match Svc.Server.start ~socket ~cache ~pool ?budget_ms:common.budget_ms () with
+      | Error d -> fail_diag d
+      | Ok server ->
+        Format.printf "kfused: listening on %s (cache %d entries%s)@." socket capacity
+          (match dir with Some d -> ", disk tier " ^ d | None -> ", memory only");
+        Svc.Server.wait server;
+        Format.printf "kfused: shut down@.";
+        0
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const run $ common_term $ socket_arg $ capacity_arg)
+
+let query_cmd =
+  let doc = "Send one request to a running kfused and print the reply." in
+  let op_arg =
+    Arg.(
+      value
+      & vflag `Fuse
+          [
+            (`Fuse, info [ "fuse" ] ~doc:"Request a fusion plan (the default).");
+            (`Stats, info [ "stats" ] ~doc:"Fetch cache and per-request statistics as JSON.");
+            ( `Metrics,
+              info [ "metrics" ] ~doc:"Fetch the Prometheus-style text metrics dump." );
+            (`Ping, info [ "ping" ] ~doc:"Check liveness.");
+            (`Shutdown, info [ "shutdown" ] ~doc:"Ask the server to shut down.");
+          ])
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Bypass the server's plan cache for this request.")
+  in
+  let run common socket op strategy optimize inline no_cache =
+    let exec f =
+      match Svc.Client.with_connection ~socket f with
+      | Error d -> fail_diag d
+      | Ok code -> code
+    in
+    match op with
+    | `Ping ->
+      exec (fun c ->
+          Result.map
+            (fun () ->
+              print_endline "pong";
+              0)
+            (Svc.Client.ping c))
+    | `Shutdown ->
+      exec (fun c ->
+          Result.map
+            (fun () ->
+              print_endline "shutdown requested";
+              0)
+            (Svc.Client.shutdown c))
+    | `Stats ->
+      exec (fun c ->
+          Result.map
+            (fun v ->
+              print_endline (Svc.Jsonx.to_string v);
+              0)
+            (Svc.Client.stats c))
+    | `Metrics ->
+      exec (fun c ->
+          Result.map
+            (fun text ->
+              print_string text;
+              0)
+            (Svc.Client.metrics c))
+    | `Fuse -> (
+      (* The request carries DSL source, not a path: the server need not
+         share a filesystem view with the client. *)
+      let source =
+        match (common.app, common.file) with
+        | None, Some path -> Result.map (fun s -> (None, Some s)) (read_file path)
+        | Some app, None -> Ok (Some app, None)
+        | Some _, Some _ -> Error (Diag.v Diag.Io_error "pass either --app or a FILE, not both")
+        | None, None -> Error (Diag.v Diag.Io_error "pass --app NAME or a DSL FILE")
+      in
+      match source with
+      | Error d -> fail_diag d
+      | Ok (app, source) ->
+        let req =
+          {
+            Svc.Protocol.app;
+            source;
+            strategy;
+            c_mshared = Some common.config.F.Config.c_mshared;
+            gamma = Some common.config.F.Config.gamma;
+            tg = Some common.config.F.Config.tg;
+            optimize;
+            inline;
+            budget_ms = common.budget_ms;
+            no_cache;
+          }
+        in
+        exec (fun c ->
+            Result.map
+              (fun v ->
+                print_endline (Svc.Jsonx.to_string v);
+                0)
+              (Svc.Client.fuse c req)))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const run $ common_term $ socket_arg $ op_arg $ strategy_arg $ optimize_arg
+      $ inline_arg $ no_cache_arg)
+
 let main =
   let doc = "min-cut kernel fusion for image-processing pipelines (CGO 2019 reproduction)" in
   Cmd.group
     (Cmd.info "kfusec" ~version:"1.0.0" ~doc)
     [
       list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
-      unparse_cmd; check_cmd; dsl_check_cmd;
+      unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; query_cmd;
     ]
 
 let () =

@@ -1,0 +1,59 @@
+(** Content fingerprints of pipelines and fusion-plan requests.
+
+    The plan cache addresses entries by what the fusion driver actually
+    depends on: the pipeline structure, the {!Kfuse_fusion.Config}
+    architecture parameters feeding the benefit model (Eqs. 3-12), the
+    strategy, and the driver flags that change the produced report.
+    Everything else — [--budget-ms], [-j], [--strict] — shapes {e how
+    long} a plan takes to find, not {e which} plan is found, and is
+    deliberately excluded.
+
+    Two pipeline fingerprints are provided:
+
+    - {!exact} hashes the pipeline as-is, names included.  Two pipelines
+      with equal exact fingerprints are indistinguishable to the driver,
+      so a report cached under one can be replayed bit-identically for
+      the other.
+    - {!structural} is the canonical structural hash: invariant under
+      kernel renaming, parameter-list reordering, and (for kernels with
+      distinct bodies) reordering of the kernel list.  Kernel identities
+      are replaced by content hashes of their transitive definitions, the
+      parameter list is sorted, and the result is normalized with
+      {!Kfuse_ir.Simplify} and {!Kfuse_ir.Cse} so that, e.g., [x * 1]
+      and [x] produce the same plan address.
+
+    Known limit of {!structural}: kernels with {e byte-identical} bodies
+    ("twins") are disambiguated by topological position, so an
+    isomorphism that also swaps distinguishable twins may hash
+    differently.  This errs on the side of a false miss, never a false
+    hit — correctness is guarded by {!exact} at lookup time. *)
+
+(** [exact p] is a hex digest of [p] exactly as constructed (kernel and
+    input names, declaration order, extents, parameter order). *)
+val exact : Kfuse_ir.Pipeline.t -> string
+
+(** [structural p] is the canonical structural hex digest described
+    above.  Never raises: pipelines the normalization passes reject fall
+    back to the un-normalized canonical rendering. *)
+val structural : Kfuse_ir.Pipeline.t -> string
+
+(** [config c] renders every {!Kfuse_fusion.Config.t} field that feeds
+    the benefit model and the legality checks, bit-exactly. *)
+val config : Kfuse_fusion.Config.t -> string
+
+(** A plan-cache address: [structural] names the entry (content
+    address), [exact] guards replay (bit-identical reports only). *)
+type key = private { structural : string; exact : string }
+
+(** [plan_key ~config ~strategy ?exchange ?optimize ?inline p] combines
+    both pipeline fingerprints with the config rendering, the strategy,
+    and the report-shaping driver flags (defaults mirror
+    {!Kfuse_fusion.Driver.run}). *)
+val plan_key :
+  config:Kfuse_fusion.Config.t ->
+  strategy:Kfuse_fusion.Driver.strategy ->
+  ?exchange:bool ->
+  ?optimize:bool ->
+  ?inline:bool ->
+  Kfuse_ir.Pipeline.t ->
+  key

@@ -1,0 +1,232 @@
+module Driver = Kfuse_fusion.Driver
+
+type entry = { exact : string; report : Driver.report }
+
+type t = {
+  mem : entry Lru.t;
+  dir : string option;
+  lock : Mutex.t;
+  (* Cache-level counters: the LRU's own hit counter would misreport an
+     entry found under the structural key but rejected by the exact
+     guard, so lookups are accounted here. *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable iso_misses : int;
+  mutable disk_hits : int;
+  mutable disk_misses : int;
+  mutable disk_errors : int;
+  mutable stores : int;
+}
+
+type outcome = Hit_memory | Hit_disk | Miss | Miss_iso
+
+let outcome_to_string = function
+  | Hit_memory -> "hit"
+  | Hit_disk -> "hit-disk"
+  | Miss -> "miss"
+  | Miss_iso -> "miss-iso"
+
+let default_dir () =
+  let join a b = Filename.concat a b in
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> join d "kfuse"
+  | _ -> (
+    match Sys.getenv_opt "HOME" with
+    | Some h when h <> "" -> join (join h ".cache") "kfuse"
+    | _ -> join (Filename.get_temp_dir_name ()) "kfuse")
+
+let create ?(capacity = 256) ?dir () =
+  {
+    mem = Lru.create ~capacity ();
+    dir;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    iso_misses = 0;
+    disk_hits = 0;
+    disk_misses = 0;
+    disk_errors = 0;
+    stores = 0;
+  }
+
+let dir t = t.dir
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- disk tier ----
+
+   One file per structural key: a two-line text header (format version +
+   producing OCaml version, then the payload digest) followed by the
+   marshaled entry.  Marshal is build-sensitive, which is exactly why the
+   header pins the OCaml version: a switch upgrade invalidates the store
+   instead of crashing it. *)
+
+let magic = Printf.sprintf "kfuse-plan 1 %s %d" Sys.ocaml_version Sys.word_size
+
+let path_of t key = Option.map (fun d -> Filename.concat d (key ^ ".plan")) t.dir
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+exception Corrupt of string
+
+let read_entry path =
+  In_channel.with_open_bin path (fun ic ->
+      let header = try input_line ic with End_of_file -> raise (Corrupt "empty file") in
+      if not (String.equal header magic) then raise (Corrupt "version mismatch");
+      let expected =
+        try input_line ic with End_of_file -> raise (Corrupt "missing digest")
+      in
+      let payload = In_channel.input_all ic in
+      if not (String.equal expected (Digest.to_hex (Digest.string payload))) then
+        raise (Corrupt "payload digest mismatch");
+      (Marshal.from_string payload 0 : entry))
+
+let write_entry path (e : entry) =
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ()) (Thread.id (Thread.self ()))
+  in
+  let payload = Marshal.to_string e [] in
+  Out_channel.with_open_bin tmp (fun oc ->
+      output_string oc magic;
+      output_char oc '\n';
+      output_string oc (Digest.to_hex (Digest.string payload));
+      output_char oc '\n';
+      output_string oc payload);
+  (* Atomic within a filesystem: readers see the old entry or the new
+     one, never a torn write. *)
+  Unix.rename tmp path
+
+let disk_find t (key : Fingerprint.key) =
+  match path_of t key.Fingerprint.structural with
+  | None -> None
+  | Some path ->
+    if not (Sys.file_exists path) then begin
+      t.disk_misses <- t.disk_misses + 1;
+      None
+    end
+    else begin
+      match read_entry path with
+      | e ->
+        if String.equal e.exact key.Fingerprint.exact then begin
+          t.disk_hits <- t.disk_hits + 1;
+          Some e
+        end
+        else begin
+          t.disk_misses <- t.disk_misses + 1;
+          None
+        end
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception _ ->
+        (* Unreadable or corrupt: drop it so the slot heals on the next
+           store, and account for it (KF0701 territory, never fatal). *)
+        t.disk_errors <- t.disk_errors + 1;
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+    end
+
+let disk_store t (key : Fingerprint.key) (e : entry) =
+  match path_of t key.Fingerprint.structural with
+  | None -> ()
+  | Some path -> (
+    try write_entry path e
+    with
+    | (Out_of_memory | Stack_overflow) as e -> raise e
+    | _ -> t.disk_errors <- t.disk_errors + 1)
+
+(* ---- lookup / store ---- *)
+
+(* [Error outcome] is a miss, qualified: plain, or same-structure-
+   different-names (served only by recomputation, never by translation,
+   so replies stay bit-identical to a fresh run). *)
+let lookup t (key : Fingerprint.key) =
+  locked t @@ fun () ->
+  match Lru.find t.mem key.Fingerprint.structural with
+  | Some e when String.equal e.exact key.Fingerprint.exact ->
+    t.hits <- t.hits + 1;
+    Ok (e.report, Hit_memory)
+  | Some _ ->
+    t.iso_misses <- t.iso_misses + 1;
+    Error Miss_iso
+  | None -> (
+    match disk_find t key with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      Lru.put t.mem key.Fingerprint.structural e;
+      Ok (e.report, Hit_disk)
+    | None ->
+      t.misses <- t.misses + 1;
+      Error Miss)
+
+let find t key = match lookup t key with Ok r -> Some r | Error _ -> None
+
+let store t (key : Fingerprint.key) (report : Driver.report) =
+  (* A degraded report reflects a budget or an injected fault, not the
+     pipeline's content — caching it would replay a transient accident
+     forever.  Only clean runs are content-addressable. *)
+  if not report.Driver.degraded then
+    locked t @@ fun () ->
+    let e = { exact = key.Fingerprint.exact; report } in
+    Lru.put t.mem key.Fingerprint.structural e;
+    t.stores <- t.stores + 1;
+    disk_store t key e
+
+let find_or_compute t key compute =
+  match lookup t key with
+  | Ok (report, outcome) -> Ok (report, outcome)
+  | Error why -> (
+    (* Not under the lock: plans can take seconds, and concurrent misses
+       on the same key are merely redundant (stores are idempotent). *)
+    match compute () with
+    | Error _ as e -> e
+    | Ok report ->
+      store t key report;
+      Ok (report, why))
+
+type stats = {
+  hits : int;
+  misses : int;
+  iso_misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  disk_hits : int;
+  disk_misses : int;
+  disk_errors : int;
+  stores : int;
+}
+
+let stats t =
+  locked t @@ fun () ->
+  let c = Lru.counters t.mem in
+  {
+    hits = t.hits - t.disk_hits;
+    misses = t.misses;
+    iso_misses = t.iso_misses;
+    evictions = c.Lru.evictions;
+    entries = Lru.length t.mem;
+    capacity = Lru.capacity t.mem;
+    disk_hits = t.disk_hits;
+    disk_misses = t.disk_misses;
+    disk_errors = t.disk_errors;
+    stores = t.stores;
+  }
+
+let hit_rate s =
+  let served = s.hits + s.disk_hits in
+  let total = served + s.misses + s.iso_misses in
+  if total = 0 then 0.0 else float_of_int served /. float_of_int total
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "entries %d/%d  hits %d (disk %d)  misses %d (iso %d)  evictions %d  stores %d  disk errors %d  hit rate %.2f"
+    s.entries s.capacity s.hits s.disk_hits s.misses s.iso_misses s.evictions s.stores
+    s.disk_errors (hit_rate s)
+
+let clear t = locked t @@ fun () -> Lru.clear t.mem

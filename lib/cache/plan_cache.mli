@@ -1,0 +1,91 @@
+(** The fusion plan cache: content-addressed memoization of
+    {!Kfuse_fusion.Driver} reports.
+
+    Entries are addressed by {!Fingerprint.plan_key}: the canonical
+    structural hash names the slot, and the exact fingerprint guards
+    replay — a cached report is only returned when the request is
+    bit-for-bit indistinguishable from the run that produced it, so a
+    hit is guaranteed to equal a fresh {!Kfuse_fusion.Driver.run}.  A
+    structurally-equal-but-renamed request is counted separately
+    ([iso_misses]) and recomputed.
+
+    Two tiers: an in-memory LRU (per process; thread-safe — one mutex,
+    never held while computing a plan) and an optional on-disk
+    content-addressed store so plans survive restarts.  Disk entries are
+    one file per key under [dir], written atomically
+    (temp-file-plus-rename) and self-describing: a header binds the
+    format version and the producing OCaml version, and a payload digest
+    detects truncation/corruption.  An unreadable, stale, or corrupt
+    entry is deleted and treated as a miss — the disk tier can only ever
+    cost a recompute, never wrongness ({!Kfuse_util.Diag.Cache_corrupt}
+    is surfaced in {!stats} as [disk_errors]). *)
+
+type t
+
+(** Where a served report came from, or why it was computed. *)
+type outcome =
+  | Hit_memory
+  | Hit_disk
+  | Miss  (** never seen *)
+  | Miss_iso
+      (** same canonical structure, different naming — recomputed so the
+          reply stays bit-identical to a fresh run *)
+
+val outcome_to_string : outcome -> string
+
+(** [create ?capacity ?dir ()] — [capacity] bounds the in-memory LRU
+    (default 256 plans); [dir], when given, enables the on-disk tier
+    (created on first store).  @raise Invalid_argument if
+    [capacity < 1]. *)
+val create : ?capacity:int -> ?dir:string -> unit -> t
+
+(** [default_dir ()] is [$XDG_CACHE_HOME/kfuse] or [~/.cache/kfuse]
+    (falling back to a [kfuse] directory under the temp dir when neither
+    variable is set). *)
+val default_dir : unit -> string
+
+val dir : t -> string option
+
+(** [find t key] is the cached report for [key], promoting disk hits
+    into the memory tier.  Updates counters. *)
+val find : t -> Fingerprint.key -> (Kfuse_fusion.Driver.report * outcome) option
+
+(** [store t key report] writes both tiers (disk tier only if enabled;
+    disk failures are counted, not raised).  A degraded report is {e not}
+    stored: degradation reflects a budget or an injected fault, not the
+    pipeline's content, so caching it would replay a transient accident
+    forever. *)
+val store : t -> Fingerprint.key -> Kfuse_fusion.Driver.report -> unit
+
+(** [find_or_compute t key compute] is the memoized entry point:
+    served from cache when possible, otherwise [compute ()] is run
+    {e outside} the cache lock and stored on success. *)
+val find_or_compute :
+  t ->
+  Fingerprint.key ->
+  (unit -> (Kfuse_fusion.Driver.report, Kfuse_util.Diag.t) result) ->
+  (Kfuse_fusion.Driver.report * outcome, Kfuse_util.Diag.t) result
+
+type stats = {
+  hits : int;  (** memory-tier hits *)
+  misses : int;  (** complete misses (neither tier had the entry) *)
+  iso_misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  disk_hits : int;
+  disk_misses : int;
+  disk_errors : int;  (** corrupt/stale entries dropped (KF0701) *)
+  stores : int;
+}
+
+val stats : t -> stats
+
+(** [hit_rate s] is served-from-cache over total lookups, in [0, 1]
+    ([0.] before any lookup). *)
+val hit_rate : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [clear t] empties the memory tier (the disk tier is left alone). *)
+val clear : t -> unit

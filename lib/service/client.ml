@@ -1,0 +1,45 @@
+module Diag = Kfuse_util.Diag
+
+type t = { fd : Unix.file_descr }
+
+let with_connection ~socket f =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Diag.errorf ~file:socket Diag.Service_error "cannot connect to kfused: %s"
+         (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> f { fd })
+
+let request t req =
+  match Protocol.send t.fd (Protocol.request_to_json req) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Diag.errorf Diag.Service_error "send failed: %s" (Unix.error_message e))
+  | () -> (
+    match Protocol.recv t.fd with
+    | Error _ as e -> e
+    | Ok None -> Error (Diag.v Diag.Protocol_error "server closed the connection without replying")
+    | Ok (Some v) -> Protocol.result v)
+
+let fuse t f = request t (Protocol.Fuse f)
+let stats t = request t Protocol.Stats
+
+let metrics t =
+  match request t Protocol.Metrics with
+  | Error _ as e -> e
+  | Ok v -> (
+    match Jsonx.mem_str "text" v with
+    | Some s -> Ok s
+    | None -> Error (Diag.v Diag.Protocol_error "metrics response lacks \"text\""))
+
+let ping t = Result.map (fun _ -> ()) (request t Protocol.Ping)
+let shutdown t = Result.map (fun _ -> ()) (request t Protocol.Shutdown)

@@ -1,0 +1,36 @@
+(** Client side of the [kfused] wire protocol.
+
+    Thin, synchronous, one connection per {!with_connection}: connect to
+    the Unix-domain socket, exchange length-prefixed JSON frames, fold
+    server-side [{"status":"error"}] responses back into
+    {!Kfuse_util.Diag.t}.  This is what [kfusec query] and the
+    end-to-end tests are built on. *)
+
+module Diag := Kfuse_util.Diag
+
+type t
+
+(** [with_connection ~socket f] connects, runs [f], and always closes
+    the connection.  Connection failures (no such socket, nobody
+    listening) are returned as {!Kfuse_util.Diag.Service_error}. *)
+val with_connection : socket:string -> (t -> ('a, Diag.t) result) -> ('a, Diag.t) result
+
+(** [request t req] sends one request and waits for its response.
+    [Error] covers transport failures, protocol violations, and server
+    [{"status":"error"}] replies alike. *)
+val request : t -> Protocol.request -> (Jsonx.t, Diag.t) result
+
+(** Convenience wrappers over {!request}. *)
+
+val fuse : t -> Protocol.fuse_request -> (Jsonx.t, Diag.t) result
+
+val stats : t -> (Jsonx.t, Diag.t) result
+
+(** [metrics t] is the server's Prometheus-style text exposition. *)
+val metrics : t -> (string, Diag.t) result
+
+val ping : t -> (unit, Diag.t) result
+
+(** [shutdown t] asks the server to stop accepting and exit its serve
+    loop once in-flight connections drain. *)
+val shutdown : t -> (unit, Diag.t) result

@@ -1,0 +1,205 @@
+module Diag = Kfuse_util.Diag
+module Driver = Kfuse_fusion.Driver
+
+let max_frame = 16 * 1024 * 1024
+
+(* ---- framing ---- *)
+
+(* A write to a vanished peer must surface as [Unix_error EPIPE] — which
+   the server's send guard and the client's [request] already turn into a
+   dropped connection / Service_error — not as a process-killing SIGPIPE.
+   Forced on first [send], so both kfused and the client CLI are covered. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* [Ok false] on EOF before the first byte; raises Protocol_error-shaped
+   [Error] through the caller for EOF mid-frame. *)
+let read_exactly fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off >= len then Ok true
+    else
+      match Unix.read fd bytes off (len - off) with
+      | 0 ->
+        if off = 0 then Ok false
+        else Error (Diag.errorf Diag.Protocol_error "connection closed mid-frame (%d/%d bytes)" off len)
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+        (* A reset peer is a protocol-level event, not an exception: the
+           caller decides whether to drop the connection. *)
+        Error (Diag.errorf Diag.Protocol_error "read failed: %s" (Unix.error_message e))
+  in
+  go 0
+
+let send fd v =
+  Lazy.force ignore_sigpipe;
+  let payload = Bytes.unsafe_of_string (Jsonx.to_string v) in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
+  write_all fd header;
+  write_all fd payload
+
+let recv fd =
+  let header = Bytes.create 4 in
+  match read_exactly fd header with
+  | Error _ as e -> e |> Result.map (fun _ -> None)
+  | Ok false -> Ok None
+  | Ok true -> (
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 || len > max_frame then
+      Error (Diag.errorf Diag.Protocol_error "frame length %d out of range (max %d)" len max_frame)
+    else
+      let payload = Bytes.create len in
+      match read_exactly fd payload with
+      | Error _ as e -> Result.map (fun _ -> None) e
+      | Ok false ->
+        Error (Diag.errorf Diag.Protocol_error "connection closed before %d-byte payload" len)
+      | Ok true -> (
+        match Jsonx.of_string (Bytes.unsafe_to_string payload) with
+        | Ok v -> Ok (Some v)
+        | Error msg -> Error (Diag.errorf Diag.Protocol_error "invalid JSON payload: %s" msg)))
+
+(* ---- requests ---- *)
+
+type fuse_request = {
+  app : string option;
+  source : string option;
+  strategy : Driver.strategy;
+  c_mshared : float option;
+  gamma : float option;
+  tg : float option;
+  optimize : bool;
+  inline : bool;
+  budget_ms : float option;
+  no_cache : bool;
+}
+
+type request =
+  | Fuse of fuse_request
+  | Stats
+  | Metrics
+  | Ping
+  | Shutdown
+
+let request_to_json = function
+  | Stats -> Jsonx.Obj [ ("op", Jsonx.Str "stats") ]
+  | Metrics -> Jsonx.Obj [ ("op", Jsonx.Str "metrics") ]
+  | Ping -> Jsonx.Obj [ ("op", Jsonx.Str "ping") ]
+  | Shutdown -> Jsonx.Obj [ ("op", Jsonx.Str "shutdown") ]
+  | Fuse f ->
+    let opt name conv v fields =
+      match v with None -> fields | Some v -> (name, conv v) :: fields
+    in
+    let fields =
+      []
+      |> opt "budget_ms" (fun v -> Jsonx.Num v) f.budget_ms
+      |> opt "tg" (fun v -> Jsonx.Num v) f.tg
+      |> opt "gamma" (fun v -> Jsonx.Num v) f.gamma
+      |> opt "c_mshared" (fun v -> Jsonx.Num v) f.c_mshared
+      |> opt "source" (fun v -> Jsonx.Str v) f.source
+      |> opt "app" (fun v -> Jsonx.Str v) f.app
+    in
+    let fields =
+      if f.optimize then ("optimize", Jsonx.Bool true) :: fields else fields
+    in
+    let fields = if f.inline then ("inline", Jsonx.Bool true) :: fields else fields in
+    let fields = if f.no_cache then ("no_cache", Jsonx.Bool true) :: fields else fields in
+    Jsonx.Obj
+      (("op", Jsonx.Str "fuse")
+      :: ("strategy", Jsonx.Str (Driver.strategy_to_string f.strategy))
+      :: fields)
+
+let proto_error fmt = Printf.ksprintf (fun m -> Error (Diag.v Diag.Protocol_error m)) fmt
+
+(* A present-but-mistyped field is a protocol error, not a silent
+   default: clients should learn immediately, not get surprising plans. *)
+let typed_field name accessor what v =
+  match Jsonx.member name v with
+  | None -> Ok None
+  | Some field -> (
+    match accessor field with
+    | Some x -> Ok (Some x)
+    | None -> proto_error "field %S must be a %s" name what)
+
+let ( let* ) = Result.bind
+
+let request_of_json v =
+  match Jsonx.mem_str "op" v with
+  | None -> proto_error "request must be an object with a string \"op\" field"
+  | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
+  | Some "ping" -> Ok Ping
+  | Some "shutdown" -> Ok Shutdown
+  | Some "fuse" ->
+    let* app = typed_field "app" Jsonx.str "string" v in
+    let* source = typed_field "source" Jsonx.str "string" v in
+    let* strategy_name = typed_field "strategy" Jsonx.str "string" v in
+    let* strategy =
+      match strategy_name with
+      | None -> Ok Driver.Mincut
+      | Some s -> (
+        match Driver.strategy_of_string s with
+        | Some s -> Ok s
+        | None -> proto_error "unknown strategy %S" s)
+    in
+    let* c_mshared = typed_field "c_mshared" Jsonx.num "number" v in
+    let* gamma = typed_field "gamma" Jsonx.num "number" v in
+    let* tg = typed_field "tg" Jsonx.num "number" v in
+    let* optimize = typed_field "optimize" Jsonx.bool "boolean" v in
+    let* inline = typed_field "inline" Jsonx.bool "boolean" v in
+    let* budget_ms = typed_field "budget_ms" Jsonx.num "number" v in
+    let* no_cache = typed_field "no_cache" Jsonx.bool "boolean" v in
+    let* () =
+      match (app, source) with
+      | Some _, Some _ -> proto_error "pass either \"app\" or \"source\", not both"
+      | None, None -> proto_error "fuse needs an \"app\" name or \"source\" text"
+      | _ -> Ok ()
+    in
+    Ok
+      (Fuse
+         {
+           app;
+           source;
+           strategy;
+           c_mshared;
+           gamma;
+           tg;
+           optimize = Option.value ~default:false optimize;
+           inline = Option.value ~default:false inline;
+           budget_ms;
+           no_cache = Option.value ~default:false no_cache;
+         })
+  | Some op -> proto_error "unknown op %S" op
+
+(* ---- responses ---- *)
+
+let ok fields = Jsonx.Obj (("status", Jsonx.Str "ok") :: fields)
+
+let error (d : Diag.t) =
+  Jsonx.Obj
+    [
+      ("status", Jsonx.Str "error");
+      ("code", Jsonx.Str (Diag.code_id d.Diag.code));
+      ("severity", Jsonx.Str (Diag.severity_to_string d.Diag.severity));
+      ("message", Jsonx.Str d.Diag.message);
+    ]
+
+let result v =
+  match Jsonx.mem_str "status" v with
+  | Some "ok" -> Ok v
+  | Some "error" ->
+    let message = Option.value ~default:"unspecified server error" (Jsonx.mem_str "message" v) in
+    let code = Option.value ~default:"KF0802" (Jsonx.mem_str "code" v) in
+    Error (Diag.errorf Diag.Service_error "%s: %s" code message)
+  | _ -> proto_error "response lacks a valid \"status\" field"

@@ -1,0 +1,77 @@
+(** The [kfused] wire protocol: length-prefixed JSON over a Unix-domain
+    socket.
+
+    Framing: each message is a 4-byte big-endian payload length followed
+    by that many bytes of UTF-8 JSON.  Both directions use the same
+    framing; a connection carries any number of request/response pairs,
+    in order.  Frames above {!max_frame} are rejected as
+    {!Kfuse_util.Diag.Protocol_error} (a defense against garbage
+    writers, not a protocol limit).
+
+    Requests are objects with an ["op"] field:
+    - [{"op":"fuse", ...}] — plan a pipeline.  Either ["app"] (a
+      registry name) or ["source"] (DSL text).  Optional: ["strategy"],
+      ["c_mshared"], ["gamma"], ["tg"], ["optimize"], ["inline"],
+      ["budget_ms"], ["no_cache"].
+    - [{"op":"stats"}] — cache + latency counters as JSON.
+    - [{"op":"metrics"}] — Prometheus-style text exposition (in the
+      ["text"] field of the response).
+    - [{"op":"ping"}] — liveness.
+    - [{"op":"shutdown"}] — orderly server stop.
+
+    Responses carry ["status"]: ["ok"] or ["error"] (with ["code"] —
+    a stable [KFxxxx] id — and ["message"]). *)
+
+module Diag := Kfuse_util.Diag
+
+(** Maximum accepted frame payload (16 MiB). *)
+val max_frame : int
+
+(** {1 Framing} *)
+
+(** [send fd v] writes one frame.  @raise Unix.Unix_error on I/O
+    failure (the peer vanished). *)
+val send : Unix.file_descr -> Jsonx.t -> unit
+
+(** [recv fd] reads one frame; [Ok None] on clean EOF at a frame
+    boundary; [Error] on oversized/truncated frames or invalid JSON. *)
+val recv : Unix.file_descr -> (Jsonx.t option, Diag.t) result
+
+(** {1 Requests} *)
+
+type fuse_request = {
+  app : string option;  (** registry name; mutually exclusive with [source] *)
+  source : string option;  (** DSL text *)
+  strategy : Kfuse_fusion.Driver.strategy;
+  c_mshared : float option;
+  gamma : float option;
+  tg : float option;
+  optimize : bool;
+  inline : bool;
+  budget_ms : float option;
+  no_cache : bool;  (** compute fresh, bypassing the plan cache *)
+}
+
+type request =
+  | Fuse of fuse_request
+  | Stats
+  | Metrics
+  | Ping
+  | Shutdown
+
+val request_to_json : request -> Jsonx.t
+
+(** [request_of_json v] validates shape and field types; unknown ops and
+    malformed fields are {!Kfuse_util.Diag.Protocol_error}s. *)
+val request_of_json : Jsonx.t -> (request, Diag.t) result
+
+(** {1 Responses} *)
+
+(** [ok fields] is [{"status":"ok", ...fields}]. *)
+val ok : (string * Jsonx.t) list -> Jsonx.t
+
+(** [error d] renders a diagnostic as an error response. *)
+val error : Diag.t -> Jsonx.t
+
+(** [result v] splits a response on its ["status"] field. *)
+val result : Jsonx.t -> (Jsonx.t, Diag.t) result

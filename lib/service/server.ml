@@ -1,0 +1,350 @@
+module Diag = Kfuse_util.Diag
+module Faults = Kfuse_util.Faults
+module Pool = Kfuse_util.Pool
+module Iset = Kfuse_util.Iset
+module Plan_cache = Kfuse_cache.Plan_cache
+module Fingerprint = Kfuse_cache.Fingerprint
+module F = Kfuse_fusion
+module Ir = Kfuse_ir
+
+type t = {
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  cache : Plan_cache.t;
+  pool : Pool.t;
+  default_budget_ms : float option;
+  metrics : Metrics.t;
+  started_at : float;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conn_lock : Mutex.t;
+  mutable conns : (int * Thread.t) list;  (* keyed by Thread.id *)
+}
+
+let socket t = t.socket_path
+let cache t = t.cache
+let metrics t = t.metrics
+
+(* ---- request handling ---- *)
+
+let load_pipeline (f : Protocol.fuse_request) =
+  match (f.Protocol.app, f.Protocol.source) with
+  | Some name, _ -> (
+    match Kfuse_apps.Registry.find name with
+    | Some e -> Ok (e.Kfuse_apps.Registry.pipeline ())
+    | None ->
+      Error
+        (Diag.errorf Diag.Io_error "unknown application %S (try: %s)" name
+           (String.concat ", " Kfuse_apps.Registry.names)))
+  | None, Some src -> Kfuse_dsl.Elaborate.parse_pipeline_diag src
+  | None, None -> Error (Diag.v Diag.Protocol_error "fuse without app or source")
+
+let validated p =
+  match Ir.Validate.result p with Ok p -> Ok p | Error d -> Error d
+
+let block_names (p : Ir.Pipeline.t) block =
+  List.map (fun i -> Jsonx.Str (Ir.Pipeline.kernel p i).Ir.Kernel.name) (Iset.elements block)
+
+let report_fields (r : F.Driver.report) =
+  [
+    ("strategy", Jsonx.Str (F.Driver.strategy_to_string r.F.Driver.strategy));
+    ("kernels_in", Jsonx.Num (float_of_int (Ir.Pipeline.num_kernels r.F.Driver.input)));
+    ("kernels_out", Jsonx.Num (float_of_int (Ir.Pipeline.num_kernels r.F.Driver.fused)));
+    ("objective", Jsonx.Num r.F.Driver.objective);
+    ( "partition",
+      Jsonx.Arr
+        (List.map (fun b -> Jsonx.Arr (block_names r.F.Driver.input b)) r.F.Driver.partition)
+    );
+    ("inlined", Jsonx.Arr (List.map (fun s -> Jsonx.Str s) r.F.Driver.inlined));
+    ("degraded", Jsonx.Bool r.F.Driver.degraded);
+    ( "warnings",
+      Jsonx.Arr (List.map (fun d -> Jsonx.Str (Diag.to_string d)) r.F.Driver.warnings) );
+  ]
+
+let handle_fuse t (f : Protocol.fuse_request) =
+  match Result.bind (load_pipeline f) validated with
+  | Error d -> Protocol.error d
+  | Ok p -> (
+    let default = F.Config.default in
+    let config =
+      {
+        default with
+        F.Config.c_mshared = Option.value ~default:default.F.Config.c_mshared f.Protocol.c_mshared;
+        gamma = Option.value ~default:default.F.Config.gamma f.Protocol.gamma;
+        tg = Option.value ~default:default.F.Config.tg f.Protocol.tg;
+      }
+    in
+    let strategy = f.Protocol.strategy in
+    let optimize = f.Protocol.optimize and inline = f.Protocol.inline in
+    let budget_ms =
+      match f.Protocol.budget_ms with Some b -> Some b | None -> t.default_budget_ms
+    in
+    let compute () =
+      let t0 = Unix.gettimeofday () in
+      match
+        F.Driver.run_result ~optimize ~inline ~pool:t.pool ?budget_ms config strategy p
+      with
+      | Error _ as e -> e
+      | Ok r -> Ok (r, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let served =
+      if f.Protocol.no_cache then
+        Result.map (fun (r, ms) -> (r, "bypass", ms)) (compute ())
+      else begin
+        let key = Fingerprint.plan_key ~config ~strategy ~optimize ~inline p in
+        match Plan_cache.find t.cache key with
+        | Some (r, outcome) -> Ok (r, Plan_cache.outcome_to_string outcome, 0.0)
+        | None -> (
+          match compute () with
+          | Error _ as e -> e
+          | Ok (r, ms) ->
+            Plan_cache.store t.cache key r;
+            (* find-then-store keeps the outcome (miss vs miss-iso)
+               distinction out of the hot reply path; the distinction
+               lives in the cache stats. *)
+            Ok (r, "miss", ms))
+      end
+    in
+    match served with
+    | Error d -> Protocol.error d
+    | Ok (r, outcome, plan_ms) ->
+      Protocol.ok
+        (report_fields r
+        @ [
+            ("cached", Jsonx.Bool (outcome = "hit" || outcome = "hit-disk"));
+            ("outcome", Jsonx.Str outcome);
+            ("plan_ms", Jsonx.Num plan_ms);
+          ]))
+
+let stats_json t =
+  let c = Plan_cache.stats t.cache in
+  let latency_json op =
+    match Metrics.latency t.metrics op with
+    | None -> Jsonx.Null
+    | Some q ->
+      Jsonx.Obj
+        [
+          ("samples", Jsonx.Num (float_of_int q.Kfuse_util.Stats.samples));
+          ("p50_ms", Jsonx.Num q.Kfuse_util.Stats.p50);
+          ("p90_ms", Jsonx.Num q.Kfuse_util.Stats.p90);
+          ("p95_ms", Jsonx.Num q.Kfuse_util.Stats.p95);
+          ("p99_ms", Jsonx.Num q.Kfuse_util.Stats.p99);
+          ("max_ms", Jsonx.Num q.Kfuse_util.Stats.q_max);
+          ("mean_ms", Jsonx.Num q.Kfuse_util.Stats.q_mean);
+        ]
+  in
+  let requests_json op =
+    let total, errors = Metrics.requests t.metrics op in
+    Jsonx.Obj
+      [
+        ("total", Jsonx.Num (float_of_int total));
+        ("errors", Jsonx.Num (float_of_int errors));
+        ("latency", latency_json op);
+      ]
+  in
+  Protocol.ok
+    [
+      ("uptime_s", Jsonx.Num (Unix.gettimeofday () -. t.started_at));
+      ( "cache",
+        Jsonx.Obj
+          [
+            ("entries", Jsonx.Num (float_of_int c.Plan_cache.entries));
+            ("capacity", Jsonx.Num (float_of_int c.Plan_cache.capacity));
+            ("hits", Jsonx.Num (float_of_int c.Plan_cache.hits));
+            ("disk_hits", Jsonx.Num (float_of_int c.Plan_cache.disk_hits));
+            ("misses", Jsonx.Num (float_of_int c.Plan_cache.misses));
+            ("iso_misses", Jsonx.Num (float_of_int c.Plan_cache.iso_misses));
+            ("evictions", Jsonx.Num (float_of_int c.Plan_cache.evictions));
+            ("stores", Jsonx.Num (float_of_int c.Plan_cache.stores));
+            ("disk_errors", Jsonx.Num (float_of_int c.Plan_cache.disk_errors));
+            ("hit_rate", Jsonx.Num (Plan_cache.hit_rate c));
+          ] );
+      ( "requests",
+        Jsonx.Obj (List.map (fun op -> (op, requests_json op)) (Metrics.ops t.metrics)) );
+      ( "connections",
+        Jsonx.Obj
+          [
+            ("accepted", Jsonx.Num (float_of_int (Metrics.counter t.metrics "connections_accepted")));
+            ("dropped", Jsonx.Num (float_of_int (Metrics.counter t.metrics "connections_dropped")));
+          ] );
+    ]
+
+(* [dispatch] never raises: a failing handler becomes an error response
+   (counted per-op), keeping the connection and the server alive. *)
+let dispatch t v =
+  match Protocol.request_of_json v with
+  | Error d -> ("invalid", Protocol.error d, false)
+  | Ok req -> (
+    let op =
+      match req with
+      | Protocol.Fuse _ -> "fuse"
+      | Protocol.Stats -> "stats"
+      | Protocol.Metrics -> "metrics"
+      | Protocol.Ping -> "ping"
+      | Protocol.Shutdown -> "shutdown"
+    in
+    match req with
+    | Protocol.Ping -> (op, Protocol.ok [ ("pong", Jsonx.Bool true) ], false)
+    | Protocol.Shutdown -> (op, Protocol.ok [ ("stopping", Jsonx.Bool true) ], true)
+    | Protocol.Stats -> (op, stats_json t, false)
+    | Protocol.Metrics ->
+      let text =
+        Metrics.render t.metrics ~cache:(Plan_cache.stats t.cache)
+          ~uptime_s:(Unix.gettimeofday () -. t.started_at)
+      in
+      (op, Protocol.ok [ ("text", Jsonx.Str text) ], false)
+    | Protocol.Fuse f -> (
+      match handle_fuse t f with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false)))
+
+let is_ok resp = match Jsonx.mem_str "status" resp with Some "ok" -> true | _ -> false
+
+let initiate_stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake the accept loop: on Linux, closing a listener from another
+       thread does not interrupt a blocked accept(2), so poke it with a
+       throwaway connection.  The loop rechecks [stopping] after every
+       accept and owns closing the listener. *)
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+      (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path) with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let handle_conn t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let self = Thread.id (Thread.self ()) in
+      Mutex.lock t.conn_lock;
+      t.conns <- List.filter (fun (id, _) -> id <> self) t.conns;
+      Mutex.unlock t.conn_lock)
+    (fun () ->
+      let rec loop () =
+        match Protocol.recv fd with
+        | Ok None -> ()
+        | Error d ->
+          (* Framing is broken; answer if the pipe still works, then
+             drop the connection. *)
+          Metrics.incr t.metrics "protocol_errors";
+          (try Protocol.send fd (Protocol.error d) with _ -> ())
+        | Ok (Some v) ->
+          let t0 = Unix.gettimeofday () in
+          let op, resp, stop = dispatch t v in
+          Metrics.observe t.metrics ~op ~ok:(is_ok resp) ((Unix.gettimeofday () -. t0) *. 1000.);
+          let sent = match Protocol.send fd resp with () -> true | exception _ -> false in
+          if stop then initiate_stop t else if sent then loop ()
+      in
+      loop ())
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _ when Atomic.get t.stopping ->
+        (* The wake-up poke from [initiate_stop], or a client racing the
+           shutdown: either way, the server is closing. *)
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      | fd, _ -> (
+        match Faults.hit "service.accept" with
+        | () ->
+          Metrics.incr t.metrics "connections_accepted";
+          let th = Thread.create (fun () -> handle_conn t fd) () in
+          Mutex.lock t.conn_lock;
+          t.conns <- (Thread.id th, th) :: t.conns;
+          Mutex.unlock t.conn_lock;
+          loop ()
+        | exception Faults.Fault _ ->
+          (* Degrade: this connection is lost, the server is not. *)
+          Metrics.incr t.metrics "connections_dropped";
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+    end
+  in
+  loop ();
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+(* ---- lifecycle ---- *)
+
+let claim_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    (* A socket file exists: stale (no listener) or live (refuse). *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+      Unix.close probe;
+      Error (Diag.errorf Diag.Service_error "another kfused is already serving on %s" path)
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      Error (Diag.errorf ~file:path Diag.Io_error "cannot probe socket: %s" (Unix.error_message e)))
+  | _ -> Error (Diag.errorf ~file:path Diag.Io_error "exists and is not a socket")
+
+let start ~socket:path ~cache ~pool ?budget_ms () =
+  match claim_socket path with
+  | Error _ as e -> e
+  | Ok () -> (
+    match
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Diag.errorf ~file:path Diag.Io_error "cannot listen: %s" (Unix.error_message e))
+    | listen_fd ->
+      let t =
+        {
+          socket_path = path;
+          listen_fd;
+          cache;
+          pool;
+          default_budget_ms = budget_ms;
+          metrics = Metrics.create ();
+          started_at = Unix.gettimeofday ();
+          stopping = Atomic.make false;
+          accept_thread = None;
+          conn_lock = Mutex.create ();
+          conns = [];
+        }
+      in
+      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+      Ok t)
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* Drain connection handlers started before the listener closed. *)
+  let rec drain () =
+    let next =
+      Mutex.lock t.conn_lock;
+      let c = match t.conns with (_, th) :: _ -> Some th | [] -> None in
+      Mutex.unlock t.conn_lock;
+      c
+    in
+    match next with
+    | Some th ->
+      Thread.join th;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
+
+let stop t =
+  initiate_stop t;
+  wait t

@@ -1,0 +1,44 @@
+(** The [kfused] server: fusion-as-a-service over a Unix-domain socket.
+
+    One accept loop (its own thread) hands each connection to a
+    dedicated handler thread, so a slow plan never blocks other
+    clients.  All handlers share one {!Kfuse_cache.Plan_cache} and one
+    {!Kfuse_util.Pool}: the pool is batch-exclusive, so concurrent
+    plans degrade gracefully to serial execution inside their own
+    thread rather than queueing behind each other.
+
+    Robustness: a failed request produces an error {e response}, not a
+    dead server; a connection failing mid-write is dropped; the
+    ["service.accept"] fault-injection point
+    ({!Kfuse_util.Faults.hit} right after [accept]) lets tests and CI
+    prove an injected accept-path fault drops that one connection
+    (counted in metrics as [connections_dropped]) and keeps serving. *)
+
+module Diag := Kfuse_util.Diag
+
+type t
+
+(** [start ~socket ~cache ~pool ?budget_ms ()] binds [socket] (a stale
+    socket file left by a dead server is replaced; a live one is
+    refused), starts the accept thread, and returns.  [budget_ms] is
+    the default per-request fusion budget; a request's own
+    ["budget_ms"] overrides it. *)
+val start :
+  socket:string ->
+  cache:Kfuse_cache.Plan_cache.t ->
+  pool:Kfuse_util.Pool.t ->
+  ?budget_ms:float ->
+  unit ->
+  (t, Diag.t) result
+
+(** [wait t] blocks until the server stops (a ["shutdown"] request or
+    {!stop}), then joins every connection thread and removes the socket
+    file. *)
+val wait : t -> unit
+
+(** [stop t] initiates shutdown and {!wait}s.  Idempotent. *)
+val stop : t -> unit
+
+val socket : t -> string
+val cache : t -> Kfuse_cache.Plan_cache.t
+val metrics : t -> Metrics.t

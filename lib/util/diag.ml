@@ -17,6 +17,9 @@ type code =
   | Invalid_partition
   | Strategy_failed
   | Budget_exceeded
+  | Cache_corrupt
+  | Protocol_error
+  | Service_error
   | Fault_injected
   | Internal_error
 
@@ -43,6 +46,9 @@ let code_id = function
   | Invalid_partition -> "KF0601"
   | Strategy_failed -> "KF0602"
   | Budget_exceeded -> "KF0603"
+  | Cache_corrupt -> "KF0701"
+  | Protocol_error -> "KF0801"
+  | Service_error -> "KF0802"
   | Fault_injected -> "KF0901"
   | Internal_error -> "KF0999"
 

@@ -35,6 +35,11 @@ type code =
   | Invalid_partition  (** KF0601: blocks not disjoint/covering or illegal *)
   | Strategy_failed  (** KF0602: a fusion strategy raised *)
   | Budget_exceeded  (** KF0603: fusion search ran past [--budget-ms] *)
+  | Cache_corrupt
+      (** KF0701: an on-disk plan-cache entry is unreadable or fails its
+          integrity checks (always survivable: treated as a miss) *)
+  | Protocol_error  (** KF0801: malformed [kfused] wire request/response *)
+  | Service_error  (** KF0802: [kfused] server-side failure *)
   | Fault_injected  (** KF0901: deterministic fault-injection trigger *)
   | Internal_error  (** KF0999: invariant violation inside the compiler *)
 

@@ -16,6 +16,9 @@
     - ["cut.karger"]  — entry of [Karger.min_cut]
     - ["sim.sample"]  — per measurement sample in [Sim.measure]
     - ["driver.strategy"] — before the driver runs the chosen strategy
+    - ["service.accept"] — after each accepted [kfused] connection; a
+      triggered fault drops that one connection while the server keeps
+      serving
 
     The registry is global and guarded by a mutex; {!hit} is safe to
     call from any domain. *)

@@ -32,3 +32,44 @@ val mean : float array -> float
 
 (** [pp_summary ppf s] prints a one-line rendering of [s]. *)
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Streaming percentiles}
+
+    A bounded reservoir (Vitter's algorithm R) over an unbounded stream:
+    every value seen so far is in the sample with equal probability, so
+    order statistics of the sample estimate those of the stream with a
+    fixed memory footprint.  Deterministic for a fixed [seed] and
+    insertion sequence.  The [kfused] service uses one per request kind
+    for latency reporting; min/max/mean are tracked exactly over the
+    whole stream.  Not thread-safe — callers synchronize. *)
+
+type reservoir
+
+(** [reservoir ?seed capacity] is an empty reservoir keeping at most
+    [capacity] samples.  @raise Invalid_argument if [capacity < 1]. *)
+val reservoir : ?seed:int -> int -> reservoir
+
+(** [add r x] observes one value. *)
+val add : reservoir -> float -> unit
+
+(** [count r] is the number of values observed (not retained). *)
+val count : reservoir -> int
+
+(** Percentile snapshot of a reservoir.  [p50]..[p99] are estimated from
+    the retained sample; [samples], [q_min], [q_max], and [q_mean] are
+    exact over everything observed. *)
+type quantiles = {
+  samples : int;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+  q_min : float;
+  q_max : float;
+  q_mean : float;
+}
+
+(** [quantiles r] is [None] until at least one value was observed. *)
+val quantiles : reservoir -> quantiles option
+
+val pp_quantiles : Format.formatter -> quantiles -> unit

@@ -33,5 +33,7 @@ let () =
       ("properties", Test_properties.suite);
       ("validate", Test_validate.suite);
       ("faults", Test_faults.suite);
+      ("cache", Test_cache.suite);
+      ("service", Test_service.suite);
       ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,284 @@
+(* The plan cache: canonical fingerprints, the LRU, and the two-tier
+   store.  The load-bearing properties:
+
+   - the structural fingerprint is invariant under kernel renaming and
+     parameter reordering (qcheck, random pipelines), while the exact
+     fingerprint is not — so isomorphic-but-renamed requests are
+     detected and recomputed, never translated;
+   - any semantic change (size, constants, borders, config, strategy)
+     changes the key;
+   - a cached report is bit-identical (equal marshaled bytes) to a
+     fresh [Driver.run_result], through both tiers;
+   - disk corruption degrades to a miss, and degraded reports are
+     never stored. *)
+
+module F = Kfuse_fusion
+module Cache = Kfuse_cache
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+module Faults = Kfuse_util.Faults
+
+let config = F.Config.default
+
+(* ---- random pipelines, with scalar params in some bodies ---- *)
+
+let border_gen =
+  QCheck.Gen.oneofl [ Border.Clamp; Border.Mirror; Border.Repeat; Border.Constant 0.5 ]
+
+let kernels_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* seeds = list_repeat n (pair (int_range 0 3) (pair (int_range 0 100) border_gen)) in
+    let kernels = ref [] in
+    let names = ref [ "in" ] in
+    List.iteri
+      (fun i (kind, (pick, border)) ->
+        let name = Printf.sprintf "k%d" i in
+        let prev = List.nth !names (pick mod List.length !names) in
+        let body =
+          match kind with
+          | 0 -> Expr.(input prev + (input "in" * Const 0.5))
+          | 1 -> Expr.(input prev * input prev)
+          | 2 -> Expr.((input prev * param "gain") + param "bias")
+          | _ -> Expr.conv ~border Mask.gaussian_3x3 prev
+        in
+        let inputs = Expr.images body in
+        kernels := Kernel.map ~name ~inputs body :: !kernels;
+        names := name :: !names)
+      seeds;
+    return (List.rev !kernels))
+
+let params = [ ("gain", 1.25); ("bias", -3.0) ]
+
+let pipeline_of kernels =
+  Pipeline.create ~name:"rand" ~width:13 ~height:11 ~params ~inputs:[ "in" ] kernels
+
+let kernels_arb =
+  QCheck.make kernels_gen ~print:(fun ks ->
+      Format.asprintf "%a" Pipeline.pp (pipeline_of ks))
+
+(* Rename every kernel (and its uses) with a collision-free mapping that
+   also reverses the lexicographic order, and reverse the param list. *)
+let renamed_pipeline kernels =
+  let rename n = if n = "in" then n else Printf.sprintf "zz%03d" (99 - int_of_string (String.sub n 1 (String.length n - 1))) in
+  let ks =
+    List.map
+      (fun (k : Kernel.t) ->
+        let op =
+          match k.Kernel.op with
+          | Kernel.Map e -> Kernel.Map (Expr.rename_images rename e)
+          | Kernel.Reduce { init; combine; arg } ->
+            Kernel.Reduce { init; combine; arg = Expr.rename_images rename arg }
+        in
+        Kernel.create ~name:(rename k.Kernel.name) ~inputs:(List.map rename k.Kernel.inputs) op)
+      kernels
+  in
+  Pipeline.create ~name:"other" ~width:13 ~height:11 ~params:(List.rev params)
+    ~inputs:[ "in" ] ks
+
+let prop_structural_rename_invariant =
+  QCheck.Test.make ~name:"structural fingerprint survives renaming + param reorder"
+    ~count:200 kernels_arb (fun ks ->
+      let p = pipeline_of ks and q = renamed_pipeline ks in
+      String.equal (Cache.Fingerprint.structural p) (Cache.Fingerprint.structural q))
+
+let prop_exact_sees_renames =
+  QCheck.Test.make ~name:"exact fingerprint distinguishes renamed pipelines" ~count:200
+    kernels_arb (fun ks ->
+      let p = pipeline_of ks and q = renamed_pipeline ks in
+      not (String.equal (Cache.Fingerprint.exact p) (Cache.Fingerprint.exact q)))
+
+let prop_structural_sees_edits =
+  QCheck.Test.make ~name:"structural fingerprint distinguishes semantic edits" ~count:200
+    kernels_arb (fun ks ->
+      let p = pipeline_of ks in
+      let wider =
+        Pipeline.create ~name:"rand" ~width:14 ~height:11 ~params ~inputs:[ "in" ] ks
+      in
+      let retuned =
+        Pipeline.create ~name:"rand" ~width:13 ~height:11
+          ~params:[ ("gain", 1.25); ("bias", -2.0) ]
+          ~inputs:[ "in" ] ks
+      in
+      let s = Cache.Fingerprint.structural p in
+      (not (String.equal s (Cache.Fingerprint.structural wider)))
+      && not (String.equal s (Cache.Fingerprint.structural retuned)))
+
+(* ---- plan keys ---- *)
+
+let test_plan_key_requests () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  let key ?(config = config) ?(strategy = F.Driver.Mincut) ?optimize ?inline () =
+    (Cache.Fingerprint.plan_key ~config ~strategy ?optimize ?inline p).Cache.Fingerprint.structural
+  in
+  let base = key () in
+  Alcotest.(check bool) "same request, same key" true (String.equal base (key ()));
+  Alcotest.(check bool) "strategy changes the key" false
+    (String.equal base (key ~strategy:F.Driver.Greedy ()));
+  Alcotest.(check bool) "config changes the key" false
+    (String.equal base (key ~config:{ config with F.Config.tg = 100.0 } ()));
+  Alcotest.(check bool) "optimize changes the key" false
+    (String.equal base (key ~optimize:true ()));
+  Alcotest.(check bool) "inline changes the key" false
+    (String.equal base (key ~inline:true ()))
+
+(* ---- LRU ---- *)
+
+let test_lru () =
+  let l = Cache.Lru.create ~capacity:2 () in
+  Cache.Lru.put l "a" 1;
+  Cache.Lru.put l "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Cache.Lru.find l "a");
+  (* "a" is now most recent, so inserting "c" evicts "b". *)
+  Cache.Lru.put l "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.Lru.find l "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.Lru.find l "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.Lru.find l "c");
+  Alcotest.(check (list string)) "MRU order" [ "c"; "a" ] (Cache.Lru.keys l);
+  let c = Cache.Lru.counters l in
+  Alcotest.(check int) "hits" 3 c.Cache.Lru.hits;
+  Alcotest.(check int) "misses" 1 c.Cache.Lru.misses;
+  Alcotest.(check int) "evictions" 1 c.Cache.Lru.evictions
+
+(* ---- the cache proper ---- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kfuse-test-cache-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let fresh_report p =
+  match F.Driver.run_result config F.Driver.Mincut p with
+  | Ok r -> r
+  | Error d -> Alcotest.failf "driver failed: %s" (Kfuse_util.Diag.to_string d)
+
+let bytes_of (r : F.Driver.report) = Marshal.to_string r []
+
+let test_cached_bit_identical () =
+  with_temp_dir @@ fun dir ->
+  let p = Kfuse_apps.Harris.pipeline () in
+  let key = Cache.Fingerprint.plan_key ~config ~strategy:F.Driver.Mincut p in
+  let cache = Cache.Plan_cache.create ~dir () in
+  let compute () = F.Driver.run_result config F.Driver.Mincut p in
+  (match Cache.Plan_cache.find_or_compute cache key compute with
+  | Ok (_, Cache.Plan_cache.Miss) -> ()
+  | _ -> Alcotest.fail "first lookup should be a plain miss");
+  let fresh = fresh_report p in
+  (match Cache.Plan_cache.find_or_compute cache key compute with
+  | Ok (r, Cache.Plan_cache.Hit_memory) ->
+    Alcotest.(check bool) "memory hit bit-identical" true
+      (String.equal (bytes_of fresh) (bytes_of r))
+  | _ -> Alcotest.fail "second lookup should hit memory");
+  (* A fresh instance over the same dir models a restarted process. *)
+  (match Cache.Plan_cache.find (Cache.Plan_cache.create ~dir ()) key with
+  | Some (r, Cache.Plan_cache.Hit_disk) ->
+    Alcotest.(check bool) "disk hit bit-identical" true
+      (String.equal (bytes_of fresh) (bytes_of r))
+  | _ -> Alcotest.fail "restarted lookup should hit disk");
+  let s = Cache.Plan_cache.stats cache in
+  Alcotest.(check int) "one memory hit" 1 s.Cache.Plan_cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.Plan_cache.misses;
+  Alcotest.(check int) "one store" 1 s.Cache.Plan_cache.stores
+
+let test_iso_request_recomputed () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  let q =
+    (* Same structure, different kernel names: lives under the same
+       structural slot but must not be served p's report. *)
+    Pipeline.create ~name:"renamed" ~width:p.Pipeline.width ~height:p.Pipeline.height
+      ~channels:p.Pipeline.channels ~params:p.Pipeline.params ~inputs:p.Pipeline.inputs
+      (List.map
+         (fun (k : Kernel.t) ->
+           let rename n = if List.mem n p.Pipeline.inputs then n else "x_" ^ n in
+           let op =
+             match k.Kernel.op with
+             | Kernel.Map e -> Kernel.Map (Expr.rename_images rename e)
+             | Kernel.Reduce { init; combine; arg } ->
+               Kernel.Reduce { init; combine; arg = Expr.rename_images rename arg }
+           in
+           Kernel.create ~name:(rename k.Kernel.name) ~inputs:(List.map rename k.Kernel.inputs)
+             op)
+         (Array.to_list p.Pipeline.kernels))
+  in
+  let kp = Cache.Fingerprint.plan_key ~config ~strategy:F.Driver.Mincut p in
+  let kq = Cache.Fingerprint.plan_key ~config ~strategy:F.Driver.Mincut q in
+  Alcotest.(check bool) "same structural slot" true
+    (String.equal kp.Cache.Fingerprint.structural kq.Cache.Fingerprint.structural);
+  Alcotest.(check bool) "different exact fingerprints" false
+    (String.equal kp.Cache.Fingerprint.exact kq.Cache.Fingerprint.exact);
+  let cache = Cache.Plan_cache.create () in
+  Cache.Plan_cache.store cache kp (fresh_report p);
+  (match Cache.Plan_cache.find cache kq with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a renamed pipeline must not be served the original's report");
+  let s = Cache.Plan_cache.stats cache in
+  Alcotest.(check int) "counted as iso miss" 1 s.Cache.Plan_cache.iso_misses;
+  (* The recomputed report is for q's own names. *)
+  match Cache.Plan_cache.find_or_compute cache kq (fun () -> F.Driver.run_result config F.Driver.Mincut q) with
+  | Ok (r, Cache.Plan_cache.Miss_iso) ->
+    Alcotest.(check bool) "recomputed for q" true
+      (String.equal (bytes_of (fresh_report q)) (bytes_of r))
+  | _ -> Alcotest.fail "expected an iso-miss recompute"
+
+let test_corrupt_disk_entry () =
+  with_temp_dir @@ fun dir ->
+  let p = Kfuse_apps.Sobel.pipeline () in
+  let key = Cache.Fingerprint.plan_key ~config ~strategy:F.Driver.Mincut p in
+  Cache.Plan_cache.store (Cache.Plan_cache.create ~dir ()) key (fresh_report p);
+  let path = Filename.concat dir (key.Cache.Fingerprint.structural ^ ".plan") in
+  Alcotest.(check bool) "entry on disk" true (Sys.file_exists path);
+  Out_channel.with_open_bin path (fun oc -> output_string oc "kfuse-plan 1 garbage\nnope\n");
+  let cache = Cache.Plan_cache.create ~dir () in
+  (match Cache.Plan_cache.find cache key with
+  | None -> ()
+  | Some _ -> Alcotest.fail "corrupt entry must be a miss");
+  let s = Cache.Plan_cache.stats cache in
+  Alcotest.(check int) "corruption counted" 1 s.Cache.Plan_cache.disk_errors;
+  Alcotest.(check bool) "corrupt file removed" false (Sys.file_exists path)
+
+let test_degraded_not_stored () =
+  let p = Kfuse_apps.Harris.pipeline () in
+  let key = Cache.Fingerprint.plan_key ~config ~strategy:F.Driver.Mincut p in
+  let degraded =
+    Faults.with_spec "driver.strategy@1" (fun () ->
+        match F.Driver.run_result config F.Driver.Mincut p with
+        | Ok r -> r
+        | Error d -> Alcotest.failf "driver failed: %s" (Kfuse_util.Diag.to_string d))
+  in
+  Alcotest.(check bool) "fault degraded the run" true degraded.F.Driver.degraded;
+  let cache = Cache.Plan_cache.create () in
+  Cache.Plan_cache.store cache key degraded;
+  (match Cache.Plan_cache.find cache key with
+  | None -> ()
+  | Some _ -> Alcotest.fail "degraded reports must not be cached");
+  Alcotest.(check int) "no store recorded" 0
+    (Cache.Plan_cache.stats cache).Cache.Plan_cache.stores
+
+let suite =
+  List.map
+    (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]) t)
+    [ prop_structural_rename_invariant; prop_exact_sees_renames; prop_structural_sees_edits ]
+  @ [
+      Alcotest.test_case "plan keys separate distinct requests" `Quick test_plan_key_requests;
+      Alcotest.test_case "lru: bump, evict, counters" `Quick test_lru;
+      Alcotest.test_case "cached report is bit-identical (both tiers)" `Quick
+        test_cached_bit_identical;
+      Alcotest.test_case "renamed pipeline is recomputed, not translated" `Quick
+        test_iso_request_recomputed;
+      Alcotest.test_case "corrupt disk entry degrades to a miss" `Quick
+        test_corrupt_disk_entry;
+      Alcotest.test_case "degraded reports are not cached" `Quick test_degraded_not_stored;
+    ]

@@ -1,0 +1,306 @@
+(* The kfused service: JSON codec, wire protocol, and an end-to-end
+   server exercise over a real Unix-domain socket — two concurrent
+   clients, per-request cache accounting, and the ["service.accept"]
+   fault point proving an injected accept-path fault drops one
+   connection without killing the server. *)
+
+module Svc = Kfuse_service
+module Jsonx = Svc.Jsonx
+module Protocol = Svc.Protocol
+module Cache = Kfuse_cache
+module Faults = Kfuse_util.Faults
+module Diag = Kfuse_util.Diag
+
+(* ---- jsonx ---- *)
+
+let roundtrip v =
+  match Jsonx.of_string (Jsonx.to_string v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
+let test_jsonx_roundtrip () =
+  let v =
+    Jsonx.Obj
+      [
+        ("s", Jsonx.Str "a\"b\\c\nd\t\xe2\x82\xac");
+        ("n", Jsonx.Num 1.5);
+        ("big", Jsonx.Num 1234567890.0);
+        ("tiny", Jsonx.Num 1e-3);
+        ("neg", Jsonx.Num (-42.0));
+        ("t", Jsonx.Bool true);
+        ("f", Jsonx.Bool false);
+        ("z", Jsonx.Null);
+        ("a", Jsonx.Arr [ Jsonx.Num 1.0; Jsonx.Str ""; Jsonx.Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip is identity" true (roundtrip v = v)
+
+let test_jsonx_parse () =
+  let ok s = match Jsonx.of_string s with Ok v -> v | Error m -> Alcotest.failf "%s: %s" s m in
+  let bad s =
+    match Jsonx.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  Alcotest.(check bool) "unicode escape" true (ok {|"\u20ac"|} = Jsonx.Str "\xe2\x82\xac");
+  Alcotest.(check bool) "surrogate pair" true (ok {|"\ud83d\ude00"|} = Jsonx.Str "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "nested" true
+    (ok {| {"a":[1,2,{"b":null}],"c":true} |}
+    = Jsonx.Obj
+        [
+          ("a", Jsonx.Arr [ Jsonx.Num 1.0; Jsonx.Num 2.0; Jsonx.Obj [ ("b", Jsonx.Null) ] ]);
+          ("c", Jsonx.Bool true);
+        ]);
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1,}";
+  bad "tru";
+  bad "1 2";
+  bad "\"\\x\"";
+  bad "nan"
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Stats;
+      Protocol.Metrics;
+      Protocol.Ping;
+      Protocol.Shutdown;
+      Protocol.Fuse
+        {
+          Protocol.app = Some "harris";
+          source = None;
+          strategy = Kfuse_fusion.Driver.Greedy;
+          c_mshared = Some 2.0;
+          gamma = None;
+          tg = Some 72.0;
+          optimize = true;
+          inline = false;
+          budget_ms = Some 250.0;
+          no_cache = true;
+        };
+      Protocol.Fuse
+        {
+          Protocol.app = None;
+          source = Some "k = in(0,0) * 2.0";
+          strategy = Kfuse_fusion.Driver.Mincut;
+          c_mshared = None;
+          gamma = None;
+          tg = None;
+          optimize = false;
+          inline = false;
+          budget_ms = None;
+          no_cache = false;
+        };
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "request roundtrips" true (req = req')
+      | Error d -> Alcotest.failf "roundtrip rejected: %s" (Diag.to_string d))
+    reqs;
+  let bad json =
+    match Protocol.request_of_json json with
+    | Ok _ -> Alcotest.fail "malformed request accepted"
+    | Error d -> Alcotest.(check string) "protocol error code" "KF0801" (Diag.code_id d.Diag.code)
+  in
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "explode") ]);
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "fuse") ]);
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "fuse"); ("app", Jsonx.Num 3.0) ]);
+  bad
+    (Jsonx.Obj
+       [ ("op", Jsonx.Str "fuse"); ("app", Jsonx.Str "x"); ("source", Jsonx.Str "y") ])
+
+(* ---- end-to-end server ---- *)
+
+let temp_socket () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "kfused-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+
+let with_server f =
+  let socket = temp_socket () in
+  let cache = Cache.Plan_cache.create () in
+  Kfuse_util.Pool.with_pool 2 (fun pool ->
+      match Svc.Server.start ~socket ~cache ~pool () with
+      | Error d -> Alcotest.failf "server start failed: %s" (Diag.to_string d)
+      | Ok server ->
+        Fun.protect ~finally:(fun () -> Svc.Server.stop server) (fun () -> f socket server))
+
+let fuse_req app =
+  {
+    Protocol.app = Some app;
+    source = None;
+    strategy = Kfuse_fusion.Driver.Mincut;
+    c_mshared = None;
+    gamma = None;
+    tg = None;
+    optimize = false;
+    inline = false;
+    budget_ms = None;
+    no_cache = false;
+  }
+
+let expect_ok = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "request failed: %s" (Diag.to_string d)
+
+let field name v =
+  match Jsonx.member name v with
+  | Some f -> f
+  | None -> Alcotest.failf "response lacks %S: %s" name (Jsonx.to_string v)
+
+let test_concurrent_clients () =
+  with_server @@ fun socket _server ->
+  (* Two clients, each issuing the same requests concurrently on its own
+     connection: both must get correct answers, and the second wave of
+     harris requests must be servable from the cache. *)
+  let results = Array.make 2 None in
+  let client i =
+    Thread.create
+      (fun () ->
+        results.(i) <-
+          Some
+            (Svc.Client.with_connection ~socket (fun c ->
+                 let ( let* ) = Result.bind in
+                 let* first = Svc.Client.fuse c (fuse_req "harris") in
+                 let* second = Svc.Client.fuse c (fuse_req "harris") in
+                 let* () = Svc.Client.ping c in
+                 Ok (first, second))))
+      ()
+  in
+  let threads = [ client 0; client 1 ] in
+  List.iter Thread.join threads;
+  let outcomes = ref [] in
+  Array.iter
+    (fun r ->
+      match r with
+      | None -> Alcotest.fail "client thread did not finish"
+      | Some result ->
+        let first, second = expect_ok result in
+        List.iter
+          (fun reply ->
+            Alcotest.(check bool) "6 fused kernels" true
+              (field "kernels_out" reply = Jsonx.Num 6.0);
+            outcomes :=
+              (match field "outcome" reply with Jsonx.Str s -> s | _ -> "?") :: !outcomes)
+          [ first; second ])
+    results;
+  (* 4 fuse requests for one plan: at least one computed it, and at
+     least one was served from the cache (the second wave at the
+     latest; racing first requests may both miss). *)
+  let hits = List.length (List.filter (String.equal "hit") !outcomes) in
+  let misses = List.length (List.filter (String.equal "miss") !outcomes) in
+  Alcotest.(check bool) "some request computed the plan" true (misses >= 1);
+  Alcotest.(check bool) "some request hit the cache" true (hits >= 1);
+  Alcotest.(check int) "every request accounted" 4 (hits + misses);
+  (* The stats request agrees with the per-request outcomes. *)
+  let stats =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.stats c))
+  in
+  let cache_stats = field "cache" stats in
+  Alcotest.(check bool) "stats count the hits" true
+    (field "hits" cache_stats = Jsonx.Num (float_of_int hits));
+  match field "fuse" (field "requests" stats) with
+  | Jsonx.Obj _ as fuse_stats ->
+    Alcotest.(check bool) "4 fuse requests" true (field "total" fuse_stats = Jsonx.Num 4.0);
+    Alcotest.(check bool) "no errors" true (field "errors" fuse_stats = Jsonx.Num 0.0);
+    Alcotest.(check bool) "latency quantiles present" true
+      (match field "latency" fuse_stats with Jsonx.Obj _ -> true | _ -> false)
+  | _ -> Alcotest.fail "stats lack fuse request accounting"
+
+let test_error_responses_keep_serving () =
+  with_server @@ fun socket _server ->
+  Svc.Client.with_connection ~socket (fun c ->
+      (* An unknown app is an error response, not a dead connection. *)
+      (match Svc.Client.fuse c (fuse_req "no-such-app") with
+      | Ok _ -> Alcotest.fail "unknown app should fail"
+      | Error _ -> ());
+      (* Bad DSL likewise. *)
+      (match Svc.Client.fuse c { (fuse_req "x") with Protocol.app = None; source = Some "%" } with
+      | Ok _ -> Alcotest.fail "bad DSL should fail"
+      | Error _ -> ());
+      (* The same connection still works. *)
+      Result.map (fun _ -> ()) (Svc.Client.fuse c (fuse_req "sobel")))
+  |> expect_ok
+
+let test_accept_fault_degrades () =
+  with_server @@ fun socket server ->
+  Faults.with_spec "service.accept@1" (fun () ->
+      (* The first connection is accepted and immediately dropped by the
+         injected fault: the client sees a closed connection, an error,
+         not a hang. *)
+      (match
+         Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c)
+       with
+      | Ok () -> Alcotest.fail "dropped connection should not answer"
+      | Error _ -> ());
+      (* The server survives: the next connection is served. *)
+      expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c)));
+  Alcotest.(check int) "drop is counted" 1
+    (Svc.Metrics.counter (Svc.Server.metrics server) "connections_dropped");
+  let text =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.metrics c))
+  in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "metrics expose the drop" true
+    (contains "kfused_connections_dropped_total 1" text)
+
+let test_stale_socket_replaced () =
+  let socket = temp_socket () in
+  let cache = Cache.Plan_cache.create () in
+  Kfuse_util.Pool.with_pool 1 (fun pool ->
+      (* A dead server's socket file. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX socket);
+      Unix.close fd;
+      Alcotest.(check bool) "stale file exists" true (Sys.file_exists socket);
+      match Svc.Server.start ~socket ~cache ~pool () with
+      | Error d -> Alcotest.failf "stale socket not replaced: %s" (Diag.to_string d)
+      | Ok server ->
+        expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c));
+        (* A live server refuses a second bind on the same path. *)
+        (match Svc.Server.start ~socket ~cache ~pool () with
+        | Ok other ->
+          Svc.Server.stop other;
+          Alcotest.fail "two servers bound the same socket"
+        | Error d ->
+          Alcotest.(check string) "refused with KF0802" "KF0802" (Diag.code_id d.Diag.code));
+        Svc.Server.stop server;
+        Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket))
+
+let test_shutdown_request () =
+  let socket = temp_socket () in
+  let cache = Cache.Plan_cache.create () in
+  Kfuse_util.Pool.with_pool 1 (fun pool ->
+      match Svc.Server.start ~socket ~cache ~pool () with
+      | Error d -> Alcotest.failf "start failed: %s" (Diag.to_string d)
+      | Ok server ->
+        expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.shutdown c));
+        (* wait returns promptly because the shutdown request stopped the
+           accept loop; joining proves no thread is left behind. *)
+        Svc.Server.wait server;
+        Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket))
+
+let suite =
+  [
+    Alcotest.test_case "jsonx: encode/decode roundtrip" `Quick test_jsonx_roundtrip;
+    Alcotest.test_case "jsonx: parser accepts/rejects" `Quick test_jsonx_parse;
+    Alcotest.test_case "protocol: request roundtrip + rejection" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "kfused: two concurrent clients share the cache" `Quick
+      test_concurrent_clients;
+    Alcotest.test_case "kfused: error responses keep the connection alive" `Quick
+      test_error_responses_keep_serving;
+    Alcotest.test_case "kfused: service.accept fault drops one connection" `Quick
+      test_accept_fault_degrades;
+    Alcotest.test_case "kfused: stale socket replaced, live refused" `Quick
+      test_stale_socket_replaced;
+    Alcotest.test_case "kfused: shutdown request stops the server" `Quick
+      test_shutdown_request;
+  ]
