@@ -642,7 +642,43 @@ let serve_cmd =
       value & opt int 256
       & info [ "cache-capacity" ] ~docv:"N" ~doc:"In-memory plan cache capacity.")
   in
-  let run common socket capacity =
+  let max_conns_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Connections served concurrently (worker threads).  Connections \
+             beyond this wait in the bounded admission queue.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound: connections accepted while all $(b,--max-conns) \
+             workers are busy wait here; past it they are shed with a typed \
+             KF0803 overloaded reply instead of queueing forever.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock deadline, also armed as the connection's \
+             socket receive/send timeout: a slow or vanished peer frees its \
+             worker slot with a KF0804 reply, and a fusion search is \
+             budget-capped to the remaining deadline.  0 disables.")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "drain-timeout" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT or a shutdown request: stop accepting, let \
+             in-flight requests finish for up to MS milliseconds, then \
+             forcibly close the stragglers and remove the socket.")
+  in
+  let run common socket capacity max_conns queue request_timeout_ms drain_timeout_ms =
     if common.app <> None || common.file <> None then begin
       Format.eprintf "kfusec: serve takes no pipeline; clients send them per request@.";
       1
@@ -655,16 +691,31 @@ let serve_cmd =
       with_jobs common.jobs @@ fun pool ->
       let dir = Option.bind common.cache Cache.Plan_cache.dir in
       let cache = Cache.Plan_cache.create ~capacity ?dir () in
-      match Svc.Server.start ~socket ~cache ~pool ?budget_ms:common.budget_ms () with
+      match
+        Svc.Server.start ~socket ~cache ~pool ?budget_ms:common.budget_ms ~max_conns
+          ~queue ~request_timeout_ms ~drain_timeout_ms ()
+      with
       | Error d -> fail_diag d
       | Ok server ->
-        Format.printf "kfused: listening on %s (cache %d entries%s)@." socket capacity
-          (match dir with Some d -> ", disk tier " ^ d | None -> ", memory only");
+        (* SIGTERM/SIGINT initiate a graceful drain: stop accepting,
+           finish in-flight requests up to --drain-timeout, remove the
+           socket.  [wait] below performs the drain on this thread. *)
+        let graceful = Sys.Signal_handle (fun _ -> Svc.Server.signal_stop server) in
+        List.iter
+          (fun s -> try Sys.set_signal s graceful with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigterm; Sys.sigint ];
+        Format.printf "kfused: listening on %s (cache %d entries%s, %d workers + %d queue)@."
+          socket capacity
+          (match dir with Some d -> ", disk tier " ^ d | None -> ", memory only")
+          max_conns queue;
         Svc.Server.wait server;
         Format.printf "kfused: shut down@.";
         0
   in
-  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const run $ common_term $ socket_arg $ capacity_arg)
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ common_term $ socket_arg $ capacity_arg $ max_conns_arg $ queue_arg
+      $ request_timeout_arg $ drain_timeout_arg)
 
 let query_cmd =
   let doc = "Send one request to a running kfused and print the reply." in
@@ -686,41 +737,55 @@ let query_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Bypass the server's plan cache for this request.")
   in
-  let run common socket op strategy optimize inline no_cache =
-    let exec f =
-      match Svc.Client.with_connection ~socket f with
-      | Error d -> fail_diag d
-      | Ok code -> code
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Bound the connect and every read/write on the connection; an \
+             elapsed timeout is a typed KF0804 error (and retryable).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to N times when the server sheds the request (KF0803) \
+             or it times out (KF0804), with exponential backoff and \
+             deterministic jitter.  Only idempotent requests are retried — \
+             $(b,--shutdown) never is.")
+  in
+  let retry_backoff_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "retry-backoff-ms" ] ~docv:"MS"
+          ~doc:"First backoff step; doubles per retry (capped at 2s).")
+  in
+  let run common socket op strategy optimize inline no_cache timeout_ms retries
+      retry_backoff_ms =
+    let retry =
+      { Svc.Client.default_retry with attempts = retries; backoff_ms = retry_backoff_ms }
     in
+    let exec print req =
+      match Svc.Client.call ~socket ?timeout_ms ~retry req with
+      | Error d -> fail_diag d
+      | Ok v ->
+        print v;
+        0
+    in
+    let print_json v = print_endline (Svc.Jsonx.to_string v) in
     match op with
-    | `Ping ->
-      exec (fun c ->
-          Result.map
-            (fun () ->
-              print_endline "pong";
-              0)
-            (Svc.Client.ping c))
+    | `Ping -> exec (fun _ -> print_endline "pong") Svc.Protocol.Ping
     | `Shutdown ->
-      exec (fun c ->
-          Result.map
-            (fun () ->
-              print_endline "shutdown requested";
-              0)
-            (Svc.Client.shutdown c))
-    | `Stats ->
-      exec (fun c ->
-          Result.map
-            (fun v ->
-              print_endline (Svc.Jsonx.to_string v);
-              0)
-            (Svc.Client.stats c))
+      exec (fun _ -> print_endline "shutdown requested") Svc.Protocol.Shutdown
+    | `Stats -> exec print_json Svc.Protocol.Stats
     | `Metrics ->
-      exec (fun c ->
-          Result.map
-            (fun text ->
-              print_string text;
-              0)
-            (Svc.Client.metrics c))
+      exec
+        (fun v ->
+          match Svc.Jsonx.mem_str "text" v with
+          | Some text -> print_string text
+          | None -> print_json v)
+        Svc.Protocol.Metrics
     | `Fuse -> (
       (* The request carries DSL source, not a path: the server need not
          share a filesystem view with the client. *)
@@ -746,20 +811,16 @@ let query_cmd =
             inline;
             budget_ms = common.budget_ms;
             no_cache;
+            strict = common.strict;
           }
         in
-        exec (fun c ->
-            Result.map
-              (fun v ->
-                print_endline (Svc.Jsonx.to_string v);
-                0)
-              (Svc.Client.fuse c req)))
+        exec print_json (Svc.Protocol.Fuse req))
   in
   Cmd.v
     (Cmd.info "query" ~doc)
     Term.(
       const run $ common_term $ socket_arg $ op_arg $ strategy_arg $ optimize_arg
-      $ inline_arg $ no_cache_arg)
+      $ inline_arg $ no_cache_arg $ timeout_arg $ retries_arg $ retry_backoff_arg)
 
 let main =
   let doc = "min-cut kernel fusion for image-processing pipelines (CGO 2019 reproduction)" in

@@ -1,16 +1,45 @@
 module Diag = Kfuse_util.Diag
+module Rng = Kfuse_util.Rng
 
 type t = { fd : Unix.file_descr }
 
-let with_connection ~socket f =
+(* With a timeout, connect non-blocking and select for writability: a
+   Unix-domain connect is normally instant, but a listener with a full
+   backlog can block the caller indefinitely.  The same timeout then
+   arms SO_RCVTIMEO/SO_SNDTIMEO so every subsequent read and write on
+   the connection is bounded too. *)
+let connect_fd ~socket ~timeout_ms =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX socket)
-     with e ->
-       (try Unix.close fd with Unix.Unix_error _ -> ());
-       raise e);
-    fd
+    match timeout_ms with
+    | None -> Unix.connect fd (Unix.ADDR_UNIX socket)
+    | Some ms -> (
+      Unix.set_nonblock fd;
+      (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception
+          Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        let _, writable, _ = Unix.select [] [ fd ] [] (ms /. 1000.0) in
+        if writable = [] then raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", socket));
+        match Unix.getsockopt_error fd with
+        | None -> ()
+        | Some e -> raise (Unix.Unix_error (e, "connect", socket))));
+      Unix.clear_nonblock fd;
+      let s = ms /. 1000.0 in
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with
+      | Unix.Unix_error _ | Invalid_argument _ -> ());
+      try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with
+      | Unix.Unix_error _ | Invalid_argument _ -> ())
   with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let with_connection ~socket ?timeout_ms f =
+  match connect_fd ~socket ~timeout_ms with
+  | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+    Error (Diag.errorf ~file:socket Diag.Request_timeout "connect to kfused timed out")
   | exception Unix.Unix_error (e, _, _) ->
     Error
       (Diag.errorf ~file:socket Diag.Service_error "cannot connect to kfused: %s"
@@ -20,15 +49,63 @@ let with_connection ~socket f =
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () -> f { fd })
 
+let recv_reply t ~send_err =
+  match Protocol.recv t.fd with
+  | Error _ as e -> e (* includes a typed KF0804 when SO_RCVTIMEO elapses *)
+  | Ok None -> (
+    match send_err with
+    | Some d -> Error d
+    | None -> Error (Diag.v Diag.Protocol_error "server closed the connection without replying"))
+  | Ok (Some v) -> Protocol.result v
+
 let request t req =
   match Protocol.send t.fd (Protocol.request_to_json req) with
+  | () -> recv_reply t ~send_err:None
+  | exception Diag.Fatal d ->
+    (* The request would overrun the frame limit; nothing was sent. *)
+    Error d
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Error (Diag.v Diag.Request_timeout "send to kfused timed out")
+  | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as e), _, _) ->
+    (* The server closed before reading our request — but it may have
+       already replied (a KF0803 shed notice lands before the close):
+       prefer its typed reply over the raw pipe error. *)
+    recv_reply t
+      ~send_err:
+        (Some (Diag.errorf Diag.Service_error "send failed: %s" (Unix.error_message e)))
   | exception Unix.Unix_error (e, _, _) ->
     Error (Diag.errorf Diag.Service_error "send failed: %s" (Unix.error_message e))
-  | () -> (
-    match Protocol.recv t.fd with
+
+(* ---- retry policy ---- *)
+
+type retry = { attempts : int; backoff_ms : float; max_backoff_ms : float; seed : int }
+
+let default_retry = { attempts = 3; backoff_ms = 50.0; max_backoff_ms = 2_000.0; seed = 0 }
+
+(* Only overload sheds and timeouts are worth retrying: both are
+   transient by construction, and the server replies [KF0803] exactly
+   when a backed-off retry is the right response.  Hard failures
+   (protocol errors, server-side faults, bad requests) are not. *)
+let retryable (d : Diag.t) =
+  match d.Diag.code with Diag.Overloaded | Diag.Request_timeout -> true | _ -> false
+
+let idempotent = function Protocol.Shutdown -> false | _ -> true
+
+let call ~socket ?timeout_ms ?(retry = default_retry) req =
+  let rng = Rng.create retry.seed in
+  let rec go attempt =
+    match with_connection ~socket ?timeout_ms (fun c -> request c req) with
+    | Ok _ as ok -> ok
+    | Error d when attempt < retry.attempts && idempotent req && retryable d ->
+      (* Exponential backoff with deterministic seeded jitter in
+         [0.5, 1.0) of the capped step: reproducible schedules for
+         tests, decorrelated herds in production. *)
+      let step = Float.min (retry.backoff_ms *. (2.0 ** float_of_int attempt)) retry.max_backoff_ms in
+      Thread.delay (step *. (0.5 +. Rng.float rng 0.5) /. 1000.0);
+      go (attempt + 1)
     | Error _ as e -> e
-    | Ok None -> Error (Diag.v Diag.Protocol_error "server closed the connection without replying")
-    | Ok (Some v) -> Protocol.result v)
+  in
+  go 0
 
 let fuse t f = request t (Protocol.Fuse f)
 let stats t = request t Protocol.Stats

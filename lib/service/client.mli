@@ -2,23 +2,62 @@
 
     Thin, synchronous, one connection per {!with_connection}: connect to
     the Unix-domain socket, exchange length-prefixed JSON frames, fold
-    server-side [{"status":"error"}] responses back into
-    {!Kfuse_util.Diag.t}.  This is what [kfusec query] and the
-    end-to-end tests are built on. *)
+    server-side [{"status":"error"}] responses back into typed
+    {!Kfuse_util.Diag.t} (the wire ["code"] is preserved, so a [KF0803]
+    shed is distinguishable from a hard failure).  {!call} layers a
+    deterministic retry policy on top.  This is what [kfusec query] and
+    the end-to-end tests are built on. *)
 
 module Diag := Kfuse_util.Diag
 
 type t
 
-(** [with_connection ~socket f] connects, runs [f], and always closes
-    the connection.  Connection failures (no such socket, nobody
-    listening) are returned as {!Kfuse_util.Diag.Service_error}. *)
-val with_connection : socket:string -> (t -> ('a, Diag.t) result) -> ('a, Diag.t) result
+(** [with_connection ~socket ?timeout_ms f] connects, runs [f], and
+    always closes the connection.  With [timeout_ms], the connect is
+    bounded (a full server backlog cannot block the caller forever) and
+    [SO_RCVTIMEO]/[SO_SNDTIMEO] bound every subsequent read and write;
+    an elapsed timeout surfaces as {!Kfuse_util.Diag.Request_timeout}
+    ([KF0804]).  Connection failures (no such socket, nobody listening)
+    are {!Kfuse_util.Diag.Service_error}. *)
+val with_connection :
+  socket:string -> ?timeout_ms:float -> (t -> ('a, Diag.t) result) -> ('a, Diag.t) result
 
 (** [request t req] sends one request and waits for its response.
-    [Error] covers transport failures, protocol violations, and server
-    [{"status":"error"}] replies alike. *)
+    [Error] covers transport failures, protocol violations, timeouts,
+    and server [{"status":"error"}] replies alike.  A send that fails
+    because the server already closed (e.g. after writing a [KF0803]
+    shed notice) still drains the pending reply, so the typed error is
+    preferred over the raw pipe error. *)
 val request : t -> Protocol.request -> (Jsonx.t, Diag.t) result
+
+(** {1 Retrying}
+
+    Overload ([KF0803]) and timeouts ([KF0804]) are transient: the
+    right client response is a backed-off retry.  Everything else —
+    protocol errors, bad requests, server faults — is not retried. *)
+
+type retry = {
+  attempts : int;  (** max retries after the first try; 0 = never retry *)
+  backoff_ms : float;  (** first backoff step; doubles per retry *)
+  max_backoff_ms : float;  (** cap on the backoff step *)
+  seed : int;  (** seeds the deterministic jitter *)
+}
+
+(** 3 retries, 50 ms doubling to a 2 s cap, seed 0. *)
+val default_retry : retry
+
+(** [call ~socket ?timeout_ms ?retry req] is one connection per attempt:
+    connect, send [req], await the reply.  Attempts failing with
+    [KF0803]/[KF0804] are retried (idempotent requests only — everything
+    but [Shutdown]) with exponential backoff and deterministic seeded
+    jitter in [0.5, 1.0) of the step; the last error is returned when
+    the budget is exhausted. *)
+val call :
+  socket:string ->
+  ?timeout_ms:float ->
+  ?retry:retry ->
+  Protocol.request ->
+  (Jsonx.t, Diag.t) result
 
 (** Convenience wrappers over {!request}. *)
 

@@ -11,9 +11,16 @@ type t = {
   lock : Mutex.t;
   by_op : (string, per_op) Hashtbl.t;
   counters : (string, int) Hashtbl.t;
+  gauges : (string, int) Hashtbl.t;
 }
 
-let create () = { lock = Mutex.create (); by_op = Hashtbl.create 8; counters = Hashtbl.create 8 }
+let create () =
+  {
+    lock = Mutex.create ();
+    by_op = Hashtbl.create 8;
+    counters = Hashtbl.create 8;
+    gauges = Hashtbl.create 8;
+  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -42,6 +49,23 @@ let incr t name =
 let counter t name =
   locked t @@ fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counters name)
 
+(* Pre-seeding a counter at 0 keeps it visible in the exposition before
+   its first event: an operator (or a CI grep) can tell "never shed"
+   from "not instrumented". *)
+let touch t name =
+  locked t @@ fun () ->
+  if not (Hashtbl.mem t.counters name) then Hashtbl.replace t.counters name 0
+
+let adjust_gauge t name delta =
+  locked t @@ fun () ->
+  Hashtbl.replace t.gauges name (delta + Option.value ~default:0 (Hashtbl.find_opt t.gauges name))
+
+let incr_gauge t name = adjust_gauge t name 1
+let decr_gauge t name = adjust_gauge t name (-1)
+
+let gauge t name =
+  locked t @@ fun () -> Option.value ~default:0 (Hashtbl.find_opt t.gauges name)
+
 let ops t =
   locked t @@ fun () ->
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.by_op [])
@@ -64,6 +88,10 @@ let render t ~cache ~uptime_s =
         List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters [])
       in
       List.iter (fun (k, v) -> line "kfused_%s_total %d" k v) counters;
+      let gauges =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges [])
+      in
+      List.iter (fun (k, v) -> line "kfused_%s %d" k v) gauges;
       let ops = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.by_op []) in
       List.iter
         (fun op ->

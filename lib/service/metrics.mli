@@ -20,6 +20,19 @@ val incr : t -> string -> unit
 (** [counter t name] reads a named counter (0 if never bumped). *)
 val counter : t -> string -> int
 
+(** [touch t name] makes the counter visible (at 0) in {!render} before
+    its first event, so dashboards can tell "never happened" from "not
+    instrumented". *)
+val touch : t -> string -> unit
+
+(** {2 Gauges} — instantaneous values (e.g. [connections_active]),
+    rendered without the [_total] suffix. *)
+
+val adjust_gauge : t -> string -> int -> unit
+val incr_gauge : t -> string -> unit
+val decr_gauge : t -> string -> unit
+val gauge : t -> string -> int
+
 (** [ops t] lists the observed operation kinds (sorted). *)
 val ops : t -> string list
 

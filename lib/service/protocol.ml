@@ -1,4 +1,5 @@
 module Diag = Kfuse_util.Diag
+module Deadline = Kfuse_util.Deadline
 module Driver = Kfuse_fusion.Driver
 
 let max_frame = 16 * 1024 * 1024
@@ -12,12 +13,24 @@ let max_frame = 16 * 1024 * 1024
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
 
-let write_all fd bytes =
+(* EINTR always retries: a signal landing mid-frame must not kill the
+   request.  EAGAIN/EWOULDBLOCK only arrives when an [SO_SNDTIMEO] is
+   armed on the socket, i.e. the kernel already blocked for one full
+   timeout period; retry while the caller's deadline allows, surface
+   {!Kfuse_util.Deadline.Expired} once it does not.  Without a deadline
+   the socket-level timeout is authoritative and the error propagates —
+   retrying forever would let a slow-loris peer pin the writer. *)
+let write_all ?(deadline = Deadline.none) fd bytes =
   let len = Bytes.length bytes in
   let rec go off =
     if off < len then begin
-      let n = Unix.write fd bytes off (len - off) in
-      go (off + n)
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when deadline <> Deadline.none ->
+        Deadline.check deadline;
+        go off
     end
   in
   go 0
@@ -35,6 +48,11 @@ let read_exactly fd bytes =
         else Error (Diag.errorf Diag.Protocol_error "connection closed mid-frame (%d/%d bytes)" off len)
       | n -> go (off + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* An armed [SO_RCVTIMEO] elapsed: the peer is slow or gone.
+           Typed so the caller can answer [KF0804] and free the slot. *)
+        Error
+          (Diag.errorf Diag.Request_timeout "read timed out (%d/%d bytes)" off len)
       | exception Unix.Unix_error (e, _, _) ->
         (* A reset peer is a protocol-level event, not an exception: the
            caller decides whether to drop the connection. *)
@@ -42,13 +60,28 @@ let read_exactly fd bytes =
   in
   go 0
 
-let send fd v =
-  Lazy.force ignore_sigpipe;
+let encode v =
   let payload = Bytes.unsafe_of_string (Jsonx.to_string v) in
+  let len = Bytes.length payload in
+  if len > max_frame then
+    Diag.fail
+      (Diag.errorf Diag.Protocol_error "frame of %d bytes exceeds the %d-byte limit" len
+         max_frame);
   let header = Bytes.create 4 in
-  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  (header, payload)
+
+let send ?deadline fd v =
+  Lazy.force ignore_sigpipe;
+  let header, payload = encode v in
+  write_all ?deadline fd header;
+  write_all ?deadline fd payload
+
+let send_torn fd v =
+  Lazy.force ignore_sigpipe;
+  let header, payload = encode v in
   write_all fd header;
-  write_all fd payload
+  write_all fd (Bytes.sub payload 0 (Bytes.length payload / 2))
 
 let recv fd =
   let header = Bytes.create 4 in
@@ -81,6 +114,7 @@ type fuse_request = {
   tg : float option;
   optimize : bool;
   inline : bool;
+  strict : bool;
   budget_ms : float option;
   no_cache : bool;
 }
@@ -114,6 +148,7 @@ let request_to_json = function
       if f.optimize then ("optimize", Jsonx.Bool true) :: fields else fields
     in
     let fields = if f.inline then ("inline", Jsonx.Bool true) :: fields else fields in
+    let fields = if f.strict then ("strict", Jsonx.Bool true) :: fields else fields in
     let fields = if f.no_cache then ("no_cache", Jsonx.Bool true) :: fields else fields in
     Jsonx.Obj
       (("op", Jsonx.Str "fuse")
@@ -158,6 +193,7 @@ let request_of_json v =
     let* tg = typed_field "tg" Jsonx.num "number" v in
     let* optimize = typed_field "optimize" Jsonx.bool "boolean" v in
     let* inline = typed_field "inline" Jsonx.bool "boolean" v in
+    let* strict = typed_field "strict" Jsonx.bool "boolean" v in
     let* budget_ms = typed_field "budget_ms" Jsonx.num "number" v in
     let* no_cache = typed_field "no_cache" Jsonx.bool "boolean" v in
     let* () =
@@ -177,6 +213,7 @@ let request_of_json v =
            tg;
            optimize = Option.value ~default:false optimize;
            inline = Option.value ~default:false inline;
+           strict = Option.value ~default:false strict;
            budget_ms;
            no_cache = Option.value ~default:false no_cache;
          })
@@ -200,6 +237,12 @@ let result v =
   | Some "ok" -> Ok v
   | Some "error" ->
     let message = Option.value ~default:"unspecified server error" (Jsonx.mem_str "message" v) in
-    let code = Option.value ~default:"KF0802" (Jsonx.mem_str "code" v) in
-    Error (Diag.errorf Diag.Service_error "%s: %s" code message)
+    (* Fold the wire-level code back into the typed diagnostic, so a
+       client can dispatch (e.g. retry [KF0803]) without string
+       matching; an unknown code degrades to [Service_error]. *)
+    let code =
+      Option.value ~default:Diag.Service_error
+        (Option.bind (Jsonx.mem_str "code" v) Diag.code_of_id)
+    in
+    Error (Diag.errorf code "%s" message)
   | _ -> proto_error "response lacks a valid \"status\" field"

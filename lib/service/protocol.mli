@@ -12,7 +12,7 @@
     - [{"op":"fuse", ...}] — plan a pipeline.  Either ["app"] (a
       registry name) or ["source"] (DSL text).  Optional: ["strategy"],
       ["c_mshared"], ["gamma"], ["tg"], ["optimize"], ["inline"],
-      ["budget_ms"], ["no_cache"].
+      ["strict"], ["budget_ms"], ["no_cache"].
     - [{"op":"stats"}] — cache + latency counters as JSON.
     - [{"op":"metrics"}] — Prometheus-style text exposition (in the
       ["text"] field of the response).
@@ -24,17 +24,35 @@
 
 module Diag := Kfuse_util.Diag
 
-(** Maximum accepted frame payload (16 MiB). *)
+(** Maximum frame payload (16 MiB), enforced on both sides: {!recv}
+    rejects oversized incoming frames, and {!send} refuses to emit one
+    (raising {!Kfuse_util.Diag.Fatal} with [KF0801]) rather than ship a
+    frame the peer would reject mid-stream. *)
 val max_frame : int
 
 (** {1 Framing} *)
 
-(** [send fd v] writes one frame.  @raise Unix.Unix_error on I/O
-    failure (the peer vanished). *)
-val send : Unix.file_descr -> Jsonx.t -> unit
+(** [send ?deadline fd v] writes one frame.  [EINTR] is always retried;
+    when the socket has an [SO_SNDTIMEO] armed, a blocked write retries
+    while [deadline] (default {!Kfuse_util.Deadline.none}) allows and
+    otherwise surfaces the timeout.
+    @raise Unix.Unix_error on I/O failure (the peer vanished, or a
+    socket-level send timeout with no [deadline] to extend it).
+    @raise Kfuse_util.Deadline.Expired when [deadline] passes mid-write.
+    @raise Kfuse_util.Diag.Fatal when the encoded frame would exceed
+    {!max_frame}; nothing is written. *)
+val send : ?deadline:Kfuse_util.Deadline.t -> Unix.file_descr -> Jsonx.t -> unit
+
+(** [send_torn fd v] deliberately writes a truncated frame — a full
+    header announcing the payload length, then only half the payload —
+    for the protocol chaos harness (the ["proto.torn_frame"] fault).
+    The peer must surface a typed mid-frame error, never hang. *)
+val send_torn : Unix.file_descr -> Jsonx.t -> unit
 
 (** [recv fd] reads one frame; [Ok None] on clean EOF at a frame
-    boundary; [Error] on oversized/truncated frames or invalid JSON. *)
+    boundary; [Error] on oversized/truncated frames or invalid JSON.
+    When the socket has an [SO_RCVTIMEO] armed, an elapsed timeout is a
+    {!Kfuse_util.Diag.Request_timeout} ([KF0804]) error. *)
 val recv : Unix.file_descr -> (Jsonx.t option, Diag.t) result
 
 (** {1 Requests} *)
@@ -48,6 +66,9 @@ type fuse_request = {
   tg : float option;
   optimize : bool;
   inline : bool;
+  strict : bool;
+      (** fail fast with a typed error reply instead of degrading to the
+          baseline partition when the search overruns its budget *)
   budget_ms : float option;
   no_cache : bool;  (** compute fresh, bypassing the plan cache *)
 }
@@ -73,5 +94,9 @@ val ok : (string * Jsonx.t) list -> Jsonx.t
 (** [error d] renders a diagnostic as an error response. *)
 val error : Diag.t -> Jsonx.t
 
-(** [result v] splits a response on its ["status"] field. *)
+(** [result v] splits a response on its ["status"] field.  An error
+    response's ["code"] is folded back into the typed diagnostic code
+    (unknown codes degrade to {!Kfuse_util.Diag.Service_error}), so
+    clients can dispatch — e.g. retry [KF0803] — without string
+    matching. *)
 val result : Jsonx.t -> (Jsonx.t, Diag.t) result

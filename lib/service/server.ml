@@ -1,4 +1,5 @@
 module Diag = Kfuse_util.Diag
+module Deadline = Kfuse_util.Deadline
 module Faults = Kfuse_util.Faults
 module Pool = Kfuse_util.Pool
 module Iset = Kfuse_util.Iset
@@ -13,17 +14,40 @@ type t = {
   cache : Plan_cache.t;
   pool : Pool.t;
   default_budget_ms : float option;
+  request_timeout_ms : float;  (* <= 0. disables deadlines and socket timeouts *)
+  drain_timeout_ms : float;
   metrics : Metrics.t;
   started_at : float;
   stopping : bool Atomic.t;
+  (* Set by [signal_stop] — possibly from a signal handler, so it must
+     stay a bare atomic store: [wait]'s polling loop notices it and runs
+     the real stop work (locks, broadcast, accept poke) in a normal
+     thread context. *)
+  stop_requested : bool Atomic.t;
   mutable accept_thread : Thread.t option;
-  conn_lock : Mutex.t;
-  mutable conns : (int * Thread.t) list;  (* keyed by Thread.id *)
+  mutable workers : Thread.t array;
+  max_conns : int;
+  queue_bound : int;
+  (* Admission state, all under [q_lock]: accepted connections wait in
+     [queue] until one of the [max_conns] workers picks them up.  [busy]
+     counts workers serving a connection; [active.(i)] is the fd worker
+     [i] is serving, so a forced drain can shut it down. *)
+  q_lock : Mutex.t;
+  q_cond : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  mutable busy : int;
+  active : Unix.file_descr option array;
 }
 
 let socket t = t.socket_path
 let cache t = t.cache
 let metrics t = t.metrics
+
+let in_flight t =
+  Mutex.lock t.q_lock;
+  let n = t.busy + Queue.length t.queue in
+  Mutex.unlock t.q_lock;
+  n
 
 (* ---- request handling ---- *)
 
@@ -61,7 +85,7 @@ let report_fields (r : F.Driver.report) =
       Jsonx.Arr (List.map (fun d -> Jsonx.Str (Diag.to_string d)) r.F.Driver.warnings) );
   ]
 
-let handle_fuse t (f : Protocol.fuse_request) =
+let handle_fuse t ~deadline (f : Protocol.fuse_request) =
   match Result.bind (load_pipeline f) validated with
   | Error d -> Protocol.error d
   | Ok p -> (
@@ -76,13 +100,24 @@ let handle_fuse t (f : Protocol.fuse_request) =
     in
     let strategy = f.Protocol.strategy in
     let optimize = f.Protocol.optimize and inline = f.Protocol.inline in
+    (* The fusion-search budget is capped by what remains of the
+       request's wall-clock deadline: a request that already spent its
+       time queueing degrades (or fails under strict) immediately
+       instead of hanging in the search. *)
     let budget_ms =
-      match f.Protocol.budget_ms with Some b -> Some b | None -> t.default_budget_ms
+      let base =
+        match f.Protocol.budget_ms with Some b -> Some b | None -> t.default_budget_ms
+      in
+      match (Deadline.remaining_ms deadline, base) with
+      | None, b -> b
+      | Some r, None -> Some r
+      | Some r, Some b -> Some (Float.min r b)
     in
     let compute () =
       let t0 = Unix.gettimeofday () in
       match
-        F.Driver.run_result ~optimize ~inline ~pool:t.pool ?budget_ms config strategy p
+        F.Driver.run_result ~optimize ~inline ~strict:f.Protocol.strict ~pool:t.pool
+          ?budget_ms config strategy p
       with
       | Error _ as e -> e
       | Ok r -> Ok (r, (Unix.gettimeofday () -. t0) *. 1000.)
@@ -142,6 +177,7 @@ let stats_json t =
         ("latency", latency_json op);
       ]
   in
+  let count name = Jsonx.Num (float_of_int (Metrics.counter t.metrics name)) in
   Protocol.ok
     [
       ("uptime_s", Jsonx.Num (Unix.gettimeofday () -. t.started_at));
@@ -164,14 +200,26 @@ let stats_json t =
       ( "connections",
         Jsonx.Obj
           [
-            ("accepted", Jsonx.Num (float_of_int (Metrics.counter t.metrics "connections_accepted")));
-            ("dropped", Jsonx.Num (float_of_int (Metrics.counter t.metrics "connections_dropped")));
+            ("accepted", count "connections_accepted");
+            ("dropped", count "connections_dropped");
+            ( "active",
+              Jsonx.Num (float_of_int (Metrics.gauge t.metrics "connections_active")) );
+            ("shed", count "requests_shed");
+            ("timed_out", count "requests_timed_out");
+          ] );
+      ( "limits",
+        Jsonx.Obj
+          [
+            ("max_conns", Jsonx.Num (float_of_int t.max_conns));
+            ("queue", Jsonx.Num (float_of_int t.queue_bound));
+            ("request_timeout_ms", Jsonx.Num t.request_timeout_ms);
+            ("drain_timeout_ms", Jsonx.Num t.drain_timeout_ms);
           ] );
     ]
 
 (* [dispatch] never raises: a failing handler becomes an error response
    (counted per-op), keeping the connection and the server alive. *)
-let dispatch t v =
+let dispatch t ~deadline v =
   match Protocol.request_of_json v with
   | Error d -> ("invalid", Protocol.error d, false)
   | Ok req -> (
@@ -194,7 +242,7 @@ let dispatch t v =
       in
       (op, Protocol.ok [ ("text", Jsonx.Str text) ], false)
     | Protocol.Fuse f -> (
-      match handle_fuse t f with
+      match handle_fuse t ~deadline f with
       | resp -> (op, resp, false)
       | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
       | exception exn -> (op, Protocol.error (Diag.of_exn exn), false)))
@@ -203,6 +251,10 @@ let is_ok resp = match Jsonx.mem_str "status" resp with Some "ok" -> true | _ ->
 
 let initiate_stop t =
   if not (Atomic.exchange t.stopping true) then begin
+    (* Wake idle workers so they drain the queue and exit. *)
+    Mutex.lock t.q_lock;
+    Condition.broadcast t.q_cond;
+    Mutex.unlock t.q_lock;
     (* Wake the accept loop: on Linux, closing a listener from another
        thread does not interrupt a blocked accept(2), so poke it with a
        throwaway connection.  The loop rechecks [stopping] after every
@@ -214,31 +266,144 @@ let initiate_stop t =
       (try Unix.close fd with Unix.Unix_error _ -> ())
   end
 
+let signal_stop t = Atomic.set t.stop_requested true
+
+let request_deadline t =
+  if t.request_timeout_ms > 0.0 then Deadline.after_ms t.request_timeout_ms
+  else Deadline.none
+
+(* One reply, chaos points included.  Returns [true] when the connection
+   is still good for another request; every failure mode frees the slot
+   rather than wedging it. *)
+let send_reply t fd ~deadline resp =
+  match Faults.hit "proto.drop_reply" with
+  | exception Faults.Fault _ ->
+    (* Chaos: the reply vanishes and the connection drops; the client
+       must time out or see a clean close. *)
+    false
+  | () -> (
+    (match Faults.hit "proto.slow_write" with
+    | () -> ()
+    | exception Faults.Fault _ -> Thread.delay 0.05);
+    match Faults.hit "proto.torn_frame" with
+    | exception Faults.Fault _ ->
+      (* Chaos: half a frame, then the connection drops; the client must
+         surface a typed mid-frame error. *)
+      (try Protocol.send_torn fd resp with _ -> ());
+      false
+    | () -> (
+      match Protocol.send ~deadline fd resp with
+      | () -> true
+      | exception Deadline.Expired _ ->
+        Metrics.incr t.metrics "requests_timed_out";
+        false
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Metrics.incr t.metrics "requests_timed_out";
+        false
+      | exception Diag.Fatal d ->
+        (* The response overran [max_frame]; nothing was written, so the
+           slot is still good: answer with the typed error instead. *)
+        (match Protocol.send ~deadline fd (Protocol.error d) with
+        | () -> true
+        | exception _ -> false)
+      | exception _ -> false))
+
 let handle_conn t fd =
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      let self = Thread.id (Thread.self ()) in
-      Mutex.lock t.conn_lock;
-      t.conns <- List.filter (fun (id, _) -> id <> self) t.conns;
-      Mutex.unlock t.conn_lock)
-    (fun () ->
-      let rec loop () =
-        match Protocol.recv fd with
-        | Ok None -> ()
-        | Error d ->
-          (* Framing is broken; answer if the pipe still works, then
-             drop the connection. *)
-          Metrics.incr t.metrics "protocol_errors";
-          (try Protocol.send fd (Protocol.error d) with _ -> ())
-        | Ok (Some v) ->
-          let t0 = Unix.gettimeofday () in
-          let op, resp, stop = dispatch t v in
-          Metrics.observe t.metrics ~op ~ok:(is_ok resp) ((Unix.gettimeofday () -. t0) *. 1000.);
-          let sent = match Protocol.send fd resp with () -> true | exception _ -> false in
-          if stop then initiate_stop t else if sent then loop ()
-      in
-      loop ())
+  let rec loop () =
+    match Protocol.recv fd with
+    | Ok None -> ()
+    | Error d when d.Diag.code = Diag.Request_timeout ->
+      (* A slow-loris (or idle) peer ran out the receive timeout: free
+         the slot with a typed reply if the pipe still works. *)
+      Metrics.incr t.metrics "requests_timed_out";
+      (try Protocol.send fd (Protocol.error d) with _ -> ())
+    | Error d ->
+      (* Framing is broken; answer if the pipe still works, then
+         drop the connection. *)
+      Metrics.incr t.metrics "protocol_errors";
+      (try Protocol.send fd (Protocol.error d) with _ -> ())
+    | Ok (Some v) ->
+      let deadline = request_deadline t in
+      let t0 = Unix.gettimeofday () in
+      let op, resp, stop = dispatch t ~deadline v in
+      Metrics.observe t.metrics ~op ~ok:(is_ok resp) ((Unix.gettimeofday () -. t0) *. 1000.);
+      let keep = send_reply t fd ~deadline resp in
+      if stop then initiate_stop t
+      else if keep && not (Atomic.get t.stopping) then loop ()
+  in
+  loop ()
+
+(* ---- admission ---- *)
+
+let set_conn_timeouts t fd =
+  if t.request_timeout_ms > 0.0 then begin
+    let s = t.request_timeout_ms /. 1000.0 in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with
+    | Unix.Unix_error _ | Invalid_argument _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with
+    | Unix.Unix_error _ | Invalid_argument _ -> ()
+  end
+
+let shed t fd ~busy ~queued =
+  Metrics.incr t.metrics "requests_shed";
+  let d =
+    Diag.errorf Diag.Overloaded
+      "server overloaded (%d connections in flight, %d queued of %d): retry with backoff"
+      busy queued t.queue_bound
+  in
+  (* A one-frame reply fits the socket buffer; SO_SNDTIMEO bounds a
+     pathological peer so the accept thread cannot be pinned. *)
+  (try Protocol.send fd (Protocol.error d) with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let admit t fd =
+  let forced =
+    match Faults.hit "service.shed" with
+    | () -> false
+    | exception Faults.Fault _ -> true
+  in
+  Mutex.lock t.q_lock;
+  let busy = t.busy and queued = Queue.length t.queue in
+  (* Admit while a worker is free to pick the connection up at once, or
+     while the bounded queue has room; shed otherwise (or when the
+     ["service.shed"] chaos point fires). *)
+  if (not forced) && (busy < t.max_conns || queued < t.queue_bound) then begin
+    Queue.push fd t.queue;
+    Condition.signal t.q_cond;
+    Mutex.unlock t.q_lock
+  end
+  else begin
+    Mutex.unlock t.q_lock;
+    shed t fd ~busy ~queued
+  end
+
+let rec worker_loop t slot =
+  Mutex.lock t.q_lock;
+  while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+    Condition.wait t.q_cond t.q_lock
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+    (* Stopping with a drained queue. *)
+    Mutex.unlock t.q_lock
+  | Some fd ->
+    t.busy <- t.busy + 1;
+    t.active.(slot) <- Some fd;
+    Mutex.unlock t.q_lock;
+    Metrics.incr_gauge t.metrics "connections_active";
+    (match handle_conn t fd with
+    | () -> ()
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception _ -> ());
+    Metrics.decr_gauge t.metrics "connections_active";
+    Mutex.lock t.q_lock;
+    t.busy <- t.busy - 1;
+    t.active.(slot) <- None;
+    Mutex.unlock t.q_lock;
+    (* Close after clearing the slot, under which a forced drain may
+       have issued a shutdown: the fd stays valid until this close. *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    worker_loop t slot
 
 let accept_loop t =
   let rec loop () =
@@ -253,10 +418,8 @@ let accept_loop t =
         match Faults.hit "service.accept" with
         | () ->
           Metrics.incr t.metrics "connections_accepted";
-          let th = Thread.create (fun () -> handle_conn t fd) () in
-          Mutex.lock t.conn_lock;
-          t.conns <- (Thread.id th, th) :: t.conns;
-          Mutex.unlock t.conn_lock;
+          set_conn_timeouts t fd;
+          admit t fd;
           loop ()
         | exception Faults.Fault _ ->
           (* Degrade: this connection is lost, the server is not. *)
@@ -291,58 +454,107 @@ let claim_socket path =
       Error (Diag.errorf ~file:path Diag.Io_error "cannot probe socket: %s" (Unix.error_message e)))
   | _ -> Error (Diag.errorf ~file:path Diag.Io_error "exists and is not a socket")
 
-let start ~socket:path ~cache ~pool ?budget_ms () =
-  match claim_socket path with
-  | Error _ as e -> e
-  | Ok () -> (
-    match
-      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try
-         Unix.bind fd (Unix.ADDR_UNIX path);
-         Unix.listen fd 64
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-    with
-    | exception Unix.Unix_error (e, _, _) ->
-      Error (Diag.errorf ~file:path Diag.Io_error "cannot listen: %s" (Unix.error_message e))
-    | listen_fd ->
-      let t =
-        {
-          socket_path = path;
-          listen_fd;
-          cache;
-          pool;
-          default_budget_ms = budget_ms;
-          metrics = Metrics.create ();
-          started_at = Unix.gettimeofday ();
-          stopping = Atomic.make false;
-          accept_thread = None;
-          conn_lock = Mutex.create ();
-          conns = [];
-        }
-      in
-      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
-      Ok t)
+let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
+    ?(request_timeout_ms = 30_000.0) ?(drain_timeout_ms = 5_000.0) () =
+  if max_conns < 1 then
+    Error (Diag.errorf Diag.Config_invalid "max_conns must be >= 1 (got %d)" max_conns)
+  else if queue < 0 then
+    Error (Diag.errorf Diag.Config_invalid "queue must be >= 0 (got %d)" queue)
+  else
+    match claim_socket path with
+    | Error _ as e -> e
+    | Ok () -> (
+      match
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX path);
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Diag.errorf ~file:path Diag.Io_error "cannot listen: %s" (Unix.error_message e))
+      | listen_fd ->
+        let metrics = Metrics.create () in
+        List.iter (Metrics.touch metrics)
+          [
+            "connections_accepted"; "connections_dropped"; "requests_shed";
+            "requests_timed_out"; "protocol_errors";
+          ];
+        Metrics.adjust_gauge metrics "connections_active" 0;
+        let t =
+          {
+            socket_path = path;
+            listen_fd;
+            cache;
+            pool;
+            default_budget_ms = budget_ms;
+            request_timeout_ms;
+            drain_timeout_ms;
+            metrics;
+            started_at = Unix.gettimeofday ();
+            stopping = Atomic.make false;
+            stop_requested = Atomic.make false;
+            accept_thread = None;
+            workers = [||];
+            max_conns;
+            queue_bound = queue;
+            q_lock = Mutex.create ();
+            q_cond = Condition.create ();
+            queue = Queue.create ();
+            busy = 0;
+            active = Array.make max_conns None;
+          }
+        in
+        t.workers <- Array.init max_conns (fun slot -> Thread.create (worker_loop t) slot);
+        t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+        Ok t)
 
 let wait t =
+  (* Poll instead of parking in [Thread.join] right away: every blocked
+     thread of this server sits in an uninterruptible C call (join,
+     cond-wait, accept), so a process signal is only guaranteed to run
+     its OCaml handler once some thread reaches a poll point — which
+     this loop is.  The handler itself ([signal_stop]) just flips an
+     atomic; the stop work that takes locks happens here, in a normal
+     thread context. *)
+  while not (Atomic.get t.stopping || Atomic.get t.stop_requested) do
+    Thread.delay 0.02
+  done;
+  initiate_stop t;
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
-  (* Drain connection handlers started before the listener closed. *)
+  (* The listener is closed; workers finish in-flight requests and drain
+     the admission queue.  Past the drain deadline, force the issue:
+     shut down every connection still being served or queued, so the
+     handlers' blocked reads and writes fail promptly and the workers
+     can be joined.  Zero leaked handler threads, bounded shutdown. *)
+  let deadline = Deadline.after_ms t.drain_timeout_ms in
+  let forced = ref false in
   let rec drain () =
-    let next =
-      Mutex.lock t.conn_lock;
-      let c = match t.conns with (_, th) :: _ -> Some th | [] -> None in
-      Mutex.unlock t.conn_lock;
-      c
-    in
-    match next with
-    | Some th ->
-      Thread.join th;
+    Mutex.lock t.q_lock;
+    let pending = t.busy + Queue.length t.queue in
+    if pending > 0 && (not !forced) && Deadline.expired deadline then begin
+      forced := true;
+      Array.iter
+        (function
+          | Some fd -> (
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          | None -> ())
+        t.active;
+      Queue.iter
+        (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.queue
+    end;
+    Mutex.unlock t.q_lock;
+    if pending > 0 then begin
+      Thread.delay 0.005;
       drain ()
-    | None -> ()
+    end
   in
   drain ();
+  Array.iter Thread.join t.workers;
   try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
 
 let stop t =

@@ -1,43 +1,87 @@
-(** The [kfused] server: fusion-as-a-service over a Unix-domain socket.
+(** The [kfused] server: fusion-as-a-service over a Unix-domain socket,
+    built to stay correct under overload, slow peers, and kill signals.
 
-    One accept loop (its own thread) hands each connection to a
-    dedicated handler thread, so a slow plan never blocks other
-    clients.  All handlers share one {!Kfuse_cache.Plan_cache} and one
-    {!Kfuse_util.Pool}: the pool is batch-exclusive, so concurrent
-    plans degrade gracefully to serial execution inside their own
-    thread rather than queueing behind each other.
+    One accept loop (its own thread) admits each connection into a
+    bounded worker model: [max_conns] long-lived worker threads serve
+    connections, and up to [queue] more wait in a bounded admission
+    queue.  When both are full the connection is {e shed} with a typed
+    [KF0803 overloaded] reply instead of queueing forever.  All workers
+    share one {!Kfuse_cache.Plan_cache} and one {!Kfuse_util.Pool}: the
+    pool is batch-exclusive, so concurrent plans degrade gracefully to
+    serial execution inside their own thread rather than queueing
+    behind each other.
+
+    Every request runs under a wall-clock deadline
+    ([request_timeout_ms], also armed as [SO_RCVTIMEO]/[SO_SNDTIMEO] on
+    the connection): a fusion search is budget-capped to the remaining
+    deadline, and a slow-loris or vanished peer frees its worker slot
+    with a [KF0804 request timeout] reply — counted as
+    [requests_timed_out].
 
     Robustness: a failed request produces an error {e response}, not a
-    dead server; a connection failing mid-write is dropped; the
-    ["service.accept"] fault-injection point
-    ({!Kfuse_util.Faults.hit} right after [accept]) lets tests and CI
-    prove an injected accept-path fault drops that one connection
-    (counted in metrics as [connections_dropped]) and keeps serving. *)
+    dead server; a connection failing mid-write is dropped; a response
+    that would overrun {!Protocol.max_frame} becomes a typed [KF0801]
+    error reply.  Chaos fault points ({!Kfuse_util.Faults.hit}) let
+    tests and CI prove each degradation: ["service.accept"] drops one
+    connection ([connections_dropped]), ["service.shed"] forces an
+    admission shed ([requests_shed]), and ["proto.torn_frame"] /
+    ["proto.slow_write"] / ["proto.drop_reply"] corrupt, delay, or
+    swallow one reply without wedging the worker. *)
 
 module Diag := Kfuse_util.Diag
 
 type t
 
-(** [start ~socket ~cache ~pool ?budget_ms ()] binds [socket] (a stale
+(** [start ~socket ~cache ~pool ?budget_ms ?max_conns ?queue
+    ?request_timeout_ms ?drain_timeout_ms ()] binds [socket] (a stale
     socket file left by a dead server is replaced; a live one is
-    refused), starts the accept thread, and returns.  [budget_ms] is
-    the default per-request fusion budget; a request's own
-    ["budget_ms"] overrides it. *)
+    refused), spawns the worker pool and the accept thread, and
+    returns.
+
+    [budget_ms] is the default per-request fusion budget; a request's
+    own ["budget_ms"] overrides it, and both are capped by the
+    remaining request deadline.  [max_conns] (default 16, >= 1) bounds
+    concurrently served connections; [queue] (default 64, >= 0) bounds
+    the admission queue beyond which connections are shed with
+    [KF0803].  [request_timeout_ms] (default 30s; <= 0 disables) is the
+    per-request wall-clock deadline and socket timeout.
+    [drain_timeout_ms] (default 5s) bounds how long {!wait} lets
+    in-flight handlers finish before forcibly shutting their
+    connections down. *)
 val start :
   socket:string ->
   cache:Kfuse_cache.Plan_cache.t ->
   pool:Kfuse_util.Pool.t ->
   ?budget_ms:float ->
+  ?max_conns:int ->
+  ?queue:int ->
+  ?request_timeout_ms:float ->
+  ?drain_timeout_ms:float ->
   unit ->
   (t, Diag.t) result
 
-(** [wait t] blocks until the server stops (a ["shutdown"] request or
-    {!stop}), then joins every connection thread and removes the socket
-    file. *)
+(** [wait t] blocks until the server stops (a ["shutdown"] request,
+    {!stop}, or {!signal_stop}), drains in-flight handlers up to the
+    drain timeout — past it, their connections are forcibly shut down —
+    then joins every worker thread (zero leaked handler threads) and
+    removes the socket file. *)
 val wait : t -> unit
 
 (** [stop t] initiates shutdown and {!wait}s.  Idempotent. *)
 val stop : t -> unit
+
+(** [signal_stop t] requests shutdown without blocking.  It is a single
+    atomic store — no locks, no allocation — so it is safe to call from
+    an asynchronous signal handler; this is what [kfusec serve] installs
+    for SIGTERM/SIGINT.  The thread blocked in {!wait} notices the
+    request (within ~20ms), stops the accept loop, and performs the
+    drain. *)
+val signal_stop : t -> unit
+
+(** [in_flight t] is the number of connections currently being served
+    plus those waiting in the admission queue — 0 after a clean drain
+    (exposed for the chaos harness's leak checks). *)
+val in_flight : t -> int
 
 val socket : t -> string
 val cache : t -> Kfuse_cache.Plan_cache.t

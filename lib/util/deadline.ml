@@ -12,6 +12,10 @@ let expired = function
   | No_deadline -> false
   | At { at; _ } -> Unix.gettimeofday () > at
 
+let remaining_ms = function
+  | No_deadline -> None
+  | At { at; _ } -> Some (Float.max 0.0 ((at -. Unix.gettimeofday ()) *. 1000.0))
+
 let check = function
   | No_deadline -> ()
   | At { at; budget_ms } -> if Unix.gettimeofday () > at then raise (Expired { budget_ms })

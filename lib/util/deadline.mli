@@ -22,5 +22,11 @@ val budget_ms : t -> float option
 
 val expired : t -> bool
 
+val remaining_ms : t -> float option
+(** Milliseconds left before expiry (clamped at [0.]), or [None] for
+    {!none}.  Lets a caller cap a nested budget — e.g. the [kfused]
+    server shrinks a request's fusion-search budget to what is left of
+    its wall-clock deadline. *)
+
 val check : t -> unit
 (** @raise Expired when the deadline has passed. *)

@@ -20,6 +20,8 @@ type code =
   | Cache_corrupt
   | Protocol_error
   | Service_error
+  | Overloaded
+  | Request_timeout
   | Fault_injected
   | Internal_error
 
@@ -49,8 +51,21 @@ let code_id = function
   | Cache_corrupt -> "KF0701"
   | Protocol_error -> "KF0801"
   | Service_error -> "KF0802"
+  | Overloaded -> "KF0803"
+  | Request_timeout -> "KF0804"
   | Fault_injected -> "KF0901"
   | Internal_error -> "KF0999"
+
+let all_codes =
+  [
+    Io_error; Parse_error; Elab_error; Pgm_format; Config_invalid; Cycle;
+    Dangling_ref; Duplicate_name; Empty_iteration_space; Mask_too_large;
+    Global_consumed; Unbound_param; Empty_pipeline; Invalid_partition;
+    Strategy_failed; Budget_exceeded; Cache_corrupt; Protocol_error;
+    Service_error; Overloaded; Request_timeout; Fault_injected; Internal_error;
+  ]
+
+let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
 
 let no_context = { file = None; line = None; col = None }
 

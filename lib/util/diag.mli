@@ -40,6 +40,12 @@ type code =
           integrity checks (always survivable: treated as a miss) *)
   | Protocol_error  (** KF0801: malformed [kfused] wire request/response *)
   | Service_error  (** KF0802: [kfused] server-side failure *)
+  | Overloaded
+      (** KF0803: [kfused] shed this connection — workers and admission
+          queue full; safe to retry after a backoff *)
+  | Request_timeout
+      (** KF0804: a [kfused] request (or its reply) overran its
+          wall-clock deadline, or the peer went silent mid-frame *)
   | Fault_injected  (** KF0901: deterministic fault-injection trigger *)
   | Internal_error  (** KF0999: invariant violation inside the compiler *)
 
@@ -61,6 +67,11 @@ exception Fatal of t
 
 val code_id : code -> string
 (** [code_id c] is the stable identifier, e.g. ["KF0601"]. *)
+
+val code_of_id : string -> code option
+(** [code_of_id "KF0601"] is [Some Invalid_partition]: the inverse of
+    {!code_id}, used to fold wire-level error codes back into typed
+    diagnostics on the [kfused] client side. *)
 
 val no_context : context
 

@@ -19,6 +19,18 @@
     - ["service.accept"] — after each accepted [kfused] connection; a
       triggered fault drops that one connection while the server keeps
       serving
+    - ["service.shed"] — at [kfused] admission; a triggered fault sheds
+      that connection with a [KF0803] reply as if the admission queue
+      were full, exercising the client's retry path
+    - ["proto.torn_frame"] — at each [kfused] reply; a triggered fault
+      writes a deliberately truncated frame and drops the connection,
+      so the client must surface a typed mid-frame error
+    - ["proto.slow_write"] — at each [kfused] reply; a triggered fault
+      delays the write, exercising client receive timeouts and the
+      server's send deadline
+    - ["proto.drop_reply"] — at each [kfused] reply; a triggered fault
+      swallows the reply and closes the connection, so the client must
+      time out or see a clean close, never hang
 
     The registry is global and guarded by a mutex; {!hit} is safe to
     call from any domain. *)

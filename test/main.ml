@@ -35,5 +35,6 @@ let () =
       ("faults", Test_faults.suite);
       ("cache", Test_cache.suite);
       ("service", Test_service.suite);
+      ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
     ]

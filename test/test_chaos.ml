@@ -1,0 +1,347 @@
+(* Protocol chaos harness for the kfused service.
+
+   Each test injects one failure mode — overload, a slow-loris peer, a
+   torn/dropped/delayed reply, an expired request budget — and proves
+   the degradation contract: the client gets a typed KFxxxx error (or a
+   transparent retry succeeds), the failure is counted in metrics, and
+   the server keeps serving afterwards.  The final hammer arms several
+   protocol faults at once under concurrent clients. *)
+
+module Svc = Kfuse_service
+module Jsonx = Svc.Jsonx
+module Protocol = Svc.Protocol
+module Cache = Kfuse_cache
+module Faults = Kfuse_util.Faults
+module Diag = Kfuse_util.Diag
+
+let code_of (d : Diag.t) = Diag.code_id d.Diag.code
+
+let temp_socket () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "kfused-chaos-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+
+let with_server ?max_conns ?queue ?request_timeout_ms ?drain_timeout_ms f =
+  let socket = temp_socket () in
+  let cache = Cache.Plan_cache.create () in
+  Kfuse_util.Pool.with_pool 2 (fun pool ->
+      match
+        Svc.Server.start ~socket ~cache ~pool ?max_conns ?queue ?request_timeout_ms
+          ?drain_timeout_ms ()
+      with
+      | Error d -> Alcotest.failf "server start failed: %s" (Diag.to_string d)
+      | Ok server ->
+        Fun.protect ~finally:(fun () -> Svc.Server.stop server) (fun () -> f socket server))
+
+let fuse_req ?budget_ms ?(strict = false) app =
+  {
+    Protocol.app = Some app;
+    source = None;
+    strategy = Kfuse_fusion.Driver.Mincut;
+    c_mshared = None;
+    gamma = None;
+    tg = None;
+    optimize = false;
+    inline = false;
+    strict;
+    budget_ms;
+    no_cache = false;
+  }
+
+let expect_ok = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "request failed: %s" (Diag.to_string d)
+
+let field name v =
+  match Jsonx.member name v with
+  | Some f -> f
+  | None -> Alcotest.failf "response lacks %S: %s" name (Jsonx.to_string v)
+
+(* ---- admission control ---- *)
+
+let test_overload_shed () =
+  (* One worker, zero queue, no request timeout: a connection that holds
+     the only slot forces the next one to be shed with KF0803. *)
+  with_server ~max_conns:1 ~queue:0 ~request_timeout_ms:0.0 @@ fun socket server ->
+  Svc.Client.with_connection ~socket (fun holder ->
+      (* The ping round-trip proves a worker picked this connection up,
+         so the slot is provably busy before the second client arrives. *)
+      match Svc.Client.ping holder with
+      | Error _ as e -> e
+      | Ok () ->
+        Alcotest.(check int) "gauge counts the held connection" 1
+          (Svc.Metrics.gauge (Svc.Server.metrics server) "connections_active");
+        (match Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c) with
+        | Ok () -> Alcotest.fail "second connection should be shed"
+        | Error d -> Alcotest.(check string) "shed with KF0803" "KF0803" (code_of d));
+        Alcotest.(check int) "shed is counted" 1
+          (Svc.Metrics.counter (Svc.Server.metrics server) "requests_shed");
+        Ok ())
+  |> expect_ok;
+  (* The holder is gone: once the worker notices the close and frees the
+     slot, the server serves again. *)
+  let rec wait_idle tries =
+    if Svc.Server.in_flight server > 0 && tries > 0 then begin
+      Thread.delay 0.005;
+      wait_idle (tries - 1)
+    end
+  in
+  wait_idle 400;
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+let test_forced_shed_retried () =
+  (* The ["service.shed"] chaos point sheds an admission exactly as if
+     the queue were full; the client's retry policy recovers. *)
+  with_server @@ fun socket server ->
+  Faults.with_spec "service.shed@1" (fun () ->
+      let retry = { Svc.Client.default_retry with attempts = 3; backoff_ms = 5.0 } in
+      match Svc.Client.call ~socket ~retry Protocol.Ping with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "retry should have recovered: %s" (Diag.to_string d));
+  Alcotest.(check int) "exactly one shed" 1
+    (Svc.Metrics.counter (Svc.Server.metrics server) "requests_shed");
+  (* Without retries the same shed surfaces as the typed KF0803. *)
+  Faults.with_spec "service.shed@1" (fun () ->
+      let retry = { Svc.Client.default_retry with attempts = 0 } in
+      match Svc.Client.call ~socket ~retry Protocol.Ping with
+      | Ok _ -> Alcotest.fail "shed without retries should fail"
+      | Error d -> Alcotest.(check string) "typed shed" "KF0803" (code_of d))
+
+let test_shutdown_not_retried () =
+  (* Shutdown is not idempotent: a shed shutdown must NOT be retried. *)
+  with_server @@ fun socket server ->
+  Faults.with_spec "service.shed@1" (fun () ->
+      let retry = { Svc.Client.default_retry with attempts = 3; backoff_ms = 5.0 } in
+      match Svc.Client.call ~socket ~retry Protocol.Shutdown with
+      | Ok _ -> Alcotest.fail "shed shutdown should not succeed via retry"
+      | Error d -> Alcotest.(check string) "typed shed, no retry" "KF0803" (code_of d));
+  (* The server is still up: the shed request was never replayed. *)
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c));
+  ignore server
+
+(* ---- request deadlines ---- *)
+
+let test_slow_loris_times_out () =
+  (* A peer that writes two header bytes and stalls must not pin its
+     worker: the receive timeout frees the slot with a KF0804 reply. *)
+  with_server ~request_timeout_ms:200.0 @@ fun socket server ->
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let n = Unix.write fd (Bytes.of_string "\x00\x00") 0 2 in
+  Alcotest.(check int) "partial header written" 2 n;
+  (match Protocol.recv fd with
+  | Ok (Some v) -> (
+    match Protocol.result v with
+    | Error d -> Alcotest.(check string) "typed KF0804 reply" "KF0804" (code_of d)
+    | Ok _ -> Alcotest.fail "a timed-out request must be an error reply")
+  | Ok None -> Alcotest.fail "expected a KF0804 reply before the close"
+  | Error d -> Alcotest.failf "reply not readable: %s" (Diag.to_string d));
+  Alcotest.(check int) "timeout is counted" 1
+    (Svc.Metrics.counter (Svc.Server.metrics server) "requests_timed_out");
+  (* The slot is free again: the server still serves. *)
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+let test_budget_expiry_degrades () =
+  (* A request whose fusion budget is already spent degrades to the
+     baseline partition — an answer, not an error, not a hang. *)
+  with_server @@ fun socket _server ->
+  let reply =
+    expect_ok
+      (Svc.Client.with_connection ~socket (fun c ->
+           Svc.Client.fuse c (fuse_req ~budget_ms:0.0 "harris")))
+  in
+  Alcotest.(check bool) "degraded under an expired budget" true
+    (field "degraded" reply = Jsonx.Bool true);
+  (* Degraded plans are never cached: a fresh unbudgeted request
+     computes the real plan. *)
+  let clean =
+    expect_ok
+      (Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse c (fuse_req "harris")))
+  in
+  Alcotest.(check bool) "fresh request is not degraded" true
+    (field "degraded" clean = Jsonx.Bool false);
+  Alcotest.(check bool) "and was computed, not cached" true
+    (field "outcome" clean = Jsonx.Str "miss")
+
+let test_strict_budget_is_error () =
+  (* Under --strict the same overrun is a typed KF0603 error reply. *)
+  with_server @@ fun socket _server ->
+  (match
+     Svc.Client.with_connection ~socket (fun c ->
+         Svc.Client.fuse c (fuse_req ~budget_ms:0.0 ~strict:true "harris"))
+   with
+  | Ok _ -> Alcotest.fail "strict budget overrun must be an error"
+  | Error d -> Alcotest.(check string) "KF0603 budget exhausted" "KF0603" (code_of d));
+  (* The error reply did not wedge the server. *)
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+(* ---- protocol faults ---- *)
+
+let test_torn_frame_is_typed () =
+  (* The server writes half a reply frame and drops the connection: the
+     client surfaces a typed mid-frame error, never hangs. *)
+  with_server @@ fun socket _server ->
+  Faults.with_spec "proto.torn_frame@1" (fun () ->
+      match
+        Svc.Client.with_connection ~socket ~timeout_ms:2_000.0 (fun c -> Svc.Client.ping c)
+      with
+      | Ok () -> Alcotest.fail "torn frame should surface as an error"
+      | Error d -> Alcotest.(check string) "mid-frame EOF is typed" "KF0801" (code_of d));
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+let test_dropped_reply_is_typed () =
+  (* The reply vanishes and the connection closes cleanly: a typed
+     protocol error client-side, and the next connection is served. *)
+  with_server @@ fun socket _server ->
+  Faults.with_spec "proto.drop_reply@1" (fun () ->
+      match Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c) with
+      | Ok () -> Alcotest.fail "dropped reply should surface as an error"
+      | Error d -> Alcotest.(check string) "close without reply is typed" "KF0801" (code_of d));
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+let test_slow_write_within_timeout () =
+  (* A delayed reply still lands when the client's timeout allows. *)
+  with_server @@ fun socket _server ->
+  Faults.with_spec "proto.slow_write@1" (fun () ->
+      expect_ok
+        (Svc.Client.with_connection ~socket ~timeout_ms:2_000.0 (fun c ->
+             Svc.Client.ping c)))
+
+let test_oversized_send_refused () =
+  (* A frame that would overrun [max_frame] is refused before a single
+     byte hits the wire — the sender gets Diag.Fatal KF0801, and the
+     peer never sees a half-written monster. *)
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+  @@ fun () ->
+  let huge = Jsonx.Str (String.make Protocol.max_frame 'x') in
+  (match Protocol.send a huge with
+  | () -> Alcotest.fail "oversized frame must be refused"
+  | exception Diag.Fatal d ->
+    Alcotest.(check string) "KF0801 oversized" "KF0801" (code_of d));
+  Unix.set_nonblock b;
+  match Unix.read b (Bytes.create 1) 0 1 with
+  | _ -> Alcotest.fail "bytes were written for a refused frame"
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+(* ---- drain and the hammer ---- *)
+
+let test_drain_under_load () =
+  (* Stop the server while concurrent clients are mid-conversation:
+     every call returns (an answer or a typed error), the workers all
+     join, and the socket file is gone. *)
+  let socket = temp_socket () in
+  let cache = Cache.Plan_cache.create () in
+  Kfuse_util.Pool.with_pool 2 @@ fun pool ->
+  match
+    Svc.Server.start ~socket ~cache ~pool ~max_conns:4 ~queue:8 ~drain_timeout_ms:2_000.0 ()
+  with
+  | Error d -> Alcotest.failf "start failed: %s" (Diag.to_string d)
+  | Ok server ->
+    let results = Array.make 4 [] in
+    let client i =
+      Thread.create
+        (fun () ->
+          for _ = 1 to 5 do
+            let r = Svc.Client.call ~socket ~timeout_ms:2_000.0 Protocol.Ping in
+            results.(i) <- r :: results.(i)
+          done)
+        ()
+    in
+    let threads = List.init 4 client in
+    Thread.delay 0.01;
+    Svc.Server.stop server;
+    List.iter Thread.join threads;
+    Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+    Alcotest.(check int) "no in-flight connections after drain" 0
+      (Svc.Server.in_flight server);
+    Array.iter
+      (fun rs ->
+        Alcotest.(check int) "every call returned" 5 (List.length rs);
+        List.iter
+          (function
+            | Ok _ -> ()
+            | Error d ->
+              Alcotest.(check bool) "typed error code" true
+                (String.length (code_of d) = 6))
+          rs)
+      results
+
+let test_chaos_hammer () =
+  (* Everything at once: torn frames, dropped and delayed replies, and
+     forced sheds under six concurrent clients with retries.  Every call
+     returns Ok or a typed error — no hangs, no exceptions — and after
+     the storm the server answers a clean stats request. *)
+  with_server ~max_conns:2 ~queue:2 ~request_timeout_ms:1_000.0 ~drain_timeout_ms:2_000.0
+  @@ fun socket server ->
+  Faults.with_spec "proto.torn_frame/5,proto.drop_reply/7,proto.slow_write/3,service.shed/9"
+    (fun () ->
+      let retry = { Svc.Client.default_retry with attempts = 2; backoff_ms = 5.0 } in
+      let results = Array.make 6 [] in
+      let client i =
+        Thread.create
+          (fun () ->
+            for n = 1 to 5 do
+              let req =
+                if (i + n) mod 5 = 0 then Protocol.Fuse (fuse_req "harris")
+                else Protocol.Ping
+              in
+              let r = Svc.Client.call ~socket ~timeout_ms:1_000.0 ~retry req in
+              results.(i) <- r :: results.(i)
+            done)
+          ()
+      in
+      let threads = List.init 6 client in
+      List.iter Thread.join threads;
+      Array.iter
+        (fun rs ->
+          Alcotest.(check int) "every call returned" 5 (List.length rs);
+          List.iter
+            (function
+              | Ok _ -> ()
+              | Error d ->
+                Alcotest.(check bool) "typed error code" true
+                  (String.length (code_of d) = 6))
+            rs)
+        results);
+  (* Post-storm: a clean connection gets coherent stats. *)
+  let stats =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.stats c))
+  in
+  (match field "connections" stats with
+  | Jsonx.Obj _ -> ()
+  | v -> Alcotest.failf "stats lack connection accounting: %s" (Jsonx.to_string v));
+  (match field "limits" stats with
+  | Jsonx.Obj _ -> ()
+  | v -> Alcotest.failf "stats lack limits: %s" (Jsonx.to_string v));
+  ignore server
+
+let suite =
+  [
+    Alcotest.test_case "chaos: full slots + full queue shed with KF0803" `Quick
+      test_overload_shed;
+    Alcotest.test_case "chaos: service.shed fault is retried away" `Quick
+      test_forced_shed_retried;
+    Alcotest.test_case "chaos: shutdown is never retried" `Quick test_shutdown_not_retried;
+    Alcotest.test_case "chaos: slow-loris peer times out with KF0804" `Quick
+      test_slow_loris_times_out;
+    Alcotest.test_case "chaos: expired budget degrades through the service" `Quick
+      test_budget_expiry_degrades;
+    Alcotest.test_case "chaos: strict budget overrun is a KF0603 reply" `Quick
+      test_strict_budget_is_error;
+    Alcotest.test_case "chaos: torn reply frame is a typed error" `Quick
+      test_torn_frame_is_typed;
+    Alcotest.test_case "chaos: dropped reply is a typed error" `Quick
+      test_dropped_reply_is_typed;
+    Alcotest.test_case "chaos: slow write lands within the client timeout" `Quick
+      test_slow_write_within_timeout;
+    Alcotest.test_case "chaos: oversized frame refused before the wire" `Quick
+      test_oversized_send_refused;
+    Alcotest.test_case "chaos: graceful drain under concurrent load" `Quick
+      test_drain_under_load;
+    Alcotest.test_case "chaos: multi-fault hammer, every call returns typed" `Quick
+      test_chaos_hammer;
+  ]

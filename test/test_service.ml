@@ -77,6 +77,7 @@ let test_protocol_roundtrip () =
           tg = Some 72.0;
           optimize = true;
           inline = false;
+          strict = true;
           budget_ms = Some 250.0;
           no_cache = true;
         };
@@ -90,6 +91,7 @@ let test_protocol_roundtrip () =
           tg = None;
           optimize = false;
           inline = false;
+          strict = false;
           budget_ms = None;
           no_cache = false;
         };
@@ -138,6 +140,7 @@ let fuse_req app =
     tg = None;
     optimize = false;
     inline = false;
+    strict = false;
     budget_ms = None;
     no_cache = false;
   }
