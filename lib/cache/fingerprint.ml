@@ -49,8 +49,13 @@ let quote buf s =
   Buffer.add_char buf ':';
   Buffer.add_string buf s
 
-let rec render_expr buf ~ren e =
+(* [alpha] renders let-bound variables as de Bruijn levels, making the
+   output invariant under renaming of binders.  The structural paths use
+   it because pass-introduced binder names (e.g. CSE temporaries) can
+   depend on the kernel names in scope; the exact path keeps names. *)
+let rec render_expr buf ~ren ?(alpha = false) ?(env = []) e =
   let b = Buffer.add_string buf in
+  let recur = render_expr buf ~ren ~alpha in
   match e with
   | Expr.Const f -> b (Printf.sprintf "(c %h)" f)
   | Expr.Param p ->
@@ -61,31 +66,35 @@ let rec render_expr buf ~ren e =
     b "(in ";
     quote buf (ren image);
     b (Printf.sprintf " %d %d %s)" dx dy (border_tag border))
-  | Expr.Var v ->
-    b "(v ";
-    quote buf v;
-    b ")"
+  | Expr.Var v -> (
+    match (alpha, List.assoc_opt v env) with
+    | true, Some level -> b (Printf.sprintf "(v %d)" level)
+    | _ ->
+      b "(v ";
+      quote buf v;
+      b ")")
   | Expr.Let { var; value; body } ->
     b "(let ";
-    quote buf var;
+    if alpha then b (string_of_int (List.length env))
+    else quote buf var;
     b " ";
-    render_expr buf ~ren value;
+    recur ~env value;
     b " ";
-    render_expr buf ~ren body;
+    recur ~env:((var, List.length env) :: env) body;
     b ")"
   | Expr.Unop (op, a) ->
     b "(u ";
     b (unop_tag op);
     b " ";
-    render_expr buf ~ren a;
+    recur ~env a;
     b ")"
   | Expr.Binop (op, a, c) ->
     b "(b ";
     b (binop_tag op);
     b " ";
-    render_expr buf ~ren a;
+    recur ~env a;
     b " ";
-    render_expr buf ~ren c;
+    recur ~env c;
     b ")"
   | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
     b "(sel ";
@@ -93,30 +102,30 @@ let rec render_expr buf ~ren e =
     List.iter
       (fun e ->
         b " ";
-        render_expr buf ~ren e)
+        recur ~env e)
       [ lhs; rhs; if_true; if_false ];
     b ")"
   | Expr.Shift { dx; dy; exchange; body } ->
     b (Printf.sprintf "(sh %d %d " dx dy);
     b (match exchange with None -> "-" | Some m -> border_tag m);
     b " ";
-    render_expr buf ~ren body;
+    recur ~env body;
     b ")"
 
-let render_op buf ~ren (op : Kernel.op) =
+let render_op buf ~ren ?(alpha = false) (op : Kernel.op) =
   match op with
   | Kernel.Map e ->
     Buffer.add_string buf "(map ";
-    render_expr buf ~ren e;
+    render_expr buf ~ren ~alpha e;
     Buffer.add_string buf ")"
   | Kernel.Reduce { init; combine; arg } ->
     Buffer.add_string buf (Printf.sprintf "(red %h %s " init (binop_tag combine));
-    render_expr buf ~ren arg;
+    render_expr buf ~ren ~alpha arg;
     Buffer.add_string buf ")"
 
 (* [sort_inputs] canonicalizes a kernel's declared input list: the body
    is the semantic reference order, the declaration list is a set. *)
-let render_kernel buf ~ren ?(sort_inputs = false) (k : Kernel.t) =
+let render_kernel buf ~ren ?(sort_inputs = false) ?(alpha = false) (k : Kernel.t) =
   Buffer.add_string buf "(k ";
   let inputs = List.map ren k.Kernel.inputs in
   let inputs = if sort_inputs then List.sort String.compare inputs else inputs in
@@ -125,7 +134,7 @@ let render_kernel buf ~ren ?(sort_inputs = false) (k : Kernel.t) =
       quote buf i;
       Buffer.add_char buf ' ')
     inputs;
-  render_op buf ~ren k.Kernel.op;
+  render_op buf ~ren ~alpha k.Kernel.op;
   Buffer.add_string buf ")"
 
 let render_params buf ~sorted params =
@@ -139,7 +148,13 @@ let render_params buf ~sorted params =
       Buffer.add_string buf (Printf.sprintf " %h)" v))
     params
 
-let render_header buf ~with_name (p : Pipeline.t) =
+(* [sort_inputs] canonicalizes the pipeline's input declaration list:
+   inputs are bound by name, so their declaration order is irrelevant to
+   every consumer of the fingerprint (the driver, the benefit model, the
+   interpreter).  The exact fingerprint keeps declaration order; the
+   structural one sorts, so permuting the [inputs] clause cannot change
+   a plan's address. *)
+let render_header buf ~with_name ?(sort_inputs = false) (p : Pipeline.t) =
   if with_name then begin
     Buffer.add_string buf "(pipe ";
     quote buf p.Pipeline.name;
@@ -147,12 +162,15 @@ let render_header buf ~with_name (p : Pipeline.t) =
   end;
   Buffer.add_string buf
     (Printf.sprintf "(is %d %d %d)" p.Pipeline.width p.Pipeline.height p.Pipeline.channels);
+  let inputs =
+    if sort_inputs then List.sort String.compare p.Pipeline.inputs else p.Pipeline.inputs
+  in
   List.iter
     (fun i ->
       Buffer.add_string buf "(inp ";
       quote buf i;
       Buffer.add_string buf ")")
-    p.Pipeline.inputs
+    inputs
 
 (* ---- exact fingerprint ---- *)
 
@@ -192,7 +210,7 @@ let canonical_names (p : Pipeline.t) =
       | None -> "$" ^ img
     in
     let buf = Buffer.create 256 in
-    render_kernel buf ~ren ~sort_inputs:true (Pipeline.kernel p i);
+    render_kernel buf ~ren ~sort_inputs:true ~alpha:true (Pipeline.kernel p i);
     let h = digest (Buffer.contents buf) in
     let c = Option.value ~default:0 (Hashtbl.find_opt counts h) in
     Hashtbl.replace counts h (c + 1);
@@ -231,7 +249,7 @@ let rename_pipeline (p : Pipeline.t) names =
     ~inputs:p.Pipeline.inputs kernels
 
 let render_canonical buf (p : Pipeline.t) =
-  render_header buf ~with_name:false p;
+  render_header buf ~with_name:false ~sort_inputs:true p;
   render_params buf ~sorted:true p.Pipeline.params;
   let defs =
     Array.to_list p.Pipeline.kernels
@@ -240,7 +258,7 @@ let render_canonical buf (p : Pipeline.t) =
            Buffer.add_string buf "(def ";
            quote buf k.Kernel.name;
            Buffer.add_char buf ' ';
-           render_kernel buf ~ren:Fun.id ~sort_inputs:true k;
+           render_kernel buf ~ren:Fun.id ~sort_inputs:true ~alpha:true k;
            Buffer.add_string buf ")";
            Buffer.contents buf)
     |> List.sort String.compare
@@ -254,8 +272,16 @@ let structural (p : Pipeline.t) =
      (* Normalize so algebraically-equal bodies share an address; the
         passes run on canonical names, making their choices (e.g. which
         CSE candidate wins a size tie) rename-independent. *)
-     try Kfuse_ir.Cse.pipeline (Kfuse_ir.Simplify.pipeline renamed)
-     with _ -> renamed
+     let normalized =
+       try Kfuse_ir.Cse.pipeline (Kfuse_ir.Simplify.pipeline renamed)
+       with _ -> renamed
+     in
+     (* Re-rank on the *normalized* bodies: the first ranking ordered
+        kernels by pre-normalization content, so two pipelines whose
+        bodies only differ in simplifiable structure would otherwise
+        carry different rank names into the render (found by the
+        fuzzer's kernel-duplication metamorphic oracle). *)
+     rename_pipeline normalized (canonical_names normalized)
    with
   | renamed -> render_canonical buf renamed
   | exception _ ->
@@ -266,7 +292,7 @@ let structural (p : Pipeline.t) =
     let ren img =
       match Pipeline.producer p img with Some j -> names.(j) | None -> img
     in
-    render_header buf ~with_name:false p;
+    render_header buf ~with_name:false ~sort_inputs:true p;
     render_params buf ~sorted:true p.Pipeline.params;
     let defs =
       Array.to_list p.Pipeline.kernels
@@ -275,7 +301,7 @@ let structural (p : Pipeline.t) =
              Buffer.add_string buf "(def ";
              quote buf names.(i);
              Buffer.add_char buf ' ';
-             render_kernel buf ~ren ~sort_inputs:true k;
+             render_kernel buf ~ren ~sort_inputs:true ~alpha:true k;
              Buffer.add_string buf ")";
              Buffer.contents buf)
       |> List.sort String.compare
@@ -295,8 +321,11 @@ let config (c : Config.t) =
 type key = { structural : string; exact : string }
 
 (* Bump when the rendering, the report type, or the driver semantics
-   change incompatibly: old cache entries must stop matching. *)
-let format_version = 1
+   change incompatibly: old cache entries must stop matching.
+   v2: the structural render sorts the input declaration list and
+   re-ranks canonical kernel names after normalization (both found by
+   the fuzzer's metamorphic oracles). *)
+let format_version = 2
 
 let plan_key ~config:c ~strategy ?(exchange = true) ?(optimize = false) ?(inline = false)
     (p : Pipeline.t) =

@@ -15,8 +15,9 @@
       so a report cached under one can be replayed bit-identically for
       the other.
     - {!structural} is the canonical structural hash: invariant under
-      kernel renaming, parameter-list reordering, and (for kernels with
-      distinct bodies) reordering of the kernel list.  Kernel identities
+      kernel renaming, parameter-list reordering, input-declaration
+      reordering, and (for kernels with distinct bodies) reordering of
+      the kernel list.  Kernel identities
       are replaced by content hashes of their transitive definitions, the
       parameter list is sorted, and the result is normalized with
       {!Kfuse_ir.Simplify} and {!Kfuse_ir.Cse} so that, e.g., [x * 1]

@@ -30,12 +30,16 @@ let unprofitable (config : Config.t) (r : Benefit.edge_report) =
     r.delta -. r.phi +. config.gamma <= 0.0
 
 let block_legal config p edges block =
-  (match Legality.check config p block with Ok () -> true | Error _ -> false)
-  && not
-       (List.exists
-          (fun (r : Benefit.edge_report) ->
-            Iset.mem r.src block && Iset.mem r.dst block && unprofitable config r)
-          edges)
+  (* Corruption point for the differential fuzzer: a triggered
+     "cut.block_legal" admits the block unconditionally, making the
+     recursion emit an illegal partition the legality oracle must catch. *)
+  Kfuse_util.Faults.fires "cut.block_legal"
+  || (match Legality.check config p block with Ok () -> true | Error _ -> false)
+     && not
+          (List.exists
+             (fun (r : Benefit.edge_report) ->
+               Iset.mem r.src block && Iset.mem r.dst block && unprofitable config r)
+             edges)
 
 let weight_table edges =
   let table = Hashtbl.create (List.length edges * 2) in

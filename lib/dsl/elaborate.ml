@@ -61,6 +61,10 @@ let rec elab_expr ~pos ~vars ~params ~images e =
     Expr.conv
       ~border:(Option.value ~default:Border.Clamp border)
       (resolve_mask pos mask) image
+  (* A negated literal is a literal: without this fold, "(-1.5)" would
+     elaborate to [Neg (Const 1.5)] and a Const-containing pipeline would
+     not round-trip through the DSL bit-for-bit. *)
+  | Ast.Unary ("-", Ast.Num f) -> Expr.Const (-.f)
   | Ast.Unary ("-", a) -> Expr.neg (recur a)
   | Ast.Unary ("clamp01", a) -> Expr.clamp01 (recur a)
   | Ast.Unary (name, a) -> Expr.Unop (unop_of_name pos name, recur a)

@@ -1,0 +1,152 @@
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Border = Kfuse_image.Border
+
+type entry = {
+  path : string;
+  seed : int option;
+  index : int option;
+  oracle : string option;
+  detail : string option;
+  pipeline : Pipeline.t;
+}
+
+let normalize (p : Pipeline.t) =
+  (* The DSL prints [Neg (Const c)] and [Const (-c)] identically, and the
+     parser resolves the shared spelling to the literal; fold to the
+     literal so the normal form is in the parser's image. *)
+  let rec fold_neg e =
+    match e with
+    | Expr.Unop (Expr.Neg, Expr.Const c) -> Expr.Const (-.c)
+    | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ -> e
+    | Expr.Let { var; value; body } ->
+      Expr.Let { var; value = fold_neg value; body = fold_neg body }
+    | Expr.Unop (op, a) -> (
+      match Expr.Unop (op, fold_neg a) with
+      | Expr.Unop (Expr.Neg, Expr.Const c) -> Expr.Const (-.c)
+      | e' -> e')
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, fold_neg a, fold_neg b)
+    | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
+      Expr.Select
+        {
+          cmp;
+          lhs = fold_neg lhs;
+          rhs = fold_neg rhs;
+          if_true = fold_neg if_true;
+          if_false = fold_neg if_false;
+        }
+    | Expr.Shift { dx; dy; exchange; body } ->
+      Expr.Shift { dx; dy; exchange; body = fold_neg body }
+  in
+  let fix e =
+    Expr.subst_inputs
+      (fun ~image ~dx ~dy ~border ->
+        let border = if dx = 0 && dy = 0 then Border.Clamp else border in
+        Expr.Input { image; dx; dy; border })
+      (fold_neg e)
+  in
+  Pipeline.with_kernels p
+    (List.map
+       (fun (k : Kernel.t) ->
+         match k.Kernel.op with
+         | Kernel.Map e -> Kernel.map ~name:k.Kernel.name ~inputs:k.Kernel.inputs (fix e)
+         | Kernel.Reduce { init; combine; arg } ->
+           Kernel.reduce ~name:k.Kernel.name ~inputs:k.Kernel.inputs ~init ~combine
+             (fix arg))
+       (Array.to_list p.Pipeline.kernels))
+
+(* Header lines are '#' comments, which the DSL lexer skips, so a corpus
+   file is simultaneously metadata and a plain parseable pipeline. *)
+let header ?seed ?index ~oracle ~detail () =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "# kfuse-fuzz corpus entry\n";
+  (match (seed, index) with
+  | Some s, Some i -> Buffer.add_string buf (Printf.sprintf "# seed: %d case: %d\n" s i)
+  | Some s, None -> Buffer.add_string buf (Printf.sprintf "# seed: %d\n" s)
+  | _ -> ());
+  Buffer.add_string buf (Printf.sprintf "# oracle: %s\n" oracle);
+  (* Keep the detail single-line so the header stays line-oriented. *)
+  let detail = String.map (fun c -> if c = '\n' then ' ' else c) detail in
+  Buffer.add_string buf (Printf.sprintf "# detail: %s\n" detail);
+  Buffer.contents buf
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir ?seed ?index ~oracle ~detail p =
+  match Kfuse_dsl.Unparse.pipeline p with
+  | Error reason -> Error reason
+  | Ok text ->
+    mkdirs dir;
+    let name =
+      Printf.sprintf "%s.pipe" (String.sub (Kfuse_cache.Fingerprint.structural p) 0 16)
+    in
+    let path = Filename.concat dir name in
+    if Sys.file_exists path then Ok path
+    else begin
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (header ?seed ?index ~oracle ~detail ());
+      output_string oc text;
+      close_out oc;
+      Sys.rename tmp path;
+      Ok path
+    end
+
+let scan_header text =
+  let seed = ref None and index = ref None and oracle = ref None and detail = ref None in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let pfx p = String.length line >= String.length p && String.sub line 0 (String.length p) = p in
+         let rest p = String.sub line (String.length p) (String.length line - String.length p) in
+         (if pfx "# seed: " then
+            (* "# seed: S" or "# seed: S case: I" *)
+            match String.split_on_char ' ' (rest "# seed: ") with
+            | s :: tail -> (
+              seed := int_of_string_opt s;
+              match tail with
+              | "case:" :: i :: _ -> index := int_of_string_opt i
+              | _ -> ())
+            | [] -> ());
+         if pfx "# oracle: " then oracle := Some (rest "# oracle: ");
+         if pfx "# detail: " then detail := Some (rest "# detail: "))
+  |> ignore;
+  (!seed, !index, !oracle, !detail)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_file path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text -> (
+    let seed, index, oracle, detail = scan_header text in
+    match Kfuse_dsl.Elaborate.parse_pipeline text with
+    | Ok pipeline -> Ok { path; seed; index; oracle; detail; pipeline }
+    | Error e -> Error e)
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then ([], [])
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".pipe")
+      |> List.sort String.compare
+    in
+    List.fold_left
+      (fun (ok, bad) f ->
+        let path = Filename.concat dir f in
+        match load_file path with
+        | Ok e -> (e :: ok, bad)
+        | Error reason -> (ok, (path, reason) :: bad))
+      ([], []) files
+    |> fun (ok, bad) -> (List.rev ok, List.rev bad)
+  end

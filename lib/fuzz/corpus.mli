@@ -1,0 +1,52 @@
+(** The failing-case corpus: persisted minimal reproducers.
+
+    Every failure the fuzzer finds is written to a directory as DSL
+    text (via {!Kfuse_dsl.Unparse}) with a comment header recording the
+    provenance — seed, case index, the oracle that failed and why — so
+    a failure survives the process and replays from a file alone.  The
+    runner replays the whole corpus {e before} generating new cases:
+    once a bug is found, it stays found until fixed.
+
+    File names are content-addressed (a prefix of the structural
+    fingerprint), so re-finding the same minimal pipeline under a
+    different seed does not grow the corpus. *)
+
+type entry = {
+  path : string;
+  seed : int option;
+  index : int option;
+  oracle : string option;  (** oracle name recorded at save time *)
+  detail : string option;
+  pipeline : Kfuse_ir.Pipeline.t;
+}
+
+(** [normalize p] rewrites every zero-offset tap to the [Clamp] border
+    and folds negated constant literals ([Neg (Const c)] to
+    [Const (-c)]).  A zero-offset access never leaves the image, so its
+    border mode is unobservable and the DSL renders it bare; a negated
+    literal prints identically to a negative one and parses to the
+    latter — [normalize] is the canonical representative of what
+    survives a DSL round-trip, and the form under which corpus entries
+    should be compared for identity. *)
+val normalize : Kfuse_ir.Pipeline.t -> Kfuse_ir.Pipeline.t
+
+(** [save ~dir ?seed ?index ~oracle ~detail p] unparses [p] into
+    [dir/<structural-prefix>.pipe] (creating [dir] if needed) and
+    returns the path, or [Error reason] when [p] has no DSL rendering.
+    Saving an already-present entry is idempotent. *)
+val save :
+  dir:string ->
+  ?seed:int ->
+  ?index:int ->
+  oracle:string ->
+  detail:string ->
+  Kfuse_ir.Pipeline.t ->
+  (string, string) result
+
+(** [load_file path] parses one corpus entry back. *)
+val load_file : string -> (entry, string) result
+
+(** [load_dir dir] loads every [*.pipe] entry, sorted by file name;
+    unreadable entries come back in the error list rather than being
+    silently skipped.  A missing directory is an empty corpus. *)
+val load_dir : string -> entry list * (string * string) list

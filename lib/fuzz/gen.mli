@@ -1,0 +1,49 @@
+(** Seeded generation of arbitrary well-formed pipelines.
+
+    The differential fuzzer's input space: random DAG shapes (chains,
+    diamonds, multi-consumer fan-out, shared external inputs), point and
+    local kernels with random — including deliberately asymmetric —
+    stencil masks, random border modes, scalar parameters, [select]
+    expressions, [let] reuse, and occasional global reduction sinks.
+
+    Generation is a pure function of [(seed, index)] via
+    {!Kfuse_util.Rng}: the same pair always yields the same pipeline,
+    bit for bit, which is what makes failures replayable from nothing
+    but the two integers.
+
+    The generator stays inside the DSL-representable fragment (only
+    [<] selects, no [Shift] nodes, reduction seeds at their DSL
+    defaults, [Clamp] borders on zero-offset taps) so every generated
+    and every shrunk pipeline can be persisted to a corpus as DSL text.
+    It also avoids NaN sources — no division, logarithm, or
+    exponential, and [pow] only with a constant exponent — because the
+    evaluation oracles demand {e bitwise} equality, and a NaN produced
+    on both sides would compare unequal. *)
+
+(** [case ~seed index] is the [index]-th pipeline of the campaign seeded
+    with [seed]; deterministic in [(seed, index)].  [max_kernels]
+    (default 10) bounds the DAG size; pipelines have at least 2
+    kernels. *)
+val case : ?max_kernels:int -> seed:int -> int -> Kfuse_ir.Pipeline.t
+
+(** Structural features of a generated pipeline, derived (not tracked),
+    for the runner's coverage summary. *)
+type features = {
+  kernels : int;
+  inputs : int;
+  conv : bool;  (** a dense odd-square convolution body *)
+  asymmetric : bool;  (** some kernel's tap set is not centrally symmetric *)
+  select : bool;
+  let_reuse : bool;
+  reduce : bool;
+  param : bool;
+  fanout : bool;  (** some kernel output consumed by >= 2 kernels *)
+  diamond : bool;  (** >= 2 distinct directed paths between some kernel pair *)
+  border_kinds : int;  (** distinct border modes appearing on any tap *)
+}
+
+val features : Kfuse_ir.Pipeline.t -> features
+
+(** [feature_flags f] renders the boolean features as labelled flags, in
+    a fixed order, for aggregation into a coverage table. *)
+val feature_flags : features -> (string * bool) list

@@ -1,0 +1,86 @@
+(** The differential oracle bank.
+
+    Every generated pipeline is run through a battery of checks, each of
+    which compares two independent computations of the same fact — two
+    strategies, two schedules, two serializations, two isomorphic
+    pipelines — so no oracle needs a hand-written expected value:
+
+    - {!constructor:Validate_ok}: the generator only emits pipelines
+      {!Kfuse_ir.Validate} accepts (a broken generator would invalidate
+      every other oracle).
+    - {!constructor:Legality}: every partition from every strategy
+      ([basic], [greedy], [mincut]) passes
+      {!Kfuse_graph.Partition.validate} and
+      {!Kfuse_fusion.Legality.check_partition}.  Strategies are called
+      {e directly}, not through the driver: the driver's graceful
+      degradation would silently repair exactly the failures this
+      oracle exists to catch.
+    - {!constructor:Beta_optimal}: on DAGs small enough to enumerate,
+      Algorithm 1's objective never {e exceeds} the exhaustive optimum
+      (that would mean an illegal or miscounted partition); falling
+      short is a heuristic gap, reported as {!constructor:Gap} and
+      failing only under [strict_optimal].
+    - {!constructor:Eval_exact}: fusing with border exchange — and
+      additionally simplifying + CSE-ing — changes no output pixel,
+      {e bitwise}, for any strategy's partition.
+    - {!constructor:Pool_determinism}: the min-cut search on a domain
+      pool is bit-identical to the serial run.
+    - {!constructor:Cache_replay}: a plan stored to the disk cache and
+      replayed (memory tier cleared) equals the freshly computed plan.
+    - {!constructor:Meta_rename}, {!constructor:Meta_permute_inputs},
+      {!constructor:Meta_duplicate}: metamorphic invariances — kernel
+      renaming and input-declaration permutation leave the structural
+      fingerprint, the min-cut objective and the partition unchanged;
+      duplicating a fanned-out kernel and rewiring one consumer is
+      undone exactly by {!Kfuse_ir.Cse.dedup_kernels}, and wrapping a
+      body in an equal-branch [select] leaves the structural
+      fingerprint unchanged.
+    - {!constructor:Unparse_roundtrip}: unparse-then-parse is the
+      identity on (border-normalized) pipelines, by exact fingerprint. *)
+
+type name =
+  | Validate_ok
+  | Legality
+  | Beta_optimal
+  | Eval_exact
+  | Pool_determinism
+  | Cache_replay
+  | Meta_rename
+  | Meta_permute_inputs
+  | Meta_duplicate
+  | Unparse_roundtrip
+
+(** All oracles, in the order {!check} runs them. *)
+val all : name list
+
+val name_to_string : name -> string
+val name_of_string : string -> name option
+
+type failure = { oracle : name; detail : string }
+
+(** Outcome of the {!constructor:Beta_optimal} comparison. *)
+type optimality =
+  | Optimal  (** min-cut matched the exhaustive optimum *)
+  | Gap of float  (** optimum minus min-cut objective (positive) *)
+  | Not_checked  (** DAG too large, or oracle not selected *)
+
+type report = { failure : failure option; optimality : optimality }
+
+(** [check config p] runs the bank and stops at the first failure.
+
+    [which] restricts to a subset (default {!all}); [pool] enables the
+    pool-determinism oracle (skipped without one); [cache_dir] enables
+    the disk tier of the cache-replay oracle (memory-only without);
+    [strict_optimal] (default false) turns heuristic optimality gaps
+    into failures; [max_exhaustive] (default 8) bounds the DAGs the
+    exhaustive oracle enumerates.  Oracles never raise: an escaping
+    exception is itself a failure of the oracle it escaped from. *)
+val check :
+  ?which:name list ->
+  ?pool:Kfuse_util.Pool.t ->
+  ?cache_dir:string ->
+  ?strict_optimal:bool ->
+  ?max_exhaustive:int ->
+  Kfuse_fusion.Config.t ->
+  Kfuse_ir.Pipeline.t ->
+  report

@@ -21,22 +21,28 @@ let bound_names e =
     in
     go [] e)
 
-(* Count subtree occurrences within the current frame: Shift bodies are a
-   different evaluation position, so they are opaque (the Shift node as a
-   whole still counts as a frame value). *)
-let rec count_frame tbl e =
-  tbl := Emap.update e (fun n -> Some (1 + Option.value ~default:0 n)) !tbl;
+(* Count subtree occurrences within the current frame, recording the
+   position of each subtree's first occurrence in a left-to-right
+   traversal: Shift bodies are a different evaluation position, so they
+   are opaque (the Shift node as a whole still counts as a frame value). *)
+let rec count_frame tbl pos e =
+  let at = !pos in
+  incr pos;
+  tbl :=
+    Emap.update e
+      (function None -> Some (1, at) | Some (n, first) -> Some (n + 1, first))
+      !tbl;
   match e with
   | Expr.Const _ | Expr.Param _ | Expr.Input _ | Expr.Var _ | Expr.Shift _ -> ()
   | Expr.Let { value; body; _ } ->
-    count_frame tbl value;
-    count_frame tbl body
-  | Expr.Unop (_, a) -> count_frame tbl a
+    count_frame tbl pos value;
+    count_frame tbl pos body
+  | Expr.Unop (_, a) -> count_frame tbl pos a
   | Expr.Binop (_, a, b) ->
-    count_frame tbl a;
-    count_frame tbl b
+    count_frame tbl pos a;
+    count_frame tbl pos b
   | Expr.Select { lhs; rhs; if_true; if_false; _ } ->
-    List.iter (count_frame tbl) [ lhs; rhs; if_true; if_false ]
+    List.iter (count_frame tbl pos) [ lhs; rhs; if_true; if_false ]
 
 (* Replace frame occurrences of [t] by [Var v]; Shift bodies are opaque. *)
 let rec replace t v e =
@@ -65,19 +71,24 @@ let eligible min_size e =
     Expr.size e >= min_size && Expr.free_vars e = []
 
 (* Process the top-level frame of [e] to a fixpoint: repeatedly bind the
-   largest repeated eligible subtree. *)
+   largest repeated eligible subtree.  Size ties break on first
+   occurrence in traversal order, never on subtree contents — binding
+   order must not depend on what the images in scope are called. *)
 let rec bind_repeats ~min_size ~fresh e =
   let tbl = ref Emap.empty in
-  count_frame tbl e;
+  count_frame tbl (ref 0) e;
   let candidate =
     Emap.fold
-      (fun sub n best ->
+      (fun sub (n, first) best ->
         if n >= 2 && eligible min_size sub then
           match best with
-          | Some b when Expr.size b >= Expr.size sub -> best
-          | _ -> Some sub
+          | Some (b, bfirst) ->
+            let s = Expr.size sub and bs = Expr.size b in
+            if s > bs || (s = bs && first < bfirst) then Some (sub, first) else best
+          | None -> Some (sub, first)
         else best)
       !tbl None
+    |> Option.map fst
   in
   match candidate with
   | None -> e
@@ -132,3 +143,55 @@ let kernel ?min_size (k : Kernel.t) =
 
 let pipeline ?min_size (p : Pipeline.t) =
   Pipeline.with_kernels p (List.map (kernel ?min_size) (Array.to_list p.Pipeline.kernels))
+
+(* ---- kernel-level CSE: twin deduplication ----
+
+   Two kernels whose (renamed) bodies are structurally equal compute the
+   same image; all but the earliest are redundant.  Consumers are
+   rewired producer-by-producer in stored (topological) order, so a
+   rename can reveal new twins downstream and one pass reaches the
+   fixpoint. *)
+
+let op_equal (a : Kernel.op) (b : Kernel.op) =
+  match (a, b) with
+  | Kernel.Map x, Kernel.Map y -> Expr.equal x y
+  | Kernel.Reduce r, Kernel.Reduce s ->
+    Float.equal r.init s.init && r.combine = s.combine && Expr.equal r.arg s.arg
+  | Kernel.Map _, Kernel.Reduce _ | Kernel.Reduce _, Kernel.Map _ -> false
+
+(* Order-preserving dedup: renaming can make two declared inputs
+   coincide, but an untouched kernel must keep its declaration order so
+   the rebuild is byte-identical. *)
+let dedup_stable inputs =
+  List.rev
+    (List.fold_left
+       (fun acc i -> if List.mem i acc then acc else i :: acc)
+       [] inputs)
+
+let dedup_kernels (p : Pipeline.t) =
+  let repl : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let ren img = Option.value ~default:img (Hashtbl.find_opt repl img) in
+  let rewrite (k : Kernel.t) =
+    let op =
+      match k.Kernel.op with
+      | Kernel.Map e -> Kernel.Map (Expr.rename_images ren e)
+      | Kernel.Reduce { init; combine; arg } ->
+        Kernel.Reduce { init; combine; arg = Expr.rename_images ren arg }
+    in
+    Kernel.create ~name:k.Kernel.name
+      ~inputs:(dedup_stable (List.map ren k.Kernel.inputs))
+      op
+  in
+  let kept = ref [] in
+  Array.iteri
+    (fun i k ->
+      let k = rewrite k in
+      match List.find_opt (fun (r : Kernel.t) -> op_equal r.Kernel.op k.Kernel.op) !kept with
+      | Some r when not (Kfuse_util.Iset.is_empty (Pipeline.consumers p i)) ->
+        (* A consumed twin: rewire its readers to the representative and
+           drop it.  An unconsumed twin is a pipeline output — dropping
+           it would change the pipeline's interface — so it stays. *)
+        Hashtbl.replace repl k.Kernel.name r.Kernel.name
+      | _ -> kept := k :: !kept)
+    p.Pipeline.kernels;
+  Pipeline.with_kernels p (List.rev !kept)

@@ -22,3 +22,12 @@ val kernel : ?min_size:int -> Kernel.t -> Kernel.t
 
 (** [pipeline ?min_size p] applies {!kernel} to every kernel. *)
 val pipeline : ?min_size:int -> Pipeline.t -> Pipeline.t
+
+(** [dedup_kernels p] is kernel-level CSE: {e twin} kernels — whose
+    bodies are structurally equal once producers are identified — are
+    merged by rewiring every consumer to the earliest twin and dropping
+    the later ones.  A twin no kernel consumes is kept: it is a pipeline
+    output, and dropping it would change the pipeline's interface.
+    Reaches its fixpoint in one topological pass (a merge can reveal new
+    twins downstream, which the same pass catches). *)
+val dedup_kernels : Pipeline.t -> Pipeline.t

@@ -158,5 +158,38 @@ let kernel (k : Kernel.t) =
     let arg = expr arg in
     Kernel.reduce ~name:k.Kernel.name ~inputs:(Expr.images arg) ~init ~combine arg
 
+(* Simplifying a body can erase its last read of a producer (e.g.
+   [0 * k]).  Left in place, that producer would have no consumers and
+   silently join the output set; drop newly-dead interior kernels
+   (transitively) so simplification preserves the observable outputs. *)
+let drop_dead ~(keep : string list) (p : Pipeline.t) =
+  let rec go (p : Pipeline.t) =
+    let dead =
+      List.filter
+        (fun i ->
+          let k = Pipeline.kernel p i in
+          Kfuse_util.Iset.is_empty (Pipeline.consumers p i)
+          && not (List.mem k.Kernel.name keep))
+        (List.init (Pipeline.num_kernels p) Fun.id)
+    in
+    if dead = [] then p
+    else
+      go
+        (Pipeline.with_kernels p
+           (List.filteri
+              (fun i _ -> not (List.mem i dead))
+              (Array.to_list p.Pipeline.kernels)))
+  in
+  go p
+
 let pipeline (p : Pipeline.t) =
-  Pipeline.with_kernels p (List.map kernel (Array.to_list p.Pipeline.kernels))
+  let keep =
+    List.filter_map
+      (fun i ->
+        if Kfuse_util.Iset.is_empty (Pipeline.consumers p i) then
+          Some (Pipeline.kernel p i).Kernel.name
+        else None)
+      (List.init (Pipeline.num_kernels p) Fun.id)
+  in
+  drop_dead ~keep
+    (Pipeline.with_kernels p (List.map kernel (Array.to_list p.Pipeline.kernels)))

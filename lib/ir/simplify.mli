@@ -24,5 +24,7 @@ val kernel : Kernel.t -> Kernel.t
 
 (** [pipeline p] simplifies every kernel.  Kernels whose last read of
     some image disappears keep their reduced input lists; the pipeline is
-    revalidated. *)
+    revalidated.  Interior kernels left without any consumer by the
+    rewrites are dropped (transitively), so the observable output set —
+    the kernels that had no consumers in [p] — is preserved. *)
 val pipeline : Pipeline.t -> Pipeline.t

@@ -43,36 +43,40 @@ let active () = Atomic.get armed_any
 
 let hits point = locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt observed point))
 
+(* Shared trigger evaluation: count the hit and decide whether it
+   fires.  [Some n] carries the 1-based hit count of a firing hit. *)
+let eval_hit point =
+  if Atomic.get armed_any then
+    locked (fun () ->
+        match Hashtbl.find_opt points point with
+        | None -> None
+        | Some st ->
+          st.count <- st.count + 1;
+          Hashtbl.replace observed point st.count;
+          let fires =
+            match st.trigger with
+            | Nth n ->
+              if st.spent then false
+              else if st.count = n then begin
+                st.spent <- true;
+                true
+              end
+              else false
+            | Every n -> n >= 1 && st.count mod n = 0
+            | Prob (p, _) -> (
+              match st.rng with
+              | Some rng -> Rng.float rng 1.0 < p
+              | None -> false)
+          in
+          if fires then Some st.count else None)
+  else None
+
 let hit point =
-  if Atomic.get armed_any then begin
-    let fire =
-      locked (fun () ->
-          match Hashtbl.find_opt points point with
-          | None -> None
-          | Some st ->
-            st.count <- st.count + 1;
-            Hashtbl.replace observed point st.count;
-            let fires =
-              match st.trigger with
-              | Nth n ->
-                if st.spent then false
-                else if st.count = n then begin
-                  st.spent <- true;
-                  true
-                end
-                else false
-              | Every n -> n >= 1 && st.count mod n = 0
-              | Prob (p, _) -> (
-                match st.rng with
-                | Some rng -> Rng.float rng 1.0 < p
-                | None -> false)
-            in
-            if fires then Some st.count else None)
-    in
-    match fire with
-    | Some n -> raise (Fault { point; hit = n })
-    | None -> ()
-  end
+  match eval_hit point with
+  | Some n -> raise (Fault { point; hit = n })
+  | None -> ()
+
+let fires point = eval_hit point <> None
 
 let parse_clause clause =
   let clause = String.trim clause in

@@ -13,6 +13,12 @@
     - ["pool.spawn"]  — before each worker-domain spawn in {!Pool.create}
     - ["pool.task"]   — before each task a pool worker executes
     - ["cut.stoer_wagner"] — entry of [Stoer_wagner.min_cut]
+    - ["cut.block_legal"] — a {e corruption} point ({!fires}) in
+      [Mincut_fusion.block_legal]: a triggered hit makes the predicate
+      wrongly report the block as legal, so Algorithm 1 emits an illegal
+      partition.  Exists for the differential fuzzer: arming
+      ["cut.block_legal/1"] seeds a legality bug the legality oracle
+      must catch and shrink
     - ["cut.karger"]  — entry of [Karger.min_cut]
     - ["sim.sample"]  — per measurement sample in [Sim.measure]
     - ["driver.strategy"] — before the driver runs the chosen strategy
@@ -61,6 +67,13 @@ val active : unit -> bool
 val hit : string -> unit
 (** [hit point] counts a hit and raises {!Fault} if armed and triggered.
     Near-free when nothing is armed anywhere. *)
+
+val fires : string -> bool
+(** [fires point] counts a hit like {!hit} but reports a triggered fault
+    as [true] instead of raising — the primitive for {e corruption}-style
+    fault points, where the instrumented code keeps running and returns a
+    deliberately wrong answer for the test harness to catch.  [false]
+    when unarmed. *)
 
 val hits : string -> int
 (** Hits observed at [point] since it was last armed (0 if never armed;

@@ -16,6 +16,8 @@ let () =
       ("legality", Test_legality.suite);
       ("benefit", Test_benefit.suite);
       ("transform", Test_transform.suite);
+      ("substitute", Test_substitute.suite);
+      ("conv-match", Test_conv_match.suite);
       ("fusion-algorithms", Test_fusion_algos.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("inline", Test_inline.suite);
@@ -36,5 +38,6 @@ let () =
       ("cache", Test_cache.suite);
       ("service", Test_service.suite);
       ("chaos", Test_chaos.suite);
+      ("fuzz", Test_fuzz.suite);
       ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,118 @@
+(* Direct unit tests for Conv_match — stencil recognition and rank-1
+   separation.  Edge cases pinned: duplicate-offset accumulation,
+   mixed-image and mixed-border rejection, bare reads as unit taps, and
+   separability of the classic masks vs a genuinely rank-2 stencil. *)
+
+module Expr = Kfuse_ir.Expr
+module Conv_match = Kfuse_ir.Conv_match
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let tap s (dx, dy) = List.assoc_opt (dx, dy) s.Conv_match.taps
+
+let test_extract_conv_mask () =
+  let e = Expr.conv ~border:Border.Mirror Mask.gaussian_3x3 "img" in
+  match Conv_match.extract e with
+  | None -> Alcotest.fail "gaussian conv not recognized"
+  | Some s ->
+    Alcotest.(check string) "image" "img" s.Conv_match.image;
+    Alcotest.(check bool) "border preserved" true (s.Conv_match.border = Border.Mirror);
+    Alcotest.(check int) "nine taps" 9 (Conv_match.tap_count s);
+    Alcotest.(check (option (float 1e-12))) "center coefficient" (Some 0.25) (tap s (0, 0))
+
+let test_extract_accumulates_duplicate_offsets () =
+  let e =
+    Expr.(
+      (const 0.25 * input ~dx:1 "x")
+      + (const 0.25 * input ~dx:1 "x")
+      + input ~dy:(-1) "x")
+  in
+  match Conv_match.extract e with
+  | None -> Alcotest.fail "weighted sum not recognized"
+  | Some s ->
+    Alcotest.(check int) "offsets deduplicated" 2 (Conv_match.tap_count s);
+    Alcotest.(check (option (float 1e-12))) "coefficients accumulate" (Some 0.5)
+      (tap s (1, 0));
+    Alcotest.(check (option (float 1e-12))) "bare read is a unit tap" (Some 1.0)
+      (tap s (0, -1))
+
+let test_extract_rejects_mixed_images () =
+  let e = Expr.(input "x" + input "y") in
+  Alcotest.(check bool) "two images rejected" true (Conv_match.extract e = None)
+
+let test_extract_rejects_mixed_borders () =
+  let e =
+    Expr.(
+      input ~dx:1 ~border:Border.Clamp "x" + input ~dx:(-1) ~border:Border.Mirror "x")
+  in
+  Alcotest.(check bool) "two border modes rejected" true (Conv_match.extract e = None)
+
+let test_extract_rejects_non_sum () =
+  Alcotest.(check bool) "product of reads rejected" true
+    (Conv_match.extract Expr.(input "x" * input ~dx:1 "x") = None)
+
+let test_extract_bare_input () =
+  match Conv_match.extract (Expr.input "x") with
+  | Some s ->
+    Alcotest.(check int) "single tap" 1 (Conv_match.tap_count s);
+    Alcotest.(check (option (float 1e-12))) "unit coefficient" (Some 1.0) (tap s (0, 0))
+  | None -> Alcotest.fail "bare read not recognized"
+
+let extract_exn e =
+  match Conv_match.extract e with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a stencil"
+
+let check_factorization s f =
+  List.iter
+    (fun ((dx, dy), w) ->
+      let h = Option.value ~default:0.0 (List.assoc_opt dx f.Conv_match.horizontal) in
+      let v = Option.value ~default:0.0 (List.assoc_opt dy f.Conv_match.vertical) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "tap (%d,%d) reconstructs" dx dy)
+        w (h *. v))
+    s.Conv_match.taps
+
+let test_separate_gaussian () =
+  let s = extract_exn (Expr.conv Mask.gaussian_3x3 "img") in
+  match Conv_match.separate s with
+  | None -> Alcotest.fail "gaussian is separable"
+  | Some f ->
+    Alcotest.(check int) "three horizontal coefficients" 3
+      (List.length f.Conv_match.horizontal);
+    Alcotest.(check int) "three vertical coefficients" 3
+      (List.length f.Conv_match.vertical);
+    check_factorization s f
+
+let test_separate_sobel () =
+  (* Sobel-x = [1;2;1]^T x [-1;0;1]: rank 1 even with zero coefficients
+     in a column. *)
+  let s = extract_exn (Expr.conv Mask.sobel_x "img") in
+  match Conv_match.separate s with
+  | None -> Alcotest.fail "sobel_x is separable"
+  | Some f -> check_factorization s f
+
+let test_separate_rejects_rank2 () =
+  (* The identity-matrix stencil has rank 2: no rank-1 factorization. *)
+  let s =
+    extract_exn
+      Expr.(
+        input ~dx:(-1) ~dy:(-1) "x" + input ~dx:1 ~dy:1 "x")
+  in
+  Alcotest.(check bool) "rank-2 stencil rejected" true (Conv_match.separate s = None)
+
+let suite =
+  [
+    Alcotest.test_case "extract: dense conv mask" `Quick test_extract_conv_mask;
+    Alcotest.test_case "extract: duplicate offsets accumulate" `Quick
+      test_extract_accumulates_duplicate_offsets;
+    Alcotest.test_case "extract: mixed images rejected" `Quick
+      test_extract_rejects_mixed_images;
+    Alcotest.test_case "extract: mixed borders rejected" `Quick
+      test_extract_rejects_mixed_borders;
+    Alcotest.test_case "extract: non-sum rejected" `Quick test_extract_rejects_non_sum;
+    Alcotest.test_case "extract: bare read is a unit tap" `Quick test_extract_bare_input;
+    Alcotest.test_case "separate: gaussian factorizes" `Quick test_separate_gaussian;
+    Alcotest.test_case "separate: sobel_x factorizes" `Quick test_separate_sobel;
+    Alcotest.test_case "separate: rank-2 rejected" `Quick test_separate_rejects_rank2;
+  ]

@@ -407,6 +407,40 @@ let prop_inline_preserves_semantics =
       let a = run_all p env and b = run_all p' env in
       List.for_all2 (fun (_, x) (_, y) -> Image.max_abs_diff x y < 1e-9) a b)
 
+(* ---- fuzzer-backed differential properties ----
+
+   The three strongest oracles from lib/fuzz, re-expressed as qcheck
+   properties over (seed, index) pairs: qcheck explores the pair space,
+   the seeded generator maps each pair to a well-formed pipeline, and a
+   failure prints the two integers that replay it exactly (also via
+   `kfusec fuzz --seed S`). *)
+
+let fuzz_case_arb =
+  QCheck.make
+    ~print:(fun (seed, index) -> Printf.sprintf "seed=%d index=%d" seed index)
+    QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 200))
+
+let fuzz_oracle_holds which (seed, index) =
+  let p = Kfuse_fuzz.Gen.case ~seed index in
+  match (Kfuse_fuzz.Oracle.check ~which:[ which ] config p).Kfuse_fuzz.Oracle.failure with
+  | None -> true
+  | Some { Kfuse_fuzz.Oracle.detail; _ } -> QCheck.Test.fail_report detail
+
+let prop_fuzz_legality =
+  QCheck.Test.make ~count:40
+    ~name:"fuzz: every strategy's partition is legal and valid" fuzz_case_arb
+    (fuzz_oracle_holds Kfuse_fuzz.Oracle.Legality)
+
+let prop_fuzz_beta_never_beats_optimum =
+  QCheck.Test.make ~count:25
+    ~name:"fuzz: min-cut beta never exceeds the exhaustive optimum" fuzz_case_arb
+    (fuzz_oracle_holds Kfuse_fuzz.Oracle.Beta_optimal)
+
+let prop_fuzz_eval_exact =
+  QCheck.Test.make ~count:20
+    ~name:"fuzz: fused evaluation is pixel-exact, borders included" fuzz_case_arb
+    (fuzz_oracle_holds Kfuse_fuzz.Oracle.Eval_exact)
+
 (* A fixed seed keeps `dune runtest` reproducible (override with
    QCHECK_SEED to explore). *)
 let suite =
@@ -435,4 +469,7 @@ let suite =
       prop_opt_passes_preserve_semantics;
       prop_simplify_never_grows;
       prop_transform_radius_additive;
+      prop_fuzz_legality;
+      prop_fuzz_beta_never_beats_optimum;
+      prop_fuzz_eval_exact;
     ]

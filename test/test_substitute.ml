@@ -1,0 +1,121 @@
+(* Direct unit tests for Substitute.inline_producers — the producer-body
+   substitution underneath both Transform and Inline_fusion.  Each case
+   pins one clause of the contract: register sharing for repeated point
+   reads, direct inlining for single and in-Shift reads, and Shift
+   wrapping (with or without index exchange) for windowed reads. *)
+
+module Expr = Kfuse_ir.Expr
+module Substitute = Kfuse_fusion.Substitute
+module Border = Kfuse_image.Border
+
+let fresh_counter () =
+  let n = ref 0 in
+  fun image ->
+    incr n;
+    Printf.sprintf "%%r%s_%d" image !n
+
+let produced_a body = fun image -> if image = "a" then Some body else None
+
+let producer = Expr.(input "src" * const 2.0)
+
+let inline ?(exchange = true) body =
+  Substitute.inline_producers ~exchange ~fresh:(fresh_counter ())
+    ~produced:(produced_a producer) body
+
+(* A single point read inlines the producer body directly: binding it
+   would cost a register for no sharing. *)
+let test_single_point_read_inlines () =
+  let body = Expr.(input "a" + const 1.0) in
+  Alcotest.(check Helpers.expr) "direct inline"
+    Expr.(producer + const 1.0)
+    (inline body)
+
+(* Two point reads outside any Shift share one Let-bound register. *)
+let test_repeated_point_reads_share_register () =
+  let body = Expr.(input "a" * input "a") in
+  match inline body with
+  | Expr.Let { var; value; body = Expr.Binop (Expr.Mul, Expr.Var v1, Expr.Var v2) } ->
+    Alcotest.(check Helpers.expr) "bound value is the producer body" producer value;
+    Alcotest.(check string) "left factor reads the register" var v1;
+    Alcotest.(check string) "right factor reads the register" var v2
+  | e -> Alcotest.failf "expected let-bound register, got %a" Expr.pp e
+
+(* A point read inside a Shift frame evaluates at the shifted position:
+   it must inline the body, never share the outer register. *)
+let test_point_read_inside_shift_inlines () =
+  let body =
+    Expr.(
+      input "a"
+      + input "a"
+      + Expr.Shift { dx = 1; dy = 0; exchange = None; body = Expr.input "a" })
+  in
+  match inline body with
+  | Expr.Let { body = Expr.Binop (Expr.Add, _, Expr.Shift { body = shifted; _ }); _ } ->
+    Alcotest.(check Helpers.expr) "shifted occurrence re-inlines the producer"
+      producer shifted
+  | e -> Alcotest.failf "expected let around add with shift, got %a" Expr.pp e
+
+(* A windowed read wraps the producer in a Shift carrying the consumer's
+   border mode as index exchange. *)
+let test_windowed_read_wraps_shift_with_exchange () =
+  let body = Expr.input ~dx:1 ~dy:(-2) ~border:Border.Mirror "a" in
+  match inline body with
+  | Expr.Shift { dx = 1; dy = -2; exchange = Some Border.Mirror; body } ->
+    Alcotest.(check Helpers.expr) "producer body under the shift" producer body
+  | e -> Alcotest.failf "expected shift with exchange, got %a" Expr.pp e
+
+(* Without exchange the Shift carries no border: the consumer reads the
+   producer's mathematical extension instead of a replayed border. *)
+let test_windowed_read_without_exchange () =
+  let body = Expr.input ~dx:0 ~dy:3 ~border:Border.Clamp "a" in
+  match inline ~exchange:false body with
+  | Expr.Shift { dx = 0; dy = 3; exchange = None; body } ->
+    Alcotest.(check Helpers.expr) "producer body under the shift" producer body
+  | e -> Alcotest.failf "expected shift without exchange, got %a" Expr.pp e
+
+(* Images the [produced] callback does not claim are left untouched. *)
+let test_unproduced_images_untouched () =
+  let body = Expr.(input "b" + input ~dx:1 ~border:Border.Repeat "c") in
+  Alcotest.(check Helpers.expr) "foreign reads survive" body (inline body)
+
+(* Mixed: one image read both at a point (twice) and through a window —
+   the point reads share a register while the windowed read recomputes. *)
+let test_mixed_point_and_windowed_reads () =
+  let body =
+    Expr.(input "a" + input "a" + input ~dx:2 ~border:Border.Clamp "a")
+  in
+  match inline body with
+  | Expr.Let
+      {
+        var;
+        value;
+        body =
+          Expr.Binop
+            ( Expr.Add,
+              Expr.Binop (Expr.Add, Expr.Var v1, Expr.Var v2),
+              Expr.Shift { dx = 2; dy = 0; exchange = Some Border.Clamp; body = shifted }
+            );
+      } ->
+    Alcotest.(check Helpers.expr) "register holds the producer" producer value;
+    Alcotest.(check string) "first point read shares" var v1;
+    Alcotest.(check string) "second point read shares" var v2;
+    Alcotest.(check Helpers.expr) "windowed read recomputes" producer shifted
+  | e -> Alcotest.failf "unexpected shape: %a" Expr.pp e
+
+let suite =
+  [
+    Alcotest.test_case "single point read inlines directly" `Quick
+      test_single_point_read_inlines;
+    Alcotest.test_case "repeated point reads share a register" `Quick
+      test_repeated_point_reads_share_register;
+    Alcotest.test_case "point read inside Shift re-inlines" `Quick
+      test_point_read_inside_shift_inlines;
+    Alcotest.test_case "windowed read wraps Shift with exchange" `Quick
+      test_windowed_read_wraps_shift_with_exchange;
+    Alcotest.test_case "windowed read without exchange" `Quick
+      test_windowed_read_without_exchange;
+    Alcotest.test_case "unproduced images untouched" `Quick
+      test_unproduced_images_untouched;
+    Alcotest.test_case "mixed point and windowed reads" `Quick
+      test_mixed_point_and_windowed_reads;
+  ]

@@ -236,6 +236,58 @@ let test_shared_input_fusion () =
   Alcotest.(check (list string)) "only external input" [ "in" ]
     (Pipeline.kernel fused 0).Kernel.inputs
 
+(* A full diamond (a feeds b and c, d joins them) fuses to one kernel
+   with the sink's name, reading only the external input, and stays
+   pixel-exact — the join must not double-apply a's border handling. *)
+let test_diamond_block_fuses_exact () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"diamond" ~width:12 ~height:9 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (conv ~border:Border.Mirror Mask.gaussian_3x3 "in");
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input ~dx:1 ~border:Border.Clamp "a" * Const 0.5);
+        Kernel.map ~name:"c" ~inputs:[ "a" ] (input ~dy:(-1) ~border:Border.Repeat "a" + Const 1.0);
+        Kernel.map ~name:"d" ~inputs:[ "b"; "c" ] (input "b" + input "c");
+      ]
+  in
+  let fused = compare_fused p [ Helpers.set_of [ 0; 1; 2; 3 ] ] in
+  Alcotest.(check int) "single kernel" 1 (Pipeline.num_kernels fused);
+  Alcotest.(check string) "named after the sink" "d" (Pipeline.kernel fused 0).Kernel.name;
+  Alcotest.(check (list string)) "reads exactly the external input" [ "in" ]
+    (Pipeline.kernel fused 0).Kernel.inputs
+
+(* A partial block in the middle of the diamond: [a] stays external to
+   the fused kernel, which must list it (and nothing else) as input. *)
+let test_partial_diamond_block_externals () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"partial" ~width:12 ~height:9 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"a" ~inputs:[ "in" ] (conv Mask.gaussian_3x3 "in");
+        Kernel.map ~name:"b" ~inputs:[ "a" ] (input "a" * Const 0.5);
+        Kernel.map ~name:"c" ~inputs:[ "a" ] (input "a" + Const 1.0);
+        Kernel.map ~name:"d" ~inputs:[ "b"; "c" ] (input "b" + input "c");
+      ]
+  in
+  let k = F.Transform.fuse_block p (Helpers.set_of [ 1; 2; 3 ]) in
+  Alcotest.(check string) "named after the sink" "d" k.Kernel.name;
+  Alcotest.(check (list string)) "a is the only external" [ "a" ] k.Kernel.inputs
+
+(* fuse_block refuses a global (reduce) kernel inside a block: reduction
+   has no per-pixel body to substitute. *)
+let test_reduce_kernel_unfusable () =
+  let open Expr in
+  let p =
+    Pipeline.create ~name:"red" ~width:8 ~height:8 ~inputs:[ "in" ]
+      [
+        Kernel.map ~name:"sq" ~inputs:[ "in" ] (input "in" * input "in");
+        Kernel.reduce ~name:"sum" ~inputs:[ "sq" ] ~init:0.0 ~combine:Expr.Add
+          (input "sq");
+      ]
+  in
+  Helpers.expect_invalid "global kernel in block" (fun () ->
+      F.Transform.fuse_block p (Helpers.set_of [ 0; 1 ]))
+
 let suite =
   [
     Alcotest.test_case "point chain fuses to one" `Quick test_point_chain_fuses_to_one;
@@ -249,4 +301,7 @@ let suite =
     Alcotest.test_case "invalid partitions rejected" `Quick test_invalid_partition_rejected;
     Alcotest.test_case "multi-sink block rejected" `Quick test_multi_sink_block_rejected;
     Alcotest.test_case "shared-input fusion (Fig 2b)" `Quick test_shared_input_fusion;
+    Alcotest.test_case "diamond block fuses exactly" `Quick test_diamond_block_fuses_exact;
+    Alcotest.test_case "partial diamond externals" `Quick test_partial_diamond_block_externals;
+    Alcotest.test_case "reduce kernel unfusable" `Quick test_reduce_kernel_unfusable;
   ]
