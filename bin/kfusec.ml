@@ -25,6 +25,7 @@ module Diag = Kfuse_util.Diag
 module Cache = Kfuse_cache
 module Svc = Kfuse_service
 module Fz = Kfuse_fuzz
+module Exec = Kfuse_exec
 open Cmdliner
 
 let pp_diag d = Format.eprintf "kfusec: %a@." Diag.pp d
@@ -369,8 +370,40 @@ let emit_cmd =
 
 (* ---- run ---- *)
 
+let exec_mode_arg =
+  let mode_conv =
+    Arg.conv
+      ( (function
+        | "auto" -> Ok None
+        | s -> (
+          match Exec.Native.mode_of_string s with
+          | Some m -> Ok (Some m)
+          | None ->
+            Error (`Msg (Printf.sprintf "unknown exec mode %S (auto, dlopen, subprocess)" s)))),
+        fun ppf m ->
+          Format.pp_print_string ppf
+            (match m with None -> "auto" | Some m -> Exec.Native.mode_to_string m) )
+  in
+  Arg.(
+    value
+    & opt mode_conv None
+    & info [ "exec-mode" ] ~docv:"MODE"
+        ~doc:
+          "Native execution mode: $(b,dlopen) (load the compiled shared object \
+           in-process), $(b,subprocess) (standalone executable + file \
+           marshalling), or $(b,auto) (dlopen, falling back to subprocess if \
+           the object cannot be loaded).")
+
+(* The native backend keeps compiled artifacts under a [native]
+   subdirectory of the plan-cache directory, so --cache-dir relocates
+   both caches together. *)
+let native_cache_dir (c : common) =
+  Option.map
+    (fun d -> Filename.concat d "native")
+    (Option.bind c.cache Cache.Plan_cache.dir)
+
 let run_cmd =
-  let doc = "Execute a pipeline on a PGM image with the reference interpreter." in
+  let doc = "Execute a pipeline on a PGM image (interpreter or compiled native code)." in
   let input_arg =
     Arg.(
       required
@@ -383,7 +416,27 @@ let run_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.pgm"
           ~doc:"Output image path (multi-output pipelines add the kernel name).")
   in
-  let run common strategy input output =
+  let native_arg =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Compile the fused pipeline to C + OpenMP with the host toolchain \
+             and execute the compiled code instead of the interpreter.  The \
+             result is still checked against the interpreter (see \
+             $(b,--no-verify)); artifacts are cached by plan fingerprint.  \
+             Requires a C compiler (KF0902 otherwise; set $(b,KFUSE_CC) to pin \
+             one).")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "With $(b,--native): skip the interpreter cross-check (faster on \
+             large images, but drops the max-abs-diff report).")
+  in
+  let run common strategy input output native exec_mode no_verify =
     with_loaded common @@ fun pool p ->
     match p.Ir.Pipeline.inputs with
     | [ input_name ] -> (
@@ -405,7 +458,38 @@ let run_cmd =
         | Ok r -> (
           report_warnings r;
           let env = Ir.Eval.env_of_list [ (input_name, img) ] in
-          let outs = Ir.Eval.run_outputs r.F.Driver.fused env in
+          let computed =
+            if not native then Ok (Ir.Eval.run_outputs r.F.Driver.fused env)
+            else
+              match
+                Exec.Native.run ?mode:exec_mode ?cache_dir:(native_cache_dir common)
+                  r.F.Driver.fused
+                  [ (input_name, img) ]
+              with
+              | Error d -> Error d
+              | Ok nr ->
+                List.iter pp_diag nr.Exec.Native.warnings;
+                Format.eprintf
+                  "kfusec: native (%s): compile %.1f ms%s, exec %.2f ms@."
+                  (Exec.Native.mode_to_string nr.Exec.Native.mode_used)
+                  nr.Exec.Native.compile_ms
+                  (if nr.Exec.Native.cached then " (cached)" else "")
+                  nr.Exec.Native.exec_ms;
+                if not no_verify then begin
+                  let reference = Ir.Eval.run_outputs r.F.Driver.fused env in
+                  let diff =
+                    List.fold_left2
+                      (fun acc (_, a) (_, b) ->
+                        Float.max acc (Kfuse_image.Image.max_abs_diff a b))
+                      0.0 nr.Exec.Native.outputs reference
+                  in
+                  Format.printf "native max-abs-diff vs interpreter: %g@." diff
+                end;
+                Ok nr.Exec.Native.outputs
+          in
+          match computed with
+          | Error d -> fail_diag d
+          | Ok outs -> (
           match outs with
           | [ (_, result) ] -> (
             match Kfuse_image.Pgm.write_result output result with
@@ -427,7 +511,7 @@ let run_cmd =
                 | Error d -> code := fail_diag d
                 | Ok () -> Format.printf "wrote %s@." path)
               many;
-            !code)))
+            !code))))
     | inputs ->
       Format.eprintf "kfusec: run supports single-input pipelines (found %d inputs)@."
         (List.length inputs);
@@ -435,7 +519,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ common_term $ strategy_arg $ input_arg $ output_arg)
+    Term.(
+      const run $ common_term $ strategy_arg $ input_arg $ output_arg $ native_arg
+      $ exec_mode_arg $ no_verify_arg)
 
 (* ---- estimate ---- *)
 
@@ -727,6 +813,12 @@ let query_cmd =
       & vflag `Fuse
           [
             (`Fuse, info [ "fuse" ] ~doc:"Request a fusion plan (the default).");
+            ( `Exec,
+              info [ "exec" ]
+                ~doc:
+                  "Plan, then compile and natively execute the fused pipeline on \
+                   the server (the $(b,fuse_exec) op); inputs are synthesized \
+                   from $(b,--seed).  Requires a C toolchain on the server." );
             (`Stats, info [ "stats" ] ~doc:"Fetch cache and per-request statistics as JSON.");
             ( `Metrics,
               info [ "metrics" ] ~doc:"Fetch the Prometheus-style text metrics dump." );
@@ -763,8 +855,49 @@ let query_cmd =
       & info [ "retry-backoff-ms" ] ~docv:"MS"
           ~doc:"First backoff step; doubles per retry (capped at 2s).")
   in
+  let width_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "width" ] ~docv:"W"
+          ~doc:
+            "With $(b,--exec): override the pipeline extent (registry apps \
+             only; pair with $(b,--height)).")
+  in
+  let height_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "height" ] ~docv:"H" ~doc:"With $(b,--exec): see $(b,--width).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"With $(b,--exec): seed for the synthesized inputs.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"With $(b,--exec): timing samples per execution.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "With $(b,--exec): also run the reference interpreter on the \
+             server and report $(b,max_abs_diff).")
+  in
+  let pixels_arg =
+    Arg.(
+      value & flag
+      & info [ "pixels" ]
+          ~doc:
+            "With $(b,--exec): inline each output's pixel rows in the reply \
+             (small extents only; the reply must fit the 16 MiB frame limit).")
+  in
   let run common socket op strategy optimize inline no_cache timeout_ms retries
-      retry_backoff_ms =
+      retry_backoff_ms exec_mode width height seed repeat verify pixels =
     let retry =
       { Svc.Client.default_retry with attempts = retries; backoff_ms = retry_backoff_ms }
     in
@@ -788,7 +921,7 @@ let query_cmd =
           | Some text -> print_string text
           | None -> print_json v)
         Svc.Protocol.Metrics
-    | `Fuse -> (
+    | (`Fuse | `Exec) as which -> (
       (* The request carries DSL source, not a path: the server need not
          share a filesystem view with the client. *)
       let source =
@@ -800,7 +933,7 @@ let query_cmd =
       in
       match source with
       | Error d -> fail_diag d
-      | Ok (app, source) ->
+      | Ok (app, source) -> (
         let req =
           {
             Svc.Protocol.app;
@@ -816,13 +949,29 @@ let query_cmd =
             strict = common.strict;
           }
         in
-        exec print_json (Svc.Protocol.Fuse req))
+        match which with
+        | `Fuse -> exec print_json (Svc.Protocol.Fuse req)
+        | `Exec ->
+          exec print_json
+            (Svc.Protocol.Fuse_exec
+               {
+                 Svc.Protocol.fuse = req;
+                 exec_mode;
+                 width;
+                 height;
+                 seed;
+                 repeat;
+                 verify;
+                 return_pixels = pixels;
+               })))
   in
   Cmd.v
     (Cmd.info "query" ~doc)
     Term.(
       const run $ common_term $ socket_arg $ op_arg $ strategy_arg $ optimize_arg
-      $ inline_arg $ no_cache_arg $ timeout_arg $ retries_arg $ retry_backoff_arg)
+      $ inline_arg $ no_cache_arg $ timeout_arg $ retries_arg $ retry_backoff_arg
+      $ exec_mode_arg $ width_arg $ height_arg $ seed_arg $ repeat_arg $ verify_arg
+      $ pixels_arg)
 
 (* ---- fuzz: the differential fuzzing campaign ---- *)
 
@@ -839,7 +988,9 @@ let fuzz_cmd =
          pixel-exact against the unfused pipeline, parallel and cached runs \
          must be bit-identical to fresh serial ones, and structural \
          fingerprints must be invariant under renaming, input permutation and \
-         duplicate-then-CSE.";
+         duplicate-then-CSE.  With $(b,--native), each fused plan is also \
+         compiled with the host C toolchain and executed natively, and must \
+         agree bitwise with the interpreter.";
       `P
         "Failures are shrunk to minimal reproducers and persisted to \
          $(b,--corpus); corpus entries are replayed before new generation, so \
@@ -894,7 +1045,17 @@ let fuzz_cmd =
       & opt int Fz.Runner.default_options.Fz.Runner.max_failures
       & info [ "max-failures" ] ~docv:"N" ~doc:"Stop the campaign after N failures.")
   in
-  let run cases seed shrink corpus max_kernels strict_optimal max_failures jobs =
+  let native_arg =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Add the interpreter-vs-native oracle: compile each fused plan with \
+             the host C toolchain and demand bitwise agreement with the \
+             interpreter.  Much slower (one C compile per case); skipped \
+             silently when no toolchain is found.")
+  in
+  let run cases seed shrink corpus max_kernels strict_optimal max_failures native jobs =
     if cases < 0 || max_kernels < 2 || max_failures < 1 then begin
       Format.eprintf "kfusec fuzz: invalid --cases/--max-kernels/--max-failures@.";
       2
@@ -911,6 +1072,7 @@ let fuzz_cmd =
           jobs;
           max_failures;
           cache_dir = None;
+          native;
         }
       in
       let summary = Fz.Runner.run ~log:(Format.eprintf "%s@.") options in
@@ -921,7 +1083,128 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ cases_arg $ seed_arg $ shrink_arg $ corpus_arg $ max_kernels_arg
-      $ strict_optimal_arg $ max_failures_arg $ jobs_arg)
+      $ strict_optimal_arg $ max_failures_arg $ native_arg $ jobs_arg)
+
+(* ---- bench-native: fused vs unfused wall-clock on the paper apps ---- *)
+
+let bench_native_cmd =
+  let doc = "Benchmark fused vs. unfused native execution on the paper applications." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "For each application the pipeline is fused twice — baseline (no \
+         fusion) and min-cut — compiled to C + OpenMP, and executed on \
+         identical deterministic random inputs.  The fastest of $(b,--runs) \
+         executions per variant is reported, both as a summary table and as \
+         a $(b,kfuse-bench-native/v1) JSON document (see EXPERIMENTS.md).  \
+         Unless $(b,--no-verify) is given, both variants are also checked \
+         against the reference interpreter.";
+    ]
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_native.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON output path ($(b,-) for stdout).")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~docv:"N" ~doc:"Executions per variant; the fastest is reported.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "width" ] ~docv:"W"
+          ~doc:"Override the iteration-space width (default: the paper's sizes).")
+  in
+  let height_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "height" ] ~docv:"H" ~doc:"Override the iteration-space height.")
+  in
+  let apps_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "apps" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subset of applications (default: all six).")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ] ~doc:"Skip the interpreter cross-check (and its timing).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit nonzero unless every interpreter-vs-native difference is \
+             within $(b,--tol).  Implies verification.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-5
+      & info [ "tol" ] ~docv:"EPS" ~doc:"Tolerance for $(b,--check) (default 1e-5).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Compiled-artifact cache directory (default: the plan cache's \
+                $(b,native) subdirectory).")
+  in
+  let run out runs width height apps exec_mode no_verify check tol cache_dir =
+    let verify = (not no_verify) || check in
+    match
+      Exec.Bench_native.run ?mode:exec_mode ?cache_dir ~runs ?width ?height ?apps ~verify
+        ()
+    with
+    | Error d -> fail_diag d
+    | Ok bench -> (
+      Format.printf "@[<v>%a@]@." Exec.Bench_native.pp_summary bench;
+      let json = Exec.Bench_native.to_json bench in
+      let write_failed =
+        if out = "-" then begin
+          print_string json;
+          None
+        end
+        else
+          match
+            let oc = open_out out in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc json)
+          with
+          | () ->
+            Format.printf "wrote %s@." out;
+            None
+          | exception Sys_error msg -> Some (Diag.v ~file:out Diag.Io_error msg)
+      in
+      match write_failed with
+      | Some d -> fail_diag d
+      | None ->
+        if not check then 0
+        else begin
+          match Exec.Bench_native.max_diff bench with
+          | Some worst when worst <= tol -> 0
+          | Some worst ->
+            Format.eprintf
+              "kfusec: bench-native --check: max-abs-diff %g exceeds tolerance %g@."
+              worst tol;
+            1
+          | None ->
+            Format.eprintf "kfusec: bench-native --check: nothing was verified@.";
+            1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "bench-native" ~doc ~man)
+    Term.(
+      const run $ out_arg $ runs_arg $ width_arg $ height_arg $ apps_arg $ exec_mode_arg
+      $ no_verify_arg $ check_arg $ tol_arg $ cache_dir_arg)
 
 let main =
   let doc = "min-cut kernel fusion for image-processing pipelines (CGO 2019 reproduction)" in
@@ -930,6 +1213,7 @@ let main =
     [
       list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
       unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; query_cmd; fuzz_cmd;
+      bench_native_cmd;
     ]
 
 let () =

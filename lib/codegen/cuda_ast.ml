@@ -1,6 +1,7 @@
 type expr =
   | Int_lit of int
   | Float_lit of float
+  | Double_lit of float
   | Ident of string
   | Call of string * expr list
   | Binop of string * expr * expr
@@ -41,3 +42,13 @@ let ( >=: ) a b = Binop (">=", a, b)
 let ( &&: ) a b = Binop ("&&", a, b)
 let ( ||: ) a b = Binop ("||", a, b)
 let index a i = Index (a, i)
+let double_lit f = Double_lit f
+
+(* The [for (v = a; v < b; v += step)] shape only terminates for a
+   positive step; catch the degenerate loop when the AST is built, not
+   when the generated C spins forever. *)
+let for_ ~var ~from_ ~below ?(step = 1) body =
+  if step < 1 then
+    invalid_arg
+      (Printf.sprintf "Cuda_ast.for_: nonpositive step %d in loop over %s" step var);
+  For { var; from_; below; step; body }

@@ -7,7 +7,8 @@
 
 type expr =
   | Int_lit of int
-  | Float_lit of float
+  | Float_lit of float  (** [%.9gf]: a 32-bit [float] literal *)
+  | Double_lit of float  (** [%.17g]: a full-precision [double] literal *)
   | Ident of string
   | Call of string * expr list
   | Binop of string * expr * expr  (** infix operator, e.g. "+" or "&&" *)
@@ -40,6 +41,7 @@ type func = {
 
 val int_lit : int -> expr
 val float_lit : float -> expr
+val double_lit : float -> expr
 val ident : string -> expr
 val call : string -> expr list -> expr
 val ( +: ) : expr -> expr -> expr
@@ -51,3 +53,9 @@ val ( >=: ) : expr -> expr -> expr
 val ( &&: ) : expr -> expr -> expr
 val ( ||: ) : expr -> expr -> expr
 val index : expr -> expr -> expr
+
+(** [for_ ~var ~from_ ~below ?step body] is a validated {!constructor:For}.
+    @raise Invalid_argument when [step < 1] — the emitted
+    [for (v = a; v < b; v += step)] shape never terminates for a
+    nonpositive step (default [1]). *)
+val for_ : var:string -> from_:expr -> below:expr -> ?step:int -> stmt list -> stmt

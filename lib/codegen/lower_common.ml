@@ -38,33 +38,51 @@ let idx_fn = function
   | Border.Repeat -> Some "idx_repeat"
   | Border.Constant _ | Border.Undefined -> None
 
-let unop_c = function
-  | Expr.Neg -> `Prefix "-"
-  | Expr.Abs -> `Fn "fabsf"
-  | Expr.Sqrt -> `Fn "sqrtf"
-  | Expr.Exp -> `Fn "expf"
-  | Expr.Log -> `Fn "logf"
-  | Expr.Sin -> `Fn "sinf"
-  | Expr.Cos -> `Fn "cosf"
-  | Expr.Floor -> `Fn "floorf"
+(* Scalar precision of lowered code: buffer element type, per-pixel
+   arithmetic, literals and temporaries all follow it.  [Single] matches
+   the CUDA the paper's toolchain generates; [Double] matches the
+   float64 reference interpreter bit-for-bit in every operation and
+   every inter-kernel store, so an execution backend that widens its
+   float32 inputs once at the boundary diverges from the interpreter
+   only by that initial input rounding and the final output store. *)
+type precision = Single | Double
 
-let binop_c = function
+(* In double mode the [f]-suffixed math.h entry points drop their
+   suffix; C's usual conversions then keep the whole expression chain in
+   double (float loads promote, the store narrows). *)
+let fn_for prec single = match prec with Single -> single | Double -> Filename.chop_suffix single "f"
+
+let unop_c prec = function
+  | Expr.Neg -> `Prefix "-"
+  | Expr.Abs -> `Fn (fn_for prec "fabsf")
+  | Expr.Sqrt -> `Fn (fn_for prec "sqrtf")
+  | Expr.Exp -> `Fn (fn_for prec "expf")
+  | Expr.Log -> `Fn (fn_for prec "logf")
+  | Expr.Sin -> `Fn (fn_for prec "sinf")
+  | Expr.Cos -> `Fn (fn_for prec "cosf")
+  | Expr.Floor -> `Fn (fn_for prec "floorf")
+
+let binop_c prec = function
   | Expr.Add -> `Infix "+"
   | Expr.Sub -> `Infix "-"
   | Expr.Mul -> `Infix "*"
   | Expr.Div -> `Infix "/"
-  | Expr.Min -> `Fn "fminf"
-  | Expr.Max -> `Fn "fmaxf"
-  | Expr.Pow -> `Fn "powf"
+  | Expr.Min -> `Fn (fn_for prec "fminf")
+  | Expr.Max -> `Fn (fn_for prec "fmaxf")
+  | Expr.Pow -> `Fn (fn_for prec "powf")
+
+let scalar_lit prec = match prec with Single -> float_lit | Double -> double_lit
+let scalar_ctype prec = match prec with Single -> "float" | Double -> "double"
 
 let cmp_c = function Expr.Lt -> "<" | Expr.Le -> "<=" | Expr.Eq -> "=="
 
 let width_e = ident "width"
 let height_e = ident "height"
 
-let rec lower ctx ~vars ~cx ~cy e =
+let rec lower ?(prec = Single) ctx ~vars ~cx ~cy e =
+  let lower = lower ~prec in
   match e with
-  | Expr.Const c -> float_lit c
+  | Expr.Const c -> scalar_lit prec c
   | Expr.Param p -> ident ("p_" ^ sanitize p)
   | Expr.Var v -> (
     match List.assoc_opt v vars with
@@ -73,7 +91,7 @@ let rec lower ctx ~vars ~cx ~cy e =
   | Expr.Let { var; value; body } ->
     let ce = lower ctx ~vars ~cx ~cy value in
     let name = fresh ctx ("r_" ^ sanitize var ^ "_") in
-    emit ctx (Decl { ctype = "const float"; name; init = Some ce });
+    emit ctx (Decl { ctype = "const " ^ scalar_ctype prec; name; init = Some ce });
     lower ctx ~vars:((var, name) :: vars) ~cx ~cy body
   | Expr.Input { image; dx; dy; border } ->
     let x = if dx = 0 then cx else cx +: int_lit dx in
@@ -81,17 +99,17 @@ let rec lower ctx ~vars ~cx ~cy e =
     let base = [ ident ("img_" ^ sanitize image); x; y; width_e; height_e ] in
     let args =
       match border with
-      | Border.Constant c -> base @ [ float_lit c ]
+      | Border.Constant c -> base @ [ scalar_lit prec c ]
       | Border.Clamp | Border.Mirror | Border.Repeat | Border.Undefined -> base
     in
     call (read_fn border) args
   | Expr.Unop (op, a) -> (
     let ca = lower ctx ~vars ~cx ~cy a in
-    match unop_c op with `Prefix s -> Unop (s, ca) | `Fn f -> call f [ ca ])
+    match unop_c prec op with `Prefix s -> Unop (s, ca) | `Fn f -> call f [ ca ])
   | Expr.Binop (op, a, b) -> (
     let ca = lower ctx ~vars ~cx ~cy a in
     let cb = lower ctx ~vars ~cx ~cy b in
-    match binop_c op with `Infix s -> Binop (s, ca, cb) | `Fn f -> call f [ ca; cb ])
+    match binop_c prec op with `Infix s -> Binop (s, ca, cb) | `Fn f -> call f [ ca; cb ])
   | Expr.Select { cmp; lhs; rhs; if_true; if_false } ->
     let cl = lower ctx ~vars ~cx ~cy lhs in
     let cr = lower ctx ~vars ~cx ~cy rhs in
@@ -123,7 +141,7 @@ let rec lower ctx ~vars ~cx ~cy e =
       let result = fresh ctx "ge" in
       emit ctx (Decl { ctype = "const int"; name = nx; init = Some sx });
       emit ctx (Decl { ctype = "const int"; name = ny; init = Some sy });
-      emit ctx (Decl { ctype = "float"; name = result; init = None });
+      emit ctx (Decl { ctype = scalar_ctype prec; name = result; init = None });
       let saved = ctx.stmts in
       ctx.stmts <- [];
       let inner = lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body in
@@ -140,7 +158,7 @@ let rec lower ctx ~vars ~cx ~cy e =
            {
              cond = inside;
              then_ = inner_stmts;
-             else_ = [ Assign (ident result, float_lit c) ];
+             else_ = [ Assign (ident result, scalar_lit prec c) ];
            });
       ident result)
 
@@ -227,38 +245,39 @@ let idx_helper_src ~q = function
     Printf.sprintf "%s int idx_repeat(int i, int n) {\n  return ((i %% n) + n) %% n;\n}" q
   | f -> invalid_arg ("unknown helper " ^ f)
 
-let read_helper_src ~q mode =
+let read_helper_src ~q ~s mode =
   match mode with
   | Border.Clamp | Border.Mirror | Border.Repeat ->
     let f = Option.get (idx_fn mode) in
     Printf.sprintf
-      "%s float %s(const float* img, int x, int y, int w, int h) {\n\
+      "%s %s %s(const %s* img, int x, int y, int w, int h) {\n\
       \  return img[%s(y, h) * w + %s(x, w)];\n\
        }"
-      q (read_fn mode) f f
+      q s (read_fn mode) s f f
   | Border.Constant _ ->
     Printf.sprintf
-      "%s float read_constant(const float* img, int x, int y, int w, int h, float c) {\n\
+      "%s %s read_constant(const %s* img, int x, int y, int w, int h, %s c) {\n\
       \  return (x < 0 || x >= w || y < 0 || y >= h) ? c : img[y * w + x];\n\
        }"
-      q
+      q s s s
   | Border.Undefined ->
     Printf.sprintf
-      "%s float read_raw(const float* img, int x, int y, int w, int h) {\n\
+      "%s %s read_raw(const %s* img, int x, int y, int w, int h) {\n\
       \  (void)h;\n\
       \  return img[y * w + x];\n\
        }"
-      q
+      q s s
 
-let helper_sources ~device_qualifier features =
+let helper_sources ~device_qualifier ?(prec = Single) features =
   let q = device_qualifier in
+  let s = scalar_ctype prec in
   let idx_needed =
     List.sort_uniq compare
       (List.filter_map idx_fn features.read_modes
       @ List.filter_map idx_fn features.exchange_modes)
   in
   List.map (idx_helper_src ~q) idx_needed
-  @ List.map (read_helper_src ~q) features.read_modes
+  @ List.map (read_helper_src ~q ~s) features.read_modes
 
 let atomic_helper_src name op =
   Printf.sprintf
@@ -284,17 +303,18 @@ let atomic_helper_sources features =
 let body_expr (k : Kernel.t) =
   match k.Kernel.op with Kernel.Map e -> e | Kernel.Reduce { arg; _ } -> arg
 
-let kernel_params (p : Pipeline.t) (k : Kernel.t) =
+let kernel_params ?(prec = Single) (p : Pipeline.t) (k : Kernel.t) =
+  let s = scalar_ctype prec in
   let used_params = Expr.params (body_expr k) in
-  [ { ctype = "float*"; name = "out" } ]
+  [ { ctype = s ^ "*"; name = "out" } ]
   @ List.map
-      (fun i -> { ctype = "const float*"; name = "img_" ^ sanitize i })
+      (fun i -> { ctype = "const " ^ s ^ "*"; name = "img_" ^ sanitize i })
       k.Kernel.inputs
   @ [ { ctype = "const int"; name = "width" }; { ctype = "const int"; name = "height" } ]
   @ List.filter_map
       (fun (name, _) ->
         if List.mem name used_params then
-          Some { ctype = "const float"; name = "p_" ^ sanitize name }
+          Some { ctype = "const " ^ s; name = "p_" ^ sanitize name }
         else None)
       p.Pipeline.params
 

@@ -20,10 +20,23 @@ val emit : ctx -> Cuda_ast.stmt -> unit
 (** [sanitize name] maps an IR name to a C identifier. *)
 val sanitize : string -> string
 
-(** [lower ctx ~vars ~cx ~cy e] lowers [e] at C coordinate expressions
-    [(cx, cy)] with [vars] binding IR variables to C identifiers;
-    auxiliary declarations go through [ctx]. *)
+(** Scalar precision of lowered code: the buffer element type, the
+    per-pixel arithmetic, literals and temporaries all follow it.
+    [Single] is [float] everywhere (the CUDA the paper's toolchain
+    generates); [Double] is [double] everywhere, matching the float64
+    reference interpreter bit-for-bit in every operation and every
+    inter-kernel store. *)
+type precision = Single | Double
+
+(** [scalar_ctype prec] is ["float"] or ["double"]. *)
+val scalar_ctype : precision -> string
+
+(** [lower ?prec ctx ~vars ~cx ~cy e] lowers [e] at C coordinate
+    expressions [(cx, cy)] with [vars] binding IR variables to C
+    identifiers; auxiliary declarations go through [ctx].  [prec]
+    (default [Single]) selects the arithmetic width. *)
 val lower :
+  ?prec:precision ->
   ctx ->
   vars:(string * string) list ->
   cx:Cuda_ast.expr ->
@@ -41,19 +54,22 @@ type features = {
 (** [used_features p] scans every kernel body. *)
 val used_features : Kfuse_ir.Pipeline.t -> features
 
-(** [helper_sources ~device_qualifier features] renders the helper
-    function definitions needed by [features]; [device_qualifier] is
-    prepended to each (e.g. ["__device__ __forceinline__"] for CUDA or
-    ["static inline"] for C). *)
-val helper_sources : device_qualifier:string -> features -> string list
+(** [helper_sources ~device_qualifier ?prec features] renders the
+    helper function definitions needed by [features]; [device_qualifier]
+    is prepended to each (e.g. ["__device__ __forceinline__"] for CUDA
+    or ["static inline"] for C).  [prec] (default [Single]) selects the
+    buffer element and return type of the border readers. *)
+val helper_sources : device_qualifier:string -> ?prec:precision -> features -> string list
 
 (** [atomic_helper_sources features] renders the CUDA float-atomic
     helpers (empty unless reductions are present). *)
 val atomic_helper_sources : features -> string list
 
-(** [kernel_params pipeline kernel] is the shared C parameter list:
-    output, inputs, extents, scalar parameters. *)
-val kernel_params : Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> Cuda_ast.param list
+(** [kernel_params ?prec pipeline kernel] is the shared C parameter
+    list: output, inputs, extents, scalar parameters.  Buffer and
+    scalar-parameter types follow [prec] (default [Single]). *)
+val kernel_params :
+  ?prec:precision -> Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> Cuda_ast.param list
 
 (** [func_name pipeline kernel] is ["<pipeline>_<kernel>"]. *)
 val func_name : Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> string

@@ -15,10 +15,25 @@
     the OpenMP [parallel for] distributes tiles, and the pixel loops run
     within one tile so a stencil's working set stays cache-resident.
     Reductions are never tiled.
-    @raise Invalid_argument on nonpositive tile extents. *)
-val kernel_func : ?tile:int * int -> Kfuse_ir.Pipeline.t -> Kfuse_ir.Kernel.t -> Cuda_ast.func
 
-(** [emit_pipeline ?tile pipeline] renders a complete [.c] translation
-    unit: helpers, one function per kernel, and a [run_<name>] driver
-    allocating intermediates with [malloc]. *)
-val emit_pipeline : ?tile:int * int -> Kfuse_ir.Pipeline.t -> string
+    [prec] (default {!Lower_common.Single}) selects the scalar type of
+    buffers and per-pixel arithmetic alike.  {!Lower_common.Double}
+    makes the compiled kernels agree with the float64 reference
+    interpreter in every operation and inter-kernel store — the native
+    execution backend uses it so its interpreter-vs-native tolerance
+    gate measures only boundary rounding, not accumulated float32
+    drift.
+    @raise Invalid_argument on nonpositive tile extents. *)
+val kernel_func :
+  ?tile:int * int ->
+  ?prec:Lower_common.precision ->
+  Kfuse_ir.Pipeline.t ->
+  Kfuse_ir.Kernel.t ->
+  Cuda_ast.func
+
+(** [emit_pipeline ?tile ?prec pipeline] renders a complete [.c]
+    translation unit: a [kf_scalar] typedef fixing the scalar type,
+    helpers, one function per kernel, and a [run_<name>] driver
+    allocating intermediates with an abort-on-OOM [malloc] wrapper. *)
+val emit_pipeline :
+  ?tile:int * int -> ?prec:Lower_common.precision -> Kfuse_ir.Pipeline.t -> string

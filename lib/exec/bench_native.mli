@@ -1,0 +1,70 @@
+(** Native fused-vs-unfused benchmark over the paper's six applications.
+
+    For each selected {!Kfuse_apps.Registry} entry this builds the
+    pipeline, runs the fusion driver twice — [Baseline] (every kernel
+    its own launch) and [Mincut] with [optimize] (the paper's
+    algorithm) — compiles both through {!Native}, executes them on
+    identical deterministic random inputs, and optionally checks both
+    against the {!Kfuse_ir.Eval} interpreter.  The result serializes to
+    the [BENCH_native.json] schema documented in [EXPERIMENTS.md].
+
+    Wall-clocks are the fastest of [runs] executions of the compiled
+    plan (compile time reported separately), so the fused/unfused ratio
+    isolates the memory-traffic effect kernel fusion exists to buy. *)
+
+module Diag := Kfuse_util.Diag
+
+type app_report = {
+  app : string;
+  width : int;
+  height : int;
+  channels : int;
+  kernels_unfused : int;
+  kernels_fused : int;
+  compile_ms_unfused : float;
+  compile_ms_fused : float;
+  exec_ms_unfused : float;  (** fastest sample *)
+  exec_ms_fused : float;  (** fastest sample *)
+  samples_unfused : float list;
+  samples_fused : float list;
+  interp_ms : float option;  (** interpreter reference; [None] without [verify] *)
+  diff_unfused : float option;  (** max abs diff vs. interpreter over all outputs *)
+  diff_fused : float option;
+}
+
+type t = {
+  cc : string;
+  openmp : bool;
+  mode : Native.mode;
+  runs : int;
+  generated_at : float;  (** unix seconds *)
+  apps : app_report list;
+}
+
+(** [speedup r] is [exec_ms_unfused /. exec_ms_fused]. *)
+val speedup : app_report -> float
+
+(** [max_diff t] is the worst interpreter-vs-native difference across
+    every app and variant, or [None] when nothing was verified. *)
+val max_diff : t -> float option
+
+(** [run ()] benchmarks [apps] (default: all six, at the paper's
+    evaluation sizes; [width]/[height] override the iteration space for
+    quicker runs).  [runs] (default 5) executions per variant; [verify]
+    (default [true]) also times the interpreter and reports differences.
+    Fails with the first toolchain/compile/exec diagnostic. *)
+val run :
+  ?mode:Native.mode ->
+  ?cache_dir:string ->
+  ?runs:int ->
+  ?width:int ->
+  ?height:int ->
+  ?apps:string list ->
+  ?verify:bool ->
+  unit ->
+  (t, Diag.t) result
+
+(** [to_json t] renders the [kfuse-bench-native/v1] document. *)
+val to_json : t -> string
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+/* Loader stubs for the native execution backend.
+ *
+ * The generated C for every pipeline is wrapped behind one fixed entry
+ * point (ABI v2):
+ *
+ *   void kfuse_entry(const double** ins, double** outs, const double* params);
+ *
+ * so a single dlopen/dlsym/call stub covers every pipeline shape — no
+ * ctypes/libffi dependency, no per-signature code.  The OCaml side
+ * passes `float array` values, which are already packed 64-bit doubles,
+ * so marshalling copies bits without rounding: the interpreter and the
+ * compiled plan see identical inputs.
+ *
+ * No OCaml allocation happens between reading the arrays and writing
+ * the results, so raw Field/Double_field access is GC-safe; the entry
+ * call itself runs in a blocking section so other runtime threads (the
+ * kfused worker pool) keep making progress during a long kernel.
+ */
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/signals.h>
+
+#include <dlfcn.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef void (*kfuse_entry_fn)(const double **, double **, const double *);
+
+value kfuse_dl_open(value vpath)
+{
+  CAMLparam1(vpath);
+  void *h = dlopen(String_val(vpath), RTLD_NOW | RTLD_LOCAL);
+  if (h == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err ? err : "dlopen failed");
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)h));
+}
+
+value kfuse_dl_sym(value vhandle, value vname)
+{
+  CAMLparam2(vhandle, vname);
+  void *h = (void *)Nativeint_val(vhandle);
+  /* Clear any stale error so a NULL result is unambiguous. */
+  (void)dlerror();
+  void *sym = dlsym(h, String_val(vname));
+  if (sym == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err ? err : "dlsym: symbol not found");
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)sym));
+}
+
+value kfuse_dl_close(value vhandle)
+{
+  CAMLparam1(vhandle);
+  dlclose((void *)Nativeint_val(vhandle));
+  CAMLreturn(Val_unit);
+}
+
+static mlsize_t float_array_length(value v)
+{
+  return Wosize_val(v) / Double_wosize;
+}
+
+/* Free a NULL-terminated-by-count set of buffers. */
+static void free_all(double **bufs, mlsize_t n)
+{
+  if (bufs == NULL) return;
+  for (mlsize_t i = 0; i < n; i++) free(bufs[i]);
+  free(bufs);
+}
+
+value kfuse_dl_call(value vfn, value vins, value vouts, value vparams)
+{
+  CAMLparam4(vfn, vins, vouts, vparams);
+  kfuse_entry_fn fn = (kfuse_entry_fn)Nativeint_val(vfn);
+  mlsize_t nin = Wosize_val(vins);
+  mlsize_t nout = Wosize_val(vouts);
+  mlsize_t npar = float_array_length(vparams);
+
+  double **ins = calloc(nin ? nin : 1, sizeof(double *));
+  double **outs = calloc(nout ? nout : 1, sizeof(double *));
+  double *par = malloc((npar ? npar : 1) * sizeof(double));
+  int oom = (ins == NULL || outs == NULL || par == NULL);
+
+  for (mlsize_t i = 0; !oom && i < nin; i++) {
+    value a = Field(vins, i);
+    mlsize_t len = float_array_length(a);
+    ins[i] = malloc((len ? len : 1) * sizeof(double));
+    if (ins[i] == NULL) { oom = 1; break; }
+    for (mlsize_t j = 0; j < len; j++)
+      ins[i][j] = Double_field(a, j);
+  }
+  for (mlsize_t i = 0; !oom && i < nout; i++) {
+    mlsize_t len = float_array_length(Field(vouts, i));
+    outs[i] = calloc(len ? len : 1, sizeof(double));
+    if (outs[i] == NULL) oom = 1;
+  }
+  if (oom) {
+    free_all(ins, nin);
+    free_all(outs, nout);
+    free(par);
+    caml_failwith("kfuse_dl_call: out of memory marshalling buffers");
+  }
+  for (mlsize_t j = 0; j < npar; j++)
+    par[j] = Double_field(vparams, j);
+
+  caml_enter_blocking_section();
+  fn((const double **)ins, outs, par);
+  caml_leave_blocking_section();
+
+  for (mlsize_t i = 0; i < nout; i++) {
+    value a = Field(vouts, i);
+    mlsize_t len = float_array_length(a);
+    for (mlsize_t j = 0; j < len; j++)
+      Store_double_field(a, j, outs[i][j]);
+  }
+
+  free_all(ins, nin);
+  free_all(outs, nout);
+  free(par);
+  CAMLreturn(Val_unit);
+}

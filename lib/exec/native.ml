@@ -1,0 +1,461 @@
+module Diag = Kfuse_util.Diag
+module Image = Kfuse_image.Image
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Fingerprint = Kfuse_cache.Fingerprint
+module Plan_cache = Kfuse_cache.Plan_cache
+module C = Kfuse_codegen.Lower_common
+module Lower_cpu = Kfuse_codegen.Lower_cpu
+
+(* Bump when the generated wrapper or the marshalling layout changes:
+   cached artifacts from an older ABI must never be loaded.  v2: the
+   marshalling scalar is float64 — OCaml float arrays are already packed
+   doubles, so images cross the boundary without rounding and the
+   interpreter-vs-native diff reduces to the compiler's own liberties. *)
+let abi_version = 2
+
+type mode = Dlopen | Subprocess
+
+let mode_to_string = function Dlopen -> "dlopen" | Subprocess -> "subprocess"
+
+let mode_of_string = function
+  | "dlopen" -> Some Dlopen
+  | "subprocess" -> Some Subprocess
+  | _ -> None
+
+type run_result = {
+  outputs : (string * Image.t) list;
+  mode_used : mode;
+  artifact : string;
+  cached : bool;
+  compile_ms : float;
+  exec_ms : float;
+  samples_ms : float list;
+  warnings : Diag.t list;
+}
+
+(* {1 Loader stubs (kfuse_exec_stubs.c)} *)
+
+external dl_open : string -> nativeint = "kfuse_dl_open"
+external dl_sym : nativeint -> string -> nativeint = "kfuse_dl_sym"
+external dl_close : nativeint -> unit = "kfuse_dl_close"
+
+external dl_call : nativeint -> float array array -> float array array -> float array -> unit
+  = "kfuse_dl_call"
+
+(* {1 Small helpers} *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let read_file_tail ?(limit = 4000) path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        let n = in_channel_length ic in
+        let keep = min n limit in
+        seek_in ic (n - keep);
+        let s = really_input_string ic keep in
+        if keep < n then "[... truncated ...]\n" ^ s else s)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kfuse-exec-%d-%x" (Unix.getpid ())
+         (Hashtbl.hash (Unix.gettimeofday ())))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* {1 Source generation: generated pipeline + mode-specific wrapper} *)
+
+let runner_args (p : Pipeline.t) ~input ~output ~param =
+  List.mapi (fun i n -> input i n) p.Pipeline.inputs
+  @ List.mapi (fun i n -> output i n) (Pipeline.outputs p)
+  @ List.mapi (fun i (n, _) -> param i n) p.Pipeline.params
+
+let dlopen_wrapper (p : Pipeline.t) =
+  let b = Buffer.create 512 in
+  let w fmt = Printf.bprintf b fmt in
+  let n = C.sanitize p.Pipeline.name in
+  let n_in = List.length p.Pipeline.inputs in
+  let n_out = List.length (Pipeline.outputs p) in
+  w
+    "// ABI v2 entry point for the kfuse loader stub: one fixed signature\n\
+     // covers every pipeline shape, so a single dlsym suffices.  The ABI\n\
+     // carries float64 images (lossless against the host's arrays); the\n\
+     // pipeline computes in kf_scalar, so buffers convert at the edge.\n";
+  w "void kfuse_entry(const double** ins, double** outs, const double* params) {\n";
+  if p.Pipeline.inputs = [] then w "  (void)ins;\n";
+  if p.Pipeline.params = [] then w "  (void)params;\n";
+  w "  const size_t npix = (size_t)%d * %d;\n" p.Pipeline.width p.Pipeline.height;
+  w "  size_t i;\n";
+  for j = 0 to n_in - 1 do
+    w "  kf_scalar* b_in%d = (kf_scalar*)kf_malloc(npix * sizeof(kf_scalar));\n" j;
+    w "  for (i = 0; i < npix; i++) b_in%d[i] = ins[%d][i];\n" j j
+  done;
+  for j = 0 to n_out - 1 do
+    w "  kf_scalar* b_out%d = (kf_scalar*)kf_malloc(npix * sizeof(kf_scalar));\n" j
+  done;
+  let args =
+    runner_args p
+      ~input:(fun i name -> Printf.sprintf "b_in%d /* %s */" i name)
+      ~output:(fun i name -> Printf.sprintf "b_out%d /* %s */" i name)
+      ~param:(fun i name -> Printf.sprintf "params[%d] /* %s */" i name)
+  in
+  w "  run_%s(%s);\n" n (String.concat ", " args);
+  for j = 0 to n_out - 1 do
+    w "  for (i = 0; i < npix; i++) outs[%d][i] = (double)b_out%d[i];\n" j j
+  done;
+  for j = 0 to n_in - 1 do
+    w "  free(b_in%d);\n" j
+  done;
+  for j = 0 to n_out - 1 do
+    w "  free(b_out%d);\n" j
+  done;
+  w "}\n";
+  Buffer.contents b
+
+let subprocess_wrapper (p : Pipeline.t) =
+  let b = Buffer.create 1024 in
+  let w fmt = Printf.bprintf b fmt in
+  let n = C.sanitize p.Pipeline.name in
+  let inputs = p.Pipeline.inputs and outputs = Pipeline.outputs p in
+  let np = List.length p.Pipeline.params in
+  w "#include <stdio.h>\n\n";
+  w "// Standalone runner: argv[1] holds the packed native-endian float64\n";
+  w "// inputs (in declaration order) followed by %d parameter value%s;\n" np
+    (if np = 1 then "" else "s");
+  w "// the outputs are written to argv[2] in the same packed format.\n";
+  w "// The pipeline computes in kf_scalar; the float64 scratch buffer\n";
+  w "// converts after reading and before writing.\n";
+  w "int main(int argc, char** argv) {\n";
+  w "  if (argc != 3) { fprintf(stderr, \"usage: %%s IN OUT\\n\", argv[0]); return 2; }\n";
+  w "  const size_t npix = (size_t)%d * %d;\n" p.Pipeline.width p.Pipeline.height;
+  w "  size_t i;\n";
+  w "  double* kf_f64 = (double*)kf_malloc(npix * sizeof(double));\n";
+  w "  FILE* f = fopen(argv[1], \"rb\");\n";
+  w "  if (!f) { perror(argv[1]); return 3; }\n";
+  List.iter
+    (fun i ->
+      let v = "kf_in_" ^ C.sanitize i in
+      w "  kf_scalar* %s = (kf_scalar*)kf_malloc(npix * sizeof(kf_scalar));\n" v;
+      w "  if (fread(kf_f64, sizeof(double), npix, f) != npix) { fprintf(stderr, \
+         \"truncated input\\n\"); return 3; }\n";
+      w "  for (i = 0; i < npix; i++) %s[i] = (kf_scalar)kf_f64[i];\n" v)
+    inputs;
+  if np > 0 then begin
+    w "  double kf_params[%d];\n" np;
+    w "  if (fread(kf_params, sizeof(double), %d, f) != %d) { fprintf(stderr, \
+       \"truncated parameters\\n\"); return 3; }\n"
+      np np
+  end;
+  w "  fclose(f);\n";
+  List.iter
+    (fun o ->
+      w "  kf_scalar* %s = (kf_scalar*)kf_malloc(npix * sizeof(kf_scalar));\n"
+        ("kf_out_" ^ C.sanitize o))
+    outputs;
+  let args =
+    runner_args p
+      ~input:(fun _ name -> "kf_in_" ^ C.sanitize name)
+      ~output:(fun _ name -> "kf_out_" ^ C.sanitize name)
+      ~param:(fun i _ -> Printf.sprintf "(kf_scalar)kf_params[%d]" i)
+  in
+  w "  run_%s(%s);\n" n (String.concat ", " args);
+  w "  f = fopen(argv[2], \"wb\");\n";
+  w "  if (!f) { perror(argv[2]); return 4; }\n";
+  List.iter
+    (fun o ->
+      let v = "kf_out_" ^ C.sanitize o in
+      w "  for (i = 0; i < npix; i++) kf_f64[i] = (double)%s[i];\n" v;
+      w "  if (fwrite(kf_f64, sizeof(double), npix, f) != npix) { perror(argv[2]); \
+         return 4; }\n")
+    outputs;
+  w "  if (fclose(f) != 0) { perror(argv[2]); return 4; }\n";
+  w "  return 0;\n}\n";
+  Buffer.contents b
+
+let source ?tile ~mode (p : Pipeline.t) =
+  (* Double precision throughout the pipeline: every operation and every
+     inter-kernel store matches the float64 interpreter, so the
+     interpreter-vs-native diff reduces to the float32 ABI boundary
+     (input quantization + final output store), orders of magnitude
+     inside the tolerance gate even for numerically touchy kernels. *)
+  let base = Lower_cpu.emit_pipeline ?tile ~prec:C.Double p in
+  let wrapper = match mode with Dlopen -> dlopen_wrapper p | Subprocess -> subprocess_wrapper p in
+  base ^ "\n" ^ wrapper
+
+(* {1 Compile cache} *)
+
+let artifact_key ~tc ~mode ~tile (p : Pipeline.t) =
+  let tile_s =
+    match tile with None -> "untiled" | Some (tx, ty) -> Printf.sprintf "tile:%dx%d" tx ty
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [
+            Printf.sprintf "kfuse-native-abi-v%d" abi_version;
+            Fingerprint.exact p;
+            mode_to_string mode;
+            tile_s;
+            "prec:double";
+            Toolchain.id tc;
+          ]))
+
+let default_cache_dir () = Filename.concat (Plan_cache.default_dir ()) "native"
+
+let compile ?cache_dir ?tile ~mode (p : Pipeline.t) =
+  match Toolchain.find () with
+  | Error d -> Error d
+  | Ok tc ->
+    let dir = match cache_dir with Some d -> d | None -> default_cache_dir () in
+    mkdir_p dir;
+    let key = artifact_key ~tc ~mode ~tile p in
+    let ext = match mode with Dlopen -> ".so" | Subprocess -> ".bin" in
+    let dest = Filename.concat dir ("kf-" ^ key ^ ext) in
+    if Sys.file_exists dest then Ok (dest, 0., true)
+    else begin
+      (* The source is kept next to the artifact: a KF0903 message can
+         point at a file a human can feed to the compiler by hand. *)
+      let src_path = Filename.concat dir ("kf-" ^ key ^ ".c") in
+      write_file src_path (source ?tile ~mode p);
+      let tmp = Printf.sprintf "%s.tmp.%d" dest (Unix.getpid ()) in
+      let err_path = Printf.sprintf "%s.log.%d" dest (Unix.getpid ()) in
+      let argv =
+        Toolchain.flags tc ~shared:(mode = Dlopen) @ [ "-o"; tmp; src_path; "-lm" ]
+      in
+      let cmd =
+        Filename.quote_command tc.Toolchain.cc argv ~stdout:Filename.null ~stderr:err_path
+      in
+      let t0 = now_ms () in
+      let rc = Sys.command cmd in
+      let dt = now_ms () -. t0 in
+      let log = read_file_tail err_path in
+      (try Sys.remove err_path with Sys_error _ -> ());
+      if rc <> 0 then begin
+        (try Sys.remove tmp with Sys_error _ -> ());
+        Error
+          (Diag.errorf Diag.Compile_failed
+             "%s exited with %d compiling generated C (%s):\n%s" tc.Toolchain.cc rc
+             src_path log)
+      end
+      else begin
+        (* Atomic publish: concurrent builders race benignly on rename. *)
+        Sys.rename tmp dest;
+        Ok (dest, dt, false)
+      end
+    end
+
+(* {1 Marshalling} *)
+
+let flatten img =
+  let w = Image.width img in
+  Array.init (w * Image.height img) (fun i -> Image.get img (i mod w) (i / w))
+
+let unflatten ~width ~height arr = Image.init ~width ~height (fun x y -> arr.((y * width) + x))
+
+(* Mirror {!Eval.run}'s input contract so the two backends are
+   interchangeable in tests and oracles. *)
+let check_inputs (p : Pipeline.t) inputs =
+  let names = List.map fst inputs in
+  let sorted = List.sort compare names and expected = List.sort compare p.Pipeline.inputs in
+  if sorted <> expected then
+    invalid_arg
+      (Printf.sprintf "Native.run: pipeline %s expects inputs {%s}, got {%s}"
+         p.Pipeline.name
+         (String.concat ", " expected)
+         (String.concat ", " sorted));
+  List.iter
+    (fun (n, img) ->
+      if Image.width img <> p.Pipeline.width || Image.height img <> p.Pipeline.height then
+        invalid_arg
+          (Printf.sprintf "Native.run: input %s is %dx%d, pipeline %s is %dx%d" n
+             (Image.width img) (Image.height img) p.Pipeline.name p.Pipeline.width
+             p.Pipeline.height))
+    inputs
+
+let param_values (p : Pipeline.t) overrides =
+  List.iter
+    (fun (n, _) ->
+      if not (List.mem_assoc n p.Pipeline.params) then
+        invalid_arg
+          (Printf.sprintf "Native.run: pipeline %s has no parameter %s" p.Pipeline.name n))
+    overrides;
+  List.map
+    (fun (n, default) ->
+      match List.assoc_opt n overrides with Some v -> v | None -> default)
+    p.Pipeline.params
+
+(* A reduction materializes as a 1x1 image (the generated code
+   broadcasts the scalar over the full buffer; cell 0 is the value). *)
+let is_reduction (p : Pipeline.t) name =
+  match Pipeline.producer p name with
+  | None -> false
+  | Some i -> (
+    match (Pipeline.kernel p i).Kernel.op with
+    | Kernel.Reduce _ -> true
+    | Kernel.Map _ -> false)
+
+let finish_outputs (p : Pipeline.t) out_names bufs =
+  let width = p.Pipeline.width and height = p.Pipeline.height in
+  List.map2
+    (fun name buf ->
+      let img =
+        if is_reduction p name then Image.init ~width:1 ~height:1 (fun _ _ -> buf.(0))
+        else unflatten ~width ~height buf
+      in
+      (name, img))
+    out_names (Array.to_list bufs)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* {1 Execution} *)
+
+let exec_dlopen ~artifact ~repeat (p : Pipeline.t) inputs pvals =
+  let npix = p.Pipeline.width * p.Pipeline.height in
+  let out_names = Pipeline.outputs p in
+  let ins =
+    Array.of_list (List.map (fun n -> flatten (List.assoc n inputs)) p.Pipeline.inputs)
+  in
+  let outs = Array.of_list (List.map (fun _ -> Array.make npix 0.) out_names) in
+  let pars = Array.of_list pvals in
+  match dl_open artifact with
+  | exception Failure msg ->
+    Error (Diag.errorf Diag.Exec_failed "dlopen(%s): %s" artifact msg)
+  | handle ->
+    Fun.protect
+      ~finally:(fun () -> dl_close handle)
+      (fun () ->
+        match dl_sym handle "kfuse_entry" with
+        | exception Failure msg ->
+          Error (Diag.errorf Diag.Exec_failed "dlsym(%s, kfuse_entry): %s" artifact msg)
+        | entry ->
+          let samples = ref [] in
+          for _ = 1 to repeat do
+            let t0 = now_ms () in
+            dl_call entry ins outs pars;
+            samples := (now_ms () -. t0) :: !samples
+          done;
+          Ok (finish_outputs p out_names outs, List.rev !samples))
+
+let pack_float64 buf f = Buffer.add_int64_ne buf (Int64.bits_of_float f)
+
+let exec_subprocess ~artifact ~repeat (p : Pipeline.t) inputs pvals =
+  let npix = p.Pipeline.width * p.Pipeline.height in
+  let out_names = Pipeline.outputs p in
+  let n_out = List.length out_names in
+  with_temp_dir (fun dir ->
+      let in_path = Filename.concat dir "in.f64" in
+      let out_path = Filename.concat dir "out.f64" in
+      let err_path = Filename.concat dir "stderr" in
+      let buf = Buffer.create (8 * ((npix * List.length p.Pipeline.inputs) + List.length pvals)) in
+      List.iter
+        (fun n -> Array.iter (pack_float64 buf) (flatten (List.assoc n inputs)))
+        p.Pipeline.inputs;
+      List.iter (pack_float64 buf) pvals;
+      write_file in_path (Buffer.contents buf);
+      let cmd =
+        Filename.quote_command artifact [ in_path; out_path ] ~stdout:Filename.null
+          ~stderr:err_path
+      in
+      let samples = ref [] in
+      let failed = ref None in
+      (try
+         for _ = 1 to repeat do
+           if !failed = None then begin
+             let t0 = now_ms () in
+             let rc = Sys.command cmd in
+             if rc <> 0 then
+               failed :=
+                 Some
+                   (Diag.errorf Diag.Exec_failed
+                      "compiled plan %s exited with %d:\n%s" artifact rc
+                      (read_file_tail err_path))
+             else samples := (now_ms () -. t0) :: !samples
+           end
+         done
+       with Sys_error msg -> failed := Some (Diag.errorf Diag.Exec_failed "%s" msg));
+      match !failed with
+      | Some d -> Error d
+      | None -> (
+        let expected = 8 * npix * n_out in
+        match open_in_bin out_path with
+        | exception Sys_error msg ->
+          Error (Diag.errorf Diag.Exec_failed "cannot read plan output: %s" msg)
+        | ic ->
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+              if in_channel_length ic <> expected then
+                Error
+                  (Diag.errorf Diag.Exec_failed
+                     "compiled plan %s wrote %d bytes, expected %d" artifact
+                     (in_channel_length ic) expected)
+              else begin
+                let bytes = really_input_string ic expected |> Bytes.of_string in
+                let bufs =
+                  Array.init n_out (fun o ->
+                      Array.init npix (fun i ->
+                          Int64.float_of_bits
+                            (Bytes.get_int64_ne bytes (8 * ((o * npix) + i)))))
+                in
+                Ok (finish_outputs p out_names bufs, List.rev !samples)
+              end)))
+
+(* {1 Entry point} *)
+
+let min_sample = function [] -> 0. | s :: rest -> List.fold_left min s rest
+
+let run_mode ~mode ~tile ~cache_dir ~repeat ~warnings (p : Pipeline.t) inputs pvals =
+  match compile ?cache_dir ?tile ~mode p with
+  | Error d -> Error d
+  | Ok (artifact, compile_ms, cached) -> (
+    let exec =
+      match mode with Dlopen -> exec_dlopen | Subprocess -> exec_subprocess
+    in
+    match exec ~artifact ~repeat p inputs pvals with
+    | Error d -> Error d
+    | Ok (outputs, samples_ms) ->
+      Ok
+        {
+          outputs;
+          mode_used = mode;
+          artifact;
+          cached;
+          compile_ms;
+          exec_ms = min_sample samples_ms;
+          samples_ms;
+          warnings;
+        })
+
+let run ?mode ?tile ?cache_dir ?(params = []) ?(repeat = 1) (p : Pipeline.t) inputs =
+  if repeat < 1 then invalid_arg "Native.run: repeat must be positive";
+  check_inputs p inputs;
+  let pvals = param_values p params in
+  let go ~mode ~warnings = run_mode ~mode ~tile ~cache_dir ~repeat ~warnings p inputs pvals in
+  match mode with
+  | Some m -> go ~mode:m ~warnings:[]
+  | None -> (
+    match go ~mode:Dlopen ~warnings:[] with
+    | Ok r -> Ok r
+    | Error d when d.Diag.code = Diag.Exec_failed ->
+      (* In-process load failed; the subprocess runner shares no process
+         state with us, so it may still work.  Keep the evidence. *)
+      go ~mode:Subprocess ~warnings:[ { d with Diag.severity = Diag.Warning } ]
+    | Error d -> Error d)

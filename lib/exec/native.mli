@@ -1,0 +1,102 @@
+(** Native compile-and-execute backend: fused plans that return pixels.
+
+    Takes a pipeline (typically the [fused] result of
+    {!Kfuse_fusion.Driver.run}), emits the C + OpenMP source via
+    {!Kfuse_codegen.Lower_cpu}, compiles it with the host toolchain
+    ({!Toolchain}), and runs it on concrete {!Kfuse_image.Image.t}
+    inputs — real pixels out, directly comparable against the
+    {!Kfuse_ir.Eval} interpreter.
+
+    Two execution modes share one compile cache:
+
+    - {!Dlopen}: build a shared object, load it in-process through a
+      small C stub against the fixed entry point
+      [void kfuse_entry(const double** ins, double** outs, const double* params)]
+      (ABI v2, appended to the generated source).  Cheapest per call.
+    - {!Subprocess}: build a standalone executable whose [main] reads
+      packed native-endian float64 inputs+parameters from a file and
+      writes the outputs to another; run it as a child process.  Slower
+      (process spawn + file I/O per run) but survives environments where
+      loading untrusted-at-build-time objects into the host process is
+      unwanted.
+
+    Artifacts are content-addressed in a cache directory: the key folds
+    the pipeline's exact fingerprint ({!Kfuse_cache.Fingerprint.exact}),
+    the mode, the tiling, the toolchain and the ABI version, so a cache
+    hit skips the compiler entirely.  The generated source is kept next
+    to each artifact for debugging.
+
+    Failures are typed: no toolchain is [KF0902]
+    ({!Kfuse_util.Diag.Toolchain_missing}), a compiler rejection is
+    [KF0903] ({!Kfuse_util.Diag.Compile_failed}, carrying the
+    compiler's stderr), and load/run failures are [KF0904]
+    ({!Kfuse_util.Diag.Exec_failed}).  Malformed {e calls} — inputs
+    that do not bind exactly the pipeline's input names at the
+    pipeline's extents, unknown parameter overrides — raise
+    [Invalid_argument], mirroring {!Kfuse_ir.Eval.run}. *)
+
+module Diag := Kfuse_util.Diag
+module Image := Kfuse_image.Image
+module Pipeline := Kfuse_ir.Pipeline
+
+type mode = Dlopen | Subprocess
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+(** How and what a {!run} executed. *)
+type run_result = {
+  outputs : (string * Image.t) list;
+      (** sink images sorted by name — the same shape
+          {!Kfuse_ir.Eval.run_outputs} returns; reduction outputs are
+          1x1 images *)
+  mode_used : mode;
+  artifact : string;  (** path of the compiled object/executable *)
+  cached : bool;  (** the artifact came from the compile cache *)
+  compile_ms : float;  (** wall-clock spent in the C compiler; 0 on a hit *)
+  exec_ms : float;  (** fastest execution sample *)
+  samples_ms : float list;  (** every execution sample, in run order *)
+  warnings : Diag.t list;
+      (** e.g. the [KF0904] that made {!run} fall back from {!Dlopen}
+          to {!Subprocess} *)
+}
+
+(** [source ?tile ~mode p] is the complete C translation unit compiled
+    for [p] in [mode]: the {!Kfuse_codegen.Lower_cpu.emit_pipeline}
+    output plus the ABI-v2 [kfuse_entry] wrapper ({!Dlopen}) or the
+    file-marshalling [main] ({!Subprocess}). *)
+val source : ?tile:int * int -> mode:mode -> Pipeline.t -> string
+
+(** [compile ?cache_dir ?tile ~mode p] ensures a compiled artifact for
+    [p] exists and returns [(path, compile_ms, cached)].  [cache_dir]
+    defaults to a [native] directory under
+    {!Kfuse_cache.Plan_cache.default_dir}. *)
+val compile :
+  ?cache_dir:string ->
+  ?tile:int * int ->
+  mode:mode ->
+  Pipeline.t ->
+  (string * float * bool, Diag.t) result
+
+(** [run ?mode ?tile ?cache_dir ?params ?repeat p inputs] compiles (or
+    reuses) the artifact and executes it on [inputs].
+
+    [inputs] must bind exactly [p.inputs], each of the pipeline's
+    extent.  [params] overrides pipeline parameter defaults by name.
+    [repeat] (default 1) executes the plan that many times over the
+    same buffers — [exec_ms] is the fastest sample, for benchmarking;
+    outputs come from the last run.
+
+    When [mode] is omitted the backend tries {!Dlopen} and falls back
+    to {!Subprocess} if the shared object cannot be loaded, recording
+    the load failure in [warnings]; an explicit [mode] never falls
+    back. *)
+val run :
+  ?mode:mode ->
+  ?tile:int * int ->
+  ?cache_dir:string ->
+  ?params:(string * float) list ->
+  ?repeat:int ->
+  Pipeline.t ->
+  (string * Image.t) list ->
+  (run_result, Diag.t) result

@@ -1,0 +1,97 @@
+module Diag = Kfuse_util.Diag
+
+type t = { cc : string; openmp : bool }
+
+let probe_source =
+  "int main(void) {\n\
+  \  int s = 0;\n\
+   #pragma omp parallel for reduction(+:s)\n\
+  \  for (int i = 0; i < 8; ++i) s += i;\n\
+  \  return s == 28 ? 0 : 1;\n\
+   }\n"
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kfuse-probe-%d-%x" (Unix.getpid ()) (Hashtbl.hash (Unix.gettimeofday ())))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+(* [true] when [cc args] compiles the probe program cleanly. *)
+let compiles cc extra_flags =
+  with_temp_dir (fun dir ->
+      let src = Filename.concat dir "probe.c" in
+      let out = Filename.concat dir "probe.out" in
+      write_file src probe_source;
+      let cmd =
+        Filename.quote_command cc
+          (extra_flags @ [ "-o"; out; src ])
+          ~stdout:Filename.null ~stderr:Filename.null
+      in
+      Sys.command cmd = 0)
+
+let probe cc =
+  if compiles cc [ "-O2"; "-fopenmp" ] then Some { cc; openmp = true }
+  else if compiles cc [ "-O2" ] then Some { cc; openmp = false }
+  else None
+
+let memo : (string option, (t, Diag.t) result) Hashtbl.t = Hashtbl.create 4
+
+let find () =
+  let pinned = Sys.getenv_opt "KFUSE_CC" in
+  match Hashtbl.find_opt memo pinned with
+  | Some r -> r
+  | None ->
+    let r =
+      match pinned with
+      | Some cc -> (
+        match probe cc with
+        | Some t -> Ok t
+        | None ->
+          Error
+            (Diag.errorf Diag.Toolchain_missing
+               "KFUSE_CC=%s cannot compile a trivial C program; unset it or point it \
+                at a working compiler"
+               cc))
+      | None -> (
+        match List.find_map probe [ "cc"; "gcc"; "clang" ] with
+        | Some t -> Ok t
+        | None ->
+          Error
+            (Diag.errorf Diag.Toolchain_missing
+               "no usable C compiler found (tried cc, gcc, clang); install one or set \
+                KFUSE_CC"))
+    in
+    Hashtbl.replace memo pinned r;
+    r
+
+(* Interpreter faithfulness at -O2: [-fno-builtin-pow] stops the
+   compiler from strength-reducing [pow(x, 2.0)] into [x*x] — glibc's
+   pow is not correctly rounded for squares, so the rewrite diverges
+   from the interpreter's libm call by 1 ulp on ~0.1% of inputs —
+   and [-ffp-contract=off] forbids fusing [a*b+c] into fma on targets
+   that have one (free on baseline x86-64, load-bearing on aarch64). *)
+let faithful_flags = [ "-fno-builtin-pow"; "-fno-builtin-powf"; "-ffp-contract=off" ]
+
+let flags t ~shared =
+  [ "-O2" ] @ faithful_flags
+  @ (if t.openmp then [ "-fopenmp" ] else [])
+  @ if shared then [ "-shared"; "-fPIC" ] else []
+
+(* The flag set is folded in so a flag change never replays a stale
+   artifact compiled under the old semantics. *)
+let id t =
+  Printf.sprintf "%s%s %s" t.cc
+    (if t.openmp then "+openmp" else "-openmp")
+    (String.concat " " (flags t ~shared:false))

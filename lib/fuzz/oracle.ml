@@ -20,6 +20,8 @@ module Transform = Kfuse_fusion.Transform
 module Driver = Kfuse_fusion.Driver
 module Fingerprint = Kfuse_cache.Fingerprint
 module Plan_cache = Kfuse_cache.Plan_cache
+module Native = Kfuse_exec.Native
+module Toolchain = Kfuse_exec.Toolchain
 
 type name =
   | Validate_ok
@@ -32,7 +34,11 @@ type name =
   | Meta_permute_inputs
   | Meta_duplicate
   | Unparse_roundtrip
+  | Native_exec
 
+(* Native_exec shells out to the C compiler on every case — orders of
+   magnitude slower than the rest of the bank — so it is opt-in: absent
+   from [all], run only when [which] names it explicitly. *)
 let all =
   [
     Validate_ok;
@@ -58,8 +64,9 @@ let name_to_string = function
   | Meta_permute_inputs -> "meta-permute-inputs"
   | Meta_duplicate -> "meta-duplicate"
   | Unparse_roundtrip -> "unparse-roundtrip"
+  | Native_exec -> "native-exec"
 
-let name_of_string s = List.find_opt (fun n -> name_to_string n = s) all
+let name_of_string s = List.find_opt (fun n -> name_to_string n = s) (Native_exec :: all)
 
 type failure = { oracle : name; detail : string }
 type optimality = Optimal | Gap of float | Not_checked
@@ -142,17 +149,18 @@ let beta_optimal ~strict ~max_exhaustive config p =
 (* Deterministic per-pipeline input images: seeded from the exact
    fingerprint, so a corpus replay sees the very pixels the original
    campaign saw. *)
-let eval_env p =
+let eval_inputs p =
   let fp = Fingerprint.exact p in
   let seed = String.fold_left (fun a c -> (a * 131) + Char.code c) 7 fp in
   let rng = Rng.create seed in
-  Eval.env_of_list
-    (List.map
-       (fun img ->
-         ( img,
-           Image.random rng ~width:p.Pipeline.width ~height:p.Pipeline.height ~lo:0.0
-             ~hi:1.0 ))
-       p.Pipeline.inputs)
+  List.map
+    (fun img ->
+      ( img,
+        Image.random rng ~width:p.Pipeline.width ~height:p.Pipeline.height ~lo:0.0
+          ~hi:1.0 ))
+    p.Pipeline.inputs
+
+let eval_env p = Eval.env_of_list (eval_inputs p)
 
 let compare_outputs ~what ref_out out =
   if List.map fst ref_out <> List.map fst out then
@@ -450,6 +458,32 @@ let meta_duplicate config p =
   | exception e -> Error (Printf.sprintf "duplicate oracle raised: %s" (Printexc.to_string e))
   | r -> r
 
+(* Interpreter-vs-native differential: plan through the production
+   driver, compile the fused result with the host C toolchain, execute
+   it on the same deterministic pixels {!eval_exact} sees, and demand
+   bit-exact agreement with the interpreter on the original pipeline —
+   double-precision buffers and marshalling (ABI v2) make exactness the
+   right bar, not a tolerance.  Skips cleanly (Ok) when the host has no
+   C compiler, so campaigns stay green on toolchain-less machines. *)
+let native_exec ~cache_dir config p =
+  match Toolchain.find () with
+  | Error _ -> Ok ()
+  | Ok _ -> (
+    match
+      let inputs = eval_inputs p in
+      let ref_out = Eval.run_outputs p (Eval.env_of_list inputs) in
+      let r = Driver.run config Driver.Mincut p in
+      let native_dir = Option.map (fun d -> Filename.concat d "native") cache_dir in
+      match Native.run ?cache_dir:native_dir r.Driver.fused inputs with
+      | Error d ->
+        Error
+          (Printf.sprintf "native execution failed: %s" (Kfuse_util.Diag.to_string d))
+      | Ok res ->
+        compare_outputs ~what:"native vs interpreter" ref_out res.Native.outputs
+    with
+    | exception e -> Error (Printf.sprintf "native oracle raised: %s" (Printexc.to_string e))
+    | r -> r)
+
 let unparse_roundtrip p =
   match
     let norm = Corpus.normalize p in
@@ -491,6 +525,7 @@ let check ?(which = all) ?pool ?cache_dir ?(strict_optimal = false) ?(max_exhaus
         | Meta_permute_inputs -> meta_permute_inputs config p
         | Meta_duplicate -> meta_duplicate config p
         | Unparse_roundtrip -> unparse_roundtrip p
+        | Native_exec -> native_exec ~cache_dir config p
       in
       match result with
       | Ok () -> go rest

@@ -36,7 +36,15 @@
       body in an equal-branch [select] leaves the structural
       fingerprint unchanged.
     - {!constructor:Unparse_roundtrip}: unparse-then-parse is the
-      identity on (border-normalized) pipelines, by exact fingerprint. *)
+      identity on (border-normalized) pipelines, by exact fingerprint.
+    - {!constructor:Native_exec}: the fused plan, compiled by
+      {!Kfuse_exec.Native} and executed natively, agrees {e bitwise}
+      with the {!Kfuse_ir.Eval} interpreter on the original pipeline
+      (double-precision buffers and marshalling make exactness the
+      right bar).  Skips cleanly when the host has no C toolchain.
+      Compiling every case is orders of magnitude slower than the rest
+      of the bank, so this oracle is {e opt-in}: it is not in {!all}
+      and runs only when [which] names it. *)
 
 type name =
   | Validate_ok
@@ -49,8 +57,11 @@ type name =
   | Meta_permute_inputs
   | Meta_duplicate
   | Unparse_roundtrip
+  | Native_exec
 
-(** All oracles, in the order {!check} runs them. *)
+(** The default bank, in the order {!check} runs it.  Excludes the
+    opt-in {!constructor:Native_exec}; pass
+    [~which:(all @ [Native_exec])] to include it. *)
 val all : name list
 
 val name_to_string : name -> string
@@ -70,7 +81,8 @@ type report = { failure : failure option; optimality : optimality }
 
     [which] restricts to a subset (default {!all}); [pool] enables the
     pool-determinism oracle (skipped without one); [cache_dir] enables
-    the disk tier of the cache-replay oracle (memory-only without);
+    the disk tier of the cache-replay oracle (memory-only without) and
+    hosts the native oracle's compile cache under a [native/] subdir;
     [strict_optimal] (default false) turns heuristic optimality gaps
     into failures; [max_exhaustive] (default 8) bounds the DAGs the
     exhaustive oracle enumerates.  Oracles never raise: an escaping

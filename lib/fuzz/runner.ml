@@ -12,6 +12,7 @@ type options = {
   jobs : int;
   max_failures : int;
   cache_dir : string option;
+  native : bool;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     jobs = 1;
     max_failures = 10;
     cache_dir = None;
+    native = false;
   }
 
 type origin = Generated of int | Replayed of string
@@ -73,8 +75,9 @@ let run ?(log = fun _ -> ()) (o : options) =
   let cache_dir =
     match o.cache_dir with Some d -> d | None -> fresh_cache_dir ()
   in
-  let check ?which p =
-    Oracle.check ?which ?pool ~cache_dir ~strict_optimal:o.strict_optimal config p
+  let bank = if o.native then Oracle.all @ [ Oracle.Native_exec ] else Oracle.all in
+  let check ?(which = bank) p =
+    Oracle.check ~which ?pool ~cache_dir ~strict_optimal:o.strict_optimal config p
   in
   let finally () = Option.iter Pool.shutdown pool in
   Fun.protect ~finally @@ fun () ->

@@ -20,8 +20,14 @@ type options = {
   jobs : int;  (** > 1 enables the pool-determinism oracle on that many domains *)
   max_failures : int;  (** stop the campaign after this many failures *)
   cache_dir : string option;
-      (** disk tier for the cache-replay oracle; [None] probes a fresh
-          directory under the system temp dir *)
+      (** disk tier for the cache-replay oracle and the native oracle's
+          compile cache; [None] probes a fresh directory under the
+          system temp dir *)
+  native : bool;
+      (** append the opt-in {!Oracle.Native_exec} oracle to the bank:
+          compile each fused plan with the host C toolchain and demand
+          bitwise agreement with the interpreter.  Much slower (one C
+          compile per case); skips silently on toolchain-less hosts *)
 }
 
 val default_options : options

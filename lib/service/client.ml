@@ -108,6 +108,7 @@ let call ~socket ?timeout_ms ?(retry = default_retry) req =
   go 0
 
 let fuse t f = request t (Protocol.Fuse f)
+let fuse_exec t e = request t (Protocol.Fuse_exec e)
 let stats t = request t Protocol.Stats
 
 let metrics t =

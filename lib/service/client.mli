@@ -63,6 +63,10 @@ val call :
 
 val fuse : t -> Protocol.fuse_request -> (Jsonx.t, Diag.t) result
 
+(** [fuse_exec t e] plans, compiles and natively executes in one round
+    trip; see {!Protocol.fuse_exec_request}. *)
+val fuse_exec : t -> Protocol.fuse_exec_request -> (Jsonx.t, Diag.t) result
+
 val stats : t -> (Jsonx.t, Diag.t) result
 
 (** [metrics t] is the server's Prometheus-style text exposition. *)

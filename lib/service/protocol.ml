@@ -119,41 +119,72 @@ type fuse_request = {
   no_cache : bool;
 }
 
+type fuse_exec_request = {
+  fuse : fuse_request;
+  exec_mode : Kfuse_exec.Native.mode option;  (* None = auto with fallback *)
+  width : int option;
+  height : int option;
+  seed : int;
+  repeat : int;
+  verify : bool;
+  return_pixels : bool;
+}
+
 type request =
   | Fuse of fuse_request
+  | Fuse_exec of fuse_exec_request
   | Stats
   | Metrics
   | Ping
   | Shutdown
+
+let fuse_fields (f : fuse_request) =
+  let opt name conv v fields =
+    match v with None -> fields | Some v -> (name, conv v) :: fields
+  in
+  let fields =
+    []
+    |> opt "budget_ms" (fun v -> Jsonx.Num v) f.budget_ms
+    |> opt "tg" (fun v -> Jsonx.Num v) f.tg
+    |> opt "gamma" (fun v -> Jsonx.Num v) f.gamma
+    |> opt "c_mshared" (fun v -> Jsonx.Num v) f.c_mshared
+    |> opt "source" (fun v -> Jsonx.Str v) f.source
+    |> opt "app" (fun v -> Jsonx.Str v) f.app
+  in
+  let fields = if f.optimize then ("optimize", Jsonx.Bool true) :: fields else fields in
+  let fields = if f.inline then ("inline", Jsonx.Bool true) :: fields else fields in
+  let fields = if f.strict then ("strict", Jsonx.Bool true) :: fields else fields in
+  let fields = if f.no_cache then ("no_cache", Jsonx.Bool true) :: fields else fields in
+  ("strategy", Jsonx.Str (Driver.strategy_to_string f.strategy)) :: fields
 
 let request_to_json = function
   | Stats -> Jsonx.Obj [ ("op", Jsonx.Str "stats") ]
   | Metrics -> Jsonx.Obj [ ("op", Jsonx.Str "metrics") ]
   | Ping -> Jsonx.Obj [ ("op", Jsonx.Str "ping") ]
   | Shutdown -> Jsonx.Obj [ ("op", Jsonx.Str "shutdown") ]
-  | Fuse f ->
+  | Fuse f -> Jsonx.Obj (("op", Jsonx.Str "fuse") :: fuse_fields f)
+  | Fuse_exec e ->
     let opt name conv v fields =
       match v with None -> fields | Some v -> (name, conv v) :: fields
     in
     let fields =
-      []
-      |> opt "budget_ms" (fun v -> Jsonx.Num v) f.budget_ms
-      |> opt "tg" (fun v -> Jsonx.Num v) f.tg
-      |> opt "gamma" (fun v -> Jsonx.Num v) f.gamma
-      |> opt "c_mshared" (fun v -> Jsonx.Num v) f.c_mshared
-      |> opt "source" (fun v -> Jsonx.Str v) f.source
-      |> opt "app" (fun v -> Jsonx.Str v) f.app
+      fuse_fields e.fuse
+      |> opt "exec_mode"
+           (fun m -> Jsonx.Str (Kfuse_exec.Native.mode_to_string m))
+           e.exec_mode
+      |> opt "width" (fun v -> Jsonx.Num (float_of_int v)) e.width
+      |> opt "height" (fun v -> Jsonx.Num (float_of_int v)) e.height
     in
+    let fields = ("seed", Jsonx.Num (float_of_int e.seed)) :: fields in
     let fields =
-      if f.optimize then ("optimize", Jsonx.Bool true) :: fields else fields
+      if e.repeat <> 1 then ("repeat", Jsonx.Num (float_of_int e.repeat)) :: fields
+      else fields
     in
-    let fields = if f.inline then ("inline", Jsonx.Bool true) :: fields else fields in
-    let fields = if f.strict then ("strict", Jsonx.Bool true) :: fields else fields in
-    let fields = if f.no_cache then ("no_cache", Jsonx.Bool true) :: fields else fields in
-    Jsonx.Obj
-      (("op", Jsonx.Str "fuse")
-      :: ("strategy", Jsonx.Str (Driver.strategy_to_string f.strategy))
-      :: fields)
+    let fields = if e.verify then ("verify", Jsonx.Bool true) :: fields else fields in
+    let fields =
+      if e.return_pixels then ("return_pixels", Jsonx.Bool true) :: fields else fields
+    in
+    Jsonx.Obj (("op", Jsonx.Str "fuse_exec") :: fields)
 
 let proto_error fmt = Printf.ksprintf (fun m -> Error (Diag.v Diag.Protocol_error m)) fmt
 
@@ -169,6 +200,57 @@ let typed_field name accessor what v =
 
 let ( let* ) = Result.bind
 
+let fuse_of_json v =
+  let* app = typed_field "app" Jsonx.str "string" v in
+  let* source = typed_field "source" Jsonx.str "string" v in
+  let* strategy_name = typed_field "strategy" Jsonx.str "string" v in
+  let* strategy =
+    match strategy_name with
+    | None -> Ok Driver.Mincut
+    | Some s -> (
+      match Driver.strategy_of_string s with
+      | Some s -> Ok s
+      | None -> proto_error "unknown strategy %S" s)
+  in
+  let* c_mshared = typed_field "c_mshared" Jsonx.num "number" v in
+  let* gamma = typed_field "gamma" Jsonx.num "number" v in
+  let* tg = typed_field "tg" Jsonx.num "number" v in
+  let* optimize = typed_field "optimize" Jsonx.bool "boolean" v in
+  let* inline = typed_field "inline" Jsonx.bool "boolean" v in
+  let* strict = typed_field "strict" Jsonx.bool "boolean" v in
+  let* budget_ms = typed_field "budget_ms" Jsonx.num "number" v in
+  let* no_cache = typed_field "no_cache" Jsonx.bool "boolean" v in
+  let* () =
+    match (app, source) with
+    | Some _, Some _ -> proto_error "pass either \"app\" or \"source\", not both"
+    | None, None -> proto_error "fuse needs an \"app\" name or \"source\" text"
+    | _ -> Ok ()
+  in
+  Ok
+    {
+      app;
+      source;
+      strategy;
+      c_mshared;
+      gamma;
+      tg;
+      optimize = Option.value ~default:false optimize;
+      inline = Option.value ~default:false inline;
+      strict = Option.value ~default:false strict;
+      budget_ms;
+      no_cache = Option.value ~default:false no_cache;
+    }
+
+(* JSON numbers are floats on the wire; extents and counts must be
+   whole and positive to be meaningful. *)
+let int_field name v =
+  let* n = typed_field name Jsonx.num "number" v in
+  match n with
+  | None -> Ok None
+  | Some f ->
+    if Float.is_integer f && f >= 1.0 && f <= 1e9 then Ok (Some (int_of_float f))
+    else proto_error "field %S must be a positive integer" name
+
 let request_of_json v =
   match Jsonx.mem_str "op" v with
   | None -> proto_error "request must be an object with a string \"op\" field"
@@ -177,45 +259,42 @@ let request_of_json v =
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
   | Some "fuse" ->
-    let* app = typed_field "app" Jsonx.str "string" v in
-    let* source = typed_field "source" Jsonx.str "string" v in
-    let* strategy_name = typed_field "strategy" Jsonx.str "string" v in
-    let* strategy =
-      match strategy_name with
-      | None -> Ok Driver.Mincut
+    let* f = fuse_of_json v in
+    Ok (Fuse f)
+  | Some "fuse_exec" ->
+    let* fuse = fuse_of_json v in
+    let* exec_mode_name = typed_field "exec_mode" Jsonx.str "string" v in
+    let* exec_mode =
+      match exec_mode_name with
+      | None | Some "auto" -> Ok None
       | Some s -> (
-        match Driver.strategy_of_string s with
-        | Some s -> Ok s
-        | None -> proto_error "unknown strategy %S" s)
+        match Kfuse_exec.Native.mode_of_string s with
+        | Some m -> Ok (Some m)
+        | None -> proto_error "unknown exec_mode %S (auto, dlopen or subprocess)" s)
     in
-    let* c_mshared = typed_field "c_mshared" Jsonx.num "number" v in
-    let* gamma = typed_field "gamma" Jsonx.num "number" v in
-    let* tg = typed_field "tg" Jsonx.num "number" v in
-    let* optimize = typed_field "optimize" Jsonx.bool "boolean" v in
-    let* inline = typed_field "inline" Jsonx.bool "boolean" v in
-    let* strict = typed_field "strict" Jsonx.bool "boolean" v in
-    let* budget_ms = typed_field "budget_ms" Jsonx.num "number" v in
-    let* no_cache = typed_field "no_cache" Jsonx.bool "boolean" v in
+    let* width = int_field "width" v in
+    let* height = int_field "height" v in
     let* () =
-      match (app, source) with
-      | Some _, Some _ -> proto_error "pass either \"app\" or \"source\", not both"
-      | None, None -> proto_error "fuse needs an \"app\" name or \"source\" text"
+      match (width, height) with
+      | Some _, None | None, Some _ ->
+        proto_error "pass \"width\" and \"height\" together"
       | _ -> Ok ()
     in
+    let* seed = int_field "seed" v in
+    let* repeat = int_field "repeat" v in
+    let* verify = typed_field "verify" Jsonx.bool "boolean" v in
+    let* return_pixels = typed_field "return_pixels" Jsonx.bool "boolean" v in
     Ok
-      (Fuse
+      (Fuse_exec
          {
-           app;
-           source;
-           strategy;
-           c_mshared;
-           gamma;
-           tg;
-           optimize = Option.value ~default:false optimize;
-           inline = Option.value ~default:false inline;
-           strict = Option.value ~default:false strict;
-           budget_ms;
-           no_cache = Option.value ~default:false no_cache;
+           fuse;
+           exec_mode;
+           width;
+           height;
+           seed = Option.value ~default:42 seed;
+           repeat = Option.value ~default:1 repeat;
+           verify = Option.value ~default:false verify;
+           return_pixels = Option.value ~default:false return_pixels;
          })
   | Some op -> proto_error "unknown op %S" op
 

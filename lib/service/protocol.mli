@@ -13,6 +13,15 @@
       registry name) or ["source"] (DSL text).  Optional: ["strategy"],
       ["c_mshared"], ["gamma"], ["tg"], ["optimize"], ["inline"],
       ["strict"], ["budget_ms"], ["no_cache"].
+    - [{"op":"fuse_exec", ...}] — plan, then compile and execute the
+      fused pipeline natively on server-synthesized inputs.  All
+      ["fuse"] fields, plus optional ["exec_mode"] ("auto", "dlopen" or
+      "subprocess"), ["width"]/["height"] (override the extent; apps
+      only), ["seed"] (input synthesis, default 42), ["repeat"] (timing
+      samples, default 1), ["verify"] (compare against the reference
+      interpreter and report ["max_abs_diff"]), ["return_pixels"]
+      (inline each output's pixel rows — small extents only, the reply
+      must fit {!max_frame}).
     - [{"op":"stats"}] — cache + latency counters as JSON.
     - [{"op":"metrics"}] — Prometheus-style text exposition (in the
       ["text"] field of the response).
@@ -73,8 +82,24 @@ type fuse_request = {
   no_cache : bool;  (** compute fresh, bypassing the plan cache *)
 }
 
+type fuse_exec_request = {
+  fuse : fuse_request;  (** planning options; [no_cache] bypasses the
+                            plan cache only — compiled artifacts stay
+                            content-addressed *)
+  exec_mode : Kfuse_exec.Native.mode option;
+      (** [None] = try {!Kfuse_exec.Native.Dlopen}, fall back to
+          {!Kfuse_exec.Native.Subprocess} *)
+  width : int option;  (** extent override, apps only; paired with [height] *)
+  height : int option;
+  seed : int;  (** deterministic input synthesis *)
+  repeat : int;  (** timing samples per execution *)
+  verify : bool;  (** also run the interpreter, report [max_abs_diff] *)
+  return_pixels : bool;  (** inline output pixels in the reply *)
+}
+
 type request =
   | Fuse of fuse_request
+  | Fuse_exec of fuse_exec_request
   | Stats
   | Metrics
   | Ping

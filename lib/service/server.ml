@@ -7,6 +7,8 @@ module Plan_cache = Kfuse_cache.Plan_cache
 module Fingerprint = Kfuse_cache.Fingerprint
 module F = Kfuse_fusion
 module Ir = Kfuse_ir
+module Image = Kfuse_image.Image
+module Native = Kfuse_exec.Native
 
 type t = {
   socket_path : string;
@@ -51,16 +53,24 @@ let in_flight t =
 
 (* ---- request handling ---- *)
 
-let load_pipeline (f : Protocol.fuse_request) =
+let load_pipeline ?size (f : Protocol.fuse_request) =
   match (f.Protocol.app, f.Protocol.source) with
   | Some name, _ -> (
     match Kfuse_apps.Registry.find name with
-    | Some e -> Ok (e.Kfuse_apps.Registry.pipeline ())
+    | Some e -> (
+      match size with
+      | None -> Ok (e.Kfuse_apps.Registry.pipeline ())
+      | Some (width, height) -> Ok (e.Kfuse_apps.Registry.small ~width ~height))
     | None ->
       Error
         (Diag.errorf Diag.Io_error "unknown application %S (try: %s)" name
            (String.concat ", " Kfuse_apps.Registry.names)))
-  | None, Some src -> Kfuse_dsl.Elaborate.parse_pipeline_diag src
+  | None, Some src ->
+    if size <> None then
+      Error
+        (Diag.v Diag.Protocol_error
+           "width/height overrides apply to registry apps only, not DSL source")
+    else Kfuse_dsl.Elaborate.parse_pipeline_diag src
   | None, None -> Error (Diag.v Diag.Protocol_error "fuse without app or source")
 
 let validated p =
@@ -85,10 +95,12 @@ let report_fields (r : F.Driver.report) =
       Jsonx.Arr (List.map (fun d -> Jsonx.Str (Diag.to_string d)) r.F.Driver.warnings) );
   ]
 
-let handle_fuse t ~deadline (f : Protocol.fuse_request) =
-  match Result.bind (load_pipeline f) validated with
-  | Error d -> Protocol.error d
-  | Ok p -> (
+(* Shared planning path of [fuse] and [fuse_exec]: load, validate,
+   budget against the deadline, serve from the plan cache. *)
+let plan t ~deadline ?size (f : Protocol.fuse_request) =
+  match Result.bind (load_pipeline ?size f) validated with
+  | Error _ as e -> e
+  | Ok p ->
     let default = F.Config.default in
     let config =
       {
@@ -122,34 +134,145 @@ let handle_fuse t ~deadline (f : Protocol.fuse_request) =
       | Error _ as e -> e
       | Ok r -> Ok (r, (Unix.gettimeofday () -. t0) *. 1000.)
     in
-    let served =
-      if f.Protocol.no_cache then
-        Result.map (fun (r, ms) -> (r, "bypass", ms)) (compute ())
-      else begin
-        let key = Fingerprint.plan_key ~config ~strategy ~optimize ~inline p in
-        match Plan_cache.find t.cache key with
-        | Some (r, outcome) -> Ok (r, Plan_cache.outcome_to_string outcome, 0.0)
-        | None -> (
-          match compute () with
-          | Error _ as e -> e
-          | Ok (r, ms) ->
-            Plan_cache.store t.cache key r;
-            (* find-then-store keeps the outcome (miss vs miss-iso)
-               distinction out of the hot reply path; the distinction
-               lives in the cache stats. *)
-            Ok (r, "miss", ms))
-      end
+    if f.Protocol.no_cache then
+      Result.map (fun (r, ms) -> (r, "bypass", ms)) (compute ())
+    else begin
+      let key = Fingerprint.plan_key ~config ~strategy ~optimize ~inline p in
+      match Plan_cache.find t.cache key with
+      | Some (r, outcome) -> Ok (r, Plan_cache.outcome_to_string outcome, 0.0)
+      | None -> (
+        match compute () with
+        | Error _ as e -> e
+        | Ok (r, ms) ->
+          Plan_cache.store t.cache key r;
+          (* find-then-store keeps the outcome (miss vs miss-iso)
+             distinction out of the hot reply path; the distinction
+             lives in the cache stats. *)
+          Ok (r, "miss", ms))
+    end
+
+let plan_fields (r, outcome, plan_ms) =
+  report_fields r
+  @ [
+      ("cached", Jsonx.Bool (outcome = "hit" || outcome = "hit-disk"));
+      ("outcome", Jsonx.Str outcome);
+      ("plan_ms", Jsonx.Num plan_ms);
+    ]
+
+let handle_fuse t ~deadline (f : Protocol.fuse_request) =
+  match plan t ~deadline f with
+  | Error d -> Protocol.error d
+  | Ok served -> Protocol.ok (plan_fields served)
+
+let output_json ~return_pixels (name, img) =
+  let w = Image.width img and h = Image.height img in
+  let n = w * h in
+  let lo = ref Float.infinity and hi = ref Float.neg_infinity and sum = ref 0.0 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let v = Image.get img x y in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v;
+      sum := !sum +. v
+    done
+  done;
+  let base =
+    [
+      ("name", Jsonx.Str name);
+      ("width", Jsonx.Num (float_of_int w));
+      ("height", Jsonx.Num (float_of_int h));
+      ("min", Jsonx.Num !lo);
+      ("max", Jsonx.Num !hi);
+      ("mean", Jsonx.Num (!sum /. float_of_int (max 1 n)));
+    ]
+  in
+  let pixels =
+    if not return_pixels then []
+    else
+      [
+        ( "pixels",
+          Jsonx.Arr
+            (List.init h (fun y ->
+                 Jsonx.Arr (List.init w (fun x -> Jsonx.Num (Image.get img x y))))) );
+      ]
+  in
+  Jsonx.Obj (base @ pixels)
+
+let handle_fuse_exec t ~deadline (e : Protocol.fuse_exec_request) =
+  let size =
+    match (e.Protocol.width, e.Protocol.height) with
+    | Some w, Some h -> Some (w, h)
+    | _ -> None
+  in
+  match plan t ~deadline ?size e.Protocol.fuse with
+  | Error d -> Protocol.error d
+  | Ok ((r, _, _) as served) -> (
+    let p = r.F.Driver.fused in
+    let width = p.Ir.Pipeline.width and height = p.Ir.Pipeline.height in
+    let rng = Kfuse_util.Rng.create e.Protocol.seed in
+    let inputs =
+      List.map
+        (fun n -> (n, Image.random rng ~width ~height ~lo:0.0 ~hi:1.0))
+        p.Ir.Pipeline.inputs
     in
-    match served with
-    | Error d -> Protocol.error d
-    | Ok (r, outcome, plan_ms) ->
-      Protocol.ok
-        (report_fields r
-        @ [
-            ("cached", Jsonx.Bool (outcome = "hit" || outcome = "hit-disk"));
-            ("outcome", Jsonx.Str outcome);
-            ("plan_ms", Jsonx.Num plan_ms);
-          ]))
+    (* Planning may have eaten the whole request budget (cache miss on a
+       slow search): fail typed before paying for a compile. *)
+    match Deadline.check deadline with
+    | exception Deadline.Expired _ ->
+      Metrics.incr t.metrics "requests_timed_out";
+      Protocol.error
+        (Diag.errorf Diag.Request_timeout
+           "request deadline expired after planning, before native execution")
+    | () -> (
+      let cache_dir =
+        Option.map (fun d -> Filename.concat d "native") (Plan_cache.dir t.cache)
+      in
+      match
+        Native.run ?mode:e.Protocol.exec_mode ?cache_dir ~repeat:e.Protocol.repeat p
+          inputs
+      with
+      | Error d -> Protocol.error d
+      | Ok res ->
+        let verify_fields =
+          if not e.Protocol.verify then []
+          else begin
+            (* Both sides sort outputs by name, so positional zip holds. *)
+            let reference = Ir.Eval.run_outputs p (Ir.Eval.env_of_list inputs) in
+            let diff =
+              List.fold_left2
+                (fun acc (_, want) (_, got) -> Float.max acc (Image.max_abs_diff want got))
+                0.0 reference res.Native.outputs
+            in
+            [ ("max_abs_diff", Jsonx.Num diff) ]
+          end
+        in
+        Protocol.ok
+          (plan_fields served
+          @ [
+              ( "exec",
+                Jsonx.Obj
+                  [
+                    ("mode", Jsonx.Str (Native.mode_to_string res.Native.mode_used));
+                    ("artifact", Jsonx.Str res.Native.artifact);
+                    ("artifact_cached", Jsonx.Bool res.Native.cached);
+                    ("compile_ms", Jsonx.Num res.Native.compile_ms);
+                    ("exec_ms", Jsonx.Num res.Native.exec_ms);
+                    ( "samples_ms",
+                      Jsonx.Arr (List.map (fun s -> Jsonx.Num s) res.Native.samples_ms)
+                    );
+                    ( "warnings",
+                      Jsonx.Arr
+                        (List.map
+                           (fun d -> Jsonx.Str (Diag.to_string d))
+                           res.Native.warnings) );
+                  ] );
+              ( "outputs",
+                Jsonx.Arr
+                  (List.map
+                     (output_json ~return_pixels:e.Protocol.return_pixels)
+                     res.Native.outputs) );
+            ]
+          @ verify_fields)))
 
 let stats_json t =
   let c = Plan_cache.stats t.cache in
@@ -226,6 +349,7 @@ let dispatch t ~deadline v =
     let op =
       match req with
       | Protocol.Fuse _ -> "fuse"
+      | Protocol.Fuse_exec _ -> "fuse_exec"
       | Protocol.Stats -> "stats"
       | Protocol.Metrics -> "metrics"
       | Protocol.Ping -> "ping"
@@ -245,6 +369,11 @@ let dispatch t ~deadline v =
       match handle_fuse t ~deadline f with
       | resp -> (op, resp, false)
       | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Fuse_exec e -> (
+      match handle_fuse_exec t ~deadline e with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
       | exception exn -> (op, Protocol.error (Diag.of_exn exn), false)))
 
 let is_ok resp = match Jsonx.mem_str "status" resp with Some "ok" -> true | _ -> false

@@ -23,6 +23,9 @@ type code =
   | Overloaded
   | Request_timeout
   | Fault_injected
+  | Toolchain_missing
+  | Compile_failed
+  | Exec_failed
   | Internal_error
 
 type context = { file : string option; line : int option; col : int option }
@@ -54,6 +57,9 @@ let code_id = function
   | Overloaded -> "KF0803"
   | Request_timeout -> "KF0804"
   | Fault_injected -> "KF0901"
+  | Toolchain_missing -> "KF0902"
+  | Compile_failed -> "KF0903"
+  | Exec_failed -> "KF0904"
   | Internal_error -> "KF0999"
 
 let all_codes =
@@ -62,7 +68,8 @@ let all_codes =
     Dangling_ref; Duplicate_name; Empty_iteration_space; Mask_too_large;
     Global_consumed; Unbound_param; Empty_pipeline; Invalid_partition;
     Strategy_failed; Budget_exceeded; Cache_corrupt; Protocol_error;
-    Service_error; Overloaded; Request_timeout; Fault_injected; Internal_error;
+    Service_error; Overloaded; Request_timeout; Fault_injected;
+    Toolchain_missing; Compile_failed; Exec_failed; Internal_error;
   ]
 
 let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes

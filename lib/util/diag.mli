@@ -47,6 +47,15 @@ type code =
       (** KF0804: a [kfused] request (or its reply) overran its
           wall-clock deadline, or the peer went silent mid-frame *)
   | Fault_injected  (** KF0901: deterministic fault-injection trigger *)
+  | Toolchain_missing
+      (** KF0902: no usable C compiler for the native execution backend
+          (nothing on [PATH], or [KFUSE_CC] names a broken one) *)
+  | Compile_failed
+      (** KF0903: the system compiler rejected generated C — always a
+          codegen bug or a broken local toolchain, never user input *)
+  | Exec_failed
+      (** KF0904: a compiled fused plan could not be loaded or run
+          (dlopen/dlsym failure, crashed subprocess, truncated output) *)
   | Internal_error  (** KF0999: invariant violation inside the compiler *)
 
 type context = {

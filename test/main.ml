@@ -26,6 +26,7 @@ let () =
       ("event-sim", Test_event_sim.suite);
       ("codegen", Test_codegen.suite);
       ("codegen-exec", Test_codegen_exec.suite);
+      ("exec", Test_exec.suite);
       ("dot", Test_dot.suite);
       ("dsl", Test_dsl.suite);
       ("unparse", Test_unparse.suite);

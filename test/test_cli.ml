@@ -145,6 +145,97 @@ let test_fault_injection_e2e () =
   Alcotest.(check int) "malformed spec exits 2" 2 code;
   Alcotest.(check bool) "spec error message" true (contains "malformed KFUSE_FAULTS" text)
 
+let cc_available = lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+
+let require_cc () = if not (Lazy.force cc_available) then Alcotest.skip ()
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "kfusec_native" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_run_native_e2e () =
+  (* The full --native flow: plan, compile, execute, verify against the
+     interpreter, write the result image. *)
+  require_cc ();
+  with_temp_dir @@ fun dir ->
+  let input = Filename.concat dir "in.pgm" in
+  let output = Filename.concat dir "out.pgm" in
+  let img =
+    Kfuse_image.Image.init ~width:32 ~height:24 (fun x y ->
+        0.1 +. (0.8 *. float_of_int ((x + y) mod 7) /. 7.0))
+  in
+  Kfuse_image.Pgm.write input img;
+  let args file =
+    [
+      "run"; Filename.concat pipelines_dir file; "--native"; "--cache-dir"; dir;
+      "-i"; input; "-o"; output;
+    ]
+  in
+  let code, text = run_capture (args "sobel.pipe") in
+  Alcotest.(check int) "native run exits 0" 0 code;
+  Alcotest.(check bool) "native diff reported as exactly 0" true
+    (contains "native max-abs-diff vs interpreter: 0" text);
+  Alcotest.(check bool) "compile reported" true (contains "kfusec: native (" text);
+  Alcotest.(check bool) "image written" true (contains "wrote" text);
+  let out = Kfuse_image.Pgm.read output in
+  Alcotest.(check int) "output width" 32 (Kfuse_image.Image.width out);
+  (* Same plan again: the artifact cache serves the compile. *)
+  let code, text = run_capture (args "sobel.pipe") in
+  Alcotest.(check int) "cached run exits 0" 0 code;
+  Alcotest.(check bool) "artifact cache hit" true (contains "(cached)" text);
+  (* Forced subprocess mode agrees too. *)
+  let code, text =
+    run_capture (args "sobel.pipe" @ [ "--exec-mode"; "subprocess" ])
+  in
+  Alcotest.(check int) "subprocess run exits 0" 0 code;
+  Alcotest.(check bool) "subprocess diff 0" true
+    (contains "native max-abs-diff vs interpreter: 0" text)
+
+let test_run_native_no_toolchain () =
+  (* KFUSE_CC pointing nowhere must surface as a typed KF0902, not a
+     crash.  The subprocess env keeps the probe isolated from the
+     suite's own toolchain discovery. *)
+  with_temp_dir @@ fun dir ->
+  let input = Filename.concat dir "in.pgm" in
+  Kfuse_image.Pgm.write input (Kfuse_image.Image.const ~width:8 ~height:8 0.5);
+  let code, text =
+    run_capture ~env:"KFUSE_FAULTS= KFUSE_CC=/definitely/not/a/compiler"
+      [
+        "run"; Filename.concat pipelines_dir "sobel.pipe"; "--native";
+        "--cache-dir"; dir; "-i"; input; "-o"; Filename.concat dir "out.pgm";
+      ]
+  in
+  Alcotest.(check bool) "missing toolchain fails" true (code <> 0);
+  Alcotest.(check bool) "typed KF0902" true (contains "KF0902" text)
+
+let test_fuzz_native_smoke () =
+  require_cc ();
+  let code, text = run_capture [ "fuzz"; "--cases"; "2"; "--seed"; "3"; "--native" ] in
+  Alcotest.(check int) "native fuzz exits 0" 0 code;
+  Alcotest.(check bool) "campaign is clean" true (contains "no failures" text)
+
+let test_bench_native_small () =
+  require_cc ();
+  with_temp_dir @@ fun dir ->
+  let out = Filename.concat dir "bench.json" in
+  let code, text =
+    run_capture
+      [
+        "bench-native"; "-o"; out; "--runs"; "1"; "--width"; "32"; "--height"; "24";
+        "--apps"; "sobel,unsharp"; "--check"; "--cache-dir"; dir;
+      ]
+  in
+  Alcotest.(check int) "bench-native --check exits 0" 0 code;
+  Alcotest.(check bool) "summary table printed" true (contains "sobel" text);
+  let json = In_channel.with_open_text out In_channel.input_all in
+  Alcotest.(check bool) "versioned schema" true (contains "kfuse-bench-native/v1" json);
+  Alcotest.(check bool) "both apps present" true
+    (contains "\"sobel\"" json && contains "\"unsharp\"" json)
+
 let test_budget_e2e () =
   let code, text =
     run_capture [ "fuse"; "--app"; "harris"; "--budget-ms"; "0" ]
@@ -170,4 +261,9 @@ let suite =
     Alcotest.test_case "read_file diagnostic" `Quick test_read_file_diagnostic;
     Alcotest.test_case "fault injection end-to-end" `Quick test_fault_injection_e2e;
     Alcotest.test_case "budget end-to-end" `Quick test_budget_e2e;
+    Alcotest.test_case "run --native end-to-end" `Slow test_run_native_e2e;
+    Alcotest.test_case "run --native without a toolchain" `Quick
+      test_run_native_no_toolchain;
+    Alcotest.test_case "fuzz --native smoke" `Slow test_fuzz_native_smoke;
+    Alcotest.test_case "bench-native --check" `Slow test_bench_native_small;
   ]

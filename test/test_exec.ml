@@ -1,0 +1,346 @@
+(* The native compile-and-execute backend and the C emission it relies
+   on: golden-output checks over [Lower_cpu.emit_pipeline] (loop shape,
+   kf_scalar typedef, reduction broadcast, literal spelling), a
+   warning-free [-Wall -Werror] compile of generated code, end-to-end
+   Native.run in both modes against the reference interpreter, the
+   compile cache, and the opt-in interpreter-vs-native fuzz oracle.
+
+   Everything that needs a C compiler is gated on {!Toolchain.find} and
+   skips cleanly on toolchain-less hosts. *)
+
+module Ir = Kfuse_ir
+module Img = Kfuse_image
+module F = Kfuse_fusion
+module Cg = Kfuse_codegen
+module Exec = Kfuse_exec
+module Fz = Kfuse_fuzz
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let check_fragments what text fragments =
+  List.iter
+    (fun frag ->
+      if not (contains frag text) then
+        Alcotest.failf "%s: expected fragment %S in:\n%s" what frag text)
+    fragments
+
+let require_toolchain () =
+  match Exec.Toolchain.find () with Error _ -> Alcotest.skip () | Ok t -> t
+
+(* A two-kernel pipeline exercising the tricky emissions at once: a
+   negated negative literal (the "--" token-pasting regression), a
+   reduction with its broadcast fill, and an intermediate buffer. *)
+let neg_reduce_pipeline () =
+  Ir.Pipeline.create ~name:"redsum" ~width:8 ~height:6 ~inputs:[ "src" ]
+    [
+      Ir.Kernel.map ~name:"neg" ~inputs:[ "src" ]
+        Ir.Expr.(neg (Const (-0.25)) * input "src");
+      Ir.Kernel.reduce ~name:"total" ~inputs:[ "neg" ] ~init:0.0 ~combine:Ir.Expr.Add
+        (Ir.Expr.input "neg");
+    ]
+
+let fused_app name ~width ~height =
+  let e = Option.get (Kfuse_apps.Registry.find name) in
+  let p = e.Kfuse_apps.Registry.small ~width ~height in
+  (p, (F.Driver.run F.Config.default F.Driver.Mincut p).F.Driver.fused)
+
+(* ---- golden output of emit_pipeline ---- *)
+
+let test_emit_golden_map_reduce () =
+  let src = Cg.Lower_cpu.emit_pipeline (neg_reduce_pipeline ()) in
+  check_fragments "map+reduce emission" src
+    [
+      "typedef float kf_scalar;";
+      "static inline void* kf_malloc(size_t n)";
+      "if (!p) abort();";
+      "#pragma omp parallel for collapse(2) schedule(static)";
+      (* neg of a negative literal must not paste into the "--" token *)
+      "(- -0.25f)";
+      "float acc = 0.0f;";
+      "reduction(+:acc)";
+      (* the reduction broadcast-fills its whole output buffer *)
+      "for (int i = 0; i < (width * height); ++i)";
+      "out[i] = acc;";
+      "void run_redsum(const kf_scalar* src, kf_scalar* total)";
+      "kf_malloc((size_t)width * height * sizeof(kf_scalar))";
+      "free(neg);";
+    ];
+  if contains "(--" src then
+    Alcotest.failf "emitted C contains the \"--\" token paste:\n%s" src
+
+let test_emit_golden_double_tiled () =
+  let _, fused = fused_app "sobel" ~width:16 ~height:12 in
+  let src =
+    Cg.Lower_cpu.emit_pipeline ~prec:Cg.Lower_common.Double ~tile:(8, 4) fused
+  in
+  check_fragments "double tiled emission" src
+    [
+      "typedef double kf_scalar;";
+      (* helpers and buffers follow the precision *)
+      "static inline double read_clamp(const double* img";
+      (* double mode drops the f-suffix from both functions and literals *)
+      "sqrt(";
+      "-1.0 *";
+      (* tile loops with ragged-edge clamping *)
+      "yy += 4";
+      "xx += 8";
+      "const int y_end";
+      "const int x_end";
+    ];
+  if contains "sqrtf(" src || contains "0.25f" src then
+    Alcotest.failf "double-precision emission leaked a float32 spelling:\n%s" src
+
+let test_emit_border_helpers () =
+  let p =
+    Ir.Pipeline.create ~name:"borders" ~width:9 ~height:7 ~inputs:[ "a" ]
+      [
+        Ir.Kernel.map ~name:"m" ~inputs:[ "a" ]
+          (Ir.Expr.conv ~border:Img.Border.Mirror Img.Mask.gaussian_3x3 "a");
+        Ir.Kernel.map ~name:"r" ~inputs:[ "a" ]
+          (Ir.Expr.conv ~border:Img.Border.Repeat Img.Mask.gaussian_3x3 "a");
+        Ir.Kernel.map ~name:"c" ~inputs:[ "a" ]
+          (Ir.Expr.conv ~border:(Img.Border.Constant 0.5) Img.Mask.gaussian_3x3 "a");
+      ]
+  in
+  let src = Cg.Lower_cpu.emit_pipeline p in
+  check_fragments "border helper emission" src
+    [
+      "static inline float read_mirror(const float* img";
+      "static inline float read_repeat(const float* img";
+      (* the constant border takes the fill value as a trailing argument *)
+      "read_constant(const float* img, int x, int y, int w, int h, float c)";
+      "0.5f)";
+    ]
+
+let test_emit_nonfinite_literals () =
+  let render e = Format.asprintf "%a" Cg.Emit.expr e in
+  Alcotest.(check string) "float nan" "NAN" (render (Cg.Cuda_ast.float_lit Float.nan));
+  Alcotest.(check string) "float inf" "INFINITY"
+    (render (Cg.Cuda_ast.float_lit Float.infinity));
+  Alcotest.(check string) "float -inf" "-INFINITY"
+    (render (Cg.Cuda_ast.float_lit Float.neg_infinity));
+  Alcotest.(check string) "double -inf" "-INFINITY"
+    (render (Cg.Cuda_ast.double_lit Float.neg_infinity));
+  (* negation of a leading-minus rendering keeps the minuses apart *)
+  Alcotest.(check string) "neg of -inf" "(- -INFINITY)"
+    (render (Cg.Cuda_ast.Unop ("-", Cg.Cuda_ast.float_lit Float.neg_infinity)));
+  Alcotest.(check string) "neg of negative literal" "(- -0.25f)"
+    (render (Cg.Cuda_ast.Unop ("-", Cg.Cuda_ast.float_lit (-0.25))));
+  Alcotest.(check string) "neg of positive literal" "(-0.25f)"
+    (render (Cg.Cuda_ast.Unop ("-", Cg.Cuda_ast.float_lit 0.25)))
+
+let test_for_step_validated () =
+  let body = [ Cg.Cuda_ast.Return ] in
+  let mk step =
+    Cg.Cuda_ast.for_ ~var:"i" ~from_:(Cg.Cuda_ast.int_lit 0)
+      ~below:(Cg.Cuda_ast.int_lit 4) ~step body
+  in
+  (match mk 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "for_ accepted step 0");
+  (match mk (-2) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "for_ accepted a negative step");
+  (* the emitter backstops AST values built without the constructor *)
+  let raw = Cg.Cuda_ast.For { var = "i"; from_ = Cg.Cuda_ast.int_lit 0;
+                              below = Cg.Cuda_ast.int_lit 4; step = 0; body } in
+  match Format.asprintf "%a" Cg.Emit.stmt raw with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "Emit printed a nonterminating loop: %s" s
+
+(* ---- toolchain-guarded: generated C compiles warning-free ---- *)
+
+let test_emit_compiles_warning_free () =
+  let t = require_toolchain () in
+  let dir = Filename.temp_file "kfuse_warn" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iteri
+        (fun i (name, tile) ->
+          let _, fused = fused_app name ~width:32 ~height:24 in
+          let src_path = Filename.concat dir (Printf.sprintf "gen%d.c" i) in
+          let obj_path = Filename.concat dir (Printf.sprintf "gen%d.o" i) in
+          let log = Filename.concat dir (Printf.sprintf "cc%d.log" i) in
+          Out_channel.with_open_text src_path (fun oc ->
+              output_string oc
+                (Cg.Lower_cpu.emit_pipeline ?tile ~prec:Cg.Lower_common.Double fused));
+          let cmd =
+            Printf.sprintf "%s -Wall -Werror -O2 %s -c -o %s %s > %s 2>&1"
+              (Filename.quote t.Exec.Toolchain.cc)
+              (if t.Exec.Toolchain.openmp then "-fopenmp" else "")
+              (Filename.quote obj_path) (Filename.quote src_path) (Filename.quote log)
+          in
+          if Sys.command cmd <> 0 then
+            Alcotest.failf "%s: generated C does not compile under -Wall -Werror:\n%s"
+              name
+              (In_channel.with_open_text log In_channel.input_all))
+        [ ("harris", None); ("night", Some (16, 8)); ("shitomasi", None) ])
+
+(* ---- native execution end to end ---- *)
+
+let rng = Kfuse_util.Rng.create 9002
+
+let inputs_for (p : Ir.Pipeline.t) =
+  List.map
+    (fun n ->
+      ( n,
+        Img.Image.random rng ~width:p.Ir.Pipeline.width ~height:p.Ir.Pipeline.height
+          ~lo:0.0 ~hi:1.0 ))
+    p.Ir.Pipeline.inputs
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "kfuse_exec_cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  f dir
+
+let max_diff reference outputs =
+  Alcotest.(check (list string))
+    "same output set" (List.map fst reference) (List.map fst outputs);
+  List.fold_left2
+    (fun acc (_, a) (_, b) -> Float.max acc (Img.Image.max_abs_diff a b))
+    0.0 reference outputs
+
+let run_exact ~mode ?(repeat = 1) p =
+  let _ = require_toolchain () in
+  with_cache_dir @@ fun cache_dir ->
+  let inputs = inputs_for p in
+  let reference = Ir.Eval.run_outputs p (Ir.Eval.env_of_list inputs) in
+  match Exec.Native.run ~mode ~cache_dir ~repeat p inputs with
+  | Error d -> Alcotest.failf "native run failed: %s" (Kfuse_util.Diag.to_string d)
+  | Ok r ->
+    Alcotest.(check bool)
+      "requested mode used" true (r.Exec.Native.mode_used = mode);
+    Alcotest.(check int) "one sample per repeat" repeat
+      (List.length r.Exec.Native.samples_ms);
+    Alcotest.(check (float 0.0))
+      "bit-exact against the interpreter" 0.0
+      (max_diff reference r.Exec.Native.outputs);
+    r
+
+let test_native_dlopen_exact () =
+  let _, fused = fused_app "sobel" ~width:16 ~height:12 in
+  ignore (run_exact ~mode:Exec.Native.Dlopen fused)
+
+let test_native_subprocess_exact () =
+  let _, fused = fused_app "unsharp" ~width:16 ~height:12 in
+  ignore (run_exact ~mode:Exec.Native.Subprocess ~repeat:3 fused)
+
+let test_native_compile_cache () =
+  let _ = require_toolchain () in
+  let _, fused = fused_app "sobel" ~width:12 ~height:10 in
+  with_cache_dir @@ fun cache_dir ->
+  let inputs = inputs_for fused in
+  let once () =
+    match Exec.Native.run ~mode:Exec.Native.Dlopen ~cache_dir fused inputs with
+    | Error d -> Alcotest.failf "native run failed: %s" (Kfuse_util.Diag.to_string d)
+    | Ok r -> r
+  in
+  let first = once () in
+  let second = once () in
+  Alcotest.(check bool) "first run compiles" false first.Exec.Native.cached;
+  Alcotest.(check bool) "second run hits the cache" true second.Exec.Native.cached;
+  Alcotest.(check (float 0.0)) "cache hit spends nothing compiling" 0.0
+    second.Exec.Native.compile_ms;
+  Alcotest.(check string) "same artifact" first.Exec.Native.artifact
+    second.Exec.Native.artifact
+
+(* pow with a literal exponent of 2: the optimizer's pow(x,2) -> x*x
+   strength reduction is 1 ulp off glibc's pow, which the interpreter
+   calls.  -fno-builtin-pow keeps the compiled code on libm; this
+   pipeline diverged before that flag existed. *)
+let test_native_pow_faithful () =
+  let p =
+    Ir.Pipeline.create ~name:"powsq" ~width:24 ~height:17 ~inputs:[ "a"; "b" ]
+      [
+        Ir.Kernel.map ~name:"k" ~inputs:[ "a"; "b" ]
+          Ir.Expr.(Binop (Pow, (input "a" * input "b") + neg (input "a"), Const 2.0));
+      ]
+  in
+  ignore (run_exact ~mode:Exec.Native.Dlopen p);
+  ignore (run_exact ~mode:Exec.Native.Subprocess p)
+
+let test_native_bad_calls_raise () =
+  let _ = require_toolchain () in
+  let _, fused = fused_app "sobel" ~width:10 ~height:8 in
+  with_cache_dir @@ fun cache_dir ->
+  let wrong_extent =
+    [ ("in", Img.Image.const ~width:9 ~height:8 0.5) ]
+  in
+  (match Exec.Native.run ~cache_dir fused wrong_extent with
+  | exception Invalid_argument _ -> ()
+  | Ok _ -> Alcotest.fail "wrong-extent input accepted"
+  | Error d -> Alcotest.failf "expected Invalid_argument, got %s" (Kfuse_util.Diag.to_string d));
+  let inputs = inputs_for fused in
+  match Exec.Native.run ~cache_dir ~params:[ ("nope", 1.0) ] fused inputs with
+  | exception Invalid_argument _ -> ()
+  | Ok _ -> Alcotest.fail "unknown parameter override accepted"
+  | Error d -> Alcotest.failf "expected Invalid_argument, got %s" (Kfuse_util.Diag.to_string d)
+
+let test_mode_string_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "mode_of_string inverts mode_to_string" true
+        (Exec.Native.mode_of_string (Exec.Native.mode_to_string m) = Some m))
+    [ Exec.Native.Dlopen; Exec.Native.Subprocess ];
+  Alcotest.(check bool) "unknown mode rejected" true
+    (Exec.Native.mode_of_string "jit" = None)
+
+(* ---- the opt-in fuzz oracle ---- *)
+
+let test_oracle_native_exec () =
+  let _ = require_toolchain () in
+  let p =
+    Ir.Pipeline.create ~name:"orc" ~width:11 ~height:9 ~inputs:[ "src" ]
+      [
+        Ir.Kernel.map ~name:"g" ~inputs:[ "src" ]
+          (Ir.Expr.conv ~border:Img.Border.Mirror Img.Mask.gaussian_3x3 "src");
+        Ir.Kernel.map ~name:"sq" ~inputs:[ "g" ]
+          Ir.Expr.(Binop (Pow, input "g", Const 2.0));
+      ]
+  in
+  with_cache_dir @@ fun cache_dir ->
+  let r =
+    Fz.Oracle.check ~which:[ Fz.Oracle.Native_exec ] ~cache_dir F.Config.default p
+  in
+  (match r.Fz.Oracle.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "native oracle failed: %s" f.Fz.Oracle.detail);
+  Alcotest.(check bool) "name round-trips" true
+    (Fz.Oracle.name_of_string "native-exec" = Some Fz.Oracle.Native_exec);
+  Alcotest.(check bool) "opt-in: not in the default bank" false
+    (List.mem Fz.Oracle.Native_exec Fz.Oracle.all)
+
+let suite =
+  [
+    Alcotest.test_case "emit golden: map + reduce + broadcast" `Quick
+      test_emit_golden_map_reduce;
+    Alcotest.test_case "emit golden: double precision, tiled" `Quick
+      test_emit_golden_double_tiled;
+    Alcotest.test_case "emit golden: border helpers" `Quick test_emit_border_helpers;
+    Alcotest.test_case "emit: non-finite and negative literals" `Quick
+      test_emit_nonfinite_literals;
+    Alcotest.test_case "emit: nonpositive for-step rejected" `Quick
+      test_for_step_validated;
+    Alcotest.test_case "generated C compiles under -Wall -Werror" `Slow
+      test_emit_compiles_warning_free;
+    Alcotest.test_case "native dlopen matches interpreter bitwise" `Slow
+      test_native_dlopen_exact;
+    Alcotest.test_case "native subprocess matches interpreter bitwise" `Slow
+      test_native_subprocess_exact;
+    Alcotest.test_case "native compile cache hits" `Slow test_native_compile_cache;
+    Alcotest.test_case "pow(x,2) stays on libm (regression)" `Slow
+      test_native_pow_faithful;
+    Alcotest.test_case "malformed native calls raise" `Slow test_native_bad_calls_raise;
+    Alcotest.test_case "exec mode string roundtrip" `Quick test_mode_string_roundtrip;
+    Alcotest.test_case "fuzz oracle: native-exec" `Slow test_oracle_native_exec;
+  ]

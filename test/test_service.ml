@@ -95,6 +95,30 @@ let test_protocol_roundtrip () =
           budget_ms = None;
           no_cache = false;
         };
+      Protocol.Fuse_exec
+        {
+          Protocol.fuse =
+            {
+              Protocol.app = Some "sobel";
+              source = None;
+              strategy = Kfuse_fusion.Driver.Mincut;
+              c_mshared = None;
+              gamma = None;
+              tg = None;
+              optimize = true;
+              inline = false;
+              strict = false;
+              budget_ms = Some 500.0;
+              no_cache = false;
+            };
+          exec_mode = Some Kfuse_exec.Native.Subprocess;
+          width = Some 32;
+          height = Some 24;
+          seed = 7;
+          repeat = 2;
+          verify = true;
+          return_pixels = false;
+        };
     ]
   in
   List.iter
@@ -113,7 +137,26 @@ let test_protocol_roundtrip () =
   bad (Jsonx.Obj [ ("op", Jsonx.Str "fuse"); ("app", Jsonx.Num 3.0) ]);
   bad
     (Jsonx.Obj
-       [ ("op", Jsonx.Str "fuse"); ("app", Jsonx.Str "x"); ("source", Jsonx.Str "y") ])
+       [ ("op", Jsonx.Str "fuse"); ("app", Jsonx.Str "x"); ("source", Jsonx.Str "y") ]);
+  (* fuse_exec validation: width and height must come together, sizes
+     must be positive integers, exec_mode must be a known mode. *)
+  bad
+    (Jsonx.Obj
+       [ ("op", Jsonx.Str "fuse_exec"); ("app", Jsonx.Str "sobel"); ("width", Jsonx.Num 16.0) ]);
+  bad
+    (Jsonx.Obj
+       [
+         ("op", Jsonx.Str "fuse_exec");
+         ("app", Jsonx.Str "sobel");
+         ("repeat", Jsonx.Num 2.5);
+       ]);
+  bad
+    (Jsonx.Obj
+       [
+         ("op", Jsonx.Str "fuse_exec");
+         ("app", Jsonx.Str "sobel");
+         ("exec_mode", Jsonx.Str "jit");
+       ])
 
 (* ---- end-to-end server ---- *)
 
@@ -228,6 +271,69 @@ let test_error_responses_keep_serving () =
       Result.map (fun _ -> ()) (Svc.Client.fuse c (fuse_req "sobel")))
   |> expect_ok
 
+let test_fuse_exec_end_to_end () =
+  (* Plan + compile + native execution over the wire; needs a C
+     toolchain, so skip cleanly without one. *)
+  (match Kfuse_exec.Toolchain.find () with Error _ -> Alcotest.skip () | Ok _ -> ());
+  with_server @@ fun socket _server ->
+  let req =
+    {
+      Protocol.fuse = fuse_req "sobel";
+      exec_mode = None;
+      width = Some 16;
+      height = Some 12;
+      seed = 5;
+      repeat = 2;
+      verify = true;
+      return_pixels = true;
+    }
+  in
+  let reply =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req))
+  in
+  (* The native result is bit-exact against the interpreter. *)
+  Alcotest.(check bool) "verified exactly" true
+    (field "max_abs_diff" reply = Jsonx.Num 0.0);
+  let exec = field "exec" reply in
+  Alcotest.(check bool) "a known mode ran" true
+    (match field "mode" exec with
+    | Jsonx.Str s -> Kfuse_exec.Native.mode_of_string s <> None
+    | _ -> false);
+  Alcotest.(check bool) "one sample per repeat" true
+    (match field "samples_ms" exec with Jsonx.Arr l -> List.length l = 2 | _ -> false);
+  (match field "outputs" reply with
+  | Jsonx.Arr [ out ] ->
+    Alcotest.(check bool) "output extent" true
+      (field "width" out = Jsonx.Num 16.0 && field "height" out = Jsonx.Num 12.0);
+    Alcotest.(check bool) "pixels returned as rows" true
+      (match field "pixels" out with
+      | Jsonx.Arr rows ->
+        List.length rows = 12
+        && List.for_all
+             (function Jsonx.Arr cells -> List.length cells = 16 | _ -> false)
+             rows
+      | _ -> false)
+  | _ -> Alcotest.fail "expected exactly one output image");
+  (* Same plan again: the plan cache serves it, execution still works. *)
+  let again =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req))
+  in
+  Alcotest.(check bool) "plan cache hit on replay" true
+    (field "outcome" again = Jsonx.Str "hit");
+  (* width/height overrides are registry-only: DSL source is refused. *)
+  match
+    Svc.Client.with_connection ~socket (fun c ->
+        Svc.Client.fuse_exec c
+          {
+            req with
+            Protocol.fuse =
+              { (fuse_req "x") with Protocol.app = None; source = Some "k = in(0,0)" };
+          })
+  with
+  | Ok _ -> Alcotest.fail "size override on DSL source should fail"
+  | Error d ->
+    Alcotest.(check string) "typed protocol error" "KF0801" (Diag.code_id d.Diag.code)
+
 let test_accept_fault_degrades () =
   with_server @@ fun socket server ->
   Faults.with_spec "service.accept@1" (fun () ->
@@ -300,6 +406,8 @@ let suite =
       test_concurrent_clients;
     Alcotest.test_case "kfused: error responses keep the connection alive" `Quick
       test_error_responses_keep_serving;
+    Alcotest.test_case "kfused: fuse_exec plans, compiles and executes" `Slow
+      test_fuse_exec_end_to_end;
     Alcotest.test_case "kfused: service.accept fault drops one connection" `Quick
       test_accept_fault_degrades;
     Alcotest.test_case "kfused: stale socket replaced, live refused" `Quick
