@@ -766,7 +766,42 @@ let serve_cmd =
              in-flight requests finish for up to MS milliseconds, then \
              forcibly close the stragglers and remove the socket.")
   in
-  let run common socket capacity max_conns queue request_timeout_ms drain_timeout_ms =
+  let sandbox_arg =
+    let policy_conv =
+      Arg.conv
+        ( (fun s ->
+            match Exec.Supervisor.policy_of_string s with
+            | Some p -> Ok p
+            | None -> Error (`Msg "expected on, off or dlopen-trusted")),
+          fun ppf p -> Format.pp_print_string ppf (Exec.Supervisor.policy_to_string p) )
+    in
+    Arg.(
+      value
+      & opt policy_conv Exec.Supervisor.Sandboxed
+      & info [ "exec-sandbox" ] ~docv:"POLICY"
+          ~doc:
+            "How fuse_exec runs generated native code.  $(b,on) (default): \
+             every execution is a supervised fork/exec subprocess under \
+             rlimits and a deadline watchdog — a plan that segfaults, loops \
+             or exhausts memory yields a typed KF0905/KF0906/KF0907 reply \
+             and never harms the daemon.  $(b,dlopen-trusted): allow the \
+             fast in-process dlopen path (trusts codegen); subprocess runs \
+             keep their rlimits.  $(b,off): no sandbox, no circuit breaker.")
+  in
+  let crash_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory receiving crash artifacts: each native-execution \
+             failure saves the plan's pipeline as a fuzz-corpus-compatible \
+             .pipe file (seed, toolchain id and diagnostic in the header) \
+             that $(b,kfusec fuzz --corpus DIR) can replay and shrink.  \
+             Default: crash-corpus under the cache directory.")
+  in
+  let run common socket capacity max_conns queue request_timeout_ms drain_timeout_ms
+      exec_sandbox crash_dir =
     if common.app <> None || common.file <> None then begin
       Format.eprintf "kfusec: serve takes no pipeline; clients send them per request@.";
       1
@@ -781,7 +816,7 @@ let serve_cmd =
       let cache = Cache.Plan_cache.create ~capacity ?dir () in
       match
         Svc.Server.start ~socket ~cache ~pool ?budget_ms:common.budget_ms ~max_conns
-          ~queue ~request_timeout_ms ~drain_timeout_ms ()
+          ~queue ~request_timeout_ms ~drain_timeout_ms ~exec_sandbox ?crash_dir ()
       with
       | Error d -> fail_diag d
       | Ok server ->
@@ -792,10 +827,13 @@ let serve_cmd =
         List.iter
           (fun s -> try Sys.set_signal s graceful with Invalid_argument _ | Sys_error _ -> ())
           [ Sys.sigterm; Sys.sigint ];
-        Format.printf "kfused: listening on %s (cache %d entries%s, %d workers + %d queue)@."
+        Format.printf
+          "kfused: listening on %s (cache %d entries%s, %d workers + %d queue, exec \
+           sandbox %s)@."
           socket capacity
           (match dir with Some d -> ", disk tier " ^ d | None -> ", memory only")
-          max_conns queue;
+          max_conns queue
+          (Exec.Supervisor.policy_to_string exec_sandbox);
         Svc.Server.wait server;
         Format.printf "kfused: shut down@.";
         0
@@ -803,7 +841,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ common_term $ socket_arg $ capacity_arg $ max_conns_arg $ queue_arg
-      $ request_timeout_arg $ drain_timeout_arg)
+      $ request_timeout_arg $ drain_timeout_arg $ sandbox_arg $ crash_dir_arg)
 
 let query_cmd =
   let doc = "Send one request to a running kfused and print the reply." in

@@ -24,8 +24,118 @@
 #include <caml/signals.h>
 
 #include <dlfcn.h>
+#include <errno.h>
+#include <signal.h>
 #include <stdlib.h>
 #include <string.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+/* Sandboxed spawn for the exec supervisor.
+ *
+ * OCaml 5 forbids Unix.fork once other domains exist — and both kfused
+ * (its fusion-search Pool) and the test runner hold domain pools — so
+ * the fork happens here, entirely in C: between fork and exec the
+ * child runs only async-signal-safe libc calls (dup2, setrlimit,
+ * sigprocmask, execvp), never the OCaml runtime.  Every OCaml value is
+ * extracted into plain C memory *before* forking.
+ *
+ * Arguments:
+ *   vargv     : string array        — argv; argv[0] resolved via PATH
+ *   vfds      : fd * fd * fd        — stdin / stdout / stderr for the child
+ *   vlimits   : int array [3]       — RLIMIT_CPU (s), RLIMIT_AS (bytes),
+ *                                     RLIMIT_FSIZE (bytes); -1 = unlimited.
+ *                                     Soft and hard are both set, so the
+ *                                     child cannot raise them back.
+ *   vmisbehave: int                 — chaos: 0 none, 1 die with SIGSEGV,
+ *                                     2 hang forever, 3 exhaust a 64 MiB
+ *                                     private RLIMIT_AS and abort (the
+ *                                     generated kf_malloc's OOM signature)
+ *
+ * Returns the child pid; raises Failure when fork itself fails.  A
+ * failed setrlimit is deliberately non-fatal in the child: the parent's
+ * watchdog still covers it. */
+
+static void kfuse_child_rlimit(int resource, long lim)
+{
+  struct rlimit rl;
+  if (lim < 0) return;
+  rl.rlim_cur = (rlim_t)lim;
+  rl.rlim_max = (rlim_t)lim;
+  (void)setrlimit(resource, &rl);
+}
+
+value kfuse_spawn(value vargv, value vfds, value vlimits, value vmisbehave)
+{
+  CAMLparam4(vargv, vfds, vlimits, vmisbehave);
+  mlsize_t nargs = Wosize_val(vargv);
+  char **argv = calloc(nargs + 1, sizeof(char *));
+  if (argv == NULL) caml_failwith("kfuse_spawn: out of memory");
+  for (mlsize_t i = 0; i < nargs; i++) {
+    argv[i] = strdup(String_val(Field(vargv, i)));
+    if (argv[i] == NULL) {
+      for (mlsize_t j = 0; j < i; j++) free(argv[j]);
+      free(argv);
+      caml_failwith("kfuse_spawn: out of memory");
+    }
+  }
+  int fd_in = Int_val(Field(vfds, 0));
+  int fd_out = Int_val(Field(vfds, 1));
+  int fd_err = Int_val(Field(vfds, 2));
+  long cpu_s = Long_val(Field(vlimits, 0));
+  long mem_bytes = Long_val(Field(vlimits, 1));
+  long fsize_bytes = Long_val(Field(vlimits, 2));
+  int misbehave = Int_val(vmisbehave);
+
+  pid_t pid = fork();
+  if (pid == 0) {
+    /* Child.  The parent may have OCaml signal handlers (kfused's
+     * SIGTERM drain, the runtime's SIGSEGV stack-guard handler) and a
+     * thread signal mask; reset both so the watchdog's SIGTERM and the
+     * chaos signals behave as for a fresh process.  (exec would reset
+     * handlers anyway, but the misbehave paths never exec — and the
+     * blocked-signal mask *survives* exec.) */
+    sigset_t empty;
+    sigemptyset(&empty);
+    (void)sigprocmask(SIG_SETMASK, &empty, NULL);
+    (void)signal(SIGTERM, SIG_DFL);
+    (void)signal(SIGINT, SIG_DFL);
+    (void)signal(SIGSEGV, SIG_DFL);
+    (void)signal(SIGABRT, SIG_DFL);
+    (void)signal(SIGPIPE, SIG_DFL);
+    if (dup2(fd_in, 0) < 0 || dup2(fd_out, 1) < 0 || dup2(fd_err, 2) < 0)
+      _exit(127);
+    kfuse_child_rlimit(RLIMIT_CPU, cpu_s);
+    kfuse_child_rlimit(RLIMIT_AS, mem_bytes);
+    kfuse_child_rlimit(RLIMIT_FSIZE, fsize_bytes);
+    switch (misbehave) {
+    case 1:
+      raise(SIGSEGV);
+      _exit(0);
+    case 2:
+      for (;;) pause();
+    case 3:
+      kfuse_child_rlimit(RLIMIT_AS, 64L * 1024 * 1024);
+      for (;;)
+        if (malloc(4 * 1024 * 1024) == NULL) abort();
+    default:
+      break;
+    }
+    execvp(argv[0], argv);
+    _exit(127);
+  }
+
+  int saved_errno = errno;
+  for (mlsize_t i = 0; i < nargs; i++) free(argv[i]);
+  free(argv);
+  if (pid < 0) {
+    char msg[256];
+    snprintf(msg, sizeof msg, "fork: %s", strerror(saved_errno));
+    caml_failwith(msg);
+  }
+  CAMLreturn(Val_long(pid));
+}
 
 typedef void (*kfuse_entry_fn)(const double **, double **, const double *);
 

@@ -1,4 +1,5 @@
 module Diag = Kfuse_util.Diag
+module Deadline = Kfuse_util.Deadline
 module Image = Kfuse_image.Image
 module Kernel = Kfuse_ir.Kernel
 module Pipeline = Kfuse_ir.Pipeline
@@ -50,17 +51,6 @@ let now_ms () = Unix.gettimeofday () *. 1000.
 let write_file path contents =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
-
-let read_file_tail ?(limit = 4000) path =
-  match open_in_bin path with
-  | exception Sys_error _ -> ""
-  | ic ->
-    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-        let n = in_channel_length ic in
-        let keep = min n limit in
-        seek_in ic (n - keep);
-        let s = really_input_string ic keep in
-        if keep < n then "[... truncated ...]\n" ^ s else s)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -241,28 +231,40 @@ let compile ?cache_dir ?tile ~mode (p : Pipeline.t) =
       let tmp = Printf.sprintf "%s.tmp.%d" dest (Unix.getpid ()) in
       let err_path = Printf.sprintf "%s.log.%d" dest (Unix.getpid ()) in
       let argv =
-        Toolchain.flags tc ~shared:(mode = Dlopen) @ [ "-o"; tmp; src_path; "-lm" ]
+        (tc.Toolchain.cc :: Toolchain.flags tc ~shared:(mode = Dlopen))
+        @ [ "-o"; tmp; src_path; "-lm" ]
       in
-      let cmd =
-        Filename.quote_command tc.Toolchain.cc argv ~stdout:Filename.null ~stderr:err_path
+      (* Supervised fork/exec — no shell — with a wall cap so a wedged
+         compiler cannot hang the daemon.  No rlimits: compilers
+         legitimately need memory, and [fault_injection:false] keeps an
+         armed [exec.*] chaos point aimed at executions, not at the
+         compiler. *)
+      let r =
+        Supervisor.run
+          ~limits:{ Supervisor.no_limits with Supervisor.wall_ms = Some 120_000. }
+          ~fault_injection:false ~stderr_path:err_path ~argv ()
       in
-      let t0 = now_ms () in
-      let rc = Sys.command cmd in
-      let dt = now_ms () -. t0 in
-      let log = read_file_tail err_path in
+      let log = r.Supervisor.stderr_tail in
       (try Sys.remove err_path with Sys_error _ -> ());
-      if rc <> 0 then begin
+      match r.Supervisor.status with
+      | Error f ->
         (try Sys.remove tmp with Sys_error _ -> ());
+        let reason =
+          match f with
+          | Supervisor.Nonzero_exit { code } -> Printf.sprintf "exited with %d" code
+          | Supervisor.Timeout { wall_ms; _ } ->
+            Printf.sprintf "timed out after %.0f ms" wall_ms
+          | Supervisor.Crashed { signal } -> "crashed with " ^ signal
+          | Supervisor.Limit { what; _ } -> "exceeded " ^ what
+          | Supervisor.Spawn_failed { reason } -> reason
+        in
         Error
-          (Diag.errorf Diag.Compile_failed
-             "%s exited with %d compiling generated C (%s):\n%s" tc.Toolchain.cc rc
-             src_path log)
-      end
-      else begin
+          (Diag.errorf Diag.Compile_failed "%s %s compiling generated C (%s):\n%s"
+             tc.Toolchain.cc reason src_path log)
+      | Ok () ->
         (* Atomic publish: concurrent builders race benignly on rename. *)
         Sys.rename tmp dest;
-        Ok (dest, dt, false)
-      end
+        Ok (dest, r.Supervisor.wall_ms, false)
     end
 
 (* {1 Marshalling} *)
@@ -329,7 +331,16 @@ let finish_outputs (p : Pipeline.t) out_names bufs =
 
 (* {1 Execution} *)
 
-let exec_dlopen ~artifact ~repeat (p : Pipeline.t) inputs pvals =
+(* The request deadline is honored between [repeat] timing samples in
+   both modes, so a large [repeat] cannot blow past the service's
+   [--request-timeout-ms]: the sample loop stops with KF0905 instead of
+   running the full schedule. *)
+let sample_deadline_diag ~artifact ~done_ ~repeat =
+  Diag.errorf Diag.Exec_timeout
+    "request deadline expired after %d of %d timing samples of compiled plan %s" done_ repeat
+    artifact
+
+let exec_dlopen ~deadline ~limits:_ ~artifact ~repeat (p : Pipeline.t) inputs pvals =
   let npix = p.Pipeline.width * p.Pipeline.height in
   let out_names = Pipeline.outputs p in
   let ins =
@@ -349,16 +360,24 @@ let exec_dlopen ~artifact ~repeat (p : Pipeline.t) inputs pvals =
           Error (Diag.errorf Diag.Exec_failed "dlsym(%s, kfuse_entry): %s" artifact msg)
         | entry ->
           let samples = ref [] in
-          for _ = 1 to repeat do
-            let t0 = now_ms () in
-            dl_call entry ins outs pars;
-            samples := (now_ms () -. t0) :: !samples
+          let expired = ref false in
+          for i = 1 to repeat do
+            if not !expired then
+              if i > 1 && Deadline.expired deadline then expired := true
+              else begin
+                let t0 = now_ms () in
+                dl_call entry ins outs pars;
+                samples := (now_ms () -. t0) :: !samples
+              end
           done;
-          Ok (finish_outputs p out_names outs, List.rev !samples))
+          if !expired then
+            Error
+              (sample_deadline_diag ~artifact ~done_:(List.length !samples) ~repeat)
+          else Ok (finish_outputs p out_names outs, List.rev !samples))
 
 let pack_float64 buf f = Buffer.add_int64_ne buf (Int64.bits_of_float f)
 
-let exec_subprocess ~artifact ~repeat (p : Pipeline.t) inputs pvals =
+let exec_subprocess ~deadline ~limits ~artifact ~repeat (p : Pipeline.t) inputs pvals =
   let npix = p.Pipeline.width * p.Pipeline.height in
   let out_names = Pipeline.outputs p in
   let n_out = List.length out_names in
@@ -372,27 +391,26 @@ let exec_subprocess ~artifact ~repeat (p : Pipeline.t) inputs pvals =
         p.Pipeline.inputs;
       List.iter (pack_float64 buf) pvals;
       write_file in_path (Buffer.contents buf);
-      let cmd =
-        Filename.quote_command artifact [ in_path; out_path ] ~stdout:Filename.null
-          ~stderr:err_path
-      in
+      (* Each sample is a supervised fork/exec child (no shell): rlimits
+         between fork and exec, a watchdog on the request deadline, and
+         typed KF0905/KF0906/KF0907 classification when it dies. *)
+      let argv = [ artifact; in_path; out_path ] in
       let samples = ref [] in
       let failed = ref None in
-      (try
-         for _ = 1 to repeat do
-           if !failed = None then begin
-             let t0 = now_ms () in
-             let rc = Sys.command cmd in
-             if rc <> 0 then
-               failed :=
-                 Some
-                   (Diag.errorf Diag.Exec_failed
-                      "compiled plan %s exited with %d:\n%s" artifact rc
-                      (read_file_tail err_path))
-             else samples := (now_ms () -. t0) :: !samples
-           end
-         done
-       with Sys_error msg -> failed := Some (Diag.errorf Diag.Exec_failed "%s" msg));
+      for i = 1 to repeat do
+        if !failed = None then
+          if i > 1 && Deadline.expired deadline then
+            failed :=
+              Some (sample_deadline_diag ~artifact ~done_:(List.length !samples) ~repeat)
+          else begin
+            let r = Supervisor.run ~deadline ~limits ~stderr_path:err_path ~argv () in
+            match
+              Supervisor.failure_diag ~what:(Printf.sprintf "compiled plan %s" artifact) r
+            with
+            | Some d -> failed := Some d
+            | None -> samples := r.Supervisor.wall_ms :: !samples
+          end
+      done;
       match !failed with
       | Some d -> Error d
       | None -> (
@@ -422,14 +440,15 @@ let exec_subprocess ~artifact ~repeat (p : Pipeline.t) inputs pvals =
 
 let min_sample = function [] -> 0. | s :: rest -> List.fold_left min s rest
 
-let run_mode ~mode ~tile ~cache_dir ~repeat ~warnings (p : Pipeline.t) inputs pvals =
+let run_mode ~mode ~tile ~cache_dir ~repeat ~deadline ~limits ~warnings (p : Pipeline.t)
+    inputs pvals =
   match compile ?cache_dir ?tile ~mode p with
   | Error d -> Error d
   | Ok (artifact, compile_ms, cached) -> (
     let exec =
       match mode with Dlopen -> exec_dlopen | Subprocess -> exec_subprocess
     in
-    match exec ~artifact ~repeat p inputs pvals with
+    match exec ~deadline ~limits ~artifact ~repeat p inputs pvals with
     | Error d -> Error d
     | Ok (outputs, samples_ms) ->
       Ok
@@ -444,11 +463,14 @@ let run_mode ~mode ~tile ~cache_dir ~repeat ~warnings (p : Pipeline.t) inputs pv
           warnings;
         })
 
-let run ?mode ?tile ?cache_dir ?(params = []) ?(repeat = 1) (p : Pipeline.t) inputs =
+let run ?mode ?tile ?cache_dir ?(params = []) ?(repeat = 1) ?(deadline = Deadline.none)
+    ?(limits = Supervisor.no_limits) (p : Pipeline.t) inputs =
   if repeat < 1 then invalid_arg "Native.run: repeat must be positive";
   check_inputs p inputs;
   let pvals = param_values p params in
-  let go ~mode ~warnings = run_mode ~mode ~tile ~cache_dir ~repeat ~warnings p inputs pvals in
+  let go ~mode ~warnings =
+    run_mode ~mode ~tile ~cache_dir ~repeat ~deadline ~limits ~warnings p inputs pvals
+  in
   match mode with
   | Some m -> go ~mode:m ~warnings:[]
   | None -> (

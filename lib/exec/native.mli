@@ -26,16 +26,24 @@
     hit skips the compiler entirely.  The generated source is kept next
     to each artifact for debugging.
 
+    Both the compiler invocation and every {!Subprocess} execution are
+    supervised fork/exec children ({!Supervisor}) — no shell anywhere —
+    so they can be killed on a deadline and, when [limits] are given,
+    sandboxed with rlimits.
+
     Failures are typed: no toolchain is [KF0902]
     ({!Kfuse_util.Diag.Toolchain_missing}), a compiler rejection is
     [KF0903] ({!Kfuse_util.Diag.Compile_failed}, carrying the
     compiler's stderr), and load/run failures are [KF0904]
-    ({!Kfuse_util.Diag.Exec_failed}).  Malformed {e calls} — inputs
-    that do not bind exactly the pipeline's input names at the
+    ({!Kfuse_util.Diag.Exec_failed}); a supervised execution that the
+    watchdog kills, that dies on a signal, or that hits an rlimit is
+    [KF0905]/[KF0906]/[KF0907] (see {!Supervisor}).  Malformed {e calls}
+    — inputs that do not bind exactly the pipeline's input names at the
     pipeline's extents, unknown parameter overrides — raise
     [Invalid_argument], mirroring {!Kfuse_ir.Eval.run}. *)
 
 module Diag := Kfuse_util.Diag
+module Deadline := Kfuse_util.Deadline
 module Image := Kfuse_image.Image
 module Pipeline := Kfuse_ir.Pipeline
 
@@ -78,14 +86,25 @@ val compile :
   Pipeline.t ->
   (string * float * bool, Diag.t) result
 
-(** [run ?mode ?tile ?cache_dir ?params ?repeat p inputs] compiles (or
-    reuses) the artifact and executes it on [inputs].
+(** [run ?mode ?tile ?cache_dir ?params ?repeat ?deadline ?limits p
+    inputs] compiles (or reuses) the artifact and executes it on
+    [inputs].
 
     [inputs] must bind exactly [p.inputs], each of the pipeline's
     extent.  [params] overrides pipeline parameter defaults by name.
     [repeat] (default 1) executes the plan that many times over the
     same buffers — [exec_ms] is the fastest sample, for benchmarking;
     outputs come from the last run.
+
+    [deadline] (default {!Deadline.none}) bounds the whole execution:
+    it is checked between [repeat] timing samples in both modes (a
+    large [repeat] stops early with [KF0905] instead of overrunning),
+    and in {!Subprocess} mode it also feeds the supervisor's watchdog,
+    so a wedged child is killed rather than outlived.  [limits]
+    (default {!Supervisor.no_limits}) applies rlimits to {!Subprocess}
+    children; {!Dlopen} runs in-process and cannot be resource-capped —
+    that is exactly why [kfused] defaults to the sandboxed subprocess
+    path.
 
     When [mode] is omitted the backend tries {!Dlopen} and falls back
     to {!Subprocess} if the shared object cannot be loaded, recording
@@ -97,6 +116,8 @@ val run :
   ?cache_dir:string ->
   ?params:(string * float) list ->
   ?repeat:int ->
+  ?deadline:Deadline.t ->
+  ?limits:Supervisor.limits ->
   Pipeline.t ->
   (string * Image.t) list ->
   (run_result, Diag.t) result

@@ -21,7 +21,13 @@
       samples, default 1), ["verify"] (compare against the reference
       interpreter and report ["max_abs_diff"]), ["return_pixels"]
       (inline each output's pixel rows — small extents only, the reply
-      must fit {!max_frame}).
+      must fit {!max_frame}).  Under the server's default sandbox
+      policy the requested ["exec_mode"] is overridden by the
+      supervised subprocess path (the reply's ["exec"] object says
+      ["sandboxed"]: true); an execution that times out, crashes, or
+      hits a resource limit is a typed [KF0905]/[KF0906]/[KF0907]
+      error, and a quarantined plan answers with
+      ["exec"."mode" = "interpreter"] and ["quarantined"]: true.
     - [{"op":"stats"}] — cache + latency counters as JSON.
     - [{"op":"metrics"}] — Prometheus-style text exposition (in the
       ["text"] field of the response).

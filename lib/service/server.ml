@@ -9,6 +9,8 @@ module F = Kfuse_fusion
 module Ir = Kfuse_ir
 module Image = Kfuse_image.Image
 module Native = Kfuse_exec.Native
+module Supervisor = Kfuse_exec.Supervisor
+module Toolchain = Kfuse_exec.Toolchain
 
 type t = {
   socket_path : string;
@@ -19,6 +21,14 @@ type t = {
   request_timeout_ms : float;  (* <= 0. disables deadlines and socket timeouts *)
   drain_timeout_ms : float;
   metrics : Metrics.t;
+  (* Native-execution safety net: how generated code is run
+     ([exec_sandbox]), the rlimits applied to sandboxed children, where
+     crash artifacts are persisted, and the per-fingerprint circuit
+     breaker that quarantines plans that keep crashing. *)
+  exec_sandbox : Supervisor.policy;
+  exec_limits : Supervisor.limits;
+  crash_dir : string;
+  breaker : Supervisor.Breaker.t;
   started_at : float;
   stopping : bool Atomic.t;
   (* Set by [signal_stop] — possibly from a signal handler, so it must
@@ -198,6 +208,58 @@ let output_json ~return_pixels (name, img) =
   in
   Jsonx.Obj (base @ pixels)
 
+(* A quarantined plan still answers: the interpreter computes the
+   pixels, the reply carries ["mode" = "interpreter"] plus a warning, so
+   degradation is visible but not fatal — PR 2's degradation contract
+   applied to native execution. *)
+let interpreter_fallback t ~served ~warning ~verify ~return_pixels p inputs =
+  Metrics.incr t.metrics "native_exec_fallbacks";
+  let t0 = Unix.gettimeofday () in
+  let outputs = Ir.Eval.run_outputs p (Ir.Eval.env_of_list inputs) in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Protocol.ok
+    (plan_fields served
+    @ [
+        ( "exec",
+          Jsonx.Obj
+            [
+              ("mode", Jsonx.Str "interpreter");
+              ("quarantined", Jsonx.Bool true);
+              ("artifact", Jsonx.Str "");
+              ("artifact_cached", Jsonx.Bool false);
+              ("compile_ms", Jsonx.Num 0.0);
+              ("exec_ms", Jsonx.Num ms);
+              ("samples_ms", Jsonx.Arr [ Jsonx.Num ms ]);
+              ("warnings", Jsonx.Arr [ Jsonx.Str (Diag.to_string warning) ]);
+            ] );
+        ("outputs", Jsonx.Arr (List.map (output_json ~return_pixels) outputs));
+      ]
+    (* The fallback *is* the interpreter, so a requested verify is
+       trivially exact. *)
+    @ if verify then [ ("max_abs_diff", Jsonx.Num 0.0) ] else [])
+
+(* Account a supervised-execution failure: counters, a crash artifact
+   for the fuzzer to shrink, and (when the breaker is in play) a strike
+   that may quarantine the fingerprint. *)
+let record_exec_failure t ~use_breaker ~fp ~seed p (d : Diag.t) =
+  (match d.Diag.code with
+  | Diag.Exec_timeout -> Metrics.incr t.metrics "native_exec_timeouts"
+  | Diag.Exec_crashed -> Metrics.incr t.metrics "native_exec_crashes"
+  | Diag.Exec_limit -> Metrics.incr t.metrics "native_exec_limits"
+  | _ -> ());
+  let toolchain =
+    match Toolchain.find () with Ok tc -> Toolchain.id tc | Error _ -> "unknown"
+  in
+  (match Supervisor.save_crash_artifact ~dir:t.crash_dir ~seed ~toolchain ~diag:d p with
+  | Ok _ | Error _ -> ());
+  if use_breaker && Supervisor.Breaker.record_failure t.breaker fp d then
+    Metrics.incr_gauge t.metrics "quarantined_plans"
+
+let is_supervised_failure (d : Diag.t) =
+  match d.Diag.code with
+  | Diag.Exec_timeout | Diag.Exec_crashed | Diag.Exec_limit -> true
+  | _ -> false
+
 let handle_fuse_exec t ~deadline (e : Protocol.fuse_exec_request) =
   let size =
     match (e.Protocol.width, e.Protocol.height) with
@@ -227,52 +289,93 @@ let handle_fuse_exec t ~deadline (e : Protocol.fuse_exec_request) =
       let cache_dir =
         Option.map (fun d -> Filename.concat d "native") (Plan_cache.dir t.cache)
       in
-      match
-        Native.run ?mode:e.Protocol.exec_mode ?cache_dir ~repeat:e.Protocol.repeat p
-          inputs
-      with
-      | Error d -> Protocol.error d
-      | Ok res ->
-        let verify_fields =
-          if not e.Protocol.verify then []
-          else begin
-            (* Both sides sort outputs by name, so positional zip holds. *)
-            let reference = Ir.Eval.run_outputs p (Ir.Eval.env_of_list inputs) in
-            let diff =
-              List.fold_left2
-                (fun acc (_, want) (_, got) -> Float.max acc (Image.max_abs_diff want got))
-                0.0 reference res.Native.outputs
-            in
-            [ ("max_abs_diff", Jsonx.Num diff) ]
-          end
+      let fp = Fingerprint.exact p in
+      let use_breaker = t.exec_sandbox <> Supervisor.Unsandboxed in
+      let verdict =
+        if use_breaker then Supervisor.Breaker.check t.breaker fp
+        else Supervisor.Breaker.Allow
+      in
+      match verdict with
+      | Supervisor.Breaker.Quarantined qd ->
+        let warning =
+          Diag.warningf Diag.Exec_failed
+            "plan quarantined after %d consecutive native failures (last: %s); served by \
+             the interpreter"
+            (Supervisor.Breaker.threshold t.breaker)
+            (Diag.to_string qd)
         in
-        Protocol.ok
-          (plan_fields served
-          @ [
-              ( "exec",
-                Jsonx.Obj
-                  [
-                    ("mode", Jsonx.Str (Native.mode_to_string res.Native.mode_used));
-                    ("artifact", Jsonx.Str res.Native.artifact);
-                    ("artifact_cached", Jsonx.Bool res.Native.cached);
-                    ("compile_ms", Jsonx.Num res.Native.compile_ms);
-                    ("exec_ms", Jsonx.Num res.Native.exec_ms);
-                    ( "samples_ms",
-                      Jsonx.Arr (List.map (fun s -> Jsonx.Num s) res.Native.samples_ms)
-                    );
-                    ( "warnings",
-                      Jsonx.Arr
-                        (List.map
-                           (fun d -> Jsonx.Str (Diag.to_string d))
-                           res.Native.warnings) );
-                  ] );
-              ( "outputs",
-                Jsonx.Arr
-                  (List.map
-                     (output_json ~return_pixels:e.Protocol.return_pixels)
-                     res.Native.outputs) );
-            ]
-          @ verify_fields)))
+        interpreter_fallback t ~served ~warning ~verify:e.Protocol.verify
+          ~return_pixels:e.Protocol.return_pixels p inputs
+      | Supervisor.Breaker.Allow | Supervisor.Breaker.Probe -> (
+        let result =
+          match t.exec_sandbox with
+          | Supervisor.Sandboxed ->
+            (* The only sandboxable mode is the supervised subprocess:
+               an in-process dlopen cannot be resource-capped or killed.
+               A requested dlopen mode is overridden, visibly
+               ("sandboxed": true in the reply). *)
+            Native.run ~mode:Native.Subprocess ~deadline ~limits:t.exec_limits ?cache_dir
+              ~repeat:e.Protocol.repeat p inputs
+          | Supervisor.Dlopen_trusted ->
+            (* Codegen is trusted in-process; subprocess runs (explicit
+               or fallback) still get the supervisor's rlimits. *)
+            Native.run ?mode:e.Protocol.exec_mode ~deadline ~limits:t.exec_limits
+              ?cache_dir ~repeat:e.Protocol.repeat p inputs
+          | Supervisor.Unsandboxed ->
+            Native.run ?mode:e.Protocol.exec_mode ~deadline ?cache_dir
+              ~repeat:e.Protocol.repeat p inputs
+        in
+        match result with
+        | Error d when is_supervised_failure d ->
+          record_exec_failure t ~use_breaker ~fp ~seed:e.Protocol.seed p d;
+          Protocol.error d
+        | Error d -> Protocol.error d
+        | Ok res ->
+          if use_breaker && Supervisor.Breaker.record_success t.breaker fp then
+            Metrics.decr_gauge t.metrics "quarantined_plans";
+          let verify_fields =
+            if not e.Protocol.verify then []
+            else begin
+              (* Both sides sort outputs by name, so positional zip holds. *)
+              let reference = Ir.Eval.run_outputs p (Ir.Eval.env_of_list inputs) in
+              let diff =
+                List.fold_left2
+                  (fun acc (_, want) (_, got) -> Float.max acc (Image.max_abs_diff want got))
+                  0.0 reference res.Native.outputs
+              in
+              [ ("max_abs_diff", Jsonx.Num diff) ]
+            end
+          in
+          Protocol.ok
+            (plan_fields served
+            @ [
+                ( "exec",
+                  Jsonx.Obj
+                    [
+                      ("mode", Jsonx.Str (Native.mode_to_string res.Native.mode_used));
+                      ( "sandboxed",
+                        Jsonx.Bool (t.exec_sandbox = Supervisor.Sandboxed) );
+                      ("quarantined", Jsonx.Bool false);
+                      ("artifact", Jsonx.Str res.Native.artifact);
+                      ("artifact_cached", Jsonx.Bool res.Native.cached);
+                      ("compile_ms", Jsonx.Num res.Native.compile_ms);
+                      ("exec_ms", Jsonx.Num res.Native.exec_ms);
+                      ( "samples_ms",
+                        Jsonx.Arr (List.map (fun s -> Jsonx.Num s) res.Native.samples_ms)
+                      );
+                      ( "warnings",
+                        Jsonx.Arr
+                          (List.map
+                             (fun d -> Jsonx.Str (Diag.to_string d))
+                             res.Native.warnings) );
+                    ] );
+                ( "outputs",
+                  Jsonx.Arr
+                    (List.map
+                       (output_json ~return_pixels:e.Protocol.return_pixels)
+                       res.Native.outputs) );
+              ]
+            @ verify_fields))))
 
 let stats_json t =
   let c = Plan_cache.stats t.cache in
@@ -337,6 +440,18 @@ let stats_json t =
             ("queue", Jsonx.Num (float_of_int t.queue_bound));
             ("request_timeout_ms", Jsonx.Num t.request_timeout_ms);
             ("drain_timeout_ms", Jsonx.Num t.drain_timeout_ms);
+          ] );
+      ( "native_exec",
+        Jsonx.Obj
+          [
+            ("sandbox", Jsonx.Str (Supervisor.policy_to_string t.exec_sandbox));
+            ("crashes", count "native_exec_crashes");
+            ("timeouts", count "native_exec_timeouts");
+            ("limit_hits", count "native_exec_limits");
+            ("fallbacks", count "native_exec_fallbacks");
+            ( "quarantined",
+              Jsonx.Num (float_of_int (Metrics.gauge t.metrics "quarantined_plans")) );
+            ("crash_dir", Jsonx.Str t.crash_dir);
           ] );
     ]
 
@@ -583,12 +698,20 @@ let claim_socket path =
       Error (Diag.errorf ~file:path Diag.Io_error "cannot probe socket: %s" (Unix.error_message e)))
   | _ -> Error (Diag.errorf ~file:path Diag.Io_error "exists and is not a socket")
 
+let default_crash_dir () = Filename.concat (Plan_cache.default_dir ()) "crash-corpus"
+
 let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
-    ?(request_timeout_ms = 30_000.0) ?(drain_timeout_ms = 5_000.0) () =
+    ?(request_timeout_ms = 30_000.0) ?(drain_timeout_ms = 5_000.0)
+    ?(exec_sandbox = Supervisor.Sandboxed) ?(exec_limits = Supervisor.default_limits)
+    ?crash_dir ?(breaker_threshold = 3) ?(breaker_cooldown_ms = 60_000.0) () =
   if max_conns < 1 then
     Error (Diag.errorf Diag.Config_invalid "max_conns must be >= 1 (got %d)" max_conns)
   else if queue < 0 then
     Error (Diag.errorf Diag.Config_invalid "queue must be >= 0 (got %d)" queue)
+  else if breaker_threshold < 1 then
+    Error
+      (Diag.errorf Diag.Config_invalid "breaker_threshold must be >= 1 (got %d)"
+         breaker_threshold)
   else
     match claim_socket path with
     | Error _ as e -> e
@@ -610,9 +733,11 @@ let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
         List.iter (Metrics.touch metrics)
           [
             "connections_accepted"; "connections_dropped"; "requests_shed";
-            "requests_timed_out"; "protocol_errors";
+            "requests_timed_out"; "protocol_errors"; "native_exec_crashes";
+            "native_exec_timeouts"; "native_exec_limits"; "native_exec_fallbacks";
           ];
         Metrics.adjust_gauge metrics "connections_active" 0;
+        Metrics.adjust_gauge metrics "quarantined_plans" 0;
         let t =
           {
             socket_path = path;
@@ -623,6 +748,13 @@ let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
             request_timeout_ms;
             drain_timeout_ms;
             metrics;
+            exec_sandbox;
+            exec_limits;
+            crash_dir =
+              (match crash_dir with Some d -> d | None -> default_crash_dir ());
+            breaker =
+              Supervisor.Breaker.create ~threshold:breaker_threshold
+                ~cooldown_ms:breaker_cooldown_ms ();
             started_at = Unix.gettimeofday ();
             stopping = Atomic.make false;
             stop_requested = Atomic.make false;

@@ -24,11 +24,28 @@
     error reply.  Chaos fault points ({!Kfuse_util.Faults.hit}) let
     tests and CI prove each degradation: ["service.accept"] drops one
     connection ([connections_dropped]), ["service.shed"] forces an
-    admission shed ([requests_shed]), and ["proto.torn_frame"] /
+    admission shed ([requests_shed]), ["proto.torn_frame"] /
     ["proto.slow_write"] / ["proto.drop_reply"] corrupt, delay, or
-    swallow one reply without wedging the worker. *)
+    swallow one reply without wedging the worker, and ["exec.crash"] /
+    ["exec.hang"] / ["exec.oom"] make a supervised native execution
+    misbehave.
+
+    Native execution is sandboxed by default
+    ([exec_sandbox = Supervisor.Sandboxed]): generated code runs as a
+    supervised fork/exec child under rlimits and a deadline watchdog
+    ({!Kfuse_exec.Supervisor}), so a [fuse_exec] whose generated code
+    segfaults, loops, or exhausts memory yields a typed
+    [KF0905]/[KF0906]/[KF0907] reply — never a dead or wedged daemon.
+    Each such failure writes a crash artifact (a fuzz-corpus-compatible
+    [.pipe] file) under [crash_dir] and strikes a per-fingerprint
+    circuit breaker: after [breaker_threshold] consecutive failures the
+    plan is quarantined ([quarantined_plans] gauge) and subsequent
+    requests degrade to the {!Kfuse_ir.Eval} interpreter
+    (["mode" = "interpreter"] plus a warning in the reply) until a
+    half-open probe after [breaker_cooldown_ms] succeeds. *)
 
 module Diag := Kfuse_util.Diag
+module Supervisor := Kfuse_exec.Supervisor
 
 type t
 
@@ -47,7 +64,16 @@ type t
     per-request wall-clock deadline and socket timeout.
     [drain_timeout_ms] (default 5s) bounds how long {!wait} lets
     in-flight handlers finish before forcibly shutting their
-    connections down. *)
+    connections down.
+
+    [exec_sandbox] (default {!Supervisor.Sandboxed}) selects how
+    [fuse_exec] runs generated code; [exec_limits] (default
+    {!Supervisor.default_limits}) are the rlimits for sandboxed
+    children.  [crash_dir] (default [crash-corpus] under
+    {!Kfuse_cache.Plan_cache.default_dir}) receives crash artifacts.
+    [breaker_threshold] (default 3, >= 1) consecutive supervised
+    failures quarantine a plan fingerprint; [breaker_cooldown_ms]
+    (default 60s) is the quarantine period before a half-open probe. *)
 val start :
   socket:string ->
   cache:Kfuse_cache.Plan_cache.t ->
@@ -57,6 +83,11 @@ val start :
   ?queue:int ->
   ?request_timeout_ms:float ->
   ?drain_timeout_ms:float ->
+  ?exec_sandbox:Supervisor.policy ->
+  ?exec_limits:Supervisor.limits ->
+  ?crash_dir:string ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_ms:float ->
   unit ->
   (t, Diag.t) result
 

@@ -26,6 +26,9 @@ type code =
   | Toolchain_missing
   | Compile_failed
   | Exec_failed
+  | Exec_timeout
+  | Exec_crashed
+  | Exec_limit
   | Internal_error
 
 type context = { file : string option; line : int option; col : int option }
@@ -60,6 +63,9 @@ let code_id = function
   | Toolchain_missing -> "KF0902"
   | Compile_failed -> "KF0903"
   | Exec_failed -> "KF0904"
+  | Exec_timeout -> "KF0905"
+  | Exec_crashed -> "KF0906"
+  | Exec_limit -> "KF0907"
   | Internal_error -> "KF0999"
 
 let all_codes =
@@ -69,7 +75,8 @@ let all_codes =
     Global_consumed; Unbound_param; Empty_pipeline; Invalid_partition;
     Strategy_failed; Budget_exceeded; Cache_corrupt; Protocol_error;
     Service_error; Overloaded; Request_timeout; Fault_injected;
-    Toolchain_missing; Compile_failed; Exec_failed; Internal_error;
+    Toolchain_missing; Compile_failed; Exec_failed; Exec_timeout;
+    Exec_crashed; Exec_limit; Internal_error;
   ]
 
 let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes

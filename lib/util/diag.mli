@@ -56,6 +56,18 @@ type code =
   | Exec_failed
       (** KF0904: a compiled fused plan could not be loaded or run
           (dlopen/dlsym failure, crashed subprocess, truncated output) *)
+  | Exec_timeout
+      (** KF0905: a supervised native execution overran its wall-clock
+          deadline and was killed by the watchdog (SIGTERM, escalated to
+          SIGKILL if it refused to die) *)
+  | Exec_crashed
+      (** KF0906: a supervised native execution died on a crash signal
+          (SIGSEGV, SIGBUS, SIGFPE, ...); the message carries the signal
+          name and a capped stderr tail *)
+  | Exec_limit
+      (** KF0907: a supervised native execution exceeded a sandbox
+          resource limit — RLIMIT_CPU, RLIMIT_AS (allocation failure
+          under the cap) or RLIMIT_FSIZE *)
   | Internal_error  (** KF0999: invariant violation inside the compiler *)
 
 type context = {

@@ -37,6 +37,17 @@
     - ["proto.drop_reply"] — at each [kfused] reply; a triggered fault
       swallows the reply and closes the connection, so the client must
       time out or see a clean close, never hang
+    - ["exec.crash"] — per supervised native execution ({!fires}, drawn
+      in the parent before fork); a triggered fault makes the child die
+      with SIGSEGV instead of exec'ing, so the supervisor must classify
+      a KF0906 and the service must count/quarantine it
+    - ["exec.hang"] — per supervised native execution; the child sleeps
+      forever instead of exec'ing, so the watchdog must SIGTERM→SIGKILL
+      it into a KF0905
+    - ["exec.oom"] — per supervised native execution; the child
+      exhausts a tiny private RLIMIT_AS and aborts the way the
+      generated allocator does, so the supervisor must classify a
+      KF0907
 
     The registry is global and guarded by a mutex; {!hit} is safe to
     call from any domain. *)

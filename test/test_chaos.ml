@@ -13,6 +13,7 @@ module Protocol = Svc.Protocol
 module Cache = Kfuse_cache
 module Faults = Kfuse_util.Faults
 module Diag = Kfuse_util.Diag
+module Sup = Kfuse_exec.Supervisor
 
 let code_of (d : Diag.t) = Diag.code_id d.Diag.code
 
@@ -20,13 +21,27 @@ let temp_socket () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "kfused-chaos-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
 
-let with_server ?max_conns ?queue ?request_timeout_ms ?drain_timeout_ms f =
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let with_server ?max_conns ?queue ?request_timeout_ms ?drain_timeout_ms ?exec_limits
+    ?crash_dir ?breaker_threshold ?breaker_cooldown_ms f =
   let socket = temp_socket () in
   let cache = Cache.Plan_cache.create () in
+  (* Exec chaos tests pass an explicit throwaway [crash_dir]; everything
+     else gets one too, so no test pollutes the operator's real
+     crash-corpus directory. *)
+  let crash_dir =
+    match crash_dir with Some d -> d | None -> temp_dir "kfuse-chaos-crash"
+  in
   Kfuse_util.Pool.with_pool 2 (fun pool ->
       match
         Svc.Server.start ~socket ~cache ~pool ?max_conns ?queue ?request_timeout_ms
-          ?drain_timeout_ms ()
+          ?drain_timeout_ms ?exec_limits ~crash_dir ?breaker_threshold
+          ?breaker_cooldown_ms ()
       with
       | Error d -> Alcotest.failf "server start failed: %s" (Diag.to_string d)
       | Ok server ->
@@ -227,6 +242,213 @@ let test_oversized_send_refused () =
   | _ -> Alcotest.fail "bytes were written for a refused frame"
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
 
+(* ---- exec chaos: the supervised native path ---- *)
+
+module Ir = Kfuse_ir
+module Img = Kfuse_image
+module F = Kfuse_fusion
+
+let require_toolchain () =
+  match Kfuse_exec.Toolchain.find () with Error _ -> Alcotest.skip () | Ok _ -> ()
+
+let exec_req ?(seed = 42) ?(repeat = 1) ?(verify = false) ?(return_pixels = false) ?width
+    ?height app =
+  {
+    Protocol.fuse = fuse_req app;
+    exec_mode = None;
+    width;
+    height;
+    seed;
+    repeat;
+    verify;
+    return_pixels;
+  }
+
+(* The reference the server must match when it degrades to the
+   interpreter: the same registry app at the same extent, fused with the
+   same defaults, over inputs synthesized from the same seed. *)
+let local_reference ~app ~width ~height ~seed =
+  let entry = Option.get (Kfuse_apps.Registry.find app) in
+  let p = entry.Kfuse_apps.Registry.small ~width ~height in
+  let fused = (F.Driver.run F.Config.default F.Driver.Mincut p).F.Driver.fused in
+  let rng = Kfuse_util.Rng.create seed in
+  let inputs =
+    List.map
+      (fun n -> (n, Img.Image.random rng ~width ~height ~lo:0.0 ~hi:1.0))
+      fused.Ir.Pipeline.inputs
+  in
+  Ir.Eval.run_outputs fused (Ir.Eval.env_of_list inputs)
+
+let num = function
+  | Jsonx.Num n -> n
+  | v -> Alcotest.failf "expected a number, got %s" (Jsonx.to_string v)
+
+let check_pixels_match reference reply =
+  let outputs =
+    match field "outputs" reply with
+    | Jsonx.Arr outs -> outs
+    | v -> Alcotest.failf "outputs is not an array: %s" (Jsonx.to_string v)
+  in
+  Alcotest.(check int) "output count" (List.length reference) (List.length outputs);
+  List.iter2
+    (fun (name, img) out ->
+      (match field "name" out with
+      | Jsonx.Str n -> Alcotest.(check string) "output name" name n
+      | v -> Alcotest.failf "name is not a string: %s" (Jsonx.to_string v));
+      match field "pixels" out with
+      | Jsonx.Arr rows ->
+        List.iteri
+          (fun y row ->
+            match row with
+            | Jsonx.Arr cells ->
+              List.iteri
+                (fun x cell ->
+                  Alcotest.(check (float 0.0))
+                    (Printf.sprintf "%s[%d,%d] bit-exact" name x y)
+                    (Img.Image.get img x y) (num cell))
+                cells
+            | v -> Alcotest.failf "row is not an array: %s" (Jsonx.to_string v))
+          rows
+      | v -> Alcotest.failf "pixels missing: %s" (Jsonx.to_string v))
+    reference outputs
+
+let counter server name = Svc.Metrics.counter (Svc.Server.metrics server) name
+let gauge server name = Svc.Metrics.gauge (Svc.Server.metrics server) name
+
+let test_exec_crash_quarantine () =
+  (* Every native execution of the plan segfaults (exec.crash on every
+     hit): the daemon answers each with a typed KF0906, trips the
+     breaker at the threshold, then serves the quarantined plan through
+     the interpreter — bit-exact against a local reference — and stays
+     alive throughout. *)
+  require_toolchain ();
+  let crash_dir = temp_dir "kfuse-chaos-crash" in
+  with_server ~breaker_threshold:2 ~crash_dir @@ fun socket server ->
+  let req = exec_req ~width:8 ~height:6 "sobel" in
+  Faults.with_spec "exec.crash/1" (fun () ->
+      for attempt = 1 to 2 do
+        match Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req) with
+        | Ok _ -> Alcotest.failf "attempt %d: crashing exec must be a typed error" attempt
+        | Error d ->
+          Alcotest.(check string)
+            (Printf.sprintf "attempt %d crashes typed" attempt)
+            "KF0906" (code_of d)
+      done;
+      Alcotest.(check int) "crashes counted" 2 (counter server "native_exec_crashes");
+      Alcotest.(check int) "breaker tripped" 1 (gauge server "quarantined_plans");
+      (* Third request: still armed, but the quarantined plan never
+         reaches the native path — the interpreter answers. *)
+      let reply =
+        expect_ok
+          (Svc.Client.with_connection ~socket (fun c ->
+               Svc.Client.fuse_exec c { req with Protocol.verify = true; return_pixels = true }))
+      in
+      let ex = field "exec" reply in
+      Alcotest.(check bool) "served by the interpreter" true
+        (Jsonx.member "mode" ex = Some (Jsonx.Str "interpreter"));
+      Alcotest.(check bool) "marked quarantined" true
+        (Jsonx.member "quarantined" ex = Some (Jsonx.Bool true));
+      Alcotest.(check (float 0.0)) "verify is trivially exact" 0.0
+        (num (field "max_abs_diff" reply));
+      check_pixels_match (local_reference ~app:"sobel" ~width:8 ~height:6 ~seed:42) reply;
+      Alcotest.(check int) "fallback counted" 1 (counter server "native_exec_fallbacks"));
+  (* Crash forensics: the failing plan was persisted as a corpus entry. *)
+  let artifacts =
+    Array.to_list (Sys.readdir crash_dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".pipe")
+  in
+  Alcotest.(check int) "one crash artifact for one fingerprint" 1 (List.length artifacts);
+  (* Faults cleared, but the cooldown (default 60 s) has not elapsed:
+     the plan stays quarantined rather than stampeding the native path. *)
+  let reply =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req))
+  in
+  Alcotest.(check bool) "still quarantined after the storm" true
+    (Jsonx.member "quarantined" (field "exec" reply) = Some (Jsonx.Bool true));
+  (* And the daemon never died. *)
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+let test_exec_hang_watchdog () =
+  (* A hanging execution is reaped by the watchdog within the configured
+     wall cap and surfaces as KF0905; the next (clean) request runs
+     natively, sandboxed, below the breaker threshold. *)
+  require_toolchain ();
+  with_server ~exec_limits:{ Sup.default_limits with Sup.wall_ms = Some 400. }
+  @@ fun socket server ->
+  let req = exec_req ~width:8 ~height:6 "unsharp" in
+  Faults.with_spec "exec.hang@1" (fun () ->
+      match Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req) with
+      | Ok _ -> Alcotest.fail "hanging exec must be a typed error"
+      | Error d -> Alcotest.(check string) "watchdog timeout typed" "KF0905" (code_of d));
+  Alcotest.(check int) "timeout counted" 1 (counter server "native_exec_timeouts");
+  Alcotest.(check int) "one failure does not quarantine" 0
+    (gauge server "quarantined_plans");
+  let reply =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req))
+  in
+  let ex = field "exec" reply in
+  Alcotest.(check bool) "recovered natively" true
+    (Jsonx.member "mode" ex = Some (Jsonx.Str "subprocess"));
+  Alcotest.(check bool) "sandboxed by default" true
+    (Jsonx.member "sandboxed" ex = Some (Jsonx.Bool true));
+  Alcotest.(check bool) "not quarantined" true
+    (Jsonx.member "quarantined" ex = Some (Jsonx.Bool false))
+
+let test_exec_oom_limit () =
+  (* exec.oom exhausts a tiny private RLIMIT_AS and aborts the way the
+     generated allocator does: the service classifies KF0907 and counts
+     a limit hit. *)
+  require_toolchain ();
+  with_server @@ fun socket server ->
+  let req = exec_req ~width:8 ~height:6 "sobel" in
+  Faults.with_spec "exec.oom@1" (fun () ->
+      match Svc.Client.with_connection ~socket (fun c -> Svc.Client.fuse_exec c req) with
+      | Ok _ -> Alcotest.fail "OOM exec must be a typed error"
+      | Error d -> Alcotest.(check string) "limit typed" "KF0907" (code_of d));
+  Alcotest.(check int) "limit counted" 1 (counter server "native_exec_limits");
+  expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.ping c))
+
+let test_exec_crash_storm () =
+  (* Concurrent clients under an every-2nd-execution crash storm: every
+     call returns (a native answer or a typed KFxxxx), the daemon drains
+     clean and still answers stats. *)
+  require_toolchain ();
+  with_server ~max_conns:4 ~queue:4 ~breaker_threshold:100 @@ fun socket server ->
+  Faults.with_spec "exec.crash/2" (fun () ->
+      let results = Array.make 3 [] in
+      let client i =
+        Thread.create
+          (fun () ->
+            for _ = 1 to 2 do
+              let r =
+                Svc.Client.call ~socket ~timeout_ms:60_000.0
+                  (Protocol.Fuse_exec (exec_req ~width:8 ~height:6 "sobel"))
+              in
+              results.(i) <- r :: results.(i)
+            done)
+          ()
+      in
+      let threads = List.init 3 client in
+      List.iter Thread.join threads;
+      Array.iter
+        (fun rs ->
+          Alcotest.(check int) "every call returned" 2 (List.length rs);
+          List.iter
+            (function
+              | Ok _ -> ()
+              | Error d ->
+                Alcotest.(check string) "failures are typed crashes" "KF0906" (code_of d))
+            rs)
+        results);
+  Alcotest.(check bool) "crashes were injected" true
+    (counter server "native_exec_crashes" >= 1);
+  let stats =
+    expect_ok (Svc.Client.with_connection ~socket (fun c -> Svc.Client.stats c))
+  in
+  match field "native_exec" stats with
+  | Jsonx.Obj _ -> ()
+  | v -> Alcotest.failf "stats lack native_exec accounting: %s" (Jsonx.to_string v)
+
 (* ---- drain and the hammer ---- *)
 
 let test_drain_under_load () =
@@ -344,4 +566,12 @@ let suite =
       test_drain_under_load;
     Alcotest.test_case "chaos: multi-fault hammer, every call returns typed" `Quick
       test_chaos_hammer;
+    Alcotest.test_case "chaos: exec.crash storm trips quarantine, interpreter answers"
+      `Slow test_exec_crash_quarantine;
+    Alcotest.test_case "chaos: exec.hang reaped by the watchdog as KF0905" `Slow
+      test_exec_hang_watchdog;
+    Alcotest.test_case "chaos: exec.oom classified as a KF0907 limit" `Slow
+      test_exec_oom_limit;
+    Alcotest.test_case "chaos: concurrent exec.crash storm, daemon survives" `Slow
+      test_exec_crash_storm;
   ]

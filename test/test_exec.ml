@@ -295,6 +295,318 @@ let test_mode_string_roundtrip () =
   Alcotest.(check bool) "unknown mode rejected" true
     (Exec.Native.mode_of_string "jit" = None)
 
+(* ---- the exec supervisor ---- *)
+
+module Sup = Exec.Supervisor
+module Faults = Kfuse_util.Faults
+module Deadline = Kfuse_util.Deadline
+
+let expect_failure (r : Sup.run) =
+  match r.Sup.status with
+  | Ok () -> Alcotest.fail "expected a supervised failure"
+  | Error f -> f
+
+let diag_code (r : Sup.run) =
+  match Sup.failure_diag ~what:"fixture" r with
+  | None -> Alcotest.fail "expected a failure diagnostic"
+  | Some d -> Kfuse_util.Diag.code_id d.Kfuse_util.Diag.code
+
+(* Compile a deliberately misbehaving C fixture with the probed
+   toolchain — through the supervisor itself, so no shell appears
+   anywhere in the test. *)
+let compile_fixture name source =
+  let t = require_toolchain () in
+  let dir = Filename.temp_file "kfuse_sup" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let src = Filename.concat dir (name ^ ".c") in
+  let bin = Filename.concat dir name in
+  Out_channel.with_open_text src (fun oc -> output_string oc source);
+  let r =
+    Sup.run ~fault_injection:false
+      ~limits:{ Sup.no_limits with Sup.wall_ms = Some 60_000. }
+      ~argv:[ t.Exec.Toolchain.cc; "-O0"; "-o"; bin; src ]
+      ()
+  in
+  (match r.Sup.status with
+  | Ok () -> ()
+  | Error _ -> Alcotest.failf "fixture %s failed to compile: %s" name r.Sup.stderr_tail);
+  bin
+
+let test_supervisor_crash_kf0906 () =
+  let bin =
+    compile_fixture "crasher"
+      "int main(void) { volatile int *p = 0; *p = 1; return 0; }\n"
+  in
+  let r = Sup.run ~fault_injection:false ~argv:[ bin ] () in
+  (match expect_failure r with
+  | Sup.Crashed { signal } ->
+    Alcotest.(check string) "crash signal named" "SIGSEGV" signal
+  | _ -> Alcotest.fail "expected Crashed");
+  Alcotest.(check string) "typed KF0906" "KF0906" (diag_code r)
+
+let test_supervisor_timeout_kf0905 () =
+  let bin = compile_fixture "looper" "int main(void) { for (;;); return 0; }\n" in
+  let r =
+    Sup.run ~fault_injection:false
+      ~limits:{ Sup.no_limits with Sup.wall_ms = Some 300. }
+      ~argv:[ bin ] ()
+  in
+  (match expect_failure r with
+  | Sup.Timeout { wall_ms; _ } ->
+    Alcotest.(check bool) "watchdog fired near the cap" true (wall_ms >= 250.);
+    Alcotest.(check bool) "and actually killed the child" true (wall_ms < 5_000.)
+  | _ -> Alcotest.fail "expected Timeout");
+  Alcotest.(check string) "typed KF0905" "KF0905" (diag_code r)
+
+let test_supervisor_oom_kf0907 () =
+  let bin =
+    compile_fixture "oomer"
+      "#include <stdlib.h>\n#include <string.h>\n\
+       int main(void) {\n\
+      \  for (;;) { void *p = malloc(1 << 22); if (!p) abort(); memset(p, 1, 1 << 22); }\n\
+       }\n"
+  in
+  let r =
+    Sup.run ~fault_injection:false
+      ~limits:
+        {
+          Sup.no_limits with
+          Sup.wall_ms = Some 30_000.;
+          Sup.mem_bytes = Some (64 * 1024 * 1024);
+        }
+      ~argv:[ bin ] ()
+  in
+  (match expect_failure r with
+  | Sup.Limit { what; _ } ->
+    Alcotest.(check bool) "names the address-space limit" true
+      (contains "RLIMIT_AS" what)
+  | _ -> Alcotest.fail "expected Limit");
+  Alcotest.(check string) "typed KF0907" "KF0907" (diag_code r)
+
+let test_supervisor_cpu_limit_kf0907 () =
+  let bin = compile_fixture "spinner" "int main(void) { for (;;); return 0; }\n" in
+  let r =
+    Sup.run ~fault_injection:false
+      ~limits:
+        { Sup.no_limits with Sup.wall_ms = Some 30_000.; Sup.cpu_s = Some 1 }
+      ~argv:[ bin ] ()
+  in
+  (match expect_failure r with
+  | Sup.Limit { what; _ } ->
+    Alcotest.(check bool) "names the CPU limit" true (contains "RLIMIT_CPU" what)
+  | _ -> Alcotest.fail "expected Limit");
+  Alcotest.(check string) "typed KF0907" "KF0907" (diag_code r)
+
+let test_supervisor_exit_and_spawn () =
+  (* No toolchain needed: exit codes and spawn failures classify without
+     compiling anything. *)
+  let r = Sup.run ~fault_injection:false ~argv:[ "false" ] () in
+  (match expect_failure r with
+  | Sup.Nonzero_exit { code } -> Alcotest.(check int) "exit code" 1 code
+  | _ -> Alcotest.fail "expected Nonzero_exit");
+  Alcotest.(check string) "nonzero exit stays KF0904" "KF0904" (diag_code r);
+  let r = Sup.run ~fault_injection:false ~argv:[ "/nonexistent/kfuse-no-such" ] () in
+  (match expect_failure r with
+  | Sup.Spawn_failed _ -> ()
+  | _ -> Alcotest.fail "expected Spawn_failed");
+  let r = Sup.run ~fault_injection:false ~argv:[] () in
+  match expect_failure r with
+  | Sup.Spawn_failed { reason } ->
+    Alcotest.(check string) "empty argv refused" "empty argv" reason
+  | _ -> Alcotest.fail "expected Spawn_failed on empty argv"
+
+let test_supervisor_expired_deadline () =
+  (* An already-expired deadline must not even spawn the child. *)
+  let r =
+    Sup.run ~fault_injection:false ~deadline:(Deadline.after_ms 0.) ~argv:[ "false" ] ()
+  in
+  (match expect_failure r with
+  | Sup.Timeout { wall_ms; escalated } ->
+    Alcotest.(check (float 0.0)) "no wall time spent" 0.0 wall_ms;
+    Alcotest.(check bool) "nothing to escalate" false escalated
+  | _ -> Alcotest.fail "expected Timeout");
+  Alcotest.(check string) "typed KF0905" "KF0905" (diag_code r)
+
+let test_supervisor_stderr_tail () =
+  (* A real child's stderr is captured... *)
+  let r = Sup.run ~fault_injection:false ~argv:[ "ls"; "/nonexistent/kfuse-tail" ] () in
+  (match r.Sup.status with
+  | Error (Sup.Nonzero_exit _) -> ()
+  | _ -> Alcotest.fail "expected ls to fail");
+  Alcotest.(check bool) "stderr captured" true (String.length r.Sup.stderr_tail > 0);
+  (* ... and the tail is capped at 4 KiB with a truncation marker. *)
+  let path = Filename.temp_file "kfuse_tail" ".err" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (String.make 10_000 'x');
+      output_string oc "THE-END");
+  let tail = Sup.read_tail path in
+  Alcotest.(check bool) "capped" true
+    (String.length tail <= Sup.stderr_tail_limit + 32);
+  Alcotest.(check bool) "marked truncated" true (contains "truncated" tail);
+  Alcotest.(check bool) "keeps the end of the stream" true (contains "THE-END" tail)
+
+let test_exec_fault_points () =
+  (* The exec.* chaos points misbehave in the child, so no toolchain and
+     no real crashing binary are needed: the victim argv is /bin/true. *)
+  Faults.with_spec "exec.crash@1" (fun () ->
+      let r = Sup.run ~argv:[ "true" ] () in
+      match expect_failure r with
+      | Sup.Crashed { signal } -> Alcotest.(check string) "chaos crash" "SIGSEGV" signal
+      | _ -> Alcotest.fail "exec.crash: expected Crashed");
+  Faults.with_spec "exec.hang@1" (fun () ->
+      let r =
+        Sup.run ~limits:{ Sup.no_limits with Sup.wall_ms = Some 200. } ~argv:[ "true" ] ()
+      in
+      (match expect_failure r with
+      | Sup.Timeout _ -> ()
+      | _ -> Alcotest.fail "exec.hang: expected Timeout");
+      Alcotest.(check string) "typed KF0905" "KF0905" (diag_code r));
+  Faults.with_spec "exec.oom@1" (fun () ->
+      let r = Sup.run ~argv:[ "true" ] () in
+      (match expect_failure r with
+      | Sup.Limit _ -> ()
+      | _ -> Alcotest.fail "exec.oom: expected Limit");
+      Alcotest.(check string) "typed KF0907" "KF0907" (diag_code r));
+  (* The compile path runs with fault injection off: an armed point must
+     not fire there. *)
+  Faults.with_spec "exec.crash@1" (fun () ->
+      let r = Sup.run ~fault_injection:false ~argv:[ "true" ] () in
+      match r.Sup.status with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "fault_injection:false must ignore armed points")
+
+let test_breaker_lifecycle () =
+  let b = Sup.Breaker.create ~threshold:2 ~cooldown_ms:50. () in
+  let d = Kfuse_util.Diag.errorf Kfuse_util.Diag.Exec_crashed "fixture crash" in
+  let expect what verdict =
+    match (Sup.Breaker.check b "fp", verdict) with
+    | Sup.Breaker.Allow, `Allow
+    | Sup.Breaker.Probe, `Probe
+    | Sup.Breaker.Quarantined _, `Quarantined ->
+      ()
+    | got, _ ->
+      Alcotest.failf "%s: unexpected verdict %s" what
+        (match got with
+        | Sup.Breaker.Allow -> "Allow"
+        | Sup.Breaker.Probe -> "Probe"
+        | Sup.Breaker.Quarantined _ -> "Quarantined")
+  in
+  expect "fresh fingerprint" `Allow;
+  Alcotest.(check bool) "first failure does not trip" false
+    (Sup.Breaker.record_failure b "fp" d);
+  expect "below threshold" `Allow;
+  Alcotest.(check bool) "threshold failure trips" true
+    (Sup.Breaker.record_failure b "fp" d);
+  Alcotest.(check int) "one quarantined plan" 1 (Sup.Breaker.quarantined b);
+  expect "tripped" `Quarantined;
+  Thread.delay 0.08;
+  expect "after cooldown" `Probe;
+  expect "second caller during the probe window" `Quarantined;
+  (* A failed probe re-arms the cooldown without re-tripping. *)
+  Alcotest.(check bool) "failed probe is not a new trip" false
+    (Sup.Breaker.record_failure b "fp" d);
+  expect "re-armed" `Quarantined;
+  Thread.delay 0.08;
+  expect "second probe" `Probe;
+  Alcotest.(check bool) "successful probe closes" true (Sup.Breaker.record_success b "fp");
+  Alcotest.(check int) "nothing quarantined" 0 (Sup.Breaker.quarantined b);
+  expect "closed again" `Allow;
+  (* Success on a closed breaker is not a close edge; interleaved
+     successes keep resetting the consecutive-failure count. *)
+  Alcotest.(check bool) "no close edge when already closed" false
+    (Sup.Breaker.record_success b "fp");
+  ignore (Sup.Breaker.record_failure b "fp" d);
+  ignore (Sup.Breaker.record_success b "fp");
+  Alcotest.(check bool) "failure count was reset by the success" false
+    (Sup.Breaker.record_failure b "fp" d);
+  (* reset_all clears open state and the gauge base. *)
+  ignore (Sup.Breaker.record_failure b "fp" d);
+  Alcotest.(check int) "tripped again" 1 (Sup.Breaker.quarantined b);
+  Sup.Breaker.reset_all b;
+  Alcotest.(check int) "reset_all closes everything" 0 (Sup.Breaker.quarantined b);
+  expect "after reset_all" `Allow;
+  match Sup.Breaker.create ~threshold:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold 0 accepted"
+
+let test_crash_artifact_roundtrip () =
+  let p =
+    Ir.Pipeline.create ~name:"artifact" ~width:8 ~height:6 ~inputs:[ "src" ]
+      [ Ir.Kernel.map ~name:"m" ~inputs:[ "src" ] Ir.Expr.(input "src" * Const 2.0) ]
+  in
+  let diag = Kfuse_util.Diag.errorf Kfuse_util.Diag.Exec_crashed "fixture crashed with SIGSEGV" in
+  let dir = Filename.temp_file "kfuse_crashdir" "" in
+  Sys.remove dir;
+  let path =
+    match Sup.save_crash_artifact ~dir ~seed:7 ~toolchain:"cc-fixture" ~diag p with
+    | Ok path -> path
+    | Error e -> Alcotest.failf "save_crash_artifact failed: %s" e
+  in
+  (* Idempotent per pipeline: a second save is the same file. *)
+  (match Sup.save_crash_artifact ~dir ~seed:7 ~toolchain:"cc-fixture" ~diag p with
+  | Ok again -> Alcotest.(check string) "idempotent" path again
+  | Error e -> Alcotest.failf "second save failed: %s" e);
+  (* The artifact is a loadable fuzz-corpus entry carrying provenance. *)
+  match Fz.Corpus.load_file path with
+  | Error e -> Alcotest.failf "corpus cannot load the crash artifact: %s" e
+  | Ok entry ->
+    Alcotest.(check (option int)) "seed recorded" (Some 7) entry.Fz.Corpus.seed;
+    Alcotest.(check (option string)) "oracle recorded" (Some "exec-supervisor")
+      entry.Fz.Corpus.oracle;
+    (match entry.Fz.Corpus.detail with
+    | Some d ->
+      Alcotest.(check bool) "detail carries the diagnostic" true (contains "KF0906" d);
+      Alcotest.(check bool) "detail carries the toolchain id" true
+        (contains "cc-fixture" d)
+    | None -> Alcotest.fail "detail missing");
+    let norm q = Kfuse_cache.Fingerprint.structural (Fz.Corpus.normalize q) in
+    Alcotest.(check string) "pipeline round-trips" (norm p)
+      (norm entry.Fz.Corpus.pipeline)
+
+let test_deadline_between_samples () =
+  let _ = require_toolchain () in
+  let _, fused = fused_app "sobel" ~width:12 ~height:10 in
+  with_cache_dir @@ fun cache_dir ->
+  let inputs = inputs_for fused in
+  (* Warm the artifact cache so the deadline check hits the sampling
+     loop, not the compile. *)
+  (match Exec.Native.run ~mode:Exec.Native.Dlopen ~cache_dir fused inputs with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "warm-up failed: %s" (Kfuse_util.Diag.to_string d));
+  (* Dlopen: sample 1 always runs, the deadline check between samples
+     stops the loop with a typed KF0905 naming the progress made. *)
+  (match
+     Exec.Native.run ~mode:Exec.Native.Dlopen ~cache_dir
+       ~deadline:(Deadline.after_ms 0.) ~repeat:3 fused inputs
+   with
+  | Ok _ -> Alcotest.fail "expired deadline should stop the sampling loop"
+  | Error d ->
+    Alcotest.(check string) "typed KF0905" "KF0905"
+      (Kfuse_util.Diag.code_id d.Kfuse_util.Diag.code);
+    Alcotest.(check bool) "names the sample progress" true
+      (contains "timing samples" (Kfuse_util.Diag.to_string d)));
+  (* Subprocess: the supervisor refuses to even spawn under an expired
+     deadline. *)
+  match
+    Exec.Native.run ~mode:Exec.Native.Subprocess ~cache_dir
+      ~deadline:(Deadline.after_ms 0.) fused inputs
+  with
+  | Ok _ -> Alcotest.fail "expired deadline should stop the subprocess run"
+  | Error d ->
+    Alcotest.(check string) "typed KF0905" "KF0905"
+      (Kfuse_util.Diag.code_id d.Kfuse_util.Diag.code)
+
+let test_policy_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "policy_of_string inverts policy_to_string" true
+        (Sup.policy_of_string (Sup.policy_to_string p) = Some p))
+    [ Sup.Sandboxed; Sup.Dlopen_trusted; Sup.Unsandboxed ];
+  Alcotest.(check bool) "unknown policy rejected" true (Sup.policy_of_string "chroot" = None)
+
 (* ---- the opt-in fuzz oracle ---- *)
 
 let test_oracle_native_exec () =
@@ -342,5 +654,29 @@ let suite =
       test_native_pow_faithful;
     Alcotest.test_case "malformed native calls raise" `Slow test_native_bad_calls_raise;
     Alcotest.test_case "exec mode string roundtrip" `Quick test_mode_string_roundtrip;
+    Alcotest.test_case "supervisor: crash classifies KF0906" `Slow
+      test_supervisor_crash_kf0906;
+    Alcotest.test_case "supervisor: watchdog timeout classifies KF0905" `Slow
+      test_supervisor_timeout_kf0905;
+    Alcotest.test_case "supervisor: RLIMIT_AS abort classifies KF0907" `Slow
+      test_supervisor_oom_kf0907;
+    Alcotest.test_case "supervisor: RLIMIT_CPU classifies KF0907" `Slow
+      test_supervisor_cpu_limit_kf0907;
+    Alcotest.test_case "supervisor: nonzero exit and spawn failures" `Quick
+      test_supervisor_exit_and_spawn;
+    Alcotest.test_case "supervisor: expired deadline never spawns" `Quick
+      test_supervisor_expired_deadline;
+    Alcotest.test_case "supervisor: stderr tail captured and capped" `Quick
+      test_supervisor_stderr_tail;
+    Alcotest.test_case "supervisor: exec.* chaos fault points" `Quick
+      test_exec_fault_points;
+    Alcotest.test_case "supervisor: circuit breaker lifecycle" `Quick
+      test_breaker_lifecycle;
+    Alcotest.test_case "supervisor: crash artifact is a corpus entry" `Quick
+      test_crash_artifact_roundtrip;
+    Alcotest.test_case "native: deadline between timing samples" `Slow
+      test_deadline_between_samples;
+    Alcotest.test_case "sandbox policy string roundtrip" `Quick
+      test_policy_string_roundtrip;
     Alcotest.test_case "fuzz oracle: native-exec" `Slow test_oracle_native_exec;
   ]
