@@ -800,8 +800,33 @@ let serve_cmd =
              that $(b,kfusec fuzz --corpus DIR) can replay and shrink.  \
              Default: crash-corpus under the cache directory.")
   in
+  let max_streams_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-streams" ] ~docv:"N"
+          ~doc:
+            "Concurrently open stream sessions; a stream_open beyond this is \
+             shed with a typed KF0803 reply.")
+  in
+  let stream_queue_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "stream-queue" ] ~docv:"N"
+          ~doc:
+            "Per-session in-flight push bound; a stream_push beyond it is \
+             shed with KF0805 before touching the stream's temporal state, \
+             so the client can retry the frame verbatim.")
+  in
+  let stream_idle_arg =
+    Arg.(
+      value & opt float 60_000.0
+      & info [ "stream-idle-ms" ] ~docv:"MS"
+          ~doc:
+            "Idle-expiry horizon: sessions untouched for MS milliseconds are \
+             reaped lazily, releasing their pinned native plan.  0 disables.")
+  in
   let run common socket capacity max_conns queue request_timeout_ms drain_timeout_ms
-      exec_sandbox crash_dir =
+      exec_sandbox crash_dir max_streams stream_queue stream_idle_ms =
     if common.app <> None || common.file <> None then begin
       Format.eprintf "kfusec: serve takes no pipeline; clients send them per request@.";
       1
@@ -816,7 +841,8 @@ let serve_cmd =
       let cache = Cache.Plan_cache.create ~capacity ?dir () in
       match
         Svc.Server.start ~socket ~cache ~pool ?budget_ms:common.budget_ms ~max_conns
-          ~queue ~request_timeout_ms ~drain_timeout_ms ~exec_sandbox ?crash_dir ()
+          ~queue ~request_timeout_ms ~drain_timeout_ms ~exec_sandbox ?crash_dir
+          ~max_streams ~stream_queue ~stream_idle_ms ()
       with
       | Error d -> fail_diag d
       | Ok server ->
@@ -841,7 +867,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ common_term $ socket_arg $ capacity_arg $ max_conns_arg $ queue_arg
-      $ request_timeout_arg $ drain_timeout_arg $ sandbox_arg $ crash_dir_arg)
+      $ request_timeout_arg $ drain_timeout_arg $ sandbox_arg $ crash_dir_arg
+      $ max_streams_arg $ stream_queue_arg $ stream_idle_arg)
 
 let query_cmd =
   let doc = "Send one request to a running kfused and print the reply." in
@@ -1010,6 +1037,479 @@ let query_cmd =
       $ inline_arg $ no_cache_arg $ timeout_arg $ retries_arg $ retry_backoff_arg
       $ exec_mode_arg $ width_arg $ height_arg $ seed_arg $ repeat_arg $ verify_arg
       $ pixels_arg)
+
+(* ---- stream: sustained frame-rate streaming against kfused ---- *)
+
+(* One synthetic stream's worth of client work: open, push [frames]
+   paced frames, close.  Per-frame latency (including any shed-retry
+   backoff — the client-perceived number) goes through [record]. *)
+type stream_outcome = {
+  so_ok : int;
+  so_retried : int;  (* frames that needed at least one shed retry *)
+  so_failed : int;
+  so_wall_s : float;
+  so_error : Diag.t option;  (* first hard failure *)
+}
+
+let drive_stream ~socket ~timeout_ms ~retries ~backoff_ms ~fps ~frames ~verify ~record
+    (open_req : Svc.Protocol.stream_open_request) =
+  Svc.Client.with_connection ~socket ?timeout_ms @@ fun c ->
+  match Svc.Client.stream_open c open_req with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match Svc.Jsonx.mem_str "id" reply with
+    | None -> Error (Diag.v Diag.Protocol_error "stream_open reply lacks \"id\"")
+    | Some id ->
+      let push_req = { Svc.Protocol.id; verify; return_pixels = false } in
+      let rng = Kfuse_util.Rng.create open_req.Svc.Protocol.seed in
+      let ok = ref 0 and retried = ref 0 and failed = ref 0 in
+      let first_err = ref None in
+      let t_start = Unix.gettimeofday () in
+      for f = 0 to frames - 1 do
+        (* Pace against the stream's epoch, not the previous frame, so a
+           slow frame is followed by catch-up rather than drift. *)
+        if fps > 0.0 then begin
+          let due = t_start +. (float_of_int f /. fps) in
+          let now = Unix.gettimeofday () in
+          if due > now then Thread.delay (due -. now)
+        end;
+        let t0 = Unix.gettimeofday () in
+        (* Retry only explicit sheds (KF0803/KF0805): the server rejects
+           those before touching temporal state, so the frame can be
+           re-pushed verbatim.  A KF0804 timeout may have been
+           processed; retrying could double-advance the stream. *)
+        let rec push attempt =
+          match Svc.Client.stream_push c push_req with
+          | Ok _ ->
+            if attempt > 0 then incr retried;
+            incr ok;
+            record ((Unix.gettimeofday () -. t0) *. 1000.)
+          | Error d -> (
+            match d.Diag.code with
+            | (Diag.Overloaded | Diag.Stream_backpressure) when attempt < retries ->
+              let step =
+                Float.min (backoff_ms *. (2.0 ** float_of_int attempt)) 2_000.0
+              in
+              Thread.delay (step *. (0.5 +. Kfuse_util.Rng.float rng 0.5) /. 1000.0);
+              push (attempt + 1)
+            | _ ->
+              incr failed;
+              if !first_err = None then first_err := Some d)
+        in
+        push 0
+      done;
+      let wall = Unix.gettimeofday () -. t_start in
+      (match Svc.Client.stream_close c id with
+      | Ok _ -> ()
+      | Error d -> if !first_err = None then first_err := Some d);
+      Ok
+        {
+          so_ok = !ok;
+          so_retried = !retried;
+          so_failed = !failed;
+          so_wall_s = wall;
+          so_error = !first_err;
+        })
+
+type stream_report = {
+  sr_streams : int;
+  sr_ok : int;
+  sr_retried : int;
+  sr_failed : int;
+  sr_wall_s : float;  (* slowest stream *)
+  sr_quantiles : Kfuse_util.Stats.quantiles option;
+  sr_error : Diag.t option;
+}
+
+let drive_streams ~socket ~timeout_ms ~retries ~backoff_ms ~fps ~frames ~streams ~verify
+    open_req =
+  let reservoir = Kfuse_util.Stats.reservoir ~seed:0 8192 in
+  let res_lock = Mutex.create () in
+  let record ms =
+    Mutex.lock res_lock;
+    Kfuse_util.Stats.add reservoir ms;
+    Mutex.unlock res_lock
+  in
+  let results = Array.make streams None in
+  let threads =
+    Array.init streams (fun i ->
+        Thread.create
+          (fun i ->
+            let r =
+              try
+                drive_stream ~socket ~timeout_ms ~retries ~backoff_ms ~fps ~frames
+                  ~verify ~record (open_req i)
+              with e -> Error (Diag.of_exn e)
+            in
+            results.(i) <- Some r)
+          i)
+  in
+  Array.iter Thread.join threads;
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | None | Some (Error _) ->
+        let d =
+          match r with
+          | Some (Error d) -> Some d
+          | _ -> Some (Diag.v Diag.Service_error "stream thread vanished")
+        in
+        {
+          acc with
+          sr_failed = acc.sr_failed + frames;
+          sr_error = (match acc.sr_error with Some _ as e -> e | None -> d);
+        }
+      | Some (Ok o) ->
+        {
+          acc with
+          sr_ok = acc.sr_ok + o.so_ok;
+          sr_retried = acc.sr_retried + o.so_retried;
+          sr_failed = acc.sr_failed + o.so_failed;
+          sr_wall_s = Float.max acc.sr_wall_s o.so_wall_s;
+          sr_error =
+            (match acc.sr_error with Some _ as e -> e | None -> o.so_error);
+        })
+    {
+      sr_streams = streams;
+      sr_ok = 0;
+      sr_retried = 0;
+      sr_failed = 0;
+      sr_wall_s = 0.0;
+      sr_quantiles = Kfuse_util.Stats.quantiles reservoir;
+      sr_error = None;
+    }
+    results
+
+let pp_stream_report ppf (r : stream_report) ~frames ~fps =
+  let aggregate = if r.sr_wall_s > 0.0 then float_of_int r.sr_ok /. r.sr_wall_s else 0.0 in
+  Format.fprintf ppf "pushed %d/%d frames (retried %d, failed %d) in %.2f s@,"
+    r.sr_ok (r.sr_streams * frames) r.sr_retried r.sr_failed r.sr_wall_s;
+  (match r.sr_quantiles with
+  | None -> ()
+  | Some q ->
+    Format.fprintf ppf
+      "frame latency ms: p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f (n=%d)@,"
+      q.Kfuse_util.Stats.p50 q.Kfuse_util.Stats.p90 q.Kfuse_util.Stats.p95
+      q.Kfuse_util.Stats.p99 q.Kfuse_util.Stats.q_max q.Kfuse_util.Stats.samples);
+  Format.fprintf ppf "sustained: %.1f fps/stream, %.1f fps aggregate%s"
+    (aggregate /. float_of_int (max 1 r.sr_streams))
+    aggregate
+    (if fps > 0.0 then Printf.sprintf " (target %.1f fps/stream)" fps else "")
+
+let stream_fuse_request (common : common) ~strategy ~app ~source =
+  {
+    Svc.Protocol.app;
+    source;
+    strategy;
+    c_mshared = Some common.config.F.Config.c_mshared;
+    gamma = Some common.config.F.Config.gamma;
+    tg = Some common.config.F.Config.tg;
+    optimize = false;
+    inline = false;
+    budget_ms = common.budget_ms;
+    no_cache = false;
+    strict = common.strict;
+  }
+
+let stream_cmd =
+  let doc = "Drive concurrent synthetic video streams against a running kfused." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Opens $(b,--streams) sessions on the server ($(b,stream_open): plan \
+         once, compile and pin the native artifact once), then pushes \
+         $(b,--frames) synthetic frames per stream paced at $(b,--fps) \
+         ($(b,stream_push): one frame against the session's temporal window — \
+         $(b,prev)/$(b,prevN) inputs read past frames).  Sheds (KF0803/KF0805) \
+         are retried with backoff; per-frame latency quantiles (including \
+         retry time) and the sustained frame rate are reported.";
+      `P
+        "Temporal apps: $(b,motion) (frame delta, Sobel, threshold) and \
+         $(b,tharris) (temporally smoothed Harris).  Non-temporal pipelines \
+         stream too, with an empty window.";
+    ]
+  in
+  let streams_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "streams" ] ~docv:"N" ~doc:"Concurrent streams (each on its own connection).")
+  in
+  let frames_arg =
+    Arg.(value & opt int 120 & info [ "frames" ] ~docv:"N" ~doc:"Frames per stream.")
+  in
+  let fps_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "fps" ] ~docv:"FPS" ~doc:"Target frame rate per stream; 0 pushes unpaced.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "width" ] ~docv:"W"
+          ~doc:"Override the pipeline extent (registry apps only; pair with $(b,--height)).")
+  in
+  let height_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "height" ] ~docv:"H" ~doc:"See $(b,--width).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Base seed; stream $(i,i) synthesizes its frames from SEED+$(i,i).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Ask the server to also run the reference interpreter on every \
+             frame and report the worst $(b,max_abs_diff).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Bound the connect and every read/write on each connection.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a shed frame (KF0803/KF0805) up to N times with exponential \
+             backoff; sheds happen before the stream advances, so the retry \
+             is verbatim-safe.  Timeouts are never retried.")
+  in
+  let retry_backoff_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "retry-backoff-ms" ] ~docv:"MS"
+          ~doc:"First backoff step; doubles per retry (capped at 2s).")
+  in
+  let run common socket exec_mode streams frames fps width height seed verify timeout_ms
+      retries retry_backoff_ms strategy =
+    if streams < 1 || frames < 1 then begin
+      Format.eprintf "kfusec: --streams and --frames must be >= 1@.";
+      1
+    end
+    else begin
+      let source =
+        match (common.app, common.file) with
+        | None, Some path -> Result.map (fun s -> (None, Some s)) (read_file path)
+        | Some app, None -> Ok (Some app, None)
+        | Some _, Some _ ->
+          Error (Diag.v Diag.Io_error "pass either --app or a FILE, not both")
+        | None, None -> Error (Diag.v Diag.Io_error "pass --app NAME or a DSL FILE")
+      in
+      match source with
+      | Error d -> fail_diag d
+      | Ok (app, source) ->
+        let fuse = stream_fuse_request common ~strategy ~app ~source in
+        let open_req i =
+          { Svc.Protocol.fuse; exec_mode; width; height; seed = seed + i }
+        in
+        let r =
+          drive_streams ~socket ~timeout_ms ~retries ~backoff_ms:retry_backoff_ms ~fps
+            ~frames ~streams ~verify open_req
+        in
+        Format.printf "@[<v>stream: %d x %d frames, %s@,%a@]@." streams frames
+          (match app with
+          | Some a -> "app " ^ a
+          | None -> "DSL pipeline")
+          (fun ppf r -> pp_stream_report ppf r ~frames ~fps)
+          r;
+        (match r.sr_error with
+        | Some d ->
+          pp_diag d;
+          1
+        | None -> if r.sr_failed > 0 then 1 else 0)
+    end
+  in
+  Cmd.v (Cmd.info "stream" ~doc ~man)
+    Term.(
+      const run $ common_term $ socket_arg $ exec_mode_arg $ streams_arg $ frames_arg
+      $ fps_arg $ width_arg $ height_arg $ seed_arg $ verify_arg $ timeout_arg
+      $ retries_arg $ retry_backoff_arg $ strategy_arg)
+
+let bench_stream_cmd =
+  let doc = "Benchmark sustained streaming throughput, fused vs. unfused." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Starts an in-process kfused on a private socket, then for each \
+         stream count in $(b,--stream-counts) and each fusion variant \
+         (min-cut and unfused baseline) drives that many concurrent \
+         synthetic streams of $(b,--frames) frames at $(b,--fps), reporting \
+         the sustained frame rate and per-frame latency quantiles.  Results \
+         are written as a $(b,kfuse-bench-stream/v1) JSON document.";
+      `P
+        "The server runs with the $(b,dlopen-trusted) sandbox policy: frames \
+         execute in-process on the pinned artifact, which is the \
+         steady-state streaming configuration being measured.";
+    ]
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_stream.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON output path ($(b,-) for stdout).")
+  in
+  let counts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4; 16 ]
+      & info [ "stream-counts" ] ~docv:"N,..." ~doc:"Stream counts to sweep.")
+  in
+  let frames_arg =
+    Arg.(value & opt int 60 & info [ "frames" ] ~docv:"N" ~doc:"Frames per stream.")
+  in
+  let fps_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "fps" ] ~docv:"FPS" ~doc:"Target frame rate per stream; 0 pushes unpaced.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "size" ] ~docv:"PX" ~doc:"Square frame extent (default 512).")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "motion"
+      & info [ "bench-app" ] ~docv:"NAME" ~doc:"Registry application to stream.")
+  in
+  let run common out counts frames fps size app =
+    if List.exists (fun n -> n < 1) counts || counts = [] then begin
+      Format.eprintf "kfusec: --stream-counts must be a nonempty list of >= 1@.";
+      1
+    end
+    else
+      with_jobs common.jobs @@ fun pool ->
+      let socket =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "kfuse-bench-stream-%d.sock" (Unix.getpid ()))
+      in
+      let cache = Cache.Plan_cache.create ~capacity:64 () in
+      let max_streams = List.fold_left max 1 counts in
+      match
+        Svc.Server.start ~socket ~cache ~pool ~max_conns:(max_streams + 2)
+          ~exec_sandbox:Exec.Supervisor.Dlopen_trusted ~max_streams ()
+      with
+      | Error d -> fail_diag d
+      | Ok server ->
+        let finally () =
+          Svc.Server.stop server;
+          try Sys.remove socket with Sys_error _ -> ()
+        in
+        Fun.protect ~finally @@ fun () ->
+        let variants = [ ("mincut", F.Driver.Mincut); ("baseline", F.Driver.Baseline) ] in
+        let failures = ref 0 in
+        let configs =
+          List.concat_map
+            (fun streams ->
+              List.map
+                (fun (vname, strategy) ->
+                  let fuse =
+                    stream_fuse_request common ~strategy ~app:(Some app) ~source:None
+                  in
+                  let open_req i =
+                    {
+                      Svc.Protocol.fuse;
+                      exec_mode = None;
+                      width = Some size;
+                      height = Some size;
+                      seed = 42 + i;
+                    }
+                  in
+                  let r =
+                    drive_streams ~socket ~timeout_ms:(Some 30_000.0) ~retries:8
+                      ~backoff_ms:10.0 ~fps ~frames ~streams ~verify:false open_req
+                  in
+                  (match r.sr_error with
+                  | Some d ->
+                    incr failures;
+                    pp_diag d
+                  | None -> if r.sr_failed > 0 then incr failures);
+                  let aggregate =
+                    if r.sr_wall_s > 0.0 then float_of_int r.sr_ok /. r.sr_wall_s
+                    else 0.0
+                  in
+                  Format.printf "@[<v>%s, %d streams:@,  %a@]@." vname streams
+                    (fun ppf r -> pp_stream_report ppf r ~frames ~fps)
+                    r;
+                  let latency =
+                    match r.sr_quantiles with
+                    | None -> Svc.Jsonx.Null
+                    | Some q ->
+                      Svc.Jsonx.Obj
+                        [
+                          ("samples", Svc.Jsonx.Num (float_of_int q.Kfuse_util.Stats.samples));
+                          ("p50_ms", Svc.Jsonx.Num q.Kfuse_util.Stats.p50);
+                          ("p90_ms", Svc.Jsonx.Num q.Kfuse_util.Stats.p90);
+                          ("p95_ms", Svc.Jsonx.Num q.Kfuse_util.Stats.p95);
+                          ("p99_ms", Svc.Jsonx.Num q.Kfuse_util.Stats.p99);
+                          ("max_ms", Svc.Jsonx.Num q.Kfuse_util.Stats.q_max);
+                          ("mean_ms", Svc.Jsonx.Num q.Kfuse_util.Stats.q_mean);
+                        ]
+                  in
+                  Svc.Jsonx.Obj
+                    [
+                      ("streams", Svc.Jsonx.Num (float_of_int streams));
+                      ("variant", Svc.Jsonx.Str vname);
+                      ("frames_per_stream", Svc.Jsonx.Num (float_of_int frames));
+                      ("frames_pushed", Svc.Jsonx.Num (float_of_int r.sr_ok));
+                      ("frames_retried", Svc.Jsonx.Num (float_of_int r.sr_retried));
+                      ("frames_failed", Svc.Jsonx.Num (float_of_int r.sr_failed));
+                      ("wall_s", Svc.Jsonx.Num r.sr_wall_s);
+                      ("aggregate_fps", Svc.Jsonx.Num aggregate);
+                      ( "fps_per_stream",
+                        Svc.Jsonx.Num (aggregate /. float_of_int (max 1 streams)) );
+                      ("latency", latency);
+                    ])
+                variants)
+            counts
+        in
+        let json =
+          Svc.Jsonx.Obj
+            [
+              ("schema", Svc.Jsonx.Str "kfuse-bench-stream/v1");
+              ("app", Svc.Jsonx.Str app);
+              ("width", Svc.Jsonx.Num (float_of_int size));
+              ("height", Svc.Jsonx.Num (float_of_int size));
+              ("fps_target", Svc.Jsonx.Num fps);
+              ("configs", Svc.Jsonx.Arr configs);
+            ]
+        in
+        let text = Svc.Jsonx.to_string json in
+        let write_failed =
+          if out = "-" then begin
+            print_string text;
+            None
+          end
+          else
+            match
+              let oc = open_out out in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc text)
+            with
+            | () ->
+              Format.printf "wrote %s@." out;
+              None
+            | exception Sys_error msg -> Some (Diag.v ~file:out Diag.Io_error msg)
+        in
+        match write_failed with
+        | Some d -> fail_diag d
+        | None -> if !failures > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "bench-stream" ~doc ~man)
+    Term.(
+      const run $ common_term $ out_arg $ counts_arg $ frames_arg $ fps_arg $ size_arg
+      $ app_arg)
 
 (* ---- fuzz: the differential fuzzing campaign ---- *)
 
@@ -1250,8 +1750,8 @@ let main =
     (Cmd.info "kfusec" ~version:"1.0.0" ~doc)
     [
       list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
-      unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; query_cmd; fuzz_cmd;
-      bench_native_cmd;
+      unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; query_cmd; stream_cmd;
+      bench_stream_cmd; fuzz_cmd; bench_native_cmd;
     ]
 
 let () =

@@ -1,0 +1,46 @@
+(** Motion detection over a frame stream.
+
+    The first temporal app: a frame delta against the previous frame
+    (temporal input ["prev"]), Sobel derivatives of the delta to pick up
+    moving edges, and a threshold that binarizes the gradient magnitude.
+    The delta kernel is a point operator and the derivative kernels are
+    3x3 locals, so the whole five-kernel DAG fuses like Sobel with one
+    extra point producer on top. *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let default_width = 2048
+let default_height = 2048
+
+(** [pipeline ?width ?height ()] is the motion-detection pipeline:
+    inputs [frame] (current) and [prev] (one frame back), parameter
+    [thresh] for the binarization threshold. *)
+let pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let delta =
+    Kernel.map ~name:"delta" ~inputs:[ "frame"; "prev" ]
+      (abs (input "frame" - input "prev"))
+  in
+  let dx =
+    Kernel.map ~name:"dx" ~inputs:[ "delta" ] (conv ~border Mask.sobel_x "delta")
+  in
+  let dy =
+    Kernel.map ~name:"dy" ~inputs:[ "delta" ] (conv ~border Mask.sobel_y "delta")
+  in
+  let mag =
+    Kernel.map ~name:"mag" ~inputs:[ "dx"; "dy" ]
+      (sqrt ((input "dx" * input "dx") + (input "dy" * input "dy")))
+  in
+  let motion =
+    Kernel.map ~name:"motion" ~inputs:[ "mag" ]
+      (select Lt (param "thresh") (input "mag") (const 1.0) (const 0.0))
+  in
+  Pipeline.create ~name:"motion" ~width ~height
+    ~params:[ ("thresh", 0.25) ]
+    ~inputs:[ "frame"; "prev" ]
+    [ delta; dx; dy; mag; motion ]

@@ -38,6 +38,18 @@ let all =
       small = (fun ~width ~height -> Enhance.pipeline ~width ~height ());
     };
     {
+      name = "motion";
+      description = "Motion detection: frame delta vs previous frame, Sobel + threshold (temporal)";
+      pipeline = (fun () -> Motion.pipeline ());
+      small = (fun ~width ~height -> Motion.pipeline ~width ~height ());
+    };
+    {
+      name = "tharris";
+      description = "Temporal Harris: 3-frame sliding-window average ahead of the Harris chain";
+      pipeline = (fun () -> Tharris.pipeline ());
+      small = (fun ~width ~height -> Tharris.pipeline ~width ~height ());
+    };
+    {
       name = "night";
       description = "Night filter: two compute-heavy a-trous kernels + scotopic tone mapping";
       pipeline = (fun () -> Night.pipeline ());

@@ -9,8 +9,9 @@ type entry = {
       (** builds the same pipeline at a custom size (for tests) *)
 }
 
-(** [all] lists the six applications in the paper's table order:
-    Harris, Sobel, Unsharp, ShiTomasi, Enhance, Night. *)
+(** [all] lists the applications: the paper's six in table order
+    (Harris, Sobel, Unsharp, ShiTomasi, Enhance, Night) plus the two
+    temporal streaming apps (Motion, THarris) before Night. *)
 val all : entry list
 
 (** [find name] looks an application up by name. *)

@@ -1,0 +1,46 @@
+(** Temporally smoothed Harris corner detector.
+
+    Harris over a three-frame sliding window: the current frame is
+    averaged with the two previous frames (temporal inputs ["prev"] and
+    ["prev2"]) before the usual nine-kernel Harris chain runs on the
+    smoothed image. The average suppresses per-frame sensor noise that
+    would otherwise flicker corners in and out between frames. *)
+
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+module Border = Kfuse_image.Border
+
+let default_width = 2048
+let default_height = 2048
+
+(** [pipeline ?width ?height ()] is the temporal Harris pipeline:
+    inputs [frame] (current), [prev] and [prev2] (one and two frames
+    back), parameter [k] as in plain Harris. *)
+let pipeline ?(width = default_width) ?(height = default_height) () =
+  let border = Border.Clamp in
+  let open Expr in
+  let avg =
+    Kernel.map ~name:"avg" ~inputs:[ "frame"; "prev"; "prev2" ]
+      (const (1. /. 3.) * (input "frame" + input "prev" + input "prev2"))
+  in
+  let dx = Kernel.map ~name:"dx" ~inputs:[ "avg" ] (conv ~border Mask.sobel_x "avg") in
+  let dy = Kernel.map ~name:"dy" ~inputs:[ "avg" ] (conv ~border Mask.sobel_y "avg") in
+  let sx = Kernel.map ~name:"sx" ~inputs:[ "dx" ] (input "dx" * input "dx") in
+  let sy = Kernel.map ~name:"sy" ~inputs:[ "dy" ] (input "dy" * input "dy") in
+  let sxy = Kernel.map ~name:"sxy" ~inputs:[ "dx"; "dy" ] (input "dx" * input "dy") in
+  let gx = Kernel.map ~name:"gx" ~inputs:[ "sx" ] (conv ~border Mask.gaussian_3x3 "sx") in
+  let gy = Kernel.map ~name:"gy" ~inputs:[ "sy" ] (conv ~border Mask.gaussian_3x3 "sy") in
+  let gxy =
+    Kernel.map ~name:"gxy" ~inputs:[ "sxy" ] (conv ~border Mask.gaussian_3x3 "sxy")
+  in
+  let hc =
+    let det = (input "gx" * input "gy") - (input "gxy" * input "gxy") in
+    let trace = input "gx" + input "gy" in
+    Kernel.map ~name:"hc" ~inputs:[ "gx"; "gy"; "gxy" ]
+      (det - (param "k" * trace * trace))
+  in
+  Pipeline.create ~name:"tharris" ~width ~height ~params:[ ("k", 0.04) ]
+    ~inputs:[ "frame"; "prev"; "prev2" ]
+    [ avg; dx; dy; sx; sy; sxy; gx; gy; gxy; hc ]

@@ -51,7 +51,13 @@ let rec stmt_indent ppf (ind, s) =
   | Expr_stmt e -> Format.fprintf ppf "%s%a;@," pad expr e
   | Return -> Format.fprintf ppf "%sreturn;@," pad
   | Comment c -> Format.fprintf ppf "%s// %s@," pad c
-  | Pragma text -> Format.fprintf ppf "%s#pragma %s@," pad text
+  | Pragma text ->
+    (* OpenMP pragmas compile under any toolchain: a compiler without
+       -fopenmp would warn (fatally under -Wall -Werror) on the unknown
+       pragma, so guard them behind the _OPENMP feature macro. *)
+    if String.length text >= 4 && String.sub text 0 4 = "omp " then
+      Format.fprintf ppf "%s#ifdef _OPENMP@,%s#pragma %s@,%s#endif@," pad pad text pad
+    else Format.fprintf ppf "%s#pragma %s@," pad text
   | For { var; from_; below; step; body } ->
     (* Backstop for AST values built without {!Cuda_ast.for_}: a
        nonpositive step would print as a loop that never terminates. *)

@@ -79,8 +79,8 @@ let cmp_c = function Expr.Lt -> "<" | Expr.Le -> "<=" | Expr.Eq -> "=="
 let width_e = ident "width"
 let height_e = ident "height"
 
-let rec lower ?(prec = Single) ctx ~vars ~cx ~cy e =
-  let lower = lower ~prec in
+let rec lower ?(prec = Single) ?(bounded = true) ctx ~vars ~cx ~cy e =
+  let lower ?(bounded = bounded) ctx = lower ~prec ~bounded ctx in
   match e with
   | Expr.Const c -> scalar_lit prec c
   | Expr.Param p -> ident ("p_" ^ sanitize p)
@@ -94,15 +94,22 @@ let rec lower ?(prec = Single) ctx ~vars ~cx ~cy e =
     emit ctx (Decl { ctype = "const " ^ scalar_ctype prec; name; init = Some ce });
     lower ctx ~vars:((var, name) :: vars) ~cx ~cy body
   | Expr.Input { image; dx; dy; border } ->
-    let x = if dx = 0 then cx else cx +: int_lit dx in
-    let y = if dy = 0 then cy else cy +: int_lit dy in
-    let base = [ ident ("img_" ^ sanitize image); x; y; width_e; height_e ] in
-    let args =
-      match border with
-      | Border.Constant c -> base @ [ scalar_lit prec c ]
-      | Border.Clamp | Border.Mirror | Border.Repeat | Border.Undefined -> base
-    in
-    call (read_fn border) args
+    if bounded && dx = 0 && dy = 0 then
+      (* The coordinates are known in-bounds (iteration variables, or
+         already remapped by an index exchange), so every border mode
+         degenerates to the raw load — skip the per-read re-clamp on
+         the kernel's hottest path. *)
+      index (ident ("img_" ^ sanitize image)) ((cy *: width_e) +: cx)
+    else
+      let x = if dx = 0 then cx else cx +: int_lit dx in
+      let y = if dy = 0 then cy else cy +: int_lit dy in
+      let base = [ ident ("img_" ^ sanitize image); x; y; width_e; height_e ] in
+      let args =
+        match border with
+        | Border.Constant c -> base @ [ scalar_lit prec c ]
+        | Border.Clamp | Border.Mirror | Border.Repeat | Border.Undefined -> base
+      in
+      call (read_fn border) args
   | Expr.Unop (op, a) -> (
     let ca = lower ctx ~vars ~cx ~cy a in
     match unop_c prec op with `Prefix s -> Unop (s, ca) | `Fn f -> call f [ ca ])
@@ -123,7 +130,10 @@ let rec lower ?(prec = Single) ctx ~vars ~cx ~cy e =
       let nx = fresh ctx "sx" and ny = fresh ctx "sy" in
       emit ctx (Decl { ctype = "const int"; name = nx; init = Some sx });
       emit ctx (Decl { ctype = "const int"; name = ny; init = Some sy });
-      lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body
+      (* The unexchanged shift may leave the iteration space: reads at
+         these coordinates keep their border handling. *)
+      lower ~bounded:(bounded && dx = 0 && dy = 0) ctx ~vars ~cx:(ident nx)
+        ~cy:(ident ny) body
     | Some ((Border.Clamp | Border.Mirror | Border.Repeat) as mode) ->
       (* Index exchange: remap the shifted coordinate into the iteration
          space before evaluating the inlined producer. *)
@@ -133,7 +143,9 @@ let rec lower ?(prec = Single) ctx ~vars ~cx ~cy e =
         (Decl { ctype = "const int"; name = nx; init = Some (call f [ sx; width_e ]) });
       emit ctx
         (Decl { ctype = "const int"; name = ny; init = Some (call f [ sy; height_e ]) });
-      lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body
+      (* The exchange remapped both coordinates into the iteration
+         space, so the inlined producer's central reads are bounded. *)
+      lower ~bounded:true ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body
     | Some (Border.Constant c) ->
       (* The exchanged intermediate pixel is the padding constant outside
          the iteration space; guard the inlined producer. *)
@@ -144,7 +156,9 @@ let rec lower ?(prec = Single) ctx ~vars ~cx ~cy e =
       emit ctx (Decl { ctype = scalar_ctype prec; name = result; init = None });
       let saved = ctx.stmts in
       ctx.stmts <- [];
-      let inner = lower ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body in
+      (* The guard below only evaluates the producer inside the
+         iteration space, so its central reads are bounded. *)
+      let inner = lower ~bounded:true ctx ~vars ~cx:(ident nx) ~cy:(ident ny) body in
       let inner_stmts = List.rev (Assign (ident result, inner) :: ctx.stmts) in
       ctx.stmts <- saved;
       let inside =

@@ -31,12 +31,17 @@ type precision = Single | Double
 (** [scalar_ctype prec] is ["float"] or ["double"]. *)
 val scalar_ctype : precision -> string
 
-(** [lower ?prec ctx ~vars ~cx ~cy e] lowers [e] at C coordinate
-    expressions [(cx, cy)] with [vars] binding IR variables to C
-    identifiers; auxiliary declarations go through [ctx].  [prec]
-    (default [Single]) selects the arithmetic width. *)
+(** [lower ?prec ?bounded ctx ~vars ~cx ~cy e] lowers [e] at C
+    coordinate expressions [(cx, cy)] with [vars] binding IR variables
+    to C identifiers; auxiliary declarations go through [ctx].  [prec]
+    (default [Single]) selects the arithmetic width.  [bounded]
+    (default [true]) records that [(cx, cy)] is known inside the
+    iteration space — kernel launches and tile loops guarantee it —
+    letting zero-offset reads skip their border remap; shifts clear it,
+    index exchanges restore it. *)
 val lower :
   ?prec:precision ->
+  ?bounded:bool ->
   ctx ->
   vars:(string * string) list ->
   cx:Cuda_ast.expr ->

@@ -176,11 +176,23 @@ static mlsize_t float_array_length(value v)
   return Wosize_val(v) / Double_wosize;
 }
 
-/* Free a NULL-terminated-by-count set of buffers. */
-static void free_all(double **bufs, mlsize_t n)
+/* Float arrays above this length (in doubles = words) are guaranteed to
+ * live on the major heap (allocations over Max_young_wosize = 256 words
+ * never touch the minor heap, so no promotion can move them) and above
+ * the compactor's size-class pools (<= 128 words), so their data
+ * pointer is stable for the whole call even while the blocking section
+ * lets the GC run on other threads.  Those arrays are handed to the
+ * kernel in place — this is the per-frame streaming path, where the
+ * malloc + copy of multi-megabyte buffers used to dominate the kernel
+ * itself.  Smaller arrays keep the conservative copy. */
+#define KFUSE_STABLE_LEN 4096
+
+/* Free only the buffers this call allocated (owned[i] != 0). */
+static void free_owned(double **bufs, const unsigned char *owned, mlsize_t n)
 {
   if (bufs == NULL) return;
-  for (mlsize_t i = 0; i < n; i++) free(bufs[i]);
+  for (mlsize_t i = 0; i < n; i++)
+    if (owned != NULL && owned[i]) free(bufs[i]);
   free(bufs);
 }
 
@@ -194,25 +206,41 @@ value kfuse_dl_call(value vfn, value vins, value vouts, value vparams)
 
   double **ins = calloc(nin ? nin : 1, sizeof(double *));
   double **outs = calloc(nout ? nout : 1, sizeof(double *));
+  unsigned char *in_owned = calloc(nin ? nin : 1, 1);
+  unsigned char *out_owned = calloc(nout ? nout : 1, 1);
   double *par = malloc((npar ? npar : 1) * sizeof(double));
-  int oom = (ins == NULL || outs == NULL || par == NULL);
+  int oom = (ins == NULL || outs == NULL || in_owned == NULL || out_owned == NULL
+             || par == NULL);
 
   for (mlsize_t i = 0; !oom && i < nin; i++) {
     value a = Field(vins, i);
     mlsize_t len = float_array_length(a);
+    if (len > KFUSE_STABLE_LEN) {
+      ins[i] = (double *)Op_val(a);
+      continue;
+    }
     ins[i] = malloc((len ? len : 1) * sizeof(double));
     if (ins[i] == NULL) { oom = 1; break; }
+    in_owned[i] = 1;
     for (mlsize_t j = 0; j < len; j++)
       ins[i][j] = Double_field(a, j);
   }
   for (mlsize_t i = 0; !oom && i < nout; i++) {
-    mlsize_t len = float_array_length(Field(vouts, i));
+    value a = Field(vouts, i);
+    mlsize_t len = float_array_length(a);
+    if (len > KFUSE_STABLE_LEN) {
+      outs[i] = (double *)Op_val(a);
+      continue;
+    }
     outs[i] = calloc(len ? len : 1, sizeof(double));
-    if (outs[i] == NULL) oom = 1;
+    if (outs[i] == NULL) { oom = 1; break; }
+    out_owned[i] = 1;
   }
   if (oom) {
-    free_all(ins, nin);
-    free_all(outs, nout);
+    free_owned(ins, in_owned, nin);
+    free_owned(outs, out_owned, nout);
+    free(in_owned);
+    free(out_owned);
     free(par);
     caml_failwith("kfuse_dl_call: out of memory marshalling buffers");
   }
@@ -224,14 +252,17 @@ value kfuse_dl_call(value vfn, value vins, value vouts, value vparams)
   caml_leave_blocking_section();
 
   for (mlsize_t i = 0; i < nout; i++) {
+    if (!out_owned[i]) continue; /* kernel already wrote in place */
     value a = Field(vouts, i);
     mlsize_t len = float_array_length(a);
     for (mlsize_t j = 0; j < len; j++)
       Store_double_field(a, j, outs[i][j]);
   }
 
-  free_all(ins, nin);
-  free_all(outs, nout);
+  free_owned(ins, in_owned, nin);
+  free_owned(outs, out_owned, nout);
+  free(in_owned);
+  free(out_owned);
   free(par);
   CAMLreturn(Val_unit);
 }

@@ -12,8 +12,11 @@ module Lower_cpu = Kfuse_codegen.Lower_cpu
    cached artifacts from an older ABI must never be loaded.  v2: the
    marshalling scalar is float64 — OCaml float arrays are already packed
    doubles, so images cross the boundary without rounding and the
-   interpreter-vs-native diff reduces to the compiler's own liberties. *)
-let abi_version = 2
+   interpreter-vs-native diff reduces to the compiler's own liberties.
+   v3: when kf_scalar is float64 the entry point runs on the ABI
+   buffers in place instead of allocating + converting per call — the
+   streaming per-frame path must not copy multi-megabyte images. *)
+let abi_version = 3
 
 type mode = Dlopen | Subprocess
 
@@ -91,15 +94,30 @@ let dlopen_wrapper (p : Pipeline.t) =
     "// ABI v2 entry point for the kfuse loader stub: one fixed signature\n\
      // covers every pipeline shape, so a single dlsym suffices.  The ABI\n\
      // carries float64 images (lossless against the host's arrays); the\n\
-     // pipeline computes in kf_scalar, so buffers convert at the edge.\n";
+     // pipeline computes in kf_scalar, so buffers convert at the edge —\n\
+     // except when kf_scalar *is* float64, where the conversion is the\n\
+     // identity and the ABI buffers are used in place.  That branch is\n\
+     // decided on sizeof(kf_scalar), which the compiler folds away; it\n\
+     // is the per-frame streaming path, so it must not allocate.\n";
   w "void kfuse_entry(const double** ins, double** outs, const double* params) {\n";
   if p.Pipeline.inputs = [] then w "  (void)ins;\n";
   if p.Pipeline.params = [] then w "  (void)params;\n";
   w "  const size_t npix = (size_t)%d * %d;\n" p.Pipeline.width p.Pipeline.height;
   w "  size_t i;\n";
+  w "  (void)npix; (void)i;\n";
+  w "  if (sizeof(kf_scalar) == sizeof(double)) {\n";
+  let direct_args =
+    runner_args p
+      ~input:(fun i name -> Printf.sprintf "(const kf_scalar*)ins[%d] /* %s */" i name)
+      ~output:(fun i name -> Printf.sprintf "(kf_scalar*)outs[%d] /* %s */" i name)
+      ~param:(fun i name -> Printf.sprintf "params[%d] /* %s */" i name)
+  in
+  w "    run_%s(%s);\n" n (String.concat ", " direct_args);
+  w "    return;\n";
+  w "  }\n";
   for j = 0 to n_in - 1 do
     w "  kf_scalar* b_in%d = (kf_scalar*)kf_malloc(npix * sizeof(kf_scalar));\n" j;
-    w "  for (i = 0; i < npix; i++) b_in%d[i] = ins[%d][i];\n" j j
+    w "  for (i = 0; i < npix; i++) b_in%d[i] = (kf_scalar)ins[%d][i];\n" j j
   done;
   for j = 0 to n_out - 1 do
     w "  kf_scalar* b_out%d = (kf_scalar*)kf_malloc(npix * sizeof(kf_scalar));\n" j
@@ -195,7 +213,12 @@ let source ?tile ~mode (p : Pipeline.t) =
 
 (* {1 Compile cache} *)
 
-let artifact_key ~tc ~mode ~tile (p : Pipeline.t) =
+(* The generated source itself is folded into the key (alongside the
+   pipeline fingerprint, which keeps keys distinct even if two
+   pipelines ever emitted identical C): any codegen change — lowering,
+   wrapper, tiling — automatically invalidates stale artifacts without
+   relying on a version bump someone must remember. *)
+let artifact_key ~tc ~mode ~tile ~src (p : Pipeline.t) =
   let tile_s =
     match tile with None -> "untiled" | Some (tx, ty) -> Printf.sprintf "tile:%dx%d" tx ty
   in
@@ -209,9 +232,51 @@ let artifact_key ~tc ~mode ~tile (p : Pipeline.t) =
             tile_s;
             "prec:double";
             Toolchain.id tc;
+            src;
           ]))
 
 let default_cache_dir () = Filename.concat (Plan_cache.default_dir ()) "native"
+
+(* Process-wide count of real (cache-missing) compiler invocations.
+   Streaming tests assert "exactly one compile per stream" as a delta of
+   this counter across a session's lifetime. *)
+let compile_count = Atomic.make 0
+let compiles () = Atomic.get compile_count
+
+(* Single-flight per artifact path: when several worker threads miss on
+   the same key at once (N streams of the same pipeline opening against
+   a cold cache), exactly one invokes the compiler and the rest wait for
+   the publish.  Cross-process races stay benign through the per-attempt
+   tmp name and the atomic rename. *)
+let compile_lock = Mutex.create ()
+let compile_inflight : (string, Condition.t) Hashtbl.t = Hashtbl.create 8
+let compile_attempt = Atomic.make 0
+
+let single_flight ~dest build =
+  Mutex.lock compile_lock;
+  let rec acquire () =
+    if Sys.file_exists dest then begin
+      Mutex.unlock compile_lock;
+      Ok (dest, 0., true)
+    end
+    else
+      match Hashtbl.find_opt compile_inflight dest with
+      | Some cond ->
+        Condition.wait cond compile_lock;
+        acquire ()
+      | None ->
+        let cond = Condition.create () in
+        Hashtbl.replace compile_inflight dest cond;
+        Mutex.unlock compile_lock;
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock compile_lock;
+            Hashtbl.remove compile_inflight dest;
+            Condition.broadcast cond;
+            Mutex.unlock compile_lock)
+          build
+  in
+  acquire ()
 
 let compile ?cache_dir ?tile ~mode (p : Pipeline.t) =
   match Toolchain.find () with
@@ -219,17 +284,20 @@ let compile ?cache_dir ?tile ~mode (p : Pipeline.t) =
   | Ok tc ->
     let dir = match cache_dir with Some d -> d | None -> default_cache_dir () in
     mkdir_p dir;
-    let key = artifact_key ~tc ~mode ~tile p in
+    let src = source ?tile ~mode p in
+    let key = artifact_key ~tc ~mode ~tile ~src p in
     let ext = match mode with Dlopen -> ".so" | Subprocess -> ".bin" in
     let dest = Filename.concat dir ("kf-" ^ key ^ ext) in
     if Sys.file_exists dest then Ok (dest, 0., true)
-    else begin
+    else
+      single_flight ~dest @@ fun () ->
       (* The source is kept next to the artifact: a KF0903 message can
          point at a file a human can feed to the compiler by hand. *)
       let src_path = Filename.concat dir ("kf-" ^ key ^ ".c") in
-      write_file src_path (source ?tile ~mode p);
-      let tmp = Printf.sprintf "%s.tmp.%d" dest (Unix.getpid ()) in
-      let err_path = Printf.sprintf "%s.log.%d" dest (Unix.getpid ()) in
+      write_file src_path src;
+      let attempt = Atomic.fetch_and_add compile_attempt 1 in
+      let tmp = Printf.sprintf "%s.tmp.%d.%d" dest (Unix.getpid ()) attempt in
+      let err_path = Printf.sprintf "%s.log.%d.%d" dest (Unix.getpid ()) attempt in
       let argv =
         (tc.Toolchain.cc :: Toolchain.flags tc ~shared:(mode = Dlopen))
         @ [ "-o"; tmp; src_path; "-lm" ]
@@ -264,16 +332,19 @@ let compile ?cache_dir ?tile ~mode (p : Pipeline.t) =
       | Ok () ->
         (* Atomic publish: concurrent builders race benignly on rename. *)
         Sys.rename tmp dest;
+        Atomic.incr compile_count;
         Ok (dest, r.Supervisor.wall_ms, false)
-    end
 
 (* {1 Marshalling} *)
 
-let flatten img =
-  let w = Image.width img in
-  Array.init (w * Image.height img) (fun i -> Image.get img (i mod w) (i / w))
+(* Zero-copy marshalling: at streaming rates this path runs once per
+   frame, so it must not allocate or copy megabytes per call.  Inputs
+   are read-only views of the image's backing array (the C stub copies
+   them into private buffers before the kernel runs); outputs transfer
+   ownership of the result buffer into the image. *)
+let flatten img = Image.unsafe_data img
 
-let unflatten ~width ~height arr = Image.init ~width ~height (fun x y -> arr.((y * width) + x))
+let unflatten ~width ~height arr = Image.unsafe_of_flat ~width ~height arr
 
 (* Mirror {!Eval.run}'s input contract so the two backends are
    interchangeable in tests and oracles. *)
@@ -340,7 +411,24 @@ let sample_deadline_diag ~artifact ~done_ ~repeat =
     "request deadline expired after %d of %d timing samples of compiled plan %s" done_ repeat
     artifact
 
-let exec_dlopen ~deadline ~limits:_ ~artifact ~repeat (p : Pipeline.t) inputs pvals =
+(* A pinned dlopen handle: one dlopen + dlsym at open time, then a bare
+   function call per execution.  This is what makes per-frame streaming
+   cheap — sessions keep the handle alive across pushes instead of
+   paying the loader per call. *)
+type loaded = { handle : nativeint; entry : nativeint }
+
+let load_artifact artifact =
+  match dl_open artifact with
+  | exception Failure msg ->
+    Error (Diag.errorf Diag.Exec_failed "dlopen(%s): %s" artifact msg)
+  | handle -> (
+    match dl_sym handle "kfuse_entry" with
+    | exception Failure msg ->
+      dl_close handle;
+      Error (Diag.errorf Diag.Exec_failed "dlsym(%s, kfuse_entry): %s" artifact msg)
+    | entry -> Ok { handle; entry })
+
+let exec_entry ~deadline ~entry ~artifact ~repeat (p : Pipeline.t) inputs pvals =
   let npix = p.Pipeline.width * p.Pipeline.height in
   let out_names = Pipeline.outputs p in
   let ins =
@@ -348,32 +436,28 @@ let exec_dlopen ~deadline ~limits:_ ~artifact ~repeat (p : Pipeline.t) inputs pv
   in
   let outs = Array.of_list (List.map (fun _ -> Array.make npix 0.) out_names) in
   let pars = Array.of_list pvals in
-  match dl_open artifact with
-  | exception Failure msg ->
-    Error (Diag.errorf Diag.Exec_failed "dlopen(%s): %s" artifact msg)
-  | handle ->
+  let samples = ref [] in
+  let expired = ref false in
+  for i = 1 to repeat do
+    if not !expired then
+      if i > 1 && Deadline.expired deadline then expired := true
+      else begin
+        let t0 = now_ms () in
+        dl_call entry ins outs pars;
+        samples := (now_ms () -. t0) :: !samples
+      end
+  done;
+  if !expired then
+    Error (sample_deadline_diag ~artifact ~done_:(List.length !samples) ~repeat)
+  else Ok (finish_outputs p out_names outs, List.rev !samples)
+
+let exec_dlopen ~deadline ~limits:_ ~artifact ~repeat (p : Pipeline.t) inputs pvals =
+  match load_artifact artifact with
+  | Error d -> Error d
+  | Ok l ->
     Fun.protect
-      ~finally:(fun () -> dl_close handle)
-      (fun () ->
-        match dl_sym handle "kfuse_entry" with
-        | exception Failure msg ->
-          Error (Diag.errorf Diag.Exec_failed "dlsym(%s, kfuse_entry): %s" artifact msg)
-        | entry ->
-          let samples = ref [] in
-          let expired = ref false in
-          for i = 1 to repeat do
-            if not !expired then
-              if i > 1 && Deadline.expired deadline then expired := true
-              else begin
-                let t0 = now_ms () in
-                dl_call entry ins outs pars;
-                samples := (now_ms () -. t0) :: !samples
-              end
-          done;
-          if !expired then
-            Error
-              (sample_deadline_diag ~artifact ~done_:(List.length !samples) ~repeat)
-          else Ok (finish_outputs p out_names outs, List.rev !samples))
+      ~finally:(fun () -> dl_close l.handle)
+      (fun () -> exec_entry ~deadline ~entry:l.entry ~artifact ~repeat p inputs pvals)
 
 let pack_float64 buf f = Buffer.add_int64_ne buf (Int64.bits_of_float f)
 
@@ -481,3 +565,77 @@ let run ?mode ?tile ?cache_dir ?(params = []) ?(repeat = 1) ?(deadline = Deadlin
          state with us, so it may still work.  Keep the evidence. *)
       go ~mode:Subprocess ~warnings:[ { d with Diag.severity = Diag.Warning } ]
     | Error d -> Error d)
+
+(* {1 Pinned plans} *)
+
+type plan = {
+  plan_pipeline : Pipeline.t;
+  plan_mode : mode;
+  plan_artifact : string;
+  plan_cached : bool;
+  plan_compile_ms : float;
+  plan_loaded : loaded option;  (* Some for Dlopen, None for Subprocess *)
+  mutable plan_released : bool;
+}
+
+let prepare ?tile ?cache_dir ~mode (p : Pipeline.t) =
+  match compile ?cache_dir ?tile ~mode p with
+  | Error d -> Error d
+  | Ok (artifact, compile_ms, cached) -> (
+    let make loaded =
+      {
+        plan_pipeline = p;
+        plan_mode = mode;
+        plan_artifact = artifact;
+        plan_cached = cached;
+        plan_compile_ms = compile_ms;
+        plan_loaded = loaded;
+        plan_released = false;
+      }
+    in
+    match mode with
+    | Subprocess -> Ok (make None)
+    | Dlopen -> (
+      match load_artifact artifact with
+      | Error d -> Error d
+      | Ok l -> Ok (make (Some l))))
+
+let plan_mode plan = plan.plan_mode
+let plan_artifact plan = plan.plan_artifact
+let plan_cached plan = plan.plan_cached
+let plan_compile_ms plan = plan.plan_compile_ms
+let plan_pipeline plan = plan.plan_pipeline
+
+let release plan =
+  if not plan.plan_released then begin
+    plan.plan_released <- true;
+    match plan.plan_loaded with None -> () | Some l -> dl_close l.handle
+  end
+
+let run_plan ?(params = []) ?(repeat = 1) ?(deadline = Deadline.none)
+    ?(limits = Supervisor.no_limits) plan inputs =
+  if repeat < 1 then invalid_arg "Native.run_plan: repeat must be positive";
+  if plan.plan_released then invalid_arg "Native.run_plan: plan already released";
+  let p = plan.plan_pipeline in
+  check_inputs p inputs;
+  let pvals = param_values p params in
+  let artifact = plan.plan_artifact in
+  let exec =
+    match plan.plan_loaded with
+    | Some l -> exec_entry ~deadline ~entry:l.entry ~artifact ~repeat p inputs pvals
+    | None -> exec_subprocess ~deadline ~limits ~artifact ~repeat p inputs pvals
+  in
+  match exec with
+  | Error d -> Error d
+  | Ok (outputs, samples_ms) ->
+    Ok
+      {
+        outputs;
+        mode_used = plan.plan_mode;
+        artifact;
+        cached = plan.plan_cached;
+        compile_ms = 0.;
+        exec_ms = min_sample samples_ms;
+        samples_ms;
+        warnings = [];
+      }

@@ -121,3 +121,62 @@ val run :
   Pipeline.t ->
   (string * Image.t) list ->
   (run_result, Diag.t) result
+
+(** {1 Pinned plans}
+
+    A {!plan} amortizes the per-call setup of {!run} across many
+    executions of the same pipeline — the unit of work of a stream
+    session.  {!prepare} pays for the compile-cache lookup (and, in
+    {!Dlopen} mode, the [dlopen]+[dlsym]) exactly once; {!run_plan} is
+    then a bare entry-point call ({!Dlopen}) or a supervised spawn of
+    the already-built executable ({!Subprocess}), with no cache lookup,
+    no loader traffic and no compiler anywhere on the per-frame path. *)
+
+type plan
+(** A compiled pipeline pinned in memory: artifact path plus, in
+    {!Dlopen} mode, the loaded handle and resolved entry point. *)
+
+(** [prepare ?tile ?cache_dir ~mode p] compiles (or reuses) the artifact
+    for [p] and pins it.  In {!Dlopen} mode the shared object is loaded
+    and the entry point resolved immediately; a load failure is
+    [KF0904], letting callers retry with [~mode:Subprocess]. *)
+val prepare :
+  ?tile:int * int ->
+  ?cache_dir:string ->
+  mode:mode ->
+  Pipeline.t ->
+  (plan, Diag.t) result
+
+val plan_mode : plan -> mode
+val plan_artifact : plan -> string
+
+val plan_cached : plan -> bool
+(** Whether {!prepare} found the artifact already in the compile cache. *)
+
+val plan_compile_ms : plan -> float
+(** Wall-clock the C compiler took at {!prepare} time; [0] on a hit. *)
+
+val plan_pipeline : plan -> Pipeline.t
+
+(** [run_plan ?params ?repeat ?deadline ?limits plan inputs] executes
+    the pinned plan; contract as {!run} ([inputs] binds exactly the
+    pipeline's inputs, failures are typed [KF0904..KF0907]), except
+    nothing is compiled or loaded: [compile_ms] is always [0] and
+    [cached] reports what {!prepare} saw.
+    @raise Invalid_argument after {!release}. *)
+val run_plan :
+  ?params:(string * float) list ->
+  ?repeat:int ->
+  ?deadline:Deadline.t ->
+  ?limits:Supervisor.limits ->
+  plan ->
+  (string * Image.t) list ->
+  (run_result, Diag.t) result
+
+val release : plan -> unit
+(** Drop the pinned handle ([dlclose] in {!Dlopen} mode).  Idempotent. *)
+
+val compiles : unit -> int
+(** Process-wide count of real compiler invocations (compile-cache
+    misses) since startup.  Tests assert per-stream compile counts as
+    deltas of this counter. *)

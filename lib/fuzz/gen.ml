@@ -128,8 +128,21 @@ let case ?(max_kernels = 10) ~seed index =
   let rng = Rng.create ((seed * 1_000_003) lxor index) in
   let width = 8 + Rng.int rng 9 in
   let height = 6 + Rng.int rng 8 in
-  let n_inputs = 1 + Rng.int rng 3 in
-  let inputs = List.init n_inputs (Printf.sprintf "in%d") in
+  (* ~1 in 4 cases is a temporal stream: inputs named by the streaming
+     convention ("frame" current, "prev"/"prevN" lagged — see
+     {!Kfuse_ir.Temporal}).  Names are all that distinguishes a temporal
+     pipeline, so every other oracle treats them as plain inputs; the
+     stream oracle windows them across a multi-frame push sequence. *)
+  let temporal_depth = if Rng.int rng 4 = 0 then 1 + Rng.int rng 2 else 0 in
+  let inputs =
+    if temporal_depth > 0 then
+      "frame"
+      :: List.init temporal_depth (fun i ->
+             if i = 0 then "prev" else Printf.sprintf "prev%d" (i + 1))
+    else
+      let n_inputs = 1 + Rng.int rng 3 in
+      List.init n_inputs (Printf.sprintf "in%d")
+  in
   let params =
     List.init (Rng.int rng 3) (fun i -> (Printf.sprintf "p%d" i, quarter rng 1 8))
   in
@@ -186,6 +199,7 @@ type features = {
   fanout : bool;
   diamond : bool;
   border_kinds : int;
+  temporal : bool;
 }
 
 let rec iter_expr f e =
@@ -297,6 +311,7 @@ let features (p : Pipeline.t) =
         (List.init (Pipeline.num_kernels p) Fun.id);
     diamond = has_diamond p;
     border_kinds = Hashtbl.length borders;
+    temporal = (Kfuse_ir.Temporal.analyze p).Kfuse_ir.Temporal.temporal <> [];
   }
 
 let feature_flags f =
@@ -310,4 +325,5 @@ let feature_flags f =
     ("fan-out", f.fanout);
     ("diamond", f.diamond);
     ("multi-border", f.border_kinds >= 2);
+    ("temporal", f.temporal);
   ]

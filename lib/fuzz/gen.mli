@@ -40,6 +40,9 @@ type features = {
   fanout : bool;  (** some kernel output consumed by >= 2 kernels *)
   diamond : bool;  (** >= 2 distinct directed paths between some kernel pair *)
   border_kinds : int;  (** distinct border modes appearing on any tap *)
+  temporal : bool;
+      (** inputs follow the streaming convention ([prev]/[prevN] lags,
+          see {!Kfuse_ir.Temporal}) — roughly a quarter of cases *)
 }
 
 val features : Kfuse_ir.Pipeline.t -> features

@@ -22,6 +22,8 @@ module Fingerprint = Kfuse_cache.Fingerprint
 module Plan_cache = Kfuse_cache.Plan_cache
 module Native = Kfuse_exec.Native
 module Toolchain = Kfuse_exec.Toolchain
+module Session = Kfuse_stream.Session
+module Frames = Kfuse_stream.Frames
 
 type name =
   | Validate_ok
@@ -35,10 +37,12 @@ type name =
   | Meta_duplicate
   | Unparse_roundtrip
   | Native_exec
+  | Stream_exec
 
-(* Native_exec shells out to the C compiler on every case — orders of
-   magnitude slower than the rest of the bank — so it is opt-in: absent
-   from [all], run only when [which] names it explicitly. *)
+(* Native_exec and Stream_exec shell out to the C compiler on every
+   case — orders of magnitude slower than the rest of the bank — so
+   they are opt-in: absent from [all], run only when [which] names them
+   explicitly. *)
 let all =
   [
     Validate_ok;
@@ -65,8 +69,10 @@ let name_to_string = function
   | Meta_duplicate -> "meta-duplicate"
   | Unparse_roundtrip -> "unparse-roundtrip"
   | Native_exec -> "native-exec"
+  | Stream_exec -> "stream-exec"
 
-let name_of_string s = List.find_opt (fun n -> name_to_string n = s) (Native_exec :: all)
+let name_of_string s =
+  List.find_opt (fun n -> name_to_string n = s) (Native_exec :: Stream_exec :: all)
 
 type failure = { oracle : name; detail : string }
 type optimality = Optimal | Gap of float | Not_checked
@@ -484,6 +490,80 @@ let native_exec ~cache_dir config p =
     | exception e -> Error (Printf.sprintf "native oracle raised: %s" (Printexc.to_string e))
     | r -> r)
 
+(* Multi-frame streaming differential: window the same pipeline two
+   ways — the interpreter via {!Session.push}, and the natively compiled
+   fused plan pinned {e once} ({!Native.prepare}) and run per frame —
+   and demand bitwise agreement on every frame of a short synthetic
+   sequence.  The state carried between frames (the sliding input
+   window) is part of the oracle: a lag clamped wrong at cold start, a
+   window advanced twice, or a pinned artifact gone stale would break
+   frame k > 0 even when frame 0 agrees.  Skips cleanly on
+   non-streamable pipelines (zero or several current inputs) and on
+   toolchain-less hosts. *)
+let stream_frames = 6
+
+let stream_exec ~cache_dir config p =
+  match Toolchain.find () with
+  | Error _ -> Ok ()
+  | Ok _ -> (
+    match Session.create p with
+    | Error _ -> Ok () (* not streamable: no single current-frame input *)
+    | Ok ref_session -> (
+      match
+        let r = Driver.run config Driver.Mincut p in
+        match Session.create r.Driver.fused with
+        | Error d ->
+          Error
+            (Printf.sprintf "fusion broke streamability: %s"
+               (Kfuse_util.Diag.to_string d))
+        | Ok native_session -> (
+          let native_dir = Option.map (fun d -> Filename.concat d "native") cache_dir in
+          let plan =
+            match Native.prepare ?cache_dir:native_dir ~mode:Native.Dlopen r.Driver.fused with
+            | Ok _ as ok -> ok
+            | Error d when d.Kfuse_util.Diag.code = Kfuse_util.Diag.Exec_failed ->
+              Native.prepare ?cache_dir:native_dir ~mode:Native.Subprocess r.Driver.fused
+            | Error _ as e -> e
+          in
+          match plan with
+          | Error d ->
+            Error
+              (Printf.sprintf "pinning the stream plan failed: %s"
+                 (Kfuse_util.Diag.to_string d))
+          | Ok plan ->
+            Fun.protect ~finally:(fun () -> Native.release plan) @@ fun () ->
+            let fp = Fingerprint.exact p in
+            let seed = String.fold_left (fun a c -> (a * 131) + Char.code c) 11 fp in
+            let rec frames i =
+              if i >= stream_frames then Ok ()
+              else
+                let frame =
+                  Frames.synthetic ~seed ~width:p.Pipeline.width
+                    ~height:p.Pipeline.height ~index:i
+                in
+                let ref_out = Session.push ref_session frame in
+                let bindings = Session.bindings native_session frame in
+                match Native.run_plan plan bindings with
+                | Error d ->
+                  Error
+                    (Printf.sprintf "frame %d: native execution failed: %s" i
+                       (Kfuse_util.Diag.to_string d))
+                | Ok res -> (
+                  Session.advance native_session frame;
+                  match
+                    compare_outputs
+                      ~what:(Printf.sprintf "frame %d native vs interpreter" i)
+                      ref_out res.Native.outputs
+                  with
+                  | Ok () -> frames (i + 1)
+                  | Error _ as e -> e)
+            in
+            frames 0)
+      with
+      | exception e ->
+        Error (Printf.sprintf "stream oracle raised: %s" (Printexc.to_string e))
+      | r -> r))
+
 let unparse_roundtrip p =
   match
     let norm = Corpus.normalize p in
@@ -526,6 +606,7 @@ let check ?(which = all) ?pool ?cache_dir ?(strict_optimal = false) ?(max_exhaus
         | Meta_duplicate -> meta_duplicate config p
         | Unparse_roundtrip -> unparse_roundtrip p
         | Native_exec -> native_exec ~cache_dir config p
+        | Stream_exec -> stream_exec ~cache_dir config p
       in
       match result with
       | Ok () -> go rest

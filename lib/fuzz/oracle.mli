@@ -44,7 +44,18 @@
       right bar).  Skips cleanly when the host has no C toolchain.
       Compiling every case is orders of magnitude slower than the rest
       of the bank, so this oracle is {e opt-in}: it is not in {!all}
-      and runs only when [which] names it. *)
+      and runs only when [which] names it.
+    - {!constructor:Stream_exec}: the multi-frame streaming
+      differential.  The same pipeline is windowed two ways — the
+      {!Kfuse_stream.Session} interpreter backend, and the fused plan
+      compiled and pinned {e once} ({!Kfuse_exec.Native.prepare}) then
+      run per frame — over a short synthetic frame sequence, and every
+      frame must agree {e bitwise}.  The temporal state carried between
+      frames is part of the oracle: a mis-clamped cold-start lag, a
+      double-advanced window, or a stale pinned artifact breaks later
+      frames even when frame 0 agrees.  Skips cleanly on
+      non-streamable pipelines and toolchain-less hosts; opt-in like
+      {!constructor:Native_exec}. *)
 
 type name =
   | Validate_ok
@@ -58,10 +69,11 @@ type name =
   | Meta_duplicate
   | Unparse_roundtrip
   | Native_exec
+  | Stream_exec
 
 (** The default bank, in the order {!check} runs it.  Excludes the
-    opt-in {!constructor:Native_exec}; pass
-    [~which:(all @ [Native_exec])] to include it. *)
+    opt-in {!constructor:Native_exec} and {!constructor:Stream_exec};
+    pass [~which:(all @ [Native_exec; Stream_exec])] to include them. *)
 val all : name list
 
 val name_to_string : name -> string

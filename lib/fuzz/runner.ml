@@ -75,7 +75,10 @@ let run ?(log = fun _ -> ()) (o : options) =
   let cache_dir =
     match o.cache_dir with Some d -> d | None -> fresh_cache_dir ()
   in
-  let bank = if o.native then Oracle.all @ [ Oracle.Native_exec ] else Oracle.all in
+  let bank =
+    if o.native then Oracle.all @ [ Oracle.Native_exec; Oracle.Stream_exec ]
+    else Oracle.all
+  in
   let check ?(which = bank) p =
     Oracle.check ~which ?pool ~cache_dir ~strict_optimal:o.strict_optimal config p
   in

@@ -24,10 +24,13 @@ type options = {
           compile cache; [None] probes a fresh directory under the
           system temp dir *)
   native : bool;
-      (** append the opt-in {!Oracle.Native_exec} oracle to the bank:
-          compile each fused plan with the host C toolchain and demand
-          bitwise agreement with the interpreter.  Much slower (one C
-          compile per case); skips silently on toolchain-less hosts *)
+      (** append the opt-in {!Oracle.Native_exec} and
+          {!Oracle.Stream_exec} oracles to the bank: compile each fused
+          plan with the host C toolchain and demand bitwise agreement
+          with the interpreter — per single execution, and across a
+          multi-frame streaming push sequence with temporal state
+          carried between frames.  Much slower (C compiles per case);
+          skips silently on toolchain-less hosts *)
 }
 
 val default_options : options

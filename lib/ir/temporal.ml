@@ -1,0 +1,52 @@
+type t = {
+  current : string list;
+  temporal : (string * int) list;
+  depth : int;
+}
+
+let lag_of_name name =
+  let prefix = "prev" in
+  let plen = String.length prefix in
+  let len = String.length name in
+  if len < plen || not (String.equal (String.sub name 0 plen) prefix) then None
+  else if len = plen then Some 1
+  else
+    let digits = String.sub name plen (len - plen) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      match int_of_string_opt digits with
+      | Some n when n >= 1 -> Some n
+      | _ -> None
+    else None
+
+let analyze (p : Pipeline.t) =
+  let current, temporal =
+    List.partition_map
+      (fun name ->
+        match lag_of_name name with
+        | None -> Left name
+        | Some lag -> Right (name, lag))
+      p.Pipeline.inputs
+  in
+  let temporal =
+    List.stable_sort (fun (_, a) (_, b) -> compare a b) temporal
+  in
+  let depth = List.fold_left (fun acc (_, lag) -> max acc lag) 0 temporal in
+  { current; temporal; depth }
+
+let is_temporal a = a.depth > 0
+
+let stream_input a =
+  match a.current with
+  | [ name ] -> Ok name
+  | [] ->
+      Error
+        (Kfuse_util.Diag.errorf Dangling_ref
+           "streaming needs exactly one current-frame input, pipeline has \
+            none (all inputs are temporal)")
+  | names ->
+      Error
+        (Kfuse_util.Diag.errorf Duplicate_name
+           "streaming needs exactly one current-frame input, pipeline has \
+            %d: %s"
+           (List.length names)
+           (String.concat ", " names))

@@ -1,0 +1,31 @@
+(** Temporal-input analysis for streaming pipelines.
+
+    A pipeline becomes temporal by naming convention on its inputs: an input
+    called ["prev"] is bound to the frame one step back in the stream, and
+    ["prev<N>"] (for [N >= 1], e.g. ["prev2"]) to the frame [N] steps back.
+    Every other input is a per-frame ("current") input. The compiled plan
+    stays a pure function of its bound frames; the stream session owns the
+    sliding window of past frames and rebinds it before each push. *)
+
+type t = {
+  current : string list;  (** non-temporal inputs, in [Pipeline.inputs] order *)
+  temporal : (string * int) list;
+      (** temporal inputs as [(name, lag)], sorted by ascending lag *)
+  depth : int;  (** maximum lag; [0] when the pipeline has no temporal input *)
+}
+
+val lag_of_name : string -> int option
+(** [lag_of_name name] is [Some n] when [name] follows the temporal naming
+    convention (["prev"] is lag 1, ["prev2"] lag 2, ...), [None] otherwise. *)
+
+val analyze : Pipeline.t -> t
+(** Classify the inputs of a pipeline. Never fails: a pipeline with no
+    temporal inputs yields [depth = 0] and an empty [temporal] list. *)
+
+val is_temporal : t -> bool
+(** [is_temporal a] is true when the pipeline reads at least one past frame. *)
+
+val stream_input : t -> (string, Kfuse_util.Diag.t) result
+(** [stream_input a] is the single current-frame input a streaming session
+    feeds each pushed frame into. Errors when the pipeline has no current
+    input or more than one, since binding would be ambiguous. *)

@@ -89,7 +89,15 @@ let default_retry = { attempts = 3; backoff_ms = 50.0; max_backoff_ms = 2_000.0;
 let retryable (d : Diag.t) =
   match d.Diag.code with Diag.Overloaded | Diag.Request_timeout -> true | _ -> false
 
-let idempotent = function Protocol.Shutdown -> false | _ -> true
+let idempotent = function
+  | Protocol.Shutdown -> false
+  (* A [KF0804] timeout leaves a push's fate unknown: the server may
+     have processed the frame and advanced the temporal window before
+     the reply was lost, so a blind retry could double-advance the
+     stream.  Pushes are only retried on explicit sheds — see
+     {!stream_push_retry}. *)
+  | Protocol.Stream_push _ -> false
+  | _ -> true
 
 let call ~socket ?timeout_ms ?(retry = default_retry) req =
   let rng = Rng.create retry.seed in
@@ -109,6 +117,36 @@ let call ~socket ?timeout_ms ?(retry = default_retry) req =
 
 let fuse t f = request t (Protocol.Fuse f)
 let fuse_exec t e = request t (Protocol.Fuse_exec e)
+let stream_open t o = request t (Protocol.Stream_open o)
+let stream_push t s = request t (Protocol.Stream_push s)
+let stream_close t id = request t (Protocol.Stream_close id)
+
+(* [KF0803] (too many streams) and [KF0805] (frame queue full) both
+   guarantee the server did NOT process the request — in particular a
+   [KF0805] shed happens before the temporal window is touched — so a
+   verbatim retry is safe.  [KF0804] is NOT retryable here: a timed-out
+   push may have been processed, and retrying it would double-advance
+   the stream. *)
+let push_retryable (d : Diag.t) =
+  match d.Diag.code with
+  | Diag.Overloaded | Diag.Stream_backpressure -> true
+  | _ -> false
+
+let stream_push_retry ?(retry = default_retry) t s =
+  let rng = Rng.create retry.seed in
+  let rec go attempt =
+    match stream_push t s with
+    | Ok _ as ok -> ok
+    | Error d when attempt < retry.attempts && push_retryable d ->
+      let step =
+        Float.min (retry.backoff_ms *. (2.0 ** float_of_int attempt)) retry.max_backoff_ms
+      in
+      Thread.delay (step *. (0.5 +. Rng.float rng 0.5) /. 1000.0);
+      go (attempt + 1)
+    | Error _ as e -> e
+  in
+  go 0
+
 let stats t = request t Protocol.Stats
 
 let metrics t =

@@ -67,6 +67,25 @@ val fuse : t -> Protocol.fuse_request -> (Jsonx.t, Diag.t) result
     trip; see {!Protocol.fuse_exec_request}. *)
 val fuse_exec : t -> Protocol.fuse_exec_request -> (Jsonx.t, Diag.t) result
 
+(** {2 Streaming}
+
+    One connection can interleave stream ops freely; sessions live in
+    the server, keyed by the ["id"] from {!stream_open}'s reply. *)
+
+val stream_open : t -> Protocol.stream_open_request -> (Jsonx.t, Diag.t) result
+val stream_push : t -> Protocol.stream_push_request -> (Jsonx.t, Diag.t) result
+val stream_close : t -> string -> (Jsonx.t, Diag.t) result
+
+(** [stream_push_retry ?retry t s] retries a push {e only} on explicit
+    sheds — [KF0803] (too many streams) and [KF0805] (frame queue full)
+    — which the server guarantees were rejected {e before} touching the
+    stream's temporal state, so the retry is verbatim-safe.  A [KF0804]
+    timeout is {e not} retried (and {!call} treats [Stream_push] as
+    non-idempotent for the same reason): a timed-out push may have been
+    processed, and retrying it would double-advance the stream. *)
+val stream_push_retry :
+  ?retry:retry -> t -> Protocol.stream_push_request -> (Jsonx.t, Diag.t) result
+
 val stats : t -> (Jsonx.t, Diag.t) result
 
 (** [metrics t] is the server's Prometheus-style text exposition. *)

@@ -130,9 +130,26 @@ type fuse_exec_request = {
   return_pixels : bool;
 }
 
+type stream_open_request = {
+  fuse : fuse_request;
+  exec_mode : Kfuse_exec.Native.mode option;  (* None = auto with fallback *)
+  width : int option;
+  height : int option;
+  seed : int;
+}
+
+type stream_push_request = {
+  id : string;
+  verify : bool;
+  return_pixels : bool;
+}
+
 type request =
   | Fuse of fuse_request
   | Fuse_exec of fuse_exec_request
+  | Stream_open of stream_open_request
+  | Stream_push of stream_push_request
+  | Stream_close of string  (* session id *)
   | Stats
   | Metrics
   | Ping
@@ -185,6 +202,28 @@ let request_to_json = function
       if e.return_pixels then ("return_pixels", Jsonx.Bool true) :: fields else fields
     in
     Jsonx.Obj (("op", Jsonx.Str "fuse_exec") :: fields)
+  | Stream_open o ->
+    let opt name conv v fields =
+      match v with None -> fields | Some v -> (name, conv v) :: fields
+    in
+    let fields =
+      fuse_fields o.fuse
+      |> opt "exec_mode"
+           (fun m -> Jsonx.Str (Kfuse_exec.Native.mode_to_string m))
+           o.exec_mode
+      |> opt "width" (fun v -> Jsonx.Num (float_of_int v)) o.width
+      |> opt "height" (fun v -> Jsonx.Num (float_of_int v)) o.height
+    in
+    let fields = ("seed", Jsonx.Num (float_of_int o.seed)) :: fields in
+    Jsonx.Obj (("op", Jsonx.Str "stream_open") :: fields)
+  | Stream_push s ->
+    let fields = [ ("id", Jsonx.Str s.id) ] in
+    let fields = if s.verify then ("verify", Jsonx.Bool true) :: fields else fields in
+    let fields =
+      if s.return_pixels then ("return_pixels", Jsonx.Bool true) :: fields else fields
+    in
+    Jsonx.Obj (("op", Jsonx.Str "stream_push") :: fields)
+  | Stream_close id -> Jsonx.Obj [ ("op", Jsonx.Str "stream_close"); ("id", Jsonx.Str id) ]
 
 let proto_error fmt = Printf.ksprintf (fun m -> Error (Diag.v Diag.Protocol_error m)) fmt
 
@@ -296,6 +335,50 @@ let request_of_json v =
            verify = Option.value ~default:false verify;
            return_pixels = Option.value ~default:false return_pixels;
          })
+  | Some "stream_open" ->
+    let* fuse = fuse_of_json v in
+    let* exec_mode_name = typed_field "exec_mode" Jsonx.str "string" v in
+    let* exec_mode =
+      match exec_mode_name with
+      | None | Some "auto" -> Ok None
+      | Some s -> (
+        match Kfuse_exec.Native.mode_of_string s with
+        | Some m -> Ok (Some m)
+        | None -> proto_error "unknown exec_mode %S (auto, dlopen or subprocess)" s)
+    in
+    let* width = int_field "width" v in
+    let* height = int_field "height" v in
+    let* () =
+      match (width, height) with
+      | Some _, None | None, Some _ ->
+        proto_error "pass \"width\" and \"height\" together"
+      | _ -> Ok ()
+    in
+    let* seed = int_field "seed" v in
+    Ok
+      (Stream_open
+         { fuse; exec_mode; width; height; seed = Option.value ~default:42 seed })
+  | Some "stream_push" ->
+    let* id = typed_field "id" Jsonx.str "string" v in
+    let* id =
+      match id with
+      | Some id -> Ok id
+      | None -> proto_error "stream_push needs a string \"id\" field"
+    in
+    let* verify = typed_field "verify" Jsonx.bool "boolean" v in
+    let* return_pixels = typed_field "return_pixels" Jsonx.bool "boolean" v in
+    Ok
+      (Stream_push
+         {
+           id;
+           verify = Option.value ~default:false verify;
+           return_pixels = Option.value ~default:false return_pixels;
+         })
+  | Some "stream_close" -> (
+    let* id = typed_field "id" Jsonx.str "string" v in
+    match id with
+    | Some id -> Ok (Stream_close id)
+    | None -> proto_error "stream_close needs a string \"id\" field")
   | Some op -> proto_error "unknown op %S" op
 
 (* ---- responses ---- *)

@@ -28,6 +28,27 @@
       hits a resource limit is a typed [KF0905]/[KF0906]/[KF0907]
       error, and a quarantined plan answers with
       ["exec"."mode" = "interpreter"] and ["quarantined"]: true.
+    - [{"op":"stream_open", ...}] — open a per-stream session: plan the
+      pipeline once (through the plan cache), compile and pin the native
+      artifact once, and allocate the stream's temporal frame window
+      (see {!Kfuse_ir.Temporal}).  All ["fuse"] fields, plus optional
+      ["exec_mode"], ["width"]/["height"] and ["seed"] (synthetic frame
+      stream, default 42) as in [fuse_exec].  Replies with the session
+      ["id"], the temporal ["depth"] and the plan/compile facts.  When
+      the server is at [--max-streams] the open is shed with [KF0803].
+    - [{"op":"stream_push", "id":...}] — run the next synthetic frame of
+      session ["id"] against the pinned plan and the session's temporal
+      state.  Optional ["verify"] and ["return_pixels"] as in
+      [fuse_exec].  Replies with the frame ["seq"] and an ["exec"]
+      object; when the session's bounded frame queue is full the push is
+      shed with [KF0805] ({e before} touching temporal state — a shed
+      frame never advances the stream), and an unknown/expired id is
+      [KF0806].  A crashed execution quarantines the plan ([KF09xx]
+      breaker) and the frame falls back to the interpreter against the
+      same bindings, so the stream's pixel history stays bit-exact.
+    - [{"op":"stream_close", "id":...}] — release the session (plan
+      handle, temporal window); replies with the total ["frames"].
+      Sessions idle longer than [--stream-idle-ms] are reaped lazily.
     - [{"op":"stats"}] — cache + latency counters as JSON.
     - [{"op":"metrics"}] — Prometheus-style text exposition (in the
       ["text"] field of the response).
@@ -103,9 +124,28 @@ type fuse_exec_request = {
   return_pixels : bool;  (** inline output pixels in the reply *)
 }
 
+type stream_open_request = {
+  fuse : fuse_request;
+  exec_mode : Kfuse_exec.Native.mode option;
+      (** [None] = try {!Kfuse_exec.Native.Dlopen}, fall back to
+          {!Kfuse_exec.Native.Subprocess} *)
+  width : int option;  (** extent override, apps only; paired with [height] *)
+  height : int option;
+  seed : int;  (** synthetic frame stream seed *)
+}
+
+type stream_push_request = {
+  id : string;  (** session id from the [stream_open] reply *)
+  verify : bool;  (** also run the interpreter, report [max_abs_diff] *)
+  return_pixels : bool;  (** inline output pixels in the reply *)
+}
+
 type request =
   | Fuse of fuse_request
   | Fuse_exec of fuse_exec_request
+  | Stream_open of stream_open_request
+  | Stream_push of stream_push_request
+  | Stream_close of string  (** session id *)
   | Stats
   | Metrics
   | Ping

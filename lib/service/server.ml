@@ -11,6 +11,29 @@ module Image = Kfuse_image.Image
 module Native = Kfuse_exec.Native
 module Supervisor = Kfuse_exec.Supervisor
 module Toolchain = Kfuse_exec.Toolchain
+module Session = Kfuse_stream.Session
+module Frames = Kfuse_stream.Frames
+
+(* One open stream: the per-stream temporal state plus the pinned
+   compiled plan.  [in_flight] (under the server's [streams_lock]) is
+   the bounded per-session frame queue — pushes beyond [stream_queue]
+   are shed with [KF0805] before touching any state.  [s_lock]
+   serializes frame execution so the temporal window advances exactly
+   once per processed frame.  [closed] marks a stream removed from the
+   table while pushes are still draining; the last one out releases the
+   pinned plan. *)
+type stream = {
+  stream_id : string;
+  session : Session.t;
+  stream_seed : int;
+  stream_fp : string;  (* exact fingerprint, the breaker's key *)
+  stream_plan : Native.plan option;  (* None = interpreter-only stream *)
+  s_lock : Mutex.t;
+  mutable seq_hint : int;  (* frames processed; informational *)
+  mutable last_used : float;
+  mutable in_flight : int;
+  mutable closed : bool;
+}
 
 type t = {
   socket_path : string;
@@ -49,6 +72,16 @@ type t = {
   queue : Unix.file_descr Queue.t;
   mutable busy : int;
   active : Unix.file_descr option array;
+  (* Stream sessions, under [streams_lock].  [max_streams] bounds open
+     sessions ([KF0803] beyond it), [stream_queue] bounds each session's
+     in-flight pushes ([KF0805] beyond it), [stream_idle_ms] is the lazy
+     idle-expiry horizon (<= 0 disables). *)
+  streams_lock : Mutex.t;
+  streams : (string, stream) Hashtbl.t;
+  next_stream : int Atomic.t;
+  max_streams : int;
+  stream_queue : int;
+  stream_idle_ms : float;
 }
 
 let socket t = t.socket_path
@@ -377,7 +410,362 @@ let handle_fuse_exec t ~deadline (e : Protocol.fuse_exec_request) =
               ]
             @ verify_fields))))
 
+(* ---- streams ---- *)
+
+let streams_active t =
+  Mutex.lock t.streams_lock;
+  let n = Hashtbl.length t.streams in
+  Mutex.unlock t.streams_lock;
+  n
+
+(* Exactly-once plan release: the transition to [closed && in_flight = 0]
+   is observed under [streams_lock] by exactly one thread — the closer
+   (or expirer) when no push is draining, else the last draining push. *)
+let stream_done t st =
+  Mutex.lock t.streams_lock;
+  st.in_flight <- st.in_flight - 1;
+  let release_now = st.closed && st.in_flight = 0 in
+  Mutex.unlock t.streams_lock;
+  if release_now then Option.iter Native.release st.stream_plan
+
+(* Lazy idle expiry, run from every stream/stats/metrics op: no reaper
+   thread to leak, and an idle daemon holds no pinned plans forever. *)
+let expire_idle_streams t =
+  if t.stream_idle_ms > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.streams_lock;
+    let doomed =
+      Hashtbl.fold
+        (fun id st acc ->
+          if st.in_flight = 0 && (now -. st.last_used) *. 1000.0 > t.stream_idle_ms then
+            (id, st) :: acc
+          else acc)
+        t.streams []
+    in
+    List.iter
+      (fun (id, st) ->
+        st.closed <- true;
+        Hashtbl.remove t.streams id)
+      doomed;
+    Mutex.unlock t.streams_lock;
+    List.iter
+      (fun (_, st) ->
+        Option.iter Native.release st.stream_plan;
+        Metrics.incr t.metrics "streams_expired";
+        Metrics.decr_gauge t.metrics "streams_active")
+      doomed
+  end
+
+(* Orderly shutdown: by the time this runs the workers are joined, so
+   every [in_flight] is 0 and every pinned plan can be dropped. *)
+let release_all_streams t =
+  Mutex.lock t.streams_lock;
+  let all = Hashtbl.fold (fun _ st acc -> st :: acc) t.streams [] in
+  List.iter (fun st -> st.closed <- true) all;
+  Hashtbl.reset t.streams;
+  Mutex.unlock t.streams_lock;
+  List.iter
+    (fun st ->
+      if st.in_flight = 0 then Option.iter Native.release st.stream_plan;
+      Metrics.decr_gauge t.metrics "streams_active")
+    all
+
+(* Pick and pin the native backend for a new stream under the server's
+   sandbox policy.  [Ok (None, warns)] is an interpreter-only stream —
+   the daemon stays useful on hosts without a C toolchain. *)
+let prepare_stream_plan t ~requested ~cache_dir p =
+  let prepare mode = Native.prepare ?cache_dir ~mode p in
+  let pinned =
+    match t.exec_sandbox with
+    | Supervisor.Sandboxed ->
+      (* Same rule as [fuse_exec]: only the supervised subprocess can be
+         resource-capped, so a requested dlopen mode is overridden. *)
+      Result.map (fun pl -> (pl, [])) (prepare Native.Subprocess)
+    | Supervisor.Dlopen_trusted | Supervisor.Unsandboxed -> (
+      match requested with
+      | Some m -> Result.map (fun pl -> (pl, [])) (prepare m)
+      | None -> (
+        match prepare Native.Dlopen with
+        | Ok pl -> Ok (pl, [])
+        | Error d when d.Diag.code = Diag.Exec_failed ->
+          Result.map
+            (fun pl -> (pl, [ { d with Diag.severity = Diag.Warning } ]))
+            (prepare Native.Subprocess)
+        | Error _ as e -> e))
+  in
+  match pinned with
+  | Ok (pl, warns) -> Ok (Some pl, warns)
+  | Error d when d.Diag.code = Diag.Toolchain_missing ->
+    Ok
+      ( None,
+        [ Diag.warningf Diag.Toolchain_missing "%s; stream served by the interpreter" d.Diag.message ] )
+  | Error _ as e -> e
+
+let warnings_json warns =
+  Jsonx.Arr (List.map (fun d -> Jsonx.Str (Diag.to_string d)) warns)
+
+let handle_stream_open t ~deadline (o : Protocol.stream_open_request) =
+  expire_idle_streams t;
+  let size =
+    match (o.Protocol.width, o.Protocol.height) with
+    | Some w, Some h -> Some (w, h)
+    | _ -> None
+  in
+  match plan t ~deadline ?size o.Protocol.fuse with
+  | Error d -> Protocol.error d
+  | Ok ((r, _, _) as served) -> (
+    let p = r.F.Driver.fused in
+    match Session.create p with
+    | Error d -> Protocol.error d
+    | Ok session -> (
+      match Deadline.check deadline with
+      | exception Deadline.Expired _ ->
+        Metrics.incr t.metrics "requests_timed_out";
+        Protocol.error
+          (Diag.errorf Diag.Request_timeout
+             "request deadline expired after planning, before the stream compile")
+      | () ->
+        if streams_active t >= t.max_streams then begin
+          Metrics.incr t.metrics "streams_shed";
+          Protocol.error
+            (Diag.errorf Diag.Overloaded
+               "server at --max-streams (%d): close a stream or retry with backoff"
+               t.max_streams)
+        end
+        else begin
+          let cache_dir =
+            Option.map (fun d -> Filename.concat d "native") (Plan_cache.dir t.cache)
+          in
+          match prepare_stream_plan t ~requested:o.Protocol.exec_mode ~cache_dir p with
+          | Error d -> Protocol.error d
+          | Ok (plan_opt, warns) ->
+            let id = Printf.sprintf "st-%d" (Atomic.fetch_and_add t.next_stream 1) in
+            let st =
+              {
+                stream_id = id;
+                session;
+                stream_seed = o.Protocol.seed;
+                stream_fp = Fingerprint.exact p;
+                stream_plan = plan_opt;
+                s_lock = Mutex.create ();
+                seq_hint = 0;
+                last_used = Unix.gettimeofday ();
+                in_flight = 0;
+                closed = false;
+              }
+            in
+            Mutex.lock t.streams_lock;
+            Hashtbl.replace t.streams id st;
+            Mutex.unlock t.streams_lock;
+            Metrics.incr t.metrics "streams_opened";
+            Metrics.incr_gauge t.metrics "streams_active";
+            let mode, artifact, cached, compile_ms =
+              match plan_opt with
+              | None -> ("interpreter", "", false, 0.0)
+              | Some pl ->
+                ( Native.mode_to_string (Native.plan_mode pl),
+                  Native.plan_artifact pl,
+                  Native.plan_cached pl,
+                  Native.plan_compile_ms pl )
+            in
+            Protocol.ok
+              (plan_fields served
+              @ [
+                  ("id", Jsonx.Str id);
+                  ( "depth",
+                    Jsonx.Num (float_of_int (Session.depth session)) );
+                  ("width", Jsonx.Num (float_of_int p.Ir.Pipeline.width));
+                  ("height", Jsonx.Num (float_of_int p.Ir.Pipeline.height));
+                  ("seed", Jsonx.Num (float_of_int o.Protocol.seed));
+                  ( "exec",
+                    Jsonx.Obj
+                      [
+                        ("mode", Jsonx.Str mode);
+                        ( "sandboxed",
+                          Jsonx.Bool (t.exec_sandbox = Supervisor.Sandboxed) );
+                        ("artifact", Jsonx.Str artifact);
+                        ("artifact_cached", Jsonx.Bool cached);
+                        ("compile_ms", Jsonx.Num compile_ms);
+                        ("warnings", warnings_json warns);
+                      ] );
+                ])
+        end))
+
+let unknown_stream id =
+  Protocol.error
+    (Diag.errorf Diag.Stream_unknown
+       "unknown stream %S (never opened, already closed, or idle-expired)" id)
+
+let handle_stream_push t ~deadline (s : Protocol.stream_push_request) =
+  expire_idle_streams t;
+  let forced_shed =
+    match Faults.hit "stream.shed" with
+    | () -> false
+    | exception Faults.Fault _ -> true
+  in
+  Mutex.lock t.streams_lock;
+  let admitted =
+    match Hashtbl.find_opt t.streams s.Protocol.id with
+    | None ->
+      Mutex.unlock t.streams_lock;
+      Error (unknown_stream s.Protocol.id)
+    | Some st ->
+      if forced_shed || st.in_flight >= t.stream_queue then begin
+        Mutex.unlock t.streams_lock;
+        (* Shed BEFORE touching temporal state: the frame was not
+           processed and the stream did not advance, so the client can
+           retry the push verbatim. *)
+        Metrics.incr t.metrics "frames_shed";
+        Error
+          (Protocol.error
+             (Diag.errorf Diag.Stream_backpressure
+                "stream %S frame queue full (%d in flight of %d): frame dropped, retry \
+                 with backoff"
+                s.Protocol.id st.in_flight t.stream_queue))
+      end
+      else begin
+        st.in_flight <- st.in_flight + 1;
+        Mutex.unlock t.streams_lock;
+        Ok st
+      end
+  in
+  match admitted with
+  | Error resp -> resp
+  | Ok st ->
+    Fun.protect ~finally:(fun () -> stream_done t st) @@ fun () ->
+    Mutex.lock st.s_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock st.s_lock) @@ fun () ->
+    if st.closed then unknown_stream s.Protocol.id
+    else begin
+      st.last_used <- Unix.gettimeofday ();
+      let session = st.session in
+      let p = Session.pipeline session in
+      let params = Session.params session in
+      let seq = Session.frames session in
+      let frame =
+        Frames.synthetic ~seed:st.stream_seed ~width:p.Ir.Pipeline.width
+          ~height:p.Ir.Pipeline.height ~index:seq
+      in
+      let bindings = Session.bindings session frame in
+      let interp () =
+        let t0 = Unix.gettimeofday () in
+        let outs = Ir.Eval.run_outputs ~params p (Ir.Eval.env_of_list bindings) in
+        (outs, (Unix.gettimeofday () -. t0) *. 1000.)
+      in
+      let use_breaker = t.exec_sandbox <> Supervisor.Unsandboxed in
+      let verdict =
+        match st.stream_plan with
+        | None -> Supervisor.Breaker.Allow
+        | Some _ ->
+          if use_breaker then Supervisor.Breaker.check t.breaker st.stream_fp
+          else Supervisor.Breaker.Allow
+      in
+      (* (outputs, mode, quarantined, fallback, exec_ms, warnings,
+         max_abs_diff when verify). *)
+      let outputs, mode, quarantined, fallback, exec_ms, warns, diff =
+        match (verdict, st.stream_plan) with
+        | _, None ->
+          let outs, ms = interp () in
+          (outs, "interpreter", false, false, ms, [], Some 0.0)
+        | Supervisor.Breaker.Quarantined qd, Some _ ->
+          Metrics.incr t.metrics "native_exec_fallbacks";
+          let warning =
+            Diag.warningf Diag.Exec_failed
+              "plan quarantined after %d consecutive native failures (last: %s); frame \
+               served by the interpreter"
+              (Supervisor.Breaker.threshold t.breaker)
+              (Diag.to_string qd)
+          in
+          let outs, ms = interp () in
+          (outs, "interpreter", true, true, ms, [ warning ], Some 0.0)
+        | (Supervisor.Breaker.Allow | Supervisor.Breaker.Probe), Some pl -> (
+          match
+            Native.run_plan ~params ~deadline ~limits:t.exec_limits pl bindings
+          with
+          | Ok res ->
+            if use_breaker && Supervisor.Breaker.record_success t.breaker st.stream_fp
+            then Metrics.decr_gauge t.metrics "quarantined_plans";
+            let diff =
+              if not s.Protocol.verify then None
+              else begin
+                let reference, _ = interp () in
+                Some
+                  (List.fold_left2
+                     (fun acc (_, want) (_, got) ->
+                       Float.max acc (Image.max_abs_diff want got))
+                     0.0 reference res.Native.outputs)
+              end
+            in
+            ( res.Native.outputs,
+              Native.mode_to_string res.Native.mode_used,
+              false, false, res.Native.exec_ms, [], diff )
+          | Error d ->
+            (* The frame still ships: fall back to the interpreter on
+               the SAME bindings, then advance — the stream's pixel
+               history is identical to an all-interpreter run, which is
+               exactly what the chaos oracle asserts. *)
+            if is_supervised_failure d then
+              record_exec_failure t ~use_breaker ~fp:st.stream_fp ~seed:st.stream_seed p d;
+            Metrics.incr t.metrics "native_exec_fallbacks";
+            let outs, ms = interp () in
+            (outs, "interpreter", false, true, ms,
+             [ { d with Diag.severity = Diag.Warning } ], Some 0.0)
+        )
+      in
+      Session.advance session frame;
+      st.seq_hint <- seq + 1;
+      st.last_used <- Unix.gettimeofday ();
+      Metrics.incr t.metrics "frames_pushed";
+      Protocol.ok
+        ([
+           ("id", Jsonx.Str st.stream_id);
+           ("seq", Jsonx.Num (float_of_int seq));
+           ("frames", Jsonx.Num (float_of_int (seq + 1)));
+           ( "exec",
+             Jsonx.Obj
+               [
+                 ("mode", Jsonx.Str mode);
+                 ("sandboxed", Jsonx.Bool (t.exec_sandbox = Supervisor.Sandboxed));
+                 ("quarantined", Jsonx.Bool quarantined);
+                 ("fallback", Jsonx.Bool fallback);
+                 ("exec_ms", Jsonx.Num exec_ms);
+                 ("warnings", warnings_json warns);
+               ] );
+           ( "outputs",
+             Jsonx.Arr
+               (List.map (output_json ~return_pixels:s.Protocol.return_pixels) outputs)
+           );
+         ]
+        @ match diff with
+          | Some d when s.Protocol.verify -> [ ("max_abs_diff", Jsonx.Num d) ]
+          | _ -> [])
+    end
+
+let handle_stream_close t id =
+  expire_idle_streams t;
+  Mutex.lock t.streams_lock;
+  match Hashtbl.find_opt t.streams id with
+  | None ->
+    Mutex.unlock t.streams_lock;
+    unknown_stream id
+  | Some st ->
+    Hashtbl.remove t.streams id;
+    st.closed <- true;
+    let release_now = st.in_flight = 0 in
+    Mutex.unlock t.streams_lock;
+    (* Wait for a draining push before reading the frame count; the
+       plan itself is released by the last push out ([stream_done]). *)
+    Mutex.lock st.s_lock;
+    let frames = Session.frames st.session in
+    Mutex.unlock st.s_lock;
+    if release_now then Option.iter Native.release st.stream_plan;
+    Metrics.incr t.metrics "streams_closed";
+    Metrics.decr_gauge t.metrics "streams_active";
+    Protocol.ok
+      [ ("id", Jsonx.Str id); ("frames", Jsonx.Num (float_of_int frames)) ]
+
 let stats_json t =
+  expire_idle_streams t;
   let c = Plan_cache.stats t.cache in
   let latency_json op =
     match Metrics.latency t.metrics op with
@@ -453,6 +841,21 @@ let stats_json t =
               Jsonx.Num (float_of_int (Metrics.gauge t.metrics "quarantined_plans")) );
             ("crash_dir", Jsonx.Str t.crash_dir);
           ] );
+      ( "streams",
+        Jsonx.Obj
+          [
+            ( "active",
+              Jsonx.Num (float_of_int (Metrics.gauge t.metrics "streams_active")) );
+            ("opened", count "streams_opened");
+            ("closed", count "streams_closed");
+            ("expired", count "streams_expired");
+            ("shed", count "streams_shed");
+            ("frames_pushed", count "frames_pushed");
+            ("frames_shed", count "frames_shed");
+            ("max_streams", Jsonx.Num (float_of_int t.max_streams));
+            ("stream_queue", Jsonx.Num (float_of_int t.stream_queue));
+            ("stream_idle_ms", Jsonx.Num t.stream_idle_ms);
+          ] );
     ]
 
 (* [dispatch] never raises: a failing handler becomes an error response
@@ -465,6 +868,9 @@ let dispatch t ~deadline v =
       match req with
       | Protocol.Fuse _ -> "fuse"
       | Protocol.Fuse_exec _ -> "fuse_exec"
+      | Protocol.Stream_open _ -> "stream_open"
+      | Protocol.Stream_push _ -> "stream_push"
+      | Protocol.Stream_close _ -> "stream_close"
       | Protocol.Stats -> "stats"
       | Protocol.Metrics -> "metrics"
       | Protocol.Ping -> "ping"
@@ -487,6 +893,21 @@ let dispatch t ~deadline v =
       | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
     | Protocol.Fuse_exec e -> (
       match handle_fuse_exec t ~deadline e with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Stream_open o -> (
+      match handle_stream_open t ~deadline o with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Stream_push s -> (
+      match handle_stream_push t ~deadline s with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Stream_close id -> (
+      match handle_stream_close t id with
       | resp -> (op, resp, false)
       | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
       | exception exn -> (op, Protocol.error (Diag.of_exn exn), false)))
@@ -703,11 +1124,16 @@ let default_crash_dir () = Filename.concat (Plan_cache.default_dir ()) "crash-co
 let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
     ?(request_timeout_ms = 30_000.0) ?(drain_timeout_ms = 5_000.0)
     ?(exec_sandbox = Supervisor.Sandboxed) ?(exec_limits = Supervisor.default_limits)
-    ?crash_dir ?(breaker_threshold = 3) ?(breaker_cooldown_ms = 60_000.0) () =
+    ?crash_dir ?(breaker_threshold = 3) ?(breaker_cooldown_ms = 60_000.0)
+    ?(max_streams = 64) ?(stream_queue = 4) ?(stream_idle_ms = 60_000.0) () =
   if max_conns < 1 then
     Error (Diag.errorf Diag.Config_invalid "max_conns must be >= 1 (got %d)" max_conns)
   else if queue < 0 then
     Error (Diag.errorf Diag.Config_invalid "queue must be >= 0 (got %d)" queue)
+  else if max_streams < 1 then
+    Error (Diag.errorf Diag.Config_invalid "max_streams must be >= 1 (got %d)" max_streams)
+  else if stream_queue < 1 then
+    Error (Diag.errorf Diag.Config_invalid "stream_queue must be >= 1 (got %d)" stream_queue)
   else if breaker_threshold < 1 then
     Error
       (Diag.errorf Diag.Config_invalid "breaker_threshold must be >= 1 (got %d)"
@@ -735,9 +1161,12 @@ let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
             "connections_accepted"; "connections_dropped"; "requests_shed";
             "requests_timed_out"; "protocol_errors"; "native_exec_crashes";
             "native_exec_timeouts"; "native_exec_limits"; "native_exec_fallbacks";
+            "streams_opened"; "streams_closed"; "streams_expired"; "streams_shed";
+            "frames_pushed"; "frames_shed";
           ];
         Metrics.adjust_gauge metrics "connections_active" 0;
         Metrics.adjust_gauge metrics "quarantined_plans" 0;
+        Metrics.adjust_gauge metrics "streams_active" 0;
         let t =
           {
             socket_path = path;
@@ -767,6 +1196,12 @@ let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
             queue = Queue.create ();
             busy = 0;
             active = Array.make max_conns None;
+            streams_lock = Mutex.create ();
+            streams = Hashtbl.create 16;
+            next_stream = Atomic.make 0;
+            max_streams;
+            stream_queue;
+            stream_idle_ms;
           }
         in
         t.workers <- Array.init max_conns (fun slot -> Thread.create (worker_loop t) slot);
@@ -816,7 +1251,10 @@ let wait t =
   in
   drain ();
   Array.iter Thread.join t.workers;
-  try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
+  (* Workers are joined, so no push is in flight: every stream's pinned
+     plan can be released before the process exits. *)
+  release_all_streams t;
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
 
 let stop t =
   initiate_stop t;

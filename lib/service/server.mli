@@ -73,7 +73,23 @@ type t
     {!Kfuse_cache.Plan_cache.default_dir}) receives crash artifacts.
     [breaker_threshold] (default 3, >= 1) consecutive supervised
     failures quarantine a plan fingerprint; [breaker_cooldown_ms]
-    (default 60s) is the quarantine period before a half-open probe. *)
+    (default 60s) is the quarantine period before a half-open probe.
+
+    Streaming ([stream_open]/[stream_push]/[stream_close], see
+    {!Protocol}): [max_streams] (default 64, >= 1) bounds concurrently
+    open sessions — an open beyond it is shed with [KF0803].
+    [stream_queue] (default 4, >= 1) bounds each session's in-flight
+    pushes — a push beyond it is shed with [KF0805] {e before} touching
+    the session's temporal state, so the client can retry it verbatim.
+    [stream_idle_ms] (default 60s; <= 0 disables) is the idle-expiry
+    horizon: sessions untouched for longer are reaped lazily (on the
+    next stream/stats/metrics op), releasing their pinned native plan.
+    Each stream compiles its plan exactly once at [stream_open] and
+    reuses the pinned artifact for every frame
+    ({!Kfuse_exec.Native.prepare}/{!Kfuse_exec.Native.run_plan});
+    per-frame failures fall back to the interpreter on the same
+    bindings, so a stream's pixel history stays bit-exact across
+    backend changes. *)
 val start :
   socket:string ->
   cache:Kfuse_cache.Plan_cache.t ->
@@ -88,6 +104,9 @@ val start :
   ?crash_dir:string ->
   ?breaker_threshold:int ->
   ?breaker_cooldown_ms:float ->
+  ?max_streams:int ->
+  ?stream_queue:int ->
+  ?stream_idle_ms:float ->
   unit ->
   (t, Diag.t) result
 

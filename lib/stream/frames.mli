@@ -1,0 +1,10 @@
+(** Deterministic synthetic video frames.
+
+    [synthetic ~seed ~width ~height ~index] is frame [index] of the
+    synthetic stream [seed]: a bright blob orbiting the frame center
+    (real inter-frame motion for the temporal apps to detect) plus
+    closed-form per-pixel hash noise.  Pure function of its arguments —
+    the client, the server and the fuzz oracle all reconstruct exactly
+    the same pixels from [(seed, index)], which is what lets
+    [stream_push] ship a seed instead of half a megabyte of pixels. *)
+val synthetic : seed:int -> width:int -> height:int -> index:int -> Kfuse_image.Image.t

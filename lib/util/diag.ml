@@ -22,6 +22,8 @@ type code =
   | Service_error
   | Overloaded
   | Request_timeout
+  | Stream_backpressure
+  | Stream_unknown
   | Fault_injected
   | Toolchain_missing
   | Compile_failed
@@ -59,6 +61,8 @@ let code_id = function
   | Service_error -> "KF0802"
   | Overloaded -> "KF0803"
   | Request_timeout -> "KF0804"
+  | Stream_backpressure -> "KF0805"
+  | Stream_unknown -> "KF0806"
   | Fault_injected -> "KF0901"
   | Toolchain_missing -> "KF0902"
   | Compile_failed -> "KF0903"
@@ -74,7 +78,8 @@ let all_codes =
     Dangling_ref; Duplicate_name; Empty_iteration_space; Mask_too_large;
     Global_consumed; Unbound_param; Empty_pipeline; Invalid_partition;
     Strategy_failed; Budget_exceeded; Cache_corrupt; Protocol_error;
-    Service_error; Overloaded; Request_timeout; Fault_injected;
+    Service_error; Overloaded; Request_timeout; Stream_backpressure;
+    Stream_unknown; Fault_injected;
     Toolchain_missing; Compile_failed; Exec_failed; Exec_timeout;
     Exec_crashed; Exec_limit; Internal_error;
   ]

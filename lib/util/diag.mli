@@ -46,6 +46,13 @@ type code =
   | Request_timeout
       (** KF0804: a [kfused] request (or its reply) overran its
           wall-clock deadline, or the peer went silent mid-frame *)
+  | Stream_backpressure
+      (** KF0805: a [stream_push] was shed because the session's bounded
+          frame queue is full — the frame was NOT processed and the
+          temporal state did not advance; safe to retry after a backoff *)
+  | Stream_unknown
+      (** KF0806: a stream op named a session id the server does not
+          hold (never opened, already closed, or expired on idle) *)
   | Fault_injected  (** KF0901: deterministic fault-injection trigger *)
   | Toolchain_missing
       (** KF0902: no usable C compiler for the native execution backend

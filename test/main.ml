@@ -39,6 +39,7 @@ let () =
       ("cache", Test_cache.suite);
       ("service", Test_service.suite);
       ("chaos", Test_chaos.suite);
+      ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);
       ("cli", Test_cli.suite);
     ]

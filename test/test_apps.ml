@@ -20,7 +20,7 @@ let check_pattern p name expected =
 let test_registry () =
   Alcotest.(check (list string))
     "table order"
-    [ "harris"; "sobel"; "unsharp"; "shitomasi"; "enhance"; "night" ]
+    [ "harris"; "sobel"; "unsharp"; "shitomasi"; "enhance"; "motion"; "tharris"; "night" ]
     Registry.names;
   Alcotest.(check bool) "find" true (Option.is_some (Registry.find "harris"));
   Alcotest.(check bool) "missing" true (Registry.find "canny" = None)
