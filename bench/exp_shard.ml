@@ -1,0 +1,181 @@
+(* exp-shard: service topology benchmark — router vs single server.
+
+   Measures, over the same request mix:
+
+   - fuse round-trip latency (p50/p99) against one in-process server;
+   - the same through a supervised 4-shard fleet (router adds a hop and
+     the fingerprint keyspace mapping);
+   - warm-cache hit latency for both (the steady state of a long-lived
+     service);
+   - the failover blip: with the fleet warm, SIGKILL the home shard of
+     the benchmarked pipeline and time how long a retrying client is
+     stalled before its next reply lands.
+
+   Results are written to BENCH_service.json as a
+   kfuse-bench-service/v1 document, so CI can archive the numbers next
+   to BENCH_native.json / BENCH_stream.json.  Not part of the default
+   bench set (it spawns real shard subprocesses): run with
+   [bench/main.exe shard]. *)
+
+module Svc = Kfuse_service
+module Cache = Kfuse_cache
+module Diag = Kfuse_util.Diag
+module Protocol = Svc.Protocol
+module Jsonx = Svc.Jsonx
+
+let out_path = "BENCH_service.json"
+let app = "harris"
+let samples = 200
+
+(* The shards are real kfusec processes; find the binary relative to
+   this benchmark executable (_build/default/bench/main.exe →
+   _build/default/bin/kfusec.exe), overridable for odd layouts. *)
+let kfusec () =
+  match Sys.getenv_opt "KFUSEC" with
+  | Some p -> p
+  | None ->
+    Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "kfusec.exe"))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let temp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "kfuse-bench-shard-%d-%s" (Unix.getpid ()) name)
+
+let fuse_req =
+  {
+    Protocol.app = Some app;
+    source = None;
+    strategy = Kfuse_fusion.Driver.Mincut;
+    c_mshared = None;
+    gamma = None;
+    tg = None;
+    optimize = false;
+    inline = false;
+    strict = false;
+    budget_ms = None;
+    no_cache = false;
+  }
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let expect = function
+  | Ok v -> v
+  | Error d -> failwith ("exp-shard: request failed: " ^ Diag.to_string d)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* One warm-up (cold plan), then [samples] timed warm round trips. *)
+let measure ~socket =
+  let call () = expect (Svc.Client.call ~socket (Protocol.Fuse fuse_req)) in
+  let _, cold_ms = time_ms call in
+  let times = Array.init samples (fun _ -> snd (time_ms call)) in
+  Array.sort compare times;
+  (cold_ms, quantile times 0.5, quantile times 0.99)
+
+let json_of_tier (cold, p50, p99) =
+  Jsonx.Obj
+    [ ("cold_ms", Jsonx.Num cold); ("p50_ms", Jsonx.Num p50); ("p99_ms", Jsonx.Num p99) ]
+
+let run () =
+  print_endline "=== exp-shard: router vs single server, failover blip ===";
+  (* --- single server, in process --- *)
+  let single_dir = temp_path "single" in
+  rm_rf single_dir;
+  let single =
+    let socket = temp_path "single.sock" in
+    let cache = Cache.Plan_cache.create ~dir:single_dir () in
+    Kfuse_util.Pool.with_pool 2 (fun pool ->
+        match Svc.Server.start ~socket ~cache ~pool () with
+        | Error d -> failwith ("exp-shard: single server: " ^ Diag.to_string d)
+        | Ok server ->
+          Fun.protect
+            ~finally:(fun () -> Svc.Server.stop server)
+            (fun () -> measure ~socket))
+  in
+  rm_rf single_dir;
+  (* --- 4-shard fleet --- *)
+  let dir = temp_path "fleet" in
+  rm_rf dir;
+  let socket = temp_path "router.sock" in
+  let shard_argv ~index:_ ~socket =
+    [ kfusec (); "serve"; "--socket"; socket; "--cache-dir"; Filename.concat dir "cache" ]
+  in
+  let shard_config =
+    { Svc.Shard.default_config with Svc.Shard.restart_backoff_ms = 50. }
+  in
+  let router, warm, blip_ms =
+    match
+      Svc.Router.start ~socket ~dir ~count:4 ~shard_argv ~shard_config
+        ~health_interval_ms:50. ~health_timeout_ms:1_000. ()
+    with
+    | Error d -> failwith ("exp-shard: fleet: " ^ Diag.to_string d)
+    | Ok router ->
+      Fun.protect
+        ~finally:(fun () -> Svc.Router.stop router)
+        (fun () ->
+          if not (Svc.Router.await_ready ~timeout_ms:20_000. router) then
+            failwith "exp-shard: fleet did not become ready";
+          let warm = measure ~socket in
+          (* Failover blip: kill the home shard, then time one retrying
+             request — the stall until a neighbor (or the respawn)
+             answers is the client-visible cost of the failure. *)
+          let home =
+            match Svc.Server.load_pipeline fuse_req with
+            | Error d -> failwith (Diag.to_string d)
+            | Ok p ->
+              let s = Cache.Fingerprint.structural p in
+              (match int_of_string_opt ("0x" ^ String.sub s 0 8) with
+              | Some v -> abs v mod 4
+              | None -> 0)
+          in
+          (match Svc.Shard.pid (Svc.Router.shards router).(home) with
+          | Some pid -> Unix.kill pid Sys.sigkill
+          | None -> failwith "exp-shard: home shard has no pid");
+          let _, blip_ms =
+            time_ms (fun () ->
+                expect
+                  (Svc.Client.call ~socket
+                     ~retry:{ Svc.Client.default_retry with attempts = 10 }
+                     (Protocol.Fuse fuse_req)))
+          in
+          (router, warm, blip_ms))
+  in
+  rm_rf dir;
+  let m = Svc.Router.metrics router in
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.Str "kfuse-bench-service/v1");
+        ("app", Jsonx.Str app);
+        ("samples", Jsonx.Num (float_of_int samples));
+        ("single", json_of_tier single);
+        ("router", json_of_tier warm);
+        ("failover_blip_ms", Jsonx.Num blip_ms);
+        ( "requests_rerouted",
+          Jsonx.Num (float_of_int (Svc.Metrics.counter m "requests_rerouted")) );
+        ( "shard_restarts",
+          Jsonx.Num (float_of_int (Svc.Metrics.counter m "shard_restarts")) );
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (Jsonx.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  let _, sp50, sp99 = single and _, rp50, rp99 = warm in
+  Printf.printf "single server: p50 %.3f ms  p99 %.3f ms (warm)\n" sp50 sp99;
+  Printf.printf "4-shard fleet: p50 %.3f ms  p99 %.3f ms (warm)\n" rp50 rp99;
+  Printf.printf "failover blip: %.1f ms (SIGKILL of the home shard)\n" blip_ms;
+  Printf.printf "wrote %s\n" out_path

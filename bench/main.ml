@@ -20,6 +20,7 @@ let experiments =
     ("ablate", Exp_ablate.run);
     ("eventsim", Exp_eventsim.run);
     ("cache", Exp_cache.run);
+    ("shard", Exp_shard.run);
     ("micro", Micro.run);
   ]
 
@@ -66,8 +67,9 @@ let () =
   let requested =
     match requested with
     | [] ->
-      (* Everything except the CSV variant, which exists for piping. *)
-      List.filter (fun n -> n <> "fig6-csv") (List.map fst experiments)
+      (* Everything except the CSV variant (exists for piping) and the
+         shard topology bench (spawns real server subprocesses). *)
+      List.filter (fun n -> n <> "fig6-csv" && n <> "shard") (List.map fst experiments)
     | names -> names
   in
   Kfuse_util.Pool.with_pool jobs (fun pool ->

@@ -9,6 +9,7 @@
      check     - validate a pipeline and print structured diagnostics
      dsl-check - parse and validate a DSL file
      serve     - run the kfused fusion service on a Unix-domain socket
+     shard-serve - run a supervised fleet of kfused shards behind a router
      query     - send one request to a running kfused
      fuzz      - differential fuzzing campaign over generated pipelines
 
@@ -869,6 +870,235 @@ let serve_cmd =
       const run $ common_term $ socket_arg $ capacity_arg $ max_conns_arg $ queue_arg
       $ request_timeout_arg $ drain_timeout_arg $ sandbox_arg $ crash_dir_arg
       $ max_streams_arg $ stream_queue_arg $ stream_idle_arg)
+
+(* ---- shard-serve: the sharded fleet ---- *)
+
+let shard_serve_cmd =
+  let doc = "Run a supervised kfused fleet: K shard servers behind one router." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Launches $(b,--shards) full kfused servers, each on its own socket \
+         under $(b,--shard-dir), sharing one content-addressed disk plan \
+         cache, plus a router front-end on $(b,--socket) speaking the \
+         unchanged client protocol.  Requests are mapped to shards by the \
+         pipeline's rename-invariant structural fingerprint, so repeated \
+         variants of one pipeline keep hitting one shard's warm in-memory \
+         cache; identical concurrent cold requests are coalesced into a \
+         single plan search.";
+      `P
+        "The supervisor health-checks each shard (protocol-level ping), \
+         restarts crashes with exponential backoff, and trips a per-shard \
+         circuit breaker on a restart storm: the shard is marked dead and \
+         its keyspace reroutes to neighbors, each rerouted reply carrying a \
+         typed KF0807 degraded-locality warning.  When no shard is live the \
+         client gets a retryable KF0808 error — never a torn frame.  \
+         SIGTERM drains the whole fleet: router edge first, then workers, \
+         then each shard in parallel.";
+    ]
+  in
+  let shard_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory holding the per-shard sockets ($(b,shard-<i>.sock)), \
+             logs ($(b,shard-<i>.log)) and, unless $(b,--cache-dir) says \
+             otherwise, the shared disk plan cache.  Default: \
+             $(b,kfused-shards) next to the router socket.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"K" ~doc:"Shard server processes to supervise.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Per-shard in-memory plan cache capacity.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Router connections served concurrently; also each shard's own \
+             worker count.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Router admission queue bound; past it connections are shed with \
+             a typed KF0803 reply.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-request wall-clock deadline at the router.  0 disables.")
+  in
+  let forward_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "forward-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Router-to-shard deadline per forwarded request (default: the \
+             request timeout).")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "drain-timeout" ] ~docv:"MS"
+          ~doc:"Router in-flight drain budget on shutdown.")
+  in
+  let shard_grace_arg =
+    Arg.(
+      value & opt float 2_000.0
+      & info [ "shard-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-shard SIGTERM grace during fleet drain; SIGKILL past it.")
+  in
+  let health_interval_arg =
+    Arg.(
+      value & opt float 250.0
+      & info [ "health-interval-ms" ] ~docv:"MS"
+          ~doc:"Supervisor tick: ping every live shard this often.")
+  in
+  let health_timeout_arg =
+    Arg.(
+      value & opt float 1_000.0
+      & info [ "health-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Ping deadline; $(b,--max-ping-misses) consecutive misses kill \
+             the hung shard (it then takes the normal restart path).")
+  in
+  let storm_threshold_arg =
+    Arg.(
+      value & opt int Svc.Shard.default_config.storm_threshold
+      & info [ "storm-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive rapid failures (each within \
+             $(b,--storm-window-ms) of its spawn) that mark a shard dead.")
+  in
+  let storm_window_arg =
+    Arg.(
+      value & opt float Svc.Shard.default_config.storm_window_ms
+      & info [ "storm-window-ms" ] ~docv:"MS"
+          ~doc:"A death within MS of its spawn counts toward the storm.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float Svc.Shard.default_config.restart_backoff_ms
+      & info [ "restart-backoff-ms" ] ~docv:"MS"
+          ~doc:"Base respawn delay; doubles per rapid failure.")
+  in
+  let max_backoff_arg =
+    Arg.(
+      value & opt float Svc.Shard.default_config.max_restart_backoff_ms
+      & info [ "max-restart-backoff-ms" ] ~docv:"MS" ~doc:"Respawn delay cap.")
+  in
+  let cooldown_arg =
+    Arg.(
+      value & opt float Svc.Shard.default_config.dead_cooldown_ms
+      & info [ "dead-cooldown-ms" ] ~docv:"MS"
+          ~doc:
+            "Dead shard half-open probe interval: one respawn attempt per \
+             cooldown; a rapid failure re-marks it dead.  0 disables (dead \
+             stays dead until restart).")
+  in
+  let ping_misses_arg =
+    Arg.(
+      value & opt int Svc.Shard.default_config.max_ping_misses
+      & info [ "max-ping-misses" ] ~docv:"N"
+          ~doc:"Consecutive missed pings before a hung shard is killed.")
+  in
+  let sandbox_arg =
+    let policy_conv =
+      Arg.conv
+        ( (fun s ->
+            match Exec.Supervisor.policy_of_string s with
+            | Some p -> Ok p
+            | None -> Error (`Msg "expected on, off or dlopen-trusted")),
+          fun ppf p -> Format.pp_print_string ppf (Exec.Supervisor.policy_to_string p) )
+    in
+    Arg.(
+      value
+      & opt policy_conv Exec.Supervisor.Sandboxed
+      & info [ "exec-sandbox" ] ~docv:"POLICY"
+          ~doc:"Per-shard fuse_exec sandbox policy (see $(b,kfusec serve)).")
+  in
+  let run socket shard_dir shards cache_dir capacity max_conns queue request_timeout_ms
+      forward_timeout_ms drain_timeout_ms shard_grace_ms health_interval_ms
+      health_timeout_ms storm_threshold storm_window_ms restart_backoff_ms
+      max_restart_backoff_ms dead_cooldown_ms max_ping_misses exec_sandbox =
+    if capacity < 1 then begin
+      Format.eprintf "kfusec: --cache-capacity must be >= 1@.";
+      1
+    end
+    else
+      let dir =
+        match shard_dir with
+        | Some d -> d
+        | None -> Filename.concat (Filename.dirname socket) "kfused-shards"
+      in
+      (* The shared disk tier is the point of the topology: every shard
+         stores and finds plans in one content-addressed directory, so a
+         rerouted request degrades to a disk hit, not a recompute. *)
+      let cache_dir =
+        match cache_dir with Some d -> d | None -> Filename.concat dir "cache"
+      in
+      let shard_argv ~index:_ ~socket =
+        [
+          Sys.executable_name; "serve"; "--socket"; socket; "--cache-dir"; cache_dir;
+          "--cache-capacity"; string_of_int capacity;
+          "--max-conns"; string_of_int max_conns;
+          "--request-timeout-ms"; string_of_float request_timeout_ms;
+          "--exec-sandbox"; Exec.Supervisor.policy_to_string exec_sandbox;
+        ]
+      in
+      let shard_config =
+        {
+          Svc.Shard.storm_threshold;
+          storm_window_ms;
+          restart_backoff_ms;
+          max_restart_backoff_ms;
+          dead_cooldown_ms;
+          max_ping_misses;
+        }
+      in
+      match
+        Svc.Router.start ~socket ~dir ~count:shards ~shard_argv ~shard_config
+          ~health_interval_ms ~health_timeout_ms ?forward_timeout_ms ~max_conns ~queue
+          ~request_timeout_ms ~drain_timeout_ms ~shard_grace_ms ()
+      with
+      | Error d -> fail_diag d
+      | Ok router ->
+        let graceful = Sys.Signal_handle (fun _ -> Svc.Router.signal_stop router) in
+        List.iter
+          (fun s -> try Sys.set_signal s graceful with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigterm; Sys.sigint ];
+        Format.printf "kfused: router on %s, %d shards under %s (disk cache %s)@." socket
+          shards dir cache_dir;
+        if Svc.Router.await_ready router then Format.printf "kfused: fleet ready@."
+        else Format.printf "kfused: fleet partially ready (see shard logs in %s)@." dir;
+        Svc.Router.wait router;
+        Format.printf "kfused: fleet shut down@.";
+        0
+  in
+  Cmd.v
+    (Cmd.info "shard-serve" ~doc ~man)
+    Term.(
+      const run $ socket_arg $ shard_dir_arg $ shards_arg $ cache_dir_arg $ capacity_arg
+      $ max_conns_arg $ queue_arg $ request_timeout_arg $ forward_timeout_arg
+      $ drain_timeout_arg $ shard_grace_arg $ health_interval_arg $ health_timeout_arg
+      $ storm_threshold_arg $ storm_window_arg $ backoff_arg $ max_backoff_arg
+      $ cooldown_arg $ ping_misses_arg $ sandbox_arg)
 
 let query_cmd =
   let doc = "Send one request to a running kfused and print the reply." in
@@ -1750,8 +1980,8 @@ let main =
     (Cmd.info "kfusec" ~version:"1.0.0" ~doc)
     [
       list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
-      unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; query_cmd; stream_cmd;
-      bench_stream_cmd; fuzz_cmd; bench_native_cmd;
+      unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; shard_serve_cmd; query_cmd;
+      stream_cmd; bench_stream_cmd; fuzz_cmd; bench_native_cmd;
     ]
 
 let () =

@@ -272,6 +272,127 @@ let failure_diag ~what r =
       | Nonzero_exit { code } -> Diag.errorf Diag.Exec_failed "%s exited with %d%s" what code tail
       | Spawn_failed { reason } -> Diag.errorf Diag.Exec_failed "%s: %s%s" what reason tail)
 
+(* {1 Long-lived supervised children} *)
+
+(* [run] above is spawn-and-wait: right for a native plan execution that
+   is supposed to finish.  A shard of the sharded kfused topology is the
+   opposite — a server process that is supposed to *keep running* — so
+   the fleet supervisor needs the same C-stub spawn (no [Unix.fork] once
+   domains exist) but with ownership of the child's lifetime split
+   across many monitor ticks: non-blocking liveness polls, best-effort
+   signals, and a bounded terminate-then-escalate teardown. *)
+module Child = struct
+  type t = {
+    pid : int;
+    mutable reaped : Unix.process_status option;
+    (* waitpid races: the monitor thread and the drain path may both
+       poll; the first reap latches the status for everyone else. *)
+    lock : Mutex.t;
+  }
+
+  let pid t = t.pid
+
+  let open_sink ~append = function
+    | None -> None
+    | Some path ->
+      let flags =
+        Unix.O_WRONLY :: Unix.O_CREAT :: (if append then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ])
+      in
+      Some (Unix.openfile path flags 0o600)
+
+  let spawn ?(limits = no_limits) ?stdout_path ?stderr_path ?(append = true) ~argv () =
+    match argv with
+    | [] -> Error "empty argv"
+    | _ -> (
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let close_all fds = List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds in
+      match
+        let stdout_fd = open_sink ~append stdout_path in
+        let stderr_fd =
+          (* stderr may share stdout's sink: one shard log per shard. *)
+          if stderr_path = stdout_path then stdout_fd else open_sink ~append stderr_path
+        in
+        (stdout_fd, stderr_fd)
+      with
+      | exception Unix.Unix_error (e, _, p) ->
+        close_all [ devnull ];
+        Error (Printf.sprintf "cannot open %s: %s" p (Unix.error_message e))
+      | stdout_fd, stderr_fd -> (
+        let out = Option.value ~default:devnull stdout_fd in
+        let err = Option.value ~default:out stderr_fd in
+        let owned =
+          devnull
+          :: (Option.to_list stdout_fd
+             @ if stderr_fd <> None && stderr_fd <> stdout_fd then Option.to_list stderr_fd else [])
+        in
+        match spawn ~limits ~misbehave:No_fault ~stdout_fd:out ~stderr_fd:err ~devnull argv with
+        | Error _ as e ->
+          close_all owned;
+          e
+        | Ok pid ->
+          close_all owned;
+          Ok { pid; reaped = None; lock = Mutex.create () }))
+
+  (* Non-blocking reap: [None] while the child is still running, the
+     latched exit status once it is gone.  Never raises — an ECHILD
+     (someone else reaped it) degrades to a synthetic 0 exit. *)
+  let poll t =
+    Mutex.lock t.lock;
+    let r =
+      match t.reaped with
+      | Some _ as s -> s
+      | None -> (
+        match Unix.waitpid [ Unix.WNOHANG ] t.pid with
+        | 0, _ -> None
+        | _, st ->
+          t.reaped <- Some st;
+          Some st
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          let st = Unix.WEXITED 0 in
+          t.reaped <- Some st;
+          Some st)
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let running t = poll t = None
+
+  let signal t s = if poll t = None then try Unix.kill t.pid s with Unix.Unix_error _ -> ()
+
+  let kill t = signal t Sys.sigkill
+
+  (* SIGTERM, wait up to [grace_ms] for a clean exit, SIGKILL past it,
+     then reap.  Idempotent; returns the (possibly latched) status. *)
+  let terminate ?(grace_ms = 2_000.) t =
+    signal t Sys.sigterm;
+    let deadline = Unix.gettimeofday () +. (grace_ms /. 1000.) in
+    let rec wait_grace () =
+      match poll t with
+      | Some st -> st
+      | None ->
+        if Unix.gettimeofday () >= deadline then begin
+          kill t;
+          let rec reap () =
+            match Unix.waitpid [] t.pid with
+            | _, st ->
+              Mutex.lock t.lock;
+              t.reaped <- Some st;
+              Mutex.unlock t.lock;
+              st
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+          in
+          reap ()
+        end
+        else begin
+          Unix.sleepf 0.005;
+          wait_grace ()
+        end
+    in
+    wait_grace ()
+end
+
 (* {1 Crash forensics} *)
 
 (* The artifact mirrors the fuzz-corpus file format ('#' header comments

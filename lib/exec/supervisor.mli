@@ -125,6 +125,56 @@ val read_tail : ?limit:int -> string -> string
 (** Last [limit] (default {!stderr_tail_limit}) bytes of a file, with a
     truncation marker when shortened; [""] when unreadable. *)
 
+(** {1 Long-lived supervised children}
+
+    {!run} is spawn-and-wait; a shard of the sharded [kfused] topology
+    is a server process that must {e keep} running.  {!Child} exposes
+    the same no-[Unix.fork] C-stub spawn with the lifetime split across
+    monitor ticks: non-blocking liveness polls, best-effort signals, and
+    a bounded SIGTERM→SIGKILL teardown.  Thread-safe: the first
+    successful reap latches the exit status for every later caller. *)
+module Child : sig
+  type t
+
+  val spawn :
+    ?limits:limits ->
+    ?stdout_path:string ->
+    ?stderr_path:string ->
+    ?append:bool ->
+    argv:string list ->
+    unit ->
+    (t, string) result
+  (** Fork and exec [argv] (via [PATH], never a shell) and return
+      immediately.  stdin is [/dev/null]; stdout/stderr go to the named
+      paths (opened [O_APPEND] by default so restart logs accumulate;
+      [~append:false] truncates), both defaulting to [/dev/null] —
+      [stderr_path] equal to [stdout_path] shares one fd.  [limits]
+      (default {!no_limits}) applies the usual rlimits between fork and
+      exec.  Chaos misbehaviours never fire here: a supervised server is
+      made to misbehave through its own fault points, not the spawn. *)
+
+  val pid : t -> int
+
+  val poll : t -> Unix.process_status option
+  (** Non-blocking: [None] while running, the latched exit status once
+      gone.  Never raises or blocks; never returns [None] after having
+      returned [Some]. *)
+
+  val running : t -> bool
+
+  val signal : t -> int -> unit
+  (** Best-effort [kill]: a no-op once the child has been reaped (so a
+      recycled pid is never signalled) or when the kernel refuses. *)
+
+  val kill : t -> unit
+  (** [signal t Sys.sigkill]. *)
+
+  val terminate : ?grace_ms:float -> t -> Unix.process_status
+  (** SIGTERM, wait up to [grace_ms] (default 2000) for a clean exit,
+      SIGKILL past it, then reap.  Idempotent; returns the (possibly
+      already latched) status. *)
+end
+
 (** {1 Crash forensics} *)
 
 val save_crash_artifact :

@@ -49,32 +49,48 @@ let with_connection ~socket ?timeout_ms f =
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () -> f { fd })
 
-let recv_reply t ~send_err =
+(* Alongside the result, classify whether the failure is {e connection
+   transient}: the signature a shard restart leaves on its clients — the
+   peer vanished without a typed verdict.  [call] retries these for
+   idempotent requests exactly like a typed shed, so a supervised
+   restart is invisible instead of surfacing a raw connect error. *)
+let recv_reply_classified t ~send_err =
   match Protocol.recv t.fd with
-  | Error _ as e -> e (* includes a typed KF0804 when SO_RCVTIMEO elapses *)
+  | Error d ->
+    (* A KF0804 here is an armed SO_RCVTIMEO elapsing — already typed
+       retryable.  A KF0801 is the transport dying under us (reset read,
+       close mid-frame, garbled reply from a half-dead peer): classify
+       it transient — a genuinely malformed frame just burns the bounded
+       retry budget and then surfaces with its code unchanged. *)
+    (Error d, d.Diag.code = Diag.Protocol_error)
   | Ok None -> (
+    (* Clean close before any reply: the server died (or was killed)
+       between accept and answer. *)
     match send_err with
-    | Some d -> Error d
-    | None -> Error (Diag.v Diag.Protocol_error "server closed the connection without replying"))
-  | Ok (Some v) -> Protocol.result v
+    | Some d -> (Error d, true)
+    | None ->
+      (Error (Diag.v Diag.Protocol_error "server closed the connection without replying"), true))
+  | Ok (Some v) -> (Protocol.result v, false)
 
-let request t req =
+let request_classified t req =
   match Protocol.send t.fd (Protocol.request_to_json req) with
-  | () -> recv_reply t ~send_err:None
+  | () -> recv_reply_classified t ~send_err:None
   | exception Diag.Fatal d ->
     (* The request would overrun the frame limit; nothing was sent. *)
-    Error d
+    (Error d, false)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-    Error (Diag.v Diag.Request_timeout "send to kfused timed out")
+    (Error (Diag.v Diag.Request_timeout "send to kfused timed out"), false)
   | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as e), _, _) ->
     (* The server closed before reading our request — but it may have
        already replied (a KF0803 shed notice lands before the close):
        prefer its typed reply over the raw pipe error. *)
-    recv_reply t
+    recv_reply_classified t
       ~send_err:
         (Some (Diag.errorf Diag.Service_error "send failed: %s" (Unix.error_message e)))
   | exception Unix.Unix_error (e, _, _) ->
-    Error (Diag.errorf Diag.Service_error "send failed: %s" (Unix.error_message e))
+    (Error (Diag.errorf Diag.Service_error "send failed: %s" (Unix.error_message e)), false)
+
+let request t req = fst (request_classified t req)
 
 (* ---- retry policy ---- *)
 
@@ -82,12 +98,15 @@ type retry = { attempts : int; backoff_ms : float; max_backoff_ms : float; seed 
 
 let default_retry = { attempts = 3; backoff_ms = 50.0; max_backoff_ms = 2_000.0; seed = 0 }
 
-(* Only overload sheds and timeouts are worth retrying: both are
-   transient by construction, and the server replies [KF0803] exactly
-   when a backed-off retry is the right response.  Hard failures
-   (protocol errors, server-side faults, bad requests) are not. *)
+(* Only overload sheds, timeouts and whole-fleet blips are worth
+   retrying: all three are transient by construction, and the server
+   replies [KF0803]/[KF0808] exactly when a backed-off retry is the
+   right response.  Hard failures (protocol errors, server-side faults,
+   bad requests) are not. *)
 let retryable (d : Diag.t) =
-  match d.Diag.code with Diag.Overloaded | Diag.Request_timeout -> true | _ -> false
+  match d.Diag.code with
+  | Diag.Overloaded | Diag.Request_timeout | Diag.Shard_unavailable -> true
+  | _ -> false
 
 let idempotent = function
   | Protocol.Shutdown -> false
@@ -99,19 +118,45 @@ let idempotent = function
   | Protocol.Stream_push _ -> false
   | _ -> true
 
+(* Connect-time errnos a shard restart produces: nobody listening yet
+   (ECONNREFUSED), the socket file briefly unlinked while the replacement
+   re-binds (ENOENT), or the dying process resetting its backlog
+   (ECONNRESET). *)
+let transient_errno = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT -> true
+  | _ -> false
+
+(* One attempt of [call]: connect, send, await — with the
+   connection-transient classification threaded through the connect. *)
+let attempt_classified ~socket ?timeout_ms req =
+  match connect_fd ~socket ~timeout_ms with
+  | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+    (Error (Diag.errorf ~file:socket Diag.Request_timeout "connect to kfused timed out"), false)
+  | exception Unix.Unix_error (e, _, _) ->
+    ( Error
+        (Diag.errorf ~file:socket Diag.Service_error "cannot connect to kfused: %s"
+           (Unix.error_message e)),
+      transient_errno e )
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> request_classified { fd } req)
+
+let call_once = attempt_classified
+
 let call ~socket ?timeout_ms ?(retry = default_retry) req =
   let rng = Rng.create retry.seed in
   let rec go attempt =
-    match with_connection ~socket ?timeout_ms (fun c -> request c req) with
-    | Ok _ as ok -> ok
-    | Error d when attempt < retry.attempts && idempotent req && retryable d ->
+    match attempt_classified ~socket ?timeout_ms req with
+    | Error d, conn_transient
+      when attempt < retry.attempts && idempotent req && (retryable d || conn_transient) ->
       (* Exponential backoff with deterministic seeded jitter in
          [0.5, 1.0) of the capped step: reproducible schedules for
          tests, decorrelated herds in production. *)
       let step = Float.min (retry.backoff_ms *. (2.0 ** float_of_int attempt)) retry.max_backoff_ms in
       Thread.delay (step *. (0.5 +. Rng.float rng 0.5) /. 1000.0);
       go (attempt + 1)
-    | Error _ as e -> e
+    | (result, _) -> result
   in
   go 0
 

@@ -33,8 +33,15 @@ val request : t -> Protocol.request -> (Jsonx.t, Diag.t) result
 (** {1 Retrying}
 
     Overload ([KF0803]) and timeouts ([KF0804]) are transient: the
-    right client response is a backed-off retry.  Everything else —
-    protocol errors, bad requests, server faults — is not retried. *)
+    right client response is a backed-off retry.  So are {e connection
+    transients} — the signature a supervised shard restart leaves on
+    its clients: [ECONNREFUSED]/[ECONNRESET]/[ENOENT] on connect, a send
+    to a vanished peer without a typed reply, a reset or cleanly closed
+    connection before any reply arrived.  {!call} retries those for
+    idempotent requests with the same jittered backoff, reconnecting on
+    every attempt, so a restart is invisible instead of surfacing a raw
+    [Unix_error].  Everything else — typed server errors, bad requests,
+    server faults — is not retried. *)
 
 type retry = {
   attempts : int;  (** max retries after the first try; 0 = never retry *)
@@ -48,8 +55,10 @@ val default_retry : retry
 
 (** [call ~socket ?timeout_ms ?retry req] is one connection per attempt:
     connect, send [req], await the reply.  Attempts failing with
-    [KF0803]/[KF0804] are retried (idempotent requests only — everything
-    but [Shutdown]) with exponential backoff and deterministic seeded
+    [KF0803]/[KF0804]/[KF0808] or a connection transient (see above) are
+    retried
+    (idempotent requests only — everything but [Shutdown] and
+    [Stream_push]) with exponential backoff and deterministic seeded
     jitter in [0.5, 1.0) of the step; the last error is returned when
     the budget is exhausted. *)
 val call :
@@ -58,6 +67,18 @@ val call :
   ?retry:retry ->
   Protocol.request ->
   (Jsonx.t, Diag.t) result
+
+(** [call_once ~socket ?timeout_ms req] is a single classified attempt
+    of {!call}: connect, send, await, no retries.  The boolean is the
+    connection-transient flag — [true] exactly when the failure is the
+    no-typed-verdict restart signature described above.  The sharded
+    router forwards with this: a transient means "try the next shard",
+    while a typed error is the shard's own verdict and is relayed. *)
+val call_once :
+  socket:string ->
+  ?timeout_ms:float ->
+  Protocol.request ->
+  (Jsonx.t, Diag.t) result * bool
 
 (** Convenience wrappers over {!request}. *)
 

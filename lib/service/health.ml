@@ -1,0 +1,21 @@
+module Diag = Kfuse_util.Diag
+
+let ping ~socket ~timeout_ms =
+  Client.with_connection ~socket ~timeout_ms (fun c -> Client.ping c)
+
+let alive ~socket ~timeout_ms = Result.is_ok (ping ~socket ~timeout_ms)
+
+let wait_ready ?(interval_ms = 20.) ~socket ~timeout_ms () =
+  let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.) in
+  (* Each probe's own timeout is capped well under the overall budget so
+     a wedged (accepting-but-silent) server cannot eat it in one bite. *)
+  let probe_ms = Float.max interval_ms (Float.min 250. timeout_ms) in
+  let rec go () =
+    if alive ~socket ~timeout_ms:probe_ms then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay (interval_ms /. 1000.);
+      go ()
+    end
+  in
+  go ()

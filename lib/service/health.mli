@@ -1,0 +1,23 @@
+(** Liveness probes for [kfused] processes.
+
+    A health check is a full protocol round trip — connect, [ping],
+    await the [pong] — not a socket-file stat: a crashed shard leaves
+    its socket file behind, and a wedged one still accepts connections.
+    The round trip is the only probe that proves the accept loop, a
+    worker slot, and the reply path are all alive.  Used by the sharded
+    topology's supervisor ({!Router}) to detect hung shards, and by
+    [kfusec shard-serve] to report fleet readiness. *)
+
+module Diag := Kfuse_util.Diag
+
+(** [ping ~socket ~timeout_ms] is one bounded round trip: the connect,
+    the read and the write are each capped at [timeout_ms]. *)
+val ping : socket:string -> timeout_ms:float -> (unit, Diag.t) result
+
+(** [alive ~socket ~timeout_ms] is [ping] folded to a boolean. *)
+val alive : socket:string -> timeout_ms:float -> bool
+
+(** [wait_ready ~socket ~timeout_ms ()] polls {!alive} every
+    [interval_ms] (default 20) until it succeeds or [timeout_ms] of
+    wall clock has passed; [true] iff the server answered in time. *)
+val wait_ready : ?interval_ms:float -> socket:string -> timeout_ms:float -> unit -> bool

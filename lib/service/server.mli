@@ -136,3 +136,21 @@ val in_flight : t -> int
 val socket : t -> string
 val cache : t -> Kfuse_cache.Plan_cache.t
 val metrics : t -> Metrics.t
+
+(** [load_pipeline f] resolves a fuse request to its pipeline exactly
+    the way request handling does: a registry app by name (optionally
+    re-instantiated at [size]), or parsed+elaborated DSL [source].
+    Exposed so the sharded router maps a request to the {e same}
+    pipeline — and hence the same rename-invariant fingerprint keyspace
+    — as the shard that will serve it. *)
+val load_pipeline :
+  ?size:int * int -> Protocol.fuse_request -> (Kfuse_ir.Pipeline.t, Diag.t) result
+
+(** [claim_socket path] prepares [path] for a fresh [bind]: absent is
+    fine; an existing socket file is probed with a connect — no listener
+    (stale leftover of a crashed server) is unlinked, a live listener is
+    a [KF0802] refusal, a non-socket file is a [KF0101].  {!start} runs
+    this itself for its own socket; it is exposed so the sharded
+    topology can sweep a whole fleet's [shard-<i>.sock] files before
+    respawning shards. *)
+val claim_socket : string -> (unit, Diag.t) result

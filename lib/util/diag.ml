@@ -24,6 +24,8 @@ type code =
   | Request_timeout
   | Stream_backpressure
   | Stream_unknown
+  | Shard_degraded
+  | Shard_unavailable
   | Fault_injected
   | Toolchain_missing
   | Compile_failed
@@ -63,6 +65,8 @@ let code_id = function
   | Request_timeout -> "KF0804"
   | Stream_backpressure -> "KF0805"
   | Stream_unknown -> "KF0806"
+  | Shard_degraded -> "KF0807"
+  | Shard_unavailable -> "KF0808"
   | Fault_injected -> "KF0901"
   | Toolchain_missing -> "KF0902"
   | Compile_failed -> "KF0903"
@@ -79,7 +83,7 @@ let all_codes =
     Global_consumed; Unbound_param; Empty_pipeline; Invalid_partition;
     Strategy_failed; Budget_exceeded; Cache_corrupt; Protocol_error;
     Service_error; Overloaded; Request_timeout; Stream_backpressure;
-    Stream_unknown; Fault_injected;
+    Stream_unknown; Shard_degraded; Shard_unavailable; Fault_injected;
     Toolchain_missing; Compile_failed; Exec_failed; Exec_timeout;
     Exec_crashed; Exec_limit; Internal_error;
   ]

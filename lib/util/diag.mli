@@ -53,6 +53,14 @@ type code =
   | Stream_unknown
       (** KF0806: a stream op named a session id the server does not
           hold (never opened, already closed, or expired on idle) *)
+  | Shard_degraded
+      (** KF0807: the sharded router served this request away from its
+          home shard (crashed, restarting, or marked dead) — the reply
+          is correct but cache locality is degraded; always a warning *)
+  | Shard_unavailable
+      (** KF0808: the sharded router found no live shard for the
+          request's keyspace — every candidate is down or restarting;
+          safe to retry after a backoff *)
   | Fault_injected  (** KF0901: deterministic fault-injection trigger *)
   | Toolchain_missing
       (** KF0902: no usable C compiler for the native execution backend

@@ -38,6 +38,7 @@ let () =
       ("faults", Test_faults.suite);
       ("cache", Test_cache.suite);
       ("service", Test_service.suite);
+      ("topology", Test_topology.suite);
       ("chaos", Test_chaos.suite);
       ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);

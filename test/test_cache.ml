@@ -267,6 +267,68 @@ let test_degraded_not_stored () =
   Alcotest.(check int) "no store recorded" 0
     (Cache.Plan_cache.stats cache).Cache.Plan_cache.stores
 
+(* The sharded topology's L2 contract: several kfused shard processes
+   share one cache directory, so concurrent atomic tmp+rename stores of
+   the same and different entries must never corrupt a read and never
+   double-count a hit.  Modeled here with two instances (processes) and
+   racing threads — the same code path a multi-process fleet takes,
+   since the store is a plain directory with no in-process locks. *)
+let test_shared_dir_concurrent_stores () =
+  with_temp_dir @@ fun dir ->
+  let a = Cache.Plan_cache.create ~dir () in
+  let b = Cache.Plan_cache.create ~dir () in
+  let pipelines =
+    [|
+      Kfuse_apps.Harris.pipeline ();
+      Kfuse_apps.Sobel.pipeline ();
+      Kfuse_apps.Unsharp.pipeline ();
+    |]
+  in
+  let keys =
+    Array.map (fun p -> Cache.Fingerprint.plan_key ~config ~strategy:F.Driver.Mincut p) pipelines
+  in
+  let reports = Array.map fresh_report pipelines in
+  let rounds = 20 in
+  let threads =
+    List.concat_map
+      (fun cache ->
+        List.init 2 (fun t ->
+            Thread.create
+              (fun () ->
+                for r = 0 to rounds - 1 do
+                  let i = (r + t) mod Array.length keys in
+                  Cache.Plan_cache.store cache keys.(i) reports.(i);
+                  Thread.yield ()
+                done)
+              ()))
+      [ a; b ]
+  in
+  List.iter Thread.join threads;
+  (* Every entry reads back bit-identical through a third instance (a
+     fresh process over the same directory), despite the write storm. *)
+  let reader = Cache.Plan_cache.create ~dir () in
+  Array.iteri
+    (fun i key ->
+      match Cache.Plan_cache.find reader key with
+      | Some (r, Cache.Plan_cache.Hit_disk) ->
+        Alcotest.(check bool) "disk entry bit-identical after racing stores" true
+          (String.equal (bytes_of reports.(i)) (bytes_of r))
+      | Some (_, _) -> Alcotest.fail "expected a disk hit"
+      | None -> Alcotest.failf "entry %d lost in the write race" i)
+    keys;
+  (* No torn reads anywhere: the racing writers never tripped a disk
+     error, and hit accounting is exact — the reader saw one disk hit
+     per entry, no double counting. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "no disk errors" 0
+        (Cache.Plan_cache.stats c).Cache.Plan_cache.disk_errors)
+    [ a; b; reader ];
+  let rs = Cache.Plan_cache.stats reader in
+  Alcotest.(check int) "reader hit disk exactly once per entry" (Array.length keys)
+    rs.Cache.Plan_cache.disk_hits;
+  Alcotest.(check int) "reader recorded no memory hits" 0 rs.Cache.Plan_cache.hits
+
 let suite =
   List.map
     (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]) t)
@@ -281,4 +343,6 @@ let suite =
       Alcotest.test_case "corrupt disk entry degrades to a miss" `Quick
         test_corrupt_disk_entry;
       Alcotest.test_case "degraded reports are not cached" `Quick test_degraded_not_stored;
+      Alcotest.test_case "shared dir: concurrent stores stay atomic" `Quick
+        test_shared_dir_concurrent_stores;
     ]

@@ -383,6 +383,50 @@ let test_stale_socket_replaced () =
         Svc.Server.stop server;
         Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket))
 
+let test_connect_retry_over_restart () =
+  (* The restart signature: nobody is listening yet (ECONNREFUSED /
+     ENOENT), then a server appears.  An idempotent [Client.call] must
+     absorb the outage inside its jittered-backoff retry loop instead of
+     surfacing a raw connect error — this is what makes a supervised
+     shard restart invisible to retrying clients. *)
+  let socket = temp_socket () in
+  let cache = Cache.Plan_cache.create () in
+  Kfuse_util.Pool.with_pool 1 (fun pool ->
+      let server = ref None in
+      let starter =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.15;
+            match Svc.Server.start ~socket ~cache ~pool () with
+            | Error d -> Alcotest.failf "late start failed: %s" (Diag.to_string d)
+            | Ok s -> server := Some s)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Thread.join starter;
+          Option.iter Svc.Server.stop !server)
+        (fun () ->
+          (* Before any listener exists: with retries this must succeed;
+             the first attempts fail with the connection-transient class
+             and reconnect per attempt. *)
+          let retry = { Svc.Client.default_retry with attempts = 8; backoff_ms = 50. } in
+          match Svc.Client.call ~socket ~retry (Protocol.Fuse (fuse_req "harris")) with
+          | Ok reply ->
+            Alcotest.(check bool) "answered after the server came up" true
+              (field "kernels_out" reply = Jsonx.Num 6.0)
+          | Error d -> Alcotest.failf "retry loop gave up: %s" (Diag.to_string d)));
+  (* Without retries the same outage is a typed Service_error — never a
+     raised Unix_error. *)
+  let socket2 = temp_socket () in
+  match Svc.Client.call ~socket:socket2 ~retry:{ Svc.Client.default_retry with attempts = 0 }
+          Protocol.Ping
+  with
+  | Ok _ -> Alcotest.fail "ping with nobody listening should fail"
+  | Error d ->
+    Alcotest.(check string) "typed connect failure" "KF0802" (Diag.code_id d.Diag.code)
+  | exception exn -> Alcotest.failf "non-typed failure: %s" (Printexc.to_string exn)
+
 let test_shutdown_request () =
   let socket = temp_socket () in
   let cache = Cache.Plan_cache.create () in
@@ -412,6 +456,8 @@ let suite =
       test_accept_fault_degrades;
     Alcotest.test_case "kfused: stale socket replaced, live refused" `Quick
       test_stale_socket_replaced;
+    Alcotest.test_case "client: connect retry rides out a restart" `Quick
+      test_connect_retry_over_restart;
     Alcotest.test_case "kfused: shutdown request stops the server" `Quick
       test_shutdown_request;
   ]
