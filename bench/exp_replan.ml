@@ -1,0 +1,192 @@
+(* exp-replan: incremental replanning vs planning from scratch.
+
+   Builds a 48-kernel lazy pipeline (8 disconnected 6-kernel chains —
+   single-kernel edits dirty exactly one chain) through the repl command
+   grammar, then replays an edit sequence covering every edit kind
+   (param, retarget, append, delete).  After each edit the pipeline is
+   flushed twice: incrementally through the session memos, and from
+   scratch as the differential reference.  The two plans must have equal
+   fingerprints (bit-identical partition/objective/fused pipeline); the
+   latency gap is the payoff of the memo.
+
+   Per-edit latencies are the median over [rounds] full replays of the
+   sequence (each round starts from a fresh builder, so round N never
+   sees round N-1's memos).  Results go to BENCH_replan.json as a
+   kfuse-bench-replan/v1 document.  Run with [bench/main.exe replan]. *)
+
+module Lz = Kfuse_lazy
+module Jsonx = Kfuse_service.Jsonx
+module Diag = Kfuse_util.Diag
+
+let out_path = "BENCH_replan.json"
+let chains = 8
+let depth = 6 (* kernels per chain *)
+let rounds = 5
+let width = 512
+let height = 512
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let expect what = function
+  | Ok v -> v
+  | Error d -> failwith (Printf.sprintf "exp-replan: %s: %s" what (Diag.to_string d))
+
+(* The DAG, as repl command lines: chain [c] mixes stencils and
+   pointwise kernels so each chain fuses non-trivially on its own. *)
+let build_script =
+  List.concat_map
+    (fun c ->
+      let k j = Printf.sprintf "c%d_%d" c j in
+      let inp = Printf.sprintf "in%d" c in
+      [
+        Printf.sprintf "input %s" inp;
+        Printf.sprintf "add %s = conv(%s, gauss3, mirror)" (k 0) inp;
+        Printf.sprintf "add %s = %s * 2.0" (k 1) (k 0);
+        Printf.sprintf "add %s = conv(%s, gauss5, mirror)" (k 2) (k 1);
+        Printf.sprintf "add %s = %s + %s" (k 3) (k 2) (k 0);
+        Printf.sprintf "add %s = conv(%s, sobelx, mirror)" (k 4) (k 3);
+        Printf.sprintf "add %s = %s * 0.5 + %s" (k 5) (k 4) (k 2);
+      ])
+    (List.init chains Fun.id)
+
+(* One single-kernel edit of each kind per chain, all confined to that
+   chain: the other 7 chains' min-cut decisions must replay from memo. *)
+let edit_script =
+  List.concat_map
+    (fun c ->
+      let k j = Printf.sprintf "c%d_%d" c j in
+      [
+        ("param", Printf.sprintf "param gain%d %.1f" c (1.0 +. (0.1 *. float_of_int c)));
+        ("retarget", Printf.sprintf "retarget %s %s %s" (k 5) (k 2) (k 0));
+        ("append", Printf.sprintf "add x%d = %s * 1.1" c (k 5));
+        ("delete", Printf.sprintf "del x%d" c);
+      ])
+    (List.init chains Fun.id)
+
+let exec lp line =
+  ignore
+    (expect
+       (Printf.sprintf "edit %S" line)
+       (Result.bind (Lz.Command.parse lp line) (fun cmd -> Lz.Command.apply lp cmd)))
+
+(* Flush incrementally, then from scratch, and check the differential
+   invariant: equal plan fingerprints. *)
+let flush_pair pool lp =
+  let inc, inc_ms = time_ms (fun () -> expect "flush" (Lz.Lazy_pipeline.flush ~pool lp)) in
+  let scr, scr_ms =
+    time_ms (fun () -> expect "flush scratch" (Lz.Lazy_pipeline.flush_scratch ~pool lp))
+  in
+  if inc.Lz.Replan.fingerprint <> scr.Lz.Replan.fingerprint then
+    failwith "exp-replan: incremental and scratch plans diverged";
+  (inc, inc_ms, scr_ms)
+
+let fresh_builder () =
+  let lp =
+    Lz.Lazy_pipeline.create ~name:"replan" ~width ~height Kfuse_fusion.Config.default
+  in
+  List.iter (exec lp) build_script;
+  lp
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let run () =
+  Printf.printf "=== exp-replan: incremental replanning vs scratch (%d kernels) ===\n"
+    (chains * depth);
+  let pool = Runner.pool () in
+  let n_edits = List.length edit_script in
+  (* inc/scr latency per edit index, one row per round *)
+  let inc_ms = Array.make_matrix rounds n_edits 0. in
+  let scr_ms = Array.make_matrix rounds n_edits 0. in
+  let stats = Array.make n_edits None in
+  for r = 0 to rounds - 1 do
+    let lp = fresh_builder () in
+    ignore (flush_pair pool lp) (* cold flush: warm this round's memo *);
+    List.iteri
+      (fun i (_, line) ->
+        exec lp line;
+        let plan, i_ms, s_ms = flush_pair pool lp in
+        inc_ms.(r).(i) <- i_ms;
+        scr_ms.(r).(i) <- s_ms;
+        if r = 0 then stats.(i) <- Some plan.Lz.Replan.stats)
+      edit_script
+  done;
+  (* Median across rounds per edit, then p50 per kind and overall. *)
+  let per_edit =
+    List.mapi
+      (fun i (kind, line) ->
+        let col m = Array.init rounds (fun r -> m.(r).(i)) in
+        let s = Option.get stats.(i) in
+        (kind, line, median (col inc_ms), median (col scr_ms), s))
+      edit_script
+  in
+  let p50 xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let kind_summary kind =
+    let rows = List.filter (fun (k, _, _, _, _) -> k = kind) per_edit in
+    let inc = p50 (List.map (fun (_, _, i, _, _) -> i) rows) in
+    let scr = p50 (List.map (fun (_, _, _, s, _) -> s) rows) in
+    (kind, inc, scr)
+  in
+  let kinds = List.map kind_summary [ "param"; "retarget"; "append"; "delete" ] in
+  let all_inc = p50 (List.map (fun (_, _, i, _, _) -> i) per_edit) in
+  let all_scr = p50 (List.map (fun (_, _, _, s, _) -> s) per_edit) in
+  let tier inc scr =
+    Jsonx.Obj
+      [
+        ("incremental_p50_ms", Jsonx.Num inc);
+        ("scratch_p50_ms", Jsonx.Num scr);
+        ("speedup", Jsonx.Num (scr /. inc));
+      ]
+  in
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.Str "kfuse-bench-replan/v1");
+        ("kernels", Jsonx.Num (float_of_int (chains * depth)));
+        ("chains", Jsonx.Num (float_of_int chains));
+        ("extent", Jsonx.Str (Printf.sprintf "%dx%d" width height));
+        ("rounds", Jsonx.Num (float_of_int rounds));
+        ("edits", Jsonx.Num (float_of_int n_edits));
+        ("overall", tier all_inc all_scr);
+        ("kinds", Jsonx.Obj (List.map (fun (k, i, s) -> (k, tier i s)) kinds));
+        ( "per_edit",
+          Jsonx.Arr
+            (List.map
+               (fun (kind, line, i, s, (st : Lz.Replan.stats)) ->
+                 Jsonx.Obj
+                   [
+                     ("kind", Jsonx.Str kind);
+                     ("edit", Jsonx.Str line);
+                     ("incremental_ms", Jsonx.Num i);
+                     ("scratch_ms", Jsonx.Num s);
+                     ("blocks_reused", Jsonx.Num (float_of_int st.Lz.Replan.blocks_reused));
+                     ( "blocks_replanned",
+                       Jsonx.Num (float_of_int st.Lz.Replan.blocks_replanned) );
+                     ("edges_reused", Jsonx.Num (float_of_int st.Lz.Replan.edges_reused));
+                     ( "edges_rescored",
+                       Jsonx.Num (float_of_int st.Lz.Replan.edges_rescored) );
+                   ])
+               per_edit) );
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (Jsonx.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (k, i, s) ->
+      Printf.printf "%-9s incremental p50 %.3f ms   scratch p50 %.3f ms   (%.1fx)\n" k i s
+        (s /. i))
+    kinds;
+  Printf.printf "overall   incremental p50 %.3f ms   scratch p50 %.3f ms   (%.1fx)\n"
+    all_inc all_scr (all_scr /. all_inc);
+  Printf.printf "wrote %s\n" out_path

@@ -1,7 +1,7 @@
 (* Benchmark harness entry point.
 
    Usage: main.exe [-j N] [experiment ...]
-   Experiments: fig3 fig4 fig6 tab1 tab2 ablate micro
+   Experiments: fig3 fig4 fig6 tab1 tab2 ablate eventsim cache shard replan micro
    With no experiment argument, everything runs in paper order.
 
    -j N sets the domain-pool size used for the fusion search, the
@@ -21,6 +21,7 @@ let experiments =
     ("eventsim", Exp_eventsim.run);
     ("cache", Exp_cache.run);
     ("shard", Exp_shard.run);
+    ("replan", Exp_replan.run);
     ("micro", Micro.run);
   ]
 

@@ -11,6 +11,7 @@
      serve     - run the kfused fusion service on a Unix-domain socket
      shard-serve - run a supervised fleet of kfused shards behind a router
      query     - send one request to a running kfused
+     repl      - edit a lazy pipeline; fusion is (re)planned on each flush
      fuzz      - differential fuzzing campaign over generated pipelines
 
    Exit codes: 0 success, 1 a diagnostic error (printed to stderr as
@@ -27,6 +28,7 @@ module Cache = Kfuse_cache
 module Svc = Kfuse_service
 module Fz = Kfuse_fuzz
 module Exec = Kfuse_exec
+module Lz = Kfuse_lazy
 open Cmdliner
 
 let pp_diag d = Format.eprintf "kfusec: %a@." Diag.pp d
@@ -1268,6 +1270,346 @@ let query_cmd =
       $ exec_mode_arg $ width_arg $ height_arg $ seed_arg $ repeat_arg $ verify_arg
       $ pixels_arg)
 
+(* ---- repl: lazy-pipeline editing, fusion (re)planned on flush ---- *)
+
+(* The repl is the interactive face of Kfuse_lazy: every line goes
+   through the shared Command grammar, so a session is replayable as a
+   --script and — with --socket — forwardable byte-for-byte to a kfused
+   lazy session (the identical strings become lazy_edit/lazy_flush
+   requests).  Prompts and errors go to stderr; stdout carries only
+   command results, so local and daemon transcripts stay diffable. *)
+
+let repl_print_plan tag (pl : Lz.Replan.plan) =
+  let block_label b =
+    String.concat " "
+      (List.map
+         (fun i -> (Ir.Pipeline.kernel pl.Lz.Replan.pipeline i).Ir.Kernel.name)
+         (Iset.elements b))
+  in
+  Format.printf "%s: %d kernels -> %d, objective %.6f@." tag
+    (Ir.Pipeline.num_kernels pl.Lz.Replan.pipeline)
+    (Ir.Pipeline.num_kernels pl.Lz.Replan.fused)
+    pl.Lz.Replan.objective;
+  Format.printf "partition:%s@."
+    (String.concat ""
+       (List.map (fun b -> Printf.sprintf " [%s]" (block_label b)) pl.Lz.Replan.partition));
+  let s = pl.Lz.Replan.stats in
+  Format.printf "replan: %d blocks reused, %d replanned; %d edges reused, %d rescored%s@."
+    s.Lz.Replan.blocks_reused s.Lz.Replan.blocks_replanned s.Lz.Replan.edges_reused
+    s.Lz.Replan.edges_rescored
+    (if s.Lz.Replan.fell_back then "; fell back to scratch" else "");
+  Format.printf "fingerprint %s@." pl.Lz.Replan.fingerprint
+
+let repl_print_show lp =
+  Format.printf "pipeline %s: %dx%dx%d, generation %d@." (Lz.Lazy_pipeline.name lp)
+    (Lz.Lazy_pipeline.width lp) (Lz.Lazy_pipeline.height lp)
+    (Lz.Lazy_pipeline.channels lp)
+    (Lz.Lazy_pipeline.generation lp);
+  Format.printf "inputs: %s@." (String.concat " " (Lz.Lazy_pipeline.inputs lp));
+  (match Lz.Lazy_pipeline.params lp with
+  | [] -> ()
+  | ps ->
+    Format.printf "params: %s@."
+      (String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%g" n v) ps)));
+  let ks = List.map (fun k -> k.Ir.Kernel.name) (Lz.Lazy_pipeline.kernels lp) in
+  Format.printf "kernels (%d): %s@." (List.length ks) (String.concat " " ks)
+
+let repl_cmd =
+  let doc = "Edit a pipeline interactively; fusion is (re)planned on each flush." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Builds a lazy pipeline — seeded from $(b,--app)/$(i,FILE), or empty \
+         with $(b,--width) and $(b,--height) — and applies edit commands from \
+         stdin or $(b,--script).  Fusion runs only on $(b,flush), through the \
+         incremental replanning session: edits confined to one region of the \
+         DAG reuse the min-cut decisions of every untouched region, and the \
+         resulting plan is bit-identical to planning from scratch \
+         ($(b,flush scratch) is the differential reference).";
+      `P
+        "Commands (one per line, '#' starts a comment): $(b,add <name> = \
+         <expr>), $(b,del <name>), $(b,retarget <kernel> <from> <to>), \
+         $(b,param <name> <value>), $(b,input <name>), $(b,flush [scratch]), \
+         $(b,plan), $(b,show), $(b,help), $(b,quit).";
+      `P
+        "With $(b,--socket), the same lines drive a lazy session inside a \
+         running kfused (lazy_open/lazy_edit/lazy_flush on the wire) and \
+         replies are printed as JSON.  In $(b,--script) mode the first \
+         rejected command aborts with exit 1; interactively, errors are \
+         reported and the session continues.";
+    ]
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Run commands from $(docv) instead of stdin (batch mode: the \
+             first rejected command aborts with exit 1).")
+  in
+  let socket_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Drive a lazy session inside the kfused listening on $(docv) \
+             instead of planning locally.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"With $(b,--socket): bound the connect and every read/write.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "width" ] ~docv:"W"
+          ~doc:
+            "Extent of an empty builder (pair with $(b,--height)); with \
+             $(b,--app), overrides the app's extent.")
+  in
+  let height_arg =
+    Arg.(value & opt (some int) None & info [ "height" ] ~docv:"H" ~doc:"See $(b,--width).")
+  in
+  let channels_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "channels" ] ~docv:"C" ~doc:"Channels of an empty builder (default 1).")
+  in
+  let inputs_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "inputs" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated input images an empty builder starts with \
+             (more can be declared with the $(b,input) command).")
+  in
+  let run common script socket timeout_ms width height channels inputs =
+    let source_lines =
+      match script with
+      | None -> Ok None
+      | Some path -> Result.map (fun s -> Some (String.split_on_char '\n' s)) (read_file path)
+    in
+    match source_lines with
+    | Error d -> fail_diag d
+    | Ok script_lines -> (
+      let interactive = script_lines = None in
+      let next_line =
+        match script_lines with
+        | Some lines ->
+          let rest = ref lines in
+          fun () ->
+            (match !rest with
+            | [] -> None
+            | l :: tl ->
+              rest := tl;
+              Some l)
+        | None ->
+          fun () ->
+            prerr_string "kfuse> ";
+            flush stderr;
+            (try Some (input_line stdin) with End_of_file -> None)
+      in
+      let tokens line =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match socket with
+      | None -> (
+        (* Local mode: the builder and its planning session live here. *)
+        let builder =
+          match (common.app, common.file) with
+          | None, None -> (
+            match (width, height) with
+            | Some w, Some h -> (
+              try
+                Ok (Lz.Lazy_pipeline.create ~channels ~inputs ~width:w ~height:h common.config)
+              with Invalid_argument m -> Error (Diag.v Diag.Config_invalid m))
+            | _ ->
+              Error
+                (Diag.v Diag.Io_error
+                   "pass --app NAME, a DSL FILE, or --width and --height for an \
+                    empty builder"))
+          | app, file ->
+            Result.map (Lz.Lazy_pipeline.of_pipeline common.config)
+              (load_validated ~app ~file)
+        in
+        match builder with
+        | Error d -> fail_diag d
+        | Ok lp ->
+          with_jobs common.jobs @@ fun pool ->
+          (* fail fast under --script, report-and-continue interactively *)
+          let on_error n d k =
+            if interactive then begin
+              Format.eprintf "kfusec: %a@." Diag.pp d;
+              k ()
+            end
+            else begin
+              Format.eprintf "kfusec: repl:%d: %a@." n Diag.pp d;
+              1
+            end
+          in
+          let rec loop n =
+            match next_line () with
+            | None -> 0
+            | Some raw -> (
+              let line = String.trim raw in
+              if line = "" || line.[0] = '#' then loop (n + 1)
+              else
+                match Lz.Command.parse lp line with
+                | Error d -> on_error n d (fun () -> loop (n + 1))
+                | Ok Lz.Command.Quit -> 0
+                | Ok Lz.Command.Help ->
+                  print_endline Lz.Command.help;
+                  loop (n + 1)
+                | Ok Lz.Command.Show ->
+                  repl_print_show lp;
+                  loop (n + 1)
+                | Ok Lz.Command.Plan ->
+                  (match Lz.Lazy_pipeline.last lp with
+                  | None -> print_endline "no plan yet (run: flush)"
+                  | Some pl -> repl_print_plan "plan" pl);
+                  loop (n + 1)
+                | Ok (Lz.Command.Flush { scratch }) -> (
+                  let planned =
+                    if scratch then Lz.Lazy_pipeline.flush_scratch ~pool lp
+                    else Lz.Lazy_pipeline.flush ~pool lp
+                  in
+                  match planned with
+                  | Error d -> on_error n d (fun () -> loop (n + 1))
+                  | Ok pl ->
+                    repl_print_plan (if scratch then "flush scratch" else "flush") pl;
+                    loop (n + 1))
+                | Ok ((Lz.Command.Edit _ | Lz.Command.Add_input _) as c) -> (
+                  match Lz.Command.apply lp c with
+                  | Error d -> on_error n d (fun () -> loop (n + 1))
+                  | Ok desc ->
+                    Format.printf "applied: %s@." desc;
+                    loop (n + 1)))
+          in
+          loop 1)
+      | Some socket -> (
+        (* Daemon mode: edit lines pass through verbatim as lazy_edit;
+           only flush/plan/show/help/quit are interpreted client-side. *)
+        let seed =
+          match (common.app, common.file) with
+          | Some _, Some _ -> Error (Diag.v Diag.Io_error "pass either --app or a FILE, not both")
+          | None, Some path -> Result.map (fun s -> (None, Some s)) (read_file path)
+          | (Some _ as app), None -> Ok (app, None)
+          | None, None ->
+            if width = None || height = None then
+              Error
+                (Diag.v Diag.Io_error
+                   "pass --app NAME, a DSL FILE, or --width and --height for an \
+                    empty builder")
+            else Ok (None, None)
+        in
+        match seed with
+        | Error d -> fail_diag d
+        | Ok (app, source) -> (
+          let openreq =
+            {
+              Svc.Protocol.app;
+              source;
+              width;
+              height;
+              channels = (if app = None && source = None then Some channels else None);
+              inputs;
+              c_mshared = Some common.config.F.Config.c_mshared;
+              gamma = Some common.config.F.Config.gamma;
+              tg = Some common.config.F.Config.tg;
+            }
+          in
+          let print_json v = print_endline (Svc.Jsonx.to_string v) in
+          let session =
+            Svc.Client.with_connection ~socket ?timeout_ms @@ fun c ->
+            match Svc.Client.request c (Svc.Protocol.Lazy_open openreq) with
+            | Error _ as e -> e
+            | Ok opened -> (
+              print_json opened;
+              match Svc.Jsonx.mem_str "id" opened with
+              | None -> Error (Diag.v Diag.Protocol_error "lazy_open reply carries no \"id\"")
+              | Some id ->
+                let last_state = ref opened and last_plan = ref None in
+                let close rc =
+                  match Svc.Client.request c (Svc.Protocol.Lazy_close id) with
+                  | Ok v ->
+                    print_json v;
+                    Ok rc
+                  | Error d ->
+                    Format.eprintf "kfusec: %a@." Diag.pp d;
+                    Ok (if rc = 0 then 1 else rc)
+                in
+                let rec loop n =
+                  match next_line () with
+                  | None -> close 0
+                  | Some raw -> (
+                    let line = String.trim raw in
+                    if line = "" || line.[0] = '#' then loop (n + 1)
+                    else
+                      let fail d =
+                        if interactive then begin
+                          Format.eprintf "kfusec: %a@." Diag.pp d;
+                          loop (n + 1)
+                        end
+                        else begin
+                          Format.eprintf "kfusec: repl:%d: %a@." n Diag.pp d;
+                          close 1
+                        end
+                      in
+                      match tokens line with
+                      | [ ("quit" | "exit") ] -> close 0
+                      | [ "help" ] ->
+                        print_endline Lz.Command.help;
+                        loop (n + 1)
+                      | [ "show" ] ->
+                        print_json !last_state;
+                        loop (n + 1)
+                      | [ "plan" ] ->
+                        (match !last_plan with
+                        | Some v -> print_json v
+                        | None -> print_endline "no plan yet (run: flush)");
+                        loop (n + 1)
+                      | ([ "flush" ] | [ "flush"; "scratch" ]) as t -> (
+                        let scratch = t = [ "flush"; "scratch" ] in
+                        match
+                          Svc.Client.request c
+                            (Svc.Protocol.Lazy_flush { Svc.Protocol.id; scratch })
+                        with
+                        | Error d -> fail d
+                        | Ok v ->
+                          last_plan := Some v;
+                          print_json v;
+                          loop (n + 1))
+                      | _ -> (
+                        match
+                          Svc.Client.request c
+                            (Svc.Protocol.Lazy_edit { Svc.Protocol.id; command = line })
+                        with
+                        | Error d -> fail d
+                        | Ok v ->
+                          last_state := v;
+                          print_json v;
+                          loop (n + 1)))
+                in
+                loop 1)
+          in
+          match session with
+          | Error d -> fail_diag d
+          | Ok rc -> rc)))
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc ~man)
+    Term.(
+      const run $ common_term $ script_arg $ socket_opt_arg $ timeout_arg $ width_arg
+      $ height_arg $ channels_arg $ inputs_arg)
+
 (* ---- stream: sustained frame-rate streaming against kfused ---- *)
 
 (* One synthetic stream's worth of client work: open, push [frames]
@@ -1823,7 +2165,28 @@ let fuzz_cmd =
              interpreter.  Much slower (one C compile per case); skipped \
              silently when no toolchain is found.")
   in
-  let run cases seed shrink corpus max_kernels strict_optimal max_failures native jobs =
+  let oracle_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "oracle" ] ~docv:"NAMES"
+          ~doc:
+            "Run exactly these oracles (comma-separated), in order, instead \
+             of the default bank — e.g. $(b,--oracle incremental-replan) for \
+             the lazy-frontend differential smoke.  Overrides $(b,--native).")
+  in
+  let run cases seed shrink corpus max_kernels strict_optimal max_failures native oracles
+      jobs =
+    let oracles =
+      Option.map
+        (List.map (fun s ->
+             match Fz.Oracle.name_of_string s with
+             | Some n -> n
+             | None ->
+               Format.eprintf "kfusec fuzz: unknown oracle '%s'@." s;
+               exit 2))
+        oracles
+    in
     if cases < 0 || max_kernels < 2 || max_failures < 1 then begin
       Format.eprintf "kfusec fuzz: invalid --cases/--max-kernels/--max-failures@.";
       2
@@ -1841,6 +2204,7 @@ let fuzz_cmd =
           max_failures;
           cache_dir = None;
           native;
+          oracles;
         }
       in
       let summary = Fz.Runner.run ~log:(Format.eprintf "%s@.") options in
@@ -1851,7 +2215,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ cases_arg $ seed_arg $ shrink_arg $ corpus_arg $ max_kernels_arg
-      $ strict_optimal_arg $ max_failures_arg $ native_arg $ jobs_arg)
+      $ strict_optimal_arg $ max_failures_arg $ native_arg $ oracle_arg $ jobs_arg)
 
 (* ---- bench-native: fused vs unfused wall-clock on the paper apps ---- *)
 
@@ -1924,8 +2288,33 @@ let bench_native_cmd =
           ~doc:"Compiled-artifact cache directory (default: the plan cache's \
                 $(b,native) subdirectory).")
   in
-  let run out runs width height apps exec_mode no_verify check tol cache_dir =
+  let snapshots_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "snapshots" ] ~docv:"FILES"
+          ~doc:
+            "With $(b,--check): comma-separated benchmark snapshot files that \
+             must exist (the committed $(b,BENCH_*.json) documents CI \
+             archives next to this run's output).  A missing one fails the \
+             gate before any benchmark runs, so a snapshot silently dropped \
+             from the tree cannot pass.")
+  in
+  let run out runs width height apps exec_mode no_verify check tol cache_dir snapshots =
     let verify = (not no_verify) || check in
+    (* The snapshot gate runs first: it is a presence check on committed
+       artifacts, and there is no point benchmarking for minutes only to
+       fail on it afterwards. *)
+    let missing =
+      if check then List.filter (fun f -> not (Sys.file_exists f)) snapshots else []
+    in
+    if missing <> [] then begin
+      List.iter
+        (Format.eprintf "kfusec: bench-native --check: snapshot %s is absent@.")
+        missing;
+      1
+    end
+    else
     match
       Exec.Bench_native.run ?mode:exec_mode ?cache_dir ~runs ?width ?height ?apps ~verify
         ()
@@ -1972,7 +2361,7 @@ let bench_native_cmd =
     (Cmd.info "bench-native" ~doc ~man)
     Term.(
       const run $ out_arg $ runs_arg $ width_arg $ height_arg $ apps_arg $ exec_mode_arg
-      $ no_verify_arg $ check_arg $ tol_arg $ cache_dir_arg)
+      $ no_verify_arg $ check_arg $ tol_arg $ cache_dir_arg $ snapshots_arg)
 
 let main =
   let doc = "min-cut kernel fusion for image-processing pipelines (CGO 2019 reproduction)" in
@@ -1981,7 +2370,7 @@ let main =
     [
       list_cmd; fuse_cmd; emit_cmd; estimate_cmd; run_cmd; explain_cmd; dot_cmd;
       unparse_cmd; check_cmd; dsl_check_cmd; serve_cmd; shard_serve_cmd; query_cmd;
-      stream_cmd; bench_stream_cmd; fuzz_cmd; bench_native_cmd;
+      repl_cmd; stream_cmd; bench_stream_cmd; fuzz_cmd; bench_native_cmd;
     ]
 
 let () =

@@ -1,3 +1,5 @@
+module Iset = Kfuse_util.Iset
+module Digraph = Kfuse_graph.Digraph
 module Expr = Kfuse_ir.Expr
 module Kernel = Kfuse_ir.Kernel
 module Pipeline = Kfuse_ir.Pipeline
@@ -198,7 +200,7 @@ let exact (p : Pipeline.t) =
    which no user identifier can collide with (the prefix is a control
    character the DSL lexer cannot produce). *)
 
-let canonical_names (p : Pipeline.t) =
+let kernel_hashes (p : Pipeline.t) =
   let n = Pipeline.num_kernels p in
   let hash = Array.make n "" in
   let twin = Array.make n 0 in
@@ -217,8 +219,13 @@ let canonical_names (p : Pipeline.t) =
     hash.(i) <- h;
     twin.(i) <- c
   done;
+  Array.init n (fun i -> (hash.(i), twin.(i)))
+
+let canonical_names (p : Pipeline.t) =
+  let hashes = kernel_hashes p in
+  let n = Array.length hashes in
   let ranked =
-    List.sort compare (List.init n (fun i -> (hash.(i), twin.(i), i)))
+    List.sort compare (List.init n (fun i -> (fst hashes.(i), snd hashes.(i), i)))
   in
   let names = Array.make n "" in
   List.iteri (fun rank (_, _, i) -> names.(i) <- Printf.sprintf "\001%d" rank) ranked;
@@ -338,3 +345,42 @@ let plan_key ~config:c ~strategy ?(exchange = true) ?(optimize = false) ?(inline
     structural = digest (structural p ^ "\n" ^ request);
     exact = digest (exact p ^ "\n" ^ request);
   }
+
+(* ---- per-subgraph fingerprint (incremental replanning) ----
+
+   Renders, for a block of kernel indices, exactly the facts the min-cut
+   recursion's per-block decision is a function of: the iteration space,
+   the per-kernel content hashes in ascending index order (twin-qualified
+   producer references pin the intra-block aliasing of every externally
+   produced image), whether each kernel's output leaves the block, and
+   the in-block edges by dense position.  Index order matters: equal
+   fingerprints imply the positional bijection between two blocks is an
+   order-preserving isomorphism, which is what makes Stoer-Wagner's
+   tie-breaks (dense ascending-index order) replay identically. *)
+
+let subgraph ?hashes (p : Pipeline.t) block =
+  let hashes = match hashes with Some h -> h | None -> kernel_hashes p in
+  let g = Pipeline.dag p in
+  let verts = Array.of_list (Iset.elements block) in
+  let pos = Hashtbl.create (max 16 (2 * Array.length verts)) in
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) verts;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "(sg %d %d %d %d" p.Pipeline.width p.Pipeline.height
+       p.Pipeline.channels (Array.length verts));
+  Array.iter
+    (fun v ->
+      let h, t = hashes.(v) in
+      let succs = Digraph.succs g v in
+      let leaving = Iset.is_empty succs || not (Iset.subset succs block) in
+      Buffer.add_string buf (Printf.sprintf "(k %s.%d %b" h t leaving);
+      Iset.iter
+        (fun s ->
+          match Hashtbl.find_opt pos s with
+          | Some j -> Buffer.add_string buf (Printf.sprintf " >%d" j)
+          | None -> ())
+        succs;
+      Buffer.add_char buf ')')
+    verts;
+  Buffer.add_char buf ')';
+  digest (Buffer.contents buf)

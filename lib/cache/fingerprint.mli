@@ -58,3 +58,29 @@ val plan_key :
   ?inline:bool ->
   Kfuse_ir.Pipeline.t ->
   key
+
+(** [kernel_hashes p] is the rename-invariant per-kernel content identity
+    underlying {!structural}: for each kernel, in pipeline (topological)
+    order, the hex digest of its alpha-renamed body with every image read
+    rendered as the producing kernel's own content reference (or the
+    external input's name), plus a twin index disambiguating
+    byte-identical kernels in stored order.  Two kernels with equal
+    [(hash, twin)] pairs — possibly in different pipelines — have
+    isomorphic transitive definitions. *)
+val kernel_hashes : Kfuse_ir.Pipeline.t -> (string * int) array
+
+(** [subgraph ?hashes p block] is a rename-invariant fingerprint of the
+    subgraph induced by the kernel-index set [block]: the iteration
+    space, each kernel's [(hash, twin)] content identity in ascending
+    index order, whether its output leaves the block (consumed outside or
+    a pipeline output), and the in-block edges by dense position.
+
+    These are exactly the facts one step of the min-cut recursion
+    ({!Kfuse_fusion.Mincut_fusion.run}) depends on, so under a fixed
+    {!Kfuse_fusion.Config}, blocks with equal subgraph fingerprints
+    receive the same decision up to the order-preserving positional
+    bijection — the invariant the incremental replanner's cross-flush
+    memo is built on.  [hashes] (from {!kernel_hashes}) avoids re-hashing
+    the whole pipeline per block. *)
+val subgraph :
+  ?hashes:(string * int) array -> Kfuse_ir.Pipeline.t -> Kfuse_util.Iset.t -> string

@@ -82,11 +82,13 @@ let decide config p g ~weight_of ~legal block =
       Split { reason; cut_weight = 0.0; side_a = first; side_b }
   end
 
-let run ?(pool = Kfuse_util.Pool.serial) ?(deadline = Kfuse_util.Deadline.none) config
-    (p : Pipeline.t) =
+let run ?(pool = Kfuse_util.Pool.serial) ?(deadline = Kfuse_util.Deadline.none) ?lookup
+    ?record ?edges config (p : Pipeline.t) =
   Config.validate config;
   let g = Pipeline.dag p in
-  let edges = Benefit.all_edges ~pool config p in
+  let edges =
+    match edges with Some e -> e | None -> Benefit.all_edges ~pool config p
+  in
   let weights = weight_table edges in
   let weight_of u v =
     match Hashtbl.find_opt weights (u, v) with
@@ -101,6 +103,13 @@ let run ?(pool = Kfuse_util.Pool.serial) ?(deadline = Kfuse_util.Deadline.none) 
      replays them, so the trace and partition are bit-identical to the
      sequential depth-first algorithm. *)
   let decisions : (int list, decision) Hashtbl.t = Hashtbl.create 16 in
+  (* Cross-run memoization hooks (incremental replanning): [lookup] is
+     consulted serially for every block of a wave; misses are decided in
+     parallel as usual and offered to [record], also serially, so the
+     callbacks never run off the calling domain.  The contract is strict:
+     [lookup] must return exactly the decision [decide] would compute —
+     the replanner guarantees it by keying on a fingerprint of everything
+     [decide] reads (see {!Kfuse_cache.Fingerprint.subgraph}). *)
   let rec waves frontier =
     match frontier with
     | [] -> ()
@@ -109,7 +118,30 @@ let run ?(pool = Kfuse_util.Pool.serial) ?(deadline = Kfuse_util.Deadline.none) 
          half-done, so an expired budget aborts here and the driver can
          degrade to the baseline partition. *)
       Kfuse_util.Deadline.check deadline;
-      let decided = Kfuse_util.Pool.map_list pool decide frontier in
+      let cached =
+        match lookup with
+        | None -> List.map (fun _ -> None) frontier
+        | Some f -> List.map f frontier
+      in
+      let misses =
+        List.concat_map
+          (fun (block, c) -> match c with None -> [ block ] | Some _ -> [])
+          (List.combine frontier cached)
+      in
+      let fresh = Kfuse_util.Pool.map_list pool decide misses in
+      (match record with
+      | None -> ()
+      | Some r -> List.iter2 r misses fresh);
+      let decided =
+        let rec merge cached fresh =
+          match (cached, fresh) with
+          | [], [] -> []
+          | Some d :: rest, fresh -> d :: merge rest fresh
+          | None :: rest, d :: fresh -> d :: merge rest fresh
+          | _ -> assert false
+        in
+        merge cached fresh
+      in
       let next =
         List.concat_map
           (function Accepted -> [] | Split { side_a; side_b; _ } -> [ side_a; side_b ])

@@ -43,18 +43,47 @@ val weight_table : Benefit.edge_report list -> (int * int, float) Hashtbl.t
 val block_legal :
   Config.t -> Kfuse_ir.Pipeline.t -> Benefit.edge_report list -> Kfuse_util.Iset.t -> bool
 
-(** [run ?pool ?deadline config pipeline] executes Algorithm 1 and
-    returns the final partition with its trace.  With [pool], edge
-    weights and the per-block legality/min-cut decisions of each
-    recursion wave are evaluated in parallel; every decision is a pure
-    function of its block, so the trace and partition are bit-identical
-    to the serial run.  [deadline] (default {!Kfuse_util.Deadline.none})
-    is polled between recursion waves; an expired deadline raises
-    {!Kfuse_util.Deadline.Expired}, which {!Driver.run} converts into
-    graceful degradation. *)
+(** What Algorithm 1 does to one block of the working set: accept it, or
+    split it along a min cut (or into weak components when it is already
+    disconnected).  A pure function of the block — given the config, the
+    pipeline and the edge weights — which is what lets independent blocks
+    be decided on separate domains, and decisions be replayed across runs
+    by the incremental replanner. *)
+type decision =
+  | Accepted
+  | Split of {
+      reason : Legality.reason option;
+      cut_weight : float;
+      side_a : Kfuse_util.Iset.t;
+      side_b : Kfuse_util.Iset.t;
+    }
+
+(** [run ?pool ?deadline ?lookup ?record ?edges config pipeline] executes
+    Algorithm 1 and returns the final partition with its trace.  With
+    [pool], edge weights and the per-block legality/min-cut decisions of
+    each recursion wave are evaluated in parallel; every decision is a
+    pure function of its block, so the trace and partition are
+    bit-identical to the serial run.  [deadline] (default
+    {!Kfuse_util.Deadline.none}) is polled between recursion waves; an
+    expired deadline raises {!Kfuse_util.Deadline.Expired}, which
+    {!Driver.run} converts into graceful degradation.
+
+    [lookup]/[record] are the cross-run memoization hooks used by
+    incremental replanning ({!Kfuse_lazy.Replan}): [lookup] is consulted
+    once per undecided block (serially, on the calling domain) and a
+    [Some] short-circuits {!decision} computation for that block; misses
+    are computed as usual and offered to [record] (also serially).
+    {b Contract}: [lookup] must return exactly the decision the fresh
+    computation would produce — the result is otherwise unspecified.
+    [edges] supplies a precomputed weighted fusion graph (it must equal
+    {!Benefit.all_edges} for this config and pipeline), letting a caller
+    that memoizes edge reports skip re-scoring them. *)
 val run :
   ?pool:Kfuse_util.Pool.t ->
   ?deadline:Kfuse_util.Deadline.t ->
+  ?lookup:(Kfuse_util.Iset.t -> decision option) ->
+  ?record:(Kfuse_util.Iset.t -> decision -> unit) ->
+  ?edges:Benefit.edge_report list ->
   Config.t ->
   Kfuse_ir.Pipeline.t ->
   result

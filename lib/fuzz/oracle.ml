@@ -36,6 +36,7 @@ type name =
   | Meta_permute_inputs
   | Meta_duplicate
   | Unparse_roundtrip
+  | Incremental_replan
   | Native_exec
   | Stream_exec
 
@@ -55,6 +56,7 @@ let all =
     Meta_permute_inputs;
     Meta_duplicate;
     Unparse_roundtrip;
+    Incremental_replan;
   ]
 
 let name_to_string = function
@@ -68,6 +70,7 @@ let name_to_string = function
   | Meta_permute_inputs -> "meta-permute-inputs"
   | Meta_duplicate -> "meta-duplicate"
   | Unparse_roundtrip -> "unparse-roundtrip"
+  | Incremental_replan -> "incremental-replan"
   | Native_exec -> "native-exec"
   | Stream_exec -> "stream-exec"
 
@@ -464,6 +467,61 @@ let meta_duplicate config p =
   | exception e -> Error (Printf.sprintf "duplicate oracle raised: %s" (Printexc.to_string e))
   | r -> r
 
+(* Lazy-frontend differential: seed a Lazy_pipeline from the generated
+   case, apply a deterministic edit sequence (seeded by the case's own
+   exact fingerprint) in bursts, and demand every incremental flush —
+   planned through the session's cross-flush memo — be bit-identical to
+   planning the same state from scratch.  The seam-check fallback
+   firing is itself a failure: it means a memo replay disagreed with
+   the legality re-check. *)
+let incremental_replan config p =
+  match
+    let seed =
+      String.fold_left
+        (fun acc c -> ((acc * 33) + Char.code c) land 0x3FFFFFFF)
+        5381 (Fingerprint.exact p)
+    in
+    let rng = Kfuse_util.Rng.create seed in
+    let lp = Kfuse_lazy.Lazy_pipeline.of_pipeline config p in
+    let flush_both ~round edits =
+      let show d = Kfuse_util.Diag.to_string d in
+      match Kfuse_lazy.Lazy_pipeline.flush lp with
+      | Error d -> Error (Printf.sprintf "round %d: incremental flush: %s" round (show d))
+      | Ok inc -> (
+        match Kfuse_lazy.Lazy_pipeline.flush_scratch lp with
+        | Error d -> Error (Printf.sprintf "round %d: scratch flush: %s" round (show d))
+        | Ok scr ->
+          if inc.Kfuse_lazy.Replan.stats.Kfuse_lazy.Replan.fell_back then
+            Error
+              (Printf.sprintf "round %d: seam re-check rejected the memoized plan (%s)"
+                 round edits)
+          else if not (String.equal inc.Kfuse_lazy.Replan.fingerprint scr.Kfuse_lazy.Replan.fingerprint)
+          then
+            Error
+              (Printf.sprintf
+                 "round %d: incremental /= scratch after [%s]: %s vs %s (partitions %s vs %s)"
+                 round edits
+                 inc.Kfuse_lazy.Replan.fingerprint scr.Kfuse_lazy.Replan.fingerprint
+                 (pp_partition inc.Kfuse_lazy.Replan.partition)
+                 (pp_partition scr.Kfuse_lazy.Replan.partition))
+          else Ok ())
+    in
+    let rec rounds i acc =
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if i > 3 then acc
+        else (
+          let edits = Kfuse_lazy.Edits.random_sequence rng lp 3 in
+          let shown = String.concat "; " (List.map Kfuse_lazy.Edits.to_string edits) in
+          rounds (i + 1) (flush_both ~round:i shown))
+    in
+    rounds 1 (flush_both ~round:0 "<none>")
+  with
+  | exception e ->
+    Error (Printf.sprintf "incremental-replan oracle raised: %s" (Printexc.to_string e))
+  | r -> r
+
 (* Interpreter-vs-native differential: plan through the production
    driver, compile the fused result with the host C toolchain, execute
    it on the same deterministic pixels {!eval_exact} sees, and demand
@@ -605,6 +663,7 @@ let check ?(which = all) ?pool ?cache_dir ?(strict_optimal = false) ?(max_exhaus
         | Meta_permute_inputs -> meta_permute_inputs config p
         | Meta_duplicate -> meta_duplicate config p
         | Unparse_roundtrip -> unparse_roundtrip p
+        | Incremental_replan -> incremental_replan config p
         | Native_exec -> native_exec ~cache_dir config p
         | Stream_exec -> stream_exec ~cache_dir config p
       in

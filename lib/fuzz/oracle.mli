@@ -37,6 +37,15 @@
       fingerprint unchanged.
     - {!constructor:Unparse_roundtrip}: unparse-then-parse is the
       identity on (border-normalized) pipelines, by exact fingerprint.
+    - {!constructor:Incremental_replan}: the lazy frontend's
+      differential.  The generated pipeline seeds a
+      {!Kfuse_lazy.Lazy_pipeline}; a deterministic edit sequence
+      (derived from the pipeline's own fingerprint) is applied with a
+      flush after every burst, and each incremental flush — planned
+      through the session's cross-flush memo — must be {e bit-identical}
+      (plan fingerprint: partition, objective, fused pipeline) to
+      planning the same state from scratch, without ever tripping the
+      seam-check fallback.
     - {!constructor:Native_exec}: the fused plan, compiled by
       {!Kfuse_exec.Native} and executed natively, agrees {e bitwise}
       with the {!Kfuse_ir.Eval} interpreter on the original pipeline
@@ -68,6 +77,7 @@ type name =
   | Meta_permute_inputs
   | Meta_duplicate
   | Unparse_roundtrip
+  | Incremental_replan
   | Native_exec
   | Stream_exec
 

@@ -13,6 +13,7 @@ type options = {
   max_failures : int;
   cache_dir : string option;
   native : bool;
+  oracles : Oracle.name list option;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     max_failures = 10;
     cache_dir = None;
     native = false;
+    oracles = None;
   }
 
 type origin = Generated of int | Replayed of string
@@ -76,8 +78,11 @@ let run ?(log = fun _ -> ()) (o : options) =
     match o.cache_dir with Some d -> d | None -> fresh_cache_dir ()
   in
   let bank =
-    if o.native then Oracle.all @ [ Oracle.Native_exec; Oracle.Stream_exec ]
-    else Oracle.all
+    match o.oracles with
+    | Some which -> which
+    | None ->
+      if o.native then Oracle.all @ [ Oracle.Native_exec; Oracle.Stream_exec ]
+      else Oracle.all
   in
   let check ?(which = bank) p =
     Oracle.check ~which ?pool ~cache_dir ~strict_optimal:o.strict_optimal config p

@@ -31,6 +31,11 @@ type options = {
           multi-frame streaming push sequence with temporal state
           carried between frames.  Much slower (C compiles per case);
           skips silently on toolchain-less hosts *)
+  oracles : Oracle.name list option;
+      (** run exactly these oracles, in this order, instead of the
+          default bank ([None]); overrides [native].  The CI
+          lazy-replan job uses [Some [Incremental_replan]] for a
+          focused differential smoke *)
 }
 
 val default_options : options

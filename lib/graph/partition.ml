@@ -66,6 +66,11 @@ let crossing_weight weight g p =
       if same then acc else acc +. weight u v)
     g 0.0
 
+let stitch parts = normalize (List.concat parts)
+
+let restrict p vs =
+  normalize (List.map (fun b -> Iset.inter b vs) p)
+
 let equal p q =
   let p = normalize p and q = normalize q in
   List.length p = List.length q && List.for_all2 Iset.equal p q

@@ -1,0 +1,158 @@
+module Rng = Kfuse_util.Rng
+module Kernel = Kfuse_ir.Kernel
+module Expr = Kfuse_ir.Expr
+module Mask = Kfuse_image.Mask
+
+type edit =
+  | Append of Kernel.t
+  | Delete of string
+  | Retarget of { kernel : string; from_ : string; to_ : string }
+  | Set_param of string * float
+
+let to_string = function
+  | Append k ->
+    Printf.sprintf "append %s <- [%s]" k.Kernel.name
+      (String.concat ", " k.Kernel.inputs)
+  | Delete n -> Printf.sprintf "delete %s" n
+  | Retarget { kernel; from_; to_ } ->
+    Printf.sprintf "retarget %s: %s -> %s" kernel from_ to_
+  | Set_param (n, v) -> Printf.sprintf "param %s = %g" n v
+
+let apply lp = function
+  | Append k -> Lazy_pipeline.add lp k
+  | Delete n -> Lazy_pipeline.remove lp n
+  | Retarget { kernel; from_; to_ } -> Lazy_pipeline.retarget lp ~kernel ~from_ ~to_
+  | Set_param (n, v) -> Lazy_pipeline.set_param lp n v
+
+(* --- generator helpers ----------------------------------------------- *)
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let fresh_name lp =
+  let taken = Lazy_pipeline.images lp @ List.map fst (Lazy_pipeline.params lp) in
+  let rec go i =
+    let c = Printf.sprintf "lz%d" i in
+    if List.mem c taken then go (i + 1) else c
+  in
+  go 0
+
+(* Images an appended kernel may read: inputs plus non-global kernel
+   outputs (a reduction's 1x1 output is not header-compatible). *)
+let readable lp =
+  Lazy_pipeline.inputs lp
+  @ List.filter_map
+      (fun (k : Kernel.t) -> if Kernel.is_global k then None else Some k.Kernel.name)
+      (Lazy_pipeline.kernels lp)
+
+(* Kernels nothing currently reads (deleting one cannot dangle). *)
+let unconsumed lp =
+  let kernels = Lazy_pipeline.kernels lp in
+  let consumed =
+    List.concat_map (fun (k : Kernel.t) -> k.Kernel.inputs) kernels
+  in
+  List.filter_map
+    (fun (k : Kernel.t) ->
+      if List.mem k.Kernel.name consumed then None else Some k.Kernel.name)
+    kernels
+
+(* Does image [img] transitively depend on kernel [target]?  Walks the
+   name graph of the builder state; used to refuse cycle-closing
+   retargets before the validator would. *)
+let depends_on lp ~img ~target =
+  let kernels = Lazy_pipeline.kernels lp in
+  let producer n =
+    List.find_opt (fun (k : Kernel.t) -> k.Kernel.name = n) kernels
+  in
+  let rec go img =
+    img = target
+    ||
+    match producer img with
+    | None -> false
+    | Some k -> List.exists go k.Kernel.inputs
+  in
+  go img
+
+let mk_map name body = Kernel.map ~name ~inputs:(Expr.images body) body
+
+let synth_kernel rng lp ~name sources =
+  let a = pick rng sources in
+  let c () = Rng.float rng 2.0 +. 0.125 in
+  let param_names = List.map fst (Lazy_pipeline.params lp) in
+  match Rng.int rng 6 with
+  | 0 -> mk_map name Expr.((input a * const (c ())) + const (c ()))
+  | 1 ->
+    let b = pick rng sources in
+    let ea = Expr.input a and eb = Expr.input b in
+    mk_map name
+      (match Rng.int rng 3 with
+      | 0 -> Expr.(ea + eb)
+      | 1 -> Expr.(ea * eb)
+      | _ -> Expr.max ea eb)
+  | 2 -> mk_map name (Expr.conv Mask.gaussian_3x3 a)
+  | 3 -> mk_map name (Expr.conv Mask.gaussian_5x5 a)
+  | 4 -> mk_map name Expr.(abs (input ~dx:1 a - input ~dy:1 a))
+  | _ when param_names <> [] ->
+    let pn = pick rng param_names in
+    mk_map name Expr.((input a * param pn) + const (c ()))
+  | _ -> mk_map name (Expr.sqrt (Expr.abs (Expr.input a)))
+
+let gen_retarget rng lp =
+  let kernels = Lazy_pipeline.kernels lp in
+  let sources = readable lp in
+  if kernels = [] || List.length sources < 2 then None
+  else (
+    (* a few random attempts, each filtered for validity *)
+    let rec attempt n =
+      if n = 0 then None
+      else (
+        let k = pick rng kernels in
+        let from_ = pick rng k.Kernel.inputs in
+        let to_ = pick rng sources in
+        if
+          to_ <> from_
+          && to_ <> k.Kernel.name
+          && not (depends_on lp ~img:to_ ~target:k.Kernel.name)
+        then Some (Retarget { kernel = k.Kernel.name; from_; to_ })
+        else attempt (n - 1))
+    in
+    attempt 8)
+
+let random rng lp =
+  let sources = readable lp in
+  let deletable = unconsumed lp in
+  let params = Lazy_pipeline.params lp in
+  (* weighted applicable kinds; appends dominate so DAGs grow *)
+  let kinds =
+    (if sources <> [] then [ `Append; `Append; `Append; `Append ] else [])
+    @ (if deletable <> [] then [ `Delete; `Delete ] else [])
+    @ (if Lazy_pipeline.kernels lp <> [] then [ `Retarget; `Retarget; `Retarget ]
+       else [])
+    @ if params <> [] then [ `Param ] else []
+  in
+  if kinds = [] then None
+  else
+    match pick rng kinds with
+    | `Append -> Some (Append (synth_kernel rng lp ~name:(fresh_name lp) sources))
+    | `Delete -> Some (Delete (pick rng deletable))
+    | `Param ->
+      let n, _ = pick rng params in
+      Some (Set_param (n, Rng.float rng 4.0))
+    | `Retarget -> (
+      match gen_retarget rng lp with
+      | Some _ as e -> e
+      | None when sources <> [] ->
+        Some (Append (synth_kernel rng lp ~name:(fresh_name lp) sources))
+      | None -> None)
+
+let random_sequence rng lp n =
+  let rec go i acc =
+    if i = 0 then List.rev acc
+    else
+      match random rng lp with
+      | None -> List.rev acc
+      | Some e -> (
+        match apply lp e with
+        | Ok () -> go (i - 1) (e :: acc)
+        | Error _ -> go (i - 1) acc)
+  in
+  go n []

@@ -1,0 +1,34 @@
+(** Random edit sequences over a {!Lazy_pipeline} — the differential
+    harness's workload generator.
+
+    An {!edit} is one builder operation; {!random} draws an applicable
+    edit for the builder's current state from a seeded
+    {!Kfuse_util.Rng.t}, so a (seed, length) pair names a reproducible
+    edit sequence.  The generator aims for {e mostly-valid} edits
+    (appended kernels read live images, deletions pick unconsumed
+    kernels, retargets avoid cycles by a reachability check), but
+    {!apply} tolerates rejection — a rejected edit leaves the builder
+    unchanged, which the differential test also exercises. *)
+
+type edit =
+  | Append of Kfuse_ir.Kernel.t
+  | Delete of string  (** kernel name *)
+  | Retarget of { kernel : string; from_ : string; to_ : string }
+  | Set_param of string * float
+
+val to_string : edit -> string
+
+val apply : Lazy_pipeline.t -> edit -> (unit, Kfuse_util.Diag.t) result
+
+val random : Kfuse_util.Rng.t -> Lazy_pipeline.t -> edit option
+(** An edit applicable (with high probability) to the builder's current
+    state; [None] when no edit kind applies (no readable images, no
+    kernels, no parameters).  Draws: appends of synthesized point,
+    stencil (3x3/5x5 convolution) and shifted-difference kernels;
+    deletions of currently-unconsumed kernels; read retargets filtered
+    through a name-graph reachability check; parameter upserts. *)
+
+val random_sequence : Kfuse_util.Rng.t -> Lazy_pipeline.t -> int -> edit list
+(** [random_sequence rng lp n] draws and applies up to [n] random edits
+    to [lp], returning the accepted ones in application order (rejected
+    draws are skipped, still consuming randomness deterministically). *)

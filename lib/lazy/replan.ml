@@ -1,0 +1,255 @@
+module Iset = Kfuse_util.Iset
+module Diag = Kfuse_util.Diag
+module Faults = Kfuse_util.Faults
+module Digraph = Kfuse_graph.Digraph
+module Partition = Kfuse_graph.Partition
+module Pipeline = Kfuse_ir.Pipeline
+module Validate = Kfuse_ir.Validate
+module Config = Kfuse_fusion.Config
+module Benefit = Kfuse_fusion.Benefit
+module Legality = Kfuse_fusion.Legality
+module Mincut = Kfuse_fusion.Mincut_fusion
+module Transform = Kfuse_fusion.Transform
+module Fingerprint = Kfuse_cache.Fingerprint
+
+let seam_fault = "lazy.seam"
+
+type stats = {
+  blocks_reused : int;
+  blocks_replanned : int;
+  edges_reused : int;
+  edges_rescored : int;
+  fell_back : bool;
+}
+
+type plan = {
+  pipeline : Pipeline.t;
+  partition : Partition.t;
+  edges : Benefit.edge_report list;
+  steps : Mincut.step list;
+  objective : float;
+  fused : Pipeline.t;
+  fingerprint : string;
+  stats : stats;
+}
+
+(* A stored decision is positional: [side_a] holds dense indices into
+   the ascending enumeration of the block it was recorded for.  Equal
+   subgraph fingerprints guarantee an order-preserving isomorphism
+   between the recorded block and the block being looked up, so mapping
+   the positions through the new block's own enumeration reconstructs
+   exactly the side the fresh min cut would emit. *)
+type stored = S_accept | S_split of { cut_weight : float; side_a : int list }
+
+type t = {
+  config : Config.t;
+  decisions : (string, stored) Hashtbl.t;
+  (* key -> (scenario tag, delta, phi, weight); legal scenarios only *)
+  edge_memo : (string, int * float * float * float) Hashtbl.t;
+  mutable last : plan option;
+}
+
+let create config =
+  Config.validate config;
+  {
+    config;
+    decisions = Hashtbl.create 64;
+    edge_memo = Hashtbl.create 64;
+    last = None;
+  }
+
+let config t = t.config
+
+let clear t =
+  Hashtbl.reset t.decisions;
+  Hashtbl.reset t.edge_memo;
+  t.last <- None
+
+let memo_size t = (Hashtbl.length t.decisions, Hashtbl.length t.edge_memo)
+let last t = t.last
+
+(* --- edge memo ------------------------------------------------------ *)
+
+let scenario_tag = function
+  | Benefit.Point_based -> 0
+  | Benefit.Point_to_local -> 1
+  | Benefit.Local_to_local -> 2
+  | Benefit.Illegal _ -> invalid_arg "Replan: illegal scenarios are not memoized"
+
+let scenario_of_tag = function
+  | 0 -> Benefit.Point_based
+  | 1 -> Benefit.Point_to_local
+  | _ -> Benefit.Local_to_local
+
+let edge_key (p : Pipeline.t) hashes u v =
+  (* Everything [Benefit.edge_report] reads besides the session config:
+     the endpoints' transitive content (hash.twin renders every mask,
+     border mode, offset and upstream definition), the iteration space,
+     and whether the producer has a consumer other than [v] — the one
+     graph fact pair-legality (fig. 2c) depends on. *)
+  let hu, tu = hashes.(u) and hv, tv = hashes.(v) in
+  let other = Iset.cardinal (Pipeline.consumers p u) > 1 in
+  Printf.sprintf "%dx%dx%d|%s.%d>%s.%d|%b" p.Pipeline.width p.Pipeline.height
+    p.Pipeline.channels hu tu hv tv other
+
+let score_edges t (p : Pipeline.t) hashes =
+  let reused = ref 0 and rescored = ref 0 in
+  let reports =
+    List.map
+      (fun (u, v) ->
+        let key = edge_key p hashes u v in
+        match Hashtbl.find_opt t.edge_memo key with
+        | Some (tag, delta, phi, weight) ->
+          incr reused;
+          {
+            Benefit.src = u;
+            dst = v;
+            image = Pipeline.edge_image p u v;
+            scenario = scenario_of_tag tag;
+            delta;
+            phi;
+            weight;
+          }
+        | None ->
+          incr rescored;
+          let r = Benefit.edge_report t.config p u v in
+          (match r.Benefit.scenario with
+          | Benefit.Illegal _ ->
+            (* an Illegal reason names kernels by pipeline index, which
+               would be stale on replay — re-score these each flush *)
+            ()
+          | s -> Hashtbl.replace t.edge_memo key (scenario_tag s, r.delta, r.phi, r.weight));
+          r)
+      (Digraph.edges (Pipeline.dag p))
+  in
+  (reports, !reused, !rescored)
+
+(* --- decision memo --------------------------------------------------- *)
+
+let lookup t p hashes block =
+  match Hashtbl.find_opt t.decisions (Fingerprint.subgraph ~hashes p block) with
+  | None -> None
+  | Some S_accept -> Some Mincut.Accepted
+  | Some (S_split { cut_weight; side_a }) ->
+    let verts = Array.of_list (Iset.elements block) in
+    let a = List.fold_left (fun acc i -> Iset.add verts.(i) acc) Iset.empty side_a in
+    (* The stored reason would carry the recording pipeline's kernel
+       indices; one legality check re-derives it against this pipeline,
+       keeping the trace bit-identical to a fresh run. *)
+    let reason =
+      match Legality.check t.config p block with Ok () -> None | Error r -> Some r
+    in
+    Some (Mincut.Split { reason; cut_weight; side_a = a; side_b = Iset.diff block a })
+
+let record t p hashes block (d : Mincut.decision) =
+  let key = Fingerprint.subgraph ~hashes p block in
+  let stored =
+    match d with
+    | Mincut.Accepted -> S_accept
+    | Mincut.Split { cut_weight; side_a; _ } ->
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i v -> Hashtbl.replace pos v i) (Iset.elements block);
+      S_split
+        { cut_weight; side_a = List.filter_map (Hashtbl.find_opt pos) (Iset.elements side_a) }
+  in
+  Hashtbl.replace t.decisions key stored
+
+(* --- planning -------------------------------------------------------- *)
+
+let plan_fingerprint ~pipeline ~partition ~objective ~fused =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fingerprint.exact pipeline);
+  List.iter
+    (fun b -> Buffer.add_string buf (Format.asprintf "|%a" Iset.pp b))
+    partition;
+  Buffer.add_string buf (Printf.sprintf "|%h|" objective);
+  Buffer.add_string buf (Fingerprint.exact fused);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let finish t p (r : Mincut.result) ~stats =
+  match Transform.apply ~exchange:true p r.Mincut.partition with
+  | exception Invalid_argument msg ->
+    Error (Diag.errorf Diag.Invalid_partition "lazy replan: fused build failed: %s" msg)
+  | fused ->
+    let plan =
+      {
+        pipeline = p;
+        partition = r.Mincut.partition;
+        edges = r.Mincut.edges;
+        steps = r.Mincut.steps;
+        objective = r.Mincut.objective;
+        fused;
+        fingerprint =
+          plan_fingerprint ~pipeline:p ~partition:r.Mincut.partition
+            ~objective:r.Mincut.objective ~fused;
+        stats;
+      }
+    in
+    t.last <- Some plan;
+    Ok plan
+
+let plan ?pool t p =
+  match Validate.result p with
+  | Error d -> Error d
+  | Ok p -> (
+    try
+      let hashes = Fingerprint.kernel_hashes p in
+      let edges, edges_reused, edges_rescored = score_edges t p hashes in
+      let blocks_reused = ref 0 and blocks_replanned = ref 0 in
+      let lookup block =
+        match lookup t p hashes block with
+        | Some _ as d ->
+          incr blocks_reused;
+          d
+        | None ->
+          incr blocks_replanned;
+          None
+      in
+      let result =
+        Mincut.run ?pool ~lookup ~record:(record t p hashes) ~edges t.config p
+      in
+      (* Seam re-check: reused decisions are provably equivalent, but an
+         incremental planner that silently returns a stale plan is the
+         exact failure mode this module exists to prevent — the
+         invariant is enforced, not assumed. *)
+      let seam =
+        if Faults.fires seam_fault then
+          Error (Diag.errorf Diag.Fault_injected "seam re-check fault (%s)" seam_fault)
+        else Legality.check_partition t.config p result.Mincut.partition
+      in
+      match seam with
+      | Ok () ->
+        finish t p result
+          ~stats:
+            {
+              blocks_reused = !blocks_reused;
+              blocks_replanned = !blocks_replanned;
+              edges_reused;
+              edges_rescored;
+              fell_back = false;
+            }
+      | Error _ ->
+        (* Degrade: the memo can no longer be trusted.  Drop it and
+           replan this flush from scratch (repopulating both memos). *)
+        Hashtbl.reset t.decisions;
+        Hashtbl.reset t.edge_memo;
+        let edges, _, edges_rescored = score_edges t p hashes in
+        let result = Mincut.run ?pool ~record:(record t p hashes) ~edges t.config p in
+        (match Legality.check_partition t.config p result.Mincut.partition with
+        | Error d -> Error d
+        | Ok () ->
+          finish t p result
+            ~stats:
+              {
+                blocks_reused = 0;
+                blocks_replanned = List.length result.Mincut.steps;
+                edges_reused = 0;
+                edges_rescored;
+                fell_back = true;
+              })
+    with
+    | Faults.Fault { point; hit } ->
+      Error (Diag.errorf Diag.Fault_injected "fault at %s (hit %d)" point hit)
+    | Invalid_argument msg -> Error (Diag.errorf Diag.Strategy_failed "lazy replan: %s" msg))
+
+let scratch ?pool config p = plan ?pool (create config) p

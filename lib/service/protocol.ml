@@ -144,12 +144,38 @@ type stream_push_request = {
   return_pixels : bool;
 }
 
+type lazy_open_request = {
+  app : string option;
+  source : string option;  (* seed pipeline; both None = empty builder *)
+  width : int option;  (* required for an empty builder *)
+  height : int option;
+  channels : int option;
+  inputs : string list;  (* empty-builder input declarations *)
+  c_mshared : float option;
+  gamma : float option;
+  tg : float option;
+}
+
+type lazy_edit_request = {
+  id : string;
+  command : string;  (* one line of the repl edit grammar *)
+}
+
+type lazy_flush_request = {
+  id : string;
+  scratch : bool;  (* bypass the session memos (differential reference) *)
+}
+
 type request =
   | Fuse of fuse_request
   | Fuse_exec of fuse_exec_request
   | Stream_open of stream_open_request
   | Stream_push of stream_push_request
   | Stream_close of string  (* session id *)
+  | Lazy_open of lazy_open_request
+  | Lazy_edit of lazy_edit_request
+  | Lazy_flush of lazy_flush_request
+  | Lazy_close of string  (* session id *)
   | Stats
   | Metrics
   | Ping
@@ -224,6 +250,35 @@ let request_to_json = function
     in
     Jsonx.Obj (("op", Jsonx.Str "stream_push") :: fields)
   | Stream_close id -> Jsonx.Obj [ ("op", Jsonx.Str "stream_close"); ("id", Jsonx.Str id) ]
+  | Lazy_open o ->
+    let opt name conv v fields =
+      match v with None -> fields | Some v -> (name, conv v) :: fields
+    in
+    let num v = Jsonx.Num v in
+    let fields =
+      []
+      |> opt "tg" num o.tg
+      |> opt "gamma" num o.gamma
+      |> opt "c_mshared" num o.c_mshared
+      |> opt "channels" (fun v -> Jsonx.Num (float_of_int v)) o.channels
+      |> opt "height" (fun v -> Jsonx.Num (float_of_int v)) o.height
+      |> opt "width" (fun v -> Jsonx.Num (float_of_int v)) o.width
+      |> opt "source" (fun v -> Jsonx.Str v) o.source
+      |> opt "app" (fun v -> Jsonx.Str v) o.app
+    in
+    let fields =
+      if o.inputs = [] then fields
+      else ("inputs", Jsonx.Arr (List.map (fun i -> Jsonx.Str i) o.inputs)) :: fields
+    in
+    Jsonx.Obj (("op", Jsonx.Str "lazy_open") :: fields)
+  | Lazy_edit e ->
+    Jsonx.Obj
+      [ ("op", Jsonx.Str "lazy_edit"); ("id", Jsonx.Str e.id); ("command", Jsonx.Str e.command) ]
+  | Lazy_flush f ->
+    let fields = [ ("id", Jsonx.Str f.id) ] in
+    let fields = if f.scratch then ("scratch", Jsonx.Bool true) :: fields else fields in
+    Jsonx.Obj (("op", Jsonx.Str "lazy_flush") :: fields)
+  | Lazy_close id -> Jsonx.Obj [ ("op", Jsonx.Str "lazy_close"); ("id", Jsonx.Str id) ]
 
 let proto_error fmt = Printf.ksprintf (fun m -> Error (Diag.v Diag.Protocol_error m)) fmt
 
@@ -379,6 +434,58 @@ let request_of_json v =
     match id with
     | Some id -> Ok (Stream_close id)
     | None -> proto_error "stream_close needs a string \"id\" field")
+  | Some "lazy_open" ->
+    let* app = typed_field "app" Jsonx.str "string" v in
+    let* source = typed_field "source" Jsonx.str "string" v in
+    let* width = int_field "width" v in
+    let* height = int_field "height" v in
+    let* channels = int_field "channels" v in
+    let* inputs =
+      match Jsonx.member "inputs" v with
+      | None -> Ok []
+      | Some field -> (
+        match Jsonx.arr field with
+        | None -> proto_error "field \"inputs\" must be an array of strings"
+        | Some items ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match Jsonx.str item with
+              | Some s -> Ok (s :: acc)
+              | None -> proto_error "field \"inputs\" must be an array of strings")
+            (Ok []) items
+          |> Result.map List.rev)
+    in
+    let* c_mshared = typed_field "c_mshared" Jsonx.num "number" v in
+    let* gamma = typed_field "gamma" Jsonx.num "number" v in
+    let* tg = typed_field "tg" Jsonx.num "number" v in
+    let* () =
+      match (app, source) with
+      | Some _, Some _ -> proto_error "pass either \"app\" or \"source\", not both"
+      | None, None when width = None || height = None ->
+        proto_error
+          "lazy_open needs an \"app\"/\"source\" seed, or \"width\" and \"height\" for \
+           an empty builder"
+      | _ -> Ok ()
+    in
+    Ok (Lazy_open { app; source; width; height; channels; inputs; c_mshared; gamma; tg })
+  | Some "lazy_edit" -> (
+    let* id = typed_field "id" Jsonx.str "string" v in
+    let* command = typed_field "command" Jsonx.str "string" v in
+    match (id, command) with
+    | Some id, Some command -> Ok (Lazy_edit { id; command })
+    | _ -> proto_error "lazy_edit needs string \"id\" and \"command\" fields")
+  | Some "lazy_flush" -> (
+    let* id = typed_field "id" Jsonx.str "string" v in
+    let* scratch = typed_field "scratch" Jsonx.bool "boolean" v in
+    match id with
+    | Some id -> Ok (Lazy_flush { id; scratch = Option.value ~default:false scratch })
+    | None -> proto_error "lazy_flush needs a string \"id\" field")
+  | Some "lazy_close" -> (
+    let* id = typed_field "id" Jsonx.str "string" v in
+    match id with
+    | Some id -> Ok (Lazy_close id)
+    | None -> proto_error "lazy_close needs a string \"id\" field")
   | Some op -> proto_error "unknown op %S" op
 
 (* ---- responses ---- *)

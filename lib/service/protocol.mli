@@ -49,6 +49,29 @@
     - [{"op":"stream_close", "id":...}] — release the session (plan
       handle, temporal window); replies with the total ["frames"].
       Sessions idle longer than [--stream-idle-ms] are reaped lazily.
+    - [{"op":"lazy_open", ...}] — open a lazy-pipeline editing session
+      (see {!Kfuse_lazy.Lazy_pipeline}): either seed it from ["app"] /
+      ["source"] (like [fuse]), or start an empty builder with
+      ["width"]/["height"] (optional ["channels"] and ["inputs"], an
+      array of input-image names).  Optional ["c_mshared"], ["gamma"],
+      ["tg"] configure the session's fusion model.  Replies with the
+      session ["id"].  Lazy sessions count against [--max-streams] and
+      idle-expire like streams.
+    - [{"op":"lazy_edit", "id":..., "command":...}] — apply one edit
+      command (the [kfusec repl] grammar: [add <name> = <expr>],
+      [del <name>], [retarget <kernel> <from> <to>],
+      [param <name> <value>], [input <name>]) to the session's builder.
+      A rejected edit (parse error, dangling reference, cycle, ...)
+      returns its diagnostic and leaves the builder unchanged.
+    - [{"op":"lazy_flush", "id":...}] — build and (re)plan the session's
+      current pipeline through its incremental replanning memos
+      ({!Kfuse_lazy.Replan}); with ["scratch"]: true, plan from scratch
+      instead (the differential reference — does not touch the memos).
+      Replies with the partition, objective, plan ["fingerprint"] and a
+      ["replan"] object (blocks/edges reused vs recomputed,
+      ["fell_back"], wall-clock ["replan_ms"]).
+    - [{"op":"lazy_close", "id":...}] — release the session; replies
+      with the session's total ["flushes"].
     - [{"op":"stats"}] — cache + latency counters as JSON.
     - [{"op":"metrics"}] — Prometheus-style text exposition (in the
       ["text"] field of the response).
@@ -140,12 +163,38 @@ type stream_push_request = {
   return_pixels : bool;  (** inline output pixels in the reply *)
 }
 
+type lazy_open_request = {
+  app : string option;  (** seed pipeline; mutually exclusive with [source] *)
+  source : string option;  (** DSL text seed *)
+  width : int option;  (** app-seed size override, or empty-builder extent *)
+  height : int option;
+  channels : int option;  (** empty-builder channels (default 1) *)
+  inputs : string list;  (** empty-builder input-image declarations *)
+  c_mshared : float option;
+  gamma : float option;
+  tg : float option;
+}
+
+type lazy_edit_request = {
+  id : string;  (** session id from the [lazy_open] reply *)
+  command : string;  (** one line of the repl edit grammar *)
+}
+
+type lazy_flush_request = {
+  id : string;  (** session id from the [lazy_open] reply *)
+  scratch : bool;  (** plan from scratch, bypassing the session memos *)
+}
+
 type request =
   | Fuse of fuse_request
   | Fuse_exec of fuse_exec_request
   | Stream_open of stream_open_request
   | Stream_push of stream_push_request
   | Stream_close of string  (** session id *)
+  | Lazy_open of lazy_open_request
+  | Lazy_edit of lazy_edit_request
+  | Lazy_flush of lazy_flush_request
+  | Lazy_close of string  (** session id *)
   | Stats
   | Metrics
   | Ping

@@ -300,18 +300,19 @@ let handle_stream_open t req (o : Protocol.stream_open_request) =
     in
     go 0
 
-let handle_stream_op t ~id ~rebuild =
+let handle_stream_op ?(kind = "stream") t ~id ~rebuild =
   match parse_stream_id t id with
   | None ->
     Protocol.error
-      (Diag.errorf Diag.Stream_unknown "unknown stream id %S (not issued by this router)" id)
+      (Diag.errorf Diag.Stream_unknown "unknown %s id %S (not issued by this router)" kind
+         id)
   | Some (idx, orig) ->
     let s = t.shards.(idx) in
     if not (Shard.routable s) then
       Protocol.error
         (Diag.errorf Diag.Shard_unavailable
-           "stream %S lives on shard %d, which is down or restarting; reopen the stream" id
-           idx)
+           "%s %S lives on shard %d, which is down or restarting; reopen the %s" kind id
+           idx kind)
     else (
       match
         Client.call_once ~socket:(Shard.socket s) ~timeout_ms:t.forward_timeout_ms
@@ -321,15 +322,30 @@ let handle_stream_op t ~id ~rebuild =
         Metrics.incr t.metrics "requests_routed";
         rewrite_reply_id ~shard:idx reply
       | Error _, true ->
-        (* The shard died mid-request, taking the session's temporal
-           state with it: no retry can resurrect the stream. *)
+        (* The shard died mid-request, taking the session's state with
+           it: no retry can resurrect it. *)
         Protocol.error
           (Diag.errorf Diag.Shard_unavailable
-             "stream %S: lost the connection to shard %d (it crashed or is restarting); reopen the stream"
-             id idx)
+             "%s %S: lost the connection to shard %d (it crashed or is restarting); reopen the %s"
+             kind id idx kind)
       | Error d, false ->
         Metrics.incr t.metrics "requests_routed";
         Protocol.error d)
+
+(* A lazy session, like a stream, lives in exactly one shard process —
+   but an empty builder has no pipeline to fingerprint, so placement
+   uses a cheap request-shaped affinity key (the shard re-validates the
+   seed anyway). *)
+let lazy_affinity (o : Protocol.lazy_open_request) =
+  match (o.Protocol.app, o.Protocol.source) with
+  | Some a, _ -> "lazy-app:" ^ a
+  | None, Some s -> "lazy-src:" ^ Digest.to_hex (Digest.string s)
+  | None, None ->
+    Printf.sprintf "lazy-new:%dx%dx%d:%s"
+      (Option.value ~default:0 o.Protocol.width)
+      (Option.value ~default:0 o.Protocol.height)
+      (Option.value ~default:1 o.Protocol.channels)
+      (String.concat "," o.Protocol.inputs)
 
 let shard_json i s =
   Jsonx.Obj
@@ -373,6 +389,10 @@ let dispatch t v =
       | Protocol.Stream_open _ -> "stream_open"
       | Protocol.Stream_push _ -> "stream_push"
       | Protocol.Stream_close _ -> "stream_close"
+      | Protocol.Lazy_open _ -> "lazy_open"
+      | Protocol.Lazy_edit _ -> "lazy_edit"
+      | Protocol.Lazy_flush _ -> "lazy_flush"
+      | Protocol.Lazy_close _ -> "lazy_close"
       | Protocol.Stats -> "stats"
       | Protocol.Metrics -> "metrics"
       | Protocol.Ping -> "ping"
@@ -403,7 +423,21 @@ let dispatch t v =
               Protocol.Stream_push { s with Protocol.id = orig }))
     | Protocol.Stream_close id ->
       guarded (fun () ->
-          handle_stream_op t ~id ~rebuild:(fun orig -> Protocol.Stream_close orig)))
+          handle_stream_op t ~id ~rebuild:(fun orig -> Protocol.Stream_close orig))
+    | Protocol.Lazy_open o ->
+      guarded (fun () -> forward_routed t ~structural:(lazy_affinity o) req)
+    | Protocol.Lazy_edit e ->
+      guarded (fun () ->
+          handle_stream_op ~kind:"lazy session" t ~id:e.Protocol.id ~rebuild:(fun orig ->
+              Protocol.Lazy_edit { e with Protocol.id = orig }))
+    | Protocol.Lazy_flush f ->
+      guarded (fun () ->
+          handle_stream_op ~kind:"lazy session" t ~id:f.Protocol.id ~rebuild:(fun orig ->
+              Protocol.Lazy_flush { f with Protocol.id = orig }))
+    | Protocol.Lazy_close id ->
+      guarded (fun () ->
+          handle_stream_op ~kind:"lazy session" t ~id ~rebuild:(fun orig ->
+              Protocol.Lazy_close orig)))
 
 (* ---- connection handling (mirrors Server) ---- *)
 

@@ -13,6 +13,7 @@ module Supervisor = Kfuse_exec.Supervisor
 module Toolchain = Kfuse_exec.Toolchain
 module Session = Kfuse_stream.Session
 module Frames = Kfuse_stream.Frames
+module Lz = Kfuse_lazy
 
 (* One open stream: the per-stream temporal state plus the pinned
    compiled plan.  [in_flight] (under the server's [streams_lock]) is
@@ -33,6 +34,18 @@ type stream = {
   mutable last_used : float;
   mutable in_flight : int;
   mutable closed : bool;
+}
+
+(* One open lazy-pipeline editing session: a mutable builder plus its
+   incremental replanning memos.  [lz_lock] serializes edits and flushes
+   (builders are not thread-safe).  Unlike streams, a lazy session pins
+   no native plan, so close and idle-expiry are pure table removals. *)
+type lazy_session = {
+  lz_id : string;
+  builder : Lz.Lazy_pipeline.t;
+  lz_lock : Mutex.t;
+  mutable lz_last_used : float;
+  mutable lz_flushes : int;
 }
 
 type t = {
@@ -82,6 +95,12 @@ type t = {
   max_streams : int;
   stream_queue : int;
   stream_idle_ms : float;
+  (* Lazy editing sessions, under [lazies_lock].  They share the
+     [max_streams] bound (each table bounded independently) and the
+     [stream_idle_ms] idle-expiry horizon. *)
+  lazies_lock : Mutex.t;
+  lazies : (string, lazy_session) Hashtbl.t;
+  next_lazy : int Atomic.t;
 }
 
 let socket t = t.socket_path
@@ -764,8 +783,263 @@ let handle_stream_close t id =
     Protocol.ok
       [ ("id", Jsonx.Str id); ("frames", Jsonx.Num (float_of_int frames)) ]
 
+(* ---- lazy sessions ---- *)
+
+let lazies_active t =
+  Mutex.lock t.lazies_lock;
+  let n = Hashtbl.length t.lazies in
+  Mutex.unlock t.lazies_lock;
+  n
+
+(* Same lazy expiry discipline as streams: no reaper thread, run from
+   every lazy/stats op.  Nothing to release — builders are plain heap. *)
+let expire_idle_lazies t =
+  if t.stream_idle_ms > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.lazies_lock;
+    let doomed =
+      Hashtbl.fold
+        (fun id lz acc ->
+          if (now -. lz.lz_last_used) *. 1000.0 > t.stream_idle_ms then (id, lz) :: acc
+          else acc)
+        t.lazies []
+    in
+    List.iter (fun (id, _) -> Hashtbl.remove t.lazies id) doomed;
+    Mutex.unlock t.lazies_lock;
+    List.iter
+      (fun _ ->
+        Metrics.incr t.metrics "lazy_expired";
+        Metrics.decr_gauge t.metrics "lazy_active")
+      doomed
+  end
+
+let release_all_lazies t =
+  Mutex.lock t.lazies_lock;
+  let n = Hashtbl.length t.lazies in
+  Hashtbl.reset t.lazies;
+  Mutex.unlock t.lazies_lock;
+  for _ = 1 to n do
+    Metrics.decr_gauge t.metrics "lazy_active"
+  done
+
+let find_lazy t id =
+  Mutex.lock t.lazies_lock;
+  let r = Hashtbl.find_opt t.lazies id in
+  Mutex.unlock t.lazies_lock;
+  r
+
+let unknown_lazy id =
+  Protocol.error
+    (Diag.errorf Diag.Stream_unknown
+       "unknown lazy session %S (never opened, already closed, or idle-expired)" id)
+
+let lazy_state_fields builder =
+  [
+    ("name", Jsonx.Str (Lz.Lazy_pipeline.name builder));
+    ("width", Jsonx.Num (float_of_int (Lz.Lazy_pipeline.width builder)));
+    ("height", Jsonx.Num (float_of_int (Lz.Lazy_pipeline.height builder)));
+    ("channels", Jsonx.Num (float_of_int (Lz.Lazy_pipeline.channels builder)));
+    ("generation", Jsonx.Num (float_of_int (Lz.Lazy_pipeline.generation builder)));
+    ( "inputs",
+      Jsonx.Arr (List.map (fun i -> Jsonx.Str i) (Lz.Lazy_pipeline.inputs builder)) );
+    ( "kernels",
+      Jsonx.Arr
+        (List.map
+           (fun k -> Jsonx.Str k.Ir.Kernel.name)
+           (Lz.Lazy_pipeline.kernels builder)) );
+  ]
+
+(* Input names reach DSL source later (the [add] command's expression
+   scope), so reject anything that is not an identifier at the door. *)
+let valid_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let handle_lazy_open t (o : Protocol.lazy_open_request) =
+  expire_idle_lazies t;
+  let default = F.Config.default in
+  let config =
+    {
+      default with
+      F.Config.c_mshared =
+        Option.value ~default:default.F.Config.c_mshared o.Protocol.c_mshared;
+      gamma = Option.value ~default:default.F.Config.gamma o.Protocol.gamma;
+      tg = Option.value ~default:default.F.Config.tg o.Protocol.tg;
+    }
+  in
+  match F.Config.validate_result config with
+  | Error d -> Protocol.error d
+  | Ok () -> (
+    let seeded =
+      match (o.Protocol.app, o.Protocol.source) with
+      | None, None -> (
+        (* The codec guarantees width/height for an empty builder. *)
+        let width = Option.get o.Protocol.width
+        and height = Option.get o.Protocol.height in
+        let rec dup = function
+          | [] -> None
+          | x :: rest -> if List.mem x rest then Some x else dup rest
+        in
+        match
+          ( List.find_opt (fun i -> not (valid_ident i)) o.Protocol.inputs,
+            dup o.Protocol.inputs )
+        with
+        | Some bad, _ ->
+          Error (Diag.errorf Diag.Elab_error "input %S is not an identifier" bad)
+        | None, Some d ->
+          Error (Diag.errorf Diag.Duplicate_name "duplicate input %S" d)
+        | None, None ->
+          Ok
+            (Lz.Lazy_pipeline.create
+               ~channels:(Option.value ~default:1 o.Protocol.channels)
+               ~inputs:o.Protocol.inputs ~width ~height config))
+      | _ -> (
+        let fr =
+          {
+            Protocol.app = o.Protocol.app;
+            source = o.Protocol.source;
+            strategy = F.Driver.Mincut;
+            c_mshared = None;
+            gamma = None;
+            tg = None;
+            optimize = false;
+            inline = false;
+            strict = false;
+            budget_ms = None;
+            no_cache = false;
+          }
+        in
+        let size =
+          match (o.Protocol.width, o.Protocol.height) with
+          | Some w, Some h -> Some (w, h)
+          | _ -> None
+        in
+        match Result.bind (load_pipeline ?size fr) validated with
+        | Error _ as e -> e
+        | Ok p -> Ok (Lz.Lazy_pipeline.of_pipeline config p))
+    in
+    match seeded with
+    | Error d -> Protocol.error d
+    | Ok builder ->
+      if lazies_active t >= t.max_streams then begin
+        Metrics.incr t.metrics "lazy_shed";
+        Protocol.error
+          (Diag.errorf Diag.Overloaded
+             "server at --max-streams (%d) lazy sessions: close one or retry with backoff"
+             t.max_streams)
+      end
+      else begin
+        let id = Printf.sprintf "lz-%d" (Atomic.fetch_and_add t.next_lazy 1) in
+        let lz =
+          {
+            lz_id = id;
+            builder;
+            lz_lock = Mutex.create ();
+            lz_last_used = Unix.gettimeofday ();
+            lz_flushes = 0;
+          }
+        in
+        Mutex.lock t.lazies_lock;
+        Hashtbl.replace t.lazies id lz;
+        Mutex.unlock t.lazies_lock;
+        Metrics.incr t.metrics "lazy_opened";
+        Metrics.incr_gauge t.metrics "lazy_active";
+        Protocol.ok (("id", Jsonx.Str id) :: lazy_state_fields builder)
+      end)
+
+let handle_lazy_edit t (e : Protocol.lazy_edit_request) =
+  expire_idle_lazies t;
+  match find_lazy t e.Protocol.id with
+  | None -> unknown_lazy e.Protocol.id
+  | Some lz -> (
+    Mutex.lock lz.lz_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lz.lz_lock) @@ fun () ->
+    lz.lz_last_used <- Unix.gettimeofday ();
+    let applied =
+      Result.bind
+        (Lz.Command.parse lz.builder e.Protocol.command)
+        (Lz.Command.apply lz.builder)
+    in
+    match applied with
+    | Error d -> Protocol.error d
+    | Ok description ->
+      Metrics.incr t.metrics "lazy_edits";
+      Protocol.ok
+        (("id", Jsonx.Str lz.lz_id)
+        :: ("applied", Jsonx.Str description)
+        :: lazy_state_fields lz.builder))
+
+let lazy_plan_fields ~id ~scratch ~replan_ms (pl : Lz.Replan.plan) =
+  let s = pl.Lz.Replan.stats in
+  let int n = Jsonx.Num (float_of_int n) in
+  [
+    ("id", Jsonx.Str id);
+    ("scratch", Jsonx.Bool scratch);
+    ("kernels_in", int (Ir.Pipeline.num_kernels pl.Lz.Replan.pipeline));
+    ("kernels_out", int (Ir.Pipeline.num_kernels pl.Lz.Replan.fused));
+    ("objective", Jsonx.Num pl.Lz.Replan.objective);
+    ("fingerprint", Jsonx.Str pl.Lz.Replan.fingerprint);
+    ( "partition",
+      Jsonx.Arr
+        (List.map
+           (fun b -> Jsonx.Arr (block_names pl.Lz.Replan.pipeline b))
+           pl.Lz.Replan.partition) );
+    ( "replan",
+      Jsonx.Obj
+        [
+          ("blocks_reused", int s.Lz.Replan.blocks_reused);
+          ("blocks_replanned", int s.Lz.Replan.blocks_replanned);
+          ("edges_reused", int s.Lz.Replan.edges_reused);
+          ("edges_rescored", int s.Lz.Replan.edges_rescored);
+          ("fell_back", Jsonx.Bool s.Lz.Replan.fell_back);
+          ("replan_ms", Jsonx.Num replan_ms);
+        ] );
+  ]
+
+let handle_lazy_flush t (f : Protocol.lazy_flush_request) =
+  expire_idle_lazies t;
+  match find_lazy t f.Protocol.id with
+  | None -> unknown_lazy f.Protocol.id
+  | Some lz -> (
+    Mutex.lock lz.lz_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lz.lz_lock) @@ fun () ->
+    lz.lz_last_used <- Unix.gettimeofday ();
+    let t0 = Unix.gettimeofday () in
+    let planned =
+      if f.Protocol.scratch then Lz.Lazy_pipeline.flush_scratch ~pool:t.pool lz.builder
+      else Lz.Lazy_pipeline.flush ~pool:t.pool lz.builder
+    in
+    match planned with
+    | Error d -> Protocol.error d
+    | Ok plan ->
+      lz.lz_flushes <- lz.lz_flushes + 1;
+      Metrics.incr t.metrics "lazy_flushes";
+      Protocol.ok
+        (lazy_plan_fields ~id:lz.lz_id ~scratch:f.Protocol.scratch
+           ~replan_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+           plan))
+
+let handle_lazy_close t id =
+  expire_idle_lazies t;
+  Mutex.lock t.lazies_lock;
+  match Hashtbl.find_opt t.lazies id with
+  | None ->
+    Mutex.unlock t.lazies_lock;
+    unknown_lazy id
+  | Some lz ->
+    Hashtbl.remove t.lazies id;
+    Mutex.unlock t.lazies_lock;
+    Metrics.incr t.metrics "lazy_closed";
+    Metrics.decr_gauge t.metrics "lazy_active";
+    Protocol.ok
+      [ ("id", Jsonx.Str id); ("flushes", Jsonx.Num (float_of_int lz.lz_flushes)) ]
+
 let stats_json t =
   expire_idle_streams t;
+  expire_idle_lazies t;
   let c = Plan_cache.stats t.cache in
   let latency_json op =
     match Metrics.latency t.metrics op with
@@ -856,6 +1130,18 @@ let stats_json t =
             ("stream_queue", Jsonx.Num (float_of_int t.stream_queue));
             ("stream_idle_ms", Jsonx.Num t.stream_idle_ms);
           ] );
+      ( "lazy",
+        Jsonx.Obj
+          [
+            ( "active",
+              Jsonx.Num (float_of_int (Metrics.gauge t.metrics "lazy_active")) );
+            ("opened", count "lazy_opened");
+            ("closed", count "lazy_closed");
+            ("expired", count "lazy_expired");
+            ("shed", count "lazy_shed");
+            ("edits", count "lazy_edits");
+            ("flushes", count "lazy_flushes");
+          ] );
     ]
 
 (* [dispatch] never raises: a failing handler becomes an error response
@@ -871,6 +1157,10 @@ let dispatch t ~deadline v =
       | Protocol.Stream_open _ -> "stream_open"
       | Protocol.Stream_push _ -> "stream_push"
       | Protocol.Stream_close _ -> "stream_close"
+      | Protocol.Lazy_open _ -> "lazy_open"
+      | Protocol.Lazy_edit _ -> "lazy_edit"
+      | Protocol.Lazy_flush _ -> "lazy_flush"
+      | Protocol.Lazy_close _ -> "lazy_close"
       | Protocol.Stats -> "stats"
       | Protocol.Metrics -> "metrics"
       | Protocol.Ping -> "ping"
@@ -908,6 +1198,26 @@ let dispatch t ~deadline v =
       | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
     | Protocol.Stream_close id -> (
       match handle_stream_close t id with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Lazy_open o -> (
+      match handle_lazy_open t o with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Lazy_edit e -> (
+      match handle_lazy_edit t e with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Lazy_flush f -> (
+      match handle_lazy_flush t f with
+      | resp -> (op, resp, false)
+      | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
+      | exception exn -> (op, Protocol.error (Diag.of_exn exn), false))
+    | Protocol.Lazy_close id -> (
+      match handle_lazy_close t id with
       | resp -> (op, resp, false)
       | exception ((Out_of_memory | Stack_overflow) as ex) -> raise ex
       | exception exn -> (op, Protocol.error (Diag.of_exn exn), false)))
@@ -1162,11 +1472,13 @@ let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
             "requests_timed_out"; "protocol_errors"; "native_exec_crashes";
             "native_exec_timeouts"; "native_exec_limits"; "native_exec_fallbacks";
             "streams_opened"; "streams_closed"; "streams_expired"; "streams_shed";
-            "frames_pushed"; "frames_shed";
+            "frames_pushed"; "frames_shed"; "lazy_opened"; "lazy_closed";
+            "lazy_expired"; "lazy_shed"; "lazy_edits"; "lazy_flushes";
           ];
         Metrics.adjust_gauge metrics "connections_active" 0;
         Metrics.adjust_gauge metrics "quarantined_plans" 0;
         Metrics.adjust_gauge metrics "streams_active" 0;
+        Metrics.adjust_gauge metrics "lazy_active" 0;
         let t =
           {
             socket_path = path;
@@ -1202,6 +1514,9 @@ let start ~socket:path ~cache ~pool ?budget_ms ?(max_conns = 16) ?(queue = 64)
             max_streams;
             stream_queue;
             stream_idle_ms;
+            lazies_lock = Mutex.create ();
+            lazies = Hashtbl.create 16;
+            next_lazy = Atomic.make 0;
           }
         in
         t.workers <- Array.init max_conns (fun slot -> Thread.create (worker_loop t) slot);
@@ -1254,6 +1569,7 @@ let wait t =
   (* Workers are joined, so no push is in flight: every stream's pinned
      plan can be released before the process exits. *)
   release_all_streams t;
+  release_all_lazies t;
   (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
 
 let stop t =

@@ -41,6 +41,7 @@ let () =
       ("topology", Test_topology.suite);
       ("chaos", Test_chaos.suite);
       ("stream", Test_stream.suite);
+      ("lazy", Test_lazy.suite);
       ("fuzz", Test_fuzz.suite);
       ("cli", Test_cli.suite);
     ]

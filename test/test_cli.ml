@@ -222,11 +222,15 @@ let test_bench_native_small () =
   require_cc ();
   with_temp_dir @@ fun dir ->
   let out = Filename.concat dir "bench.json" in
+  (* A present snapshot passes the gate; its content is not inspected. *)
+  let snapshot = Filename.concat dir "BENCH_prev.json" in
+  Out_channel.with_open_text snapshot (fun oc -> output_string oc "{}\n");
   let code, text =
     run_capture
       [
         "bench-native"; "-o"; out; "--runs"; "1"; "--width"; "32"; "--height"; "24";
         "--apps"; "sobel,unsharp"; "--check"; "--cache-dir"; dir;
+        "--snapshots"; snapshot;
       ]
   in
   Alcotest.(check int) "bench-native --check exits 0" 0 code;
@@ -235,6 +239,81 @@ let test_bench_native_small () =
   Alcotest.(check bool) "versioned schema" true (contains "kfuse-bench-native/v1" json);
   Alcotest.(check bool) "both apps present" true
     (contains "\"sobel\"" json && contains "\"unsharp\"" json)
+
+let test_bench_snapshot_gate () =
+  (* The --snapshots presence gate fires before any benchmark runs, so a
+     missing committed snapshot fails fast (no toolchain needed). *)
+  with_temp_dir @@ fun dir ->
+  let present = Filename.concat dir "BENCH_present.json" in
+  Out_channel.with_open_text present (fun oc -> output_string oc "{}\n");
+  let ghost = Filename.concat dir "BENCH_ghost.json" in
+  let code, text =
+    run_capture
+      [ "bench-native"; "--check"; "--snapshots"; present ^ "," ^ ghost ]
+  in
+  Alcotest.(check int) "missing snapshot exits 1" 1 code;
+  Alcotest.(check bool) "names the absentee" true (contains "BENCH_ghost.json" text);
+  Alcotest.(check bool) "fails before benchmarking" false (contains "sobel" text);
+  (* Without --check the flag is inert: the gate belongs to the gate. *)
+  let code, text =
+    run_capture
+      [
+        "bench-native"; "--snapshots"; ghost; "--runs"; "0"; "--apps"; "nosuchapp";
+        "-o"; "-";
+      ]
+  in
+  Alcotest.(check bool) "no gate without --check" false
+    (code = 1 && contains "snapshot" text)
+
+let test_repl_script () =
+  (* The lazy-pipeline repl, batch mode: build a two-chain DAG, flush
+     incrementally and from scratch, and check the two fingerprints the
+     transcript prints are equal (the differential invariant, through
+     the real binary). *)
+  with_temp_dir @@ fun dir ->
+  let script = Filename.concat dir "edit.kf" in
+  Out_channel.with_open_text script (fun oc ->
+      output_string oc
+        "# repl e2e\n\
+         input in\n\
+         add blur = conv(in, gauss3, mirror)\n\
+         param gain 1.5\n\
+         add mag = blur * gain + in\n\
+         show\n\
+         flush\n\
+         add mix = mag - blur\n\
+         flush\n\
+         flush scratch\n\
+         quit\n");
+  let code, text =
+    run_capture [ "repl"; "--width"; "48"; "--height"; "32"; "--script"; script ]
+  in
+  Alcotest.(check int) "repl script exits 0" 0 code;
+  Alcotest.(check bool) "edits applied" true (contains "applied: append mix" text);
+  Alcotest.(check bool) "show prints state" true (contains "kernels (2): blur mag" text);
+  let fingerprints =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           match String.split_on_char ' ' (String.trim l) with
+           | [ "fingerprint"; fp ] -> Some fp
+           | _ -> None)
+  in
+  Alcotest.(check int) "three flush fingerprints" 3 (List.length fingerprints);
+  (match fingerprints with
+  | [ first; incr; scratch ] ->
+    Alcotest.(check string) "incremental = scratch" scratch incr;
+    Alcotest.(check bool) "edit changed the plan" true (first <> incr)
+  | _ -> Alcotest.fail "unexpected fingerprint lines");
+  (* A rejected command aborts batch mode with the offending line. *)
+  let bad = Filename.concat dir "bad.kf" in
+  Out_channel.with_open_text bad (fun oc ->
+      output_string oc "input in\nfrob x\n");
+  let code, text =
+    run_capture [ "repl"; "--width"; "8"; "--height"; "8"; "--script"; bad ]
+  in
+  Alcotest.(check int) "bad script exits 1" 1 code;
+  Alcotest.(check bool) "typed parse error" true (contains "error[KF0201]" text);
+  Alcotest.(check bool) "line number reported" true (contains "repl:2" text)
 
 let test_budget_e2e () =
   let code, text =
@@ -261,6 +340,8 @@ let suite =
     Alcotest.test_case "read_file diagnostic" `Quick test_read_file_diagnostic;
     Alcotest.test_case "fault injection end-to-end" `Quick test_fault_injection_e2e;
     Alcotest.test_case "budget end-to-end" `Quick test_budget_e2e;
+    Alcotest.test_case "bench-native snapshot gate" `Quick test_bench_snapshot_gate;
+    Alcotest.test_case "repl --script end-to-end" `Quick test_repl_script;
     Alcotest.test_case "run --native end-to-end" `Slow test_run_native_e2e;
     Alcotest.test_case "run --native without a toolchain" `Quick
       test_run_native_no_toolchain;

@@ -1,0 +1,265 @@
+(* The lazy-fusion frontend and its incremental replanner.
+
+   The load-bearing claim: a flush planned through a session's
+   cross-flush memo is BIT-IDENTICAL — partition, recursion trace,
+   objective, fused pipeline, plan fingerprint — to planning the same
+   pipeline from scratch.  The differential harness drives both
+   planners through seeded random edit sequences and asserts equality
+   after every flush; directed cases cover the seam-check fallback, the
+   edge cases (empty builder, single kernel), rejected edits, and the
+   memo actually being exercised (reuse on untouched regions,
+   parameter-value changes dirtying nothing). *)
+
+module F = Kfuse_fusion
+module Lz = Kfuse_lazy
+module Iset = Kfuse_util.Iset
+module Rng = Kfuse_util.Rng
+module Faults = Kfuse_util.Faults
+module Partition = Kfuse_graph.Partition
+module Expr = Kfuse_ir.Expr
+module Kernel = Kfuse_ir.Kernel
+module Pipeline = Kfuse_ir.Pipeline
+module Mask = Kfuse_image.Mask
+
+let config = F.Config.default
+
+let ok what = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "%s: %s" what (Format.asprintf "%a" Kfuse_util.Diag.pp d)
+
+let render_steps (p : Pipeline.t) steps =
+  List.map (Format.asprintf "%a" (F.Mincut_fusion.pp_step p)) steps
+
+let render_edges edges =
+  List.map (Format.asprintf "%a" F.Benefit.pp_report) edges
+
+(* Bit-identical across every observable of the plan. *)
+let same_plan ~ctx (a : Lz.Replan.plan) (b : Lz.Replan.plan) =
+  Alcotest.(check bool)
+    (ctx ^ ": partition") true
+    (Partition.equal a.partition b.partition);
+  Alcotest.(check (list string))
+    (ctx ^ ": steps") (render_steps b.pipeline b.steps)
+    (render_steps a.pipeline a.steps);
+  Alcotest.(check (list string))
+    (ctx ^ ": edges") (render_edges b.edges) (render_edges a.edges);
+  Alcotest.(check string)
+    (ctx ^ ": objective")
+    (Printf.sprintf "%h" b.objective)
+    (Printf.sprintf "%h" a.objective);
+  Alcotest.(check string) (ctx ^ ": fingerprint") b.fingerprint a.fingerprint
+
+let new_builder ?(inputs = [ "in" ]) ?(params = [ ("gain", 1.25) ]) () =
+  Lz.Lazy_pipeline.create ~name:"lazy" ~width:64 ~height:48 ~inputs ~params config
+
+(* ---- the differential harness ---- *)
+
+let test_differential_sequences () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let lp = new_builder () in
+      for round = 1 to 6 do
+        let edits = Lz.Edits.random_sequence rng lp 5 in
+        let ctx = Printf.sprintf "seed %d round %d (%s)" seed round
+            (String.concat "; " (List.map Lz.Edits.to_string edits))
+        in
+        let inc = ok (ctx ^ " flush") (Lz.Lazy_pipeline.flush lp) in
+        let scr = ok (ctx ^ " scratch") (Lz.Lazy_pipeline.flush_scratch lp) in
+        same_plan ~ctx inc scr;
+        Alcotest.(check bool)
+          (ctx ^ ": incremental flush never falls back") false inc.stats.fell_back
+      done)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* ---- directed cases ---- *)
+
+let chain ?(prefix = "k") lp ~src n =
+  let rec go i src =
+    if i > n then ()
+    else begin
+      let name = Printf.sprintf "%s%d" prefix i in
+      let body =
+        if i mod 2 = 0 then Expr.conv Mask.gaussian_3x3 src
+        else Expr.((input src * const 0.5) + const 1.0)
+      in
+      ok ("add " ^ name)
+        (Lz.Lazy_pipeline.add lp (Kernel.map ~name ~inputs:[ src ] body));
+      go (i + 1) name
+    end
+  in
+  go 1 src
+
+let test_reflush_fully_memoized () =
+  let lp = new_builder () in
+  chain lp ~src:"in" 5;
+  let first = ok "flush" (Lz.Lazy_pipeline.flush lp) in
+  Alcotest.(check bool) "first flush decides blocks" true
+    (first.stats.blocks_replanned > 0);
+  let again = ok "reflush" (Lz.Lazy_pipeline.flush lp) in
+  same_plan ~ctx:"reflush" again first;
+  Alcotest.(check int) "reflush replans nothing" 0 again.stats.blocks_replanned;
+  Alcotest.(check bool) "reflush reuses blocks" true (again.stats.blocks_reused > 0)
+
+let test_untouched_component_reused () =
+  (* Two disconnected chains; an edit in one must not dirty the other. *)
+  let lp = new_builder ~inputs:[ "in"; "in2" ] () in
+  chain lp ~prefix:"a" ~src:"in" 4;
+  chain lp ~prefix:"b" ~src:"in2" 4;
+  let _ = ok "flush" (Lz.Lazy_pipeline.flush lp) in
+  ok "edit chain b"
+    (Lz.Lazy_pipeline.add lp
+       (Kernel.map ~name:"b5" ~inputs:[ "b4" ] (Expr.conv Mask.gaussian_5x5 "b4")));
+  let inc = ok "reflush" (Lz.Lazy_pipeline.flush lp) in
+  let scr = ok "scratch" (Lz.Lazy_pipeline.flush_scratch lp) in
+  same_plan ~ctx:"edit in one component" inc scr;
+  Alcotest.(check bool) "untouched chain replayed from memo" true
+    (inc.stats.blocks_reused > 0);
+  Alcotest.(check bool) "dirty chain replanned" true (inc.stats.blocks_replanned > 0)
+
+let test_param_change_dirties_nothing () =
+  let lp = new_builder () in
+  chain lp ~src:"in" 4;
+  ok "use the param"
+    (Lz.Lazy_pipeline.add lp
+       (Kernel.map ~name:"scaled" ~inputs:[ "k4" ]
+          Expr.((input "k4" * param "gain") + const 0.25)));
+  let first = ok "flush" (Lz.Lazy_pipeline.flush lp) in
+  ok "param edit" (Lz.Lazy_pipeline.set_param lp "gain" 3.5);
+  let second = ok "reflush" (Lz.Lazy_pipeline.flush lp) in
+  Alcotest.(check int) "planning is parameter-value independent" 0
+    second.stats.blocks_replanned;
+  Alcotest.(check bool) "partition unchanged" true
+    (Partition.equal first.partition second.partition);
+  (* ... but the plan names a different pipeline (new default), so the
+     exact-content fingerprint must differ. *)
+  Alcotest.(check bool) "plan fingerprint tracks the new default" true
+    (first.fingerprint <> second.fingerprint)
+
+let test_empty_and_single () =
+  let lp = new_builder () in
+  let empty = ok "empty flush" (Lz.Lazy_pipeline.flush lp) in
+  Alcotest.(check int) "empty partition" 0 (List.length empty.partition);
+  Alcotest.(check int) "empty fused" 0 (Pipeline.num_kernels empty.fused);
+  let scr = ok "empty scratch" (Lz.Lazy_pipeline.flush_scratch lp) in
+  same_plan ~ctx:"empty" empty scr;
+  ok "add one"
+    (Lz.Lazy_pipeline.add lp
+       (Kernel.map ~name:"only" ~inputs:[ "in" ] (Expr.conv Mask.gaussian_3x3 "in")));
+  let one = ok "single flush" (Lz.Lazy_pipeline.flush lp) in
+  Alcotest.(check bool) "singleton partition" true
+    (Partition.equal one.partition [ Iset.singleton 0 ]);
+  same_plan ~ctx:"single" one (ok "single scratch" (Lz.Lazy_pipeline.flush_scratch lp))
+
+let test_rejected_edits_leave_state () =
+  let lp = new_builder () in
+  chain lp ~src:"in" 3;
+  let gen = Lz.Lazy_pipeline.generation lp in
+  let reject what = function
+    | Ok () -> Alcotest.failf "%s: unexpectedly accepted" what
+    | Error (_ : Kfuse_util.Diag.t) -> ()
+  in
+  (* k1 is consumed by k2: deleting it would dangle *)
+  reject "delete consumed" (Lz.Lazy_pipeline.remove lp "k1");
+  reject "delete unknown" (Lz.Lazy_pipeline.remove lp "nope");
+  (* retargeting k1 to read k3 closes a cycle *)
+  reject "cycle retarget" (Lz.Lazy_pipeline.retarget lp ~kernel:"k1" ~from_:"in" ~to_:"k3");
+  reject "retarget unknown read"
+    (Lz.Lazy_pipeline.retarget lp ~kernel:"k2" ~from_:"in" ~to_:"k1");
+  reject "dangling retarget"
+    (Lz.Lazy_pipeline.retarget lp ~kernel:"k1" ~from_:"in" ~to_:"ghost");
+  reject "duplicate kernel"
+    (Lz.Lazy_pipeline.add lp
+       (Kernel.map ~name:"k2" ~inputs:[ "in" ] (Expr.input "in")));
+  reject "duplicate input" (Lz.Lazy_pipeline.add_input lp "in");
+  Alcotest.(check int) "builder unchanged" gen (Lz.Lazy_pipeline.generation lp);
+  (* and the state still flushes identically to scratch *)
+  same_plan ~ctx:"after rejections"
+    (ok "flush" (Lz.Lazy_pipeline.flush lp))
+    (ok "scratch" (Lz.Lazy_pipeline.flush_scratch lp))
+
+let test_seam_fault_falls_back () =
+  let lp = new_builder () in
+  chain lp ~src:"in" 5;
+  let _ = ok "warm flush" (Lz.Lazy_pipeline.flush lp) in
+  let degraded =
+    Faults.with_spec (Lz.Replan.seam_fault ^ "@1") (fun () ->
+        ok "faulted flush" (Lz.Lazy_pipeline.flush lp))
+  in
+  Alcotest.(check bool) "fell back to scratch" true degraded.stats.fell_back;
+  Alcotest.(check int) "memo was discarded first" 0 degraded.stats.blocks_reused;
+  (* the degraded plan is still the right plan *)
+  same_plan ~ctx:"seam fallback" degraded
+    (ok "scratch" (Lz.Lazy_pipeline.flush_scratch lp));
+  (* and the fallback repopulated the memo: the next flush is clean *)
+  let after = ok "flush after fallback" (Lz.Lazy_pipeline.flush lp) in
+  Alcotest.(check bool) "recovered" false after.stats.fell_back;
+  Alcotest.(check int) "memo repopulated" 0 after.stats.blocks_replanned
+
+let test_seam_legality_edit () =
+  (* Directed seam case: a fused chain gains a second consumer of an
+     interior kernel (fig. 2c external-output shape) — the dirtied
+     region must replan and still match scratch. *)
+  let lp = new_builder () in
+  chain lp ~src:"in" 4;
+  let first = ok "flush" (Lz.Lazy_pipeline.flush lp) in
+  ok "tap an interior kernel"
+    (Lz.Lazy_pipeline.add lp
+       (Kernel.map ~name:"tap" ~inputs:[ "k2" ] (Expr.conv Mask.gaussian_3x3 "k2")));
+  let inc = ok "reflush" (Lz.Lazy_pipeline.flush lp) in
+  same_plan ~ctx:"external-output edit" inc
+    (ok "scratch" (Lz.Lazy_pipeline.flush_scratch lp));
+  Alcotest.(check bool) "partition actually changed" false
+    (Partition.equal first.partition inc.partition
+    && first.pipeline.Pipeline.kernels == inc.pipeline.Pipeline.kernels)
+
+let test_retarget_differential () =
+  let lp = new_builder ~inputs:[ "in"; "in2" ] () in
+  chain lp ~prefix:"a" ~src:"in" 3;
+  chain lp ~prefix:"b" ~src:"in2" 3;
+  let _ = ok "flush" (Lz.Lazy_pipeline.flush lp) in
+  ok "cross-link the chains"
+    (Lz.Lazy_pipeline.retarget lp ~kernel:"b1" ~from_:"in2" ~to_:"a3");
+  let inc = ok "reflush" (Lz.Lazy_pipeline.flush lp) in
+  same_plan ~ctx:"retarget" inc (ok "scratch" (Lz.Lazy_pipeline.flush_scratch lp));
+  ok "revert" (Lz.Lazy_pipeline.retarget lp ~kernel:"b1" ~from_:"a3" ~to_:"in2");
+  let reverted = ok "reverted flush" (Lz.Lazy_pipeline.flush lp) in
+  Alcotest.(check int) "revert replays everything from memo" 0
+    reverted.stats.blocks_replanned
+
+let test_of_pipeline_roundtrip () =
+  let p =
+    Pipeline.create ~name:"seeded" ~width:32 ~height:32 ~inputs:[ "img" ]
+      [
+        Kernel.map ~name:"blur" ~inputs:[ "img" ] (Expr.conv Mask.gaussian_3x3 "img");
+        Kernel.map ~name:"gain" ~inputs:[ "blur" ] Expr.(input "blur" * const 2.0);
+      ]
+  in
+  let lp = Lz.Lazy_pipeline.of_pipeline config p in
+  let plan = ok "flush" (Lz.Lazy_pipeline.flush lp) in
+  let direct = ok "scratch" (Lz.Replan.scratch config p) in
+  same_plan ~ctx:"of_pipeline" plan direct;
+  Alcotest.(check (option string)) "last" (Some plan.fingerprint)
+    (Option.map (fun (pl : Lz.Replan.plan) -> pl.Lz.Replan.fingerprint)
+       (Lz.Lazy_pipeline.last lp))
+
+let suite =
+  [
+    Alcotest.test_case "differential: seeded edit sequences" `Slow
+      test_differential_sequences;
+    Alcotest.test_case "reflush is fully memoized" `Quick test_reflush_fully_memoized;
+    Alcotest.test_case "untouched component reused" `Quick
+      test_untouched_component_reused;
+    Alcotest.test_case "param change dirties nothing" `Quick
+      test_param_change_dirties_nothing;
+    Alcotest.test_case "empty and single-kernel flush" `Quick test_empty_and_single;
+    Alcotest.test_case "rejected edits leave the builder" `Quick
+      test_rejected_edits_leave_state;
+    Alcotest.test_case "seam fault falls back to scratch" `Quick
+      test_seam_fault_falls_back;
+    Alcotest.test_case "external-output edit replans the seam" `Quick
+      test_seam_legality_edit;
+    Alcotest.test_case "retarget differential and revert" `Quick
+      test_retarget_differential;
+    Alcotest.test_case "of_pipeline roundtrip" `Quick test_of_pipeline_roundtrip;
+  ]

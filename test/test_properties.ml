@@ -441,6 +441,66 @@ let prop_fuzz_eval_exact =
     ~name:"fuzz: fused evaluation is pixel-exact, borders included" fuzz_case_arb
     (fuzz_oracle_holds Kfuse_fuzz.Oracle.Eval_exact)
 
+(* ---- lazy-fusion incremental replanning ----
+
+   The three strongest invariants of the lazy frontend (lib/lazy),
+   each over a seeded random edit sequence: a failure prints the
+   (seed, edits) pair that replays it exactly. *)
+
+let lazy_case_arb =
+  QCheck.make
+    ~print:(fun (seed, edits) -> Printf.sprintf "seed=%d edits=%d" seed edits)
+    QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 25))
+
+let lazy_builder seed edits =
+  let lp =
+    Kfuse_lazy.Lazy_pipeline.create ~name:"prop" ~width:24 ~height:18
+      ~inputs:[ "in"; "aux" ]
+      ~params:[ ("gain", 1.5) ]
+      config
+  in
+  let rng = Kfuse_util.Rng.create seed in
+  (* two flush points exercise the cross-flush memo, not just one plan *)
+  let _ = Kfuse_lazy.Edits.random_sequence rng lp (edits / 2) in
+  let _ = Kfuse_lazy.Lazy_pipeline.flush lp in
+  let _ = Kfuse_lazy.Edits.random_sequence rng lp (edits - (edits / 2)) in
+  lp
+
+let lazy_plan what = function
+  | Ok (plan : Kfuse_lazy.Replan.plan) -> plan
+  | Error d ->
+    QCheck.Test.fail_report (Format.asprintf "%s failed: %a" what Kfuse_util.Diag.pp d)
+
+let prop_lazy_incremental_matches_scratch =
+  QCheck.Test.make ~count:60
+    ~name:"lazy: incremental flush is bit-identical to scratch" lazy_case_arb
+    (fun (seed, edits) ->
+      let lp = lazy_builder seed edits in
+      let inc = lazy_plan "flush" (Kfuse_lazy.Lazy_pipeline.flush lp) in
+      let scr = lazy_plan "scratch" (Kfuse_lazy.Lazy_pipeline.flush_scratch lp) in
+      (not inc.stats.fell_back) && String.equal inc.fingerprint scr.fingerprint)
+
+let prop_lazy_flush_idempotent =
+  QCheck.Test.make ~count:60
+    ~name:"lazy: reflushing an unedited builder replans zero blocks" lazy_case_arb
+    (fun (seed, edits) ->
+      let lp = lazy_builder seed edits in
+      let first = lazy_plan "flush" (Kfuse_lazy.Lazy_pipeline.flush lp) in
+      let again = lazy_plan "reflush" (Kfuse_lazy.Lazy_pipeline.flush lp) in
+      again.stats.blocks_replanned = 0
+      && String.equal first.fingerprint again.fingerprint)
+
+let prop_lazy_partition_always_legal =
+  QCheck.Test.make ~count:60
+    ~name:"lazy: every flushed partition passes the whole-result check"
+    lazy_case_arb (fun (seed, edits) ->
+      let lp = lazy_builder seed edits in
+      let plan = lazy_plan "flush" (Kfuse_lazy.Lazy_pipeline.flush lp) in
+      match F.Legality.check_partition config plan.pipeline plan.partition with
+      | Ok () -> true
+      | Error d ->
+        QCheck.Test.fail_report (Format.asprintf "illegal: %a" Kfuse_util.Diag.pp d))
+
 (* A fixed seed keeps `dune runtest` reproducible (override with
    QCHECK_SEED to explore). *)
 let suite =
@@ -469,6 +529,9 @@ let suite =
       prop_opt_passes_preserve_semantics;
       prop_simplify_never_grows;
       prop_transform_radius_additive;
+      prop_lazy_incremental_matches_scratch;
+      prop_lazy_flush_idempotent;
+      prop_lazy_partition_always_legal;
       prop_fuzz_legality;
       prop_fuzz_beta_never_beats_optimum;
       prop_fuzz_eval_exact;

@@ -156,7 +156,60 @@ let test_protocol_roundtrip () =
          ("op", Jsonx.Str "fuse_exec");
          ("app", Jsonx.Str "sobel");
          ("exec_mode", Jsonx.Str "jit");
-       ])
+       ]);
+  (* lazy ops: an open needs a seed or an extent, edits need id and
+     command, inputs must be an array of strings. *)
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "lazy request roundtrips" true (req = req')
+      | Error d -> Alcotest.failf "lazy roundtrip rejected: %s" (Diag.to_string d))
+    [
+      Protocol.Lazy_open
+        {
+          Protocol.app = None;
+          source = None;
+          width = Some 64;
+          height = Some 48;
+          channels = Some 3;
+          inputs = [ "in"; "aux" ];
+          c_mshared = Some 2.0;
+          gamma = None;
+          tg = None;
+        };
+      Protocol.Lazy_open
+        {
+          Protocol.app = Some "harris";
+          source = None;
+          width = None;
+          height = None;
+          channels = None;
+          inputs = [];
+          c_mshared = None;
+          gamma = None;
+          tg = None;
+        };
+      Protocol.Lazy_edit { Protocol.id = "lz-0"; command = "add k = in * 2.0" };
+      Protocol.Lazy_flush { Protocol.id = "lz-0"; scratch = true };
+      Protocol.Lazy_flush { Protocol.id = "lz-0"; scratch = false };
+      Protocol.Lazy_close "lz-0";
+    ];
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "lazy_open") ]);
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "lazy_open"); ("width", Jsonx.Num 64.0) ]);
+  bad
+    (Jsonx.Obj
+       [ ("op", Jsonx.Str "lazy_open"); ("app", Jsonx.Str "x"); ("source", Jsonx.Str "y") ]);
+  bad
+    (Jsonx.Obj
+       [
+         ("op", Jsonx.Str "lazy_open");
+         ("width", Jsonx.Num 64.0);
+         ("height", Jsonx.Num 48.0);
+         ("inputs", Jsonx.Arr [ Jsonx.Num 3.0 ]);
+       ]);
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "lazy_edit"); ("id", Jsonx.Str "lz-0") ]);
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "lazy_flush") ]);
+  bad (Jsonx.Obj [ ("op", Jsonx.Str "lazy_close") ])
 
 (* ---- end-to-end server ---- *)
 
@@ -427,6 +480,197 @@ let test_connect_retry_over_restart () =
     Alcotest.(check string) "typed connect failure" "KF0802" (Diag.code_id d.Diag.code)
   | exception exn -> Alcotest.failf "non-typed failure: %s" (Printexc.to_string exn)
 
+(* A lazy session over the wire: open an empty builder, grow it with
+   textual edits, flush incrementally and from scratch, and check the
+   plan fingerprint against the same edit sequence applied through the
+   library locally — the differential harness crossing the socket. *)
+let test_lazy_session_end_to_end () =
+  with_server @@ fun socket _server ->
+  (* Two weakly-connected components: the in-chain (later edited) and
+     the aux-chain (untouched — its planning decisions must be reused). *)
+  let edits =
+    [
+      "add blur = conv(in, gauss3, mirror)";
+      "param gain 1.5";
+      "add mag = blur * gain + in";
+      "input aux";
+      "add a1 = conv(aux, gauss5, mirror)";
+      "add a2 = a1 * 2.0";
+      "add mix = mag - blur";
+    ]
+  in
+  (* The local reference: same empty builder, same edit sequence. *)
+  let lp =
+    Kfuse_lazy.Lazy_pipeline.create ~inputs:[ "in" ] ~width:48 ~height:32
+      Kfuse_fusion.Config.default
+  in
+  List.iter
+    (fun line ->
+      match
+        Result.bind
+          (Kfuse_lazy.Command.parse lp line)
+          (Kfuse_lazy.Command.apply lp)
+      with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "local %S rejected: %s" line (Diag.to_string d))
+    edits;
+  let reference =
+    match Kfuse_lazy.Lazy_pipeline.flush lp with
+    | Ok plan -> plan.Kfuse_lazy.Replan.fingerprint
+    | Error d -> Alcotest.failf "local flush failed: %s" (Diag.to_string d)
+  in
+  let num name v =
+    match field name v with
+    | Jsonx.Num f -> f
+    | j -> Alcotest.failf "field %S not a number: %s" name (Jsonx.to_string j)
+  in
+  let str name v =
+    match field name v with
+    | Jsonx.Str s -> s
+    | j -> Alcotest.failf "field %S not a string: %s" name (Jsonx.to_string j)
+  in
+  Svc.Client.with_connection ~socket (fun c ->
+      let ( let* ) = Result.bind in
+      let* opened =
+        Svc.Client.request c
+          (Protocol.Lazy_open
+             {
+               Protocol.app = None;
+               source = None;
+               width = Some 48;
+               height = Some 32;
+               channels = None;
+               inputs = [ "in" ];
+               c_mshared = None;
+               gamma = None;
+               tg = None;
+             })
+      in
+      let id = str "id" opened in
+      (* Edits apply in order; each reply reports the new generation. *)
+      let* () =
+        List.fold_left
+          (fun acc line ->
+            let* () = acc in
+            let* reply =
+              Svc.Client.request c (Protocol.Lazy_edit { Protocol.id; command = line })
+            in
+            Alcotest.(check string) "edit targets the session" id (str "id" reply);
+            Ok ())
+          (Ok ()) edits
+      in
+      (* A rejected edit is a typed error and leaves the session live:
+         'blur' is consumed downstream, and 'frob' is not a command. *)
+      (match
+         Svc.Client.request c (Protocol.Lazy_edit { Protocol.id; command = "del blur" })
+       with
+      | Ok _ -> Alcotest.fail "deleting a consumed kernel should fail"
+      | Error _ -> ());
+      (match
+         Svc.Client.request c (Protocol.Lazy_edit { Protocol.id; command = "frob x" })
+       with
+      | Ok _ -> Alcotest.fail "unknown command should fail"
+      | Error d ->
+        Alcotest.(check string) "parse error code" "KF0201" (Diag.code_id d.Diag.code));
+      (* Flush #1 plans everything fresh; #2 replays fully from memo;
+         the scratch flush is the differential reference on the wire. *)
+      let* flush1 =
+        Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = false })
+      in
+      Alcotest.(check bool) "first flush planned blocks" true
+        (num "blocks_replanned" (field "replan" flush1) > 0.0);
+      Alcotest.(check string) "wire plan matches local library plan" reference
+        (str "fingerprint" flush1);
+      let* flush2 =
+        Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = false })
+      in
+      Alcotest.(check bool) "reflush replays from memo" true
+        (num "blocks_replanned" (field "replan" flush2) = 0.0);
+      let* scratch =
+        Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = true })
+      in
+      Alcotest.(check string) "incremental == scratch over the wire"
+        (str "fingerprint" flush1) (str "fingerprint" scratch);
+      (* One more edit — confined to the in-chain — then
+         incremental-vs-scratch again. *)
+      let* _ =
+        Svc.Client.request c
+          (Protocol.Lazy_edit { Protocol.id; command = "retarget mix blur in" })
+      in
+      let* flush3 =
+        Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = false })
+      in
+      let* scratch3 =
+        Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = true })
+      in
+      Alcotest.(check string) "post-edit incremental == scratch"
+        (str "fingerprint" flush3) (str "fingerprint" scratch3);
+      Alcotest.(check bool) "edit dirtied only part of the DAG" true
+        (num "blocks_reused" (field "replan" flush3) > 0.0);
+      let* closed = Svc.Client.request c (Protocol.Lazy_close id) in
+      Alcotest.(check bool) "close reports the flush count" true
+        (num "flushes" closed = 5.0);
+      (* Ops on a closed session are typed unknown-session errors. *)
+      (match Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = false }) with
+      | Ok _ -> Alcotest.fail "flush on a closed session should fail"
+      | Error d ->
+        Alcotest.(check string) "unknown session code" "KF0806" (Diag.code_id d.Diag.code));
+      (* The session accounting made it into stats. *)
+      let* stats = Svc.Client.stats c in
+      let lazy_stats = field "lazy" stats in
+      Alcotest.(check bool) "one session opened" true (num "opened" lazy_stats = 1.0);
+      Alcotest.(check bool) "one session closed" true (num "closed" lazy_stats = 1.0);
+      Alcotest.(check bool) "no session left active" true (num "active" lazy_stats = 0.0);
+      Alcotest.(check bool) "five flushes counted" true (num "flushes" lazy_stats = 5.0);
+      Ok ())
+  |> expect_ok
+
+(* Opening from a registry app seeds the builder with the app's
+   pipeline; the first flush must equal planning the app from scratch. *)
+let test_lazy_open_seeded () =
+  with_server @@ fun socket _server ->
+  Svc.Client.with_connection ~socket (fun c ->
+      let ( let* ) = Result.bind in
+      let* opened =
+        Svc.Client.request c
+          (Protocol.Lazy_open
+             {
+               Protocol.app = Some "harris";
+               source = None;
+               width = None;
+               height = None;
+               channels = None;
+               inputs = [];
+               c_mshared = None;
+               gamma = None;
+               tg = None;
+             })
+      in
+      let id =
+        match field "id" opened with
+        | Jsonx.Str s -> s
+        | _ -> Alcotest.fail "lazy_open reply lacks an id"
+      in
+      let* flushed =
+        Svc.Client.request c (Protocol.Lazy_flush { Protocol.id; scratch = false })
+      in
+      let reference =
+        match Kfuse_apps.Registry.find "harris" with
+        | None -> Alcotest.fail "harris app missing"
+        | Some e -> (
+          match
+            Kfuse_lazy.Replan.scratch Kfuse_fusion.Config.default
+              (e.Kfuse_apps.Registry.pipeline ())
+          with
+          | Ok plan -> plan.Kfuse_lazy.Replan.fingerprint
+          | Error d -> Alcotest.failf "reference plan failed: %s" (Diag.to_string d))
+      in
+      Alcotest.(check bool) "seeded flush matches scratch reference" true
+        (field "fingerprint" flushed = Jsonx.Str reference);
+      let* _ = Svc.Client.request c (Protocol.Lazy_close id) in
+      Ok ())
+  |> expect_ok
+
 let test_shutdown_request () =
   let socket = temp_socket () in
   let cache = Cache.Plan_cache.create () in
@@ -460,4 +704,8 @@ let suite =
       test_connect_retry_over_restart;
     Alcotest.test_case "kfused: shutdown request stops the server" `Quick
       test_shutdown_request;
+    Alcotest.test_case "kfused: lazy session edits, flushes, differentials" `Quick
+      test_lazy_session_end_to_end;
+    Alcotest.test_case "kfused: lazy_open seeded from a registry app" `Quick
+      test_lazy_open_seeded;
   ]
